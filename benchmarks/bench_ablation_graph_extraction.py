@@ -1,0 +1,62 @@
+"""Ablation: graph program extraction (Section 3.5) vs lazy tracing.
+
+The trade-off the paper describes: static extraction has zero per-step
+host cost but only handles compile-time-static programs; lazy tracing
+pays per-op tracing each step but supports full dynamism.
+"""
+
+import numpy as np
+import pytest
+from conftest import save_result
+
+from repro.frameworks import extract_program
+from repro.nn import MLP
+from repro.runtime.costmodel import GTX_1080, S4TF_LAZY
+from repro.runtime.device import SimDevice
+from repro.tensor import Tensor, eager_device, lazy_device
+
+
+def forward(model, x):
+    return model(x).sum()
+
+
+def test_static_extraction_vs_lazy_tracing(benchmark):
+    model = MLP.create(64, [64, 64], 10, device=eager_device(), seed=0)
+    program = extract_program(forward, model, input_shapes=[(32, 64)])
+    x_np = np.random.default_rng(0).standard_normal((32, 64)).astype(np.float32)
+
+    # Static AOT: simulated per-step time (device only; zero host ops).
+    sim = SimDevice(GTX_1080)
+    program.run(x_np, device=sim)
+    t0 = sim.busy_until
+    program.run(x_np, device=sim, host_time=t0)
+    static_step = sim.busy_until - t0
+
+    # Lazy tracing: same program, per-step trace + cached compile + fused run.
+    lazy = lazy_device(GTX_1080, S4TF_LAZY)
+    model_lazy = MLP.create(64, [64, 64], 10, device=lazy, seed=0)
+    for _ in range(2):
+        float(forward(model_lazy, Tensor(x_np, lazy)))
+    lazy.sync()
+    start = lazy.elapsed
+    steps = 3
+    for _ in range(steps):
+        float(forward(model_lazy, Tensor(x_np, lazy)))
+    lazy.sync()
+    lazy_step = (lazy.elapsed - start) / steps
+
+    # Real wall-clock of one extracted run (pytest-benchmark).
+    benchmark(program.run, x_np)
+
+    save_result(
+        "ablation_graph_extraction",
+        "Ablation: graph program extraction (3.5) vs lazy tracing (3.3)\n"
+        f"  static AOT per step: {static_step*1e6:9.1f} us simulated "
+        "(zero host ops)\n"
+        f"  lazy tracing per step: {lazy_step*1e6:9.1f} us simulated "
+        "(re-traces every step)\n"
+        f"  extraction wins {lazy_step/static_step:.1f}x on this static "
+        "program — but rejects any tensor-dependent control flow, which is "
+        "why the project moved to lazy tracing.",
+    )
+    assert static_step < lazy_step

@@ -1,0 +1,130 @@
+"""Ablations of the LazyTensor design choices (Sections 3.3-3.4).
+
+Each ablation removes one ingredient of the lazy pipeline and measures the
+consequence on the simulated clock:
+
+* **fusion off** — compile the same trace without elementwise fusion:
+  more kernels, more memory traffic, slower device time;
+* **trace cache off** — recompile every step: the Section 3.4 cache is
+  what amortizes JIT cost across iterations;
+* **auto-barrier sweep** — the automatic trace-cutting extension: small
+  thresholds fragment the trace (less fusion, more dispatches), huge
+  thresholds delay execution; the default (explicit barriers from the
+  training library) sits at the optimum for a training loop.
+"""
+
+import numpy as np
+import pytest
+from conftest import save_result
+
+from repro.frameworks import capture_step_program
+from repro.frameworks.engines import FusedJitEngine, LazyTraceEngine
+from repro.hlo import clear_cache
+from repro.hlo.compiler import Executable, optimize
+from repro.nn import MLP, softmax_cross_entropy
+from repro.optim import SGD
+from repro.runtime.costmodel import GTX_1080, S4TF_LAZY
+from repro.runtime.device import SimDevice
+from repro.tensor import Device, Tensor, lazy_device, one_hot
+from repro.training import train_step
+
+
+def _loss(model, x, y):
+    return softmax_cross_entropy(model(x), y)
+
+
+def _one_step(device: Device) -> None:
+    model = MLP.create(64, [64, 64], 10, device=device, seed=0)
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((32, 64)).astype(np.float32), device)
+    y = one_hot(Tensor(rng.integers(0, 10, 32).astype(np.float32), device), 10)
+    train_step(model, SGD(0.05), _loss, x, y, device)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return capture_step_program(_one_step, GTX_1080)
+
+
+def test_ablation_fusion(benchmark, program):
+    """Fusion on vs off: same numerics, fewer kernels, less device time."""
+
+    def run(fuse: bool) -> tuple[int, float]:
+        module = program.to_module()
+        optimize(module, fuse=fuse)
+        exe = Executable(module)
+        device = SimDevice(GTX_1080)
+        exe.run(program.example_args, device=device)
+        return exe.kernel_count, device.busy_until
+
+    (k_fused, t_fused) = benchmark.pedantic(run, args=(True,), rounds=1, iterations=1)
+    k_unfused, t_unfused = run(False)
+
+    save_result(
+        "ablation_fusion",
+        "Ablation: elementwise fusion (one training-step program)\n"
+        f"  fused:   {k_fused:4d} kernels, device time {t_fused*1e6:9.1f} us\n"
+        f"  unfused: {k_unfused:4d} kernels, device time {t_unfused*1e6:9.1f} us\n"
+        f"  kernel reduction: {k_unfused / k_fused:.2f}x, "
+        f"speedup: {t_unfused / t_fused:.2f}x",
+    )
+    assert k_fused < k_unfused
+    assert t_fused < t_unfused
+
+
+def test_ablation_trace_cache(benchmark, program):
+    """With the XLA-program cache disabled, every step pays compilation."""
+
+    class NoCacheEngine(LazyTraceEngine):
+        def step(self):
+            self.compiled = False  # forget the executable every step
+            return super().step()
+
+    def steady(engine_cls) -> float:
+        engine = engine_cls(program, S4TF_LAZY, GTX_1080)
+        return engine.steady_state_step_time(warmup=1, measure=3)
+
+    cached = benchmark.pedantic(
+        steady, args=(LazyTraceEngine,), rounds=1, iterations=1
+    )
+    uncached = steady(NoCacheEngine)
+    save_result(
+        "ablation_trace_cache",
+        "Ablation: trace-hash compile cache (per-step time)\n"
+        f"  cache on:  {cached*1e3:8.3f} ms/step\n"
+        f"  cache off: {uncached*1e3:8.3f} ms/step\n"
+        f"  the cache buys {uncached / cached:.1f}x",
+    )
+    assert uncached > 3 * cached
+
+
+def test_ablation_auto_barrier_threshold(benchmark):
+    """Sweep the automatic trace-cut threshold on a long op chain."""
+
+    def run(threshold):
+        clear_cache()
+        device = lazy_device(auto_barrier_threshold=threshold)
+        x = Tensor(np.ones(1024, np.float32), device)
+        y = x
+        for _ in range(128):
+            y = (y * 1.01).tanh()
+        y.numpy()
+        device.sync()
+        return device.elapsed, device.sim.stats.kernels_launched
+
+    rows = ["Ablation: automatic trace cutting (128-op chain)"]
+    results = {}
+    for threshold in (4, 16, 64, None):
+        elapsed, kernels = benchmark.pedantic(
+            run, args=(threshold,), rounds=1, iterations=1
+        ) if threshold == 4 else run(threshold)
+        label = str(threshold) if threshold else "off (single fragment)"
+        rows.append(
+            f"  threshold {label:>22}: {elapsed*1e3:8.3f} ms simulated, "
+            f"{kernels:3d} kernels"
+        )
+        results[threshold] = (elapsed, kernels)
+    save_result("ablation_auto_barrier", "\n".join(rows))
+
+    # Finer fragmentation -> more kernels (less fusion across cuts).
+    assert results[4][1] > results[64][1] >= results[None][1]

@@ -1,0 +1,32 @@
+"""Figure 4 — the LazyTensor trace of LeNet-5's forward pass.
+
+Benchmarks the *tracing* cost itself (recording the forward-pass DAG,
+which recurs every iteration per Section 3.4) and saves the rendered DAG.
+"""
+
+import numpy as np
+from conftest import save_result
+
+from repro.experiments import run_figure4
+from repro.nn import LeNet
+from repro.runtime.costmodel import S4TF_LAZY, TPU_V3_CORE
+from repro.tensor import Device, Tensor
+
+
+def test_figure4_lenet_trace(benchmark):
+    device = Device("lazy", TPU_V3_CORE, S4TF_LAZY)
+    model = LeNet.create(device, seed=0)
+    x = Tensor(np.zeros((1, 28, 28, 1), np.float32), device)
+
+    def record_forward_trace():
+        return model(x)  # records the DAG; never materializes
+
+    benchmark(record_forward_trace)
+
+    figure = run_figure4()
+    save_result(
+        "figure4_lenet_trace",
+        figure.text + "\n\nsummary: " + repr(figure.summary) + "\n\n" + figure.dot,
+    )
+    assert figure.summary["op:conv2d"] == 2
+    assert figure.summary["op:matmul"] == 3

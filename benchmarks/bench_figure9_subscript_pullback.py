@@ -1,0 +1,42 @@
+"""Figure 9 / Appendix B — subscript pullback: O(n) functional vs O(1)
+mutable value semantics.  Real wall-clock measurements via pytest-benchmark
+at a fixed n, plus a sweep establishing the asymptotic shape.
+"""
+
+import pytest
+from conftest import save_result
+
+from repro.core.pullback_styles import (
+    my_op_with_functional_pullback,
+    my_op_with_mutable_pullback,
+)
+from repro.experiments import render_figure9, run_figure9
+
+N = 16384
+
+
+@pytest.fixture(scope="module")
+def values():
+    return [float(i) for i in range(N)]
+
+
+def test_functional_pullback_o_n(benchmark, values):
+    _, pb = my_op_with_functional_pullback(values, 1, N - 2)
+    benchmark(pb, 1.0)
+
+
+def test_mutable_pullback_o_1(benchmark, values):
+    _, pb = my_op_with_mutable_pullback(values, 1, N - 2)
+    adjoint = [0.0] * N
+    benchmark(pb, 1.0, adjoint)
+
+
+def test_figure9_sweep(benchmark):
+    points = benchmark.pedantic(run_figure9, rounds=1, iterations=1)
+    save_result("figure9_subscript_pullback", render_figure9(points))
+
+    f = [p.functional_seconds for p in points]
+    m = [p.mutable_seconds for p in points]
+    assert f[-1] > 10 * f[0]     # functional grows with n
+    assert m[-1] < 5 * m[0]      # mutable flat
+    assert f[-1] / m[-1] > 50    # decisive at large n

@@ -1,0 +1,25 @@
+"""Table 4 — on-device spline fine-tuning across four deployment stacks.
+
+Paper (Pixel 3): TF-Mobile 5926ms/80MB/6.2MB, TFLite-std 266ms/12.3MB/1.8MB,
+TFLite-fused 63ms/6.2MB/1.8MB, S4TF 128ms/4.2MB/3.6MB.
+"""
+
+from conftest import save_result
+
+from repro.experiments import run_table4
+
+
+def test_table4_mobile_spline(benchmark):
+    table = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    save_result("table4_mobile_spline", table.render())
+
+    times = {k: v.training_time_s for k, v in table.results.items()}
+    memories = {k: v.memory_bytes for k, v in table.results.items()}
+
+    assert times["TensorFlow Mobile"] > 10 * times["TensorFlow Lite (standard operations)"]
+    assert (
+        times["TensorFlow Lite (standard operations)"]
+        > times["Swift for TensorFlow"]
+        > times["TensorFlow Lite (manually fused custom operation)"]
+    )
+    assert memories["Swift for TensorFlow"] == min(memories.values())

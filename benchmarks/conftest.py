@@ -1,0 +1,15 @@
+"""Shared benchmark plumbing: results are rendered to benchmarks/results/."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a rendered table/figure and echo it for the log."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

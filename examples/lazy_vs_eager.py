@@ -1,0 +1,64 @@
+"""Switching Tensor implementations by device placement (Section 3).
+
+The same MLP training loop runs on the eager op-by-op backend and the
+LazyTensor tracing backend; this example prints what each runtime actually
+did — kernels dispatched vs traces compiled, fusion statistics, and the
+simulated step times that make Table 3's comparison tick.
+
+Run:  python examples/lazy_vs_eager.py
+"""
+
+from repro.data import synthetic_mnist
+from repro.hlo.compiler import STATS as COMPILER_STATS
+from repro.nn import MLP, softmax_cross_entropy
+from repro.optim import SGD
+from repro.runtime.costmodel import GTX_1080, S4TF_EAGER, S4TF_LAZY
+from repro.tensor import Device
+from repro.training import train_step
+
+
+def flat_loss(model, x, y):
+    return softmax_cross_entropy(model(x.reshaped((-1, 256))), y)
+
+
+def run(kind: str, engine, steps: int = 10) -> None:
+    device = Device(kind, GTX_1080, engine)
+    model = MLP.create(256, [128, 64], 10, device=device, seed=0)
+    data = synthetic_mnist(n=64, image_size=16)
+    batches = list(data.batches(32, device=device))
+
+    losses = []
+    for step in range(steps):
+        x, y = batches[step % len(batches)]
+        losses.append(float(train_step(model, SGD(0.05), flat_loss, x, y, device)))
+    device.sync()
+
+    print(f"\n== {kind} backend ({engine.name}) ==")
+    print(f"  loss: {losses[0]:.4f} -> {losses[-1]:.4f}")
+    print(f"  simulated time for {steps} steps: {device.elapsed * 1e3:.2f} ms")
+    if kind == "eager":
+        print(f"  ops dispatched: {device.dispatcher.ops_dispatched}")
+        print(f"  kernels launched: {device.sim.stats.kernels_launched}")
+    else:
+        rt = device.runtime
+        print(f"  ops traced: {rt.ops_traced} (re-traced every step)")
+        print(f"  XLA compilations: {rt.compiles_triggered} "
+              f"(cache hits: {COMPILER_STATS.cache_hits})")
+        s = device.sim.stats
+        print(f"  fused kernels: {s.fused_kernels}; "
+              f"ops inside fused kernels: {s.ops_in_fused_kernels}")
+
+
+def main() -> None:
+    COMPILER_STATS.reset()
+    run("eager", S4TF_EAGER)
+    run("lazy", S4TF_LAZY)
+    print(
+        "\nSame numerics, different runtimes: the lazy backend pays tracing "
+        "per step but compiles each unique trace once and executes fused "
+        "kernels (Sections 3.3-3.4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""repro — a Python reproduction of *Swift for TensorFlow* (MLSys 2021).
+
+The platform combines:
+
+* an ahead-of-time, source-to-source automatic differentiation system that
+  operates on an SSA IR (``repro.sil`` + ``repro.core``), decoupled from any
+  Tensor type via the ``Differentiable`` protocol;
+* three Tensor implementations behind one API (``repro.tensor``): a naive
+  portable backend, an eager dispatching backend, and a lazy tracing backend
+  that JIT-compiles through an XLA-like HLO compiler (``repro.hlo``);
+* mutable value semantics (``repro.valsem``) applied to tensors, layers,
+  models, and optimizers (``repro.nn``, ``repro.optim``).
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduction of the paper's tables and figures.
+"""
+
+__version__ = "1.0.0"

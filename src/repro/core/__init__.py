@@ -1,0 +1,75 @@
+"""The paper's primary contribution: language-integrated, ahead-of-time AD.
+
+Public surface:
+
+* ``@differentiable`` / :class:`DifferentiableFunction`
+* :func:`gradient`, :func:`value_and_gradient`, :func:`vjp`,
+  :func:`pullback`, :func:`jvp`, :func:`differential`
+* ``@derivative(of=...)`` custom derivative registration
+* the ``Differentiable`` protocol machinery:
+  :func:`differentiable_struct`, :func:`no_derivative`, :data:`ZERO`,
+  :func:`move`, :func:`tangent_add`
+"""
+
+from repro.core import structural  # noqa: F401  (registers structural VJPs)
+from repro.core.api import (
+    DifferentiableFunction,
+    densify,
+    differentiable,
+    differential,
+    derivative_count,
+    gradient,
+    jvp,
+    pullback,
+    value_and_gradient,
+    vjp,
+)
+from repro.core.cotangents import PartialList, PartialTuple, normalize_cotangent
+from repro.core.differentiable import (
+    ZERO,
+    differentiable_fields,
+    differentiable_struct,
+    embed_field_cotangent,
+    is_differentiable_value,
+    is_zero,
+    move,
+    no_derivative,
+    tangent_add,
+    tangent_neg,
+    tangent_scale,
+    tangent_vector_type,
+)
+from repro.core.registry import derivative
+from repro.core.synthesis import JVPPlan, VJPPlan, clear_plan_caches
+
+__all__ = [
+    "DifferentiableFunction",
+    "densify",
+    "differentiable",
+    "differential",
+    "derivative_count",
+    "gradient",
+    "jvp",
+    "pullback",
+    "value_and_gradient",
+    "vjp",
+    "PartialList",
+    "PartialTuple",
+    "normalize_cotangent",
+    "ZERO",
+    "differentiable_fields",
+    "differentiable_struct",
+    "embed_field_cotangent",
+    "is_differentiable_value",
+    "is_zero",
+    "move",
+    "no_derivative",
+    "tangent_add",
+    "tangent_neg",
+    "tangent_scale",
+    "tangent_vector_type",
+    "derivative",
+    "JVPPlan",
+    "VJPPlan",
+    "clear_plan_caches",
+]

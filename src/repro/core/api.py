@@ -1,0 +1,203 @@
+"""Public differential operators.
+
+The analogues of the paper's language-integrated operators:
+
+* :func:`differentiable` — the ``@differentiable`` attribute: lowers the
+  function to SIL at decoration time and synthesizes its derivatives ahead
+  of time (lazily-once per ``wrt`` set);
+* :func:`gradient` / :func:`value_and_gradient` — Figure 2's
+  ``gradient(at:in:)`` operator for scalar-valued functions;
+* :func:`vjp` / :func:`pullback` — reverse-mode linearization;
+* :func:`jvp` / :func:`differential` — forward-mode linearization;
+* :func:`derivative` (re-exported) — the ``@derivative(of:)`` attribute.
+
+These are ordinary higher-order functions, exactly as in the paper: library
+authors can define new differential operators out of :func:`vjp`/:func:`jvp`.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Sequence, Union
+
+from repro.core import synthesis
+from repro.core.cotangents import deep_normalize
+from repro.core.differentiable import ZERO, is_zero
+from repro.errors import ReproError
+from repro.sil import ir
+from repro.sil.frontend import lower_function
+
+Wrt = Union[int, Sequence[int], None]
+
+
+class DifferentiableFunction:
+    """A ``@differentiable`` function value.
+
+    Bundles the original function with ahead-of-time synthesized derivative
+    functions — the runtime counterpart of the paper's
+    ``@differentiable (A) -> B`` function type family (Figure 3).  Lowering
+    happens at decoration time; VJP/JVP plans are synthesized on first
+    request per ``wrt`` set and cached forever.
+    """
+
+    def __init__(self, pyfunc: Callable) -> None:
+        functools.update_wrapper(self, pyfunc)
+        self.pyfunc = pyfunc
+        self.func: ir.Function = lower_function(pyfunc)
+
+    # Frontend hook: calls to this object lower to direct applies of the
+    # already-lowered SIL function.
+    @property
+    def __sil_function__(self) -> ir.Function:
+        return self.func
+
+    def __call__(self, *args):
+        return self.pyfunc(*args)
+
+    def __repr__(self) -> str:
+        return f"@differentiable {self.func.name}"
+
+    # -- derivative access -------------------------------------------------
+
+    def _wrt_tuple(self, wrt: Wrt, n_args: int) -> tuple[int, ...]:
+        if wrt is None:
+            return tuple(range(n_args))
+        if isinstance(wrt, int):
+            return (wrt,)
+        return tuple(wrt)
+
+    def vjp_plan(self, wrt: Wrt = None) -> synthesis.VJPPlan:
+        return synthesis.vjp_plan(
+            self.func, self._wrt_tuple(wrt, len(self.func.params))
+        )
+
+    def jvp_plan(self, wrt: Wrt = None) -> synthesis.JVPPlan:
+        return synthesis.jvp_plan(
+            self.func, self._wrt_tuple(wrt, len(self.func.params))
+        )
+
+    def vjp(self, *args, wrt: Wrt = None):
+        """``(value, pullback)``; pullback maps a result cotangent to the
+        cotangents of the ``wrt`` arguments (a single tangent if one)."""
+        wrt_t = self._wrt_tuple(wrt, len(args))
+        plan = self.vjp_plan(wrt_t)
+        value, full_pullback = plan.vjp(args)
+
+        def pullback(cotangent):
+            all_cts = full_pullback(cotangent)
+            picked = tuple(
+                densify(deep_normalize(all_cts[i]), args[i]) for i in wrt_t
+            )
+            return picked[0] if len(picked) == 1 else picked
+
+        return value, pullback
+
+    def jvp(self, args: Sequence, tangents: Sequence):
+        """``(value, result_tangent)`` — forward-mode derivative."""
+        plan = self.jvp_plan(tuple(range(len(args))))
+        value, tangent = plan.execute(list(args), list(tangents))
+        return value, tangent
+
+
+def differentiable(fn: Callable) -> DifferentiableFunction:
+    """The ``@differentiable`` attribute.
+
+    Lowers ``fn`` ahead of time and marks it for compile-time
+    differentiation.  Plain functions passed to :func:`gradient` & friends
+    are promoted implicitly (the paper's implicit conversion of function
+    values to differentiable function values)."""
+    if isinstance(fn, DifferentiableFunction):
+        return fn
+    return DifferentiableFunction(fn)
+
+
+def _promote(f) -> DifferentiableFunction:
+    if isinstance(f, DifferentiableFunction):
+        return f
+    sil_func = getattr(f, "__sil_function__", None)
+    if sil_func is not None and isinstance(f, DifferentiableFunction):
+        return f
+    return DifferentiableFunction(f)
+
+
+def densify(cotangent, like):
+    """Replace a symbolic ZERO cotangent with a concrete zero of the primal's
+    tangent space, so user code can use gradients uniformly."""
+    if not is_zero(cotangent):
+        return cotangent
+    if isinstance(like, (int, float)) and not isinstance(like, bool):
+        return 0.0
+    zero_builder = getattr(like, "__tangent_zero__", None)
+    if zero_builder is not None:
+        return zero_builder()
+    tv = getattr(type(like), "TangentVector", None)
+    if tv is not None:
+        return tv()
+    if isinstance(like, tuple):
+        return tuple(densify(ZERO, v) for v in like)
+    if isinstance(like, list):
+        return [densify(ZERO, v) for v in like]
+    return cotangent  # leave symbolic for unknown types
+
+
+def _seed_for(value):
+    """The canonical cotangent seed for a scalar-valued function."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return 1.0
+    one = getattr(value, "__cotangent_one__", None)
+    if one is not None:
+        return one()
+    raise ReproError(
+        "gradient requires a scalar-valued function "
+        f"(got result of type {type(value).__name__}); use vjp for general "
+        "results"
+    )
+
+
+def value_and_gradient(f, *args, wrt: Wrt = None):
+    """``(value, gradient)`` of a scalar-valued function at ``args``.
+
+    ``wrt`` selects which arguments to differentiate with respect to
+    (default: all).  The gradient is a single tangent when one argument is
+    selected, otherwise a tuple of tangents.
+    """
+    df = _promote(f)
+    value, pullback = df.vjp(*args, wrt=wrt)
+    return value, pullback(_seed_for(value))
+
+
+def gradient(f, *args, wrt: Wrt = None):
+    """Figure 2's ``gradient(at: x, in: f)``: evaluate ∇f at ``args``."""
+    return value_and_gradient(f, *args, wrt=wrt)[1]
+
+
+def vjp(f, *args, wrt: Wrt = None):
+    """``(value, pullback)`` — reverse-mode linearization at ``args``."""
+    return _promote(f).vjp(*args, wrt=wrt)
+
+
+def pullback(f, *args, wrt: Wrt = None):
+    """Just the pullback closure of ``f`` at ``args``."""
+    return vjp(f, *args, wrt=wrt)[1]
+
+
+def jvp(f, args: Sequence, tangents: Sequence):
+    """``(value, result_tangent)`` — forward-mode derivative of ``f``."""
+    return _promote(f).jvp(args, tangents)
+
+
+def differential(f, args: Sequence):
+    """The differential (a linear map on tangents) of ``f`` at ``args``."""
+    df = _promote(f)
+
+    def apply_differential(*tangents):
+        return df.jvp(args, tangents)[1]
+
+    return apply_differential
+
+
+def derivative_count(f, wrt: Wrt = None) -> int:
+    """How many times the VJP plan for ``f`` was built (test helper —
+    asserts the ahead-of-time property: always 1 after any number of
+    gradient evaluations)."""
+    return _promote(f).vjp_plan(wrt).build_count

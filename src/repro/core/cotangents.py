@@ -1,0 +1,137 @@
+"""Sparse cotangent containers for aggregate values.
+
+These are the machinery behind the mutable-value-semantics pullback
+formulation of Section 4.3: the adjoint of a tuple/list is accumulated
+slot-by-slot without ever materializing dense zeros.  ``index_get``'s
+pullback is O(1) in the size of the indexed container, versus the O(n)
+functional formulation demonstrated (for comparison) in
+:mod:`repro.core.pullback_styles`.
+"""
+
+from __future__ import annotations
+
+from repro.core.differentiable import ZERO, tangent_add
+
+
+class PartialTuple:
+    """Sparse cotangent of a tuple value: per-index slots, ZERO elsewhere."""
+
+    __slots__ = ("arity", "slots")
+
+    def __init__(self, arity: int) -> None:
+        self.arity = arity
+        self.slots: dict[int, object] = {}
+
+    def accumulate(self, index: int, cotangent) -> "PartialTuple":
+        current = self.slots.get(index, ZERO)
+        self.slots[index] = tangent_add(current, cotangent)
+        return self
+
+    def get(self, index: int):
+        return self.slots.get(index, ZERO)
+
+    def to_tuple(self) -> tuple:
+        return tuple(self.slots.get(i, ZERO) for i in range(self.arity))
+
+    def __add__(self, other):
+        if other is ZERO:
+            return self
+        merged = PartialTuple(self.arity)
+        merged.slots = dict(self.slots)
+        if isinstance(other, PartialTuple):
+            merged.arity = max(self.arity, other.arity)
+            for i, ct in other.slots.items():
+                merged.accumulate(i, ct)
+            return merged
+        if isinstance(other, tuple):
+            merged.arity = max(self.arity, len(other))
+            for i, ct in enumerate(other):
+                if ct is not ZERO:
+                    merged.accumulate(i, ct)
+            return merged
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __repr__(self) -> str:
+        return f"PartialTuple({self.to_tuple()!r})"
+
+
+class PartialList:
+    """Sparse cotangent of a list value.
+
+    This is the value-semantic subscript adjoint: accumulating one entry is
+    O(1) irrespective of the list's length.  ``to_list`` densifies on demand
+    (e.g. at the user-facing API boundary).
+    """
+
+    __slots__ = ("length", "slots")
+
+    def __init__(self, length: int) -> None:
+        self.length = length
+        self.slots: dict[int, object] = {}
+
+    def accumulate(self, index: int, cotangent) -> "PartialList":
+        if index < 0:
+            index += self.length
+        current = self.slots.get(index, ZERO)
+        self.slots[index] = tangent_add(current, cotangent)
+        return self
+
+    def get(self, index: int):
+        if index < 0:
+            index += self.length
+        return self.slots.get(index, ZERO)
+
+    def to_list(self) -> list:
+        return [self.slots.get(i, ZERO) for i in range(self.length)]
+
+    def __add__(self, other):
+        if other is ZERO:
+            return self
+        merged = PartialList(self.length)
+        merged.slots = dict(self.slots)
+        if isinstance(other, PartialList):
+            merged.length = max(self.length, other.length)
+            for i, ct in other.slots.items():
+                merged.accumulate(i, ct)
+            return merged
+        if isinstance(other, list):
+            merged.length = max(self.length, len(other))
+            for i, ct in enumerate(other):
+                if ct is not ZERO:
+                    merged.accumulate(i, ct)
+            return merged
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __repr__(self) -> str:
+        return f"PartialList({self.to_list()!r})"
+
+
+def normalize_cotangent(ct):
+    """Convert internal sparse representations to user-facing tangents."""
+    if isinstance(ct, PartialTuple):
+        return ct.to_tuple()
+    if isinstance(ct, PartialList):
+        return ct.to_list()
+    return ct
+
+
+def deep_normalize(ct):
+    """Recursively normalize sparse containers anywhere in a tangent tree.
+
+    Applied at the public API boundary so user code (``move``, optimizers)
+    sees only tuples/lists/TangentVectors/ZERO/leaf tangents.
+    """
+    ct = normalize_cotangent(ct)
+    if isinstance(ct, tuple):
+        return tuple(deep_normalize(v) for v in ct)
+    if isinstance(ct, list):
+        return [deep_normalize(v) for v in ct]
+    if hasattr(ct, "_fields") and hasattr(ct, "_struct_type"):
+        return type(ct)(
+            **{name: deep_normalize(getattr(ct, name)) for name in ct._fields}
+        )
+    return ct

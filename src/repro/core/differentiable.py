@@ -1,0 +1,340 @@
+"""The ``Differentiable`` protocol and tangent-vector machinery.
+
+Mirrors Figure 1 of the paper: every differentiable value has an associated
+``TangentVector`` conforming to additive arithmetic, plus a ``move(along:)``
+operation (the exponential map).  The AD system is written entirely against
+this protocol, which is what decouples it from any particular Tensor type.
+
+Conformances provided here:
+
+* Python ``float``/``int`` — tangent space is ``float``;
+* tuples/lists of differentiable values — tangent is the elementwise tuple/
+  list of tangents;
+* user structs via :func:`differentiable_struct`, which synthesizes a
+  ``TangentVector`` dataclass (the analogue of Swift's derived
+  conformances);
+* any object implementing the duck protocol ``__tangent_zero__``,
+  ``__tangent_add__`` / ``__add__`` on tangents, and ``__move__`` — tensors
+  conform this way.
+
+The additive identity is the symbolic :data:`ZERO` tangent, which absorbs
+addition without materializing zero storage.  This is the "mutable value
+semantics" formulation of Section 4.3: pullbacks accumulate into adjoint
+slots and never build dense zero arrays (the functional formulation that
+does is kept, for comparison, in :mod:`repro.core.pullback_styles`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, fields, is_dataclass, replace
+from typing import Any
+
+
+class _ZeroTangent:
+    """Symbolic additive identity of every tangent space.
+
+    ``ZERO + t == t``, ``-ZERO == ZERO``, ``ZERO * s == ZERO``.  Moving a
+    value along ``ZERO`` is the identity.
+    """
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __add__(self, other):
+        return other
+
+    def __radd__(self, other):
+        return other
+
+    def __sub__(self, other):
+        return tangent_neg(other)
+
+    def __rsub__(self, other):
+        return other
+
+    def __neg__(self):
+        return self
+
+    def __mul__(self, other):
+        return self
+
+    def __rmul__(self, other):
+        return self
+
+    def __truediv__(self, other):
+        return self
+
+    def __repr__(self):
+        return "ZERO"
+
+    def __bool__(self):
+        return False
+
+    def __reduce__(self):  # keep singleton identity across pickling
+        return (_ZeroTangent, ())
+
+
+ZERO = _ZeroTangent()
+
+
+def is_zero(tangent: Any) -> bool:
+    return tangent is ZERO
+
+
+def tangent_add(a: Any, b: Any) -> Any:
+    """Add two tangents of the same space; either may be :data:`ZERO`.
+
+    Mixed representations (e.g. dense tuple + sparse
+    :class:`~repro.core.cotangents.PartialTuple`) fall through to ``+``,
+    which the sparse containers implement.
+    """
+    if a is ZERO:
+        return b
+    if b is ZERO:
+        return a
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return tuple(tangent_add(x, y) for x, y in zip(a, b, strict=True))
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            raise TypeError("mismatched list tangents")
+        return [tangent_add(x, y) for x, y in zip(a, b)]
+    return a + b
+
+
+def tangent_neg(a: Any) -> Any:
+    if a is ZERO:
+        return ZERO
+    if isinstance(a, tuple):
+        return tuple(tangent_neg(x) for x in a)
+    if isinstance(a, list):
+        return [tangent_neg(x) for x in a]
+    return -a
+
+
+def tangent_scale(a: Any, s: float) -> Any:
+    if a is ZERO:
+        return ZERO
+    if isinstance(a, tuple):
+        return tuple(tangent_scale(x, s) for x in a)
+    if isinstance(a, list):
+        return [tangent_scale(x, s) for x in a]
+    return a * s
+
+
+def move(value: Any, tangent: Any) -> Any:
+    """Functional exponential map: value moved along ``tangent``.
+
+    Dataclass structs and objects exposing ``__move__`` move fieldwise;
+    numbers translate; sequences move elementwise.
+    """
+    if tangent is ZERO:
+        return value
+    mover = getattr(value, "__move__", None)
+    if mover is not None:
+        return mover(tangent)
+    if isinstance(value, bool):
+        raise TypeError("booleans are not differentiable")
+    if isinstance(value, (int, float)):
+        return float(value) + float(tangent)
+    if isinstance(value, tuple):
+        return tuple(move(v, t) for v, t in zip(value, tangent, strict=True))
+    if isinstance(value, list):
+        return [move(v, t) for v, t in zip(value, tangent, strict=True)]
+    raise TypeError(f"{type(value).__name__} does not conform to Differentiable")
+
+
+def is_differentiable_value(value: Any) -> bool:
+    """Runtime conformance check for the Differentiable protocol."""
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, (int, float)):
+        return True
+    if hasattr(value, "__move__"):
+        return True
+    if isinstance(value, (tuple, list)):
+        return all(is_differentiable_value(v) for v in value)
+    return False
+
+
+def tangent_zero(value: Any) -> Any:
+    """The canonical zero tangent for ``value`` (symbolic where possible)."""
+    return ZERO
+
+
+# ---------------------------------------------------------------------------
+# Derived conformances for user structs.
+# ---------------------------------------------------------------------------
+
+
+def no_derivative(**kwargs):
+    """Dataclass field marker excluding the field from the tangent space.
+
+    The analogue of Swift's ``@noDerivative`` stored-property attribute.
+    """
+    metadata = dict(kwargs.pop("metadata", {}) or {})
+    metadata["no_derivative"] = True
+    return dataclasses.field(metadata=metadata, **kwargs)
+
+
+def differentiable_fields(cls_or_instance) -> list[str]:
+    """Names of the stored properties participating in differentiation."""
+    return [
+        f.name
+        for f in fields(cls_or_instance)
+        if not f.metadata.get("no_derivative", False)
+    ]
+
+
+_TANGENT_CACHE: dict[type, type] = {}
+
+
+def _synthesize_tangent_vector(cls: type) -> type:
+    """Create the ``TangentVector`` dataclass for a differentiable struct.
+
+    Fields default to :data:`ZERO`, so ``Model.TangentVector()`` is the
+    additive identity and sparse tangents are cheap to build.
+    """
+    diff_fields = differentiable_fields(cls)
+
+    namespace = {
+        "__doc__": f"Tangent space of {cls.__name__} (synthesized).",
+        "_struct_type": cls,
+        "_fields": tuple(diff_fields),
+    }
+
+    def __add__(self, other):
+        if other is ZERO:
+            return self
+        if not isinstance(other, type(self)):
+            return NotImplemented
+        return type(self)(
+            **{
+                name: tangent_add(getattr(self, name), getattr(other, name))
+                for name in self._fields
+            }
+        )
+
+    def __radd__(self, other):
+        if other is ZERO:
+            return self
+        return NotImplemented
+
+    def __neg__(self):
+        return type(self)(
+            **{name: tangent_neg(getattr(self, name)) for name in self._fields}
+        )
+
+    def __sub__(self, other):
+        return self + (-other)
+
+    def __mul__(self, scalar):
+        return type(self)(
+            **{
+                name: tangent_scale(getattr(self, name), scalar)
+                for name in self._fields
+            }
+        )
+
+    def __rmul__(self, scalar):
+        return self.__mul__(scalar)
+
+    @classmethod
+    def zero(tv_cls):
+        return tv_cls()
+
+    namespace.update(
+        __add__=__add__,
+        __radd__=__radd__,
+        __neg__=__neg__,
+        __sub__=__sub__,
+        __mul__=__mul__,
+        __rmul__=__rmul__,
+        zero=zero,
+    )
+
+    # Attach field definitions with ZERO defaults so TangentVector() is the
+    # additive identity.
+    tv_ns = dict(namespace)
+    tv_ns["__annotations__"] = {name: Any for name in diff_fields}
+    for name in diff_fields:
+        tv_ns[name] = ZERO
+    return dataclass(type(f"{cls.__name__}TangentVector", (), tv_ns))
+
+
+def differentiable_struct(cls: type) -> type:
+    """Class decorator conferring Differentiable conformance on a dataclass.
+
+    Synthesizes ``cls.TangentVector`` over the non-``no_derivative`` fields
+    and provides ``__move__`` (functional) and ``move_`` (in-place, for the
+    mutable-value-semantics optimizer path).
+    """
+    if not is_dataclass(cls):
+        # eq=False keeps instances identity-hashable (layers hold tensors,
+        # for which element comparison is not an equivalence test anyway).
+        cls = dataclass(eq=False)(cls)
+
+    tangent_cls = _synthesize_tangent_vector(cls)
+    _TANGENT_CACHE[cls] = tangent_cls
+    cls.TangentVector = tangent_cls
+
+    def __move__(self, tangent):
+        if tangent is ZERO:
+            return self
+        updates = {}
+        for name in tangent_cls._fields:
+            t = getattr(tangent, name)
+            if t is not ZERO:
+                updates[name] = move(getattr(self, name), t)
+        return replace(self, **updates) if updates else self
+
+    def move_(self, tangent):
+        """In-place move: mutates this struct's differentiable fields."""
+        if tangent is ZERO:
+            return
+        for name in tangent_cls._fields:
+            t = getattr(tangent, name)
+            if t is not ZERO:
+                current = getattr(self, name)
+                in_place = getattr(current, "move_", None)
+                if in_place is not None and not isinstance(current, (int, float)):
+                    in_place(t)
+                else:
+                    object.__setattr__(self, name, move(current, t))
+
+    def tangent_embedding(self, field_name, cotangent):
+        """A TangentVector that is ``cotangent`` at ``field_name``, ZERO elsewhere."""
+        if field_name not in tangent_cls._fields:
+            return ZERO
+        return tangent_cls(**{field_name: cotangent})
+
+    cls.__move__ = __move__
+    cls.move_ = move_
+    cls.__tangent_embedding__ = tangent_embedding
+    cls.__is_differentiable_struct__ = True
+    return cls
+
+
+def tangent_vector_type(cls: type) -> type:
+    """The synthesized TangentVector type of a differentiable struct."""
+    return _TANGENT_CACHE[cls]
+
+
+def embed_field_cotangent(struct_value: Any, field_name: str, cotangent: Any) -> Any:
+    """Cotangent of a whole struct given the cotangent of one field.
+
+    This is the pullback of ``struct_extract``.  With the symbolic ZERO
+    default the embedding is O(1): no sibling zeros are materialized —
+    the Section 4.3 efficiency argument.
+    """
+    embed = getattr(struct_value, "__tangent_embedding__", None)
+    if embed is not None:
+        return embed(field_name, cotangent)
+    raise TypeError(
+        f"cannot embed cotangent for field {field_name!r} of "
+        f"non-differentiable struct {type(struct_value).__name__}"
+    )

@@ -1,0 +1,117 @@
+"""Appendix B: two formulations of the array-subscript pullback.
+
+A faithful port of the paper's Figure 9.  The operation to differentiate,
+``my_op(values, a, b) = values[a] + values[b]``, is O(1).  The *functional*
+pullback formulation materializes a dense zero array per subscript and runs
+in O(n); the *mutable-value-semantics* formulation accumulates into an
+``inout`` adjoint buffer in O(1), independent of ``len(values)``.
+
+``benchmarks/bench_figure9_subscript_pullback.py`` regenerates the paper's
+asymptotic comparison from these functions.  The AD engine itself uses the
+value-semantic formulation natively (sparse adjoints in
+:mod:`repro.core.cotangents`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+# ---------------------------------------------------------------------------
+# Functional representation (O(n) pullback).
+# ---------------------------------------------------------------------------
+
+
+def subscript_with_functional_pullback(
+    values: list[float], index: int
+) -> tuple[float, Callable[[float], list[float]]]:
+    """Subscript read with an explicit pullback, functional style.
+
+    The pullback allocates a fresh zero array of the input's size — the
+    O(n) cost the paper criticizes.
+    """
+    size = len(values)  # optimization from the paper: capture size, not array
+
+    def pullback(dx: float) -> list[float]:
+        tmp = [0.0] * size  # allocates O(n) memory!
+        tmp[index] = dx
+        return tmp
+
+    return values[index], pullback
+
+
+def sum_arrays_helper(a: list[float], b: list[float]) -> list[float]:
+    """Elementwise sum of two equal-length arrays (O(n))."""
+    if len(a) != len(b):
+        raise ValueError("mismatched array lengths")
+    return [x + y for x, y in zip(a, b)]
+
+
+def my_op(values: list[float], a: int, b: int) -> float:
+    """The example operation to differentiate."""
+    return values[a] + values[b]
+
+
+def my_op_with_functional_pullback(
+    values: list[float], a: int, b: int
+) -> tuple[float, Callable[[float], list[float]]]:
+    """``my_op`` and its pullback, written in the functional style.
+
+    Pullback cost: two O(n) allocations plus an O(n) sum."""
+    a_val, a_pb = subscript_with_functional_pullback(values, a)
+    b_val, b_pb = subscript_with_functional_pullback(values, b)
+    result = a_val + b_val
+
+    def pullback(dx: float) -> list[float]:
+        d_a = a_pb(dx)  # O(n), allocates O(n) memory
+        d_b = b_pb(dx)  # O(n), allocates O(n) memory
+        return sum_arrays_helper(d_a, d_b)  # O(n)
+
+    return result, pullback
+
+
+# ---------------------------------------------------------------------------
+# Value-semantic representation (O(1) pullback).
+# ---------------------------------------------------------------------------
+
+
+def subscript_with_mutable_pullback(
+    values: list[float], index: int
+) -> tuple[float, Callable[[float, list[float]], None]]:
+    """Subscript read with an explicit pullback, value-semantic style.
+
+    The pullback takes the adjoint buffer ``inout`` and accumulates in
+    constant time."""
+
+    def pullback(dx: float, d_values: list[float]) -> None:
+        d_values[index] += dx  # constant time!
+
+    return values[index], pullback
+
+
+def my_op_with_mutable_pullback(
+    values: list[float], a: int, b: int
+) -> tuple[float, Callable[[float, list[float]], None]]:
+    """``my_op`` and its pullback, written value-semantic style."""
+    a_val, a_pb = subscript_with_mutable_pullback(values, a)
+    b_val, b_pb = subscript_with_mutable_pullback(values, b)
+
+    def pullback(dx: float, d_values: list[float]) -> None:
+        a_pb(dx, d_values)  # constant time
+        b_pb(dx, d_values)  # constant time
+
+    return a_val + b_val, pullback
+
+
+def functional_gradient(values: list[float], a: int, b: int) -> list[float]:
+    """Dense gradient of ``my_op`` via the functional pullback (O(n))."""
+    _, pb = my_op_with_functional_pullback(values, a, b)
+    return pb(1.0)
+
+
+def mutable_gradient_accumulate(
+    values: list[float], a: int, b: int, d_values: list[float]
+) -> None:
+    """Accumulate the gradient of ``my_op`` into ``d_values`` (O(1))."""
+    _, pb = my_op_with_mutable_pullback(values, a, b)
+    pb(1.0, d_values)

@@ -1,0 +1,66 @@
+"""Custom derivative registration — the ``@derivative(of:)`` attribute.
+
+Users register VJPs/JVPs for primitives or for whole functions.  Registered
+derivatives are the base case of the recursive derivative-synthesis
+transformation: when synthesis reaches a callee with a registered
+derivative, it uses it instead of transforming the callee's body.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sil import ir
+from repro.sil.primitives import Primitive
+
+#: Custom rules for lowered functions (keyed by the Function object id).
+_FUNCTION_VJPS: dict[int, Callable] = {}
+_FUNCTION_JVPS: dict[int, Callable] = {}
+
+
+def derivative(of, kind: str = "vjp") -> Callable[[Callable], Callable]:
+    """Decorator: register a custom derivative for ``of``.
+
+    ``of`` may be a :class:`Primitive`, a ``@differentiable`` function, or a
+    plain Python function (lowered on demand).  ``kind`` selects which
+    derivative function is being supplied: ``"vjp"`` (reverse mode, the
+    default) or ``"jvp"`` (forward mode).
+
+    A VJP has signature ``vjp(*primals) -> (value, pullback)`` with
+    ``pullback(cotangent) -> tuple_of_arg_cotangents``; a JVP has signature
+    ``jvp(primals, tangents) -> (value, tangent)``.
+    """
+    if kind not in ("vjp", "jvp"):
+        raise ValueError(f"kind must be 'vjp' or 'jvp', got {kind!r}")
+
+    def register(fn: Callable) -> Callable:
+        target = of
+        if isinstance(target, Primitive):
+            if kind == "vjp":
+                target.vjp = fn
+            else:
+                target.jvp = fn
+            return fn
+
+        sil_func = getattr(target, "__sil_function__", None)
+        if sil_func is None:
+            from repro.sil.frontend import lower_function
+
+            sil_func = lower_function(target)
+        table = _FUNCTION_VJPS if kind == "vjp" else _FUNCTION_JVPS
+        table[id(sil_func)] = fn
+        # Invalidate any plans already synthesized without the custom rule.
+        from repro.core import synthesis
+
+        synthesis.invalidate_plans_for(sil_func)
+        return fn
+
+    return register
+
+
+def custom_vjp_for(func: ir.Function) -> Optional[Callable]:
+    return _FUNCTION_VJPS.get(id(func))
+
+
+def custom_jvp_for(func: ir.Function) -> Optional[Callable]:
+    return _FUNCTION_JVPS.get(id(func))

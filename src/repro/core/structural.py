@@ -1,0 +1,95 @@
+"""Derivatives of structural primitives (indexing, list/tuple building).
+
+Registered here (not in ``repro.sil``) so the IR layer stays AD-free.  The
+``index_get`` pullback uses the sparse :class:`PartialList` adjoint — the
+O(1) value-semantic formulation of the array-subscript derivative from
+Section 4.3 / Appendix B of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.core.cotangents import PartialList, PartialTuple
+from repro.core.differentiable import ZERO
+from repro.sil.primitives import get_primitive
+
+_index_get = get_primitive("index_get")
+_slice_get = get_primitive("slice_get")
+_list_make = get_primitive("list_make")
+_tuple_make = get_primitive("tuple_make")
+
+
+@_index_get.def_vjp
+def _index_get_vjp(xs, i):
+    subscript_vjp = getattr(xs, "__subscript_vjp__", None)
+    if subscript_vjp is not None:
+        return subscript_vjp(i)
+    n = len(xs)
+
+    def pullback(ct):
+        # O(1): a sparse one-hot adjoint, never a dense zero list.
+        return (PartialList(n).accumulate(i, ct), None)
+
+    return xs[i], pullback
+
+
+@_index_get.def_jvp
+def _index_get_jvp(primals, tangents):
+    xs, i = primals
+    dxs, _ = tangents
+    if dxs is ZERO:
+        return xs[i], ZERO
+    if isinstance(dxs, (PartialList, PartialTuple)):
+        return xs[i], dxs.get(i)
+    return xs[i], dxs[i]
+
+
+@_slice_get.def_vjp
+def _slice_get_vjp(xs, start, stop):
+    slice_vjp = getattr(xs, "__slice_vjp__", None)
+    if slice_vjp is not None:
+        return slice_vjp(start, stop)
+    n = len(xs)
+    lo, hi, _ = slice(start, stop).indices(n)
+
+    def pullback(ct):
+        partial = PartialList(n)
+        for offset, piece in enumerate(ct):
+            if piece is not ZERO:
+                partial.accumulate(lo + offset, piece)
+        return (partial, None, None)
+
+    return xs[start:stop], pullback
+
+
+@_list_make.def_vjp
+def _list_make_vjp(*elts):
+    def pullback(ct):
+        if ct is ZERO:
+            return tuple(ZERO for _ in elts)
+        if isinstance(ct, PartialList):
+            return tuple(ct.get(i) for i in range(len(elts)))
+        return tuple(ct)
+
+    return list(elts), pullback
+
+
+@_list_make.def_jvp
+def _list_make_jvp(primals, tangents):
+    return list(primals), list(tangents)
+
+
+@_tuple_make.def_vjp
+def _tuple_make_vjp(*elts):
+    def pullback(ct):
+        if ct is ZERO:
+            return tuple(ZERO for _ in elts)
+        if isinstance(ct, PartialTuple):
+            return tuple(ct.get(i) for i in range(len(elts)))
+        return tuple(ct)
+
+    return tuple(elts), pullback
+
+
+@_tuple_make.def_jvp
+def _tuple_make_jvp(primals, tangents):
+    return tuple(primals), tuple(tangents)

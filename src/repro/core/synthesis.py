@@ -1,0 +1,688 @@
+"""Derivative synthesis (Section 2.2, step 3).
+
+Transforms a lowered SIL function into derivative artifacts **once**, ahead
+of time: a :class:`VJPPlan` (reverse mode) and/or a :class:`JVPPlan`
+(forward mode).  The transformation
+
+* runs activity analysis and differentiability checking first, raising
+  :class:`~repro.errors.DifferentiabilityError` *before* any execution;
+* recursively transforms callees, terminating at primitives or functions
+  with registered custom derivatives (``@derivative(of:)``);
+* handles arbitrary control flow with per-basic-block records: the VJP's
+  forward sweep pushes one record per executed block holding the pullback
+  closures of that block's active instructions plus the taken branch edge —
+  the "statically-typed records corresponding to the basic blocks" of the
+  paper.  The reverse sweep walks records backwards, accumulating adjoints
+  into per-value slots (the mutable-value-semantics formulation: no dense
+  zero tangents are ever materialized, cf. Section 4.3).
+
+Plans are cached per (function, wrt); calling ``gradient`` in a loop never
+re-transforms or re-traces user code.  Tests assert this AOT property.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.core import registry
+from repro.core.activity import ActivityInfo, analyze_activity
+from repro.core.cotangents import PartialTuple, normalize_cotangent
+from repro.core.differentiable import ZERO, embed_field_cotangent, tangent_add
+from repro.errors import Diagnostic, DifferentiabilityError, InterpreterError
+from repro.sil import ir
+from repro.sil.primitives import Primitive
+
+
+class _Adjoints:
+    """Per-call adjoint accumulator keyed by SSA value id.
+
+    Entries are consumed (popped) when the defining instruction is reached
+    in the reverse sweep, which makes value-id reuse across loop iterations
+    safe: each iteration's record re-accumulates fresh entries.
+    """
+
+    __slots__ = ("slots",)
+
+    def __init__(self) -> None:
+        self.slots: dict[int, object] = {}
+
+    def accumulate(self, value: ir.Value, cotangent) -> None:
+        if cotangent is ZERO or cotangent is None:
+            return
+        current = self.slots.get(value.id)
+        if current is None:
+            self.slots[value.id] = cotangent
+        else:
+            self.slots[value.id] = tangent_add(current, cotangent)
+
+    def consume(self, value: ir.Value):
+        return self.slots.pop(value.id, ZERO)
+
+
+# ---------------------------------------------------------------------------
+# Derivative rules: how an apply site obtains (result, pullback) at runtime.
+# ---------------------------------------------------------------------------
+
+
+class PrimitiveVJPRule:
+    __slots__ = ("prim",)
+
+    def __init__(self, prim: Primitive) -> None:
+        self.prim = prim
+
+    def forward(self, args):
+        return self.prim.vjp(*args)
+
+
+class FunctionVJPRule:
+    """Callee is another lowered function: use its synthesized plan."""
+
+    __slots__ = ("plan",)
+
+    def __init__(self, plan: "VJPPlan") -> None:
+        self.plan = plan
+
+    def forward(self, args):
+        result, records = self.plan.execute_forward(args)
+        plan = self.plan
+
+        def pullback(ct):
+            return plan.run_pullback(records, ct)
+
+        return result, pullback
+
+
+class CustomVJPRule:
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable) -> None:
+        self.fn = fn
+
+    def forward(self, args):
+        return self.fn(*args)
+
+
+class IndirectVJPRule:
+    """Callee is a first-class runtime value; resolve its VJP dynamically.
+
+    The returned pullback yields ``(callee_cotangent, *arg_cotangents)``:
+    differentiable callables (layers) carry state, so the call is also
+    differentiated with respect to the callee itself.
+    """
+
+    def forward_indirect(self, callee, args):
+        vjp_call = getattr(callee, "__vjp_call__", None)
+        if vjp_call is not None:
+            return vjp_call(*args)
+
+        sil_func = getattr(callee, "__sil_function__", None)
+        if sil_func is not None:
+            plan = vjp_plan(sil_func, tuple(range(len(sil_func.params))))
+            result, records = plan.execute_forward(args)
+            return result, lambda ct: (ZERO, *plan.run_pullback(records, ct))
+
+        if isinstance(callee, Primitive):
+            if callee.vjp is None:
+                raise DifferentiabilityError(
+                    [
+                        Diagnostic(
+                            "error",
+                            f"primitive {callee.name!r} has no registered VJP",
+                        )
+                    ]
+                )
+            result, pb = callee.vjp(*args)
+            return result, lambda ct: (ZERO, *pb(ct))
+
+        import types
+
+        if isinstance(callee, types.FunctionType):
+            from repro.sil.frontend import lower_function
+
+            plan = vjp_plan(lower_function(callee), None)
+            result, records = plan.execute_forward(args)
+            return result, lambda ct: (ZERO, *plan.run_pullback(records, ct))
+
+        raise DifferentiabilityError(
+            [
+                Diagnostic(
+                    "error",
+                    f"cannot differentiate call of {type(callee).__name__} value"
+                    " (no __vjp_call__)",
+                )
+            ]
+        )
+
+
+_INDIRECT_RULE = IndirectVJPRule()
+
+
+# ---------------------------------------------------------------------------
+# VJP plan.
+# ---------------------------------------------------------------------------
+
+
+class _BlockRecord:
+    """Runtime record of one executed basic block (the paper's per-block
+    pullback struct).  ``entries`` pairs active-instruction indices with the
+    data the reverse sweep needs (a pullback closure, or structural info)."""
+
+    __slots__ = ("block", "entries", "edge_args")
+
+    def __init__(self, block: ir.Block, edge_args) -> None:
+        self.block = block
+        self.entries: list[tuple[ir.Instruction, object]] = []
+        # SSA values (in the predecessor's scope) passed to this block's args.
+        self.edge_args = edge_args
+
+
+class VJPPlan:
+    """Ahead-of-time synthesized reverse-mode derivative of one function."""
+
+    def __init__(self, func: ir.Function, wrt: tuple[int, ...]) -> None:
+        self.func = func
+        self.wrt = wrt
+        self.diagnostics: list[Diagnostic] = []
+        self.activity: Optional[ActivityInfo] = None
+        #: apply-site rules keyed by instruction identity, built once.
+        self.rules: dict[int, object] = {}
+        #: Number of times this plan was (re)built; tests assert == 1.
+        self.build_count = 0
+
+    # -- transformation (runs once) ----------------------------------------
+
+    def build(self) -> None:
+        self.build_count += 1
+        func = self.func
+        self.activity = analyze_activity(func, self.wrt)
+        errors: list[Diagnostic] = []
+
+        if not self.activity.result_varied():
+            self.diagnostics.append(
+                Diagnostic(
+                    "warning",
+                    f"result of {func.name!r} does not depend on the "
+                    f"differentiation arguments; gradient will be zero",
+                )
+            )
+
+        for inst in func.instructions():
+            if not isinstance(inst, ir.ApplyInst) or not self.activity.is_active(inst):
+                continue
+            rule, diag = self._rule_for(inst)
+            if diag is not None:
+                errors.append(diag)
+            if rule is not None:
+                self.rules[id(inst)] = rule
+
+        if errors:
+            self.diagnostics.extend(errors)
+            raise DifferentiabilityError(errors)
+
+    def _rule_for(self, inst: ir.ApplyInst):
+        if inst.is_indirect:
+            # If the callee is a compile-time constant we can check it now;
+            # otherwise resolution is deferred to runtime.
+            producer = inst.callee.producer
+            if isinstance(producer, ir.ConstInst):
+                callee = producer.literal
+                if (
+                    not hasattr(callee, "__vjp_call__")
+                    and not hasattr(callee, "__sil_function__")
+                    and not isinstance(callee, Primitive)
+                    and not callable(callee)
+                ):
+                    return None, Diagnostic(
+                        "error",
+                        f"call of non-differentiable value {callee!r}",
+                        inst.loc,
+                    )
+            return _INDIRECT_RULE, None
+
+        target = inst.callee.target
+        if isinstance(target, Primitive):
+            if target.vjp is None:
+                return None, Diagnostic(
+                    "error",
+                    f"expression is not differentiable: primitive "
+                    f"{target.name!r} has no registered derivative",
+                    inst.loc,
+                )
+            return PrimitiveVJPRule(target), None
+        if isinstance(target, ir.Function):
+            custom = registry.custom_vjp_for(target)
+            if custom is not None:
+                return CustomVJPRule(custom), None
+            try:
+                plan = vjp_plan(target, tuple(range(len(target.params))))
+                _note_dependency(self.func, target)
+            except DifferentiabilityError as exc:
+                note = Diagnostic(
+                    "error",
+                    f"when differentiating call to {target.name!r}: "
+                    + "; ".join(str(d) for d in exc.diagnostics),
+                    inst.loc,
+                )
+                return None, note
+            return FunctionVJPRule(plan), None
+        return None, Diagnostic(
+            "error", f"cannot differentiate call to {target!r}", inst.loc
+        )
+
+    # -- forward sweep -------------------------------------------------------
+
+    def execute_forward(self, args: Sequence[object]):
+        """Run the augmented forward computation.
+
+        Returns ``(result, records)`` where ``records`` is the executed
+        chain of per-block pullback records, consumed by
+        :meth:`run_pullback`.
+        """
+        func = self.func
+        activity = self.activity
+        if len(args) != len(func.params):
+            raise InterpreterError(
+                f"@{func.name} expects {len(func.params)} args, got {len(args)}"
+            )
+
+        env: dict[int, object] = {}
+        records: list[_BlockRecord] = []
+        block = func.entry
+        block_args: Sequence[object] = list(args)
+        record = _BlockRecord(block, None)
+        records.append(record)
+
+        while True:
+            for param, value in zip(block.args, block_args):
+                env[param.id] = value
+
+            for inst in block.body:
+                if isinstance(inst, ir.ConstInst):
+                    env[inst.result.id] = inst.literal
+                    continue
+                if isinstance(inst, ir.ApplyInst):
+                    arg_vals = [env[v.id] for v in inst.args]
+                    rule = self.rules.get(id(inst))
+                    if rule is None:
+                        env[inst.result.id] = _plain_apply(inst, env, arg_vals)
+                    elif rule is _INDIRECT_RULE:
+                        callee = env[inst.callee.id]
+                        result, pb = rule.forward_indirect(callee, arg_vals)
+                        env[inst.result.id] = result
+                        record.entries.append((inst, pb))
+                    else:
+                        result, pb = rule.forward(arg_vals)
+                        env[inst.result.id] = result
+                        record.entries.append((inst, pb))
+                    continue
+                if isinstance(inst, ir.TupleInst):
+                    env[inst.result.id] = tuple(env[v.id] for v in inst.operands)
+                    if activity.is_active(inst):
+                        record.entries.append((inst, len(inst.operands)))
+                    continue
+                if isinstance(inst, ir.TupleExtractInst):
+                    operand = env[inst.operands[0].id]
+                    env[inst.result.id] = operand[inst.index]
+                    if activity.is_active(inst):
+                        record.entries.append((inst, len(operand)))
+                    continue
+                if isinstance(inst, ir.StructExtractInst):
+                    operand = env[inst.operands[0].id]
+                    env[inst.result.id] = getattr(operand, inst.field)
+                    if activity.is_active(inst):
+                        record.entries.append((inst, operand))
+                    continue
+                raise InterpreterError(f"cannot execute {inst}")
+
+            term = block.terminator
+            if isinstance(term, ir.ReturnInst):
+                record.entries.append((term, None))
+                return env[term.value.id], records
+            if isinstance(term, ir.BrInst):
+                edge_args = term.operands
+                next_block = term.dest
+            elif isinstance(term, ir.CondBrInst):
+                if env[term.cond.id]:
+                    edge_args, next_block = term.true_args, term.true_dest
+                else:
+                    edge_args, next_block = term.false_args, term.false_dest
+            else:  # pragma: no cover
+                raise InterpreterError(f"unknown terminator {term}")
+
+            block_args = [env[v.id] for v in edge_args]
+            block = next_block
+            record = _BlockRecord(block, edge_args)
+            records.append(record)
+
+    # -- reverse sweep -------------------------------------------------------
+
+    def run_pullback(self, records: list[_BlockRecord], seed) -> tuple:
+        """Walk the record chain backwards; returns cotangents for all
+        parameters (ZERO where nothing flowed)."""
+        adj = _Adjoints()
+        activity = self.activity
+
+        last = records[-1]
+        ret_inst, _ = last.entries[-1]
+        assert isinstance(ret_inst, ir.ReturnInst)
+        adj.accumulate(ret_inst.value, seed)
+
+        for idx in range(len(records) - 1, -1, -1):
+            record = records[idx]
+            for inst, payload in reversed(record.entries):
+                if isinstance(inst, ir.ReturnInst):
+                    continue
+                ct = adj.consume(inst.result)
+                if ct is ZERO:
+                    continue
+                ct = normalize_cotangent(ct)
+                if isinstance(inst, ir.ApplyInst):
+                    pullback = payload
+                    arg_cts = pullback(ct)
+                    if inst.is_indirect:
+                        operands = [inst.callee, *inst.args]
+                    else:
+                        operands = inst.args
+                    for operand, operand_ct in zip(operands, arg_cts):
+                        if operand_ct is not None:
+                            adj.accumulate(operand, operand_ct)
+                elif isinstance(inst, ir.TupleInst):
+                    if isinstance(ct, (tuple, list)):
+                        parts = ct
+                    else:
+                        raise InterpreterError(
+                            f"tuple cotangent expected, got {type(ct).__name__}"
+                        )
+                    for operand, part in zip(inst.operands, parts):
+                        adj.accumulate(operand, part)
+                elif isinstance(inst, ir.TupleExtractInst):
+                    arity = payload
+                    partial = PartialTuple(arity).accumulate(inst.index, ct)
+                    adj.accumulate(inst.operands[0], partial)
+                elif isinstance(inst, ir.StructExtractInst):
+                    struct_value = payload
+                    embedded = embed_field_cotangent(struct_value, inst.field, ct)
+                    adj.accumulate(inst.operands[0], embedded)
+
+            if record.edge_args is None:
+                # Entry block: block args are the function parameters.
+                return tuple(
+                    normalize_cotangent(adj.consume(param))
+                    for param in self.func.params
+                )
+            for arg, incoming in zip(record.block.args, record.edge_args):
+                ct = adj.consume(arg)
+                if ct is not ZERO:
+                    adj.accumulate(incoming, ct)
+
+        raise InterpreterError("record chain had no entry block")  # pragma: no cover
+
+    # -- convenience ---------------------------------------------------------
+
+    def vjp(self, args: Sequence[object]):
+        """``(value, pullback)`` where pullback maps a result cotangent to a
+        tuple of parameter cotangents (all parameters)."""
+        result, records = self.execute_forward(args)
+        return result, lambda ct: self.run_pullback(records, ct)
+
+
+def _plain_apply(inst: ir.ApplyInst, env, arg_vals):
+    """Execute an inactive apply exactly as the reference interpreter would."""
+    if inst.is_indirect:
+        callee = env[inst.callee.id]
+    else:
+        callee = inst.callee.target
+    if isinstance(callee, Primitive):
+        return callee.fn(*arg_vals)
+    if isinstance(callee, ir.Function):
+        from repro.sil.interp import call_function
+
+        return call_function(callee, arg_vals)
+    if callable(callee):
+        return callee(*arg_vals)
+    raise InterpreterError(f"cannot apply non-callable {callee!r}")
+
+
+# ---------------------------------------------------------------------------
+# JVP plan (forward mode).
+# ---------------------------------------------------------------------------
+
+
+class JVPPlan:
+    """Ahead-of-time synthesized forward-mode derivative of one function."""
+
+    def __init__(self, func: ir.Function, wrt: tuple[int, ...]) -> None:
+        self.func = func
+        self.wrt = wrt
+        self.activity: Optional[ActivityInfo] = None
+        self.diagnostics: list[Diagnostic] = []
+        self.rules: dict[int, object] = {}
+        self.build_count = 0
+
+    def build(self) -> None:
+        self.build_count += 1
+        self.activity = analyze_activity(self.func, self.wrt)
+        errors: list[Diagnostic] = []
+        for inst in self.func.instructions():
+            if not isinstance(inst, ir.ApplyInst) or not self.activity.is_active(inst):
+                continue
+            if inst.is_indirect:
+                self.rules[id(inst)] = "indirect"
+                continue
+            target = inst.callee.target
+            if isinstance(target, Primitive):
+                if target.jvp is None:
+                    errors.append(
+                        Diagnostic(
+                            "error",
+                            f"primitive {target.name!r} has no registered JVP "
+                            "(forward-mode derivative)",
+                            inst.loc,
+                        )
+                    )
+                else:
+                    self.rules[id(inst)] = target
+            elif isinstance(target, ir.Function):
+                custom = registry.custom_jvp_for(target)
+                if custom is not None:
+                    self.rules[id(inst)] = ("custom", custom)
+                else:
+                    try:
+                        self.rules[id(inst)] = (
+                            "plan",
+                            jvp_plan(target, tuple(range(len(target.params)))),
+                        )
+                        _note_dependency(self.func, target)
+                    except DifferentiabilityError as exc:
+                        errors.append(
+                            Diagnostic(
+                                "error",
+                                f"when differentiating call to {target.name!r}: "
+                                + "; ".join(str(d) for d in exc.diagnostics),
+                                inst.loc,
+                            )
+                        )
+            else:
+                errors.append(
+                    Diagnostic("error", f"cannot differentiate {inst}", inst.loc)
+                )
+        if errors:
+            self.diagnostics.extend(errors)
+            raise DifferentiabilityError(errors)
+
+    def execute(self, args: Sequence[object], tangents: Sequence[object]):
+        """Run the derivative: returns ``(value, result_tangent)``."""
+        func = self.func
+        env: dict[int, object] = {}
+        tan: dict[int, object] = {}
+        block = func.entry
+        block_vals: Sequence[object] = list(args)
+        block_tans: Sequence[object] = list(tangents)
+
+        while True:
+            for param, value, tangent in zip(block.args, block_vals, block_tans):
+                env[param.id] = value
+                tan[param.id] = tangent
+
+            for inst in block.body:
+                if isinstance(inst, ir.ConstInst):
+                    env[inst.result.id] = inst.literal
+                    tan[inst.result.id] = ZERO
+                    continue
+                if isinstance(inst, ir.ApplyInst):
+                    arg_vals = [env[v.id] for v in inst.args]
+                    rule = self.rules.get(id(inst))
+                    if rule is None:
+                        env[inst.result.id] = _plain_apply(inst, env, arg_vals)
+                        tan[inst.result.id] = ZERO
+                        continue
+                    arg_tans = [tan.get(v.id, ZERO) for v in inst.args]
+                    if rule == "indirect":
+                        callee = env[inst.callee.id]
+                        result, dresult = _indirect_jvp(
+                            callee, arg_vals, arg_tans, tan.get(inst.callee.id, ZERO)
+                        )
+                    elif isinstance(rule, Primitive):
+                        result, dresult = rule.jvp(tuple(arg_vals), tuple(arg_tans))
+                    else:
+                        kind, impl = rule
+                        if kind == "custom":
+                            result, dresult = impl(tuple(arg_vals), tuple(arg_tans))
+                        else:
+                            result, dresult = impl.execute(arg_vals, arg_tans)
+                    env[inst.result.id] = result
+                    tan[inst.result.id] = dresult
+                    continue
+                if isinstance(inst, ir.TupleInst):
+                    env[inst.result.id] = tuple(env[v.id] for v in inst.operands)
+                    tan[inst.result.id] = tuple(
+                        tan.get(v.id, ZERO) for v in inst.operands
+                    )
+                    continue
+                if isinstance(inst, ir.TupleExtractInst):
+                    operand = env[inst.operands[0].id]
+                    env[inst.result.id] = operand[inst.index]
+                    t = tan.get(inst.operands[0].id, ZERO)
+                    tan[inst.result.id] = ZERO if t is ZERO else t[inst.index]
+                    continue
+                if isinstance(inst, ir.StructExtractInst):
+                    operand = env[inst.operands[0].id]
+                    env[inst.result.id] = getattr(operand, inst.field)
+                    t = tan.get(inst.operands[0].id, ZERO)
+                    tan[inst.result.id] = (
+                        ZERO if t is ZERO else getattr(t, inst.field, ZERO)
+                    )
+                    continue
+                raise InterpreterError(f"cannot execute {inst}")
+
+            term = block.terminator
+            if isinstance(term, ir.ReturnInst):
+                return env[term.value.id], tan.get(term.value.id, ZERO)
+            if isinstance(term, ir.BrInst):
+                edge_args, block = term.operands, term.dest
+            elif isinstance(term, ir.CondBrInst):
+                if env[term.cond.id]:
+                    edge_args, block = term.true_args, term.true_dest
+                else:
+                    edge_args, block = term.false_args, term.false_dest
+            block_vals = [env[v.id] for v in edge_args]
+            block_tans = [tan.get(v.id, ZERO) for v in edge_args]
+
+
+def _indirect_jvp(callee, arg_vals, arg_tans, callee_tan):
+    jvp_call = getattr(callee, "__jvp_call__", None)
+    if jvp_call is not None:
+        return jvp_call(tuple(arg_vals), tuple(arg_tans), callee_tan)
+    sil_func = getattr(callee, "__sil_function__", None)
+    if sil_func is not None:
+        plan = jvp_plan(sil_func, tuple(range(len(sil_func.params))))
+        return plan.execute(arg_vals, arg_tans)
+    if isinstance(callee, Primitive):
+        if callee.jvp is None:
+            raise DifferentiabilityError(
+                [Diagnostic("error", f"primitive {callee.name!r} has no JVP")]
+            )
+        return callee.jvp(tuple(arg_vals), tuple(arg_tans))
+    raise DifferentiabilityError(
+        [
+            Diagnostic(
+                "error",
+                f"cannot forward-differentiate call of {type(callee).__name__}",
+            )
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Plan caches.
+# ---------------------------------------------------------------------------
+
+_VJP_PLANS: dict[tuple[int, tuple[int, ...]], VJPPlan] = {}
+_JVP_PLANS: dict[tuple[int, tuple[int, ...]], JVPPlan] = {}
+
+#: Reverse call-graph edges between plan'd functions: callee id -> caller
+#: function objects.  Used to propagate plan invalidation when a custom
+#: derivative is registered after synthesis.
+_DEPENDENTS: dict[int, set] = {}
+
+
+def _note_dependency(caller: ir.Function, callee: ir.Function) -> None:
+    _DEPENDENTS.setdefault(id(callee), set()).add(caller)
+
+
+def vjp_plan(func: ir.Function, wrt: Optional[tuple[int, ...]] = None) -> VJPPlan:
+    """Get (or synthesize, once) the reverse-mode plan for ``func``."""
+    if wrt is None:
+        wrt = tuple(range(len(func.params)))
+    key = (id(func), wrt)
+    plan = _VJP_PLANS.get(key)
+    if plan is None:
+        plan = VJPPlan(func, wrt)
+        # Insert before building so recursive functions resolve to the
+        # in-progress plan rather than recursing forever.
+        _VJP_PLANS[key] = plan
+        try:
+            plan.build()
+        except Exception:
+            del _VJP_PLANS[key]
+            raise
+    return plan
+
+
+def jvp_plan(func: ir.Function, wrt: Optional[tuple[int, ...]] = None) -> JVPPlan:
+    if wrt is None:
+        wrt = tuple(range(len(func.params)))
+    key = (id(func), wrt)
+    plan = _JVP_PLANS.get(key)
+    if plan is None:
+        plan = JVPPlan(func, wrt)
+        _JVP_PLANS[key] = plan
+        try:
+            plan.build()
+        except Exception:
+            del _JVP_PLANS[key]
+            raise
+    return plan
+
+
+def invalidate_plans_for(func: ir.Function) -> None:
+    """Drop cached plans for ``func`` and, transitively, every plan whose
+    synthesized rules reference it (used when a custom derivative is
+    registered after plans were synthesized)."""
+    worklist = [func]
+    seen: set[int] = set()
+    while worklist:
+        current = worklist.pop()
+        if id(current) in seen:
+            continue
+        seen.add(id(current))
+        for cache in (_VJP_PLANS, _JVP_PLANS):
+            for key in [k for k in cache if k[0] == id(current)]:
+                del cache[key]
+        worklist.extend(_DEPENDENTS.pop(id(current), ()))
+
+
+def clear_plan_caches() -> None:
+    _VJP_PLANS.clear()
+    _JVP_PLANS.clear()
+    _DEPENDENTS.clear()

@@ -1,0 +1,27 @@
+"""Synthetic datasets shaped like the paper's workloads.
+
+The paper trains on MNIST-class data (LeNet), CIFAR-10 (ResNet-56),
+ImageNet (ResNet-50), and a proprietary spline personalization dataset.
+None are available offline, so each generator produces data with matching
+shapes and enough learnable structure (class-dependent templates plus
+noise) that convergence-mechanics tests are meaningful; throughput
+experiments are insensitive to pixel content entirely (see DESIGN.md's
+substitution table).
+"""
+
+from repro.data.datasets import (
+    Dataset,
+    synthetic_cifar10,
+    synthetic_imagenet,
+    synthetic_mnist,
+)
+from repro.data.spline_data import SplineDataset, personalization_split
+
+__all__ = [
+    "Dataset",
+    "synthetic_cifar10",
+    "synthetic_imagenet",
+    "synthetic_mnist",
+    "SplineDataset",
+    "personalization_split",
+]

@@ -1,0 +1,85 @@
+"""Image-classification dataset generators and batching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.tensor import Tensor, one_hot
+from repro.tensor.device import Device, default_device
+
+
+@dataclass
+class Dataset:
+    """An in-memory labelled dataset with shuffling batch iteration."""
+
+    images: np.ndarray  # (N, H, W, C) float32
+    labels: np.ndarray  # (N,) int64
+    num_classes: int
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    def batches(
+        self,
+        batch_size: int,
+        device: Optional[Device] = None,
+        shuffle: bool = True,
+        seed: int = 0,
+        drop_remainder: bool = True,
+    ) -> Iterator[tuple[Tensor, Tensor]]:
+        """Yield ``(images, one_hot_labels)`` tensor pairs on ``device``."""
+        device = device or default_device()
+        order = np.arange(len(self))
+        if shuffle:
+            np.random.default_rng(seed).shuffle(order)
+        stop = len(self) - batch_size + 1 if drop_remainder else len(self)
+        for start in range(0, max(stop, 0), batch_size):
+            idx = order[start : start + batch_size]
+            x = Tensor(self.images[idx], device)
+            y = one_hot(
+                Tensor(self.labels[idx].astype(np.float32), device),
+                self.num_classes,
+            )
+            yield x, y
+
+
+def _templated_classification(
+    n: int, image_size: int, channels: int, num_classes: int, noise: float, seed: int
+) -> Dataset:
+    """Class-dependent smooth templates + noise: learnable, synthetic."""
+    rng = np.random.default_rng(seed)
+    templates = rng.standard_normal(
+        (num_classes, image_size, image_size, channels)
+    ).astype(np.float32)
+    # Smooth the templates so nearby pixels correlate (image-like).
+    for _ in range(2):
+        templates = (
+            templates
+            + np.roll(templates, 1, axis=1)
+            + np.roll(templates, 1, axis=2)
+        ) / 3.0
+    labels = rng.integers(0, num_classes, size=n)
+    images = templates[labels] + noise * rng.standard_normal(
+        (n, image_size, image_size, channels)
+    ).astype(np.float32)
+    return Dataset(images.astype(np.float32), labels.astype(np.int64), num_classes)
+
+
+def synthetic_mnist(n: int = 512, image_size: int = 28, seed: int = 0) -> Dataset:
+    """MNIST-shaped data: (N, 28, 28, 1), 10 classes."""
+    return _templated_classification(n, image_size, 1, 10, noise=0.5, seed=seed)
+
+
+def synthetic_cifar10(n: int = 512, image_size: int = 32, seed: int = 0) -> Dataset:
+    """CIFAR-10-shaped data: (N, 32, 32, 3), 10 classes."""
+    return _templated_classification(n, image_size, 3, 10, noise=0.5, seed=seed)
+
+
+def synthetic_imagenet(
+    n: int = 256, image_size: int = 32, num_classes: int = 1000, seed: int = 0
+) -> Dataset:
+    """ImageNet-shaped data (spatially scaled down; see DESIGN.md)."""
+    return _templated_classification(n, image_size, 3, num_classes, noise=0.5, seed=seed)

@@ -1,0 +1,83 @@
+"""Exception hierarchy shared across the repro platform.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can catch
+platform errors without also swallowing genuine Python bugs.  Diagnostics
+produced by the ahead-of-time differentiability checker carry source
+locations, mirroring the compiler diagnostics described in Section 2.2 of the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro platform."""
+
+
+class LoweringError(ReproError):
+    """The Python→SIL frontend met a construct outside the supported subset."""
+
+
+class VerificationError(ReproError):
+    """A SIL function failed structural verification."""
+
+
+class InterpreterError(ReproError):
+    """The SIL interpreter met an invalid runtime state."""
+
+
+class DifferentiabilityError(ReproError):
+    """Ahead-of-time differentiability checking rejected a function.
+
+    Raised at transformation time (i.e. when ``@differentiable`` is applied or
+    a derivative is first synthesized), never at gradient-evaluation time —
+    this is the "catch errors before execution" property from the paper.
+    """
+
+    def __init__(self, diagnostics):
+        self.diagnostics = list(diagnostics)
+        super().__init__(
+            "; ".join(str(d) for d in self.diagnostics) or "non-differentiable"
+        )
+
+
+class ShapeError(ReproError):
+    """Tensor shapes are incompatible for the requested operation."""
+
+
+class HloError(ReproError):
+    """Invalid HLO construction, parsing, or pass application."""
+
+
+class BorrowError(ReproError):
+    """A mutable value was borrowed while another unique borrow was live."""
+
+
+class DeviceError(ReproError):
+    """An operation mixed tensors placed on incompatible devices."""
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A (file, line, column) triple pointing into user source."""
+
+    filename: str = "<unknown>"
+    line: int = 0
+    col: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.col}"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """A single compiler diagnostic with severity, message, and location."""
+
+    severity: str  # "error" | "warning" | "note"
+    message: str
+    location: SourceLocation = field(default_factory=SourceLocation)
+
+    def __str__(self) -> str:
+        return f"{self.location}: {self.severity}: {self.message}"

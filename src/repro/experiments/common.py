@@ -1,0 +1,56 @@
+"""Shared helpers for the table/figure reproduction harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class TableRow:
+    cells: list[str]
+
+
+@dataclass
+class Table:
+    """A paper-style results table renderable as aligned text."""
+
+    title: str
+    headers: list[str]
+    rows: list[TableRow] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        self.rows.append(TableRow([str(c) for c in cells]))
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row.cells):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        out = [self.title, "=" * len(self.title), line(self.headers)]
+        out.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            out.append(line(row.cells))
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def fmt_throughput(value: float) -> str:
+    return f"{value:,.0f}"
+
+
+def fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.1f} ms"
+
+
+def fmt_mb(nbytes: float) -> str:
+    return f"{nbytes / 1e6:.1f} MB"

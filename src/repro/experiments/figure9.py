@@ -1,0 +1,74 @@
+"""Figure 9 / Appendix B — subscript pullback cost: O(n) functional vs
+O(1) mutable value semantics.
+
+Sweeps the array size and times both pullback formulations (real wall
+clock — this experiment is a pure-algorithm asymptotics result, no
+hardware simulation involved).  The shape to reproduce: the functional
+pullback's time grows linearly with n; the mutable pullback's is flat.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.pullback_styles import (
+    my_op_with_functional_pullback,
+    my_op_with_mutable_pullback,
+)
+
+
+@dataclass
+class Figure9Point:
+    n: int
+    functional_seconds: float
+    mutable_seconds: float
+
+
+def _time_functional(values, repeats: int) -> float:
+    _, pb = my_op_with_functional_pullback(values, 1, len(values) - 2)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        pb(1.0)
+    return (time.perf_counter() - start) / repeats
+
+
+def _time_mutable(values, repeats: int) -> float:
+    _, pb = my_op_with_mutable_pullback(values, 1, len(values) - 2)
+    adjoint = [0.0] * len(values)
+    start = time.perf_counter()
+    for _ in range(repeats):
+        pb(1.0, adjoint)
+    return (time.perf_counter() - start) / repeats
+
+
+def run_figure9(
+    sizes: tuple[int, ...] = (256, 1024, 4096, 16384, 65536),
+    repeats: int = 200,
+) -> list[Figure9Point]:
+    points = []
+    for n in sizes:
+        values = [float(i) for i in range(n)]
+        points.append(
+            Figure9Point(
+                n=n,
+                functional_seconds=_time_functional(values, repeats),
+                mutable_seconds=_time_mutable(values, repeats),
+            )
+        )
+    return points
+
+
+def render_figure9(points: list[Figure9Point]) -> str:
+    lines = [
+        "Figure 9: array-subscript pullback cost (seconds per pullback call)",
+        f"{'n':>8} | {'functional':>12} | {'mutable':>12} | {'ratio':>8}",
+        "-" * 50,
+    ]
+    for p in points:
+        ratio = p.functional_seconds / max(p.mutable_seconds, 1e-12)
+        lines.append(
+            f"{p.n:>8} | {p.functional_seconds:12.3e} | "
+            f"{p.mutable_seconds:12.3e} | {ratio:8.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,204 @@
+"""Mobile deployment runtimes — the Table 4 comparison.
+
+Four ways to run the spline fine-tuning workload on a phone:
+
+* **TF-Mobile-like** — the full TensorFlow runtime interpreting a graph:
+  very heavy per-node cost, big resident runtime, big binary;
+* **TFLite-like (standard ops)** — a lean flatbuffer interpreter walking
+  one vectorized op graph per loss/gradient evaluation;
+* **TFLite-like (fused custom op)** — the whole evaluation hand-fused into
+  a single custom kernel: one interpreter dispatch per evaluation;
+* **S4TF-like (AOT native)** — the model compiled ahead of time against
+  the naive Tensor: no interpreter at all, scalar code with per-op cost at
+  native-call scale (no NEON vectorization, per the paper's caveat), the
+  smallest runtime footprint, but a bigger binary than TFLite because the
+  language runtime is statically linked.
+
+The *numerics* of fine-tuning are always the real thing — the platform's
+own spline + line-search code running to convergence.  The runtimes differ
+in the simulated time/memory/binary models, whose constants live here with
+their rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.spline_data import SplineDataset
+from repro.runtime.costmodel import MOBILE_CPU
+from repro.sil.frontend import lower_function
+from repro.sil.interp import count_instructions
+from repro.spline.model import SplineModel, fine_tune, spline_evaluate
+
+
+@dataclass(frozen=True)
+class MobilePlatform:
+    """Cost-model parameters of one deployment stack."""
+
+    name: str
+    #: Host time to execute one graph node / native op.
+    per_op_overhead: float
+    #: Per-evaluation session/invocation entry cost.
+    per_invocation_overhead: float
+    #: The whole evaluation is one fused op (TFLite custom op).
+    fused_evaluation: bool
+    #: Ops are vectorized over the dataset (graph frameworks) rather than
+    #: executed per-sample (scalar AOT code).
+    vectorized: bool
+    #: Resident runtime memory (interpreter + framework libraries).
+    runtime_memory_bytes: int
+    #: Uncompressed binary size of the shipped runtime + model.
+    binary_size_bytes: int
+
+
+#: Full TF runtime on-device: ~170us/node interpreter cost, tens of MB of
+#: framework residency, a 6MB+ shared library.
+TF_MOBILE_PLATFORM = MobilePlatform(
+    name="TensorFlow Mobile",
+    per_op_overhead=170e-6,
+    per_invocation_overhead=9e-4,
+    fused_evaluation=False,
+    vectorized=True,
+    runtime_memory_bytes=78_000_000,
+    binary_size_bytes=6_200_000,
+)
+
+#: TFLite flatbuffer interpreter, standard op set.
+TFLITE_STANDARD_PLATFORM = MobilePlatform(
+    name="TensorFlow Lite (standard operations)",
+    per_op_overhead=6e-6,
+    per_invocation_overhead=2.5e-5,
+    fused_evaluation=False,
+    vectorized=True,
+    runtime_memory_bytes=11_500_000,
+    binary_size_bytes=1_800_000,
+)
+
+#: TFLite with a manually fused training op (one NEON-vectorized kernel
+#: per evaluation) — the fastest but least flexible variant.
+TFLITE_FUSED_PLATFORM = MobilePlatform(
+    name="TensorFlow Lite (manually fused custom operation)",
+    per_op_overhead=6e-6,
+    # The custom op copies training state in/out of the interpreter per
+    # invocation, so its entry cost exceeds a plain standard-op invoke.
+    per_invocation_overhead=2.5e-4,
+    fused_evaluation=True,
+    vectorized=True,
+    runtime_memory_bytes=5_400_000,
+    binary_size_bytes=1_800_000,
+)
+
+#: S4TF cross-compiled AOT: straight-line scalar native code (the Swift
+#: compiler could not emit NEON on Android at the time — Section 5.1.3),
+#: near-zero runtime residency, Swift runtime statically linked into the
+#: binary (hence larger than TFLite's).
+S4TF_MOBILE_PLATFORM = MobilePlatform(
+    name="Swift for TensorFlow",
+    per_op_overhead=1.2e-7,
+    per_invocation_overhead=1e-6,
+    fused_evaluation=False,
+    vectorized=False,
+    runtime_memory_bytes=3_500_000,
+    binary_size_bytes=3_600_000,
+)
+
+ALL_PLATFORMS = [
+    TF_MOBILE_PLATFORM,
+    TFLITE_STANDARD_PLATFORM,
+    TFLITE_FUSED_PLATFORM,
+    S4TF_MOBILE_PLATFORM,
+]
+
+
+@dataclass
+class MobileRunResult:
+    platform: str
+    training_time_s: float
+    memory_bytes: int
+    binary_size_bytes: int
+    final_loss: float
+    control_points_match: bool
+    steps: int
+    evaluations: int
+
+
+def _graph_ops_per_evaluation(model: SplineModel) -> int:
+    """Op count of one *vectorized* evaluation graph.
+
+    A graph framework evaluates the spline over the whole dataset with
+    tensor ops: one op per scalar operation of a single spline evaluation
+    (each op now carries the full batch) plus the reduction/loss tail."""
+    func = lower_function(spline_evaluate)
+    return count_instructions(func, (model, 0.41)) + 6
+
+
+def _scalar_ops_per_evaluation(model: SplineModel, n_points: int) -> int:
+    """Dynamic op count of an unvectorized (per-sample) evaluation."""
+    func = lower_function(spline_evaluate)
+    per_point = count_instructions(func, (model, 0.41))
+    return per_point * n_points + 4 * n_points
+
+
+def run_mobile_fine_tuning(
+    platform: MobilePlatform,
+    global_model: SplineModel,
+    user_data: SplineDataset,
+    max_steps: int = 40,
+    reference_model: SplineModel | None = None,
+) -> MobileRunResult:
+    """Fine-tune on one platform; returns measured/modelled statistics."""
+    from repro.runtime import track
+
+    with track() as tracker:
+        personal, report = fine_tune(
+            global_model, user_data.xs, user_data.ys, max_steps=max_steps
+        )
+
+    n = len(user_data)
+    if platform.vectorized:
+        ops_per_eval = _graph_ops_per_evaluation(global_model)
+    else:
+        ops_per_eval = _scalar_ops_per_evaluation(global_model, n)
+    # One gradient evaluation per step (forward + reverse ≈ 4x forward ops)
+    # plus the line search's extra loss evaluations.
+    grad_evals = report.steps
+    loss_evals = report.loss_evaluations
+    total_ops = 4 * ops_per_eval * grad_evals + ops_per_eval * loss_evals
+    invocations = grad_evals + loss_evals
+
+    if platform.fused_evaluation:
+        dispatched_ops = invocations  # the whole evaluation is one op
+    else:
+        dispatched_ops = total_ops
+
+    host = (
+        invocations * platform.per_invocation_overhead
+        + dispatched_ops * platform.per_op_overhead
+    )
+    # Arithmetic itself: ~2 flops per scalar op over the dataset.
+    flops = 2.0 * (4 * grad_evals + loss_evals) * (
+        _scalar_ops_per_evaluation(global_model, n)
+    )
+    compute = flops / MOBILE_CPU.flops_per_sec
+    training_time = host + compute
+
+    match = True
+    if reference_model is not None:
+        match = all(
+            abs(a - b) <= 0.015 * max(abs(a), abs(b), 1e-6)
+            for a, b in zip(
+                personal.control_points, reference_model.control_points
+            )
+        )
+
+    memory = platform.runtime_memory_bytes + tracker.peak_bytes
+    return MobileRunResult(
+        platform=platform.name,
+        training_time_s=training_time,
+        memory_bytes=memory,
+        binary_size_bytes=platform.binary_size_bytes,
+        final_loss=report.final_loss,
+        control_points_match=match,
+        steps=report.steps,
+        evaluations=invocations,
+    )

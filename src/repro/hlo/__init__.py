@@ -1,0 +1,55 @@
+"""The XLA-analogue domain-specific compiler (HLO IR + JIT backend)."""
+
+from repro.hlo.builder import HloBuilder
+from repro.hlo.compiler import (
+    STATS,
+    Executable,
+    cache_size,
+    clear_cache,
+    compile_module,
+    fingerprint,
+)
+from repro.hlo.ir import (
+    ELEMENTWISE,
+    F32,
+    PRED,
+    HloComputation,
+    HloInstruction,
+    HloModule,
+    Shape,
+)
+from repro.hlo.parser import parse_module
+from repro.hlo.passes import (
+    algebraic_simplify,
+    constant_fold,
+    cse,
+    dce,
+    fuse_elementwise,
+    optimize,
+)
+from repro.hlo.printer import print_module
+
+__all__ = [
+    "HloBuilder",
+    "STATS",
+    "Executable",
+    "cache_size",
+    "clear_cache",
+    "compile_module",
+    "fingerprint",
+    "ELEMENTWISE",
+    "F32",
+    "PRED",
+    "HloComputation",
+    "HloInstruction",
+    "HloModule",
+    "Shape",
+    "parse_module",
+    "algebraic_simplify",
+    "constant_fold",
+    "cse",
+    "dce",
+    "fuse_elementwise",
+    "optimize",
+    "print_module",
+]

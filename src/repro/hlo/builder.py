@@ -1,0 +1,242 @@
+"""Convenience builder for HLO computations with inline shape inference."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import HloError
+from repro.hlo import shapes as si
+from repro.hlo.ir import (
+    ELEMENTWISE_BINARY,
+    ELEMENTWISE_UNARY,
+    HloComputation,
+    HloInstruction,
+    HloModule,
+    Shape,
+)
+
+
+class HloBuilder:
+    """Builds one :class:`HloComputation`, inferring shapes as it goes."""
+
+    def __init__(self, name: str) -> None:
+        self.computation = HloComputation(name)
+
+    def _add(self, inst: HloInstruction) -> HloInstruction:
+        return self.computation.add(inst)
+
+    # -- leaves ---------------------------------------------------------------
+
+    def parameter(self, shape: Shape, number: Optional[int] = None) -> HloInstruction:
+        if number is None:
+            number = len(self.computation.parameters)
+        return self._add(
+            HloInstruction("parameter", [], shape, parameter_number=number)
+        )
+
+    def constant(self, value) -> HloInstruction:
+        array = np.asarray(value, dtype=np.float32)
+        return self._add(
+            HloInstruction("constant", [], Shape.of(array), literal=array)
+        )
+
+    def iota(self, n: int) -> HloInstruction:
+        return self._add(HloInstruction("iota", [], Shape((n,)), attrs={"n": n}))
+
+    # -- elementwise -----------------------------------------------------------
+
+    def unary(self, opcode: str, x: HloInstruction) -> HloInstruction:
+        if opcode not in ELEMENTWISE_UNARY:
+            raise HloError(f"{opcode} is not a unary elementwise op")
+        return self._add(HloInstruction(opcode, [x], x.shape))
+
+    def binary(self, opcode: str, a, b, comparison: str = "") -> HloInstruction:
+        if opcode not in ELEMENTWISE_BINARY:
+            raise HloError(f"{opcode} is not a binary elementwise op")
+        shape = si.infer_elementwise_binary(opcode, a.shape, b.shape)
+        attrs = {"direction": comparison} if opcode == "compare" else {}
+        return self._add(HloInstruction(opcode, [a, b], shape, attrs=attrs))
+
+    def select(self, pred, on_true, on_false) -> HloInstruction:
+        shape = si.infer_select(pred.shape, on_true.shape, on_false.shape)
+        return self._add(HloInstruction("select", [pred, on_true, on_false], shape))
+
+    # -- shape ops --------------------------------------------------------------
+
+    def broadcast(self, x, dims: Sequence[int]) -> HloInstruction:
+        shape = si.infer_broadcast(x.shape, tuple(dims))
+        if shape.dims == x.shape.dims:
+            return x
+        return self._add(
+            HloInstruction("broadcast", [x], shape, attrs={"dims": tuple(dims)})
+        )
+
+    def reshape(self, x, dims: Sequence[int]) -> HloInstruction:
+        shape = si.infer_reshape(x.shape, tuple(dims))
+        return self._add(
+            HloInstruction("reshape", [x], shape, attrs={"dims": tuple(dims)})
+        )
+
+    def transpose(self, x, perm: Sequence[int]) -> HloInstruction:
+        shape = si.infer_transpose(x.shape, tuple(perm))
+        return self._add(
+            HloInstruction("transpose", [x], shape, attrs={"perm": tuple(perm)})
+        )
+
+    def pad(self, x, paddings) -> HloInstruction:
+        shape = si.infer_pad(x.shape, paddings)
+        return self._add(
+            HloInstruction(
+                "pad", [x], shape, attrs={"paddings": tuple(map(tuple, paddings))}
+            )
+        )
+
+    def slice(self, x, starts, sizes) -> HloInstruction:
+        shape = si.infer_slice(x.shape, starts, sizes)
+        return self._add(
+            HloInstruction(
+                "slice",
+                [x],
+                shape,
+                attrs={"starts": tuple(starts), "sizes": tuple(sizes)},
+            )
+        )
+
+    def concatenate(self, xs, axis: int) -> HloInstruction:
+        shape = si.infer_concat([x.shape for x in xs], axis)
+        return self._add(
+            HloInstruction("concatenate", list(xs), shape, attrs={"axis": axis})
+        )
+
+    # -- linear algebra ----------------------------------------------------------
+
+    def dot(self, a, b) -> HloInstruction:
+        shape = si.infer_dot(a.shape, b.shape)
+        return self._add(HloInstruction("dot", [a, b], shape))
+
+    def convolution(self, x, filters, stride: int, padding: str) -> HloInstruction:
+        shape = si.infer_conv(x.shape, filters.shape, stride, padding)
+        return self._add(
+            HloInstruction(
+                "convolution",
+                [x, filters],
+                shape,
+                attrs={"stride": stride, "padding": padding},
+            )
+        )
+
+    def conv_grad_input(self, grad, filters, input_dims, stride, padding):
+        return self._add(
+            HloInstruction(
+                "conv_grad_input",
+                [grad, filters],
+                Shape(tuple(input_dims)),
+                attrs={
+                    "input_dims": tuple(input_dims),
+                    "stride": stride,
+                    "padding": padding,
+                },
+            )
+        )
+
+    def conv_grad_filter(self, x, grad, filter_dims, stride, padding):
+        return self._add(
+            HloInstruction(
+                "conv_grad_filter",
+                [x, grad],
+                Shape(tuple(filter_dims)),
+                attrs={
+                    "filter_dims": tuple(filter_dims),
+                    "stride": stride,
+                    "padding": padding,
+                },
+            )
+        )
+
+    def reduce(self, x, kind: str, axes, keepdims: bool = False) -> HloInstruction:
+        shape = si.infer_reduce(x.shape, axes, keepdims)
+        axes_t = (
+            tuple(a % x.shape.rank for a in axes) if axes is not None else None
+        )
+        return self._add(
+            HloInstruction(
+                "reduce",
+                [x],
+                shape,
+                attrs={"kind": kind, "axes": axes_t, "keepdims": keepdims},
+            )
+        )
+
+    # -- pooling / fused training ops ---------------------------------------------
+
+    def avg_pool(self, x, pool: int, stride: int) -> HloInstruction:
+        shape = si.infer_pool(x.shape, pool, stride)
+        return self._add(
+            HloInstruction(
+                "avg_pool", [x], shape, attrs={"pool": pool, "stride": stride}
+            )
+        )
+
+    def avg_pool_grad(self, grad, input_dims, pool: int, stride: int):
+        return self._add(
+            HloInstruction(
+                "avg_pool_grad",
+                [grad],
+                Shape(tuple(input_dims)),
+                attrs={
+                    "input_dims": tuple(input_dims),
+                    "pool": pool,
+                    "stride": stride,
+                },
+            )
+        )
+
+    def max_pool(self, x, pool: int, stride: int) -> HloInstruction:
+        shape = si.infer_pool(x.shape, pool, stride)
+        return self._add(
+            HloInstruction(
+                "max_pool", [x], shape, attrs={"pool": pool, "stride": stride}
+            )
+        )
+
+    def max_pool_grad(self, x, grad, pool: int, stride: int):
+        return self._add(
+            HloInstruction(
+                "max_pool_grad",
+                [x, grad],
+                x.shape,
+                attrs={"pool": pool, "stride": stride},
+            )
+        )
+
+    def one_hot(self, indices, depth: int) -> HloInstruction:
+        shape = Shape(indices.shape.dims + (depth,))
+        return self._add(
+            HloInstruction("one_hot", [indices], shape, attrs={"depth": depth})
+        )
+
+    def softmax_ce(self, logits, labels) -> HloInstruction:
+        return self._add(
+            HloInstruction("softmax_ce", [logits, labels], Shape(()))
+        )
+
+    def softmax_ce_grad(self, logits, labels) -> HloInstruction:
+        return self._add(
+            HloInstruction("softmax_ce_grad", [logits, labels], logits.shape)
+        )
+
+    def tuple(self, elements: Sequence[HloInstruction]) -> HloInstruction:
+        """Multi-output root: execution returns a Python tuple of arrays."""
+        return self._add(
+            HloInstruction(
+                "tuple", list(elements), Shape((len(elements),), "tuple")
+            )
+        )
+
+    # -- finalize -------------------------------------------------------------------
+
+    def build(self, root: HloInstruction, module_name: str = "") -> HloModule:
+        self.computation.set_root(root)
+        return HloModule(module_name or self.computation.name, self.computation)

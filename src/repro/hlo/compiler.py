@@ -1,0 +1,308 @@
+"""HLO backend: NumPy codegen, executables, and the compilation cache.
+
+``compile_module`` optimizes the module, emits an :class:`Executable`, and
+memoizes it by the module's canonical fingerprint — the reproduction of
+the XLA-program cache of Section 3.4 ("each unique trace is only compiled
+by XLA once").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import HloError
+from repro.hlo.ir import HloInstruction, HloModule
+from repro.hlo.passes import optimize
+from repro.hlo.printer import print_module
+from repro.runtime.device import SimDevice
+from repro.runtime.kernels import ITEMSIZE, KERNELS
+
+_K = KERNELS
+
+_UNARY_KERNELS = {
+    "negate": "neg",
+    "exponential": "exp",
+    "log": "log",
+    "tanh": "tanh",
+    "sqrt": "sqrt",
+    "rsqrt": "rsqrt",
+    "logistic": "sigmoid",
+    "relu": "relu",
+    "abs": "abs",
+    "sign": "sign",
+}
+
+_BINARY_KERNELS = {
+    "add": "add",
+    "subtract": "sub",
+    "multiply": "mul",
+    "divide": "div",
+    "power": "pow",
+    "maximum": "maximum",
+    "minimum": "minimum",
+}
+
+_COMPARE = {
+    "gt": np.greater,
+    "ge": np.greater_equal,
+    "lt": np.less,
+    "le": np.less_equal,
+    "eq": np.equal,
+    "ne": np.not_equal,
+}
+
+
+def evaluate_instruction(inst: HloInstruction, args: Sequence[np.ndarray]):
+    """Evaluate one (non-parameter, non-fusion) instruction numerically."""
+    op = inst.opcode
+    if op == "constant":
+        return inst.literal
+    if op in _UNARY_KERNELS:
+        return _K[_UNARY_KERNELS[op]](args[0])
+    if op in _BINARY_KERNELS:
+        return _K[_BINARY_KERNELS[op]](args[0], args[1])
+    if op == "compare":
+        return _COMPARE[inst.attrs["direction"]](args[0], args[1])
+    if op == "not":
+        return np.logical_not(args[0])
+    if op == "select":
+        return _K["select"](args[0], args[1], args[2])
+    if op == "broadcast":
+        return _K["broadcast_to"](args[0], inst.attrs["dims"])
+    if op == "reshape":
+        return _K["reshape"](args[0], inst.attrs["dims"])
+    if op == "transpose":
+        return _K["transpose"](args[0], inst.attrs["perm"])
+    if op == "pad":
+        return _K["pad"](args[0], inst.attrs["paddings"])
+    if op == "slice":
+        return _K["slice"](args[0], inst.attrs["starts"], inst.attrs["sizes"])
+    if op == "concatenate":
+        return _K["concat"](*args, inst.attrs["axis"])
+    if op == "dot":
+        return _K["matmul"](args[0], args[1])
+    if op == "convolution":
+        return _K["conv2d"](
+            args[0], args[1], inst.attrs["stride"], inst.attrs["padding"]
+        )
+    if op == "conv_grad_input":
+        return _K["conv2d_grad_input"](
+            args[0],
+            args[1],
+            inst.attrs["input_dims"],
+            inst.attrs["stride"],
+            inst.attrs["padding"],
+        )
+    if op == "conv_grad_filter":
+        return _K["conv2d_grad_filter"](
+            args[0],
+            args[1],
+            inst.attrs["filter_dims"],
+            inst.attrs["stride"],
+            inst.attrs["padding"],
+        )
+    if op == "reduce":
+        kind = inst.attrs["kind"]
+        kernel = {"sum": "reduce_sum", "mean": "reduce_mean", "max": "reduce_max"}[
+            kind
+        ]
+        return _K[kernel](args[0], inst.attrs["axes"], inst.attrs["keepdims"])
+    if op == "avg_pool":
+        return _K["avg_pool2d"](args[0], inst.attrs["pool"], inst.attrs["stride"])
+    if op == "avg_pool_grad":
+        return _K["avg_pool2d_grad"](
+            args[0], inst.attrs["input_dims"], inst.attrs["pool"], inst.attrs["stride"]
+        )
+    if op == "max_pool":
+        return _K["max_pool2d"](args[0], inst.attrs["pool"], inst.attrs["stride"])
+    if op == "max_pool_grad":
+        return _K["max_pool2d_grad"](
+            args[0], args[1], inst.attrs["pool"], inst.attrs["stride"]
+        )
+    if op == "one_hot":
+        return _K["one_hot"](args[0], inst.attrs["depth"])
+    if op == "iota":
+        return _K["iota"](inst.attrs["n"])
+    if op == "softmax_ce":
+        return _K["softmax_cross_entropy"](args[0], args[1])
+    if op == "softmax_ce_grad":
+        return _K["softmax_cross_entropy_grad"](args[0], args[1])
+    raise HloError(f"no backend lowering for opcode {op!r}")
+
+
+def _instruction_cost(inst: HloInstruction, in_shapes) -> tuple[float, float]:
+    """(flops, traffic bytes) of one instruction for the device model."""
+    out_elems = inst.shape.num_elements
+    per_element = {
+        "exponential": 10.0,
+        "log": 10.0,
+        "tanh": 10.0,
+        "logistic": 10.0,
+        "power": 10.0,
+        "sqrt": 4.0,
+        "rsqrt": 4.0,
+    }.get(inst.opcode, 1.0)
+    if inst.opcode == "dot":
+        k = in_shapes[0][-1] if in_shapes[0] else 1
+        flops = 2.0 * out_elems * k
+    elif inst.opcode in ("convolution", "conv_grad_input", "conv_grad_filter"):
+        if inst.opcode == "convolution":
+            kh, kw, cin, _ = in_shapes[1]
+        elif inst.opcode == "conv_grad_input":
+            kh, kw, cin, _ = in_shapes[1]
+        else:
+            kh, kw, cin, _ = inst.attrs["filter_dims"]
+        flops = 2.0 * out_elems * kh * kw * cin
+    elif inst.opcode == "reduce":
+        flops = float(np.prod(in_shapes[0])) if in_shapes[0] else 1.0
+    else:
+        flops = per_element * out_elems
+    traffic = (out_elems + sum(int(np.prod(s)) if s else 1 for s in in_shapes)) * (
+        ITEMSIZE
+    )
+    return flops, traffic
+
+
+@dataclass
+class CompilerStats:
+    compiles: int = 0
+    cache_hits: int = 0
+    instructions_compiled: int = 0
+    compile_time: float = 0.0
+
+    def reset(self) -> None:
+        self.compiles = 0
+        self.cache_hits = 0
+        self.instructions_compiled = 0
+        self.compile_time = 0.0
+
+
+STATS = CompilerStats()
+
+
+class Executable:
+    """A compiled HLO module, runnable on a simulated device."""
+
+    def __init__(self, module: HloModule) -> None:
+        self.module = module
+        self.order = module.entry.post_order()
+        self.n_parameters = len(module.entry.parameters)
+        #: Number of device kernels one run launches (fusion collapses many
+        #: instructions into one kernel).
+        self.kernel_count = sum(
+            1
+            for inst in self.order
+            if inst.opcode not in ("parameter", "constant", "tuple")
+        )
+
+    def run(
+        self,
+        args: Sequence[np.ndarray],
+        device: Optional[SimDevice] = None,
+        host_time: float = 0.0,
+    ) -> np.ndarray:
+        """Execute; if ``device`` is given, account simulated kernel time."""
+        if len(args) != self.n_parameters:
+            raise HloError(
+                f"executable expects {self.n_parameters} args, got {len(args)}"
+            )
+        values: dict[int, np.ndarray] = {}
+        for inst in self.order:
+            if inst.opcode == "parameter":
+                values[inst.id] = np.asarray(args[inst.parameter_number])
+                continue
+            in_vals = [values[o.id] for o in inst.operands]
+            if inst.opcode == "tuple":
+                values[inst.id] = tuple(in_vals)
+                continue
+            if inst.opcode == "fusion":
+                values[inst.id] = self._run_fused(inst, in_vals, device, host_time)
+                continue
+            result = evaluate_instruction(inst, in_vals)
+            values[inst.id] = result
+            if device is not None and inst.opcode != "constant":
+                flops, traffic = _instruction_cost(
+                    inst, [o.shape.dims for o in inst.operands]
+                )
+                device.busy_until = max(device.busy_until, host_time)
+                device.launch_fused(1, flops, traffic, host_time)
+        return values[self.module.entry.root.id]
+
+    def _run_fused(self, fusion, external_args, device, host_time):
+        inner = fusion.fused_computation
+        values: dict[int, np.ndarray] = {}
+        n_ops = 0
+        flops_total = 0.0
+        for inst in inner.post_order():
+            if inst.opcode == "parameter":
+                values[inst.id] = external_args[inst.parameter_number]
+                continue
+            in_vals = [values[o.id] for o in inst.operands]
+            values[inst.id] = evaluate_instruction(inst, in_vals)
+            if inst.opcode != "constant":
+                n_ops += 1
+                flops, _ = _instruction_cost(
+                    inst, [o.shape.dims for o in inst.operands]
+                )
+                flops_total += flops
+        if device is not None:
+            # One launch; traffic counts only the region's inputs + output.
+            traffic = (
+                fusion.shape.num_elements
+                + sum(o.shape.num_elements for o in fusion.operands)
+            ) * ITEMSIZE
+            device.launch_fused(max(n_ops, 1), flops_total, traffic, host_time)
+        return values[inner.root.id]
+
+
+#: The XLA-program cache: canonical module text -> Executable.
+_CACHE: dict[str, Executable] = {}
+
+
+def fingerprint(module: HloModule) -> str:
+    """Canonical key of a module (its printed text, modulo value names)."""
+    text = print_module(module)
+    # Names embed global instruction ids; canonicalize them.
+    import re
+
+    mapping: dict[str, str] = {}
+
+    def rename(match):
+        name = match.group(0)
+        if name not in mapping:
+            mapping[name] = f"%v{len(mapping)}"
+        return mapping[name]
+
+    return re.sub(r"%[\w.\-]+", rename, text)
+
+
+def compile_module(
+    module: HloModule,
+    use_cache: bool = True,
+    fuse: bool = True,
+) -> Executable:
+    """Optimize + codegen, memoized by fingerprint."""
+    key = fingerprint(module) if use_cache else None
+    if key is not None:
+        cached = _CACHE.get(key)
+        if cached is not None:
+            STATS.cache_hits += 1
+            return cached
+    optimize(module, fuse=fuse)
+    executable = Executable(module)
+    STATS.compiles += 1
+    STATS.instructions_compiled += len(executable.order)
+    if key is not None:
+        _CACHE[key] = executable
+    return executable
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def cache_size() -> int:
+    return len(_CACHE)

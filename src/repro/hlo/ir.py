@@ -1,0 +1,230 @@
+"""HLO-like intermediate representation.
+
+The LazyTensor backend lowers recorded traces into this IR, which the
+compiler (:mod:`repro.hlo.compiler`) optimizes and turns into fused NumPy
+executables — the reproduction of the XLA JIT path of Section 3.3.
+
+The IR is a DAG of :class:`HloInstruction` nodes inside an
+:class:`HloComputation`; every instruction has a static :class:`Shape`
+(XLA's static-shape expectation, which is why shape changes trigger
+recompilation — Section 3.4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import HloError
+
+F32 = "f32"
+PRED = "pred"
+
+
+@dataclass(frozen=True)
+class Shape:
+    """A static tensor shape with element type."""
+
+    dims: tuple[int, ...]
+    dtype: str = F32
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def num_elements(self) -> int:
+        n = 1
+        for d in self.dims:
+            n *= d
+        return n
+
+    @property
+    def byte_size(self) -> int:
+        return self.num_elements * 4
+
+    def __str__(self) -> str:
+        dims = ",".join(map(str, self.dims))
+        return f"{self.dtype}[{dims}]"
+
+    @classmethod
+    def of(cls, array: np.ndarray) -> "Shape":
+        dtype = PRED if array.dtype == np.bool_ else F32
+        return cls(tuple(int(d) for d in array.shape), dtype)
+
+
+#: Opcodes grouped by structure.  Elementwise opcodes are fusion candidates.
+ELEMENTWISE_UNARY = {
+    "negate",
+    "exponential",
+    "log",
+    "tanh",
+    "sqrt",
+    "rsqrt",
+    "logistic",
+    "sign",
+    "abs",
+    "relu",
+    "not",
+}
+ELEMENTWISE_BINARY = {
+    "add",
+    "subtract",
+    "multiply",
+    "divide",
+    "power",
+    "maximum",
+    "minimum",
+    "compare",
+}
+ELEMENTWISE_OTHER = {"select"}
+ELEMENTWISE = ELEMENTWISE_UNARY | ELEMENTWISE_BINARY | ELEMENTWISE_OTHER
+
+OPCODES = (
+    ELEMENTWISE
+    | {
+        "parameter",
+        "constant",
+        "broadcast",
+        "reshape",
+        "transpose",
+        "dot",
+        "convolution",
+        "reduce",
+        "pad",
+        "slice",
+        "concatenate",
+        "iota",
+        "one_hot",
+        "avg_pool",
+        "avg_pool_grad",
+        "max_pool",
+        "max_pool_grad",
+        "conv_grad_input",
+        "conv_grad_filter",
+        "softmax_ce",
+        "softmax_ce_grad",
+        "tuple",
+        "fusion",
+    }
+)
+
+
+class HloInstruction:
+    """One node of the HLO DAG."""
+
+    _ids = itertools.count()
+
+    __slots__ = (
+        "id",
+        "opcode",
+        "operands",
+        "shape",
+        "attrs",
+        "literal",
+        "parameter_number",
+        "fused_computation",
+        "name",
+    )
+
+    def __init__(
+        self,
+        opcode: str,
+        operands: Sequence["HloInstruction"],
+        shape: Shape,
+        attrs: Optional[dict] = None,
+        literal: Optional[np.ndarray] = None,
+        parameter_number: Optional[int] = None,
+        fused_computation: Optional["HloComputation"] = None,
+    ) -> None:
+        if opcode not in OPCODES:
+            raise HloError(f"unknown opcode {opcode!r}")
+        self.id = next(HloInstruction._ids)
+        self.opcode = opcode
+        self.operands = list(operands)
+        self.shape = shape
+        self.attrs = dict(attrs or {})
+        self.literal = literal
+        self.parameter_number = parameter_number
+        self.fused_computation = fused_computation
+        self.name = f"{opcode}.{self.id}"
+
+    @property
+    def is_elementwise(self) -> bool:
+        return self.opcode in ELEMENTWISE
+
+    def attr_string(self) -> str:
+        if not self.attrs:
+            return ""
+        parts = [f"{k}={self.attrs[k]!r}" for k in sorted(self.attrs)]
+        return ", " + ", ".join(parts)
+
+    def __repr__(self) -> str:
+        ops = ", ".join(f"%{o.name}" for o in self.operands)
+        return f"%{self.name} = {self.shape} {self.opcode}({ops}{self.attr_string()})"
+
+
+class HloComputation:
+    """A DAG with named parameters and a single root instruction."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.instructions: list[HloInstruction] = []
+        self.parameters: list[HloInstruction] = []
+        self.root: Optional[HloInstruction] = None
+
+    def add(self, inst: HloInstruction) -> HloInstruction:
+        self.instructions.append(inst)
+        if inst.opcode == "parameter":
+            self.parameters.append(inst)
+        return inst
+
+    def set_root(self, inst: HloInstruction) -> None:
+        self.root = inst
+
+    def post_order(self) -> list[HloInstruction]:
+        """Topological (post-)order of instructions reachable from the root."""
+        if self.root is None:
+            raise HloError(f"computation {self.name} has no root")
+        order: list[HloInstruction] = []
+        seen: set[int] = set()
+        stack: list[tuple[HloInstruction, bool]] = [(self.root, False)]
+        while stack:
+            inst, expanded = stack.pop()
+            if inst.id in seen:
+                continue
+            if expanded:
+                seen.add(inst.id)
+                order.append(inst)
+            else:
+                stack.append((inst, True))
+                for op in reversed(inst.operands):
+                    if op.id not in seen:
+                        stack.append((op, False))
+        return order
+
+    def users(self) -> dict[int, list[HloInstruction]]:
+        table: dict[int, list[HloInstruction]] = {}
+        for inst in self.post_order():
+            for op in inst.operands:
+                table.setdefault(op.id, []).append(inst)
+        return table
+
+    def instruction_count(self) -> int:
+        return len(self.post_order())
+
+
+class HloModule:
+    """A compilation unit: one entry computation."""
+
+    def __init__(self, name: str, entry: HloComputation) -> None:
+        self.name = name
+        self.entry = entry
+
+    def __repr__(self) -> str:
+        from repro.hlo.printer import print_module
+
+        return print_module(self)

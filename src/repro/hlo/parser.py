@@ -1,0 +1,139 @@
+"""Parser half of the HLO text round-trip.
+
+Parses the output of :mod:`repro.hlo.printer` back into an
+:class:`HloModule`.  Fused modules are a compiler-internal form and are not
+parsed; round-trip is defined for pre-fusion modules (tests enforce this).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+import numpy as np
+
+from repro.errors import HloError
+from repro.hlo.ir import HloComputation, HloInstruction, HloModule, Shape
+
+_INST_RE = re.compile(
+    r"^(ROOT )?%(?P<name>[\w.\-]+) = (?P<dtype>\w+)\[(?P<dims>[\d,]*)\] "
+    r"(?P<opcode>\w+)\((?P<body>.*)\)$"
+)
+
+
+def parse_module(text: str) -> HloModule:
+    lines = [ln.strip() for ln in text.strip().splitlines()]
+    lines = [ln for ln in lines if ln and not ln.startswith("//")]
+    if not lines or not lines[0].startswith("HloModule"):
+        raise HloError("missing HloModule header")
+    module_name = lines[0].split(None, 1)[1].strip()
+
+    entry_idx = next(
+        (i for i, ln in enumerate(lines) if ln.startswith("ENTRY")), None
+    )
+    if entry_idx is None:
+        raise HloError("missing ENTRY computation")
+    comp_name = lines[entry_idx].removeprefix("ENTRY").strip().rstrip("{").strip()
+    comp = HloComputation(comp_name)
+
+    by_name: dict[str, HloInstruction] = {}
+    root = None
+    for ln in lines[entry_idx + 1 :]:
+        if ln == "}":
+            break
+        if "fused computation" in ln or ln.endswith("{"):
+            raise HloError("parsing fused modules is unsupported")
+        inst, is_root = _parse_instruction(ln, by_name)
+        comp.add(inst)
+        by_name[inst.name] = inst
+        if is_root:
+            root = inst
+    if root is None:
+        raise HloError("computation has no ROOT instruction")
+    comp.set_root(root)
+    return HloModule(module_name, comp)
+
+
+def _parse_instruction(line: str, by_name) -> tuple[HloInstruction, bool]:
+    m = _INST_RE.match(line)
+    if m is None:
+        raise HloError(f"cannot parse instruction: {line!r}")
+    is_root = bool(m.group(1))
+    name = m.group("name")
+    dims = tuple(int(d) for d in m.group("dims").split(",") if d)
+    shape = Shape(dims, m.group("dtype"))
+    opcode = m.group("opcode")
+    body = m.group("body")
+
+    operands_part, extra, attrs = _split_body(body)
+    operands = []
+    for token in operands_part:
+        token = token.strip()
+        if not token:
+            continue
+        if not token.startswith("%"):
+            raise HloError(f"bad operand {token!r} in {line!r}")
+        ref = token[1:]
+        if ref not in by_name:
+            raise HloError(f"operand %{ref} not yet defined")
+        operands.append(by_name[ref])
+
+    literal = None
+    parameter_number = None
+    if opcode == "constant":
+        literal = np.asarray(ast.literal_eval(extra), dtype=np.float32)
+        shape = Shape.of(literal)
+    elif opcode == "parameter":
+        parameter_number = int(extra)
+
+    inst = HloInstruction(
+        opcode,
+        operands,
+        shape,
+        attrs=attrs,
+        literal=literal,
+        parameter_number=parameter_number,
+    )
+    inst.name = name
+    return inst, is_root
+
+
+def _split_body(body: str):
+    """Split ``%a, %b; extra, key=value, ...`` into parts.
+
+    Returns (operand tokens, extra text, attrs dict)."""
+    # Attrs are `ident=python-literal` segments at the end.
+    depth = 0
+    segments = []
+    current = ""
+    for ch in body:
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        if ch == "," and depth == 0:
+            segments.append(current)
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        segments.append(current)
+
+    operands: list[str] = []
+    extra = ""
+    attrs: dict = {}
+    for seg in segments:
+        seg = seg.strip()
+        if "=" in seg and re.match(r"^\w+=", seg):
+            key, value = seg.split("=", 1)
+            attrs[key] = ast.literal_eval(value)
+        elif ";" in seg:
+            op_part, extra = seg.split(";", 1)
+            if op_part.strip():
+                operands.append(op_part)
+            extra = extra.strip()
+        elif seg.startswith("%"):
+            operands.append(seg)
+        elif seg:
+            extra = seg
+    return operands, extra, attrs

@@ -1,0 +1,52 @@
+"""Text format for HLO modules (printer half of the round-trip)."""
+
+from __future__ import annotations
+
+from repro.hlo.ir import HloComputation, HloInstruction, HloModule
+
+
+def _literal_text(inst: HloInstruction) -> str:
+    arr = inst.literal
+    if arr.ndim == 0:
+        return repr(float(arr))
+    return repr(arr.tolist())
+
+
+def print_instruction(inst: HloInstruction, root: bool = False) -> str:
+    prefix = "ROOT " if root else ""
+    ops = ", ".join(f"%{o.name}" for o in inst.operands)
+    extra = ""
+    if inst.opcode == "constant":
+        extra = _literal_text(inst)
+    elif inst.opcode == "parameter":
+        extra = str(inst.parameter_number)
+    body = f"{inst.opcode}({ops}"
+    if extra:
+        body = f"{inst.opcode}({extra}" if not ops else f"{inst.opcode}({ops}; {extra}"
+    body += inst.attr_string()
+    body += ")"
+    return f"{prefix}%{inst.name} = {inst.shape} {body}"
+
+
+def print_computation(comp: HloComputation, indent: str = "") -> str:
+    lines = [f"{indent}{comp.name} {{"]
+    order = comp.post_order()
+    ordered_ids = {i.id for i in order}
+    # Parameters always print (even if unused) so signatures survive DCE.
+    for param in comp.parameters:
+        if param.id not in ordered_ids:
+            lines.append(f"{indent}  {print_instruction(param)}")
+    for inst in order:
+        if inst.opcode == "fusion":
+            inner = print_computation(inst.fused_computation, indent + "  ")
+            lines.append(f"{indent}  // fused computation:\n{inner}")
+        lines.append(
+            f"{indent}  {print_instruction(inst, root=inst is comp.root)}"
+        )
+    lines.append(f"{indent}}}")
+    return "\n".join(lines)
+
+
+def print_module(module: HloModule) -> str:
+    header = f"HloModule {module.name}"
+    return f"{header}\n\nENTRY {print_computation(module.entry)}\n"

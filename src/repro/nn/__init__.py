@@ -1,0 +1,64 @@
+"""Neural-network library: the Layer protocol, standard layers, models."""
+
+from repro.nn.layer import identity, layer, sequenced
+from repro.nn.layers import (
+    AvgPool2D,
+    Embedding,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    Residual,
+    Sequential,
+    relu,
+)
+from repro.nn.checkpoint import load, load_state_dict, save, state_dict
+from repro.nn.losses import accuracy, mse_loss, one_hot, softmax_cross_entropy
+from repro.nn.recurrent import GRU, SimpleRNN
+from repro.nn.models import (
+    MLP,
+    BasicBlock,
+    ConvBN,
+    LeNet,
+    ResNet,
+    resnet50_imagenet,
+    resnet56_cifar,
+    resnet_cifar_small,
+)
+
+__all__ = [
+    "load",
+    "load_state_dict",
+    "save",
+    "state_dict",
+    "GRU",
+    "SimpleRNN",
+    "identity",
+    "layer",
+    "sequenced",
+    "AvgPool2D",
+    "Embedding",
+    "BatchNorm",
+    "Conv2D",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "MaxPool2D",
+    "Residual",
+    "Sequential",
+    "relu",
+    "accuracy",
+    "mse_loss",
+    "one_hot",
+    "softmax_cross_entropy",
+    "MLP",
+    "BasicBlock",
+    "ConvBN",
+    "LeNet",
+    "ResNet",
+    "resnet50_imagenet",
+    "resnet56_cifar",
+    "resnet_cifar_small",
+]

@@ -1,0 +1,101 @@
+"""Model checkpointing.
+
+The paper's workflow (Section 1, Section 5.1.3) relies on checkpoints:
+models pre-trained in the datacenter are fine-tuned elsewhere, and the
+swift-models repository ships checkpoint reading/writing.  Here a model's
+parameters — the differentiable leaves of its struct tree — are flattened
+to a path-keyed dictionary, saved as ``.npz``, and restored in place (a
+unique borrow of the model, consistent with mutable value semantics).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.differentiable import differentiable_fields
+from repro.tensor import Tensor
+
+
+def _is_struct(value) -> bool:
+    return getattr(value, "__is_differentiable_struct__", False)
+
+
+def state_dict(model) -> dict[str, np.ndarray]:
+    """Flatten a model's parameters into ``path -> ndarray``."""
+    out: dict[str, np.ndarray] = {}
+
+    def walk(value, path: str) -> None:
+        if isinstance(value, Tensor):
+            out[path] = value.numpy()
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[path] = np.asarray(float(value), dtype=np.float32)
+        elif isinstance(value, (list, tuple)):
+            for i, item in enumerate(value):
+                walk(item, f"{path}.{i}")
+        elif _is_struct(value):
+            for name in differentiable_fields(value):
+                walk(getattr(value, name), f"{path}.{name}" if path else name)
+
+    walk(model, "")
+    return out
+
+
+def load_state_dict(model, state: dict[str, np.ndarray]) -> None:
+    """Restore parameters into ``model`` in place (unique borrow).
+
+    Paths must match the model's structure exactly; extra or missing keys
+    raise ``KeyError`` so silent architecture drift cannot happen.
+    """
+    consumed: set[str] = set()
+
+    def walk(owner, value, path: str, setter) -> None:
+        if isinstance(value, Tensor):
+            if path not in state:
+                raise KeyError(f"checkpoint is missing parameter {path!r}")
+            setter(Tensor(state[path], value.device))
+            consumed.add(path)
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            if path not in state:
+                raise KeyError(f"checkpoint is missing parameter {path!r}")
+            setter(float(state[path]))
+            consumed.add(path)
+        elif isinstance(value, list):
+            for i, item in enumerate(value):
+                walk(
+                    value,
+                    item,
+                    f"{path}.{i}",
+                    lambda v, lst=value, idx=i: lst.__setitem__(idx, v),
+                )
+        elif _is_struct(value):
+            for name in differentiable_fields(value):
+                field_path = f"{path}.{name}" if path else name
+                walk(
+                    value,
+                    getattr(value, name),
+                    field_path,
+                    lambda v, obj=value, attr=name: object.__setattr__(
+                        obj, attr, v
+                    ),
+                )
+
+    walk(None, model, "", lambda v: None)
+    extra = set(state) - consumed
+    if extra:
+        raise KeyError(f"checkpoint has unknown parameters: {sorted(extra)[:5]}")
+
+
+def save(model, path: Union[str, Path]) -> Path:
+    """Write a model checkpoint to ``path`` (``.npz``)."""
+    path = Path(path)
+    np.savez(path, **state_dict(model))
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load(model, path: Union[str, Path]) -> None:
+    """Restore ``model`` in place from a checkpoint written by :func:`save`."""
+    with np.load(Path(path)) as data:
+        load_state_dict(model, dict(data.items()))

@@ -1,0 +1,90 @@
+"""The Layer protocol (Section 4.1, Figure 6).
+
+A layer is a *differentiable struct* — a value type whose stored properties
+are parameters (tensors), sub-layers, or ``no_derivative`` configuration —
+with a ``callAsFunction`` that is compiled by the AD transformation at
+class-definition time.  There is no ``Variable`` wrapper type anywhere:
+models are plain values, gradients are their ``TangentVector``, and
+optimizers mutate models in place through unique borrows.
+
+``@layer`` is the class decorator conferring the protocol:
+
+>>> @layer
+... class Dense:
+...     weight: Tensor
+...     bias: Tensor
+...     def callAsFunction(self, x):
+...         return x @ self.weight + self.bias
+
+Layers are first-class differentiable callables: calling one inside any
+``@differentiable`` function differentiates through both the input *and*
+the layer's own parameters (the callee cotangent is the layer's
+TangentVector).
+"""
+
+from __future__ import annotations
+
+from repro.core.api import DifferentiableFunction
+from repro.core.differentiable import differentiable_struct
+from repro.sil.primitives import primitive
+
+
+def layer(cls: type) -> type:
+    """Class decorator: differentiable struct + compiled callAsFunction."""
+    if not hasattr(cls, "callAsFunction"):
+        raise TypeError(f"{cls.__name__} must define callAsFunction")
+    cls = differentiable_struct(cls)
+
+    # Lower + check the forward function once, ahead of time — the
+    # @differentiable attribute of Figure 6.
+    call_fn = DifferentiableFunction(cls.callAsFunction)
+    cls.__call_fn__ = call_fn
+
+    def __call__(self, *args):
+        return call_fn.pyfunc(self, *args)
+
+    def __vjp_call__(self, *args):
+        """(result, pullback) where pullback(ct) yields the cotangents of
+        (layer, *args) — how indirect applies differentiate layer calls."""
+        plan = call_fn.vjp_plan()
+        result, records = plan.execute_forward((self, *args))
+        return result, lambda ct: plan.run_pullback(records, ct)
+
+    def __jvp_call__(self, primals, tangents, self_tangent):
+        plan = call_fn.jvp_plan()
+        return plan.execute([self, *primals], [self_tangent, *tangents])
+
+    cls.__call__ = __call__
+    cls.__vjp_call__ = __vjp_call__
+    cls.__jvp_call__ = __jvp_call__
+    cls.__is_layer__ = True
+    return cls
+
+
+@primitive("identity")
+def identity(x):
+    """The do-nothing activation (default for linear layers)."""
+    return x
+
+
+@identity.def_vjp
+def _identity_vjp(x):
+    return x, lambda ct: (ct,)
+
+
+@identity.def_jvp
+def _identity_jvp(primals, tangents):
+    return primals[0], tangents[0]
+
+
+def sequenced(x, layers):
+    """Figure 6's ``sequenced(through:)``: thread ``x`` through ``layers``.
+
+    Differentiable: the loop and list indexing lower through the AD
+    transformation, and each layer application is an indirect apply whose
+    pullback accumulates into the owning struct's tangent.
+    """
+    out = x
+    for i in range(len(layers)):
+        out = layers[i](out)
+    return out

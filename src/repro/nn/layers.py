@@ -1,0 +1,242 @@
+"""Standard layers: the building blocks of Figure 6's LeNet and the ResNets.
+
+Every layer is a value type (mutable value semantics); parameters are plain
+Tensor fields, configuration is ``no_derivative``.  Initialization follows
+the Swift for TensorFlow API conventions (Glorot-uniform weights, zero
+biases).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.core.differentiable import no_derivative
+from repro.nn.layer import identity, layer, sequenced
+from repro.sil.mathprims import relu  # noqa: F401  (common activation re-export)
+from repro.tensor import Tensor, avg_pool2d, conv2d, flatten_batch, max_pool2d, one_hot
+from repro.tensor.device import Device, default_device
+
+
+def _glorot(shape, fan_in, fan_out, device, rng) -> Tensor:
+    limit = math.sqrt(6.0 / (fan_in + fan_out))
+    data = rng.uniform(-limit, limit, size=shape).astype(np.float32)
+    return Tensor(data, device)
+
+
+@layer
+class Dense:
+    """Fully connected layer: ``activation(x @ weight + bias)``."""
+
+    weight: Tensor
+    bias: Tensor
+    activation: object = no_derivative(default=identity)
+
+    @classmethod
+    def create(
+        cls,
+        input_size: int,
+        output_size: int,
+        activation=identity,
+        device: Optional[Device] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "Dense":
+        device = device or default_device()
+        rng = rng if rng is not None else np.random.default_rng()
+        weight = _glorot((input_size, output_size), input_size, output_size, device, rng)
+        bias = Tensor.zeros((output_size,), device)
+        return cls(weight, bias, activation)
+
+    def callAsFunction(self, x):
+        return self.activation(x @ self.weight + self.bias)
+
+
+@layer
+class Conv2D:
+    """2-D convolution over NHWC input with (KH,KW,CIN,COUT) filters."""
+
+    filter: Tensor
+    bias: Tensor
+    stride: int = no_derivative(default=1)
+    padding: str = no_derivative(default="valid")
+    activation: object = no_derivative(default=identity)
+
+    @classmethod
+    def create(
+        cls,
+        filter_shape: tuple[int, int, int, int],
+        stride: int = 1,
+        padding: str = "valid",
+        activation=identity,
+        device: Optional[Device] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "Conv2D":
+        device = device or default_device()
+        rng = rng if rng is not None else np.random.default_rng()
+        kh, kw, cin, cout = filter_shape
+        fan_in = kh * kw * cin
+        fan_out = kh * kw * cout
+        filt = _glorot(filter_shape, fan_in, fan_out, device, rng)
+        bias = Tensor.zeros((cout,), device)
+        return cls(filt, bias, stride, padding, activation)
+
+    def callAsFunction(self, x):
+        convolved = conv2d(x, self.filter, self.stride, self.padding)
+        return self.activation(convolved + self.bias)
+
+
+@layer
+class AvgPool2D:
+    """Average pooling; no parameters."""
+
+    pool_size: int = no_derivative(default=2)
+    stride: int = no_derivative(default=2)
+
+    def callAsFunction(self, x):
+        return avg_pool2d(x, self.pool_size, self.stride)
+
+
+@layer
+class MaxPool2D:
+    """Max pooling; no parameters."""
+
+    pool_size: int = no_derivative(default=2)
+    stride: int = no_derivative(default=2)
+
+    def callAsFunction(self, x):
+        return max_pool2d(x, self.pool_size, self.stride)
+
+
+@layer
+class Flatten:
+    """Collapse all non-batch dimensions."""
+
+    def callAsFunction(self, x):
+        return flatten_batch(x)
+
+
+@layer
+class BatchNorm:
+    """Batch normalization with learnable scale/offset.
+
+    Normalizes over all axes except the channel axis using the current
+    batch's statistics (the training-path computation; running statistics
+    are an inference-time affair handled outside the differentiable call).
+    """
+
+    scale: Tensor
+    offset: Tensor
+    epsilon: float = no_derivative(default=1e-5)
+
+    @classmethod
+    def create(cls, features: int, device: Optional[Device] = None) -> "BatchNorm":
+        device = device or default_device()
+        return cls(
+            Tensor.ones((features,), device), Tensor.zeros((features,), device)
+        )
+
+    def callAsFunction(self, x):
+        axes = tuple(range(len(x.shape) - 1))
+        mean = x.mean(axes, True)
+        centered = x - mean
+        variance = (centered * centered).mean(axes, True)
+        normalized = centered * (variance + self.epsilon).rsqrt()
+        return normalized * self.scale + self.offset
+
+
+from repro.sil.primitives import primitive  # noqa: E402
+
+
+def _dropout_mask(x, rate, seed):
+    rng = np.random.default_rng(seed)
+    keep = (rng.random(x.shape) >= rate).astype(np.float32) / (1.0 - rate)
+    return Tensor(keep, x.device)
+
+
+@primitive("dropout_apply", nondiff_args=(1, 2))
+def dropout_apply(x, rate, seed):
+    if rate <= 0.0:
+        return x
+    mask = _dropout_mask(x, rate, seed)
+    return x * mask
+
+
+@dropout_apply.def_vjp
+def _dropout_apply_vjp(x, rate, seed):
+    if rate <= 0.0:
+        return x, lambda ct: (ct, None, None)
+    mask = _dropout_mask(x, rate, seed)
+
+    def pullback(ct):
+        return (ct * mask, None, None)
+
+    return x * mask, pullback
+
+
+@layer
+class Dropout:
+    """Dropout with a fixed pre-sampled mask policy.
+
+    To keep traces deterministic and cache-friendly, the mask is sampled on
+    the host per call when training; at inference (``rate == 0``) this is
+    the identity.
+    """
+
+    rate: float = no_derivative(default=0.5)
+    seed: int = no_derivative(default=0)
+
+    def callAsFunction(self, x):
+        return dropout_apply(x, self.rate, self.seed)
+
+
+@layer
+class Sequential:
+    """A layer composing an arbitrary list of sub-layers in order."""
+
+    layers: list
+
+    def callAsFunction(self, x):
+        return sequenced(x, self.layers)
+
+
+@layer
+class Residual:
+    """`x + body(x)` — the skip connection building block."""
+
+    body: object
+
+    def callAsFunction(self, x):
+        return x + self.body(x)
+
+
+@layer
+class Embedding:
+    """Trainable lookup table: indices -> dense vectors.
+
+    Implemented as one-hot times the table so the gradient flows through
+    the standard matmul pullback (a scatter-add into the table rows).
+    """
+
+    table: Tensor
+
+    @classmethod
+    def create(
+        cls,
+        vocabulary_size: int,
+        embedding_size: int,
+        device: Optional[Device] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "Embedding":
+        device = device or default_device()
+        rng = rng if rng is not None else np.random.default_rng()
+        scale = 1.0 / math.sqrt(embedding_size)
+        data = (rng.standard_normal((vocabulary_size, embedding_size)) * scale).astype(
+            np.float32
+        )
+        return cls(Tensor(data, device))
+
+    def callAsFunction(self, indices):
+        encoded = one_hot(indices, len(self.table))
+        return encoded @ self.table

@@ -1,0 +1,18 @@
+"""Loss functions (thin differentiable wrappers over tensor primitives)."""
+
+from __future__ import annotations
+
+from repro.tensor import mse_loss, one_hot, softmax_cross_entropy
+
+__all__ = ["softmax_cross_entropy", "mse_loss", "one_hot", "accuracy"]
+
+
+def accuracy(logits, labels) -> float:
+    """Fraction of rows where argmax(logits) == argmax(labels).
+
+    An observation (materializes lazy tensors); used for metrics only."""
+    import numpy as np
+
+    predicted = np.argmax(logits.numpy(), axis=-1)
+    expected = np.argmax(labels.numpy(), axis=-1)
+    return float((predicted == expected).mean())

@@ -1,0 +1,234 @@
+"""Models: LeNet-5 (Figure 6), an MLP, and the ResNet family.
+
+``LeNet`` is a line-for-line port of the paper's Figure 6: a struct
+conforming to the Layer protocol, composing standard layers, with a
+``@differentiable`` ``callAsFunction``.
+
+The ResNets provide the evaluation workloads: ``resnet56_cifar`` for the
+GPU experiment (Table 3) and ``resnet50_imagenet`` for the TPU experiments
+(Tables 1–2).  Both accept a ``width_multiplier``/``depth_per_stage`` so
+tests and benches can scale compute while preserving the op mix.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.differentiable import no_derivative
+from repro.nn.layer import layer, sequenced
+from repro.nn.layers import (
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Flatten,
+    Sequential,
+)
+from repro.sil.mathprims import relu
+from repro.tensor.device import Device, default_device
+
+
+@layer
+class LeNet:
+    """The paper's Figure 6 model, field for field."""
+
+    conv1: Conv2D
+    pool1: AvgPool2D
+    conv2: Conv2D
+    pool2: AvgPool2D
+    flatten: Flatten
+    fc1: Dense
+    fc2: Dense
+    fc3: Dense
+
+    @classmethod
+    def create(
+        cls, device: Optional[Device] = None, seed: int = 0
+    ) -> "LeNet":
+        device = device or default_device()
+        rng = np.random.default_rng(seed)
+        return cls(
+            conv1=Conv2D.create(
+                (5, 5, 1, 6), padding="same", activation=relu, device=device, rng=rng
+            ),
+            pool1=AvgPool2D(2, 2),
+            conv2=Conv2D.create((5, 5, 6, 16), activation=relu, device=device, rng=rng),
+            pool2=AvgPool2D(2, 2),
+            flatten=Flatten(),
+            fc1=Dense.create(400, 120, activation=relu, device=device, rng=rng),
+            fc2=Dense.create(120, 84, activation=relu, device=device, rng=rng),
+            fc3=Dense.create(84, 10, device=device, rng=rng),
+        )
+
+    def callAsFunction(self, input):
+        convolved = sequenced(input, [self.conv1, self.pool1, self.conv2, self.pool2])
+        return sequenced(convolved, [self.flatten, self.fc1, self.fc2, self.fc3])
+
+
+@layer
+class MLP:
+    """A plain multi-layer perceptron over flattened inputs."""
+
+    hidden: Sequential
+    head: Dense
+
+    @classmethod
+    def create(
+        cls,
+        input_size: int,
+        hidden_sizes: list[int],
+        output_size: int,
+        device: Optional[Device] = None,
+        seed: int = 0,
+    ) -> "MLP":
+        device = device or default_device()
+        rng = np.random.default_rng(seed)
+        sizes = [input_size] + list(hidden_sizes)
+        hidden = Sequential(
+            [
+                Dense.create(a, b, activation=relu, device=device, rng=rng)
+                for a, b in zip(sizes, sizes[1:])
+            ]
+        )
+        head = Dense.create(sizes[-1], output_size, device=device, rng=rng)
+        return cls(hidden, head)
+
+    def callAsFunction(self, x):
+        return self.head(self.hidden(x))
+
+
+@layer
+class ConvBN:
+    """Conv2D followed by batch normalization (the ResNet building unit)."""
+
+    conv: Conv2D
+    norm: BatchNorm
+
+    @classmethod
+    def create(cls, filter_shape, stride=1, padding="same", device=None, rng=None):
+        conv = Conv2D.create(filter_shape, stride, padding, device=device, rng=rng)
+        norm = BatchNorm.create(filter_shape[3], device=device)
+        return cls(conv, norm)
+
+    def callAsFunction(self, x):
+        return self.norm(self.conv(x))
+
+
+@layer
+class BasicBlock:
+    """Two 3x3 ConvBNs with identity (or projection) skip connection."""
+
+    conv1: ConvBN
+    conv2: ConvBN
+    projection: object  # ConvBN for strided/widening blocks, else a dummy
+    has_projection: bool = no_derivative(default=False)
+
+    @classmethod
+    def create(cls, in_channels, out_channels, stride=1, device=None, rng=None):
+        conv1 = ConvBN.create(
+            (3, 3, in_channels, out_channels), stride, "same", device, rng
+        )
+        conv2 = ConvBN.create(
+            (3, 3, out_channels, out_channels), 1, "same", device, rng
+        )
+        if stride != 1 or in_channels != out_channels:
+            projection = ConvBN.create(
+                (1, 1, in_channels, out_channels), stride, "same", device, rng
+            )
+            return cls(conv1, conv2, projection, True)
+        return cls(conv1, conv2, ConvBN.create((1, 1, 1, 1), 1, "same", device, rng), False)
+
+    def callAsFunction(self, x):
+        h = relu(self.conv1(x))
+        h = self.conv2(h)
+        if self.has_projection:
+            shortcut = self.projection(x)
+        else:
+            shortcut = x
+        return relu(h + shortcut)
+
+
+@layer
+class ResNet:
+    """A CIFAR-style residual network: stem, three stages, pooled head."""
+
+    stem: ConvBN
+    stages: list
+    head: Dense
+    pool_size: int = no_derivative(default=8)
+
+    @classmethod
+    def create(
+        cls,
+        depth_per_stage: int,
+        base_width: int = 16,
+        num_classes: int = 10,
+        image_size: int = 32,
+        in_channels: int = 3,
+        device: Optional[Device] = None,
+        seed: int = 0,
+    ) -> "ResNet":
+        device = device or default_device()
+        rng = np.random.default_rng(seed)
+        stem = ConvBN.create(
+            (3, 3, in_channels, base_width), 1, "same", device, rng
+        )
+        stages: list = []
+        channels = base_width
+        for stage in range(3):
+            out_channels = base_width * (2**stage)
+            blocks = []
+            for block in range(depth_per_stage):
+                stride = 2 if (stage > 0 and block == 0) else 1
+                blocks.append(
+                    BasicBlock.create(channels, out_channels, stride, device, rng)
+                )
+                channels = out_channels
+            stages.append(Sequential(blocks))
+        final_spatial = image_size // 4  # two stride-2 stages
+        head = Dense.create(channels * 1 * 1, num_classes, device=device, rng=rng)
+        return cls(stem, stages, head, final_spatial)
+
+    def callAsFunction(self, x):
+        h = relu(self.stem(x))
+        h = sequenced(h, self.stages)
+        pooled = h.mean((1, 2))
+        return self.head(pooled)
+
+
+def resnet56_cifar(device=None, seed=0, width=16) -> ResNet:
+    """ResNet-56 for CIFAR-10: 3 stages x 9 basic blocks (He et al. 2016)."""
+    return ResNet.create(
+        depth_per_stage=9, base_width=width, num_classes=10, device=device, seed=seed
+    )
+
+
+def resnet_cifar_small(device=None, seed=0) -> ResNet:
+    """A scaled-down ResNet (3 stages x 1 block) for tests."""
+    return ResNet.create(
+        depth_per_stage=1, base_width=8, num_classes=10, device=device, seed=seed
+    )
+
+
+def resnet50_imagenet(
+    device=None, seed=0, image_size: int = 32, base_width: int = 32
+) -> ResNet:
+    """A ResNet-50-class model for the TPU experiments.
+
+    Substitution note (DESIGN.md): the paper's ResNet-50 uses bottleneck
+    blocks on 224x224 inputs; here the same stage structure runs basic
+    blocks at a reduced spatial size so the experiment executes in
+    reasonable wall time while preserving the conv/BN/elementwise op mix
+    that drives the systems comparison.  Depth 8 per stage ≈ 50 conv
+    layers total.
+    """
+    return ResNet.create(
+        depth_per_stage=8,
+        base_width=base_width,
+        num_classes=1000,
+        image_size=image_size,
+        device=device,
+        seed=seed,
+    )

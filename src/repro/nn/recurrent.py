@@ -1,0 +1,105 @@
+"""Recurrent layers: fully dynamic networks (the DyNet comparison).
+
+Section 6 notes the platform "support[s] fully dynamic networks that can
+change architecture on each iteration".  These RNNs demonstrate that: the
+time loop is ordinary Python control flow inside ``callAsFunction``,
+lowered and differentiated by the AD transformation — sequences of any
+length (even varying per call) run through the same compiled derivative,
+with per-basic-block records capturing the unrolling at runtime.
+
+Inputs are lists of ``(batch, features)`` tensors, one per time step.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layer import layer
+from repro.tensor import Tensor
+from repro.tensor.device import Device, default_device
+
+
+def _init(shape, scale, device, rng) -> Tensor:
+    data = (rng.standard_normal(shape) * scale).astype(np.float32)
+    return Tensor(data, device)
+
+
+@layer
+class SimpleRNN:
+    """Elman RNN: ``h_t = tanh(x_t W_ih + h_{t-1} W_hh + b)``.
+
+    Returns the final hidden state; stack a Dense head for classification.
+    """
+
+    w_ih: Tensor
+    w_hh: Tensor
+    bias: Tensor
+
+    @classmethod
+    def create(
+        cls,
+        input_size: int,
+        hidden_size: int,
+        device: Optional[Device] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "SimpleRNN":
+        device = device or default_device()
+        rng = rng if rng is not None else np.random.default_rng()
+        scale_ih = 1.0 / np.sqrt(input_size)
+        scale_hh = 1.0 / np.sqrt(hidden_size)
+        return cls(
+            w_ih=_init((input_size, hidden_size), scale_ih, device, rng),
+            w_hh=_init((hidden_size, hidden_size), scale_hh, device, rng),
+            bias=Tensor.zeros((hidden_size,), device),
+        )
+
+    def callAsFunction(self, inputs):
+        h = (inputs[0] @ self.w_ih + self.bias).tanh()
+        for t in range(1, len(inputs)):
+            h = (inputs[t] @ self.w_ih + h @ self.w_hh + self.bias).tanh()
+        return h
+
+
+@layer
+class GRU:
+    """Gated recurrent unit over a list of time-step tensors."""
+
+    w_z: Tensor
+    u_z: Tensor
+    w_r: Tensor
+    u_r: Tensor
+    w_h: Tensor
+    u_h: Tensor
+
+    @classmethod
+    def create(
+        cls,
+        input_size: int,
+        hidden_size: int,
+        device: Optional[Device] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "GRU":
+        device = device or default_device()
+        rng = rng if rng is not None else np.random.default_rng()
+        si = 1.0 / np.sqrt(input_size)
+        sh = 1.0 / np.sqrt(hidden_size)
+        return cls(
+            w_z=_init((input_size, hidden_size), si, device, rng),
+            u_z=_init((hidden_size, hidden_size), sh, device, rng),
+            w_r=_init((input_size, hidden_size), si, device, rng),
+            u_r=_init((hidden_size, hidden_size), sh, device, rng),
+            w_h=_init((input_size, hidden_size), si, device, rng),
+            u_h=_init((hidden_size, hidden_size), sh, device, rng),
+        )
+
+    def callAsFunction(self, inputs):
+        h = (inputs[0] @ self.w_h).tanh()
+        for t in range(1, len(inputs)):
+            x = inputs[t]
+            z = (x @ self.w_z + h @ self.u_z).sigmoid()
+            r = (x @ self.w_r + h @ self.u_r).sigmoid()
+            candidate = (x @ self.w_h + (r * h) @ self.u_h).tanh()
+            h = (1.0 - z) * h + z * candidate
+        return h

@@ -1,0 +1,40 @@
+"""Optimizers with in-place (``inout``) model updates."""
+
+from repro.optim.accumulate import (
+    GradientAccumulator,
+    accumulate_gradient,
+    microbatched_step,
+)
+from repro.optim.line_search import BacktrackingLineSearch, LineSearchResult
+from repro.optim.optimizers import (
+    SGD,
+    Adam,
+    LearningRateSchedule,
+    RMSProp,
+    functional_update,
+)
+from repro.optim.tree import (
+    tangent_byte_size,
+    tangent_norm_squared,
+    tree_map,
+    tree_map2,
+    tree_reduce_sum,
+)
+
+__all__ = [
+    "GradientAccumulator",
+    "accumulate_gradient",
+    "microbatched_step",
+    "BacktrackingLineSearch",
+    "LineSearchResult",
+    "SGD",
+    "Adam",
+    "LearningRateSchedule",
+    "RMSProp",
+    "functional_update",
+    "tangent_byte_size",
+    "tangent_norm_squared",
+    "tree_map",
+    "tree_map2",
+    "tree_reduce_sum",
+]

@@ -1,0 +1,67 @@
+"""Gradient accumulation — the inout-formulated derivative surface.
+
+Section 4.4 leaves "support for inout-formulated derivatives" as an open
+question; this module provides the API-level form: pullback results
+accumulate *into* a caller-owned mutable slot instead of materializing a
+fresh tangent per call.  The practical payoff is microbatch gradient
+accumulation: summing gradients over K microbatches without K live
+tangent trees.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core import value_and_gradient
+from repro.core.differentiable import ZERO, tangent_add
+from repro.optim.tree import tree_map
+
+
+class GradientAccumulator:
+    """A mutable tangent slot with in-place accumulation semantics.
+
+    The slot starts at the symbolic ZERO, so accumulation never
+    materializes zero storage (the Section 4.3 discipline)."""
+
+    def __init__(self) -> None:
+        self.value = ZERO
+        self.count = 0
+
+    def accumulate(self, tangent) -> None:
+        """``self += tangent`` (borrowing the slot uniquely)."""
+        self.value = tangent_add(self.value, tangent)
+        self.count += 1
+
+    def mean(self):
+        """The averaged accumulated tangent."""
+        if self.count == 0:
+            return ZERO
+        scale = 1.0 / self.count
+        return tree_map(lambda leaf: leaf * scale, self.value)
+
+    def reset(self) -> None:
+        self.value = ZERO
+        self.count = 0
+
+
+def accumulate_gradient(
+    loss_fn: Callable, model, accumulator: GradientAccumulator, *batch
+) -> float:
+    """One microbatch: compute the loss and accumulate its gradient into
+    ``accumulator``; returns the loss value."""
+    loss, gradient = value_and_gradient(loss_fn, model, *batch, wrt=0)
+    accumulator.accumulate(gradient)
+    return float(loss)
+
+
+def microbatched_step(
+    loss_fn: Callable, model, optimizer, microbatches
+) -> float:
+    """A full optimizer step from several microbatches: accumulate each
+    microbatch's gradient into one slot, then update with the mean."""
+    accumulator = GradientAccumulator()
+    total = 0.0
+    for batch in microbatches:
+        total += accumulate_gradient(loss_fn, model, accumulator, *batch)
+    optimizer.update(model, accumulator.mean())
+    return total / max(accumulator.count, 1)

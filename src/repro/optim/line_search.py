@@ -1,0 +1,82 @@
+"""Backtracking line search (Section 5.1.3).
+
+The mobile spline experiment optimizes with gradient descent whose step
+size is chosen by backtracking line search under the Armijo condition —
+derivatives decide the direction, repeated loss evaluation decides the
+step.  Works on any Differentiable model over any Tensor backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core import value_and_gradient
+from repro.core.differentiable import move
+from repro.optim.tree import tangent_norm_squared, tree_map
+
+
+@dataclass
+class LineSearchResult:
+    loss_before: float
+    loss_after: float
+    step_size: float
+    evaluations: int
+    converged: bool
+
+
+class BacktrackingLineSearch:
+    """Armijo backtracking: shrink the step until sufficient decrease."""
+
+    def __init__(
+        self,
+        initial_step: float = 1.0,
+        shrink: float = 0.5,
+        sufficient_decrease: float = 1e-4,
+        max_evaluations: int = 30,
+        tolerance: float = 1e-10,
+    ) -> None:
+        self.initial_step = initial_step
+        self.shrink = shrink
+        self.sufficient_decrease = sufficient_decrease
+        self.max_evaluations = max_evaluations
+        self.tolerance = tolerance
+
+    def step(self, loss_fn: Callable, model) -> tuple[object, LineSearchResult]:
+        """One descent step; returns (updated model, diagnostics)."""
+        loss, gradient = value_and_gradient(loss_fn, model)
+        loss = float(loss)
+        grad_norm2 = tangent_norm_squared(gradient)
+        if grad_norm2 <= self.tolerance:
+            return model, LineSearchResult(loss, loss, 0.0, 0, True)
+
+        t = self.initial_step
+        evaluations = 0
+        while evaluations < self.max_evaluations:
+            candidate = move(model, tree_map(lambda g: g * (-t), gradient))
+            candidate_loss = float(loss_fn(candidate))
+            evaluations += 1
+            if candidate_loss <= loss - self.sufficient_decrease * t * grad_norm2:
+                return candidate, LineSearchResult(
+                    loss, candidate_loss, t, evaluations, False
+                )
+            t *= self.shrink
+        return model, LineSearchResult(loss, loss, 0.0, evaluations, True)
+
+    def minimize(
+        self,
+        loss_fn: Callable,
+        model,
+        max_steps: int = 100,
+        loss_tolerance: float = 1e-8,
+    ) -> tuple[object, list[LineSearchResult]]:
+        """Iterate to convergence; returns (model, per-step diagnostics)."""
+        history: list[LineSearchResult] = []
+        for _ in range(max_steps):
+            model, result = self.step(loss_fn, model)
+            history.append(result)
+            if result.converged:
+                break
+            if abs(result.loss_before - result.loss_after) < loss_tolerance:
+                break
+        return model, history

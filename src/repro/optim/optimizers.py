@@ -1,0 +1,159 @@
+"""Optimizers with mutable-value-semantics updates (Section 4.2).
+
+Every optimizer's ``update`` has the shape the paper advocates::
+
+    (inout Model, Model.TangentVector) -> Void
+
+The model is borrowed uniquely and moved in place along the transformed
+gradient, so at no point do two full copies of the parameters exist —
+the "avoiding model copies" result.  ``functional_update`` provides the
+``(Model, TangentVector) -> Model`` formulation for comparison; the
+memory benchmark contrasts their peak usage.
+"""
+
+from __future__ import annotations
+
+import math
+from repro.core.differentiable import ZERO, move
+from repro.optim.tree import tree_map, tree_map2
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0) -> None:
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.velocity = ZERO
+
+    def update(self, model, gradient) -> None:
+        """Borrow ``model`` uniquely and move it against the gradient."""
+        if self.momentum != 0.0:
+            mu = self.momentum
+            self.velocity = tree_map2(
+                lambda v, g: v * mu + g,
+                self.velocity,
+                gradient,
+                a_zero=lambda v: v * mu,
+                b_zero=lambda g: g,
+            )
+            step = self.velocity
+        else:
+            step = gradient
+        lr = self.learning_rate
+        model.move_(tree_map(lambda g: g * (-lr), step))
+
+
+class Adam:
+    """Adam (Kingma & Ba) over tangent trees."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self.step_count = 0
+        self.first_moment = ZERO
+        self.second_moment = ZERO
+
+    def update(self, model, gradient) -> None:
+        self.step_count += 1
+        b1, b2 = self.beta1, self.beta2
+        self.first_moment = tree_map2(
+            lambda m, g: m * b1 + g * (1 - b1),
+            self.first_moment,
+            gradient,
+            a_zero=lambda m: m * b1,
+            b_zero=lambda g: g * (1 - b1),
+        )
+        self.second_moment = tree_map2(
+            lambda v, g: v * b2 + (g * g) * (1 - b2),
+            self.second_moment,
+            gradient,
+            a_zero=lambda v: v * b2,
+            b_zero=lambda g: (g * g) * (1 - b2),
+        )
+        correction1 = 1 - b1**self.step_count
+        correction2 = 1 - b2**self.step_count
+        lr = self.learning_rate
+        eps = self.epsilon
+
+        def step(m, v):
+            m_hat = m * (1.0 / correction1)
+            v_hat = v * (1.0 / correction2)
+            return m_hat * (-lr) / (_sqrt(v_hat) + eps)
+
+        delta = tree_map2(
+            step,
+            self.first_moment,
+            self.second_moment,
+            a_zero=lambda m: m * (-lr / correction1) / eps,
+            b_zero=None,
+        )
+        model.move_(delta)
+
+
+class RMSProp:
+    """RMSProp with exponentially-decayed squared-gradient scaling."""
+
+    def __init__(
+        self, learning_rate: float = 1e-3, rho: float = 0.9, epsilon: float = 1e-8
+    ) -> None:
+        self.learning_rate = learning_rate
+        self.rho = rho
+        self.epsilon = epsilon
+        self.mean_square = ZERO
+
+    def update(self, model, gradient) -> None:
+        rho = self.rho
+        self.mean_square = tree_map2(
+            lambda s, g: s * rho + (g * g) * (1 - rho),
+            self.mean_square,
+            gradient,
+            a_zero=lambda s: s * rho,
+            b_zero=lambda g: (g * g) * (1 - rho),
+        )
+        lr, eps = self.learning_rate, self.epsilon
+        delta = tree_map2(
+            lambda g, s: g * (-lr) / (_sqrt(s) + eps),
+            gradient,
+            self.mean_square,
+            a_zero=None,
+            b_zero=None,
+        )
+        model.move_(delta)
+
+
+def _sqrt(leaf):
+    if isinstance(leaf, (int, float)):
+        return math.sqrt(leaf)
+    return leaf.sqrt()
+
+
+def functional_update(model, gradient, learning_rate: float):
+    """The pure-functional training step: ``(Model, TV) -> Model``.
+
+    Returns a *new* model; the old one stays alive at the call site, so
+    both parameter sets are materialized simultaneously — the memory
+    behaviour Section 4.2's ``inout`` formulation avoids."""
+    return move(model, tree_map(lambda g: g * (-learning_rate), gradient))
+
+
+class LearningRateSchedule:
+    """Piecewise/decay learning-rate schedules for the training library."""
+
+    def __init__(self, base: float, decay_steps: int = 0, decay_rate: float = 1.0):
+        self.base = base
+        self.decay_steps = decay_steps
+        self.decay_rate = decay_rate
+
+    def __call__(self, step: int) -> float:
+        if self.decay_steps <= 0:
+            return self.base
+        return self.base * (self.decay_rate ** (step // self.decay_steps))

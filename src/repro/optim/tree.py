@@ -1,0 +1,109 @@
+"""Elementwise operations over tangent trees.
+
+Optimizer state (momenta, second moments) lives in the model's
+``TangentVector`` space.  These helpers map scalar functions over the
+leaves of nested TangentVectors / lists / tuples / tensors / floats,
+treating the symbolic :data:`ZERO` as an absorbing zero leaf.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.differentiable import ZERO
+
+
+def _is_struct_tangent(t) -> bool:
+    return hasattr(t, "_fields") and hasattr(t, "_struct_type")
+
+
+def tree_map(fn: Callable, tree):
+    """Apply ``fn`` to every non-ZERO leaf; ZERO subtrees stay ZERO."""
+    if tree is ZERO:
+        return ZERO
+    if _is_struct_tangent(tree):
+        return type(tree)(
+            **{name: tree_map(fn, getattr(tree, name)) for name in tree._fields}
+        )
+    if isinstance(tree, list):
+        return [tree_map(fn, t) for t in tree]
+    if isinstance(tree, tuple):
+        return tuple(tree_map(fn, t) for t in tree)
+    return fn(tree)
+
+
+def tree_map2(fn: Callable, a, b, *, a_zero=None, b_zero=None):
+    """Apply a binary ``fn`` leafwise over two congruent tangent trees.
+
+    ``a_zero``/``b_zero`` supply the behaviour when one side is ZERO:
+    callables receiving the other leaf, or None meaning the result is the
+    ZERO-propagated ``fn`` applied with an absorbed zero (result ZERO only
+    when *both* are ZERO and no handler is given).
+    """
+    if a is ZERO and b is ZERO:
+        return ZERO
+    if a is ZERO:
+        return tree_map(b_zero, b) if b_zero is not None else ZERO
+    if b is ZERO:
+        return tree_map(a_zero, a) if a_zero is not None else ZERO
+    if _is_struct_tangent(a) or _is_struct_tangent(b):
+        cls = type(a) if _is_struct_tangent(a) else type(b)
+        return cls(
+            **{
+                name: tree_map2(
+                    fn,
+                    getattr(a, name),
+                    getattr(b, name),
+                    a_zero=a_zero,
+                    b_zero=b_zero,
+                )
+                for name in cls._fields
+            }
+        )
+    if isinstance(a, list) or isinstance(b, list):
+        return [
+            tree_map2(fn, x, y, a_zero=a_zero, b_zero=b_zero)
+            for x, y in zip(a, b, strict=True)
+        ]
+    if isinstance(a, tuple) or isinstance(b, tuple):
+        return tuple(
+            tree_map2(fn, x, y, a_zero=a_zero, b_zero=b_zero)
+            for x, y in zip(a, b, strict=True)
+        )
+    return fn(a, b)
+
+
+def tree_reduce_sum(fn: Callable, tree) -> float:
+    """Sum ``fn(leaf)`` (a float) over every non-ZERO leaf."""
+    if tree is ZERO:
+        return 0.0
+    if _is_struct_tangent(tree):
+        return sum(
+            tree_reduce_sum(fn, getattr(tree, name)) for name in tree._fields
+        )
+    if isinstance(tree, (list, tuple)):
+        return sum(tree_reduce_sum(fn, t) for t in tree)
+    return fn(tree)
+
+
+def _leaf_sumsq(leaf) -> float:
+    if isinstance(leaf, (int, float)):
+        return float(leaf) ** 2
+    return float((leaf * leaf).sum())
+
+
+def tangent_norm_squared(tree) -> float:
+    """The squared l2 norm of a tangent tree (observes lazy tensors)."""
+    return tree_reduce_sum(_leaf_sumsq, tree)
+
+
+def tangent_byte_size(tree) -> int:
+    """Approximate storage footprint of a tangent tree (f32 leaves)."""
+
+    def leaf_bytes(leaf) -> float:
+        if isinstance(leaf, (int, float)):
+            return 4
+        size = getattr(leaf, "size", 1)
+        return 4 * size
+
+    return int(tree_reduce_sum(leaf_bytes, tree))

@@ -1,0 +1,59 @@
+"""Kernel runtime: NumPy kernels, simulated devices, cost model, memory.
+
+Every accelerated path in the platform (eager backend, compiled HLO,
+baseline framework engines) executes through :mod:`repro.runtime.kernels`
+and accounts time via :mod:`repro.runtime.costmodel`.
+"""
+
+from repro.runtime.cluster import PodSimulator, StepTiming
+from repro.runtime.costmodel import (
+    DESKTOP_CPU,
+    GTX_1080,
+    JAX_JIT,
+    MOBILE_CPU,
+    S4TF_EAGER,
+    S4TF_LAZY,
+    S4TF_MOBILE,
+    TF_GRAPH,
+    TF_MOBILE,
+    TFLITE,
+    TFLITE_FUSED,
+    TORCH_LIKE,
+    TPU_V3_CORE,
+    DeviceProfile,
+    EngineProfile,
+)
+from repro.runtime.device import DeviceStats, Dispatcher, SimDevice
+from repro.runtime.kernels import DTYPE, ITEMSIZE, KERNELS, Kernel, get_kernel
+from repro.runtime.memory import TRACKER, MemoryTracker, track
+
+__all__ = [
+    "PodSimulator",
+    "StepTiming",
+    "DESKTOP_CPU",
+    "GTX_1080",
+    "JAX_JIT",
+    "MOBILE_CPU",
+    "S4TF_EAGER",
+    "S4TF_LAZY",
+    "S4TF_MOBILE",
+    "TF_GRAPH",
+    "TF_MOBILE",
+    "TFLITE",
+    "TFLITE_FUSED",
+    "TORCH_LIKE",
+    "TPU_V3_CORE",
+    "DeviceProfile",
+    "EngineProfile",
+    "DeviceStats",
+    "Dispatcher",
+    "SimDevice",
+    "DTYPE",
+    "ITEMSIZE",
+    "KERNELS",
+    "Kernel",
+    "get_kernel",
+    "TRACKER",
+    "MemoryTracker",
+    "track",
+]

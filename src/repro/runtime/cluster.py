@@ -1,0 +1,55 @@
+"""Data-parallel cluster simulation (the Table 1 substrate).
+
+A pod of N identical accelerator cores trains synchronously: every step,
+each replica computes forward+backward on its shard of the global batch,
+then the pod ring-all-reduces the gradients.  One representative replica
+runs the real numerics; the simulated step time combines its compute time
+with the all-reduce cost model, which is what determines the per-core
+throughput scaling the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.costmodel import DeviceProfile
+
+
+@dataclass
+class StepTiming:
+    compute_time: float
+    allreduce_time: float
+
+    @property
+    def total(self) -> float:
+        return self.compute_time + self.allreduce_time
+
+
+class PodSimulator:
+    """Synchronous data-parallel pod of ``n_cores`` devices."""
+
+    def __init__(self, profile: DeviceProfile, n_cores: int) -> None:
+        if n_cores < 1:
+            raise ValueError("a pod needs at least one core")
+        self.profile = profile
+        self.n_cores = n_cores
+
+    def step_time(self, per_replica_compute: float, gradient_bytes: float) -> StepTiming:
+        """Simulated time of one synchronous training step."""
+        ar = self.profile.allreduce_time(gradient_bytes, self.n_cores)
+        return StepTiming(compute_time=per_replica_compute, allreduce_time=ar)
+
+    def throughput(
+        self, per_replica_compute: float, gradient_bytes: float, per_replica_batch: int
+    ) -> float:
+        """Global examples/second of the pod."""
+        t = self.step_time(per_replica_compute, gradient_bytes).total
+        return self.n_cores * per_replica_batch / t
+
+    def per_core_throughput(
+        self, per_replica_compute: float, gradient_bytes: float, per_replica_batch: int
+    ) -> float:
+        return (
+            self.throughput(per_replica_compute, gradient_bytes, per_replica_batch)
+            / self.n_cores
+        )

@@ -1,0 +1,138 @@
+"""Simulated devices and asynchronous kernel dispatch.
+
+Reproduces the execution discipline of Section 3.2: the host dispatches
+kernels asynchronously and runs ahead; the device consumes its queue; the
+host blocks only when a program *observes* tensor contents.  Numerics run
+immediately (NumPy); time is accounted on a simulated clock so the
+eager/lazy/graph comparisons of Tables 1–4 are deterministic and portable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime import memory
+from repro.runtime.costmodel import DeviceProfile, EngineProfile
+from repro.runtime.kernels import ITEMSIZE, Kernel
+
+
+@dataclass
+class DeviceStats:
+    """Counters for one simulated device."""
+
+    kernels_launched: int = 0
+    fused_kernels: int = 0
+    ops_in_fused_kernels: int = 0
+    flops: float = 0.0
+    traffic_bytes: float = 0.0
+
+    def reset(self) -> None:
+        self.kernels_launched = 0
+        self.fused_kernels = 0
+        self.ops_in_fused_kernels = 0
+        self.flops = 0.0
+        self.traffic_bytes = 0.0
+
+
+class SimDevice:
+    """One accelerator (or mobile CPU) with its own busy-until timeline."""
+
+    def __init__(self, profile: DeviceProfile, name: str = "") -> None:
+        self.profile = profile
+        self.name = name or profile.name
+        self.busy_until = 0.0
+        self.stats = DeviceStats()
+        self.memory = memory.MemoryTracker()
+
+    def reset(self) -> None:
+        self.busy_until = 0.0
+        self.stats.reset()
+        self.memory.reset()
+
+    def launch(
+        self, kernel: Kernel, out_shape, in_shapes, host_time: float
+    ) -> float:
+        """Enqueue one kernel; returns its completion time."""
+        flops = kernel.flops(out_shape, in_shapes)
+        traffic = kernel.traffic(out_shape, in_shapes)
+        duration = self.profile.kernel_time(flops, traffic)
+        start = max(host_time, self.busy_until)
+        self.busy_until = start + duration
+        self.stats.kernels_launched += 1
+        self.stats.flops += flops
+        self.stats.traffic_bytes += traffic
+        return self.busy_until
+
+    def launch_fused(
+        self, n_ops: int, flops: float, traffic: float, host_time: float
+    ) -> float:
+        """Enqueue one *fused* kernel covering ``n_ops`` primitive ops.
+
+        Pays a single launch overhead and streams only the region's
+        external inputs/outputs — the fusion benefit XLA delivers.
+        """
+        duration = self.profile.kernel_time(flops, traffic)
+        start = max(host_time, self.busy_until)
+        self.busy_until = start + duration
+        self.stats.kernels_launched += 1
+        self.stats.fused_kernels += 1
+        self.stats.ops_in_fused_kernels += n_ops
+        self.stats.flops += flops
+        self.stats.traffic_bytes += traffic
+        return self.busy_until
+
+    def allocate(self, shape) -> None:
+        nbytes = int(np.prod(shape)) * ITEMSIZE if shape else ITEMSIZE
+        self.memory.allocate(nbytes)
+        memory.allocate(nbytes)
+
+    def free(self, shape) -> None:
+        nbytes = int(np.prod(shape)) * ITEMSIZE if shape else ITEMSIZE
+        self.memory.free(nbytes)
+        memory.free(nbytes)
+
+
+class Dispatcher:
+    """Host-side asynchronous op-by-op dispatcher (define-by-run engine).
+
+    ``dispatch`` computes the result immediately but accounts host dispatch
+    overhead and device queueing on the simulated clock.  ``sync`` models a
+    materialization point: the host waits for the device queue to drain.
+    """
+
+    def __init__(self, device: SimDevice, engine: EngineProfile) -> None:
+        self.device = device
+        self.engine = engine
+        self.host_time = 0.0
+        self.ops_dispatched = 0
+
+    def reset(self) -> None:
+        self.host_time = 0.0
+        self.ops_dispatched = 0
+        self.device.reset()
+
+    def dispatch(self, kernel: Kernel, args, shaped_args=None):
+        """Run ``kernel`` on ``args``; returns the ndarray result."""
+        result = kernel(*args)
+        memory.track_buffer(result)
+        out_shape = np.shape(result)
+        in_shapes = [np.shape(a) for a in (shaped_args or args) if _is_tensor(a)]
+        self.host_time += self.engine.per_op_overhead
+        self.device.launch(kernel, out_shape, in_shapes, self.host_time)
+        self.ops_dispatched += 1
+        return result
+
+    def sync(self) -> float:
+        self.host_time = max(self.host_time, self.device.busy_until)
+        return self.host_time
+
+    @property
+    def elapsed(self) -> float:
+        """Total simulated wall time including queued device work."""
+        return max(self.host_time, self.device.busy_until)
+
+
+def _is_tensor(a) -> bool:
+    return isinstance(a, np.ndarray)

@@ -1,0 +1,90 @@
+"""Allocation tracking.
+
+Tensor buffers register their sizes here so experiments can report peak
+memory — used for the "avoiding model copies" result (Section 4.2) and the
+on-device memory column of Table 4.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+
+class MemoryTracker:
+    """Counts live and peak bytes of tracked allocations."""
+
+    def __init__(self) -> None:
+        self.live_bytes = 0
+        self.peak_bytes = 0
+        self.total_allocated = 0
+        self.allocation_count = 0
+
+    def allocate(self, nbytes: int) -> None:
+        self.live_bytes += nbytes
+        self.total_allocated += nbytes
+        self.allocation_count += 1
+        if self.live_bytes > self.peak_bytes:
+            self.peak_bytes = self.live_bytes
+
+    def free(self, nbytes: int) -> None:
+        self.live_bytes -= nbytes
+
+    def reset(self) -> None:
+        self.live_bytes = 0
+        self.peak_bytes = 0
+        self.total_allocated = 0
+        self.allocation_count = 0
+
+
+#: The default process-wide tracker.
+TRACKER = MemoryTracker()
+
+#: Trackers currently observing allocations (scoped measurements).
+_ACTIVE: list[MemoryTracker] = [TRACKER]
+
+
+def allocate(nbytes: int) -> None:
+    for tracker in _ACTIVE:
+        tracker.allocate(nbytes)
+
+
+def free(nbytes: int) -> None:
+    for tracker in _ACTIVE:
+        tracker.free(nbytes)
+
+
+def track_buffer(buffer, nbytes: int | None = None) -> None:
+    """Account a buffer's allocation now and its release at GC time.
+
+    Used by the eager dispatcher, the naive arrays, and lazy
+    materialization so peak-memory experiments (Section 4.2, Table 4) see
+    real buffer lifetimes.
+    """
+    import weakref
+
+    if nbytes is None:
+        nbytes = getattr(buffer, "nbytes", 0)
+    if nbytes <= 0:
+        return
+    allocate(nbytes)
+    try:
+        weakref.finalize(buffer, free, nbytes)
+    except TypeError:
+        # Non-weakref-able buffer: account the allocation only.
+        pass
+
+
+@contextmanager
+def track():
+    """Measure allocations within a scope:
+
+    >>> with track() as t:
+    ...     ...
+    >>> t.peak_bytes
+    """
+    tracker = MemoryTracker()
+    _ACTIVE.append(tracker)
+    try:
+        yield tracker
+    finally:
+        _ACTIVE.remove(tracker)

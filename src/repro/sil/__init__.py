@@ -1,0 +1,61 @@
+"""The SIL-analogue SSA intermediate representation.
+
+This package is the substrate the AD transformation (``repro.core``) runs
+on: an SSA IR with basic blocks and block arguments, a Python→SIL frontend,
+a reference interpreter, a verifier, a printer, and optimization passes.
+"""
+
+from repro.sil.ir import (
+    ApplyInst,
+    Block,
+    BrInst,
+    CondBrInst,
+    ConstInst,
+    Function,
+    FunctionRef,
+    Instruction,
+    ReturnInst,
+    StructExtractInst,
+    TupleExtractInst,
+    TupleInst,
+    Value,
+)
+from repro.sil.frontend import (
+    METHOD_TABLE,
+    clear_lowering_cache,
+    lower_function,
+    lowering_cache_size,
+    register_method,
+)
+from repro.sil.interp import call_function
+from repro.sil.primitives import PRIMITIVES, Primitive, get_primitive, primitive
+from repro.sil.printer import print_function
+from repro.sil.verify import verify
+
+__all__ = [
+    "ApplyInst",
+    "Block",
+    "BrInst",
+    "CondBrInst",
+    "ConstInst",
+    "Function",
+    "FunctionRef",
+    "Instruction",
+    "ReturnInst",
+    "StructExtractInst",
+    "TupleExtractInst",
+    "TupleInst",
+    "Value",
+    "METHOD_TABLE",
+    "register_method",
+    "clear_lowering_cache",
+    "lower_function",
+    "lowering_cache_size",
+    "call_function",
+    "PRIMITIVES",
+    "Primitive",
+    "get_primitive",
+    "primitive",
+    "print_function",
+    "verify",
+]

@@ -1,0 +1,121 @@
+"""A reference interpreter for SIL functions.
+
+Execution walks basic blocks, maintaining an environment from SSA value to
+runtime object.  ``Apply`` of a :class:`~repro.sil.primitives.Primitive`
+calls its Python implementation; apply of another lowered
+:class:`~repro.sil.ir.Function` recurses; indirect applies call the runtime
+callee object directly.
+
+The interpreter is the "gold standard" semantics: optimization passes and
+the AD transformation are tested against it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import InterpreterError
+from repro.sil import ir
+from repro.sil.primitives import Primitive
+
+#: Safety net against accidental infinite loops in lowered user code.
+MAX_STEPS = 10_000_000
+
+
+def call_function(func: ir.Function, args: Sequence[object]) -> object:
+    """Execute ``func`` on ``args`` and return its result."""
+    if len(args) != len(func.params):
+        raise InterpreterError(
+            f"@{func.name} expects {len(func.params)} args, got {len(args)}"
+        )
+    env: dict[int, object] = {}
+    block = func.entry
+    block_args: Sequence[object] = list(args)
+    steps = 0
+    while True:
+        for param, value in zip(block.args, block_args):
+            env[param.id] = value
+        for inst in block.body:
+            steps += 1
+            if steps > MAX_STEPS:
+                raise InterpreterError(f"@{func.name}: exceeded {MAX_STEPS} steps")
+            env[inst.result.id] = eval_instruction(inst, env)
+        term = block.terminator
+        if isinstance(term, ir.ReturnInst):
+            return env[term.value.id]
+        if isinstance(term, ir.BrInst):
+            block_args = [env[v.id] for v in term.operands]
+            block = term.dest
+        elif isinstance(term, ir.CondBrInst):
+            if env[term.cond.id]:
+                block_args = [env[v.id] for v in term.true_args]
+                block = term.true_dest
+            else:
+                block_args = [env[v.id] for v in term.false_args]
+                block = term.false_dest
+        else:  # pragma: no cover - verifier prevents this
+            raise InterpreterError(f"unknown terminator {term}")
+
+
+def eval_instruction(inst: ir.Instruction, env: dict[int, object]) -> object:
+    """Evaluate one non-terminator instruction in ``env``."""
+    if isinstance(inst, ir.ConstInst):
+        return inst.literal
+    if isinstance(inst, ir.ApplyInst):
+        args = [env[v.id] for v in inst.args]
+        return apply_callee(resolve_callee(inst, env), args)
+    if isinstance(inst, ir.TupleInst):
+        return tuple(env[v.id] for v in inst.operands)
+    if isinstance(inst, ir.TupleExtractInst):
+        return env[inst.operands[0].id][inst.index]
+    if isinstance(inst, ir.StructExtractInst):
+        return getattr(env[inst.operands[0].id], inst.field)
+    raise InterpreterError(f"cannot evaluate {inst}")
+
+
+def resolve_callee(inst: ir.ApplyInst, env: dict[int, object]):
+    if inst.is_indirect:
+        return env[inst.callee.id]
+    return inst.callee.target
+
+
+def apply_callee(target, args: Sequence[object]) -> object:
+    if isinstance(target, Primitive):
+        return target.fn(*args)
+    if isinstance(target, ir.Function):
+        return call_function(target, args)
+    if callable(target):
+        return target(*args)
+    raise InterpreterError(f"cannot apply non-callable {target!r}")
+
+
+def count_instructions(func: ir.Function, args: Sequence[object]) -> int:
+    """Execute ``func`` and count dynamically executed instructions.
+
+    Used by the mobile-deployment cost model to size the operation graph a
+    framework runtime would walk per evaluation.
+    """
+    counter = 0
+    env: dict[int, object] = {}
+    block = func.entry
+    block_args: Sequence[object] = list(args)
+    while True:
+        for param, value in zip(block.args, block_args):
+            env[param.id] = value
+        for inst in block.body:
+            counter += 1
+            env[inst.result.id] = eval_instruction(inst, env)
+        term = block.terminator
+        counter += 1
+        if isinstance(term, ir.ReturnInst):
+            return counter
+        if isinstance(term, ir.BrInst):
+            block_args = [env[v.id] for v in term.operands]
+            block = term.dest
+        elif isinstance(term, ir.CondBrInst):
+            if env[term.cond.id]:
+                block_args = [env[v.id] for v in term.true_args]
+                block = term.true_dest
+            else:
+                block_args = [env[v.id] for v in term.false_args]
+                block = term.false_dest

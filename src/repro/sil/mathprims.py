@@ -1,0 +1,190 @@
+"""Differentiable math primitives generic over scalars and tensors.
+
+Each primitive dispatches to the operand's own method when available (so
+``exp(t)`` works for any Tensor backend exposing ``t.exp()``) and falls back
+to :mod:`math` for Python scalars.  Registered VJPs are written against the
+same generic operations, which is what keeps the AD system decoupled from
+any particular Tensor implementation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sil.primitives import primitive
+
+
+def _dispatch(name: str, x):
+    method = getattr(x, name, None)
+    if method is not None and callable(method):
+        return method()
+    return getattr(math, name)(x)
+
+
+@primitive("exp")
+def exp(x):
+    return _dispatch("exp", x)
+
+
+@exp.def_vjp
+def _exp_vjp(x):
+    y = exp(x)
+    return y, lambda ct: (ct * y,)
+
+
+@exp.def_jvp
+def _exp_jvp(primals, tangents):
+    y = exp(primals[0])
+    return y, tangents[0] * y
+
+
+@primitive("log")
+def log(x):
+    return _dispatch("log", x)
+
+
+@log.def_vjp
+def _log_vjp(x):
+    return log(x), lambda ct: (ct / x,)
+
+
+@log.def_jvp
+def _log_jvp(primals, tangents):
+    return log(primals[0]), tangents[0] / primals[0]
+
+
+@primitive("sin")
+def sin(x):
+    return _dispatch("sin", x)
+
+
+@sin.def_vjp
+def _sin_vjp(x):
+    return sin(x), lambda ct: (ct * cos(x),)
+
+
+@sin.def_jvp
+def _sin_jvp(primals, tangents):
+    return sin(primals[0]), tangents[0] * cos(primals[0])
+
+
+@primitive("cos")
+def cos(x):
+    return _dispatch("cos", x)
+
+
+@cos.def_vjp
+def _cos_vjp(x):
+    return cos(x), lambda ct: (-ct * sin(x),)
+
+
+@cos.def_jvp
+def _cos_jvp(primals, tangents):
+    return cos(primals[0]), -tangents[0] * sin(primals[0])
+
+
+@primitive("tanh")
+def tanh(x):
+    return _dispatch("tanh", x)
+
+
+@tanh.def_vjp
+def _tanh_vjp(x):
+    y = tanh(x)
+    return y, lambda ct: (ct * (1.0 - y * y),)
+
+
+@tanh.def_jvp
+def _tanh_jvp(primals, tangents):
+    y = tanh(primals[0])
+    return y, tangents[0] * (1.0 - y * y)
+
+
+@primitive("sqrt")
+def sqrt(x):
+    return _dispatch("sqrt", x)
+
+
+@sqrt.def_vjp
+def _sqrt_vjp(x):
+    y = sqrt(x)
+    return y, lambda ct: (ct / (y + y),)
+
+
+@sqrt.def_jvp
+def _sqrt_jvp(primals, tangents):
+    y = sqrt(primals[0])
+    return y, tangents[0] / (y + y)
+
+
+@primitive("sigmoid")
+def sigmoid(x):
+    method = getattr(x, "sigmoid", None)
+    if method is not None and callable(method):
+        return method()
+    return 1.0 / (1.0 + math.exp(-x))
+
+
+@sigmoid.def_vjp
+def _sigmoid_vjp(x):
+    y = sigmoid(x)
+    return y, lambda ct: (ct * y * (1.0 - y),)
+
+
+@sigmoid.def_jvp
+def _sigmoid_jvp(primals, tangents):
+    y = sigmoid(primals[0])
+    return y, tangents[0] * y * (1.0 - y)
+
+
+@primitive("relu")
+def relu(x):
+    method = getattr(x, "relu", None)
+    if method is not None and callable(method):
+        return method()
+    return x if x > 0.0 else 0.0 * x
+
+
+@relu.def_vjp
+def _relu_vjp(x):
+    method = getattr(x, "relu_vjp", None)
+    if method is not None and callable(method):
+        return method()
+    y = relu(x)
+    return y, lambda ct: (ct if x > 0.0 else 0.0 * ct,)
+
+
+@relu.def_jvp
+def _relu_jvp(primals, tangents):
+    (x,), (dx,) = primals, tangents
+    method = getattr(x, "relu_jvp", None)
+    if method is not None and callable(method):
+        return method(dx)
+    y = relu(x)
+    return y, dx if x > 0.0 else 0.0 * dx
+
+
+@tanh.def_jvp
+def _tanh_jvp2(primals, tangents):  # noqa: F811 - supersedes earlier stub
+    y = tanh(primals[0])
+    return y, tangents[0] * (1.0 - y * y)
+
+
+@primitive("rsqrt")
+def rsqrt(x):
+    method = getattr(x, "rsqrt", None)
+    if method is not None and callable(method):
+        return method()
+    return 1.0 / math.sqrt(x)
+
+
+@rsqrt.def_vjp
+def _rsqrt_vjp(x):
+    y = rsqrt(x)
+    return y, lambda ct: (ct * -0.5 * y / x,)
+
+
+@rsqrt.def_jvp
+def _rsqrt_jvp(primals, tangents):
+    y = rsqrt(primals[0])
+    return y, tangents[0] * -0.5 * y / primals[0]

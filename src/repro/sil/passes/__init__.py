@@ -1,0 +1,21 @@
+"""Optimization passes over SIL functions.
+
+Because the AD transformation runs on the IR, its output is subject to the
+same passes as regular code (a point Section 2.2 of the paper makes about
+SIL).  Each pass is semantics-preserving; property tests check every pass
+against the reference interpreter on randomized programs.
+"""
+
+from repro.sil.passes.dce import dead_code_elimination
+from repro.sil.passes.constfold import constant_fold
+from repro.sil.passes.cse import common_subexpression_elimination
+from repro.sil.passes.inline import inline_calls
+from repro.sil.passes.pipeline import run_default_pipeline
+
+__all__ = [
+    "dead_code_elimination",
+    "constant_fold",
+    "common_subexpression_elimination",
+    "inline_calls",
+    "run_default_pipeline",
+]

@@ -1,0 +1,92 @@
+"""Constant folding and branch simplification.
+
+Folds pure primitive applies whose operands are all constants, folds
+tuple/struct projections of constants, and rewrites ``cond_br`` on a
+constant condition into an unconditional ``br``.
+"""
+
+from __future__ import annotations
+
+from repro.sil import ir
+from repro.sil.primitives import Primitive
+
+#: Literal types we are willing to fold.  Folding arbitrary objects (tensors,
+#: closures) could duplicate work or capture mutable state.
+_FOLDABLE = (bool, int, float, str, tuple, type(None))
+
+
+def constant_fold(func: ir.Function) -> bool:
+    """One folding sweep; returns True if anything changed."""
+    consts: dict[int, object] = {}
+    for inst in func.instructions():
+        if isinstance(inst, ir.ConstInst):
+            consts[inst.result.id] = inst.literal
+
+    changed = False
+    replacements: dict[int, ir.Value] = {}
+
+    for block in func.blocks:
+        new_insts: list[ir.Instruction] = []
+        for inst in block.instructions:
+            # Rewrite operands through earlier replacements.
+            inst.operands = [replacements.get(op.id, op) for op in inst.operands]
+
+            folded = _try_fold(inst, consts)
+            if folded is not _NO_FOLD:
+                const = ir.ConstInst(folded, inst.loc)
+                const.parent = block
+                consts[const.result.id] = folded
+                replacements[inst.result.id] = const.result
+                new_insts.append(const)
+                changed = True
+                continue
+
+            if isinstance(inst, ir.CondBrInst) and inst.cond.id in consts:
+                taken = bool(consts[inst.cond.id])
+                dest = inst.true_dest if taken else inst.false_dest
+                args = inst.true_args if taken else inst.false_args
+                br = ir.BrInst(dest, args, inst.loc)
+                br.parent = block
+                new_insts.append(br)
+                changed = True
+                continue
+
+            new_insts.append(inst)
+        block.instructions = new_insts
+
+    if replacements:
+        for inst in func.instructions():
+            inst.operands = [replacements.get(op.id, op) for op in inst.operands]
+    return changed
+
+
+_NO_FOLD = object()
+
+
+def _try_fold(inst: ir.Instruction, consts: dict[int, object]):
+    if isinstance(inst, ir.ApplyInst) and not inst.is_indirect:
+        target = inst.callee.target
+        if (
+            isinstance(target, Primitive)
+            and target.pure
+            and all(op.id in consts for op in inst.args)
+        ):
+            args = [consts[op.id] for op in inst.args]
+            if all(isinstance(a, _FOLDABLE) for a in args):
+                try:
+                    result = target.fn(*args)
+                except Exception:
+                    return _NO_FOLD
+                if isinstance(result, _FOLDABLE):
+                    return result
+        return _NO_FOLD
+    if isinstance(inst, ir.TupleExtractInst):
+        op = inst.operands[0]
+        if op.id in consts and isinstance(consts[op.id], tuple):
+            try:
+                value = consts[op.id][inst.index]
+            except IndexError:
+                return _NO_FOLD
+            if isinstance(value, _FOLDABLE):
+                return value
+    return _NO_FOLD

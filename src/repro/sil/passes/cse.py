@@ -1,0 +1,101 @@
+"""Common subexpression elimination.
+
+Deduplicates pure instructions with identical opcodes and operands within a
+dominating scope.  To stay simple and obviously correct, this implementation
+processes blocks along the dominator tree computed from the CFG, carrying
+available expressions down dominator edges.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sil import ir
+from repro.sil.primitives import Primitive
+
+
+def _expression_key(inst: ir.Instruction) -> Optional[tuple]:
+    """A hashable key identifying the computation, or None if not CSE-able."""
+    if isinstance(inst, ir.ApplyInst):
+        if inst.is_indirect:
+            return None
+        target = inst.callee.target
+        if isinstance(target, Primitive) and target.pure:
+            return ("apply", id(target), tuple(op.id for op in inst.args))
+        return None  # calls to lowered functions could be folded, but keep simple
+    if isinstance(inst, ir.ConstInst):
+        lit = inst.literal
+        if isinstance(lit, (bool, int, float, str, type(None))):
+            return ("const", type(lit).__name__, lit)
+        return None
+    if isinstance(inst, ir.TupleInst):
+        return ("tuple", tuple(op.id for op in inst.operands))
+    if isinstance(inst, ir.TupleExtractInst):
+        return ("tuple_extract", inst.operands[0].id, inst.index)
+    if isinstance(inst, ir.StructExtractInst):
+        return ("struct_extract", inst.operands[0].id, inst.field)
+    return None
+
+
+def _dominator_tree(func: ir.Function) -> dict[int, list[ir.Block]]:
+    """Children lists keyed by ``id(block)`` of the immediate dominator."""
+    blocks = func.reachable_blocks()
+    preds = func.predecessors()
+    index = {id(b): i for i, b in enumerate(blocks)}
+
+    dom: dict[int, set[int]] = {id(b): set(index) for b in blocks}
+    dom[id(func.entry)] = {id(func.entry)}
+    changed = True
+    while changed:
+        changed = False
+        for b in blocks[1:]:
+            ps = [p for p in preds[b] if id(p) in index]
+            if not ps:
+                continue
+            new = set.intersection(*(dom[id(p)] for p in ps))
+            new.add(id(b))
+            if new != dom[id(b)]:
+                dom[id(b)] = new
+                changed = True
+
+    children: dict[int, list[ir.Block]] = {id(b): [] for b in blocks}
+    for b in blocks:
+        if b is func.entry:
+            continue
+        # idom = the dominator with the largest dominator set below b's own.
+        strict = dom[id(b)] - {id(b)}
+        idom = max(strict, key=lambda d: len(dom[d]))
+        children[idom].append(b)
+    return children
+
+
+def common_subexpression_elimination(func: ir.Function) -> bool:
+    changed = False
+    children = _dominator_tree(func)
+    replacements: dict[int, ir.Value] = {}
+
+    def walk(block: ir.Block, available: dict[tuple, ir.Value]) -> None:
+        nonlocal changed
+        scope = dict(available)
+        kept: list[ir.Instruction] = []
+        for inst in block.instructions:
+            inst.operands = [replacements.get(op.id, op) for op in inst.operands]
+            key = _expression_key(inst)
+            if key is not None:
+                existing = scope.get(key)
+                if existing is not None:
+                    replacements[inst.result.id] = existing
+                    changed = True
+                    continue
+                scope[key] = inst.result
+            kept.append(inst)
+        block.instructions = kept
+        for child in children.get(id(block), []):
+            walk(child, scope)
+
+    walk(func.entry, {})
+
+    if replacements:
+        for inst in func.instructions():
+            inst.operands = [replacements.get(op.id, op) for op in inst.operands]
+    return changed

@@ -1,0 +1,57 @@
+"""Dead code elimination.
+
+Removes pure instructions whose results are never used, and blocks that are
+unreachable from entry.  Impure applies (``pure=False`` primitives, opaque
+indirect calls) are conservatively kept.
+"""
+
+from __future__ import annotations
+
+from repro.sil import ir
+from repro.sil.primitives import Primitive
+
+
+def _is_removable(inst: ir.Instruction) -> bool:
+    if inst.is_terminator:
+        return False
+    if isinstance(inst, ir.ApplyInst):
+        if inst.is_indirect:
+            return False  # unknown callee may have effects
+        target = inst.callee.target
+        if isinstance(target, Primitive):
+            return target.pure
+        return isinstance(target, ir.Function)  # lowered subset is pure
+    return True  # const / tuple / extracts are pure
+
+
+def dead_code_elimination(func: ir.Function) -> bool:
+    """Run DCE to a fixed point; returns True if anything changed."""
+    changed = False
+
+    # Drop unreachable blocks first so their uses don't pin values.
+    reachable = set(map(id, func.reachable_blocks()))
+    new_blocks = [b for b in func.blocks if id(b) in reachable]
+    if len(new_blocks) != len(func.blocks):
+        func.blocks = new_blocks
+        changed = True
+
+    while True:
+        used: set[int] = set()
+        for inst in func.instructions():
+            for op in inst.operands:
+                used.add(op.id)
+        removed_any = False
+        for block in func.blocks:
+            kept = []
+            for inst in block.instructions:
+                if _is_removable(inst) and not any(
+                    r.id in used for r in inst.results
+                ):
+                    removed_any = True
+                    continue
+                kept.append(inst)
+            block.instructions = kept
+        if not removed_any:
+            break
+        changed = True
+    return changed

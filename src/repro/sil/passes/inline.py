@@ -1,0 +1,123 @@
+"""Function inlining.
+
+Replaces ``apply`` of small lowered functions with a copy of the callee's
+body spliced into the caller's CFG.  The call site's block is split; the
+callee's return instructions become branches to the continuation block.
+"""
+
+from __future__ import annotations
+
+from repro.sil import ir
+
+
+def _clone_into(caller: ir.Function, callee: ir.Function, args, continuation):
+    """Clone callee blocks into caller; return the cloned entry block."""
+    value_map: dict[int, ir.Value] = {}
+    block_map: dict[int, ir.Block] = {}
+
+    for block in callee.blocks:
+        clone = caller.new_block(f"{callee.name}.{block.name}")
+        block_map[id(block)] = clone
+        for arg in block.args:
+            value_map[arg.id] = clone.add_arg(arg.type, arg.hint)
+
+    # Map entry parameters straight to call-site argument values.
+    for param, arg in zip(callee.entry.args, args):
+        value_map[param.id] = arg
+    block_map[id(callee.entry)].args = []
+
+    def mapped(v: ir.Value) -> ir.Value:
+        return value_map.get(v.id, v)
+
+    for block in callee.blocks:
+        clone = block_map[id(block)]
+        for inst in block.instructions:
+            new = _clone_instruction(inst, mapped, block_map, continuation)
+            clone.append(new)
+            for old_res, new_res in zip(inst.results, new.results):
+                value_map[old_res.id] = new_res
+    return block_map[id(callee.entry)]
+
+
+def _clone_instruction(inst, mapped, block_map, continuation):
+    if isinstance(inst, ir.ConstInst):
+        return ir.ConstInst(inst.literal, inst.loc)
+    if isinstance(inst, ir.ApplyInst):
+        callee = mapped(inst.callee) if inst.is_indirect else inst.callee
+        return ir.ApplyInst(callee, [mapped(a) for a in inst.args], inst.loc)
+    if isinstance(inst, ir.TupleInst):
+        return ir.TupleInst([mapped(o) for o in inst.operands], inst.loc)
+    if isinstance(inst, ir.TupleExtractInst):
+        return ir.TupleExtractInst(mapped(inst.operands[0]), inst.index, inst.loc)
+    if isinstance(inst, ir.StructExtractInst):
+        return ir.StructExtractInst(mapped(inst.operands[0]), inst.field, inst.loc)
+    if isinstance(inst, ir.BrInst):
+        return ir.BrInst(
+            block_map[id(inst.dest)], [mapped(o) for o in inst.operands], inst.loc
+        )
+    if isinstance(inst, ir.CondBrInst):
+        return ir.CondBrInst(
+            mapped(inst.cond),
+            block_map[id(inst.true_dest)],
+            [mapped(a) for a in inst.true_args],
+            block_map[id(inst.false_dest)],
+            [mapped(a) for a in inst.false_args],
+            inst.loc,
+        )
+    if isinstance(inst, ir.ReturnInst):
+        # Returns feed the continuation block's single argument.
+        return ir.BrInst(continuation, [mapped(inst.value)], inst.loc)
+    raise TypeError(f"cannot clone {inst}")
+
+
+def _instruction_count(func: ir.Function) -> int:
+    return sum(len(b.instructions) for b in func.blocks)
+
+
+def inline_calls(func: ir.Function, max_callee_size: int = 40) -> bool:
+    """Inline direct calls to lowered functions up to ``max_callee_size``.
+
+    Self-recursive calls are never inlined.  Returns True if any call was
+    inlined (one sweep; callers may iterate to a fixed point).
+    """
+    changed = False
+    for block in list(func.blocks):
+        for i, inst in enumerate(block.instructions):
+            if not isinstance(inst, ir.ApplyInst) or inst.is_indirect:
+                continue
+            target = inst.callee.target
+            if not isinstance(target, ir.Function) or target is func:
+                continue
+            if _instruction_count(target) > max_callee_size:
+                continue
+            if any(t is func for t in _direct_callees(target)):
+                continue  # mutual recursion guard
+
+            continuation = func.new_block(f"{block.name}.cont")
+            result_arg = continuation.add_arg(inst.result.type, inst.result.hint)
+            # Move trailing instructions (incl. terminator) to continuation.
+            for rest in block.instructions[i + 1 :]:
+                rest.parent = continuation
+                continuation.instructions.append(rest)
+            block.instructions = block.instructions[:i]
+
+            entry_clone = _clone_into(func, target, inst.args, continuation)
+            block.append(ir.BrInst(entry_clone, [], inst.loc))
+
+            # Rewire uses of the call result to the continuation argument.
+            for other in func.instructions():
+                other.operands = [
+                    result_arg if op.id == inst.result.id else op
+                    for op in other.operands
+                ]
+            changed = True
+            break  # restart scanning: block list and bodies changed
+    return changed
+
+
+def _direct_callees(func: ir.Function):
+    for inst in func.instructions():
+        if isinstance(inst, ir.ApplyInst) and not inst.is_indirect:
+            target = inst.callee.target
+            if isinstance(target, ir.Function):
+                yield target

@@ -1,0 +1,32 @@
+"""The default optimization pipeline.
+
+Mirrors a classic scalar pipeline: inline, then iterate
+fold/CSE/DCE to a fixed point (bounded, to guarantee termination).
+"""
+
+from __future__ import annotations
+
+from repro.sil import ir
+from repro.sil.passes.constfold import constant_fold
+from repro.sil.passes.cse import common_subexpression_elimination
+from repro.sil.passes.dce import dead_code_elimination
+from repro.sil.passes.inline import inline_calls
+from repro.sil.verify import verify
+
+MAX_ITERATIONS = 16
+
+
+def run_default_pipeline(func: ir.Function, inline: bool = True) -> ir.Function:
+    """Optimize ``func`` in place and return it (verified)."""
+    if inline:
+        for _ in range(MAX_ITERATIONS):
+            if not inline_calls(func):
+                break
+    for _ in range(MAX_ITERATIONS):
+        changed = constant_fold(func)
+        changed |= common_subexpression_elimination(func)
+        changed |= dead_code_elimination(func)
+        if not changed:
+            break
+    verify(func)
+    return func

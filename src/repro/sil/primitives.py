@@ -1,0 +1,475 @@
+"""Primitive functions: the leaves of the AD recursion.
+
+A :class:`Primitive` wraps a plain Python callable together with optional
+registered derivative functions (a JVP and a VJP — see Figure 3 of the
+paper).  The derivative-synthesis pass terminates its recursion whenever it
+reaches a primitive with a registered derivative, exactly as the paper's
+``@derivative(of:)`` attribute terminates the SIL transformation.
+
+Primitives are generic over operand type: the same ``add`` primitive adds
+Python floats, naive tensors, eager tensors and lazy tensors, because the
+implementations dispatch through the operands' own operators.  This is what
+keeps the AD system decoupled from any particular Tensor implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+
+class Primitive:
+    """A named callable with optional JVP/VJP derivative functions.
+
+    ``vjp(*args) -> (result, pullback)`` where ``pullback(cotangent)``
+    returns a tuple of cotangents, one per argument (``None`` marks a
+    structurally non-differentiable argument such as an integer index).
+
+    ``jvp(primals, tangents) -> (result, tangent)``.
+
+    ``nondiff_args`` lists argument positions that are never differentiable
+    (indices, shapes, flags); activity analysis uses this to avoid flagging
+    e.g. ``index_get(xs, i)`` as non-differentiable w.r.t. ``i``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable,
+        vjp: Optional[Callable] = None,
+        jvp: Optional[Callable] = None,
+        nondiff_args: tuple[int, ...] = (),
+        pure: bool = True,
+    ) -> None:
+        self.name = name
+        self.fn = fn
+        self.vjp = vjp
+        self.jvp = jvp
+        self.nondiff_args = nondiff_args
+        #: Pure primitives may be constant-folded and CSE'd.
+        self.pure = pure
+
+    @property
+    def differentiable(self) -> bool:
+        return self.vjp is not None or self.jvp is not None
+
+    def __call__(self, *args):
+        return self.fn(*args)
+
+    def def_vjp(self, fn: Callable) -> Callable:
+        """Register a VJP — the ``@derivative(of:)`` mechanism."""
+        self.vjp = fn
+        return fn
+
+    def def_jvp(self, fn: Callable) -> Callable:
+        self.jvp = fn
+        return fn
+
+    def __repr__(self) -> str:
+        return f"<Primitive {self.name}>"
+
+
+#: Global primitive table, keyed by name.  Populated here with the scalar /
+#: structural core; tensor subsystems register their own primitives on import.
+PRIMITIVES: dict[str, Primitive] = {}
+
+
+def primitive(
+    name: str,
+    *,
+    vjp: Optional[Callable] = None,
+    jvp: Optional[Callable] = None,
+    nondiff_args: tuple[int, ...] = (),
+    pure: bool = True,
+) -> Callable[[Callable], Primitive]:
+    """Decorator registering ``fn`` as primitive ``name``."""
+
+    def register(fn: Callable) -> Primitive:
+        if name in PRIMITIVES:
+            raise ValueError(f"primitive {name!r} already registered")
+        p = Primitive(name, fn, vjp=vjp, jvp=jvp, nondiff_args=nondiff_args, pure=pure)
+        PRIMITIVES[name] = p
+        return p
+
+    return register
+
+
+def get_primitive(name: str) -> Primitive:
+    return PRIMITIVES[name]
+
+
+def _unbroadcast(ct, like):
+    """Reduce a cotangent back to the shape of the operand it belongs to.
+
+    Needed because the arithmetic primitives broadcast (e.g. bias add):
+    the adjoint of a broadcast is a sum over the broadcast dimensions.
+    No-op for scalars and for matching shapes.
+    """
+    reducer = getattr(ct, "sum_to_match", None)
+    if reducer is None:
+        return ct
+    if isinstance(like, (int, float)):
+        return reducer(())
+    like_shape = getattr(like, "shape", None)
+    if like_shape is None:
+        return ct
+    return reducer(tuple(like_shape))
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic core.  Implemented via the operands' own operators so any type
+# with operator overloads (floats, tensors) flows through unchanged.
+# ---------------------------------------------------------------------------
+
+
+@primitive("add")
+def add(x, y):
+    return x + y
+
+
+@add.def_vjp
+def _add_vjp(x, y):
+    return x + y, lambda ct: (_unbroadcast(ct, x), _unbroadcast(ct, y))
+
+
+@add.def_jvp
+def _add_jvp(primals, tangents):
+    (x, y), (dx, dy) = primals, tangents
+    return x + y, dx + dy
+
+
+@primitive("sub")
+def sub(x, y):
+    return x - y
+
+
+@sub.def_vjp
+def _sub_vjp(x, y):
+    return x - y, lambda ct: (_unbroadcast(ct, x), _unbroadcast(-ct, y))
+
+
+@sub.def_jvp
+def _sub_jvp(primals, tangents):
+    (x, y), (dx, dy) = primals, tangents
+    return x - y, dx - dy
+
+
+@primitive("mul")
+def mul(x, y):
+    return x * y
+
+
+@mul.def_vjp
+def _mul_vjp(x, y):
+    return x * y, lambda ct: (_unbroadcast(ct * y, x), _unbroadcast(x * ct, y))
+
+
+@mul.def_jvp
+def _mul_jvp(primals, tangents):
+    (x, y), (dx, dy) = primals, tangents
+    return x * y, dx * y + x * dy
+
+
+@primitive("div")
+def div(x, y):
+    return x / y
+
+
+@div.def_vjp
+def _div_vjp(x, y):
+    z = x / y
+    return z, lambda ct: (
+        _unbroadcast(ct / y, x),
+        _unbroadcast(-ct * z / y, y),
+    )
+
+
+@div.def_jvp
+def _div_jvp(primals, tangents):
+    (x, y), (dx, dy) = primals, tangents
+    z = x / y
+    return z, (dx - z * dy) / y
+
+
+@primitive("neg")
+def neg(x):
+    return -x
+
+
+@neg.def_vjp
+def _neg_vjp(x):
+    return -x, lambda ct: (-ct,)
+
+
+@neg.def_jvp
+def _neg_jvp(primals, tangents):
+    return -primals[0], -tangents[0]
+
+
+@primitive("pow")
+def pow_(x, y):
+    return x**y
+
+
+@pow_.def_vjp
+def _pow_vjp(x, y):
+    import math
+
+    z = x**y
+    def pullback(ct):
+        dx = ct * y * x ** (y - 1)
+        # d/dy x**y = x**y * ln(x); only valid for x > 0, which covers the
+        # differentiable uses.  Integer exponents are usually non-varied.
+        try:
+            dy = ct * z * math.log(x)
+        except (ValueError, TypeError):
+            dy = None
+        return (dx, dy)
+
+    return z, pullback
+
+
+@pow_.def_jvp
+def _pow_jvp(primals, tangents):
+    import math
+
+    (x, y), (dx, dy) = primals, tangents
+    z = x**y
+    dz = dx * y * x ** (y - 1)
+    if dy is not None and not (isinstance(dy, float) and dy == 0.0):
+        try:
+            dz = dz + dy * z * math.log(x)
+        except (ValueError, TypeError):
+            pass
+    return z, dz
+
+
+# Comparison / logical primitives: results are booleans, never differentiable.
+
+@primitive("lt")
+def lt(x, y):
+    return x < y
+
+
+@primitive("le")
+def le(x, y):
+    return x <= y
+
+
+@primitive("gt")
+def gt(x, y):
+    return x > y
+
+
+@primitive("ge")
+def ge(x, y):
+    return x >= y
+
+
+@primitive("eq")
+def eq(x, y):
+    return x == y
+
+
+@primitive("ne")
+def ne(x, y):
+    return x != y
+
+
+@primitive("not")
+def not_(x):
+    return not x
+
+
+@primitive("floordiv")
+def floordiv(x, y):
+    return x // y
+
+
+@primitive("mod")
+def mod(x, y):
+    return x % y
+
+
+@primitive("matmul_op")
+def matmul_op(x, y):
+    """The ``@`` operator; forwards to the operands' ``__matmul__``."""
+    return x @ y
+
+
+@matmul_op.def_vjp
+def _matmul_op_vjp(x, y):
+    if hasattr(x, "__vjp_matmul__"):
+        return x.__vjp_matmul__(y)
+    raise TypeError(f"no matmul VJP for {type(x).__name__}")
+
+
+@matmul_op.def_jvp
+def _matmul_op_jvp(primals, tangents):
+    x, y = primals
+    dx, dy = tangents
+    result = x @ y
+    parts = []
+    if not (isinstance(dx, float) or dx is None) or hasattr(dx, "shape"):
+        if hasattr(dx, "shape"):
+            parts.append(dx @ y)
+    if hasattr(dy, "shape"):
+        parts.append(x @ dy)
+    if not parts:
+        from repro.core.differentiable import ZERO
+
+        return result, ZERO
+    tangent = parts[0]
+    for p in parts[1:]:
+        tangent = tangent + p
+    return result, tangent
+
+
+# Structural primitives.
+
+@primitive("index_get", nondiff_args=(1,))
+def index_get(xs, i):
+    return xs[i]
+
+
+@primitive("slice_get", nondiff_args=(1, 2))
+def slice_get(xs, start, stop):
+    return xs[start:stop]
+
+
+@primitive("len")
+def len_(xs):
+    return len(xs)
+
+
+@primitive("list_make")
+def list_make(*elts):
+    return list(elts)
+
+
+@primitive("tuple_make")
+def tuple_make(*elts):
+    return tuple(elts)
+
+
+@primitive("abs")
+def abs_(x):
+    return abs(x)
+
+
+@abs_.def_vjp
+def _abs_vjp(x):
+    y = abs(x)
+    return y, lambda ct: (ct if x >= 0 else -ct,)
+
+
+@abs_.def_jvp
+def _abs_jvp(primals, tangents):
+    (x,), (dx,) = primals, tangents
+    return abs(x), dx if x >= 0 else -dx
+
+
+@primitive("min")
+def min_(*xs):
+    return min(*xs)
+
+
+@min_.def_vjp
+def _min_vjp(*xs):
+    y = min(*xs)
+    idx = next(i for i, x in enumerate(xs) if x == y)
+
+    def pullback(ct):
+        return tuple(ct if i == idx else None for i in range(len(xs)))
+
+    return y, pullback
+
+
+@min_.def_jvp
+def _min_jvp(primals, tangents):
+    y = min(*primals)
+    idx = next(i for i, x in enumerate(primals) if x == y)
+    return y, tangents[idx]
+
+
+@primitive("max")
+def max_(*xs):
+    return max(*xs)
+
+
+@max_.def_vjp
+def _max_vjp(*xs):
+    y = max(*xs)
+    idx = next(i for i, x in enumerate(xs) if x == y)
+
+    def pullback(ct):
+        return tuple(ct if i == idx else None for i in range(len(xs)))
+
+    return y, pullback
+
+
+@max_.def_jvp
+def _max_jvp(primals, tangents):
+    y = max(*primals)
+    idx = next(i for i, x in enumerate(primals) if x == y)
+    return y, tangents[idx]
+
+
+@primitive("float")
+def float_(x):
+    return float(x)
+
+
+@float_.def_vjp
+def _float_vjp(x):
+    return float(x), lambda ct: (ct,)
+
+
+@float_.def_jvp
+def _float_jvp(primals, tangents):
+    t = tangents[0]
+    return float(primals[0]), t if not isinstance(t, (int, float)) else float(t)
+
+
+@primitive("int")
+def int_(x):
+    return int(x)
+
+
+@primitive("bool")
+def bool_(x):
+    return bool(x)
+
+
+@primitive("range")
+def range_(*args):
+    return range(*args)
+
+
+@primitive("print", pure=False)
+def print_(*args):
+    print(*args)
+    return None
+
+
+# Discrete-valued primitives have zero derivative almost everywhere: the
+# pullback stops gradient flow (None cotangent), the JVP emits a zero
+# tangent.  This lets code like `segment = int(x * n)` appear inside
+# differentiable functions (the spline model's knot lookup).
+
+
+def _discrete_vjp(prim):
+    def vjp(*args):
+        result = prim.fn(*args)
+        n = len(args)
+        return result, lambda ct: (None,) * n
+
+    prim.vjp = vjp
+
+    def jvp(primals, tangents):
+        return prim.fn(*primals), 0.0
+
+    prim.jvp = jvp
+
+
+for _p in (len_, int_, bool_, floordiv, mod, lt, le, gt, ge, eq, ne, not_, range_):
+    _discrete_vjp(_p)

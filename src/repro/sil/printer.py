@@ -1,0 +1,33 @@
+"""Textual printing of SIL functions, in a SIL-inspired syntax.
+
+The printed form is for humans, diagnostics, and golden tests; it is not
+parsed back (the HLO IR, by contrast, has a full text round-trip).
+"""
+
+from __future__ import annotations
+
+from repro.sil import ir
+
+
+def _v(value: ir.Value) -> str:
+    return repr(value)
+
+
+def print_instruction(inst: ir.Instruction) -> str:
+    return repr(inst)
+
+
+def print_block(block: ir.Block) -> str:
+    args = ", ".join(f"{a!r}: {a.type!r}" for a in block.args)
+    lines = [f"{block.name}({args}):"]
+    for inst in block.instructions:
+        lines.append(f"  {print_instruction(inst)}")
+    return "\n".join(lines)
+
+
+def print_function(func: ir.Function) -> str:
+    lines = [f"sil @{func.name} {{"]
+    for block in func.blocks:
+        lines.append(print_block(block))
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Structural verification of SIL functions.
+
+Checks the SSA invariants the rest of the pipeline relies on:
+
+* every block ends in exactly one terminator and has no terminator mid-block;
+* branch argument counts match destination block argument counts;
+* every operand is defined before use (dominance, computed over the CFG);
+* values are defined exactly once;
+* the entry block has no predecessors.
+"""
+
+from __future__ import annotations
+
+from repro.errors import VerificationError
+from repro.sil import ir
+
+
+def verify(func: ir.Function) -> None:
+    """Raise :class:`VerificationError` on the first violated invariant."""
+    if not func.blocks:
+        raise VerificationError(f"@{func.name}: function has no blocks")
+
+    defined: set[int] = set()
+    for block in func.blocks:
+        for arg in block.args:
+            if arg.id in defined:
+                raise VerificationError(f"@{func.name}: value {arg} defined twice")
+            defined.add(arg.id)
+        for inst in block.instructions:
+            for res in inst.results:
+                if res.id in defined:
+                    raise VerificationError(
+                        f"@{func.name}: value {res} defined twice"
+                    )
+                defined.add(res.id)
+
+    for block in func.blocks:
+        if not block.instructions or not block.instructions[-1].is_terminator:
+            raise VerificationError(f"@{func.name}/{block.name}: missing terminator")
+        for inst in block.instructions[:-1]:
+            if inst.is_terminator:
+                raise VerificationError(
+                    f"@{func.name}/{block.name}: terminator mid-block: {inst}"
+                )
+        term = block.terminator
+        if isinstance(term, ir.BrInst):
+            _check_edge(func, block, term.dest, term.operands)
+        elif isinstance(term, ir.CondBrInst):
+            _check_edge(func, block, term.true_dest, term.true_args)
+            _check_edge(func, block, term.false_dest, term.false_args)
+
+    preds = func.predecessors()
+    if preds.get(func.entry):
+        raise VerificationError(f"@{func.name}: entry block has predecessors")
+
+    _check_dominance(func)
+
+
+def _check_edge(func, block, dest, args) -> None:
+    if dest not in func.blocks:
+        raise VerificationError(
+            f"@{func.name}/{block.name}: branch to foreign block {dest.name}"
+        )
+    if len(args) != len(dest.args):
+        raise VerificationError(
+            f"@{func.name}/{block.name}: branch passes {len(args)} args, "
+            f"{dest.name} expects {len(dest.args)}"
+        )
+
+
+def _check_dominance(func: ir.Function) -> None:
+    """Every use must be dominated by its definition.
+
+    Uses the classic iterative dominator dataflow over the reachable CFG.
+    """
+    blocks = func.reachable_blocks()
+    index = {id(b): i for i, b in enumerate(blocks)}
+    preds = func.predecessors()
+
+    # dom[b] = set of blocks dominating b.
+    all_ids = set(index)
+    dom: dict[int, set[int]] = {id(b): set(all_ids) for b in blocks}
+    dom[id(func.entry)] = {id(func.entry)}
+    changed = True
+    while changed:
+        changed = False
+        for b in blocks[1:]:
+            reachable_preds = [p for p in preds[b] if id(p) in index]
+            if not reachable_preds:
+                continue
+            new = set.intersection(*(dom[id(p)] for p in reachable_preds))
+            new.add(id(b))
+            if new != dom[id(b)]:
+                dom[id(b)] = new
+                changed = True
+
+    # Map value id -> defining block id.
+    def_block: dict[int, int] = {}
+    for b in blocks:
+        for arg in b.args:
+            def_block[arg.id] = id(b)
+        for inst in b.instructions:
+            for res in inst.results:
+                def_block[res.id] = id(b)
+
+    for b in blocks:
+        seen_local: set[int] = {a.id for a in b.args}
+        for inst in b.instructions:
+            for op in inst.operands:
+                db = def_block.get(op.id)
+                if db is None:
+                    raise VerificationError(
+                        f"@{func.name}/{b.name}: use of undefined value {op} in {inst}"
+                    )
+                if db == id(b):
+                    if op.id not in seen_local:
+                        raise VerificationError(
+                            f"@{func.name}/{b.name}: {op} used before "
+                            f"definition in {inst}"
+                        )
+                elif db not in dom[id(b)]:
+                    raise VerificationError(
+                        f"@{func.name}/{b.name}: {op} does not dominate use in {inst}"
+                    )
+            for res in inst.results:
+                seen_local.add(res.id)

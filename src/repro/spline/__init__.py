@@ -1,0 +1,19 @@
+"""Spline personalization model (Section 5.1.3, Table 4 workload)."""
+
+from repro.spline.model import (
+    FitReport,
+    SplineModel,
+    fine_tune,
+    fit_spline,
+    spline_evaluate,
+    spline_loss,
+)
+
+__all__ = [
+    "FitReport",
+    "SplineModel",
+    "fine_tune",
+    "fit_spline",
+    "spline_evaluate",
+    "spline_loss",
+]

@@ -1,0 +1,134 @@
+"""The polynomial-spline personalization model (Section 5.1.3).
+
+A cubic-Hermite-style spline over fixed uniform knots with learnable
+control points (values at the knots) and learnable end slopes.  Splines
+need orders of magnitude less compute than neural networks, which is what
+makes on-device fine-tuning attractive; the model is differentiable
+through the platform's AD and runs on any Tensor backend — including the
+naive pure-Python one used for mobile deployment (Table 4).
+
+The same model definition serves both stages of the paper's workflow:
+server-side global training and on-device fine-tuning ("the same Swift
+code defined and ran model training in both stages").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core import differentiable_struct, no_derivative
+
+
+@differentiable_struct
+@dataclass
+class SplineModel:
+    """Catmull-Rom-style spline on uniform knots over [0, 1].
+
+    ``control_points[k]`` is the spline value at knot ``k``; segment
+    interpolation is cubic Hermite with finite-difference tangents, so the
+    curve is C1 and every output is a smooth (differentiable) function of
+    the control points.
+    """
+
+    control_points: list  # floats (or 0-d tensors), length = n_knots
+    n_segments: int = no_derivative(default=0)
+
+    @classmethod
+    def create(cls, n_knots: int, initial: float = 0.0) -> "SplineModel":
+        if n_knots < 4:
+            raise ValueError("need at least 4 knots for cubic segments")
+        return cls([initial] * n_knots, n_knots - 1)
+
+
+def spline_evaluate(model: SplineModel, x: float) -> float:
+    """Evaluate the spline at ``x`` in [0, 1] (differentiable)."""
+    n = model.n_segments
+    position = x * float(n)
+    segment = int(position)
+    if segment >= n:
+        segment = n - 1
+    if segment < 0:
+        segment = 0
+    t = position - float(segment)
+
+    points = model.control_points
+    p1 = points[segment]
+    p2 = points[segment + 1]
+    p0 = points[segment - 1] if segment > 0 else p1 + (p1 - p2)
+    p3 = points[segment + 2] if segment + 2 <= n else p2 + (p2 - p1)
+
+    m1 = (p2 - p0) * 0.5
+    m2 = (p3 - p1) * 0.5
+
+    t2 = t * t
+    t3 = t2 * t
+    h00 = 2.0 * t3 - 3.0 * t2 + 1.0
+    h10 = t3 - 2.0 * t2 + t
+    h01 = -2.0 * t3 + 3.0 * t2
+    h11 = t3 - t2
+    return h00 * p1 + h10 * m1 + h01 * p2 + h11 * m2
+
+
+def spline_loss(model: SplineModel, xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Mean squared error of the spline over a dataset (differentiable)."""
+    total = 0.0
+    n = len(xs)
+    for i in range(n):
+        predicted = spline_evaluate(model, xs[i])
+        residual = predicted - ys[i]
+        total = total + residual * residual
+    return total / float(n)
+
+
+@dataclass
+class FitReport:
+    initial_loss: float
+    final_loss: float
+    steps: int
+    loss_evaluations: int
+
+
+def fit_spline(
+    model: SplineModel,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    max_steps: int = 60,
+    loss_tolerance: float = 1e-7,
+) -> tuple[SplineModel, FitReport]:
+    """Fit with gradient descent + backtracking line search, to convergence."""
+    from repro.optim import BacktrackingLineSearch
+
+    xs = [float(v) for v in xs]
+    ys = [float(v) for v in ys]
+
+    def loss_fn(m):
+        return spline_loss(m, xs, ys)
+
+    search = BacktrackingLineSearch(initial_step=2.0)
+    initial = float(loss_fn(model))
+    evaluations = 0
+    steps = 0
+    for _ in range(max_steps):
+        model, result = search.step(loss_fn, model)
+        evaluations += result.evaluations + 1  # +1 for the gradient's value
+        steps += 1
+        if result.converged:
+            break
+        if abs(result.loss_before - result.loss_after) < loss_tolerance:
+            break
+    final = float(loss_fn(model))
+    return model, FitReport(initial, final, steps, evaluations)
+
+
+def fine_tune(
+    global_model: SplineModel,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    max_steps: int = 60,
+) -> tuple[SplineModel, FitReport]:
+    """On-device personalization: start from the global checkpoint."""
+    personal = SplineModel(
+        list(global_model.control_points), global_model.n_segments
+    )
+    return fit_spline(personal, xs, ys, max_steps=max_steps)

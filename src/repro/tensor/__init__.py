@@ -1,0 +1,58 @@
+"""Tensors & lazy tensors (Section 3): one API, three implementations."""
+
+from repro.tensor import ops  # noqa: F401  (registers tensor primitives)
+from repro.tensor.api import LazyTensorBarrier
+from repro.tensor.device import (
+    Device,
+    default_device,
+    eager_device,
+    lazy_device,
+    naive_device,
+    set_default_device,
+    using_device,
+)
+from repro.tensor.ops import (
+    avg_pool2d,
+    tensor_concat,
+    conv2d,
+    flatten_batch,
+    matmul,
+    max_pool2d,
+    mse_loss,
+    one_hot,
+    softmax_cross_entropy,
+    tensor_broadcast_to,
+    tensor_max,
+    tensor_mean,
+    tensor_reshape,
+    tensor_sum,
+    tensor_transpose,
+)
+from repro.tensor.tensor import Tensor
+
+__all__ = [
+    "LazyTensorBarrier",
+    "tensor_concat",
+    "Device",
+    "default_device",
+    "eager_device",
+    "lazy_device",
+    "naive_device",
+    "set_default_device",
+    "using_device",
+    "avg_pool2d",
+    "conv2d",
+    "flatten_batch",
+    "matmul",
+    "max_pool2d",
+    "mse_loss",
+    "one_hot",
+    "softmax_cross_entropy",
+    "tensor_broadcast_to",
+    "tensor_max",
+    "tensor_mean",
+    "tensor_reshape",
+    "tensor_sum",
+    "tensor_transpose",
+    "Tensor",
+]

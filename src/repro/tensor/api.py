@@ -1,0 +1,21 @@
+"""Top-level tensor utilities, including ``LazyTensorBarrier``."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tensor.device import Device, default_device
+
+
+def LazyTensorBarrier(device: Optional[Device] = None) -> None:
+    """Explicitly cut the current trace (Section 3.4).
+
+    Materializes every live lazy tensor on ``device`` (default: the default
+    device) as one compiled fragment.  No-op on eager/naive devices.  The
+    training-loop library calls this automatically after each optimizer
+    step so the accidental unrolling of the main training loop never
+    happens (Section 3.4).
+    """
+    device = device or default_device()
+    if device.kind == "lazy":
+        device.runtime.barrier()

@@ -1,0 +1,131 @@
+"""Device placement: the user-facing switch between Tensor implementations.
+
+"End-users can switch between the two implementations by specifying a
+device for the computation to run on: either an eager or a lazy-tracing
+one" (Section 3.3).  A third, naive device runs on pure Python lists with
+no runtime dependencies (Section 3.1) — the mobile/embedded story.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from typing import Optional
+
+from repro.runtime.costmodel import (
+    DESKTOP_CPU,
+    S4TF_EAGER,
+    S4TF_LAZY,
+    DeviceProfile,
+    EngineProfile,
+)
+from repro.runtime.device import Dispatcher, SimDevice
+
+
+class Device:
+    """A place where Tensor computation happens.
+
+    ``kind`` selects the implementation strategy:
+
+    * ``"naive"`` — single-threaded pure-Python arrays;
+    * ``"eager"`` — op-by-op asynchronous dispatch to simulated hardware;
+    * ``"lazy"`` — implicit tracing + JIT compilation through HLO.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        kind: str,
+        profile: Optional[DeviceProfile] = None,
+        engine: Optional[EngineProfile] = None,
+        name: str = "",
+        auto_barrier_threshold: Optional[int] = None,
+    ) -> None:
+        if kind not in ("naive", "eager", "lazy"):
+            raise ValueError(f"unknown device kind {kind!r}")
+        self.kind = kind
+        self.name = name or f"{kind}:{next(Device._ids)}"
+        self.profile = profile
+        self.engine = engine
+        if kind == "eager":
+            self.sim = SimDevice(profile or DESKTOP_CPU)
+            self.dispatcher = Dispatcher(self.sim, engine or S4TF_EAGER)
+        elif kind == "lazy":
+            from repro.tensor.lazy_backend import LazyRuntime
+
+            self.sim = SimDevice(profile or DESKTOP_CPU)
+            self.runtime = LazyRuntime(
+                self.sim, engine or S4TF_LAZY, auto_barrier_threshold
+            )
+        else:
+            self.sim = None
+
+    def reset(self) -> None:
+        """Zero the simulated clocks and counters (between experiments)."""
+        if self.kind == "eager":
+            self.dispatcher.reset()
+        elif self.kind == "lazy":
+            self.runtime.reset()
+
+    @property
+    def elapsed(self) -> float:
+        """Total simulated wall time consumed on this device."""
+        if self.kind == "eager":
+            return self.dispatcher.elapsed
+        if self.kind == "lazy":
+            return self.runtime.elapsed
+        return 0.0
+
+    def sync(self) -> float:
+        if self.kind == "eager":
+            return self.dispatcher.sync()
+        if self.kind == "lazy":
+            return self.runtime.sync()
+        return 0.0
+
+    def __repr__(self) -> str:
+        return f"Device({self.name})"
+
+
+# -- defaults ----------------------------------------------------------------
+
+_default_device: Optional[Device] = None
+
+
+def default_device() -> Device:
+    global _default_device
+    if _default_device is None:
+        _default_device = Device("eager")
+    return _default_device
+
+
+def set_default_device(device: Device) -> None:
+    global _default_device
+    _default_device = device
+
+
+@contextmanager
+def using_device(device: Device):
+    """Scope the default device: ``with using_device(lazy_dev): ...``"""
+    global _default_device
+    previous = _default_device
+    _default_device = device
+    try:
+        yield device
+    finally:
+        _default_device = previous
+
+
+def naive_device() -> Device:
+    return Device("naive")
+
+
+def eager_device(profile=None, engine=None) -> Device:
+    return Device("eager", profile, engine)
+
+
+def lazy_device(profile=None, engine=None, auto_barrier_threshold=None) -> Device:
+    return Device(
+        "lazy", profile, engine, auto_barrier_threshold=auto_barrier_threshold
+    )

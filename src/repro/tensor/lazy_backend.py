@@ -1,0 +1,360 @@
+"""The LazyTensor implementation (Section 3.3).
+
+Instead of dispatching to pre-compiled kernels, operations *record a
+dynamic trace* — an in-memory DAG of :class:`TraceNode` objects (Figure 4).
+Nothing executes until the program observes a tensor's contents (or an
+explicit :func:`repro.tensor.api.LazyTensorBarrier`), at which point the
+trace fragment is lowered to HLO, JIT-compiled (with the trace-hash →
+executable cache of Section 3.4), and run.
+
+Because tensors that already hold data enter new traces as *parameters*,
+the per-step trace of a training loop hashes identically across steps and
+compiles exactly once; only the (cheap, but real) tracing overhead recurs
+each iteration — precisely the cost structure the paper describes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import weakref
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import HloError
+from repro.hlo import shapes as si
+from repro.hlo.builder import HloBuilder
+from repro.hlo.compiler import STATS as COMPILER_STATS
+from repro.hlo.compiler import compile_module
+from repro.hlo.ir import Shape
+from repro.runtime.costmodel import EngineProfile
+from repro.runtime.device import SimDevice
+
+
+class TraceNode:
+    """One recorded operation (or materialized source) in a trace DAG."""
+
+    _ids = itertools.count()
+
+    __slots__ = ("id", "op", "inputs", "attrs", "shape", "dtype", "data", "__weakref__")
+
+    def __init__(
+        self,
+        op: str,
+        inputs: Sequence["TraceNode"],
+        shape: tuple[int, ...],
+        dtype: str = "f32",
+        attrs: Optional[dict] = None,
+        data: Optional[np.ndarray] = None,
+    ) -> None:
+        self.id = next(TraceNode._ids)
+        self.op = op
+        self.inputs = list(inputs)
+        self.attrs = attrs or {}
+        self.shape = tuple(shape)
+        self.dtype = dtype
+        self.data = data
+
+    @property
+    def is_source(self) -> bool:
+        return self.data is not None
+
+    def __repr__(self) -> str:
+        src = " (source)" if self.is_source else ""
+        return f"<TraceNode {self.op}.{self.id} {self.shape}{src}>"
+
+
+class LazyRuntime:
+    """Per-device tracing state: the live-tensor set, clocks, and counters."""
+
+    def __init__(
+        self,
+        sim: SimDevice,
+        engine: EngineProfile,
+        auto_barrier_threshold: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.engine = engine
+        self.host_time = 0.0
+        self.ops_traced = 0
+        self.materializations = 0
+        self.compiles_triggered = 0
+        #: Section 3.4's future work, implemented: when set, a trace
+        #: fragment is compiled and dispatched automatically once it grows
+        #: past this many ops — no user annotations required.
+        self.auto_barrier_threshold = auto_barrier_threshold
+        self.ops_since_cut = 0
+        self.auto_cuts = 0
+        #: Tensors currently alive on this device; the nodes they hold are
+        #: what a barrier must materialize.  (Weak: dead intermediates of a
+        #: trace are never barrier roots, which both preserves fusion and
+        #: keeps per-step trace fingerprints identical.)
+        self.live_tensors: "weakref.WeakSet" = weakref.WeakSet()
+        #: When enabled, every executed fragment's pre-optimization text and
+        #: parameter values are stashed (used to extract step programs for
+        #: the baseline framework engines).
+        self.capture_traces = False
+        self.captured_traces: list[tuple[str, list]] = []
+
+    def reset(self) -> None:
+        self.host_time = 0.0
+        self.ops_traced = 0
+        self.materializations = 0
+        self.compiles_triggered = 0
+        self.sim.reset()
+
+    @property
+    def elapsed(self) -> float:
+        return max(self.host_time, self.sim.busy_until)
+
+    def sync(self) -> float:
+        self.host_time = max(self.host_time, self.sim.busy_until)
+        return self.host_time
+
+    # -- recording -------------------------------------------------------------
+
+    def record(
+        self,
+        op: str,
+        inputs: Sequence[TraceNode],
+        shape: tuple[int, ...],
+        dtype: str = "f32",
+        attrs: Optional[dict] = None,
+    ) -> TraceNode:
+        node = TraceNode(op, inputs, shape, dtype, attrs)
+        self.host_time += self.engine.trace_op_overhead
+        self.ops_traced += 1
+        self.ops_since_cut += 1
+        if (
+            self.auto_barrier_threshold is not None
+            and self.ops_since_cut >= self.auto_barrier_threshold
+        ):
+            self._auto_cut(node)
+        return node
+
+    def _auto_cut(self, pending: TraceNode) -> None:
+        """Automatically compile-and-dispatch the grown trace fragment.
+
+        Cuts at the current frontier: every live tensor plus the op just
+        recorded (which no Tensor holds yet) materializes as one fragment.
+        """
+        seen: dict[int, TraceNode] = {pending.id: pending}
+        for tensor in list(self.live_tensors):
+            node = tensor._impl
+            if isinstance(node, TraceNode) and not node.is_source:
+                seen[node.id] = node
+        self.auto_cuts += 1
+        self._execute([seen[i] for i in sorted(seen)])
+
+    def source(self, array: np.ndarray) -> TraceNode:
+        array = np.asarray(array, dtype=np.float32)
+        return TraceNode("source", [], array.shape, "f32", data=array)
+
+    def constant(self, value: float) -> TraceNode:
+        # Scalar literals are embedded in the trace (they recur identically
+        # every step, so they do not hurt cache hits).
+        return TraceNode(
+            "constant", [], (), "f32", attrs={"value": float(value)}
+        )
+
+    # -- materialization ----------------------------------------------------------
+
+    def materialize(self, nodes: Sequence[TraceNode]) -> list[np.ndarray]:
+        """Cut the trace at ``nodes``: compile + run their fused fragment."""
+        pending = [n for n in nodes if not n.is_source]
+        if pending:
+            self._execute(pending)
+        return [n.data for n in nodes]
+
+    def register_tensor(self, tensor) -> None:
+        self.live_tensors.add(tensor)
+
+    def barrier(self) -> None:
+        """Materialize every live tensor (``LazyTensorBarrier()``)."""
+        seen: dict[int, TraceNode] = {}
+        for tensor in list(self.live_tensors):
+            node = tensor._impl
+            if isinstance(node, TraceNode) and not node.is_source:
+                seen[node.id] = node
+        pending = [seen[i] for i in sorted(seen)]
+        if pending:
+            self._execute(pending)
+
+    def _execute(self, targets: list[TraceNode]) -> None:
+        module, param_nodes = _lower_to_hlo(targets)
+        if self.capture_traces:
+            from repro.hlo.printer import print_module
+
+            self.captured_traces.append(
+                (print_module(module), [p.data for p in param_nodes])
+            )
+        compiles_before = COMPILER_STATS.compiles
+        executable = compile_module(module)
+        if COMPILER_STATS.compiles > compiles_before:
+            # A genuinely new trace: pay JIT compilation.
+            self.compiles_triggered += 1
+            self.host_time += (
+                self.engine.compile_cost_base
+                + self.engine.compile_cost_per_op * len(executable.order)
+            )
+        args = [p.data for p in param_nodes]
+        self.sim.busy_until = max(self.sim.busy_until, self.host_time)
+        results = executable.run(args, device=self.sim, host_time=self.host_time)
+        self.materializations += 1
+        if len(targets) == 1:
+            results = (results,)
+        from repro.runtime import memory
+
+        for node, value in zip(targets, results):
+            node.data = np.asarray(value, dtype=np.float32)
+            memory.track_buffer(node.data)
+            node.inputs = []  # release the consumed trace fragment
+            node.attrs = {}
+            node.op = "source"
+        self.ops_since_cut = 0
+
+
+#: Trace op name -> HloBuilder lowering.  Most map one-to-one.
+def _lower_to_hlo(targets: list[TraceNode]):
+    builder = HloBuilder("trace")
+    mapping: dict[int, object] = {}
+    param_nodes: list[TraceNode] = []
+
+    def lower(root: TraceNode):
+        # Iterative post-order walk: unrolled training traces can be far
+        # deeper than Python's recursion limit.
+        stack: list[tuple[TraceNode, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node.id in mapping:
+                continue
+            if node.is_source:
+                param_nodes.append(node)
+                mapping[node.id] = builder.parameter(Shape(tuple(node.shape)))
+                continue
+            if node.op == "constant":
+                mapping[node.id] = builder.constant(node.attrs["value"])
+                continue
+            if expanded:
+                inputs = [mapping[i.id] for i in node.inputs]
+                mapping[node.id] = _emit(builder, node, inputs)
+            else:
+                stack.append((node, True))
+                for operand in reversed(node.inputs):
+                    if operand.id not in mapping:
+                        stack.append((operand, False))
+        return mapping[root.id]
+
+    roots = [lower(t) for t in targets]
+    root = roots[0] if len(roots) == 1 else builder.tuple(roots)
+    module = builder.build(root, module_name="trace_fragment")
+    return module, param_nodes
+
+
+_UNARY = {
+    "neg": "negate",
+    "exp": "exponential",
+    "log": "log",
+    "tanh": "tanh",
+    "sqrt": "sqrt",
+    "rsqrt": "rsqrt",
+    "sigmoid": "logistic",
+    "relu": "relu",
+    "abs": "abs",
+    "sign": "sign",
+}
+
+_BINARY = {
+    "add": "add",
+    "sub": "subtract",
+    "mul": "multiply",
+    "div": "divide",
+    "pow": "power",
+    "maximum": "maximum",
+    "minimum": "minimum",
+}
+
+
+def _emit(builder: HloBuilder, node: TraceNode, inputs):
+    op = node.op
+    if op in _UNARY:
+        return builder.unary(_UNARY[op], inputs[0])
+    if op in _BINARY:
+        a, b = inputs
+        # Explicit broadcasts keep HLO shapes static.
+        dims = si.broadcast_shapes(a.shape, b.shape)
+        a = builder.broadcast(a, dims)
+        b = builder.broadcast(b, dims)
+        return builder.binary(_BINARY[op], a, b)
+    if op == "compare":
+        a, b = inputs
+        dims = si.broadcast_shapes(a.shape, b.shape)
+        a = builder.broadcast(a, dims)
+        b = builder.broadcast(b, dims)
+        return builder.binary("compare", a, b, comparison=node.attrs["direction"])
+    if op == "select":
+        pred, on_true, on_false = inputs
+        dims = si.broadcast_shapes(pred.shape, on_true.shape)
+        dims = si.broadcast_shapes(Shape(dims), on_false.shape)
+        return builder.select(
+            builder.broadcast(pred, dims),
+            builder.broadcast(on_true, dims),
+            builder.broadcast(on_false, dims),
+        )
+    if op == "matmul":
+        return builder.dot(inputs[0], inputs[1])
+    if op == "conv2d":
+        return builder.convolution(
+            inputs[0], inputs[1], node.attrs["stride"], node.attrs["padding"]
+        )
+    if op == "conv2d_grad_input":
+        return builder.conv_grad_input(
+            inputs[0],
+            inputs[1],
+            node.attrs["input_dims"],
+            node.attrs["stride"],
+            node.attrs["padding"],
+        )
+    if op == "conv2d_grad_filter":
+        return builder.conv_grad_filter(
+            inputs[0],
+            inputs[1],
+            node.attrs["filter_dims"],
+            node.attrs["stride"],
+            node.attrs["padding"],
+        )
+    if op == "reduce":
+        return builder.reduce(
+            inputs[0], node.attrs["kind"], node.attrs["axes"], node.attrs["keepdims"]
+        )
+    if op == "reshape":
+        return builder.reshape(inputs[0], node.attrs["dims"])
+    if op == "transpose":
+        return builder.transpose(inputs[0], node.attrs["perm"])
+    if op == "broadcast_to":
+        return builder.broadcast(inputs[0], node.attrs["dims"])
+    if op == "avg_pool":
+        return builder.avg_pool(inputs[0], node.attrs["pool"], node.attrs["stride"])
+    if op == "avg_pool_grad":
+        return builder.avg_pool_grad(
+            inputs[0], node.attrs["input_dims"], node.attrs["pool"], node.attrs["stride"]
+        )
+    if op == "max_pool":
+        return builder.max_pool(inputs[0], node.attrs["pool"], node.attrs["stride"])
+    if op == "max_pool_grad":
+        return builder.max_pool_grad(
+            inputs[0], inputs[1], node.attrs["pool"], node.attrs["stride"]
+        )
+    if op == "one_hot":
+        return builder.one_hot(inputs[0], node.attrs["depth"])
+    if op == "softmax_ce":
+        return builder.softmax_ce(inputs[0], inputs[1])
+    if op == "softmax_ce_grad":
+        return builder.softmax_ce_grad(inputs[0], inputs[1])
+    if op == "pad":
+        return builder.pad(inputs[0], node.attrs["paddings"])
+    if op == "slice":
+        return builder.slice(inputs[0], node.attrs["starts"], node.attrs["sizes"])
+    if op == "concat":
+        return builder.concatenate(inputs, node.attrs["axis"])
+    raise HloError(f"no HLO lowering for traced op {op!r}")

@@ -1,0 +1,520 @@
+"""Differentiable tensor operations.
+
+These primitives are the Tensor-level base cases of the AD recursion,
+registered with ``@derivative``-style VJPs/JVPs exactly like the scalar
+math primitives — demonstrating that the AD system is decoupled from the
+Tensor type (it consumes only the ``Differentiable`` conformance).
+
+All implementations go through :class:`~repro.tensor.tensor.Tensor`
+methods, so every primitive works on all three backends unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.sil.frontend import register_method
+from repro.sil.primitives import primitive
+from repro.tensor.tensor import Tensor
+
+
+def _conv2d_impl(x: Tensor, filters: Tensor, stride: int, padding: str) -> Tensor:
+    dev = x.device.kind
+    if dev == "naive":
+        raise NotImplementedError(
+            "conv2d is not provided by the naive backend (Section 3.1's "
+            "naive tensor targets small dense workloads); use an eager or "
+            "lazy device"
+        )
+    if dev == "eager":
+        from repro.runtime.kernels import KERNELS
+
+        result = x.device.dispatcher.dispatch(
+            KERNELS["conv2d"], (x._impl, filters._impl, stride, padding)
+        )
+        return Tensor._wrap(result, x.device)
+    from repro.hlo import shapes as si
+    from repro.hlo.ir import Shape
+
+    out = si.infer_conv(Shape(x.shape), Shape(filters.shape), stride, padding)
+    node = x.device.runtime.record(
+        "conv2d",
+        [x._impl, filters._impl],
+        out.dims,
+        attrs={"stride": stride, "padding": padding},
+    )
+    return Tensor._wrap(node, x.device)
+
+
+def _tensor_op(x: Tensor, op: str, inputs, shape, attrs) -> Tensor:
+    """Dispatch a named non-elementwise op on eager/lazy backends."""
+    dev = x.device.kind
+    if dev == "eager":
+        from repro.runtime.kernels import KERNELS
+
+        kernel_name, args = _EAGER_LOWERING[op](inputs, attrs)
+        result = x.device.dispatcher.dispatch(KERNELS[kernel_name], args)
+        return Tensor._wrap(result, x.device)
+    if dev == "lazy":
+        node = x.device.runtime.record(
+            op, [t._impl for t in inputs], shape, attrs=attrs
+        )
+        return Tensor._wrap(node, x.device)
+    raise NotImplementedError(f"{op} is not provided by the naive backend")
+
+
+_EAGER_LOWERING = {
+    "conv2d_grad_input": lambda ins, at: (
+        "conv2d_grad_input",
+        (ins[0]._impl, ins[1]._impl, at["input_dims"], at["stride"], at["padding"]),
+    ),
+    "conv2d_grad_filter": lambda ins, at: (
+        "conv2d_grad_filter",
+        (ins[0]._impl, ins[1]._impl, at["filter_dims"], at["stride"], at["padding"]),
+    ),
+    "avg_pool": lambda ins, at: (
+        "avg_pool2d",
+        (ins[0]._impl, at["pool"], at["stride"]),
+    ),
+    "avg_pool_grad": lambda ins, at: (
+        "avg_pool2d_grad",
+        (ins[0]._impl, at["input_dims"], at["pool"], at["stride"]),
+    ),
+    "max_pool": lambda ins, at: (
+        "max_pool2d",
+        (ins[0]._impl, at["pool"], at["stride"]),
+    ),
+    "max_pool_grad": lambda ins, at: (
+        "max_pool2d_grad",
+        (ins[0]._impl, ins[1]._impl, at["pool"], at["stride"]),
+    ),
+    "softmax_ce": lambda ins, at: (
+        "softmax_cross_entropy",
+        (ins[0]._impl, ins[1]._impl),
+    ),
+    "softmax_ce_grad": lambda ins, at: (
+        "softmax_cross_entropy_grad",
+        (ins[0]._impl, ins[1]._impl),
+    ),
+    "one_hot": lambda ins, at: ("one_hot", (ins[0]._impl, at["depth"])),
+}
+
+
+# ---------------------------------------------------------------------------
+# Primitives.
+# ---------------------------------------------------------------------------
+
+
+@primitive("matmul")
+def matmul(a, b):
+    """Matrix product (rank-2); differentiable w.r.t. both operands."""
+    return a @ b
+
+
+@matmul.def_vjp
+def _matmul_vjp(a, b):
+    y = a @ b
+    return y, lambda ct: (ct @ b.T, a.T @ ct)
+
+
+@matmul.def_jvp
+def _matmul_jvp(primals, tangents):
+    (a, b), (da, db) = primals, tangents
+    y = a @ b
+    from repro.core.differentiable import ZERO, tangent_add
+
+    parts = []
+    if da is not ZERO:
+        parts.append(da @ b)
+    if db is not ZERO:
+        parts.append(a @ db)
+    if not parts:
+        return y, ZERO
+    dy = parts[0]
+    for p in parts[1:]:
+        dy = tangent_add(dy, p)
+    return y, dy
+
+
+@primitive("conv2d", nondiff_args=(2, 3))
+def conv2d(x, filters, stride=1, padding="valid"):
+    """2-D convolution, NHWC input and (KH,KW,CIN,COUT) filters."""
+    return _conv2d_impl(x, filters, stride, padding)
+
+
+@conv2d.def_vjp
+def _conv2d_vjp(x, filters, stride=1, padding="valid"):
+    y = _conv2d_impl(x, filters, stride, padding)
+
+    def pullback(ct):
+        gx = _tensor_op(
+            x,
+            "conv2d_grad_input",
+            [ct, filters],
+            x.shape,
+            {"input_dims": x.shape, "stride": stride, "padding": padding},
+        )
+        gf = _tensor_op(
+            x,
+            "conv2d_grad_filter",
+            [x, ct],
+            filters.shape,
+            {"filter_dims": filters.shape, "stride": stride, "padding": padding},
+        )
+        return (gx, gf, None, None)
+
+    return y, pullback
+
+
+def _pool_out_shape(x, pool, stride):
+    n, h, w, c = x.shape
+    return (n, (h - pool) // stride + 1, (w - pool) // stride + 1, c)
+
+
+@primitive("avg_pool2d", nondiff_args=(1, 2))
+def avg_pool2d(x, pool=2, stride=2):
+    """Average pooling over NHWC windows."""
+    return _tensor_op(
+        x, "avg_pool", [x], _pool_out_shape(x, pool, stride), {"pool": pool, "stride": stride}
+    )
+
+
+@avg_pool2d.def_vjp
+def _avg_pool2d_vjp(x, pool=2, stride=2):
+    y = avg_pool2d.fn(x, pool, stride)
+
+    def pullback(ct):
+        gx = _tensor_op(
+            x,
+            "avg_pool_grad",
+            [ct],
+            x.shape,
+            {"input_dims": x.shape, "pool": pool, "stride": stride},
+        )
+        return (gx, None, None)
+
+    return y, pullback
+
+
+@primitive("max_pool2d", nondiff_args=(1, 2))
+def max_pool2d(x, pool=2, stride=2):
+    """Max pooling over NHWC windows."""
+    return _tensor_op(
+        x, "max_pool", [x], _pool_out_shape(x, pool, stride), {"pool": pool, "stride": stride}
+    )
+
+
+@max_pool2d.def_vjp
+def _max_pool2d_vjp(x, pool=2, stride=2):
+    y = max_pool2d.fn(x, pool, stride)
+
+    def pullback(ct):
+        gx = _tensor_op(
+            x,
+            "max_pool_grad",
+            [x, ct],
+            x.shape,
+            {"pool": pool, "stride": stride},
+        )
+        return (gx, None, None)
+
+    return y, pullback
+
+
+@primitive("tensor_sum", nondiff_args=(1, 2))
+def tensor_sum(x, axes=None, keepdims=False):
+    """Sum-reduce over ``axes`` (all axes when None)."""
+    return x.sum(axes, keepdims)
+
+
+@tensor_sum.def_vjp
+def _tensor_sum_vjp(x, axes=None, keepdims=False):
+    y = x.sum(axes, keepdims)
+    shape = x.shape
+
+    def pullback(ct):
+        g = _restore_reduced_dims(ct, shape, axes, keepdims).broadcast_to(shape)
+        return (g, None, None)
+
+    return y, pullback
+
+
+@tensor_sum.def_jvp
+def _tensor_sum_jvp(primals, tangents):
+    x, axes, keepdims = _pad3(primals)
+    dx = tangents[0]
+    from repro.core.differentiable import ZERO
+
+    y = x.sum(axes, keepdims)
+    return y, (ZERO if dx is ZERO else dx.sum(axes, keepdims))
+
+
+@primitive("tensor_mean", nondiff_args=(1, 2))
+def tensor_mean(x, axes=None, keepdims=False):
+    """Mean-reduce over ``axes``."""
+    return x.mean(axes, keepdims)
+
+
+@tensor_mean.def_vjp
+def _tensor_mean_vjp(x, axes=None, keepdims=False):
+    y = x.mean(axes, keepdims)
+    shape = x.shape
+    count = _reduced_count(shape, axes)
+
+    def pullback(ct):
+        g = _restore_reduced_dims(ct, shape, axes, keepdims).broadcast_to(shape)
+        return (g / float(count), None, None)
+
+    return y, pullback
+
+
+@tensor_mean.def_jvp
+def _tensor_mean_jvp(primals, tangents):
+    x, axes, keepdims = _pad3(primals)
+    dx = tangents[0]
+    from repro.core.differentiable import ZERO
+
+    return x.mean(axes, keepdims), (ZERO if dx is ZERO else dx.mean(axes, keepdims))
+
+
+@primitive("tensor_max", nondiff_args=(1, 2))
+def tensor_max(x, axes=None, keepdims=False):
+    return x.max(axes, keepdims)
+
+
+@tensor_max.def_vjp
+def _tensor_max_vjp(x, axes=None, keepdims=False):
+    y = x.max(axes, keepdims)
+    shape = x.shape
+
+    def pullback(ct):
+        y_full = _restore_reduced_dims(y, shape, axes, keepdims).broadcast_to(shape)
+        ct_full = _restore_reduced_dims(ct, shape, axes, keepdims).broadcast_to(shape)
+        mask = x >= y_full
+        return (mask.select(ct_full, 0.0), None, None)
+
+    return y, pullback
+
+
+@primitive("tensor_reshape", nondiff_args=(1,))
+def tensor_reshape(x, dims):
+    """Reshape (element order preserved)."""
+    return x.reshaped(dims)
+
+
+@tensor_reshape.def_vjp
+def _tensor_reshape_vjp(x, dims):
+    shape = x.shape
+    return x.reshaped(dims), lambda ct: (ct.reshaped(shape), None)
+
+
+@tensor_reshape.def_jvp
+def _tensor_reshape_jvp(primals, tangents):
+    x, dims = primals
+    dx = tangents[0]
+    from repro.core.differentiable import ZERO
+
+    return x.reshaped(dims), (ZERO if dx is ZERO else dx.reshaped(dims))
+
+
+@primitive("flatten_batch")
+def flatten_batch(x):
+    """Collapse all non-batch dimensions: (N, ...) -> (N, prod(...))."""
+    n = x.shape[0]
+    return x.reshaped((n, x.size // n))
+
+
+@flatten_batch.def_vjp
+def _flatten_batch_vjp(x):
+    shape = x.shape
+    n = shape[0]
+    return x.reshaped((n, x.size // n)), lambda ct: (ct.reshaped(shape),)
+
+
+@primitive("tensor_transpose", nondiff_args=(1,))
+def tensor_transpose(x, perm):
+    return x.transposed(perm)
+
+
+@tensor_transpose.def_vjp
+def _tensor_transpose_vjp(x, perm):
+    inverse = tuple(sorted(range(len(perm)), key=lambda i: perm[i]))
+    return x.transposed(perm), lambda ct: (ct.transposed(inverse), None)
+
+
+@primitive("tensor_broadcast_to", nondiff_args=(1,))
+def tensor_broadcast_to(x, dims):
+    return x.broadcast_to(dims)
+
+
+@tensor_broadcast_to.def_vjp
+def _tensor_broadcast_to_vjp(x, dims):
+    shape = x.shape
+    return x.broadcast_to(dims), lambda ct: (ct.sum_to_match(shape), None)
+
+
+@primitive("softmax_cross_entropy")
+def softmax_cross_entropy(logits, labels):
+    """Mean softmax cross entropy against one-hot ``labels``; scalar."""
+    return _tensor_op(logits, "softmax_ce", [logits, labels], (), {})
+
+
+@softmax_cross_entropy.def_vjp
+def _softmax_ce_vjp(logits, labels):
+    loss = _tensor_op(logits, "softmax_ce", [logits, labels], (), {})
+
+    def pullback(ct):
+        g = _tensor_op(
+            logits, "softmax_ce_grad", [logits, labels], logits.shape, {}
+        )
+        return (g * ct, None)
+
+    return loss, pullback
+
+
+@primitive("one_hot", nondiff_args=(0, 1))
+def one_hot(indices, depth):
+    """One-hot encode a float tensor of class indices."""
+    return _tensor_op(
+        indices, "one_hot", [indices], indices.shape + (depth,), {"depth": depth}
+    )
+
+
+@primitive("mse_loss")
+def mse_loss(predictions, targets):
+    """Mean squared error; differentiable through the tensor operators."""
+    diff = predictions - targets
+    return (diff * diff).mean()
+
+
+@mse_loss.def_vjp
+def _mse_loss_vjp(predictions, targets):
+    diff = predictions - targets
+    loss = (diff * diff).mean()
+    n = float(diff.size)
+
+    def pullback(ct):
+        g = diff * (2.0 / n) * ct
+        return (g, -g)
+
+    return loss, pullback
+
+
+@primitive("tensor_concat", nondiff_args=(1,))
+def tensor_concat(tensors, axis=0):
+    """Concatenate a list of tensors along ``axis`` (axis 0 on naive)."""
+    first = tensors[0]
+    kind = first.device.kind
+    if kind == "naive":
+        from repro.tensor import naive_backend as _nb
+
+        if axis != 0:
+            raise NotImplementedError("naive concat supports axis 0")
+        return Tensor._wrap(
+            _nb.concat_rows([t._impl for t in tensors]), first.device
+        )
+    if kind == "eager":
+        from repro.runtime.kernels import KERNELS
+
+        result = first.device.dispatcher.dispatch(
+            KERNELS["concat"], tuple(t._impl for t in tensors) + (axis,)
+        )
+        return Tensor._wrap(result, first.device)
+    from repro.hlo import shapes as si
+    from repro.hlo.ir import Shape
+
+    out = si.infer_concat([Shape(t.shape) for t in tensors], axis)
+    node = first.device.runtime.record(
+        "concat", [t._impl for t in tensors], out.dims, attrs={"axis": axis}
+    )
+    return Tensor._wrap(node, first.device)
+
+
+@tensor_concat.def_vjp
+def _tensor_concat_vjp(tensors, axis=0):
+    y = tensor_concat.fn(tensors, axis)
+    rank = len(tensors[0].shape)
+    axis_n = axis % rank
+    sizes = [t.shape[axis_n] for t in tensors]
+
+    def pullback(ct):
+        pieces = []
+        offset = 0
+        for size, t in zip(sizes, tensors):
+            if axis_n == 0:
+                pieces.append(ct[offset : offset + size])
+            else:
+                starts = tuple(
+                    offset if d == axis_n else 0 for d in range(rank)
+                )
+                dims = tuple(
+                    size if d == axis_n else t.shape[d] for d in range(rank)
+                )
+                pieces.append(_tensor_slice(ct, starts, dims))
+            offset += size
+        return (pieces, None)
+
+    return y, pullback
+
+
+def _tensor_slice(x, starts, sizes):
+    kind = x.device.kind
+    if kind == "eager":
+        from repro.runtime.kernels import KERNELS
+
+        result = x.device.dispatcher.dispatch(
+            KERNELS["slice"], (x._impl, starts, sizes)
+        )
+        return Tensor._wrap(result, x.device)
+    if kind == "lazy":
+        node = x.device.runtime.record(
+            "slice", [x._impl], tuple(sizes), attrs={"starts": starts, "sizes": sizes}
+        )
+        return Tensor._wrap(node, x.device)
+    raise NotImplementedError("naive general slicing")
+
+
+# ---------------------------------------------------------------------------
+# Helpers.
+# ---------------------------------------------------------------------------
+
+
+def _pad3(primals):
+    x = primals[0]
+    axes = primals[1] if len(primals) > 1 else None
+    keepdims = primals[2] if len(primals) > 2 else False
+    return x, axes, keepdims
+
+
+def _reduced_count(shape, axes) -> int:
+    if axes is None:
+        total = 1
+        for d in shape:
+            total *= d
+        return total
+    total = 1
+    for a in axes:
+        total *= shape[a % len(shape)]
+    return total
+
+
+def _restore_reduced_dims(ct, shape, axes, keepdims):
+    """Insert size-1 dims so ``ct`` broadcasts against the original shape."""
+    if keepdims or not hasattr(ct, "reshaped"):
+        return ct
+    if axes is None:
+        return ct.reshaped((1,) * len(shape))
+    axes = tuple(a % len(shape) for a in axes)
+    dims = tuple(1 if i in axes else d for i, d in enumerate(shape))
+    return ct.reshaped(dims)
+
+
+# Route `x.method()` call sites inside @differentiable code to primitives.
+register_method("sum", "tensor_sum")
+register_method("mean", "tensor_mean")
+register_method("max", "tensor_max")
+register_method("reshaped", "tensor_reshape")
+register_method("transposed", "tensor_transpose")
+register_method("broadcast_to", "tensor_broadcast_to")
+# Unary math methods route to the generic math primitives, which dispatch
+# back to the receiver's method — so `x.tanh()` differentiates on any type.
+for _name in ("exp", "log", "tanh", "sqrt", "rsqrt", "sigmoid", "relu", "abs"):
+    register_method(_name, _name)

@@ -1,0 +1,661 @@
+"""The user-facing Tensor type, generic over three implementations.
+
+One API, three backends selected by device placement (Sections 3.1–3.3):
+
+* ``naive`` — pure-Python lists, no dependencies;
+* ``eager`` — op-by-op asynchronous dispatch of NumPy kernels on a
+  simulated accelerator;
+* ``lazy`` — implicit trace recording, JIT-compiled through HLO on first
+  observation.
+
+Tensor is a *value type*: every operation yields a fresh value, and the
+in-place ``move_`` used by optimizers rebinds this variable's storage
+without affecting any other tensor — mutable value semantics (Section 4).
+
+Tensor conforms to the Differentiable protocol (tangent space = Tensor of
+the same shape), so the AD system differentiates tensor code with the same
+machinery it uses for floats and structs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import DeviceError, ShapeError
+from repro.runtime.kernels import KERNELS
+from repro.tensor import naive_backend as nb
+from repro.tensor.device import Device, default_device
+
+Scalar = Union[int, float]
+
+_EAGER_UNARY = {
+    "neg": "neg",
+    "exp": "exp",
+    "log": "log",
+    "tanh": "tanh",
+    "sqrt": "sqrt",
+    "rsqrt": "rsqrt",
+    "sigmoid": "sigmoid",
+    "relu": "relu",
+    "abs": "abs",
+    "sign": "sign",
+}
+
+_EAGER_BINARY = {
+    "add": "add",
+    "sub": "sub",
+    "mul": "mul",
+    "div": "div",
+    "pow": "pow",
+    "maximum": "maximum",
+    "minimum": "minimum",
+}
+
+_EAGER_COMPARE = {
+    "gt": "greater",
+    "ge": "greater_equal",
+    "lt": "less",
+    "le": "less_equal",
+    "eq": "equal",
+}
+
+
+class Tensor:
+    """A multi-dimensional array placed on a :class:`Device`."""
+
+    __slots__ = ("_impl", "device", "__weakref__")
+
+    def __init__(self, data, device: Optional[Device] = None) -> None:
+        if isinstance(data, Tensor):
+            device = device or data.device
+            self._impl = data._impl
+            self.device = device
+            if device.kind == "lazy":
+                device.runtime.register_tensor(self)
+            return
+        self.device = device or default_device()
+        kind = self.device.kind
+        if kind == "naive":
+            self._impl = nb.from_nested(
+                data.tolist() if isinstance(data, np.ndarray) else data
+            )
+        elif kind == "eager":
+            self._impl = np.asarray(data, dtype=np.float32)
+        else:  # lazy
+            array = np.asarray(data, dtype=np.float32)
+            self._impl = self.device.runtime.source(array)
+            self.device.runtime.register_tensor(self)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def _wrap(cls, impl, device: Device) -> "Tensor":
+        t = object.__new__(cls)
+        t._impl = impl
+        t.device = device
+        if device.kind == "lazy":
+            device.runtime.register_tensor(t)
+        return t
+
+    @classmethod
+    def zeros(cls, shape: Sequence[int], device=None) -> "Tensor":
+        return cls.full(shape, 0.0, device)
+
+    @classmethod
+    def ones(cls, shape: Sequence[int], device=None) -> "Tensor":
+        return cls.full(shape, 1.0, device)
+
+    @classmethod
+    def full(cls, shape: Sequence[int], value: float, device=None) -> "Tensor":
+        device = device or default_device()
+        shape = tuple(shape)
+        if device.kind == "naive":
+            return cls._wrap(nb.full(shape, float(value)), device)
+        array = np.full(shape, value, dtype=np.float32)
+        if device.kind == "eager":
+            return cls._wrap(array, device)
+        return cls._wrap(device.runtime.source(array), device)
+
+    @classmethod
+    def randn(
+        cls, shape: Sequence[int], device=None, seed: Optional[int] = None, scale=1.0
+    ) -> "Tensor":
+        rng = np.random.default_rng(seed)
+        array = (rng.standard_normal(tuple(shape)) * scale).astype(np.float32)
+        return cls(array, device)
+
+    @classmethod
+    def arange(cls, n: int, device=None) -> "Tensor":
+        return cls(np.arange(n, dtype=np.float32), device)
+
+    @classmethod
+    def scalar(cls, value: float, device=None) -> "Tensor":
+        return cls.full((), value, device)
+
+    def zeros_like(self) -> "Tensor":
+        return Tensor.zeros(self.shape, self.device)
+
+    def ones_like(self) -> "Tensor":
+        return Tensor.ones(self.shape, self.device)
+
+    # -- shape & observation ---------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self._impl.shape)
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    def numpy(self) -> np.ndarray:
+        """Observe the tensor's contents (a materialization point)."""
+        kind = self.device.kind
+        if kind == "naive":
+            return np.asarray(nb.to_nested(self._impl), dtype=np.float32).reshape(
+                self._impl.shape
+            )
+        if kind == "eager":
+            self.device.dispatcher.sync()
+            return self._impl
+        (value,) = self.device.runtime.materialize([self._impl])
+        self.device.runtime.sync()
+        return value
+
+    def item(self) -> float:
+        if self.size != 1:
+            raise ShapeError(f"item() on tensor of shape {self.shape}")
+        return float(self.numpy().reshape(()))
+
+    def __float__(self) -> float:
+        return self.item()
+
+    def __bool__(self) -> bool:
+        return bool(self.item() != 0.0)
+
+    def __repr__(self) -> str:
+        if self.device.kind == "lazy" and not self._impl.is_source:
+            return f"Tensor(<unmaterialized {self.shape}>, device={self.device.name})"
+        return f"Tensor({self.numpy()!r}, device={self.device.name})"
+
+    # -- internal dispatch --------------------------------------------------------
+
+    def _coerce(self, other) -> "Tensor":
+        if isinstance(other, Tensor):
+            if other.device is not self.device:
+                raise DeviceError(
+                    f"tensors on different devices: {self.device} vs {other.device}"
+                )
+            return other
+        if isinstance(other, (int, float)):
+            if self.device.kind == "lazy":
+                return Tensor._wrap(
+                    self.device.runtime.constant(float(other)), self.device
+                )
+            return Tensor.full((), float(other), self.device)
+        raise TypeError(f"cannot mix Tensor with {type(other).__name__}")
+
+    def _binary(self, op: str, other) -> "Tensor":
+        if not isinstance(other, (Tensor, int, float)):
+            # Defer to the other operand's reflected operator (e.g. the
+            # symbolic ZERO tangent's additive-identity behaviour).
+            return NotImplemented
+        other = self._coerce(other)
+        kind = self.device.kind
+        if kind == "naive":
+            return Tensor._wrap(nb.binary(op, self._impl, other._impl), self.device)
+        if kind == "eager":
+            result = self.device.dispatcher.dispatch(
+                KERNELS[_EAGER_BINARY[op]], (self._impl, other._impl)
+            )
+            return Tensor._wrap(result, self.device)
+        shape = nb.broadcast_shape(self.shape, other.shape)
+        node = self.device.runtime.record(op, [self._impl, other._impl], shape)
+        return Tensor._wrap(node, self.device)
+
+    def _rbinary(self, op: str, other) -> "Tensor":
+        return self._coerce(other)._binary(op, self)
+
+    def _unary(self, op: str) -> "Tensor":
+        kind = self.device.kind
+        if kind == "naive":
+            return Tensor._wrap(nb.unary(op, self._impl), self.device)
+        if kind == "eager":
+            result = self.device.dispatcher.dispatch(
+                KERNELS[_EAGER_UNARY[op]], (self._impl,)
+            )
+            return Tensor._wrap(result, self.device)
+        node = self.device.runtime.record(op, [self._impl], self.shape)
+        return Tensor._wrap(node, self.device)
+
+    def _compare(self, direction: str, other) -> "Tensor":
+        other = self._coerce(other)
+        kind = self.device.kind
+        if kind == "naive":
+            return Tensor._wrap(
+                nb.compare(direction, self._impl, other._impl), self.device
+            )
+        if kind == "eager":
+            result = self.device.dispatcher.dispatch(
+                KERNELS[_EAGER_COMPARE[direction]], (self._impl, other._impl)
+            )
+            return Tensor._wrap(result, self.device)
+        shape = nb.broadcast_shape(self.shape, other.shape)
+        node = self.device.runtime.record(
+            "compare",
+            [self._impl, other._impl],
+            shape,
+            dtype="pred",
+            attrs={"direction": direction},
+        )
+        return Tensor._wrap(node, self.device)
+
+    # -- operators ------------------------------------------------------------------
+
+    def __add__(self, other):
+        return self._binary("add", other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._binary("sub", other)
+
+    def __rsub__(self, other):
+        return self._rbinary("sub", other)
+
+    def __mul__(self, other):
+        return self._binary("mul", other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        return self._binary("div", other)
+
+    def __rtruediv__(self, other):
+        return self._rbinary("div", other)
+
+    def __pow__(self, other):
+        return self._binary("pow", other)
+
+    def __neg__(self):
+        return self._unary("neg")
+
+    def __gt__(self, other):
+        return self._compare("gt", other)
+
+    def __ge__(self, other):
+        return self._compare("ge", other)
+
+    def __lt__(self, other):
+        return self._compare("lt", other)
+
+    def __le__(self, other):
+        return self._compare("le", other)
+
+    def maximum(self, other):
+        return self._binary("maximum", other)
+
+    def minimum(self, other):
+        return self._binary("minimum", other)
+
+    def select(self, on_true, on_false):
+        """Elementwise ``self ? on_true : on_false`` (self is a mask)."""
+        on_true = self._coerce(on_true)
+        on_false = self._coerce(on_false)
+        kind = self.device.kind
+        if kind == "naive":
+            return Tensor._wrap(
+                nb.select(self._impl, on_true._impl, on_false._impl), self.device
+            )
+        if kind == "eager":
+            result = self.device.dispatcher.dispatch(
+                KERNELS["select"], (self._impl, on_true._impl, on_false._impl)
+            )
+            return Tensor._wrap(result, self.device)
+        shape = nb.broadcast_shape(
+            nb.broadcast_shape(self.shape, on_true.shape), on_false.shape
+        )
+        node = self.device.runtime.record(
+            "select", [self._impl, on_true._impl, on_false._impl], shape
+        )
+        return Tensor._wrap(node, self.device)
+
+    # -- math methods (dispatch targets for the generic math primitives) -----------
+
+    def exp(self):
+        return self._unary("exp")
+
+    def log(self):
+        return self._unary("log")
+
+    def tanh(self):
+        return self._unary("tanh")
+
+    def sqrt(self):
+        return self._unary("sqrt")
+
+    def rsqrt(self):
+        return self._unary("rsqrt")
+
+    def sigmoid(self):
+        return self._unary("sigmoid")
+
+    def relu(self):
+        return self._unary("relu")
+
+    def abs(self):
+        return self._unary("abs")
+
+    __abs__ = abs
+
+    def sign(self):
+        return self._unary("sign")
+
+    def relu_vjp(self):
+        y = self.relu()
+        mask = self._compare("gt", 0.0)
+
+        def pullback(ct):
+            return (mask.select(ct, 0.0),)
+
+        return y, pullback
+
+    def relu_jvp(self, dx):
+        y = self.relu()
+        mask = self._compare("gt", 0.0)
+        return y, mask.select(dx, 0.0)
+
+    # -- matmul -------------------------------------------------------------------
+
+    def __matmul__(self, other):
+        other = self._coerce(other)
+        kind = self.device.kind
+        if kind == "naive":
+            return Tensor._wrap(nb.matmul(self._impl, other._impl), self.device)
+        if kind == "eager":
+            result = self.device.dispatcher.dispatch(
+                KERNELS["matmul"], (self._impl, other._impl)
+            )
+            return Tensor._wrap(result, self.device)
+        from repro.hlo import shapes as si
+        from repro.hlo.ir import Shape
+
+        out = si.infer_dot(Shape(self.shape), Shape(other.shape))
+        node = self.device.runtime.record(
+            "matmul", [self._impl, other._impl], out.dims
+        )
+        return Tensor._wrap(node, self.device)
+
+    def __vjp_matmul__(self, other):
+        a, b = self, self._coerce(other)
+        y = a @ b
+
+        def pullback(ct):
+            return (ct @ b.T, a.T @ ct)
+
+        return y, pullback
+
+    @property
+    def T(self) -> "Tensor":
+        perm = tuple(reversed(range(self.rank)))
+        return self.transposed(perm)
+
+    # -- reductions & shape ops ------------------------------------------------------
+
+    def sum(self, axes=None, keepdims: bool = False) -> "Tensor":
+        return self._reduce("sum", axes, keepdims)
+
+    def mean(self, axes=None, keepdims: bool = False) -> "Tensor":
+        return self._reduce("mean", axes, keepdims)
+
+    def max(self, axes=None, keepdims: bool = False) -> "Tensor":
+        return self._reduce("max", axes, keepdims)
+
+    def _reduce(self, kind: str, axes, keepdims: bool) -> "Tensor":
+        if isinstance(axes, int):
+            axes = (axes,)
+        axes = tuple(axes) if axes is not None else None
+        dev = self.device.kind
+        if dev == "naive":
+            return Tensor._wrap(
+                nb.reduce(kind, self._impl, axes, keepdims), self.device
+            )
+        if dev == "eager":
+            kernel = {"sum": "reduce_sum", "mean": "reduce_mean", "max": "reduce_max"}[
+                kind
+            ]
+            result = self.device.dispatcher.dispatch(
+                KERNELS[kernel], (self._impl, axes, keepdims)
+            )
+            return Tensor._wrap(result, self.device)
+        from repro.hlo import shapes as si
+        from repro.hlo.ir import Shape
+
+        out = si.infer_reduce(Shape(self.shape), axes, keepdims)
+        norm_axes = (
+            tuple(a % self.rank for a in axes) if axes is not None else None
+        )
+        node = self.device.runtime.record(
+            "reduce",
+            [self._impl],
+            out.dims,
+            attrs={"kind": kind, "axes": norm_axes, "keepdims": keepdims},
+        )
+        return Tensor._wrap(node, self.device)
+
+    def reshaped(self, dims: Sequence[int]) -> "Tensor":
+        dims = tuple(dims)
+        if -1 in dims:
+            known = 1
+            for d in dims:
+                if d != -1:
+                    known *= d
+            dims = tuple(self.size // known if d == -1 else d for d in dims)
+        dev = self.device.kind
+        if dev == "naive":
+            return Tensor._wrap(nb.reshape(self._impl, dims), self.device)
+        if dev == "eager":
+            result = self.device.dispatcher.dispatch(
+                KERNELS["reshape"], (self._impl, dims)
+            )
+            return Tensor._wrap(result, self.device)
+        from repro.hlo import shapes as si
+        from repro.hlo.ir import Shape
+
+        out = si.infer_reshape(Shape(self.shape), dims)
+        node = self.device.runtime.record(
+            "reshape", [self._impl], out.dims, attrs={"dims": dims}
+        )
+        return Tensor._wrap(node, self.device)
+
+    def transposed(self, perm: Sequence[int]) -> "Tensor":
+        perm = tuple(perm)
+        dev = self.device.kind
+        if dev == "naive":
+            return Tensor._wrap(nb.transpose(self._impl, perm), self.device)
+        if dev == "eager":
+            result = self.device.dispatcher.dispatch(
+                KERNELS["transpose"], (self._impl, perm)
+            )
+            return Tensor._wrap(result, self.device)
+        from repro.hlo import shapes as si
+        from repro.hlo.ir import Shape
+
+        out = si.infer_transpose(Shape(self.shape), perm)
+        node = self.device.runtime.record(
+            "transpose", [self._impl], out.dims, attrs={"perm": perm}
+        )
+        return Tensor._wrap(node, self.device)
+
+    def broadcast_to(self, dims: Sequence[int]) -> "Tensor":
+        dims = tuple(dims)
+        if self.shape == dims:
+            return self
+        dev = self.device.kind
+        if dev == "naive":
+            return Tensor._wrap(nb.broadcast_to(self._impl, dims), self.device)
+        if dev == "eager":
+            result = self.device.dispatcher.dispatch(
+                KERNELS["broadcast_to"], (self._impl, dims)
+            )
+            return Tensor._wrap(np.ascontiguousarray(result), self.device)
+        node = self.device.runtime.record(
+            "broadcast_to", [self._impl], dims, attrs={"dims": dims}
+        )
+        return Tensor._wrap(node, self.device)
+
+    def sum_to_match(self, target_shape) -> "Tensor":
+        """Reduce broadcast dimensions so this tensor has ``target_shape``.
+
+        The unbroadcast operation pullbacks use to route cotangents back to
+        the pre-broadcast operand shapes."""
+        target_shape = tuple(target_shape)
+        if self.shape == target_shape:
+            return self
+        if self.device.kind == "naive":
+            return Tensor._wrap(
+                nb.sum_to_match(self._impl, target_shape), self.device
+            )
+        rank = self.rank
+        lead = rank - len(target_shape)
+        axes = tuple(range(lead)) + tuple(
+            i + lead
+            for i, d in enumerate(target_shape)
+            if d == 1 and self.shape[i + lead] != 1
+        )
+        out = self.sum(axes=axes, keepdims=False) if axes else self
+        if out.shape != target_shape:
+            out = out.reshaped(target_shape)
+        return out
+
+    # -- indexing ---------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        if self.rank == 0:
+            raise TypeError("len() of a 0-d tensor")
+        return self.shape[0]
+
+    def __getitem__(self, index):
+        """Row indexing and slicing along axis 0 (differentiable)."""
+        if isinstance(index, slice):
+            if index.step not in (None, 1):
+                raise NotImplementedError("strided tensor slices")
+            start, stop, _ = index.indices(self.shape[0])
+            return self._slice_rows(start, stop)
+        if isinstance(index, (int, np.integer)):
+            return self._index_row(int(index))
+        raise TypeError(f"unsupported tensor index {index!r}")
+
+    def _index_row(self, i: int) -> "Tensor":
+        n = self.shape[0]
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError(f"index {i} out of range for axis of size {n}")
+        kind = self.device.kind
+        if kind == "naive":
+            return Tensor._wrap(nb.index_row(self._impl, i), self.device)
+        row = self._slice_rows(i, i + 1)
+        return row.reshaped(self.shape[1:])
+
+    def _slice_rows(self, start: int, stop: int) -> "Tensor":
+        stop = max(stop, start)
+        kind = self.device.kind
+        if kind == "naive":
+            return Tensor._wrap(nb.slice_rows(self._impl, start, stop), self.device)
+        starts = (start,) + (0,) * (self.rank - 1)
+        sizes = (stop - start,) + self.shape[1:]
+        if kind == "eager":
+            result = self.device.dispatcher.dispatch(
+                KERNELS["slice"], (self._impl, starts, sizes)
+            )
+            return Tensor._wrap(result, self.device)
+        node = self.device.runtime.record(
+            "slice", [self._impl], sizes, attrs={"starts": starts, "sizes": sizes}
+        )
+        return Tensor._wrap(node, self.device)
+
+    def _pad_rows(self, before: int, after: int) -> "Tensor":
+        kind = self.device.kind
+        if kind == "naive":
+            return Tensor._wrap(nb.pad_rows(self._impl, before, after), self.device)
+        paddings = ((before, after),) + ((0, 0),) * (self.rank - 1)
+        out_shape = (self.shape[0] + before + after,) + self.shape[1:]
+        if kind == "eager":
+            result = self.device.dispatcher.dispatch(
+                KERNELS["pad"], (self._impl, paddings)
+            )
+            return Tensor._wrap(result, self.device)
+        node = self.device.runtime.record(
+            "pad", [self._impl], out_shape, attrs={"paddings": paddings}
+        )
+        return Tensor._wrap(node, self.device)
+
+    def __slice_vjp__(self, start, stop):
+        """Pullback of ``self[start:stop]``: zero-pad the cotangent back."""
+        n = self.shape[0]
+        lo, hi, _ = slice(start, stop).indices(n)
+        hi = max(hi, lo)
+        piece = self._slice_rows(lo, hi)
+
+        def pullback(ct):
+            if not isinstance(ct, Tensor):
+                ct = Tensor(ct, self.device)
+            return (ct._pad_rows(lo, n - hi), None, None)
+
+        return piece, pullback
+
+    def __subscript_vjp__(self, i: int):
+        """Pullback of ``self[i]``: embed the cotangent as one zero-padded
+        row — the tensor counterpart of the Appendix B subscript adjoint."""
+        n = self.shape[0]
+        if i < 0:
+            i += n
+        row = self._index_row(i)
+
+        def pullback(ct):
+            if not isinstance(ct, Tensor):
+                ct = Tensor(ct, self.device)
+            expanded = ct.reshaped((1,) + self.shape[1:])
+            return (expanded._pad_rows(i, n - 1 - i), None)
+
+        return row, pullback
+
+    # -- Differentiable conformance ---------------------------------------------------
+
+    def __move__(self, tangent) -> "Tensor":
+        return self + tangent
+
+    def move_(self, tangent) -> None:
+        """In-place exponential map: rebind this variable's storage.
+
+        Mutable value semantics: no other tensor value can observe this
+        mutation, because every operation produced fresh storage."""
+        from repro.core.differentiable import ZERO
+
+        if tangent is ZERO:
+            return
+        updated = self + tangent
+        self._impl = updated._impl
+
+    def __tangent_zero__(self) -> "Tensor":
+        return self.zeros_like()
+
+    def __cotangent_one__(self) -> "Tensor":
+        if self.size != 1:
+            from repro.errors import ReproError
+
+            raise ReproError(
+                "gradient requires a scalar loss; this tensor has shape "
+                f"{self.shape}"
+            )
+        return self.ones_like()

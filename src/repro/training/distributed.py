@@ -1,0 +1,61 @@
+"""Synchronous data-parallel training over a simulated pod (Table 1).
+
+One representative replica executes the real numerics (every replica is
+identical under synchronous SGD with averaged gradients over i.i.d.
+shards); the pod simulator accounts per-step compute + ring all-reduce
+time, from which global and per-core throughput follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import value_and_gradient
+from repro.optim.tree import tangent_byte_size
+from repro.runtime.cluster import PodSimulator
+from repro.runtime.costmodel import DeviceProfile
+from repro.tensor import LazyTensorBarrier
+from repro.tensor.device import Device
+
+
+@dataclass
+class DistributedStepStats:
+    compute_time: float
+    allreduce_time: float
+    gradient_bytes: int
+
+    @property
+    def step_time(self) -> float:
+        return self.compute_time + self.allreduce_time
+
+
+class DataParallelTrainer:
+    """Train one model replicated over ``n_cores`` simulated accelerators."""
+
+    def __init__(
+        self, device: Device, profile: DeviceProfile, n_cores: int
+    ) -> None:
+        self.device = device
+        self.pod = PodSimulator(profile, n_cores)
+        self.n_cores = n_cores
+
+    def step(self, model, optimizer, loss_fn, x, y) -> DistributedStepStats:
+        """One synchronous step on the pod; ``x``/``y`` are one replica's
+        shard of the global batch."""
+        device = self.device
+        start = device.elapsed
+        loss, gradient = value_and_gradient(loss_fn, model, x, y, wrt=0)
+        optimizer.update(model, gradient)
+        if device.kind == "lazy":
+            LazyTensorBarrier(device)
+        device.sync()
+        compute_time = device.elapsed - start
+
+        grad_bytes = tangent_byte_size(gradient)
+        allreduce = self.pod.profile.allreduce_time(grad_bytes, self.n_cores)
+        return DistributedStepStats(compute_time, allreduce, grad_bytes)
+
+    def throughput(self, stats: DistributedStepStats, per_replica_batch: int):
+        """(global examples/s, per-core examples/s) for a measured step."""
+        total = self.n_cores * per_replica_batch / stats.step_time
+        return total, total / self.n_cores

@@ -1,0 +1,94 @@
+"""The training-loop library (Figure 7, industrialized).
+
+``train`` runs the paper's canonical loop: take the gradient of the loss
+with respect to the model, let the optimizer borrow the model uniquely and
+update it in place, and — on lazy devices — call ``LazyTensorBarrier()``
+automatically after the optimizer step, "on behalf of the user"
+(Section 3.4), so the main training loop is never accidentally unrolled
+into one gigantic trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core import value_and_gradient
+from repro.nn.losses import accuracy as accuracy_metric
+from repro.tensor import LazyTensorBarrier
+from repro.tensor.device import Device
+
+
+@dataclass
+class StepResult:
+    step: int
+    loss: float
+
+
+@dataclass
+class History:
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1]
+
+
+def train_step(model, optimizer, loss_fn, x, y, device: Optional[Device] = None):
+    """One step: gradient -> in-place optimizer update -> automatic barrier.
+
+    Returns the (scalar) loss value.  ``loss_fn(model, x, y)`` must be a
+    module-level function so it is lowered once, ahead of time.
+    """
+    loss, gradient = value_and_gradient(loss_fn, model, x, y, wrt=0)
+    optimizer.update(model, gradient)
+    device = device or getattr(x, "device", None)
+    if device is not None and device.kind == "lazy":
+        # The library cuts the trace after the optimizer update so the
+        # next step records a fresh, cache-identical fragment.
+        LazyTensorBarrier(device)
+    return loss
+
+
+def train(
+    model,
+    optimizer,
+    dataset,
+    loss_fn: Callable,
+    epochs: int = 1,
+    batch_size: int = 32,
+    device: Optional[Device] = None,
+    metrics: bool = False,
+    callback: Optional[Callable[[StepResult], None]] = None,
+    seed: int = 0,
+    predict: Optional[Callable] = None,
+) -> History:
+    """Fit ``model`` on ``dataset``; returns per-step history.
+
+    ``predict(model, x)`` overrides how metric logits are produced when the
+    loss function preprocesses its inputs (default: ``model(x)``).
+    """
+    history = History()
+    step = 0
+    for epoch in range(epochs):
+        for x, y in dataset.batches(batch_size, device=device, seed=seed + epoch):
+            loss = train_step(model, optimizer, loss_fn, x, y, device)
+            loss_value = float(loss)
+            history.losses.append(loss_value)
+            if metrics:
+                logits = predict(model, x) if predict else model(x)
+                history.accuracies.append(accuracy_metric(logits, y))
+            if callback is not None:
+                callback(StepResult(step, loss_value))
+            step += 1
+    return history
+
+
+def evaluate(model, dataset, batch_size: int = 64, device=None) -> float:
+    """Mean accuracy over the dataset."""
+    total, count = 0.0, 0
+    for x, y in dataset.batches(batch_size, device=device, shuffle=False):
+        total += accuracy_metric(model(x), y)
+        count += 1
+    return total / max(count, 1)

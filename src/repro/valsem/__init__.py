@@ -1,0 +1,32 @@
+"""Mutable value semantics (Section 4 of the paper).
+
+* :class:`ValueArray` — a COW array with value semantics (Figure 5 col. 3);
+* :func:`inout` / :class:`InoutRef` — unique borrows with exclusivity
+  enforcement (Appendix A);
+* :func:`as_functional` — the Figure 8 inout ⇄ pass-by-value equivalence;
+* :data:`STATS` — copy-on-write instrumentation for tests and benchmarks.
+"""
+
+from repro.valsem.cow import STATS, CowBox, CowStats
+from repro.valsem.inout import (
+    InoutRef,
+    as_functional,
+    borrow_attr,
+    borrow_item,
+    call_inout,
+    inout,
+)
+from repro.valsem.value_array import ValueArray
+
+__all__ = [
+    "STATS",
+    "CowBox",
+    "CowStats",
+    "InoutRef",
+    "as_functional",
+    "borrow_attr",
+    "borrow_item",
+    "call_inout",
+    "inout",
+    "ValueArray",
+]

@@ -1,0 +1,95 @@
+"""Copy-on-write storage: the mechanism behind mutable value semantics.
+
+Swift value types are cheap to copy because the underlying storage is
+shared until one of the sharers mutates, at which point the mutator copies
+("large values are copied lazily, upon mutation, and only when shared" —
+Section 4).  :class:`CowBox` reproduces that discipline explicitly, with
+instrumentation so tests can assert *when* deep copies actually happen.
+
+Python's ``=`` always binds references, so the copy that Swift performs at
+assignment is spelled ``value.copy()`` here; the point of COW is that this
+copy is O(1) and the deep copy is deferred to first shared mutation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class CowStats:
+    """Global instrumentation of copy-on-write behaviour."""
+
+    logical_copies: int = 0  # O(1) sharing copies
+    deep_copies: int = 0  # actual storage duplications
+
+    def reset(self) -> None:
+        self.logical_copies = 0
+        self.deep_copies = 0
+
+
+STATS = CowStats()
+
+
+class _Storage(Generic[T]):
+    """Reference-counted storage cell shared between CowBox values."""
+
+    __slots__ = ("data", "refcount")
+
+    def __init__(self, data: T) -> None:
+        self.data = data
+        self.refcount = 1
+
+
+class CowBox(Generic[T]):
+    """A value handle over shared storage with copy-on-write mutation.
+
+    ``duplicate()`` is the O(1) value copy; ``unique()`` returns the
+    storage for mutation, deep-copying first if it is shared (the "unique
+    borrow" precondition of ``inout``).
+    """
+
+    __slots__ = ("_storage", "_deep_copy")
+
+    def __init__(self, data: T, deep_copy: Callable[[T], T]) -> None:
+        self._storage = _Storage(data)
+        self._deep_copy = deep_copy
+
+    @property
+    def is_shared(self) -> bool:
+        return self._storage.refcount > 1
+
+    def read(self) -> T:
+        """Borrow the storage immutably (no copy, no uniqueness needed)."""
+        return self._storage.data
+
+    def duplicate(self) -> "CowBox[T]":
+        """O(1) value copy: share storage, bump the reference count."""
+        clone = object.__new__(CowBox)
+        clone._storage = self._storage
+        clone._deep_copy = self._deep_copy
+        self._storage.refcount += 1
+        STATS.logical_copies += 1
+        return clone
+
+    def unique(self) -> T:
+        """Borrow the storage for mutation, copying first if shared."""
+        storage = self._storage
+        if storage.refcount > 1:
+            storage.refcount -= 1
+            self._storage = _Storage(self._deep_copy(storage.data))
+            STATS.deep_copies += 1
+        return self._storage.data
+
+    def release(self) -> None:
+        """Drop this handle's claim on the storage (refcount bookkeeping)."""
+        self._storage.refcount -= 1
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self._storage.refcount -= 1
+        except AttributeError:
+            pass

@@ -1,0 +1,136 @@
+"""``inout`` parameters: unique borrows with enforced exclusivity.
+
+Swift's ``inout`` superficially resembles pass-by-reference but preserves
+value semantics because the borrow is guaranteed unique (Section 4 and
+Appendix A).  :class:`InoutRef` reproduces the convention: a callee
+receives a handle through which it may read and write one storage
+location; overlapping borrows of the same location raise
+:class:`~repro.errors.BorrowError` — the analogue of Swift's exclusivity
+checking.
+
+Figure 8's equivalence — any ``inout`` call can be rewritten as
+pass-by-value plus reassignment — is provided by :func:`as_functional` and
+asserted in tests.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable
+
+from repro.errors import BorrowError
+
+#: Currently-live unique borrows: (id(owner), key) -> True.
+_ACTIVE_BORROWS: dict[tuple[int, Any], bool] = {}
+
+
+class InoutRef:
+    """A unique, revocable borrow of ``owner.key`` (attribute or index)."""
+
+    __slots__ = ("_owner", "_key", "_kind", "_token", "_live")
+
+    def __init__(self, owner: Any, key: Any, kind: str) -> None:
+        token = (id(owner), key)
+        if _ACTIVE_BORROWS.get(token):
+            raise BorrowError(
+                f"overlapping inout borrows of {kind} {key!r}: "
+                "simultaneous access violates exclusivity"
+            )
+        _ACTIVE_BORROWS[token] = True
+        self._owner = owner
+        self._key = key
+        self._kind = kind
+        self._token = token
+        self._live = True
+
+    def get(self):
+        self._check()
+        if self._kind == "attr":
+            return getattr(self._owner, self._key)
+        return self._owner[self._key]
+
+    def set(self, value) -> None:
+        self._check()
+        if self._kind == "attr":
+            object.__setattr__(self._owner, self._key, value)
+        else:
+            self._owner[self._key] = value
+
+    def update(self, fn: Callable) -> None:
+        """Read-modify-write through the borrow."""
+        self.set(fn(self.get()))
+
+    def end(self) -> None:
+        if self._live:
+            self._live = False
+            _ACTIVE_BORROWS.pop(self._token, None)
+
+    def _check(self) -> None:
+        if not self._live:
+            raise BorrowError("use of inout reference after the borrow ended")
+
+    def __enter__(self) -> "InoutRef":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.end()
+
+
+def borrow_attr(owner: Any, name: str) -> InoutRef:
+    """Uniquely borrow ``owner.name`` for in-place mutation."""
+    return InoutRef(owner, name, "attr")
+
+
+def borrow_item(owner: Any, index: Any) -> InoutRef:
+    """Uniquely borrow ``owner[index]`` for in-place mutation."""
+    return InoutRef(owner, index, "item")
+
+
+@contextmanager
+def inout(owner: Any, key: Any):
+    """``with inout(model, 'weight') as ref: ...`` — scoped unique borrow."""
+    kind = "attr" if isinstance(key, str) and hasattr(owner, key) else "item"
+    ref = InoutRef(owner, key, kind)
+    try:
+        yield ref
+    finally:
+        ref.end()
+
+
+def call_inout(fn: Callable, ref: InoutRef, *args):
+    """Call ``fn(ref, *args)`` under the borrow, ending it afterwards."""
+    try:
+        return fn(ref, *args)
+    finally:
+        ref.end()
+
+
+def as_functional(fn: Callable) -> Callable:
+    """Figure 8: rewrite an inout function as pass-by-value.
+
+    ``fn(ref, *args) -> r`` becomes ``g(value, *args) -> (value', r)``.
+    The two forms are semantically identical because the borrow is unique.
+    """
+
+    class _Cell:
+        __slots__ = ("value",)
+
+        def __init__(self, value):
+            self.value = value
+
+        def __getitem__(self, _):
+            return self.value
+
+        def __setitem__(self, _, value):
+            self.value = value
+
+    def functional(value, *args):
+        cell = _Cell(value)
+        ref = InoutRef(cell, 0, "item")
+        try:
+            result = fn(ref, *args)
+        finally:
+            ref.end()
+        return cell.value, result
+
+    return functional

@@ -1,0 +1,116 @@
+"""A mutable-value-semantics array, Figure 5 column 3.
+
+``ValueArray`` behaves like Swift's ``Array``: copies are O(1) and
+logically disjoint — mutation through one value is never observable
+through another — while in-place mutation of an unshared array is cheap
+and does not reallocate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.valsem.cow import CowBox
+
+
+class ValueArray:
+    """List-backed array with value semantics via copy-on-write."""
+
+    __slots__ = ("_box",)
+
+    def __init__(self, items: Iterable = ()) -> None:
+        self._box = CowBox(list(items), deep_copy=list)
+
+    @classmethod
+    def _wrap(cls, box: CowBox) -> "ValueArray":
+        arr = object.__new__(cls)
+        arr._box = box
+        return arr
+
+    # -- value copying -------------------------------------------------------
+
+    def copy(self) -> "ValueArray":
+        """The analogue of Swift's ``var y = x``: O(1), logically disjoint."""
+        return ValueArray._wrap(self._box.duplicate())
+
+    @property
+    def is_shared(self) -> bool:
+        return self._box.is_shared
+
+    # -- reads (no copy) -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._box.read())
+
+    def __getitem__(self, index):
+        data = self._box.read()
+        if isinstance(index, slice):
+            return ValueArray(data[index])
+        return data[index]
+
+    def __iter__(self) -> Iterator:
+        return iter(list(self._box.read()))
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ValueArray):
+            return self._box.read() == other._box.read()
+        if isinstance(other, list):
+            return self._box.read() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"ValueArray({self._box.read()!r})"
+
+    def to_list(self) -> list:
+        return list(self._box.read())
+
+    # -- mutation (copy-on-write) ---------------------------------------------
+
+    def __setitem__(self, index, value) -> None:
+        self._box.unique()[index] = value
+
+    def append(self, value) -> None:
+        self._box.unique().append(value)
+
+    def extend(self, values: Iterable) -> None:
+        self._box.unique().extend(values)
+
+    def pop(self, index: int = -1):
+        return self._box.unique().pop(index)
+
+    def add_in_place(self, index, delta) -> None:
+        """``xs[i] += delta`` as a single mutation."""
+        data = self._box.unique()
+        data[index] = data[index] + delta
+
+    # -- Differentiable conformance -------------------------------------------
+
+    def __move__(self, tangent) -> "ValueArray":
+        from repro.core.differentiable import ZERO, move as _move
+
+        if tangent is ZERO:
+            return self
+        data = self._box.read()
+        if hasattr(tangent, "to_list"):
+            tangent = tangent.to_list()
+        return ValueArray(
+            _move(v, t) if t is not ZERO else v for v, t in zip(data, tangent)
+        )
+
+    def move_(self, tangent) -> None:
+        """In-place exponential map (unique borrow of the storage)."""
+        from repro.core.differentiable import ZERO, move as _move
+
+        if tangent is ZERO:
+            return
+        data = self._box.unique()
+        if hasattr(tangent, "to_list"):
+            tangent = tangent.to_list()
+        for i, t in enumerate(tangent):
+            if t is not ZERO:
+                data[i] = _move(data[i], t)
+
+    def __tangent_zero__(self):
+        from repro.core.differentiable import ZERO
+
+        return [ZERO] * len(self)

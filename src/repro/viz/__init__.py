@@ -1,0 +1,15 @@
+"""Trace visualisation (Figure 4)."""
+
+from repro.viz.trace_viz import (
+    capture_forward_trace,
+    trace_summary,
+    trace_to_dot,
+    trace_to_text,
+)
+
+__all__ = [
+    "capture_forward_trace",
+    "trace_summary",
+    "trace_to_dot",
+    "trace_to_text",
+]

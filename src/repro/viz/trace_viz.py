@@ -1,0 +1,91 @@
+"""LazyTensor trace visualisation (Figure 4).
+
+Renders a trace DAG — as recorded by the lazy backend before
+materialization — in two forms: an indented text tree for terminals and
+Graphviz DOT for figures.  ``capture_forward_trace`` reproduces the
+paper's Figure 4 setup: the trace of a model's forward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.tensor.lazy_backend import TraceNode
+
+
+def _collect(roots: Iterable[TraceNode]) -> list[TraceNode]:
+    order: list[TraceNode] = []
+    seen: set[int] = set()
+    stack = [(r, False) for r in roots]
+    while stack:
+        node, expanded = stack.pop()
+        if node.id in seen:
+            continue
+        if expanded:
+            seen.add(node.id)
+            order.append(node)
+        else:
+            stack.append((node, True))
+            for operand in node.inputs:
+                if operand.id not in seen:
+                    stack.append((operand, False))
+    return order
+
+
+def _label(node: TraceNode) -> str:
+    shape = "x".join(map(str, node.shape)) if node.shape else "scalar"
+    if node.is_source:
+        return f"source f32[{shape}]"
+    attrs = ""
+    if node.attrs:
+        attrs = " " + ", ".join(f"{k}={v}" for k, v in sorted(node.attrs.items()))
+    return f"{node.op} f32[{shape}]{attrs}"
+
+
+def trace_to_text(roots: Iterable[TraceNode]) -> str:
+    """One line per node in topological order, operands by id."""
+    order = _collect(list(roots))
+    index = {node.id: i for i, node in enumerate(order)}
+    lines = []
+    for i, node in enumerate(order):
+        operands = ", ".join(f"%{index[x.id]}" for x in node.inputs)
+        lines.append(f"%{i} = {_label(node)}" + (f" ({operands})" if operands else ""))
+    return "\n".join(lines)
+
+
+def trace_to_dot(roots: Iterable[TraceNode], name: str = "trace") -> str:
+    """Graphviz DOT of the trace DAG (the Figure 4 rendering)."""
+    order = _collect(list(roots))
+    lines = [f"digraph {name} {{", "  rankdir=TB;", '  node [shape=box, fontsize=10];']
+    for node in order:
+        shape_attr = ', style=filled, fillcolor="#dddddd"' if node.is_source else ""
+        lines.append(f'  n{node.id} [label="{_label(node)}"{shape_attr}];')
+    for node in order:
+        for operand in node.inputs:
+            lines.append(f"  n{operand.id} -> n{node.id};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def capture_forward_trace(model, example_input):
+    """Run ``model(example_input)`` on its (lazy) device and return the
+    output's trace root, without materializing anything."""
+    output = model(example_input)
+    node = output._impl
+    if not isinstance(node, TraceNode):
+        raise TypeError("capture_forward_trace requires a lazy-device tensor")
+    return node
+
+
+def trace_summary(root: TraceNode) -> dict[str, int]:
+    """Aggregate statistics of a trace: ops by kind, totals."""
+    order = _collect([root])
+    by_op: dict[str, int] = {}
+    for node in order:
+        by_op[node.op] = by_op.get(node.op, 0) + 1
+    return {
+        "total_nodes": len(order),
+        "sources": by_op.get("source", 0),
+        "operations": len(order) - by_op.get("source", 0),
+        **{f"op:{k}": v for k, v in sorted(by_op.items()) if k != "source"},
+    }

@@ -1,0 +1,120 @@
+"""Unit tests of activity analysis (varied/useful/active)."""
+
+from repro.core.activity import analyze_activity
+from repro.sil import ir, lower_function
+
+
+def _lowered(fn):
+    return lower_function(fn)
+
+
+def _apply_insts(func):
+    return [i for i in func.instructions() if isinstance(i, ir.ApplyInst)]
+
+
+def test_constant_subexpression_not_varied():
+    def f(x):
+        c = 2.0 * 3.0  # constant: not varied
+        return x * c
+
+    func = _lowered(f)
+    info = analyze_activity(func, (0,))
+    applies = _apply_insts(func)
+    const_mul = applies[0]  # 2.0 * 3.0
+    x_mul = applies[1]
+    assert not info.is_varied(const_mul.result)
+    assert info.is_varied(x_mul.result)
+    assert info.is_active(x_mul)
+    assert not info.is_active(const_mul)
+
+
+def test_unused_computation_not_useful():
+    def f(x):
+        dead = x * 100.0  # varied but does not reach the return
+        return x + 1.0
+
+    func = _lowered(f)
+    info = analyze_activity(func, (0,))
+    applies = _apply_insts(func)
+    dead_mul = applies[0]
+    assert info.is_varied(dead_mul.result)
+    assert not info.is_useful(dead_mul.result)
+    assert not info.is_active(dead_mul)
+
+
+def test_wrt_selects_parameters():
+    def f(x, y):
+        return x * 2.0 + y * 3.0
+
+    func = _lowered(f)
+    info_x = analyze_activity(func, (0,))
+    info_y = analyze_activity(func, (1,))
+    applies = _apply_insts(func)
+    x_mul, y_mul = applies[0], applies[1]
+    assert info_x.is_active(x_mul) and not info_x.is_active(y_mul)
+    assert info_y.is_active(y_mul) and not info_y.is_active(x_mul)
+
+
+def test_variedness_flows_through_branches():
+    def f(x):
+        if x > 0.0:
+            y = x * 2.0
+        else:
+            y = x * 3.0
+        return y
+
+    func = _lowered(f)
+    info = analyze_activity(func, (0,))
+    # The join block's argument must be varied and useful.
+    join_args = [
+        a for b in func.blocks for a in b.args if b is not func.entry
+    ]
+    assert any(info.is_active_value(a) for a in join_args)
+
+
+def test_variedness_flows_through_loops():
+    def f(x):
+        y = x
+        for _ in range(3):
+            y = y * 2.0
+        return y
+
+    func = _lowered(f)
+    info = analyze_activity(func, (0,))
+    assert info.result_varied()
+    mul = [i for i in _apply_insts(func) if i.callee.name == "mul"]
+    assert all(info.is_active(m) for m in mul)
+
+
+def test_result_not_varied_when_constant():
+    def f(x):
+        return 42.0
+
+    info = analyze_activity(_lowered(f), (0,))
+    assert not info.result_varied()
+
+
+def test_nondiff_operand_blocks_variedness():
+    # index_get's index operand is structurally non-differentiable: an index
+    # computed from x must not make the load varied via the index.
+    def f(xs, i):
+        return xs[i + 1]
+
+    func = _lowered(f)
+    info = analyze_activity(func, (1,))  # wrt the *index* argument
+    loads = [a for a in _apply_insts(func) if a.callee.name == "index_get"]
+    assert len(loads) == 1
+    assert not info.is_varied(loads[0].result)
+    assert not info.result_varied()
+
+
+def test_comparison_results_not_useful():
+    def f(x):
+        if x > 0.0:
+            return x * 2.0
+        return x
+
+    func = _lowered(f)
+    info = analyze_activity(func, (0,))
+    compares = [a for a in _apply_insts(func) if a.callee.name == "gt"]
+    assert compares and all(not info.is_useful(c.result) for c in compares)

@@ -1,0 +1,143 @@
+"""Sparse cotangent containers and slice/list differentiation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ZERO, gradient, tangent_add
+from repro.core.cotangents import (
+    PartialList,
+    PartialTuple,
+    deep_normalize,
+    normalize_cotangent,
+)
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+class TestPartialTuple:
+    def test_accumulate_and_densify(self):
+        p = PartialTuple(4).accumulate(1, 2.0).accumulate(3, 5.0)
+        assert p.to_tuple() == (ZERO, 2.0, ZERO, 5.0)
+        p.accumulate(1, 3.0)
+        assert p.get(1) == 5.0
+
+    def test_add_partial_partial(self):
+        a = PartialTuple(3).accumulate(0, 1.0)
+        b = PartialTuple(3).accumulate(0, 2.0).accumulate(2, 4.0)
+        s = a + b
+        assert s.to_tuple() == (3.0, ZERO, 4.0)
+
+    def test_add_with_dense_tuple(self):
+        p = PartialTuple(3).accumulate(1, 1.0)
+        s = p + (10.0, 20.0, 30.0)
+        assert s.to_tuple() == (10.0, 21.0, 30.0)
+        s2 = (10.0, 20.0, 30.0) + p
+        assert s2.to_tuple() == (10.0, 21.0, 30.0)
+
+    def test_zero_identity(self):
+        p = PartialTuple(2).accumulate(0, 1.0)
+        assert (p + ZERO) is p
+        assert tangent_add(ZERO, p) is p
+
+
+class TestPartialList:
+    def test_accumulate_and_densify(self):
+        p = PartialList(4).accumulate(2, 7.0)
+        assert p.to_list() == [ZERO, ZERO, 7.0, ZERO]
+
+    def test_negative_index(self):
+        p = PartialList(4).accumulate(-1, 3.0)
+        assert p.get(3) == 3.0
+        assert p.get(-1) == 3.0
+
+    def test_add_with_dense_list(self):
+        p = PartialList(3).accumulate(0, 1.0)
+        s = p + [1.0, 2.0, 3.0]
+        assert s.to_list() == [2.0, 2.0, 3.0]
+
+    @given(st.lists(finite, min_size=1, max_size=6), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_accumulation_order_irrelevant(self, values, data):
+        n = len(values)
+        indices = [
+            data.draw(st.integers(0, n - 1)) for _ in range(len(values))
+        ]
+        a = PartialList(n)
+        for i, v in zip(indices, values):
+            a.accumulate(i, v)
+        b = PartialList(n)
+        for i, v in reversed(list(zip(indices, values))):
+            b.accumulate(i, v)
+        for j in range(n):
+            x, y = a.get(j), b.get(j)
+            if x is ZERO or y is ZERO:
+                assert x is y
+            else:
+                assert x == pytest.approx(y)
+
+
+class TestNormalization:
+    def test_normalize_shallow(self):
+        assert normalize_cotangent(PartialTuple(2).accumulate(0, 1.0)) == (
+            1.0,
+            ZERO,
+        )
+        assert normalize_cotangent(3.0) == 3.0
+
+    def test_deep_normalize_nested(self):
+        inner = PartialList(2).accumulate(1, 5.0)
+        tree = (inner, [PartialTuple(1).accumulate(0, 2.0), 7.0])
+        out = deep_normalize(tree)
+        assert out == (([ZERO, 5.0]), [(2.0,), 7.0])
+
+    def test_deep_normalize_struct(self):
+        from dataclasses import dataclass
+
+        from repro.core import differentiable_struct
+
+        @differentiable_struct
+        @dataclass
+        class Box:
+            items: list
+
+        tv = Box.TangentVector(items=PartialList(2).accumulate(0, 1.0))
+        out = deep_normalize(tv)
+        assert out.items == [1.0, ZERO]
+
+
+class TestListSliceDifferentiation:
+    def test_slice_gradient_on_list(self):
+        def f(xs):
+            head = xs[:2]
+            return head[0] * 2.0 + head[1] * 3.0
+
+        g = gradient(f, [1.0, 1.0, 1.0, 1.0])
+        assert g[0] == 2.0 and g[1] == 3.0
+        assert g[2] is ZERO and g[3] is ZERO
+
+    def test_open_ended_slices(self):
+        def f(xs):
+            return xs[1:][0] + xs[:-1][0]
+
+        g = gradient(f, [1.0, 2.0, 3.0])
+        assert g[0] == 1.0 and g[1] == 1.0
+
+    def test_slice_of_slice(self):
+        def f(xs):
+            return xs[1:4][1:][0] * 5.0
+
+        g = gradient(f, [0.0, 1.0, 2.0, 3.0, 4.0])
+        assert g[2] == 5.0
+        assert all(v is ZERO for i, v in enumerate(g) if i != 2)
+
+    def test_sum_over_slice_in_loop(self):
+        def f(xs):
+            window = xs[1:3]
+            total = 0.0
+            for i in range(len(window)):
+                total += window[i]
+            return total
+
+        g = gradient(f, [1.0, 1.0, 1.0, 1.0])
+        assert [v if v is not ZERO else 0 for v in g] == [0, 1.0, 1.0, 0]

@@ -1,0 +1,163 @@
+"""The Differentiable protocol on user-defined structs (Figure 1).
+
+Gradients with respect to aggregates return synthesized TangentVector
+values; `move` is the exponential map; `no_derivative` fields are excluded.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core import (
+    ZERO,
+    differentiable_struct,
+    gradient,
+    move,
+    no_derivative,
+    value_and_gradient,
+)
+
+
+@differentiable_struct
+@dataclass
+class Point:
+    x: float
+    y: float
+
+
+@differentiable_struct
+@dataclass
+class Line:
+    start: Point
+    end: Point
+    name: str = no_derivative(default="line")
+
+
+def test_tangent_vector_synthesis():
+    tv = Point.TangentVector
+    assert tv.__name__ == "PointTangentVector"
+    t = tv(x=1.0, y=2.0)
+    assert t.x == 1.0 and t.y == 2.0
+    zero = tv()
+    assert zero.x is ZERO and zero.y is ZERO
+
+
+def test_tangent_additive_arithmetic():
+    tv = Point.TangentVector
+    a = tv(x=1.0, y=2.0)
+    b = tv(x=10.0, y=20.0)
+    s = a + b
+    assert (s.x, s.y) == (11.0, 22.0)
+    n = -a
+    assert (n.x, n.y) == (-1.0, -2.0)
+    d = b - a
+    assert (d.x, d.y) == (9.0, 18.0)
+    scaled = a * 3.0
+    assert (scaled.x, scaled.y) == (3.0, 6.0)
+    # ZERO is the additive identity at the struct level too.
+    assert (a + tv()).x == 1.0
+    assert (a + ZERO) is a
+
+
+def test_move_functional():
+    p = Point(1.0, 2.0)
+    moved = move(p, Point.TangentVector(x=0.5, y=-0.5))
+    assert (moved.x, moved.y) == (1.5, 1.5)
+    assert (p.x, p.y) == (1.0, 2.0)  # original untouched: value semantics
+    assert move(p, ZERO) is p
+
+
+def test_move_in_place():
+    p = Point(1.0, 2.0)
+    p.move_(Point.TangentVector(x=1.0, y=1.0))
+    assert (p.x, p.y) == (2.0, 3.0)
+
+
+def test_nested_struct_tangents():
+    line = Line(Point(0.0, 0.0), Point(3.0, 4.0))
+    t = Line.TangentVector(
+        start=Point.TangentVector(x=1.0, y=1.0),
+        end=Point.TangentVector(x=-1.0, y=-1.0),
+    )
+    moved = move(line, t)
+    assert (moved.start.x, moved.end.x) == (1.0, 2.0)
+    assert moved.name == "line"
+
+
+def test_no_derivative_field_excluded():
+    assert "name" not in Line.TangentVector._fields
+
+
+def test_gradient_wrt_struct():
+    def norm2(p):
+        return p.x * p.x + p.y * p.y
+
+    g = gradient(norm2, Point(3.0, 4.0))
+    assert isinstance(g, Point.TangentVector)
+    assert g.x == pytest.approx(6.0)
+    assert g.y == pytest.approx(8.0)
+
+
+def test_gradient_wrt_nested_struct():
+    def length2(line):
+        dx = line.end.x - line.start.x
+        dy = line.end.y - line.start.y
+        return dx * dx + dy * dy
+
+    line = Line(Point(0.0, 0.0), Point(3.0, 4.0))
+    g = gradient(length2, line)
+    assert g.end.x == pytest.approx(6.0)
+    assert g.end.y == pytest.approx(8.0)
+    assert g.start.x == pytest.approx(-6.0)
+    assert g.start.y == pytest.approx(-8.0)
+
+
+def test_sparse_field_gradient_stays_symbolic():
+    # Touching only one field must not materialize cotangents for siblings.
+    def only_x(p):
+        return p.x * 2.0
+
+    g = gradient(only_x, Point(1.0, 2.0))
+    assert g.x == pytest.approx(2.0)
+    assert g.y is ZERO  # never materialized — the Section 4.3 property
+
+
+def test_struct_and_scalar_mixed_args():
+    def f(p, s):
+        return (p.x + p.y) * s
+
+    p = Point(1.0, 2.0)
+    gp, gs = gradient(f, p, 10.0)
+    assert gp.x == pytest.approx(10.0)
+    assert gs == pytest.approx(3.0)
+
+
+def test_gradient_descent_loop_on_struct():
+    def loss(p):
+        return (p.x - 3.0) * (p.x - 3.0) + (p.y + 1.0) * (p.y + 1.0)
+
+    p = Point(0.0, 0.0)
+    for _ in range(200):
+        value, g = value_and_gradient(loss, p)
+        p = move(p, g * -0.1)
+    assert p.x == pytest.approx(3.0, abs=1e-3)
+    assert p.y == pytest.approx(-1.0, abs=1e-3)
+
+
+def test_struct_through_control_flow():
+    def f(p):
+        if p.x > 0.0:
+            return p.x * p.y
+        return p.y * p.y
+
+    g = gradient(f, Point(2.0, 3.0))
+    assert (g.x, g.y) == (pytest.approx(3.0), pytest.approx(2.0))
+    g = gradient(f, Point(-2.0, 3.0))
+    assert g.x is ZERO
+    assert g.y == pytest.approx(6.0)
+
+
+def test_tangent_vector_equality():
+    tv = Point.TangentVector
+    assert tv(x=1.0, y=2.0) == tv(x=1.0, y=2.0)
+    assert tv() == tv()

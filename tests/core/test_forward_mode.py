@@ -1,0 +1,131 @@
+"""Forward-mode (JVP) differentiation tests."""
+
+import math
+
+import pytest
+
+from repro.core import differentiable, differential, gradient, jvp
+from repro.core.differentiable import ZERO
+
+
+def fd_dir(f, args, tangents, eps=1e-6):
+    plus = [a + eps * t for a, t in zip(args, tangents)]
+    minus = [a - eps * t for a, t in zip(args, tangents)]
+    return (f(*plus) - f(*minus)) / (2 * eps)
+
+
+def check_jvp(f, args, tangents):
+    value, dvalue = jvp(f, args, tangents)
+    assert value == pytest.approx(f(*args))
+    assert dvalue == pytest.approx(fd_dir(f, args, tangents), rel=1e-4, abs=1e-6)
+
+
+def test_polynomial_jvp():
+    def f(x):
+        return 3.0 * x * x + 2.0 * x
+
+    check_jvp(f, (2.0,), (1.0,))
+    value, d = jvp(f, (2.0,), (1.0,))
+    assert d == pytest.approx(14.0)
+
+
+def test_directional_derivative_two_args():
+    def f(x, y):
+        return x * y + x / y
+
+    check_jvp(f, (2.0, 3.0), (1.0, 0.0))
+    check_jvp(f, (2.0, 3.0), (0.0, 1.0))
+    check_jvp(f, (2.0, 3.0), (0.7, -0.2))
+
+
+def test_transcendental_jvp():
+    def f(x):
+        return math.exp(x) * math.sin(x)
+
+    check_jvp(f, (0.5,), (1.0,))
+
+
+def test_jvp_through_control_flow():
+    def f(x):
+        y = x
+        while y < 10.0:
+            y = y * y
+        return y
+
+    check_jvp(f, (1.5,), (1.0,))
+
+    def g(x):
+        if x > 0.0:
+            return x * x
+        return -x
+
+    check_jvp(g, (2.0,), (1.0,))
+    check_jvp(g, (-2.0,), (1.0,))
+
+
+def test_jvp_through_loop():
+    def f(x):
+        s = 0.0
+        for i in range(4):
+            s += x ** float(i + 1) / 10.0
+        return s
+
+    check_jvp(f, (1.2,), (1.0,))
+
+
+def test_jvp_function_calls():
+    def square(v):
+        return v * v
+
+    def f(x):
+        return square(square(x))
+
+    check_jvp(f, (1.5,), (1.0,))
+
+
+def test_jvp_tuples():
+    def f(x, y):
+        a, b = (x * y, x + y)
+        return a * b
+
+    check_jvp(f, (2.0, 3.0), (1.0, 0.5))
+
+
+def test_differential_operator():
+    def f(x):
+        return x * x * x
+
+    df = differential(f, (2.0,))
+    assert df(1.0) == pytest.approx(12.0)
+    assert df(2.0) == pytest.approx(24.0)  # linearity in the tangent
+
+
+def test_jvp_zero_tangent():
+    def f(x, y):
+        return x * y
+
+    value, d = jvp(f, (2.0, 3.0), (ZERO, ZERO))
+    assert value == 6.0
+    assert d is ZERO
+
+
+def test_jvp_matches_vjp():
+    # For scalar->scalar functions, JVP with unit tangent equals the gradient.
+    def f(x):
+        y = x
+        for _ in range(3):
+            y = y * 1.3 + math.sin(y)
+        return y
+
+    _, dv = jvp(f, (0.7,), (1.0,))
+    g = gradient(f, 0.7)
+    assert dv == pytest.approx(g)
+
+
+def test_jvp_on_differentiable_function_object():
+    @differentiable
+    def f(x):
+        return x * x
+
+    value, d = f.jvp((3.0,), (1.0,))
+    assert (value, d) == (9.0, pytest.approx(6.0))

@@ -1,0 +1,249 @@
+"""Reverse-mode AD through arbitrary control flow.
+
+The paper's approach stores per-basic-block records of the taken control
+flow path (Section 2.2); these tests exercise branches, loops, early
+returns, breaks, and recursion against finite differences.
+"""
+
+import math
+
+import pytest
+
+from repro.core import gradient, value_and_gradient
+
+
+def fd(f, args, i, eps=1e-6):
+    plus, minus = list(args), list(args)
+    plus[i] += eps
+    minus[i] -= eps
+    return (f(*plus) - f(*minus)) / (2 * eps)
+
+
+def check_grad(f, *args):
+    g = gradient(f, *args, wrt=0)
+    assert g == pytest.approx(fd(f, args, 0), rel=1e-4, abs=1e-6)
+
+
+def test_if_branches():
+    def f(x):
+        if x > 0.0:
+            return x * x
+        return -x * 3.0
+
+    check_grad(f, 2.0)
+    check_grad(f, -2.0)
+    assert gradient(f, 2.0) == pytest.approx(4.0)
+    assert gradient(f, -2.0) == pytest.approx(-3.0)
+
+
+def test_if_with_join():
+    def f(x):
+        if x > 1.0:
+            y = x * 2.0
+        else:
+            y = x * x
+        return y + x
+
+    check_grad(f, 3.0)
+    check_grad(f, 0.5)
+
+
+def test_nested_ifs():
+    def f(x):
+        if x > 0.0:
+            if x > 1.0:
+                r = x * x * x
+            else:
+                r = x * x
+        else:
+            r = -x
+        return r
+
+    for x in (2.0, 0.5, -1.0):
+        check_grad(f, x)
+
+
+def test_while_loop_power():
+    def f(x, n):
+        result = 1.0
+        i = 0
+        while i < n:
+            result = result * x
+            i += 1
+        return result
+
+    assert gradient(f, 2.0, 5, wrt=0) == pytest.approx(5 * 2.0**4)
+    assert gradient(f, 3.0, 3, wrt=0) == pytest.approx(3 * 9.0)
+    assert gradient(f, 2.0, 0, wrt=0) == 0.0
+
+
+def test_for_loop_accumulation():
+    def f(x):
+        total = 0.0
+        for i in range(4):
+            total += x * float(i)
+        return total
+
+    assert gradient(f, 5.0) == pytest.approx(0.0 + 1.0 + 2.0 + 3.0)
+
+
+def test_loop_carried_dependency():
+    # total depends on the running value: gradients flow across iterations.
+    def f(x):
+        y = x
+        for _ in range(3):
+            y = y * y
+        return y
+
+    # y = x^8, dy/dx = 8 x^7
+    check_grad(f, 1.1)
+    assert gradient(f, 1.1) == pytest.approx(8 * 1.1**7)
+
+
+def test_loop_with_branch_inside():
+    def f(x):
+        total = 0.0
+        for i in range(6):
+            if i % 2 == 0:
+                total += x * x
+            else:
+                total += x
+        return total
+
+    assert gradient(f, 2.0) == pytest.approx(3 * 2 * 2.0 + 3 * 1.0)
+
+
+def test_loop_with_break():
+    def f(x):
+        total = 0.0
+        i = 0
+        while True:
+            total += x * float(i + 1)
+            i += 1
+            if total > 10.0:
+                break
+        return total
+
+    check_grad(f, 2.0)
+
+
+def test_loop_with_continue():
+    def f(x):
+        total = 0.0
+        for i in range(5):
+            if i == 2:
+                continue
+            total += x ** float(i + 1) / 10.0
+
+        return total
+
+    check_grad(f, 1.3)
+
+
+def test_early_return_in_loop():
+    def f(x):
+        acc = x
+        for _ in range(100):
+            acc = acc * 1.5
+            if acc > 10.0:
+                return acc * 2.0
+        return acc
+
+    check_grad(f, 1.0)
+    check_grad(f, 0.001)
+
+
+def test_recursive_function():
+    def power(x, n):
+        if n == 0:
+            return 1.0
+        return x * power(x, n - 1)
+
+    def f(x):
+        return power(x, 4)
+
+    assert gradient(f, 2.0) == pytest.approx(4 * 8.0)
+    check_grad(f, 1.5)
+
+
+def test_data_dependent_iteration_count():
+    # The number of iterations depends on the *value* of x: each call may
+    # take a different control-flow path, yet no re-transformation happens.
+    def f(x):
+        y = x
+        while y < 100.0:
+            y = y * y
+        return y
+
+    for x in (1.5, 3.0, 50.0, 200.0):
+        check_grad(f, x)
+
+
+def test_no_retransformation_across_paths():
+    from repro.core import derivative_count, differentiable
+
+    @differentiable
+    def f(x):
+        if x > 0.0:
+            return x * x
+        y = -x
+        for _ in range(3):
+            y = y * 1.1
+        return y
+
+    for x in (2.0, -2.0, 0.5, -0.5, 1.0):
+        gradient(f, x)
+    assert derivative_count(f) == 1
+
+
+def test_fibonacci_style_two_carried():
+    def f(x):
+        a = x
+        b = x * 2.0
+        for _ in range(5):
+            a, b = b, a + b
+        return b
+
+    check_grad(f, 1.0)
+
+
+def test_value_and_gradient_through_loop():
+    def f(x):
+        s = 0.0
+        for i in range(3):
+            s = s + math.exp(x * float(i) / 10.0)
+        return s
+
+    value, grad = value_and_gradient(f, 1.0)
+    assert value == pytest.approx(f(1.0))
+    assert grad == pytest.approx(fd(f, [1.0], 0), rel=1e-4)
+
+
+def test_nested_loops_gradient():
+    def f(x):
+        s = 0.0
+        for i in range(3):
+            for j in range(3):
+                s += x * float(i * j) / 10.0
+        return s
+
+    check_grad(f, 2.0)
+
+
+def test_conditional_expression_gradient():
+    def f(x):
+        return x * x if x > 0.0 else -x
+
+    check_grad(f, 2.0)
+    check_grad(f, -2.0)
+
+
+def test_boolean_ops_gradient():
+    def f(x):
+        if x > 0.0 and x < 10.0:
+            return x * 3.0
+        return x * x
+
+    check_grad(f, 5.0)
+    check_grad(f, 20.0)
+    check_grad(f, -1.0)

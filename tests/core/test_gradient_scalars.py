@@ -1,0 +1,200 @@
+"""Reverse-mode gradients of scalar functions, checked against closed forms
+and central finite differences."""
+
+import math
+
+import pytest
+
+from repro.core import differentiable, gradient, value_and_gradient
+from repro.sil.mathprims import cos, exp, log, relu, sigmoid, sin, sqrt, tanh
+
+
+def fd(f, args, i, eps=1e-6):
+    """Central finite difference of f wrt args[i]."""
+    plus = list(args)
+    minus = list(args)
+    plus[i] += eps
+    minus[i] -= eps
+    return (f(*plus) - f(*minus)) / (2 * eps)
+
+
+def check_grad(f, *args, wrt=None):
+    g = gradient(f, *args, wrt=wrt)
+    indices = range(len(args)) if wrt is None else (
+        [wrt] if isinstance(wrt, int) else wrt
+    )
+    indices = list(indices)
+    gs = (g,) if len(indices) == 1 else g
+    for slot, i in enumerate(indices):
+        assert gs[slot] == pytest.approx(fd(f, args, i), rel=1e-4, abs=1e-6), (
+            f"grad wrt arg {i}"
+        )
+
+
+def test_polynomial():
+    def f(x):
+        return 3.0 * x * x + 2.0 * x + 1.0
+
+    check_grad(f, 2.0)
+    check_grad(f, -1.5)
+    assert gradient(f, 2.0) == pytest.approx(14.0)
+
+
+def test_two_arguments():
+    def f(x, y):
+        return x * y + x / y
+
+    check_grad(f, 2.0, 3.0)
+    check_grad(f, -1.0, 0.5)
+
+
+def test_wrt_selection():
+    def f(x, y):
+        return x * x * y
+
+    assert gradient(f, 3.0, 2.0, wrt=0) == pytest.approx(12.0)
+    assert gradient(f, 3.0, 2.0, wrt=1) == pytest.approx(9.0)
+    gx, gy = gradient(f, 3.0, 2.0)
+    assert (gx, gy) == (pytest.approx(12.0), pytest.approx(9.0))
+
+
+def test_value_and_gradient():
+    def f(x):
+        return x * x
+
+    value, grad = value_and_gradient(f, 3.0)
+    assert value == 9.0
+    assert grad == pytest.approx(6.0)
+
+
+def test_transcendentals():
+    def f(x):
+        return exp(x) + log(x) + sin(x) * cos(x) + tanh(x) + sqrt(x)
+
+    check_grad(f, 0.7)
+    check_grad(f, 2.3)
+
+
+def test_math_module_functions():
+    def f(x):
+        return math.exp(math.sin(x)) * math.cos(x)
+
+    check_grad(f, 0.4)
+
+
+def test_sigmoid_and_relu():
+    def f(x):
+        return sigmoid(x) + relu(x - 1.0) * 2.0
+
+    check_grad(f, 2.0)
+    check_grad(f, -2.0)
+
+
+def test_division_and_negation():
+    def f(x, y):
+        return -x / (y * y) + 1.0 / x
+
+    check_grad(f, 2.0, 3.0)
+
+
+def test_power():
+    def f(x):
+        return x**3 + x**0.5
+
+    check_grad(f, 4.0)
+
+
+def test_shared_subexpression():
+    # x used multiple times: adjoints must accumulate.
+    def f(x):
+        y = x * x
+        return y * y + y + x
+
+    check_grad(f, 1.5)
+    assert gradient(f, 2.0) == pytest.approx(4 * 8.0 + 4.0 + 1.0)
+
+
+def test_deep_chain():
+    def f(x):
+        y = x
+        y = y * 1.1 + 0.1
+        y = y * 1.1 + 0.1
+        y = y * 1.1 + 0.1
+        y = y * 1.1 + 0.1
+        return y
+
+    check_grad(f, 0.3)
+    assert gradient(f, 0.3) == pytest.approx(1.1**4)
+
+
+def test_tuple_flow():
+    def f(x, y):
+        pair = (x * y, x + y)
+        a, b = pair
+        return a * b
+
+    check_grad(f, 2.0, 3.0)
+
+
+def test_nested_tuples():
+    def f(x):
+        t = ((x, x * 2.0), x * 3.0)
+        inner, c = t
+        a, b = inner
+        return a + b * c
+
+    check_grad(f, 1.2)
+
+
+def test_function_call_composition():
+    def square(v):
+        return v * v
+
+    def f(x):
+        return square(square(x)) + square(x + 1.0)
+
+    check_grad(f, 1.3)
+    assert gradient(f, 2.0) == pytest.approx(4 * 8.0 + 2 * 3.0)
+
+
+def test_differentiable_function_called_from_another():
+    @differentiable
+    def inner(v):
+        return v * v * v
+
+    def f(x):
+        return inner(x) + inner(2.0 * x)
+
+    check_grad(f, 0.7)
+
+
+def test_constant_result_warns_but_zero_gradient():
+    def f(x):
+        return 7.0
+
+    assert gradient(f, 3.0) == 0.0
+
+
+def test_abs_and_minmax():
+    def f(x, y):
+        return abs(x) + min(x, y) + max(x * 2.0, y)
+
+    check_grad(f, 3.0, 1.0)
+    check_grad(f, -3.0, 1.0)
+
+
+def test_int_argument_mixed():
+    def f(x, n):
+        return x * float(n)
+
+    assert gradient(f, 2.0, 3, wrt=0) == pytest.approx(3.0)
+
+
+def test_gradient_of_nonscalar_errors():
+    def f(x):
+        return (x, x)
+
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError, match="scalar"):
+        gradient(f, 1.0)

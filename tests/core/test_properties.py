@@ -1,0 +1,200 @@
+"""Property-based tests of the AD system and tangent-space laws."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ZERO,
+    gradient,
+    jvp,
+    tangent_add,
+    tangent_neg,
+    tangent_scale,
+    value_and_gradient,
+)
+
+finite = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+positive = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+
+
+def fd(f, x, eps=1e-5):
+    return (f(x + eps) - f(x - eps)) / (2 * eps)
+
+
+# ---------------------------------------------------------------------------
+# AD correctness on randomized inputs.
+# ---------------------------------------------------------------------------
+
+
+def poly(x):
+    return 0.5 * x * x * x - 2.0 * x * x + x - 3.0
+
+
+def smooth(x):
+    return math.exp(math.sin(x)) + math.cos(x * 0.5) * x
+
+
+def loopy(x):
+    y = x
+    for _ in range(4):
+        y = y * 0.5 + math.tanh(y)
+    return y
+
+
+def branchy(x):
+    if x > 1.0:
+        return x * x
+    if x < -1.0:
+        return -x * x * 0.5
+    return x * 3.0
+
+
+@given(finite)
+@settings(max_examples=60, deadline=None)
+def test_gradient_matches_fd_poly(x):
+    assert gradient(poly, x) == pytest.approx(fd(poly, x), rel=1e-3, abs=1e-4)
+
+
+@given(finite)
+@settings(max_examples=60, deadline=None)
+def test_gradient_matches_fd_smooth(x):
+    assert gradient(smooth, x) == pytest.approx(fd(smooth, x), rel=1e-3, abs=1e-4)
+
+
+@given(finite)
+@settings(max_examples=40, deadline=None)
+def test_gradient_matches_fd_loopy(x):
+    assert gradient(loopy, x) == pytest.approx(fd(loopy, x), rel=1e-3, abs=1e-4)
+
+
+@given(finite.filter(lambda x: min(abs(x - 1.0), abs(x + 1.0)) > 1e-2))
+@settings(max_examples=60, deadline=None)
+def test_gradient_matches_fd_branchy(x):
+    assert gradient(branchy, x) == pytest.approx(fd(branchy, x), rel=1e-3, abs=1e-4)
+
+
+@given(finite, finite)
+@settings(max_examples=40, deadline=None)
+def test_forward_equals_reverse(x, s):
+    """JVP with tangent s == s * gradient (scalar chain rule)."""
+    _, d = jvp(smooth, (x,), (s,))
+    g = gradient(smooth, x)
+    assert d == pytest.approx(s * g, rel=1e-6, abs=1e-8)
+
+
+@given(finite)
+@settings(max_examples=40, deadline=None)
+def test_value_is_unchanged_by_differentiation(x):
+    value, _ = value_and_gradient(loopy, x)
+    assert value == pytest.approx(loopy(x), rel=1e-12)
+
+
+@given(st.lists(finite, min_size=1, max_size=8), st.data())
+@settings(max_examples=40, deadline=None)
+def test_subscript_gradient_one_hot(xs, data):
+    i = data.draw(st.integers(min_value=0, max_value=len(xs) - 1))
+
+    def op(values, idx):
+        return values[idx] * 2.0
+
+    g = gradient(op, xs, i, wrt=0)
+    for j, entry in enumerate(g):
+        expected = 2.0 if j == i else ZERO
+        if expected is ZERO:
+            assert entry is ZERO or entry == 0.0
+        else:
+            assert entry == pytest.approx(2.0)
+
+
+# ---------------------------------------------------------------------------
+# Tangent-space algebra (AdditiveArithmetic laws).
+# ---------------------------------------------------------------------------
+
+
+tangent = st.one_of(
+    finite,
+    st.tuples(finite, finite),
+    st.lists(finite, min_size=2, max_size=2),
+)
+
+
+@given(tangent)
+@settings(max_examples=50, deadline=None)
+def test_zero_is_identity(t):
+    assert tangent_add(ZERO, t) == t
+    assert tangent_add(t, ZERO) == t
+
+
+@given(finite, finite, finite)
+@settings(max_examples=50, deadline=None)
+def test_addition_commutes_scalars(a, b, c):
+    assert tangent_add(a, b) == tangent_add(b, a)
+    lhs = tangent_add(tangent_add(a, b), c)
+    rhs = tangent_add(a, tangent_add(b, c))
+    assert lhs == pytest.approx(rhs, abs=1e-9)
+
+
+@given(st.tuples(finite, finite), st.tuples(finite, finite))
+@settings(max_examples=50, deadline=None)
+def test_tuple_addition_elementwise(a, b):
+    s = tangent_add(a, b)
+    assert s == (a[0] + b[0], a[1] + b[1])
+
+
+@given(tangent)
+@settings(max_examples=50, deadline=None)
+def test_neg_is_additive_inverse(t):
+    s = tangent_add(t, tangent_neg(t))
+    flat = s if isinstance(s, (tuple, list)) else (s,)
+    for entry in flat:
+        assert entry == pytest.approx(0.0, abs=1e-9)
+
+
+@given(finite, finite)
+@settings(max_examples=50, deadline=None)
+def test_scale_distributes(a, s):
+    assert tangent_scale(a, s) == pytest.approx(a * s)
+    assert tangent_scale(ZERO, s) is ZERO
+
+
+# ---------------------------------------------------------------------------
+# Struct tangent laws.
+# ---------------------------------------------------------------------------
+
+from dataclasses import dataclass
+
+from repro.core import differentiable_struct, move
+
+
+@differentiable_struct
+@dataclass
+class Vec2:
+    x: float
+    y: float
+
+
+@given(finite, finite, finite, finite)
+@settings(max_examples=50, deadline=None)
+def test_move_composes(px, py, tx, ty):
+    """move(move(p, a), b) == move(p, a + b) — exponential map on R^n."""
+    p = Vec2(px, py)
+    a = Vec2.TangentVector(x=tx, y=ty)
+    b = Vec2.TangentVector(x=ty, y=tx)
+    lhs = move(move(p, a), b)
+    rhs = move(p, a + b)
+    assert lhs.x == pytest.approx(rhs.x)
+    assert lhs.y == pytest.approx(rhs.y)
+
+
+@given(finite, finite)
+@settings(max_examples=50, deadline=None)
+def test_move_along_zero_is_identity(px, py):
+    p = Vec2(px, py)
+    assert move(p, ZERO) is p
+    moved = move(p, Vec2.TangentVector())
+    assert (moved.x, moved.y) == (px, py)

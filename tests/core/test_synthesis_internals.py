@@ -1,0 +1,143 @@
+"""Internals of derivative synthesis: records, rules, activity pruning."""
+
+import pytest
+
+from repro.core import differentiable, gradient
+from repro.core.synthesis import VJPPlan, vjp_plan
+from repro.sil import ir, lower_function
+
+
+def _plan(fn, wrt=(0,)) -> VJPPlan:
+    return vjp_plan(lower_function(fn), wrt)
+
+
+class TestRecords:
+    def test_one_record_per_executed_block(self):
+        def f(x):
+            y = x * 2.0        # entry block
+            if y > 0.0:        # then/else blocks
+                y = y * y
+            return y + 1.0     # join block
+
+        plan = _plan(f)
+        _, records = plan.execute_forward((3.0,))
+        executed_blocks = [r.block.name for r in records]
+        # entry + one branch arm + join = 3 block executions.
+        assert len(records) == 3
+        assert executed_blocks[0] == "entry"
+
+    def test_loop_iterations_produce_per_iteration_records(self):
+        def f(x):
+            total = 0.0
+            for _ in range(4):
+                total += x * x
+            return total
+
+        plan = _plan(f)
+        _, records = plan.execute_forward((2.0,))
+        # Each loop iteration executes header+body; records grow linearly
+        # with the dynamic iteration count — the "nested data structure of
+        # control flow branches taken during execution".
+        _, records_8 = plan.execute_forward((2.0,))
+        assert len(records) == len(records_8)
+
+        def g(x):
+            total = 0.0
+            i = 0
+            while i < 8:
+                total += x
+                i += 1
+            return total
+
+        plan_g = _plan(g)
+        _, rec4 = plan_g.execute_forward((1.0,))
+        # 8 iterations: header x9 + body x8 + entry + exit.
+        assert len(rec4) == 9 + 8 + 1 + 1
+
+    def test_records_consumed_pullback_correct_per_path(self):
+        def f(x):
+            if x > 0.0:
+                return x * x
+            return -x
+
+        plan = _plan(f)
+        value, records = plan.execute_forward((3.0,))
+        (gx,) = plan.run_pullback(records, 1.0)
+        assert gx == pytest.approx(6.0)
+        value, records = plan.execute_forward((-3.0,))
+        (gx,) = plan.run_pullback(records, 1.0)
+        assert gx == pytest.approx(-1.0)
+
+    def test_pullback_reusable_from_same_records(self):
+        def f(x):
+            return x * x * x
+
+        plan = _plan(f)
+        _, records = plan.execute_forward((2.0,))
+        assert plan.run_pullback(records, 1.0)[0] == pytest.approx(12.0)
+        assert plan.run_pullback(records, 0.5)[0] == pytest.approx(6.0)
+
+
+class TestRules:
+    def test_rules_built_only_for_active_applies(self):
+        def f(x):
+            dead = x * 100.0      # varied but unused
+            cfg = 2.0 * 3.0       # constant
+            return x * cfg + (dead * 0.0) * 0.0
+
+        plan = _plan(f)
+        func = plan.func
+        active_applies = [
+            i
+            for i in func.instructions()
+            if isinstance(i, ir.ApplyInst) and plan.activity.is_active(i)
+        ]
+        assert set(plan.rules) == {id(i) for i in active_applies}
+        # The constant 2*3 apply must not have a rule.
+        all_applies = [
+            i for i in func.instructions() if isinstance(i, ir.ApplyInst)
+        ]
+        assert len(plan.rules) < len(all_applies)
+
+    def test_wrt_changes_rule_set(self):
+        def f(x, y):
+            return x * 2.0 + y * 3.0
+
+        plan_x = _plan(f, wrt=(0,))
+        plan_y = _plan(f, wrt=(1,))
+        assert plan_x is not plan_y
+        assert set(plan_x.rules) != set(plan_y.rules)
+
+    def test_plans_cached_per_wrt(self):
+        def f(x, y):
+            return x * y
+
+        func = lower_function(f)
+        assert vjp_plan(func, (0,)) is vjp_plan(func, (0,))
+        assert vjp_plan(func, (0,)) is not vjp_plan(func, (0, 1))
+
+
+class TestDiagnostics:
+    def test_constant_result_warning_recorded(self):
+        def f(x):
+            return 5.0
+
+        plan = _plan(f)
+        assert any(
+            d.severity == "warning" and "does not depend" in d.message
+            for d in plan.diagnostics
+        )
+
+    def test_gradient_evaluation_uses_single_plan_object(self):
+        @differentiable
+        def f(x):
+            y = x
+            while y < 10.0:
+                y = y * 2.0
+            return y
+
+        plans = {id(f.vjp_plan((0,))) for _ in range(3)}
+        assert len(plans) == 1
+        for x in (1.0, 3.0, 9.0):
+            gradient(f, x)
+        assert f.vjp_plan((0,)).build_count == 1

@@ -1,0 +1,94 @@
+"""Dataset generators and batching."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    personalization_split,
+    synthetic_cifar10,
+    synthetic_imagenet,
+    synthetic_mnist,
+)
+from repro.tensor import eager_device
+
+
+def test_mnist_shapes():
+    data = synthetic_mnist(n=64)
+    assert data.images.shape == (64, 28, 28, 1)
+    assert data.labels.shape == (64,)
+    assert data.num_classes == 10
+    assert data.images.dtype == np.float32
+    assert set(np.unique(data.labels)).issubset(set(range(10)))
+
+
+def test_cifar_and_imagenet_shapes():
+    c = synthetic_cifar10(n=16)
+    assert c.images.shape == (16, 32, 32, 3)
+    i = synthetic_imagenet(n=8, image_size=16, num_classes=50)
+    assert i.images.shape == (8, 16, 16, 3)
+    assert i.num_classes == 50
+
+
+def test_determinism_per_seed():
+    a = synthetic_mnist(n=8, seed=5)
+    b = synthetic_mnist(n=8, seed=5)
+    np.testing.assert_array_equal(a.images, b.images)
+    np.testing.assert_array_equal(a.labels, b.labels)
+    c = synthetic_mnist(n=8, seed=6)
+    assert not np.array_equal(a.images, c.images)
+
+
+def test_classes_are_separable():
+    """Same-class images are closer than cross-class (templates + noise)."""
+    data = synthetic_mnist(n=200, image_size=8, seed=0)
+    flat = data.images.reshape(len(data), -1)
+    centroids = np.stack(
+        [flat[data.labels == k].mean(axis=0) for k in range(10) if (data.labels == k).any()]
+    )
+    # Assign each sample to the nearest centroid: should beat chance easily.
+    d = ((flat[:, None, :] - centroids[None]) ** 2).sum(-1)
+    labels_present = [k for k in range(10) if (data.labels == k).any()]
+    predicted = np.array(labels_present)[d.argmin(axis=1)]
+    assert (predicted == data.labels).mean() > 0.5
+
+
+def test_batching_shapes_and_one_hot():
+    device = eager_device()
+    data = synthetic_mnist(n=70, image_size=8)
+    batches = list(data.batches(32, device=device))
+    assert len(batches) == 2  # remainder dropped by default
+    x, y = batches[0]
+    assert x.shape == (32, 8, 8, 1)
+    assert y.shape == (32, 10)
+    rows = y.numpy()
+    np.testing.assert_allclose(rows.sum(axis=1), 1.0)
+
+
+def test_batching_without_drop_remainder():
+    device = eager_device()
+    data = synthetic_mnist(n=70, image_size=8)
+    batches = list(data.batches(32, device=device, drop_remainder=False))
+    assert [b[0].shape[0] for b in batches] == [32, 32, 6]
+
+
+def test_batch_shuffle_is_seeded():
+    device = eager_device()
+    data = synthetic_mnist(n=64, image_size=8)
+    a = [x.numpy() for x, _ in data.batches(16, device=device, seed=1)]
+    b = [x.numpy() for x, _ in data.batches(16, device=device, seed=1)]
+    c = [x.numpy() for x, _ in data.batches(16, device=device, seed=2)]
+    np.testing.assert_array_equal(a[0], b[0])
+    assert not np.array_equal(a[0], c[0])
+
+
+def test_personalization_split():
+    global_data, user_data = personalization_split(n_global=100, n_user=20, seed=3)
+    assert len(global_data) == 100
+    assert len(user_data) == 20
+    assert global_data.xs.min() >= 0.0 and global_data.xs.max() <= 1.0
+    # The user's curve is a genuine distribution shift, not a copy.
+    from repro.data.spline_data import _global_curve
+
+    user_residual = np.abs(user_data.ys - _global_curve(user_data.xs)).mean()
+    global_residual = np.abs(global_data.ys - _global_curve(global_data.xs)).mean()
+    assert user_residual > 3 * global_residual

@@ -1,0 +1,203 @@
+"""HLO passes: semantic preservation, simplification, fusion, caching."""
+
+import numpy as np
+import pytest
+
+from repro.hlo import (
+    HloBuilder,
+    Shape,
+    algebraic_simplify,
+    cache_size,
+    clear_cache,
+    compile_module,
+    constant_fold,
+    cse,
+    fingerprint,
+    fuse_elementwise,
+    optimize,
+)
+from repro.hlo.compiler import STATS, Executable
+
+
+def _chain_module():
+    """x -> several elementwise ops -> reduce."""
+    b = HloBuilder("chain")
+    x = b.parameter(Shape((64,)))
+    t = b.unary("tanh", x)
+    e = b.unary("exponential", t)
+    two = b.broadcast(b.constant(2.0), (64,))
+    m = b.binary("multiply", e, two)
+    s = b.binary("add", m, x)
+    return b.build(b.reduce(s, "sum", None)), b
+
+
+def _run(module, args, **kw):
+    return compile_module(module, use_cache=False, **kw).run(args)
+
+
+def test_algebraic_simplify_identities():
+    b = HloBuilder("ident")
+    x = b.parameter(Shape((8,)))
+    zero = b.broadcast(b.constant(0.0), (8,))
+    one = b.broadcast(b.constant(1.0), (8,))
+    expr = b.binary("multiply", b.binary("add", x, zero), one)
+    nn = b.unary("negate", b.unary("negate", expr))
+    module = b.build(nn)
+    before = module.entry.instruction_count()
+    algebraic_simplify(module)
+    after = module.entry.instruction_count()
+    assert after < before
+    # Root collapses to the parameter itself.
+    assert module.entry.root.opcode == "parameter"
+
+
+def test_constant_folding():
+    b = HloBuilder("fold")
+    x = b.parameter(Shape((4,)))
+    c = b.binary("add", b.constant(2.0), b.constant(3.0))
+    cb = b.broadcast(c, (4,))
+    module = b.build(b.binary("multiply", x, cb))
+    constant_fold(module)
+    # 2+3 folded away.
+    opcodes = [i.opcode for i in module.entry.post_order()]
+    assert opcodes.count("add") == 0
+    exe = Executable(module)
+    np.testing.assert_allclose(
+        exe.run([np.ones(4, np.float32)]), [5, 5, 5, 5]
+    )
+
+
+def test_cse_deduplicates():
+    b = HloBuilder("cse")
+    x = b.parameter(Shape((8,)))
+    t1 = b.unary("tanh", x)
+    t2 = b.unary("tanh", x)
+    module = b.build(b.binary("add", t1, t2))
+    before = module.entry.instruction_count()
+    assert cse(module)
+    assert module.entry.instruction_count() < before
+    exe = Executable(module)
+    xv = np.linspace(-1, 1, 8).astype(np.float32)
+    np.testing.assert_allclose(exe.run([xv]), 2 * np.tanh(xv), rtol=1e-5)
+
+
+def test_fusion_collapses_elementwise_region():
+    module, _ = _chain_module()
+    unfused = Executable(module)
+    xv = np.linspace(-1, 1, 64).astype(np.float32)
+    expected = unfused.run([xv])
+
+    module2, _ = _chain_module()
+    fuse_elementwise(module2)
+    fused = Executable(module2)
+    opcodes = [i.opcode for i in module2.entry.post_order()]
+    assert "fusion" in opcodes
+    # All elementwise ops disappeared into the fusion.
+    assert not any(
+        op in ("tanh", "exponential", "multiply", "add") for op in opcodes
+    )
+    np.testing.assert_allclose(fused.run([xv]), expected, rtol=1e-6)
+
+
+def test_fusion_reduces_kernel_count():
+    module, _ = _chain_module()
+    k_unfused = Executable(module).kernel_count
+    module2, _ = _chain_module()
+    optimize(module2, fuse=True)
+    k_fused = Executable(module2).kernel_count
+    assert k_fused < k_unfused
+
+
+def test_fusion_does_not_duplicate_shared_work():
+    # `t` feeds both an elementwise consumer and a reduce: it must stay
+    # materialized (not be re-computed inside the fused region).
+    b = HloBuilder("shared")
+    x = b.parameter(Shape((16,)))
+    t = b.unary("tanh", x)
+    e = b.unary("exponential", t)
+    r1 = b.reduce(e, "sum", None)
+    r2 = b.reduce(t, "sum", None)
+    module = b.build(b.binary("add", r1, r2))
+    xv = np.linspace(0, 1, 16).astype(np.float32)
+    expected = Executable(module).run([xv])
+    fuse_elementwise(module)
+    got = Executable(module).run([xv])
+    assert float(got) == pytest.approx(float(expected), rel=1e-6)
+
+
+def test_optimize_preserves_semantics_randomized():
+    rng = np.random.default_rng(3)
+    module, _ = _chain_module()
+    plain = Executable(module)
+    module2, _ = _chain_module()
+    optimize(module2)
+    opt = Executable(module2)
+    for _ in range(5):
+        xv = rng.standard_normal(64).astype(np.float32)
+        np.testing.assert_allclose(
+            plain.run([xv]), opt.run([xv]), rtol=1e-5, atol=1e-6
+        )
+
+
+def test_compile_cache_hits_on_identical_modules():
+    clear_cache()
+    STATS.reset()
+    m1, _ = _chain_module()
+    m2, _ = _chain_module()
+    exe1 = compile_module(m1)
+    exe2 = compile_module(m2)
+    assert exe2 is exe1  # same fingerprint -> same executable
+    assert STATS.compiles == 1
+    assert STATS.cache_hits == 1
+    assert cache_size() == 1
+
+
+def test_cache_misses_on_shape_change():
+    clear_cache()
+    STATS.reset()
+
+    def module_for(n):
+        b = HloBuilder("shapes")
+        x = b.parameter(Shape((n,)))
+        return b.build(b.unary("tanh", x))
+
+    compile_module(module_for(8))
+    compile_module(module_for(16))  # shape change -> recompile (Section 3.4)
+    assert STATS.compiles == 2
+    assert STATS.cache_hits == 0
+
+
+def test_fingerprint_canonicalizes_ids():
+    m1, _ = _chain_module()
+    m2, _ = _chain_module()
+    assert fingerprint(m1) == fingerprint(m2)
+
+
+def test_device_accounting_fused_vs_unfused():
+    from repro.runtime import GTX_1080, SimDevice
+
+    xv = np.linspace(-1, 1, 1 << 20).astype(np.float32)
+
+    module, _ = _chain_module_big()
+    dev_unfused = SimDevice(GTX_1080)
+    Executable(module).run([xv], device=dev_unfused)
+
+    module2, _ = _chain_module_big()
+    optimize(module2, fuse=True)
+    dev_fused = SimDevice(GTX_1080)
+    Executable(module2).run([xv], device=dev_fused)
+
+    assert dev_fused.stats.kernels_launched < dev_unfused.stats.kernels_launched
+    assert dev_fused.busy_until < dev_unfused.busy_until
+
+
+def _chain_module_big():
+    b = HloBuilder("chain_big")
+    n = 1 << 20
+    x = b.parameter(Shape((n,)))
+    t = b.unary("tanh", x)
+    e = b.unary("exponential", t)
+    two = b.broadcast(b.constant(2.0), (n,))
+    m = b.binary("multiply", e, two)
+    s = b.binary("add", m, x)
+    return b.build(b.reduce(s, "sum", None)), b

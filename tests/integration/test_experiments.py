@@ -1,0 +1,141 @@
+"""Integration tests: the experiment harnesses reproduce the paper's shapes.
+
+These are the acceptance tests of the reproduction: each asserts the
+qualitative result (ordering, scaling, crossover) of one table/figure.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_figure4,
+    run_figure9,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+from repro.experiments.table1 import SCALED_TPU_WORKLOAD, TPUWorkload, measure_pod
+
+
+class TestTable1:
+    def test_per_core_throughput_nearly_flat(self):
+        workload = TPUWorkload(steps=1)
+        per_core = {}
+        for n in (16, 32, 128):
+            _, per_core[n], _ = measure_pod(workload, n)
+        # Monotone mild degradation, within ~10% from 16 to 128 cores —
+        # the paper's 635 -> 607 shape.
+        assert per_core[16] >= per_core[32] >= per_core[128]
+        assert per_core[128] > 0.88 * per_core[16]
+
+    def test_global_throughput_scales_superlinearly_vs_single_digit_pods(self):
+        workload = TPUWorkload(steps=1)
+        t16, _, _ = measure_pod(workload, 16)
+        t128, _, _ = measure_pod(workload, 128)
+        assert t128 > 7.0 * t16  # near-linear global scaling
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_table2()
+
+    def test_ordering(self, table):
+        r = table.results
+        assert r["TensorFlow"] > r["JAX + Flax"] > r["Swift for TensorFlow"]
+
+    def test_all_within_2x(self, table):
+        r = table.results
+        assert max(r.values()) < 2.0 * min(r.values())
+
+    def test_ratios_near_paper(self, table):
+        r = table.results
+        # Paper: TF/S4TF = 1.65, JAX/S4TF = 1.06.
+        assert r["TensorFlow"] / r["Swift for TensorFlow"] == pytest.approx(
+            1.65, rel=0.25
+        )
+        assert r["JAX + Flax"] / r["Swift for TensorFlow"] == pytest.approx(
+            1.06, rel=0.25
+        )
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_table3()
+
+    def test_ordering(self, table):
+        r = table.results
+        torch = r["PyTorch"]
+        tf = r["TensorFlow"]
+        eager = r["Swift for TensorFlow (Eager Mode)"]
+        lazy = r["Swift for TensorFlow (LazyTensor)"]
+        # Paper's shape: PyTorch >= TF > Lazy >> Eager.
+        assert torch > tf > lazy > eager
+
+    def test_lazy_beats_eager_by_papers_factor(self, table):
+        r = table.results
+        ratio = (
+            r["Swift for TensorFlow (LazyTensor)"]
+            / r["Swift for TensorFlow (Eager Mode)"]
+        )
+        assert 1.8 < ratio < 5.0  # paper: 2.5
+
+    def test_graph_frameworks_beat_lazy_moderately(self, table):
+        r = table.results
+        ratio = r["TensorFlow"] / r["Swift for TensorFlow (LazyTensor)"]
+        assert 1.05 < ratio < 2.5  # paper: 1.31
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_table4()
+
+    def test_time_ordering(self, table):
+        r = {k: v.training_time_s for k, v in table.results.items()}
+        tf_mobile = r["TensorFlow Mobile"]
+        tflite = r["TensorFlow Lite (standard operations)"]
+        fused = r["TensorFlow Lite (manually fused custom operation)"]
+        s4tf = r["Swift for TensorFlow"]
+        assert tf_mobile > 10 * tflite
+        assert tflite > s4tf > fused
+
+    def test_s4tf_lowest_memory(self, table):
+        r = {k: v.memory_bytes for k, v in table.results.items()}
+        assert r["Swift for TensorFlow"] == min(r.values())
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return run_figure4()
+
+    def test_trace_covers_lenet_structure(self, figure):
+        s = figure.summary
+        # Figure 6's LeNet: 2 convs, 2 pools, 3 dense (matmuls), relus.
+        assert s["op:conv2d"] == 2
+        assert s["op:avg_pool"] == 2
+        assert s["op:matmul"] == 3
+        assert s["op:relu"] == 4
+        assert s["op:add"] == 5  # biases
+        assert s["op:reshape"] == 1  # flatten
+        # Sources: input + 10 parameter tensors.
+        assert s["sources"] == 11
+
+    def test_renderings(self, figure):
+        assert "conv2d" in figure.text
+        assert "digraph lenet_forward" in figure.dot
+        assert figure.dot.count("->") >= figure.summary["operations"]
+
+
+class TestFigure9:
+    def test_functional_is_linear_mutable_is_flat(self):
+        points = run_figure9(sizes=(512, 4096, 32768), repeats=100)
+        f = [p.functional_seconds for p in points]
+        m = [p.mutable_seconds for p in points]
+        # Functional grows roughly with n (>= 10x over a 64x size increase).
+        assert f[2] > 10 * f[0]
+        # Mutable stays flat (within noise: < 5x over the same range).
+        assert m[2] < 5 * m[0]
+        # And the crossover is decisive at large n.
+        assert f[2] / m[2] > 50

@@ -1,0 +1,193 @@
+"""Failure injection: the platform must fail loudly, early, and precisely."""
+
+import numpy as np
+import pytest
+
+from repro.core import differentiable, gradient
+from repro.errors import (
+    DeviceError,
+    DifferentiabilityError,
+    LoweringError,
+    ShapeError,
+)
+from repro.nn import Dense, LeNet, softmax_cross_entropy
+from repro.tensor import Device, Tensor, eager_device, lazy_device, one_hot
+
+
+class TestLoweringDiagnostics:
+    def test_error_carries_source_location(self):
+        def bad(x):
+            return {k: x for k in range(3)}  # dict comprehension unsupported
+
+        with pytest.raises(LoweringError) as excinfo:
+            differentiable(bad)
+        message = str(excinfo.value)
+        assert "test_failure_modes.py" in message
+        assert "bad" in message
+
+    def test_decoration_fails_not_first_call(self):
+        # The AOT property: unsupported constructs are rejected when the
+        # attribute is applied, before any gradient is requested.
+        def bad(x):
+            y = [v for v in [x]]  # comprehension
+            return y[0]
+
+        with pytest.raises(LoweringError):
+            differentiable(bad)
+
+
+class TestDifferentiabilityDiagnostics:
+    def test_error_names_the_offending_primitive(self):
+        from repro.sil.primitives import primitive
+
+        @primitive("opaque_fm_test")
+        def opaque(x):
+            return x
+
+        def f(x):
+            return opaque(x) * 2.0
+
+        with pytest.raises(DifferentiabilityError) as excinfo:
+            gradient(f, 1.0)
+        assert "opaque_fm_test" in str(excinfo.value)
+        assert "no registered derivative" in str(excinfo.value)
+
+    def test_error_raised_before_execution(self):
+        from repro.sil.primitives import primitive
+
+        executed = []
+
+        @primitive("tracked_fm_test", pure=False)
+        def tracked(x):
+            executed.append(x)
+            return x
+
+        def f(x):
+            return tracked(x) * 2.0
+
+        with pytest.raises(DifferentiabilityError):
+            gradient(f, 1.0)
+        assert executed == []  # checking happened before any evaluation
+
+
+class TestShapeErrors:
+    def test_matmul_shape_mismatch(self):
+        device = eager_device()
+        a = Tensor(np.zeros((2, 3), np.float32), device)
+        b = Tensor(np.zeros((4, 5), np.float32), device)
+        with pytest.raises(Exception):  # numpy raises ValueError eagerly
+            a @ b
+
+    def test_lazy_shape_mismatch_caught_at_trace_time(self):
+        device = lazy_device()
+        a = Tensor(np.zeros((2, 3), np.float32), device)
+        b = Tensor(np.zeros((4, 5), np.float32), device)
+        with pytest.raises(ShapeError):
+            a @ b  # shape inference runs while recording, not at materialize
+
+    def test_lazy_broadcast_mismatch(self):
+        device = lazy_device()
+        a = Tensor(np.zeros((3,), np.float32), device)
+        b = Tensor(np.zeros((4,), np.float32), device)
+        with pytest.raises(Exception):
+            a + b
+
+    def test_model_wrong_input_shape(self):
+        device = eager_device()
+        model = LeNet.create(device)
+        wrong = Tensor(np.zeros((1, 10, 10, 1), np.float32), device)
+        with pytest.raises(Exception):
+            model(wrong)
+
+
+class TestDeviceErrors:
+    def test_cross_device_arithmetic(self):
+        a = Tensor([1.0], eager_device())
+        b = Tensor([1.0], lazy_device())
+        with pytest.raises(DeviceError):
+            a + b
+
+    def test_unknown_device_kind(self):
+        with pytest.raises(ValueError, match="unknown device kind"):
+            Device("quantum")
+
+
+class TestGradientMisuse:
+    def test_gradient_of_vector_output(self):
+        device = eager_device()
+
+        def f(x):
+            return x * 2.0  # non-scalar
+
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError, match="scalar"):
+            gradient(f, Tensor([1.0, 2.0], device))
+
+    def test_gradient_wrt_out_of_range(self):
+        def f(x):
+            return x * x
+
+        with pytest.raises(Exception):
+            gradient(f, 2.0, wrt=3)
+
+    def test_naive_device_rejects_conv(self):
+        from repro.tensor import conv2d, naive_device
+
+        device = naive_device()
+        x = Tensor(np.zeros((1, 4, 4, 1), np.float32).tolist(), device)
+        f = Tensor(np.zeros((3, 3, 1, 1), np.float32).tolist(), device)
+        with pytest.raises(NotImplementedError, match="naive"):
+            conv2d(x, f)
+
+
+class TestAotProperty:
+    def test_no_relowering_or_resynthesis_across_calls(self):
+        from repro.core import derivative_count
+        from repro.sil.frontend import lowering_cache_size
+
+        @differentiable
+        def f(x):
+            total = 0.0
+            for i in range(5):
+                if i % 2 == 0:
+                    total += x * float(i)
+                else:
+                    total -= x
+            return total
+
+        before = lowering_cache_size()
+        for x in (1.0, -2.0, 3.5, 0.0):
+            gradient(f, x)
+        assert lowering_cache_size() == before  # nothing re-lowered
+        assert derivative_count(f) == 1  # derivative synthesized once
+
+    def test_layers_lowered_once_per_class(self):
+        # Two instances of the same layer class share one lowered function.
+        device = eager_device()
+        a = Dense.create(2, 2, device=device)
+        b = Dense.create(2, 2, device=device)
+        assert type(a).__call_fn__ is type(b).__call_fn__
+
+    def test_training_never_retransforms(self):
+        device = eager_device()
+        model = LeNet.create(device, seed=0)
+        x = Tensor(np.zeros((2, 28, 28, 1), np.float32), device)
+        y = one_hot(Tensor([1.0, 2.0], device), 10)
+
+        def loss(m, xb, yb):
+            return softmax_cross_entropy(m(xb), yb)
+
+        from repro.core.api import _promote
+
+        df = _promote(loss)
+        plan = None
+        from repro.core import value_and_gradient
+
+        for _ in range(3):
+            value_and_gradient(loss, model, x, y, wrt=0)
+            current = df.vjp_plan((0,))
+            if plan is None:
+                plan = current
+            assert current is plan
+            assert current.build_count == 1

@@ -1,0 +1,113 @@
+"""Trace visualisation (Figure 4 machinery) and paper-figure API parity."""
+
+import numpy as np
+import pytest
+
+from repro.core import differentiable, gradient, value_and_gradient
+from repro.nn import Dense, LeNet, relu, softmax_cross_entropy
+from repro.optim import SGD
+from repro.tensor import Device, Tensor, lazy_device, one_hot
+from repro.viz import (
+    capture_forward_trace,
+    trace_summary,
+    trace_to_dot,
+    trace_to_text,
+)
+
+
+class TestTraceViz:
+    def _trace(self):
+        device = lazy_device()
+        layer = Dense.create(
+            4, 2, activation=relu, device=device, rng=np.random.default_rng(0)
+        )
+        x = Tensor(np.ones((3, 4), np.float32), device)
+        return capture_forward_trace(layer, x)
+
+    def test_text_rendering(self):
+        text = trace_to_text([self._trace()])
+        assert "matmul" in text
+        assert "relu" in text
+        assert "source" in text
+        # Topological: every operand reference points backwards.
+        for i, line in enumerate(text.splitlines()):
+            if not line.endswith(")") or "(" not in line:
+                continue
+            operand_text = line.rsplit("(", 1)[1].rstrip(")")
+            for tok in operand_text.split():
+                if tok.startswith("%"):
+                    assert int(tok[1:].rstrip(",")) < i
+
+    def test_dot_rendering(self):
+        dot = trace_to_dot([self._trace()], name="dense")
+        assert dot.startswith("digraph dense {")
+        assert dot.rstrip().endswith("}")
+        assert "->" in dot
+
+    def test_summary(self):
+        summary = trace_summary(self._trace())
+        assert summary["op:matmul"] == 1
+        assert summary["op:relu"] == 1
+        assert summary["sources"] == 3  # x, weight, bias
+        assert summary["total_nodes"] == summary["sources"] + summary["operations"]
+
+    def test_requires_lazy_tensor(self):
+        from repro.tensor import eager_device
+
+        device = eager_device()
+        layer = Dense.create(2, 2, device=device)
+        x = Tensor(np.ones((1, 2), np.float32), device)
+        with pytest.raises(TypeError, match="lazy"):
+            capture_forward_trace(layer, x)
+
+
+class TestPaperFigureParity:
+    """The code figures of the paper, executable as written (modulo syntax)."""
+
+    def test_figure2_gradient_operator(self):
+        # gradient(at: x, in: f) -> A.TangentVector
+        def f(x):
+            return x * x * 3.0
+
+        assert gradient(f, 2.0) == pytest.approx(12.0)
+
+    def test_figure3_differentiable_function_triple(self):
+        # A differentiable function value bundles original + JVP + VJP.
+        @differentiable
+        def f(x):
+            return x * x
+
+        value, pullback = f.vjp(3.0)
+        assert value == 9.0
+        assert pullback(1.0) == pytest.approx(6.0)
+        value, tangent = f.jvp((3.0,), (1.0,))
+        assert tangent == pytest.approx(6.0)
+
+    def test_figure6_lenet_definition(self):
+        model = LeNet.create(lazy_device())
+        # struct conforming to Layer: differentiable fields + callAsFunction
+        assert hasattr(model, "TangentVector")
+        assert callable(model)
+        assert type(model).__call_fn__.func.name.endswith("callAsFunction")
+
+    def test_figure7_training_loop(self):
+        # for epoch in epochs { grads = gradient(at: model) {...};
+        #                       optimizer.update(&model, along: grads) }
+        device = Device("eager")
+        model = LeNet.create(device, seed=0)
+        optimizer = SGD(learning_rate=0.05)
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 28, 28, 1)).astype(np.float32), device)
+        y = one_hot(Tensor([0.0, 1.0, 2.0, 3.0], device), 10)
+
+        def loss_fn(model, x, y):
+            logits = model(x)
+            return softmax_cross_entropy(logits, y)
+
+        losses = []
+        for _ in range(3):
+            loss, grads = value_and_gradient(loss_fn, model, x, y, wrt=0)
+            optimizer.update(model, grads)  # borrows the model uniquely
+            losses.append(float(loss))
+        assert losses[-1] < losses[0]
+        # gradients are first-class values of type Model.TangentVector
+        assert isinstance(grads, type(model).TangentVector)

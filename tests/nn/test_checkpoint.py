@@ -1,0 +1,88 @@
+"""Checkpoint save/restore round-trips and mismatch detection."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LeNet, MLP, resnet_cifar_small
+from repro.nn.checkpoint import load, load_state_dict, save, state_dict
+from repro.tensor import Tensor, eager_device, lazy_device
+
+
+def test_state_dict_covers_all_parameters():
+    model = LeNet.create(eager_device(), seed=0)
+    state = state_dict(model)
+    assert "conv1.filter" in state
+    assert "fc3.bias" in state
+    assert state["conv1.filter"].shape == (5, 5, 1, 6)
+    # 2 convs + 3 dense, 2 params each.
+    assert len([k for k in state if "filter" in k or "weight" in k]) == 5
+
+
+def test_round_trip_restores_exact_values(tmp_path):
+    device = eager_device()
+    model = LeNet.create(device, seed=1)
+    expected = model.conv1.filter.numpy().copy()
+    path = save(model, tmp_path / "lenet.npz")
+
+    fresh = LeNet.create(device, seed=99)
+    assert not np.array_equal(fresh.conv1.filter.numpy(), expected)
+    load(fresh, path)
+    np.testing.assert_array_equal(fresh.conv1.filter.numpy(), expected)
+    # Outputs agree exactly after restore.
+    x = Tensor(np.random.default_rng(0).standard_normal((2, 28, 28, 1)).astype(np.float32), device)
+    np.testing.assert_allclose(model(x).numpy(), fresh(x).numpy(), rtol=1e-6)
+
+
+def test_round_trip_nested_lists():
+    device = eager_device()
+    model = resnet_cifar_small(device, seed=2)
+    state = state_dict(model)
+    assert any(k.startswith("stages.0.layers.0.") for k in state)
+
+    fresh = resnet_cifar_small(device, seed=3)
+    load_state_dict(fresh, state)
+    np.testing.assert_array_equal(
+        fresh.stages[0].layers[0].conv1.conv.filter.numpy(),
+        model.stages[0].layers[0].conv1.conv.filter.numpy(),
+    )
+
+
+def test_restore_across_devices():
+    # Train eagerly, deploy lazily: the checkpoint is backend-agnostic.
+    eager_model = MLP.create(4, [8], 2, device=eager_device(), seed=4)
+    state = state_dict(eager_model)
+    lazy_model = MLP.create(4, [8], 2, device=lazy_device(), seed=5)
+    load_state_dict(lazy_model, state)
+    x = np.random.default_rng(1).standard_normal((3, 4)).astype(np.float32)
+    a = eager_model(Tensor(x, eager_model.hidden.layers[0].weight.device)).numpy()
+    b = lazy_model(Tensor(x, lazy_model.hidden.layers[0].weight.device)).numpy()
+    np.testing.assert_allclose(a, b, rtol=1e-5)
+
+
+def test_missing_parameter_rejected():
+    device = eager_device()
+    model = MLP.create(4, [8], 2, device=device)
+    state = state_dict(model)
+    del state["head.bias"]
+    with pytest.raises(KeyError, match="head.bias"):
+        load_state_dict(MLP.create(4, [8], 2, device=device), state)
+
+
+def test_extra_parameter_rejected():
+    device = eager_device()
+    model = MLP.create(4, [8], 2, device=device)
+    state = state_dict(model)
+    state["bogus.weight"] = np.zeros(3, np.float32)
+    with pytest.raises(KeyError, match="unknown"):
+        load_state_dict(MLP.create(4, [8], 2, device=device), state)
+
+
+def test_spline_model_checkpoints():
+    from repro.spline import SplineModel
+
+    m = SplineModel([0.1, 0.2, 0.3, 0.4, 0.5], 4)
+    state = state_dict(m)
+    assert len(state) == 5
+    fresh = SplineModel.create(5)
+    load_state_dict(fresh, state)
+    np.testing.assert_allclose(fresh.control_points, m.control_points, rtol=1e-6)

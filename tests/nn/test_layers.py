@@ -1,0 +1,253 @@
+"""Layer protocol and standard layers."""
+
+import numpy as np
+import pytest
+
+from repro.core import ZERO, gradient, move
+from repro.nn import (
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    Residual,
+    Sequential,
+    relu,
+    sequenced,
+)
+from repro.tensor import Tensor, eager_device, lazy_device
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(params=["eager", "lazy"])
+def device(request):
+    return eager_device() if request.param == "eager" else lazy_device()
+
+
+def test_dense_forward(device):
+    d = Dense.create(3, 2, device=device, rng=np.random.default_rng(1))
+    x = Tensor(RNG.standard_normal((4, 3)).astype(np.float32), device)
+    y = d(x)
+    assert y.shape == (4, 2)
+    expected = x.numpy() @ d.weight.numpy() + d.bias.numpy()
+    np.testing.assert_allclose(y.numpy(), expected, rtol=1e-5)
+
+
+def test_dense_activation(device):
+    d = Dense.create(3, 2, activation=relu, device=device, rng=np.random.default_rng(1))
+    x = Tensor(RNG.standard_normal((4, 3)).astype(np.float32), device)
+    assert float(d(x).numpy().min()) >= 0.0
+
+
+def test_layer_is_value_type(device):
+    d = Dense.create(2, 2, device=device, rng=np.random.default_rng(2))
+    tangent = type(d).TangentVector(weight=Tensor.ones((2, 2), device))
+    moved = move(d, tangent)
+    # Functional move leaves the original untouched.
+    np.testing.assert_allclose(
+        moved.weight.numpy(), d.weight.numpy() + 1.0, rtol=1e-6
+    )
+
+
+def test_layer_tangent_vector_shape(device):
+    d = Dense.create(3, 2, device=device)
+    tv_cls = type(d).TangentVector
+    assert set(tv_cls._fields) == {"weight", "bias"}  # activation excluded
+    zero = tv_cls()
+    assert zero.weight is ZERO
+
+
+def test_conv_layer(device):
+    conv = Conv2D.create(
+        (3, 3, 1, 4), padding="same", activation=relu, device=device,
+        rng=np.random.default_rng(3),
+    )
+    x = Tensor(RNG.standard_normal((2, 8, 8, 1)).astype(np.float32), device)
+    y = conv(x)
+    assert y.shape == (2, 8, 8, 4)
+
+
+def test_pool_layers(device):
+    x = Tensor(RNG.standard_normal((1, 4, 4, 2)).astype(np.float32), device)
+    assert AvgPool2D(2, 2)(x).shape == (1, 2, 2, 2)
+    assert MaxPool2D(2, 2)(x).shape == (1, 2, 2, 2)
+
+
+def test_flatten(device):
+    x = Tensor(RNG.standard_normal((2, 3, 4, 5)).astype(np.float32), device)
+    assert Flatten()(x).shape == (2, 60)
+
+
+def test_batchnorm_normalizes(device):
+    bn = BatchNorm.create(3, device=device)
+    x = Tensor((RNG.standard_normal((16, 3)) * 5 + 2).astype(np.float32), device)
+    y = bn(x).numpy()
+    np.testing.assert_allclose(y.mean(axis=0), 0.0, atol=1e-3)
+    np.testing.assert_allclose(y.std(axis=0), 1.0, atol=1e-2)
+
+
+def test_dropout(device):
+    x = Tensor(np.ones((4, 100), np.float32), device)
+    y = Dropout(rate=0.5, seed=1)(x).numpy()
+    zero_fraction = (y == 0).mean()
+    assert 0.3 < zero_fraction < 0.7
+    kept = y[y != 0]
+    np.testing.assert_allclose(kept, 2.0, rtol=1e-6)  # inverted scaling
+    # rate=0 is the identity.
+    np.testing.assert_allclose(Dropout(rate=0.0)(x).numpy(), x.numpy())
+
+
+def test_sequential_and_sequenced(device):
+    rng = np.random.default_rng(4)
+    seq = Sequential(
+        [
+            Dense.create(4, 8, activation=relu, device=device, rng=rng),
+            Dense.create(8, 2, device=device, rng=rng),
+        ]
+    )
+    x = Tensor(RNG.standard_normal((3, 4)).astype(np.float32), device)
+    y1 = seq(x)
+    y2 = seq.layers[1](seq.layers[0](x))
+    np.testing.assert_allclose(y1.numpy(), y2.numpy(), rtol=1e-5)
+
+
+def test_residual(device):
+    rng = np.random.default_rng(5)
+    res = Residual(Dense.create(4, 4, device=device, rng=rng))
+    x = Tensor(RNG.standard_normal((2, 4)).astype(np.float32), device)
+    np.testing.assert_allclose(
+        res(x).numpy(), x.numpy() + res.body(x).numpy(), rtol=1e-5
+    )
+
+
+def test_gradient_through_single_layer(device):
+    rng = np.random.default_rng(6)
+    d = Dense.create(3, 1, device=device, rng=rng)
+    x = Tensor(RNG.standard_normal((5, 3)).astype(np.float32), device)
+
+    def loss(layer, xb):
+        return (layer(xb) * layer(xb)).sum()
+
+    g = gradient(loss, d, x, wrt=0)
+    assert g.weight.shape == (3, 1)
+    assert g.bias.shape == (1,)
+    # Check against finite differences on one weight entry.
+    eps = 1e-2
+    w = d.weight.numpy().copy()
+    for idx in [(0, 0), (2, 0)]:
+        wp, wm = w.copy(), w.copy()
+        wp[idx] += eps
+        wm[idx] -= eps
+        dp = Dense(Tensor(wp, device), d.bias, d.activation)
+        dm = Dense(Tensor(wm, device), d.bias, d.activation)
+        fd = (float(loss(dp, x)) - float(loss(dm, x))) / (2 * eps)
+        assert float(g.weight.numpy()[idx]) == pytest.approx(fd, rel=2e-2, abs=1e-2)
+
+
+def test_gradient_through_sequential(device):
+    rng = np.random.default_rng(7)
+    seq = Sequential(
+        [
+            Dense.create(3, 4, activation=relu, device=device, rng=rng),
+            Dense.create(4, 1, device=device, rng=rng),
+        ]
+    )
+    x = Tensor(RNG.standard_normal((4, 3)).astype(np.float32), device)
+
+    def loss(model, xb):
+        return model(xb).sum()
+
+    g = gradient(loss, seq, x, wrt=0)
+    # The list-of-layers field receives a list tangent.
+    assert isinstance(g.layers, list)
+    assert g.layers[0].weight.shape == (3, 4)
+    assert g.layers[1].weight.shape == (4, 1)
+
+
+def test_gradient_through_nested_residual(device):
+    rng = np.random.default_rng(8)
+    res = Residual(Dense.create(2, 2, device=device, rng=rng))
+    x = Tensor(np.ones((1, 2), np.float32), device)
+
+    def loss(model, xb):
+        return model(xb).sum()
+
+    g = gradient(loss, res, x, wrt=0)
+    assert g.body.weight.shape == (2, 2)
+    # d(sum(x + xW + b))/dW = outer sum over x: every entry equals x value.
+    np.testing.assert_allclose(g.body.weight.numpy(), np.ones((2, 2)), rtol=1e-5)
+
+
+def test_embedding_lookup_and_gradient(device):
+    from repro.nn import Embedding
+    from repro.tensor import one_hot
+
+    emb = Embedding.create(5, 3, device=device, rng=np.random.default_rng(9))
+    indices = Tensor([0.0, 2.0, 2.0], device)
+    out = emb(indices)
+    assert out.shape == (3, 3)
+    np.testing.assert_allclose(out.numpy()[0], emb.table.numpy()[0], rtol=1e-6)
+    np.testing.assert_allclose(out.numpy()[1], emb.table.numpy()[2], rtol=1e-6)
+
+    def loss(layer, idx):
+        return layer(idx).sum()
+
+    g = gradient(loss, emb, indices, wrt=0)
+    table_grad = g.table.numpy()
+    # Row 2 was looked up twice, row 0 once, rows 1/3/4 never.
+    np.testing.assert_allclose(table_grad[0], 1.0)
+    np.testing.assert_allclose(table_grad[2], 2.0)
+    np.testing.assert_allclose(table_grad[1], 0.0)
+    np.testing.assert_allclose(table_grad[4], 0.0)
+
+
+def test_batchnorm_gradient_matches_fd(device):
+    bn = BatchNorm.create(2, device=device)
+    x0 = Tensor(
+        np.random.default_rng(10).standard_normal((6, 2)).astype(np.float32) * 2,
+        device,
+    )
+
+    def loss(layer, x):
+        y = layer(x)
+        return (y * y * 0.5 + y).sum()
+
+    g = gradient(loss, bn, x0, wrt=0)
+    eps = 1e-2
+    scale = bn.scale.numpy().copy()
+    for j in range(2):
+        sp, sm = scale.copy(), scale.copy()
+        sp[j] += eps
+        sm[j] -= eps
+        lp = BatchNorm(Tensor(sp, device), bn.offset)
+        lm = BatchNorm(Tensor(sm, device), bn.offset)
+        fd = (float(loss(lp, x0)) - float(loss(lm, x0))) / (2 * eps)
+        assert float(g.scale.numpy()[j]) == pytest.approx(fd, rel=3e-2, abs=1e-2)
+
+
+def test_batchnorm_input_gradient_fd(device):
+    bn = BatchNorm.create(2, device=device)
+
+    def loss(x):
+        y = bn(x)
+        return (y * y).sum()
+
+    x0 = Tensor(
+        np.random.default_rng(11).standard_normal((4, 2)).astype(np.float32),
+        device,
+    )
+    g = gradient(loss, x0)
+    base = x0.numpy().astype(np.float64)
+    eps = 1e-2
+    for idx in [(0, 0), (2, 1)]:
+        xp, xm = base.copy(), base.copy()
+        xp[idx] += eps
+        xm[idx] -= eps
+        fd = (
+            float(loss(Tensor(xp.astype(np.float32), device)))
+            - float(loss(Tensor(xm.astype(np.float32), device)))
+        ) / (2 * eps)
+        assert float(g.numpy()[idx]) == pytest.approx(fd, rel=5e-2, abs=5e-2)

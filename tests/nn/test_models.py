@@ -1,0 +1,101 @@
+"""Model definitions: LeNet (Figure 6), MLP, ResNets."""
+
+import numpy as np
+import pytest
+
+from repro.core import gradient
+from repro.nn import MLP, LeNet, resnet_cifar_small, softmax_cross_entropy
+from repro.tensor import Tensor, eager_device, lazy_device, one_hot
+
+
+@pytest.fixture(params=["eager", "lazy"])
+def device(request):
+    return eager_device() if request.param == "eager" else lazy_device()
+
+
+def test_lenet_shapes(device):
+    model = LeNet.create(device)
+    x = Tensor(np.zeros((4, 28, 28, 1), np.float32), device)
+    logits = model(x)
+    assert logits.shape == (4, 10)
+
+
+def test_lenet_structure_matches_figure6():
+    model = LeNet.create(eager_device())
+    assert model.conv1.filter.shape == (5, 5, 1, 6)
+    assert model.conv1.padding == "same"
+    assert model.conv2.filter.shape == (5, 5, 6, 16)
+    assert model.fc1.weight.shape == (400, 120)
+    assert model.fc2.weight.shape == (120, 84)
+    assert model.fc3.weight.shape == (84, 10)
+
+
+def test_lenet_gradient_covers_all_parameters(device):
+    model = LeNet.create(device)
+    x = Tensor(
+        np.random.default_rng(0).standard_normal((2, 28, 28, 1)).astype(np.float32),
+        device,
+    )
+    labels = one_hot(Tensor([3.0, 7.0], device), 10)
+
+    def loss(m, xb, yb):
+        return softmax_cross_entropy(m(xb), yb)
+
+    g = gradient(loss, model, x, labels, wrt=0)
+    for field in ("conv1", "conv2"):
+        layer_g = getattr(g, field)
+        assert float(layer_g.filter.abs().sum()) > 0
+        assert float(layer_g.bias.abs().sum()) > 0
+    for field in ("fc1", "fc2", "fc3"):
+        layer_g = getattr(g, field)
+        assert float(layer_g.weight.abs().sum()) > 0
+
+
+def test_mlp(device):
+    model = MLP.create(8, [16, 16], 3, device=device)
+    x = Tensor(np.random.default_rng(1).standard_normal((5, 8)).astype(np.float32), device)
+    assert model(x).shape == (5, 3)
+
+
+def test_resnet_small(device):
+    model = resnet_cifar_small(device)
+    x = Tensor(
+        np.random.default_rng(2).standard_normal((2, 16, 16, 3)).astype(np.float32),
+        device,
+    )
+    logits = model(x)
+    assert logits.shape == (2, 10)
+
+
+def test_resnet_gradient_flows_through_skip_connections(device):
+    model = resnet_cifar_small(device)
+    x = Tensor(
+        np.random.default_rng(3).standard_normal((2, 16, 16, 3)).astype(np.float32),
+        device,
+    )
+    labels = one_hot(Tensor([0.0, 1.0], device), 10)
+
+    def loss(m, xb, yb):
+        return softmax_cross_entropy(m(xb), yb)
+
+    g = gradient(loss, model, x, labels, wrt=0)
+    assert float(g.stem.conv.filter.abs().sum()) > 0
+    first_block = g.stages[0].layers[0]
+    assert float(first_block.conv1.conv.filter.abs().sum()) > 0
+    assert float(g.head.weight.abs().sum()) > 0
+
+
+def test_resnet56_block_count():
+    from repro.nn import resnet56_cifar
+
+    model = resnet56_cifar(eager_device(), width=4)  # narrow, fast to build
+    total_blocks = sum(len(stage.layers) for stage in model.stages)
+    assert total_blocks == 27  # 3 stages x 9 blocks => 54 convs + stem + head
+
+
+def test_models_deterministic_per_seed():
+    a = LeNet.create(eager_device(), seed=42)
+    b = LeNet.create(eager_device(), seed=42)
+    np.testing.assert_array_equal(a.conv1.filter.numpy(), b.conv1.filter.numpy())
+    c = LeNet.create(eager_device(), seed=43)
+    assert not np.array_equal(a.conv1.filter.numpy(), c.conv1.filter.numpy())

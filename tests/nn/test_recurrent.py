@@ -1,0 +1,114 @@
+"""Recurrent layers: dynamic unrolling, gradients through time, learning."""
+
+import numpy as np
+import pytest
+
+from repro.core import gradient, value_and_gradient
+from repro.nn.recurrent import GRU, SimpleRNN
+from repro.optim import Adam
+from repro.tensor import Tensor, eager_device, lazy_device, mse_loss
+
+
+@pytest.fixture(params=["eager", "lazy"])
+def device(request):
+    return eager_device() if request.param == "eager" else lazy_device()
+
+
+def make_sequence(device, T, batch=2, features=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        Tensor(rng.standard_normal((batch, features)).astype(np.float32), device)
+        for _ in range(T)
+    ]
+
+
+def test_rnn_forward_shapes(device):
+    rnn = SimpleRNN.create(3, 5, device=device, rng=np.random.default_rng(1))
+    for T in (1, 4, 9):
+        h = rnn(make_sequence(device, T))
+        assert h.shape == (2, 5)
+
+
+def test_rnn_handles_varying_lengths_without_retransformation(device):
+    # Dynamic architecture per call: the same AOT derivative covers every
+    # sequence length (the DyNet comparison of Section 6).
+    rnn = SimpleRNN.create(3, 4, device=device, rng=np.random.default_rng(2))
+
+    def loss(model, inputs):
+        return (model(inputs) * model(inputs)).sum()
+
+    from repro.core.api import _promote
+
+    df = _promote(loss)
+    plans = set()
+    for T in (2, 3, 7, 4):
+        g = gradient(loss, rnn, make_sequence(device, T), wrt=0)
+        assert g.w_hh.shape == (4, 4)
+        plans.add(id(df.vjp_plan((0,))))
+    assert len(plans) == 1  # one synthesized derivative for all lengths
+
+
+def test_gradient_through_time_matches_fd(device):
+    rnn = SimpleRNN.create(2, 3, device=device, rng=np.random.default_rng(3))
+    inputs = make_sequence(device, 4, batch=1, features=2, seed=4)
+
+    def loss(model, xs):
+        return model(xs).sum()
+
+    g = gradient(loss, rnn, inputs, wrt=0)
+    eps = 1e-2
+    w = rnn.w_hh.numpy().copy()
+    for idx in [(0, 0), (1, 2), (2, 1)]:
+        wp, wm = w.copy(), w.copy()
+        wp[idx] += eps
+        wm[idx] -= eps
+        mp = SimpleRNN(rnn.w_ih, Tensor(wp, device), rnn.bias)
+        mm = SimpleRNN(rnn.w_ih, Tensor(wm, device), rnn.bias)
+        fd = (float(loss(mp, inputs)) - float(loss(mm, inputs))) / (2 * eps)
+        assert float(g.w_hh.numpy()[idx]) == pytest.approx(fd, rel=5e-2, abs=5e-3)
+
+
+def test_rnn_learns_to_remember_first_input():
+    """Train the RNN to output the first element of the sequence."""
+    device = eager_device()
+    rng = np.random.default_rng(5)
+    rnn = SimpleRNN.create(1, 8, device=device, rng=rng)
+    from repro.nn import Dense
+
+    head = Dense.create(8, 1, device=device, rng=rng)
+
+    def loss(model, inputs, target):
+        return mse_loss(head(model(inputs)), target)
+
+    opt = Adam(learning_rate=0.02)
+    losses = []
+    for step in range(150):
+        seq_np = rng.standard_normal((3, 4, 1)).astype(np.float32) * 0.5
+        inputs = [Tensor(seq_np[t], device) for t in range(3)]
+        target = Tensor(seq_np[0], device)
+        value, g = value_and_gradient(loss, rnn, inputs, target, wrt=0)
+        opt.update(rnn, g)
+        losses.append(float(value))
+    assert np.mean(losses[-10:]) < np.mean(losses[:10]) * 0.5
+
+
+def test_gru_forward_and_gradient(device):
+    gru = GRU.create(3, 4, device=device, rng=np.random.default_rng(6))
+    inputs = make_sequence(device, 5)
+    h = gru(inputs)
+    assert h.shape == (2, 4)
+
+    def loss(model, xs):
+        return (model(xs) * model(xs)).sum()
+
+    g = gradient(loss, gru, inputs, wrt=0)
+    for field in ("w_z", "u_z", "w_r", "u_r", "w_h", "u_h"):
+        grad = getattr(g, field)
+        assert float(grad.abs().sum()) > 0
+
+
+def test_gru_gates_bound_hidden_state(device):
+    gru = GRU.create(2, 3, device=device, rng=np.random.default_rng(7))
+    inputs = make_sequence(device, 20, batch=1, features=2, seed=8)
+    h = gru(inputs).numpy()
+    assert np.all(np.abs(h) <= 1.0 + 1e-5)  # tanh candidates + convex gates

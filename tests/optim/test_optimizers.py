@@ -1,0 +1,165 @@
+"""Optimizers: in-place updates, convergence, tangent-tree state."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.core import ZERO, differentiable_struct, value_and_gradient
+from repro.optim import (
+    SGD,
+    Adam,
+    BacktrackingLineSearch,
+    LearningRateSchedule,
+    RMSProp,
+    functional_update,
+    tangent_byte_size,
+    tangent_norm_squared,
+    tree_map,
+    tree_map2,
+)
+from repro.tensor import Tensor, eager_device
+
+
+@differentiable_struct
+@dataclass
+class Quad:
+    x: float
+    y: float
+
+
+def quad_loss(p):
+    return (p.x - 3.0) * (p.x - 3.0) + 10.0 * (p.y + 2.0) * (p.y + 2.0)
+
+
+def _converges(optimizer, steps=400, tol=1e-2):
+    p = Quad(0.0, 0.0)
+    for _ in range(steps):
+        _, g = value_and_gradient(quad_loss, p)
+        optimizer.update(p, g)
+    assert p.x == pytest.approx(3.0, abs=tol)
+    assert p.y == pytest.approx(-2.0, abs=tol)
+    return p
+
+
+def test_sgd_converges():
+    _converges(SGD(learning_rate=0.05))
+
+
+def test_sgd_momentum_converges():
+    _converges(SGD(learning_rate=0.01, momentum=0.9))
+
+
+def test_adam_converges():
+    _converges(Adam(learning_rate=0.1), steps=600)
+
+
+def test_rmsprop_converges():
+    _converges(RMSProp(learning_rate=0.02), steps=800)
+
+
+def test_update_is_in_place():
+    p = Quad(0.0, 0.0)
+    before = id(p)
+    _, g = value_and_gradient(quad_loss, p)
+    SGD(0.1).update(p, g)
+    assert id(p) == before
+    assert p.x != 0.0
+
+
+def test_functional_update_returns_new_model():
+    p = Quad(0.0, 0.0)
+    _, g = value_and_gradient(quad_loss, p)
+    p2 = functional_update(p, g, 0.1)
+    assert p2 is not p
+    assert p.x == 0.0  # original untouched
+    assert p2.x != 0.0
+
+
+def test_optimizer_on_tensor_model():
+    device = eager_device()
+
+    @differentiable_struct
+    @dataclass
+    class Linear:
+        w: Tensor
+
+    target = np.array([[1.0], [2.0], [3.0]], np.float32)
+    x = Tensor(np.eye(3, dtype=np.float32), device)
+    t = Tensor(target, device)
+
+    def loss(m):
+        d = m.w - t
+        return (d * d).sum()
+
+    model = Linear(Tensor.zeros((3, 1), device))
+    opt = Adam(learning_rate=0.2)
+    for _ in range(200):
+        _, g = value_and_gradient(loss, model)
+        opt.update(model, g)
+    np.testing.assert_allclose(model.w.numpy(), target, atol=1e-2)
+
+
+def test_tree_map_and_map2():
+    tv = Quad.TangentVector
+    a = tv(x=1.0, y=2.0)
+    doubled = tree_map(lambda v: v * 2, a)
+    assert (doubled.x, doubled.y) == (2.0, 4.0)
+    b = tv(x=10.0, y=ZERO)
+    s = tree_map2(
+        lambda u, v: u + v, a, b, a_zero=lambda u: u, b_zero=lambda v: v
+    )
+    assert (s.x, s.y) == (11.0, 2.0)
+    assert tree_map(lambda v: v * 2, ZERO) is ZERO
+
+
+def test_tree_map2_zero_handling():
+    assert tree_map2(lambda a, b: a + b, ZERO, ZERO) is ZERO
+    out = tree_map2(lambda a, b: a + b, ZERO, 5.0, b_zero=lambda v: v * 3)
+    assert out == 15.0
+    assert tree_map2(lambda a, b: a + b, ZERO, 5.0) is ZERO
+
+
+def test_tangent_norms_and_sizes():
+    tv = Quad.TangentVector
+    t = tv(x=3.0, y=4.0)
+    assert tangent_norm_squared(t) == pytest.approx(25.0)
+    assert tangent_byte_size(t) == 8
+    device = eager_device()
+    assert tangent_byte_size(Tensor.zeros((10,), device)) == 40
+    assert tangent_norm_squared(ZERO) == 0.0
+
+
+def test_learning_rate_schedule():
+    sched = LearningRateSchedule(0.1, decay_steps=10, decay_rate=0.5)
+    assert sched(0) == 0.1
+    assert sched(10) == pytest.approx(0.05)
+    assert sched(25) == pytest.approx(0.025)
+    flat = LearningRateSchedule(0.1)
+    assert flat(1000) == 0.1
+
+
+def test_line_search_converges_quadratic():
+    search = BacktrackingLineSearch()
+    model, history = BacktrackingLineSearch().minimize(
+        quad_loss, Quad(0.0, 0.0), max_steps=200
+    )
+    assert model.x == pytest.approx(3.0, abs=1e-3)
+    assert model.y == pytest.approx(-2.0, abs=1e-3)
+    assert history[-1].loss_after <= history[0].loss_before
+    assert search is not None
+
+
+def test_line_search_respects_armijo():
+    ls = BacktrackingLineSearch(initial_step=100.0)
+    model, result = ls.step(quad_loss, Quad(0.0, 0.0))
+    # A huge initial step must have been backtracked to a decreasing one.
+    assert result.loss_after < result.loss_before
+    assert result.step_size < 100.0
+
+
+def test_line_search_stops_at_minimum():
+    ls = BacktrackingLineSearch()
+    model, history = ls.minimize(quad_loss, Quad(3.0, -2.0), max_steps=10)
+    assert history[0].converged
+    assert len(history) == 1

@@ -1,0 +1,186 @@
+"""Kernel numerics checked against direct NumPy computations."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.kernels import (
+    KERNELS,
+    avg_pool2d,
+    avg_pool2d_grad,
+    conv2d,
+    conv2d_grad_filter,
+    conv2d_grad_input,
+    matmul,
+    max_pool2d,
+    max_pool2d_grad,
+    one_hot,
+    reduce_mean,
+    reduce_sum,
+    softmax,
+    softmax_cross_entropy,
+    softmax_cross_entropy_grad,
+)
+
+rng = np.random.default_rng(7)
+
+
+def test_elementwise_kernels_match_numpy():
+    x = rng.standard_normal((3, 4)).astype(np.float32)
+    y = rng.standard_normal((3, 4)).astype(np.float32) + 2.5
+    cases = {
+        "add": x + y,
+        "sub": x - y,
+        "mul": x * y,
+        "div": x / y,
+        "neg": -x,
+        "exp": np.exp(x),
+        "tanh": np.tanh(x),
+        "relu": np.maximum(x, 0),
+        "abs": np.abs(x),
+        "maximum": np.maximum(x, y),
+        "minimum": np.minimum(x, y),
+    }
+    for name, expected in cases.items():
+        kernel = KERNELS[name]
+        args = (x,) if kernel.fn.__code__.co_argcount == 1 else (x, y)
+        np.testing.assert_allclose(kernel(*args), expected, rtol=1e-5)
+
+
+def test_matmul():
+    a = rng.standard_normal((5, 3)).astype(np.float32)
+    b = rng.standard_normal((3, 7)).astype(np.float32)
+    np.testing.assert_allclose(matmul(a, b), a @ b, rtol=1e-5)
+
+
+def test_matmul_flops():
+    k = KERNELS["matmul"]
+    assert k.flops((5, 7), [(5, 3), (3, 7)]) == 2 * 5 * 7 * 3
+
+
+def test_reduces():
+    x = rng.standard_normal((4, 5)).astype(np.float32)
+    np.testing.assert_allclose(reduce_sum(x, (0,), False), x.sum(axis=0), rtol=1e-5)
+    np.testing.assert_allclose(
+        reduce_mean(x, None, False), x.mean(), rtol=1e-5
+    )
+
+
+def test_conv2d_matches_naive():
+    x = rng.standard_normal((2, 6, 6, 3)).astype(np.float32)
+    f = rng.standard_normal((3, 3, 3, 4)).astype(np.float32)
+    out = conv2d(x, f, 1, "valid")
+    assert out.shape == (2, 4, 4, 4)
+    # Naive reference
+    ref = np.zeros_like(out)
+    for n in range(2):
+        for i in range(4):
+            for j in range(4):
+                patch = x[n, i : i + 3, j : j + 3, :]
+                for co in range(4):
+                    ref[n, i, j, co] = (patch * f[:, :, :, co]).sum()
+    np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-4)
+
+
+def test_conv2d_same_padding_shape():
+    x = rng.standard_normal((1, 7, 7, 2)).astype(np.float32)
+    f = rng.standard_normal((3, 3, 2, 5)).astype(np.float32)
+    out = conv2d(x, f, 1, "same")
+    assert out.shape == (1, 7, 7, 5)
+    out2 = conv2d(x, f, 2, "same")
+    assert out2.shape == (1, 4, 4, 5)
+
+
+def test_conv2d_gradients_match_fd():
+    x = rng.standard_normal((1, 5, 5, 2)).astype(np.float64).astype(np.float32)
+    f = rng.standard_normal((3, 3, 2, 3)).astype(np.float32)
+    g = rng.standard_normal((1, 3, 3, 3)).astype(np.float32)
+
+    def loss_x(xv):
+        return float((conv2d(xv, f, 1, "valid") * g).sum())
+
+    def loss_f(fv):
+        return float((conv2d(x, fv, 1, "valid") * g).sum())
+
+    gx = conv2d_grad_input(g, f, x.shape, 1, "valid")
+    gf = conv2d_grad_filter(x, g, f.shape, 1, "valid")
+
+    eps = 1e-2
+    for _ in range(8):
+        idx = tuple(rng.integers(0, s) for s in x.shape)
+        xp, xm = x.copy(), x.copy()
+        xp[idx] += eps
+        xm[idx] -= eps
+        fd = (loss_x(xp) - loss_x(xm)) / (2 * eps)
+        assert gx[idx] == pytest.approx(fd, rel=2e-2, abs=2e-2)
+    for _ in range(8):
+        idx = tuple(rng.integers(0, s) for s in f.shape)
+        fp, fm = f.copy(), f.copy()
+        fp[idx] += eps
+        fm[idx] -= eps
+        fd = (loss_f(fp) - loss_f(fm)) / (2 * eps)
+        assert gf[idx] == pytest.approx(fd, rel=2e-2, abs=2e-2)
+
+
+def test_conv2d_grad_same_padding_consistency():
+    x = rng.standard_normal((1, 6, 6, 1)).astype(np.float32)
+    f = rng.standard_normal((3, 3, 1, 2)).astype(np.float32)
+    g = np.ones((1, 6, 6, 2), dtype=np.float32)
+    gx = conv2d_grad_input(g, f, x.shape, 1, "same")
+    assert gx.shape == x.shape
+    gf = conv2d_grad_filter(x, g, f.shape, 1, "same")
+    assert gf.shape == f.shape
+
+
+def test_avg_pool_and_grad():
+    x = rng.standard_normal((2, 4, 4, 3)).astype(np.float32)
+    out = avg_pool2d(x, 2, 2)
+    assert out.shape == (2, 2, 2, 3)
+    np.testing.assert_allclose(
+        out[0, 0, 0, 0], x[0, :2, :2, 0].mean(), rtol=1e-5
+    )
+    g = np.ones_like(out)
+    gx = avg_pool2d_grad(g, x.shape, 2, 2)
+    np.testing.assert_allclose(gx, np.full_like(x, 0.25), rtol=1e-6)
+
+
+def test_max_pool_and_grad():
+    x = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+    out = max_pool2d(x, 2, 2)
+    np.testing.assert_allclose(out.ravel(), [5, 7, 13, 15])
+    g = np.ones_like(out)
+    gx = max_pool2d_grad(x, g, 2, 2)
+    assert gx.sum() == 4.0
+    assert gx[0, 1, 1, 0] == 1.0  # gradient lands on the max positions
+
+
+def test_softmax_and_cross_entropy():
+    logits = rng.standard_normal((4, 10)).astype(np.float32)
+    labels = one_hot(np.array([1, 3, 5, 7], dtype=np.float32), 10)
+    p = softmax(logits)
+    np.testing.assert_allclose(p.sum(axis=-1), 1.0, rtol=1e-5)
+    loss = softmax_cross_entropy(logits, labels)
+    expected = -np.log(p[np.arange(4), [1, 3, 5, 7]]).mean()
+    assert float(loss) == pytest.approx(float(expected), rel=1e-5)
+
+    grad = softmax_cross_entropy_grad(logits, labels)
+    eps = 1e-3
+    for _ in range(5):
+        i, j = rng.integers(0, 4), rng.integers(0, 10)
+        lp, lm = logits.copy(), logits.copy()
+        lp[i, j] += eps
+        lm[i, j] -= eps
+        fd = (
+            float(softmax_cross_entropy(lp, labels))
+            - float(softmax_cross_entropy(lm, labels))
+        ) / (2 * eps)
+        assert grad[i, j] == pytest.approx(fd, rel=1e-2, abs=1e-4)
+
+
+def test_one_hot():
+    out = one_hot(np.array([0.0, 2.0]), 3)
+    np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1]])
+
+
+def test_traffic_estimate_counts_inputs_and_outputs():
+    k = KERNELS["add"]
+    assert k.traffic((10,), [(10,), (10,)]) == 30 * 4

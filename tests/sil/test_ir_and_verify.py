@@ -1,0 +1,126 @@
+"""IR structural behaviour, verifier diagnostics, printing."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.sil import ir
+from repro.sil.printer import print_function
+from repro.sil.verify import verify
+from repro.sil.primitives import get_primitive
+
+
+def _build_add_function():
+    func = ir.Function("adder", ["x", "y"])
+    entry = func.new_block("entry")
+    x = entry.add_arg(ir.FLOAT, "x")
+    y = entry.add_arg(ir.FLOAT, "y")
+    add = entry.append(ir.ApplyInst(ir.FunctionRef(get_primitive("add")), [x, y]))
+    entry.append(ir.ReturnInst(add.result))
+    return func
+
+
+def test_builder_and_interp_roundtrip():
+    from repro.sil import call_function
+
+    func = _build_add_function()
+    verify(func)
+    assert call_function(func, (2.0, 3.0)) == 5.0
+
+
+def test_print_function_contains_structure():
+    text = print_function(_build_add_function())
+    assert "sil @adder" in text
+    assert "apply @add" in text
+    assert "return" in text
+
+
+def test_missing_terminator_rejected():
+    func = ir.Function("broken", ["x"])
+    entry = func.new_block("entry")
+    entry.add_arg()
+    with pytest.raises(VerificationError, match="missing terminator"):
+        verify(func)
+
+
+def test_branch_arity_checked():
+    func = ir.Function("broken", ["x"])
+    entry = func.new_block("entry")
+    x = entry.add_arg()
+    dest = func.new_block("dest")
+    dest.add_arg()
+    dest.add_arg()
+    entry.append(ir.BrInst(dest, [x]))
+    c = dest.append(ir.ConstInst(0.0))
+    dest.append(ir.ReturnInst(c.result))
+    with pytest.raises(VerificationError, match="passes 1 args"):
+        verify(func)
+
+
+def test_use_before_def_rejected():
+    func = ir.Function("broken", ["x"])
+    entry = func.new_block("entry")
+    x = entry.add_arg()
+    # Create an instruction whose operand is a value defined *later*.
+    late = ir.ConstInst(1.0)
+    early = ir.ApplyInst(ir.FunctionRef(get_primitive("add")), [x, late.result])
+    entry.append(early)
+    entry.append(late)
+    entry.append(ir.ReturnInst(early.result))
+    with pytest.raises(VerificationError, match="before\\s+definition|undefined"):
+        verify(func)
+
+
+def test_double_definition_rejected():
+    func = ir.Function("broken", ["x"])
+    entry = func.new_block("entry")
+    x = entry.add_arg()
+    c = ir.ConstInst(1.0)
+    entry.append(c)
+    entry.instructions.append(c)  # sneak in a duplicate definition
+    entry.append(ir.ReturnInst(x))
+    with pytest.raises(VerificationError, match="defined twice"):
+        verify(func)
+
+
+def test_entry_with_predecessor_rejected():
+    func = ir.Function("broken", [])
+    entry = func.new_block("entry")
+    c = entry.append(ir.ConstInst(True))
+    entry.append(ir.BrInst(entry, []))
+    with pytest.raises(VerificationError, match="entry block"):
+        verify(func)
+
+
+def test_terminator_mid_block_rejected():
+    func = ir.Function("broken", [])
+    entry = func.new_block("entry")
+    c = entry.append(ir.ConstInst(1.0))
+    ret = ir.ReturnInst(c.result)
+    ret.parent = entry
+    entry.instructions.append(ret)
+    entry.instructions.append(ir.ReturnInst(c.result))
+    with pytest.raises(VerificationError, match="mid-block"):
+        verify(func)
+
+
+def test_block_append_after_terminator_raises():
+    block = ir.Block("b")
+    c = block.append(ir.ConstInst(1.0))
+    block.append(ir.ReturnInst(c.result))
+    with pytest.raises(ValueError, match="terminated"):
+        block.append(ir.ConstInst(2.0))
+
+
+def test_value_repr_mentions_hint():
+    v = ir.Value(hint="loss")
+    assert "loss" in repr(v)
+
+
+def test_reachable_blocks_excludes_orphans():
+    func = _build_add_function()
+    orphan = func.new_block("orphan")
+    c = orphan.append(ir.ConstInst(0.0))
+    orphan.append(ir.ReturnInst(c.result))
+    reachable = func.reachable_blocks()
+    assert orphan not in reachable
+    assert func.entry in reachable

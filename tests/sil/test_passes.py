@@ -1,0 +1,205 @@
+"""Optimization passes must preserve interpreter semantics."""
+
+import math
+
+import pytest
+
+from repro.sil import call_function, lower_function, verify
+from repro.sil.passes import (
+    common_subexpression_elimination,
+    constant_fold,
+    dead_code_elimination,
+    inline_calls,
+    run_default_pipeline,
+)
+
+
+def _copy_via_lowering(fn):
+    """Fresh lowering (bypass the cache) so passes can mutate freely."""
+    import types
+
+    clone = types.FunctionType(
+        fn.__code__, fn.__globals__, fn.__name__, fn.__defaults__, fn.__closure__
+    )
+    return lower_function(clone)
+
+
+def _size(func):
+    return sum(len(b.instructions) for b in func.blocks)
+
+
+def test_dce_removes_unused_pure_code():
+    def f(x):
+        unused = x * 123.0 + 7.0
+        y = x + 1.0
+        also_unused = unused * unused
+        return y
+
+    func = _copy_via_lowering(f)
+    before = _size(func)
+    assert dead_code_elimination(func)
+    verify(func)
+    assert _size(func) < before
+    assert call_function(func, (3.0,)) == 4.0
+
+
+def test_dce_keeps_impure_print(capsys):
+    def f(x):
+        print("side effect")
+        return x
+
+    func = _copy_via_lowering(f)
+    dead_code_elimination(func)
+    assert call_function(func, (1.0,)) == 1.0
+    assert "side effect" in capsys.readouterr().out
+
+
+def test_constant_folding_arith():
+    def f(x):
+        return x + (2.0 * 3.0 + 1.0)
+
+    func = _copy_via_lowering(f)
+    assert constant_fold(func)
+    dead_code_elimination(func)
+    verify(func)
+    assert call_function(func, (1.0,)) == 8.0
+    # After folding, only one apply (the add with x) should remain.
+    from repro.sil.ir import ApplyInst
+
+    applies = [i for i in func.instructions() if isinstance(i, ApplyInst)]
+    assert len(applies) == 1
+
+
+def test_constant_branch_folding():
+    flag = True
+
+    def f(x):
+        if flag:
+            return x + 1.0
+        return x - 1.0
+
+    func = _copy_via_lowering(f)
+    constant_fold(func)
+    dead_code_elimination(func)
+    verify(func)
+    assert len(func.blocks) < 4
+    assert call_function(func, (1.0,)) == 2.0
+
+
+def test_cse_deduplicates():
+    def f(x, y):
+        a = x * y + 1.0
+        b = x * y + 1.0
+        return a + b
+
+    func = _copy_via_lowering(f)
+    before = _size(func)
+    assert common_subexpression_elimination(func)
+    dead_code_elimination(func)
+    verify(func)
+    assert _size(func) < before
+    assert call_function(func, (2.0, 3.0)) == 14.0
+
+
+def test_cse_respects_control_flow():
+    def f(x):
+        if x > 0.0:
+            a = x * 2.0
+        else:
+            a = x * 2.0
+        return a + x * 2.0
+
+    func = _copy_via_lowering(f)
+    common_subexpression_elimination(func)
+    verify(func)
+    assert call_function(func, (3.0,)) == 12.0
+    assert call_function(func, (-3.0,)) == -12.0
+
+
+def test_inline_simple_call():
+    def helper(v):
+        return v * v + 1.0
+
+    def f(x):
+        return helper(x) + helper(x + 1.0)
+
+    func = _copy_via_lowering(f)
+    assert inline_calls(func)
+    while inline_calls(func):
+        pass
+    verify(func)
+    from repro.sil.ir import ApplyInst, Function
+
+    fn_calls = [
+        i
+        for i in func.instructions()
+        if isinstance(i, ApplyInst)
+        and not i.is_indirect
+        and isinstance(i.callee.target, Function)
+    ]
+    assert not fn_calls
+    assert call_function(func, (2.0,)) == pytest.approx(f(2.0))
+
+
+def test_inline_call_with_control_flow():
+    def clamp(v):
+        if v > 1.0:
+            return 1.0
+        if v < -1.0:
+            return -1.0
+        return v
+
+    def f(x):
+        return clamp(x * 2.0) + clamp(x)
+
+    func = _copy_via_lowering(f)
+    while inline_calls(func):
+        pass
+    verify(func)
+    for x in (0.3, 2.0, -2.0, 0.0):
+        assert call_function(func, (x,)) == pytest.approx(f(x))
+
+
+def test_inline_skips_recursion():
+    def fact(n):
+        if n <= 1:
+            return 1
+        return n * fact(n - 1)
+
+    func = _copy_via_lowering(fact)
+    inline_calls(func)  # must not hang or break semantics
+    verify(func)
+    assert call_function(func, (6,)) == math.factorial(6)
+
+
+def test_default_pipeline_preserves_semantics():
+    def helper(v, w):
+        return v * w + v
+
+    def f(x, n):
+        total = 0.0
+        for i in range(n):
+            total += helper(x, float(i)) + (2.0 + 3.0)
+        if total > 100.0:
+            total = total / 2.0
+        return total
+
+    func = _copy_via_lowering(f)
+    run_default_pipeline(func)
+    for args in [(1.5, 5), (10.0, 9), (0.0, 0)]:
+        assert call_function(func, args) == pytest.approx(f(*args))
+
+
+def test_pipeline_shrinks_code():
+    def f(x):
+        a = 1.0 + 2.0
+        b = 1.0 + 2.0
+        c = x * a + x * b
+        unused = c * 99.0
+        return c
+
+    func = _copy_via_lowering(f)
+    before = _size(func)
+    run_default_pipeline(func)
+    assert _size(func) < before
+    assert call_function(func, (2.0,)) == 12.0

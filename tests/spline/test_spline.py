@@ -1,0 +1,142 @@
+"""Spline model: evaluation, differentiation, fitting, personalization."""
+
+import numpy as np
+import pytest
+
+from repro.core import gradient
+from repro.data import personalization_split
+from repro.spline import (
+    SplineModel,
+    fine_tune,
+    fit_spline,
+    spline_evaluate,
+    spline_loss,
+)
+
+
+def test_create_validates():
+    with pytest.raises(ValueError):
+        SplineModel.create(3)
+    m = SplineModel.create(6, initial=0.5)
+    assert len(m.control_points) == 6
+    assert m.n_segments == 5
+
+
+def test_interpolates_control_points_at_knots():
+    m = SplineModel([0.0, 1.0, 4.0, 9.0, 16.0], 4)
+    for k in range(5):
+        x = k / 4.0
+        assert spline_evaluate(m, x) == pytest.approx(float(k * k), abs=1e-9)
+
+
+def test_continuous_between_knots():
+    m = SplineModel([0.0, 1.0, 0.0, 1.0, 0.0], 4)
+    xs = np.linspace(0, 1, 101)
+    values = [spline_evaluate(m, float(x)) for x in xs]
+    diffs = np.abs(np.diff(values))
+    assert diffs.max() < 0.2  # no jumps
+
+
+def test_clamps_at_boundaries():
+    m = SplineModel.create(5, initial=2.0)
+    assert spline_evaluate(m, 0.0) == pytest.approx(2.0)
+    assert spline_evaluate(m, 1.0) == pytest.approx(2.0)
+
+
+def test_gradient_wrt_control_points():
+    m = SplineModel([0.0, 0.0, 0.0, 0.0, 0.0], 4)
+
+    def loss(model):
+        return spline_evaluate(model, 0.4) * 2.0
+
+    g = gradient(loss, m)
+    cps = g.control_points
+    # x=0.4 lies in segment 1: control points 0..3 participate via the
+    # Hermite basis; distant points do not.
+    from repro.core import ZERO
+
+    assert any(c is not ZERO and abs(c) > 0 for c in cps[:4])
+    assert cps[4] is ZERO or cps[4] == 0.0
+
+
+def test_gradient_matches_finite_differences():
+    m = SplineModel([0.1, -0.2, 0.3, 0.4, -0.1, 0.2], 5)
+    xs = [0.05, 0.3, 0.55, 0.8, 0.95]
+    ys = [0.0, 0.1, 0.2, 0.3, 0.4]
+
+    def loss(model):
+        return spline_loss(model, xs, ys)
+
+    g = gradient(loss, m)
+    eps = 1e-6
+    for k in range(6):
+        plus = list(m.control_points)
+        minus = list(m.control_points)
+        plus[k] += eps
+        minus[k] -= eps
+        fd = (
+            spline_loss(SplineModel(plus, 5), xs, ys)
+            - spline_loss(SplineModel(minus, 5), xs, ys)
+        ) / (2 * eps)
+        got = g.control_points[k]
+        got = 0.0 if got is None or not isinstance(got, float) else got
+        assert got == pytest.approx(fd, rel=1e-4, abs=1e-7)
+
+
+def test_fit_reduces_loss_to_near_zero_on_realizable_target():
+    rng = np.random.default_rng(0)
+    true = SplineModel([0.0, 0.5, -0.5, 0.25, 0.0], 4)
+    xs = rng.uniform(0, 1, 64)
+    ys = [spline_evaluate(true, float(x)) for x in xs]
+    model, report = fit_spline(SplineModel.create(5), xs, ys, max_steps=80)
+    assert report.final_loss < 1e-4
+    assert report.final_loss < report.initial_loss
+
+
+def test_global_then_fine_tune_workflow():
+    global_data, user_data = personalization_split(n_global=96, n_user=32, seed=1)
+    global_model, global_report = fit_spline(
+        SplineModel.create(8), global_data.xs, global_data.ys, max_steps=60
+    )
+    assert global_report.final_loss < global_report.initial_loss
+
+    personal, report = fine_tune(global_model, user_data.xs, user_data.ys)
+    assert report.final_loss < report.initial_loss
+    # Personalization actually changed the model.
+    assert personal.control_points != global_model.control_points
+    # And fits the user's data better than the global model does.
+    user_loss_global = spline_loss(global_model, user_data.xs, user_data.ys)
+    user_loss_personal = spline_loss(personal, user_data.xs, user_data.ys)
+    assert user_loss_personal < user_loss_global
+
+
+def test_fine_tune_does_not_mutate_global_checkpoint():
+    global_data, user_data = personalization_split(seed=2)
+    global_model, _ = fit_spline(
+        SplineModel.create(6), global_data.xs[:32], global_data.ys[:32], max_steps=20
+    )
+    snapshot = list(global_model.control_points)
+    fine_tune(global_model, user_data.xs, user_data.ys, max_steps=10)
+    assert global_model.control_points == snapshot  # value semantics
+
+
+def test_spline_on_naive_tensor_backend():
+    """The mobile path: control points as 0-d naive tensors (pure Python)."""
+    from repro.tensor import Tensor, naive_device
+
+    device = naive_device()
+    m = SplineModel(
+        [Tensor.scalar(v, device) for v in (0.0, 1.0, 0.0, -1.0, 0.0)], 4
+    )
+    y = spline_evaluate(m, 0.37)
+    assert isinstance(y, Tensor)
+
+    def loss(model):
+        return spline_loss(model, [0.2, 0.7], [0.5, -0.5])
+
+    g = gradient(loss, m)
+    assert any(
+        not isinstance(c, float) and float(c.abs().sum()) > 0
+        for c in g.control_points
+        if hasattr(c, "abs")
+    )

@@ -1,0 +1,92 @@
+"""Automatic trace cutting — the paper's Section 3.4 future work,
+implemented: sufficiently large trace fragments compile and dispatch
+automatically, with no user annotations."""
+
+import numpy as np
+import pytest
+
+from repro.hlo import clear_cache
+from repro.hlo.compiler import STATS
+from repro.tensor import Tensor, lazy_device
+
+
+def setup_function(_):
+    clear_cache()
+    STATS.reset()
+
+
+def test_auto_cut_fires_at_threshold():
+    device = lazy_device(auto_barrier_threshold=10)
+    x = Tensor(np.ones(8, np.float32), device)
+    y = x
+    for _ in range(25):
+        y = y * 1.01
+    # Fragments were dispatched automatically mid-loop.
+    assert device.runtime.auto_cuts >= 2
+    np.testing.assert_allclose(y.numpy(), 1.01**25 * np.ones(8), rtol=1e-4)
+
+
+def test_auto_cut_bounds_fragment_size():
+    threshold = 12
+    device = lazy_device(auto_barrier_threshold=threshold)
+    device.runtime.capture_traces = True
+    x = Tensor(np.ones(4, np.float32), device)
+    y = x
+    for _ in range(60):
+        y = y + 0.5
+    y.numpy()
+    for text, _args in device.runtime.captured_traces:
+        op_lines = [
+            ln
+            for ln in text.splitlines()
+            if " add(" in ln or " multiply(" in ln
+        ]
+        assert len(op_lines) <= threshold
+
+
+def test_auto_cut_matches_uncut_numerics():
+    def program(device):
+        x = Tensor(np.linspace(0, 1, 16).astype(np.float32), device)
+        y = x
+        for i in range(40):
+            y = (y * 1.1).tanh() + x * 0.01
+        return y.numpy()
+
+    uncut = program(lazy_device())
+    cut = program(lazy_device(auto_barrier_threshold=7))
+    np.testing.assert_allclose(uncut, cut, rtol=1e-5, atol=1e-6)
+
+
+def test_auto_cut_keeps_cache_effective_across_iterations():
+    device = lazy_device(auto_barrier_threshold=8)
+    w = Tensor(np.ones(4, np.float32), device)
+
+    def iteration():
+        nonlocal w
+        x = Tensor(np.full(4, 0.5, np.float32), device)
+        y = x
+        for _ in range(20):
+            y = y * w + 0.1
+        w = w - y * 0.001
+        from repro.tensor import LazyTensorBarrier
+
+        LazyTensorBarrier(device)
+
+    iteration()
+    compiles_after_first = STATS.compiles
+    for _ in range(4):
+        iteration()
+    # Cut points are deterministic by op count, so later iterations reuse
+    # the first iteration's compiled fragments.
+    assert STATS.compiles <= compiles_after_first + 1
+    assert STATS.cache_hits > 0
+
+
+def test_disabled_by_default():
+    device = lazy_device()
+    x = Tensor(np.ones(4, np.float32), device)
+    y = x
+    for _ in range(100):
+        y = y + 1.0
+    assert device.runtime.auto_cuts == 0
+    assert STATS.compiles == 0  # still fully lazy until observed

@@ -1,0 +1,115 @@
+"""Property-based broadcasting/ops equivalence vs NumPy on all backends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, eager_device, lazy_device, naive_device
+
+finite32 = st.floats(
+    min_value=-50, max_value=50, allow_nan=False, allow_infinity=False, width=32
+)
+
+
+@st.composite
+def broadcast_pair(draw):
+    """Two broadcast-compatible shapes (NumPy rules) with data."""
+    rank = draw(st.integers(1, 3))
+    base = [draw(st.integers(1, 4)) for _ in range(rank)]
+    a_dims = [d if draw(st.booleans()) else 1 for d in base]
+    b_dims = [d if (a != 1 or draw(st.booleans())) else 1 for d, a in zip(base, a_dims)]
+    # Possibly drop leading axes from one side.
+    cut_a = draw(st.integers(0, rank - 1))
+    cut_b = 0 if cut_a else draw(st.integers(0, rank - 1))
+    a_shape = tuple(a_dims[cut_a:]) or (1,)
+    b_shape = tuple(b_dims[cut_b:]) or (1,)
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-5, 5, a_shape).astype(np.float32)
+    b = rng.uniform(0.5, 5, b_shape).astype(np.float32)
+    return a, b
+
+
+DEVICES = [naive_device, eager_device, lazy_device]
+
+
+@given(broadcast_pair(), st.sampled_from(["add", "sub", "mul", "div"]))
+@settings(max_examples=40, deadline=None)
+def test_binary_broadcasting_matches_numpy(pair, op):
+    a, b = pair
+    np_expected = {
+        "add": a + b,
+        "sub": a - b,
+        "mul": a * b,
+        "div": a / b,
+    }[op]
+    for factory in DEVICES:
+        device = factory()
+        ta, tb = Tensor(a, device), Tensor(b, device)
+        got = {
+            "add": ta + tb,
+            "sub": ta - tb,
+            "mul": ta * tb,
+            "div": ta / tb,
+        }[op]
+        assert got.shape == np_expected.shape
+        np.testing.assert_allclose(
+            got.numpy(), np_expected, rtol=1e-4, atol=1e-5
+        )
+
+
+@given(broadcast_pair())
+@settings(max_examples=30, deadline=None)
+def test_sum_to_match_inverts_broadcast(pair):
+    """sum_to_match is the adjoint of broadcasting: sum over expanded dims."""
+    a, b = pair
+    out_shape = np.broadcast_shapes(a.shape, b.shape)
+    expanded = np.broadcast_to(a, out_shape).astype(np.float32)
+    # Reference: sum the expanded tensor back to a's shape.
+    reference = expanded.copy()
+    lead = len(out_shape) - len(a.shape)
+    if lead:
+        reference = reference.sum(axis=tuple(range(lead)))
+    for axis, dim in enumerate(a.shape):
+        if dim == 1 and reference.shape[axis] != 1:
+            reference = reference.sum(axis=axis, keepdims=True)
+    for factory in DEVICES:
+        device = factory()
+        t = Tensor(expanded, device).sum_to_match(a.shape)
+        assert t.shape == a.shape
+        np.testing.assert_allclose(t.numpy(), reference, rtol=1e-4)
+
+
+@given(
+    st.integers(1, 4),
+    st.integers(1, 4),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_reduction_axes_match_numpy(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(-5, 5, (rows, cols)).astype(np.float32)
+    for factory in DEVICES:
+        device = factory()
+        t = Tensor(a, device)
+        np.testing.assert_allclose(t.sum(axes=0).numpy(), a.sum(0), rtol=1e-4)
+        np.testing.assert_allclose(
+            t.mean(axes=1, keepdims=True).numpy(),
+            a.mean(1, keepdims=True),
+            rtol=1e-4,
+        )
+        np.testing.assert_allclose(t.max().numpy(), a.max(), rtol=1e-5)
+
+
+@given(broadcast_pair())
+@settings(max_examples=20, deadline=None)
+def test_backends_agree_with_each_other(pair):
+    a, b = pair
+    results = []
+    for factory in DEVICES:
+        device = factory()
+        ta, tb = Tensor(a, device), Tensor(b, device)
+        results.append(((ta * tb + ta).tanh()).sum().item())
+    assert results[0] == pytest.approx(results[1], rel=1e-4, abs=1e-5)
+    assert results[1] == pytest.approx(results[2], rel=1e-5, abs=1e-6)

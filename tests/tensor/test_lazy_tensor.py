@@ -1,0 +1,180 @@
+"""LazyTensor semantics: the eager illusion, trace caching, barriers."""
+
+import numpy as np
+import pytest
+
+from repro.hlo import clear_cache
+from repro.hlo.compiler import STATS as COMPILER_STATS
+from repro.tensor import LazyTensorBarrier, Tensor, lazy_device
+
+
+def setup_function(_):
+    clear_cache()
+    COMPILER_STATS.reset()
+
+
+def test_ops_do_not_execute_until_observed():
+    dev = lazy_device()
+    x = Tensor([1.0, 2.0], dev)
+    y = (x * 2.0 + 1.0).tanh()
+    # Nothing has been compiled or launched yet.
+    assert COMPILER_STATS.compiles == 0
+    assert dev.sim.stats.kernels_launched == 0
+    assert not y._impl.is_source
+    # Observation triggers compile + run.
+    np.testing.assert_allclose(y.numpy(), np.tanh([3.0, 5.0]), rtol=1e-6)
+    assert COMPILER_STATS.compiles == 1
+    assert y._impl.is_source
+
+
+def test_repr_does_not_materialize():
+    dev = lazy_device()
+    x = Tensor([1.0], dev)
+    y = x + 1.0
+    assert "unmaterialized" in repr(y)
+    assert COMPILER_STATS.compiles == 0
+
+
+def test_materialization_is_cached_on_node():
+    dev = lazy_device()
+    x = Tensor([1.0, 2.0], dev)
+    y = x * 3.0
+    first = y.numpy()
+    compiles = COMPILER_STATS.compiles
+    second = y.numpy()  # already a source: no recompilation, no rerun
+    np.testing.assert_array_equal(first, second)
+    assert COMPILER_STATS.compiles == compiles
+
+
+def test_trace_cache_hits_across_iterations():
+    """The same computation on fresh data each step compiles exactly once —
+    'each unique trace is only compiled by XLA once' (Section 3.4)."""
+    dev = lazy_device()
+    w = Tensor([[0.5, -0.5], [0.25, 0.75]], dev)
+    for step in range(5):
+        x = Tensor(np.full((3, 2), step, np.float32), dev)
+        loss = ((x @ w).relu()).sum()
+        loss.item()
+    assert COMPILER_STATS.compiles == 1
+    assert COMPILER_STATS.cache_hits == 4
+    assert dev.runtime.compiles_triggered == 1
+    assert dev.runtime.materializations == 5
+
+
+def test_shape_change_triggers_recompilation():
+    dev = lazy_device()
+    w = Tensor(np.ones((4, 2), np.float32), dev)
+    for batch in (1, 2, 4):
+        x = Tensor(np.ones((batch, 4), np.float32), dev)
+        (x @ w).sum().item()
+    # Every distinct input shape is a distinct trace (Section 3.4).
+    assert COMPILER_STATS.compiles == 3
+
+
+def test_tracing_overhead_recurs_every_iteration():
+    dev = lazy_device()
+    w = Tensor([1.0, 2.0], dev)
+    baseline = dev.runtime.ops_traced
+    for _ in range(3):
+        x = Tensor([1.0, 1.0], dev)
+        ((x * w) + w).sum().item()
+    traced = dev.runtime.ops_traced - baseline
+    assert traced == 3 * 3  # mul, add, sum re-traced on every iteration
+
+
+def test_barrier_materializes_live_tensors():
+    dev = lazy_device()
+    a = Tensor([1.0], dev)
+    b = a * 2.0
+    c = a + 3.0
+    LazyTensorBarrier(dev)
+    assert b._impl.is_source
+    assert c._impl.is_source
+    # One fused fragment, one compile.
+    assert COMPILER_STATS.compiles == 1
+    np.testing.assert_allclose(b.numpy(), [2.0])
+    np.testing.assert_allclose(c.numpy(), [4.0])
+    assert COMPILER_STATS.compiles == 1  # numpy() after barrier is free
+
+
+def test_barrier_cuts_traces_for_cache_stability():
+    """With a barrier after each step, step N's trace does not grow with N
+    (no accidental unrolling of the training loop)."""
+    dev = lazy_device()
+    w = Tensor([1.0, 1.0], dev)
+    trace_sizes = []
+    for _ in range(4):
+        before = dev.runtime.ops_traced
+        w = w - (w * 0.1)
+        LazyTensorBarrier(dev)
+        trace_sizes.append(dev.runtime.ops_traced - before)
+    assert len(set(trace_sizes)) == 1  # constant work per step
+
+
+def test_without_barrier_trace_grows():
+    dev = lazy_device()
+    w = Tensor([1.0, 1.0], dev)
+    for _ in range(4):
+        w = w - (w * 0.1)
+    # The full unrolled chain materializes at once: 8 ops in one fragment.
+    w.numpy()
+    assert dev.runtime.ops_traced == 8
+    assert COMPILER_STATS.compiles == 1
+
+
+def test_mixed_tensor_and_host_computation():
+    """Host code can consume tensor values mid-computation and feed them
+    back — tracing composes with arbitrary host computation (Section 3.3's
+    robotics-motion-planning argument)."""
+    dev = lazy_device()
+    x = Tensor([3.0], dev)
+    y = x * x  # traced
+    host_value = float(y)  # observation: run the first fragment
+    # "black-box CPU solver":
+    solved = host_value**0.5 + 1.0
+    z = y * solved  # a second trace begins, consuming y as a source
+    np.testing.assert_allclose(z.numpy(), [9.0 * 4.0])
+    assert COMPILER_STATS.compiles == 2  # two fragments, discovered dynamically
+
+
+def test_lazy_matches_eager_numerics():
+    from repro.tensor import eager_device
+
+    rng = np.random.default_rng(0)
+    xv = rng.standard_normal((5, 8)).astype(np.float32)
+    wv = rng.standard_normal((8, 3)).astype(np.float32)
+
+    def program(dev):
+        x = Tensor(xv, dev)
+        w = Tensor(wv, dev)
+        h = (x @ w).relu()
+        return (h.mean() + h.max()).item()
+
+    assert program(lazy_device()) == pytest.approx(program(eager_device()), rel=1e-5)
+
+
+def test_fusion_happens_in_compiled_trace():
+    dev = lazy_device()
+    x = Tensor(np.ones(128, np.float32), dev)
+    y = ((x * 2.0 + 1.0).tanh() - 0.5).exp()
+    y.numpy()
+    stats = dev.sim.stats
+    # The elementwise chain compiled into fewer kernels than ops.
+    assert stats.fused_kernels >= 1
+    assert stats.ops_in_fused_kernels > stats.fused_kernels
+
+
+def test_compile_cost_charged_once():
+    dev = lazy_device()
+    w = Tensor([1.0], dev)
+
+    def step():
+        x = Tensor([2.0], dev)
+        (x * w + 1.0).sum().item()
+
+    step()
+    t_first = dev.runtime.host_time
+    step()
+    t_second = dev.runtime.host_time - t_first
+    # Second iteration avoids JIT compilation: strictly cheaper.
+    assert t_second < t_first / 2

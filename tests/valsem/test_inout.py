@@ -1,0 +1,112 @@
+"""Figure 8 and Appendix A: inout borrows, exclusivity, and the
+pass-by-value equivalence."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import BorrowError
+from repro.valsem import InoutRef, as_functional, borrow_attr, borrow_item, inout
+
+
+@dataclass
+class Holder:
+    count: int = 2
+    flag: bool = False
+
+
+def inc(x: InoutRef) -> bool:
+    """The paper's Figure 8 example: x += 1; return x < 10."""
+    x.set(x.get() + 1)
+    return x.get() < 10
+
+
+def test_figure8_inout_form():
+    h = Holder(count=2)
+    with inout(h, "count") as ref:
+        z = inc(ref)
+    assert (h.count, z) == (3, True)
+
+
+def test_figure8_functional_rewrite_equivalence():
+    # Pass-by-inout and pass-by-value-plus-assignment print the same thing.
+    inc_functional = as_functional(inc)
+    y, z = inc_functional(2)
+    assert (y, z) == (3, True)
+
+    # And for a range of starting values the two agree exactly.
+    for start in range(0, 15):
+        h = Holder(count=start)
+        with inout(h, "count") as ref:
+            z_inout = inc(ref)
+        y_func, z_func = inc_functional(start)
+        assert (h.count, z_inout) == (y_func, z_func)
+
+
+def test_exclusivity_violation_detected():
+    h = Holder()
+    with inout(h, "count"):
+        with pytest.raises(BorrowError, match="exclusivity"):
+            borrow_attr(h, "count")
+
+
+def test_disjoint_borrows_allowed():
+    h = Holder()
+    with inout(h, "count") as a, inout(h, "flag") as b:
+        a.set(5)
+        b.set(True)
+    assert (h.count, h.flag) == (5, True)
+
+
+def test_borrow_released_after_scope():
+    h = Holder()
+    with inout(h, "count") as ref:
+        ref.set(9)
+    # The borrow ended: a new one is fine.
+    with inout(h, "count") as ref:
+        ref.set(10)
+    assert h.count == 10
+
+
+def test_use_after_end_rejected():
+    h = Holder()
+    ref = borrow_attr(h, "count")
+    ref.end()
+    with pytest.raises(BorrowError, match="after the borrow ended"):
+        ref.get()
+
+
+def test_item_borrow():
+    xs = [1, 2, 3]
+    with inout(xs, 1) as ref:
+        ref.update(lambda v: v * 10)
+    assert xs == [1, 20, 3]
+
+
+def test_item_borrow_exclusivity():
+    xs = [1, 2, 3]
+    with inout(xs, 0):
+        with pytest.raises(BorrowError):
+            borrow_item(xs, 0)
+        # A different index is a disjoint location.
+        with inout(xs, 1) as other:
+            other.set(99)
+    assert xs[1] == 99
+
+
+def test_update_helper():
+    h = Holder(count=3)
+    with inout(h, "count") as ref:
+        ref.update(lambda v: v * v)
+    assert h.count == 9
+
+
+def test_borrow_released_on_exception():
+    h = Holder()
+    with pytest.raises(RuntimeError):
+        with inout(h, "count"):
+            raise RuntimeError("boom")
+    # Exception path still released the borrow.
+    with inout(h, "count") as ref:
+        ref.set(1)
+    assert h.count == 1

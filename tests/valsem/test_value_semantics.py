@@ -1,0 +1,116 @@
+"""Figure 5: value semantics — mutation through one variable is observable
+only through that variable."""
+
+import pytest
+
+from repro.valsem import STATS, ValueArray
+
+
+def setup_function(_):
+    STATS.reset()
+
+
+def test_figure5_swift_column():
+    # var x = [3]; var y = x; x[0] += 1  ->  x == [4], y == [3]
+    x = ValueArray([3])
+    y = x.copy()
+    x.add_in_place(0, 1)
+    assert x.to_list() == [4]
+    assert y.to_list() == [3]
+
+
+def test_python_list_reference_semantics_contrast():
+    # Figure 5 middle column: the hazard ValueArray avoids.
+    x = [3]
+    y = x
+    x[0] += 1
+    assert y == [4]  # "spooky action at a distance"
+
+
+def test_copy_is_lazy():
+    x = ValueArray(range(1000))
+    y = x.copy()
+    assert STATS.logical_copies == 1
+    assert STATS.deep_copies == 0  # no storage duplicated yet
+    assert y[0] == 0  # reads never copy
+    assert STATS.deep_copies == 0
+
+
+def test_deep_copy_only_on_shared_mutation():
+    x = ValueArray([1, 2, 3])
+    y = x.copy()
+    x[0] = 99  # shared: must deep-copy
+    assert STATS.deep_copies == 1
+    x[1] = 88  # now unshared: mutate in place
+    assert STATS.deep_copies == 1
+    assert x.to_list() == [99, 88, 3]
+    assert y.to_list() == [1, 2, 3]
+
+
+def test_unshared_mutation_never_copies():
+    x = ValueArray([0] * 100)
+    for i in range(100):
+        x[i] = i
+    assert STATS.deep_copies == 0
+
+
+def test_many_copies_one_duplication_per_mutator():
+    x = ValueArray([1, 2, 3])
+    copies = [x.copy() for _ in range(5)]
+    copies[0][0] = 10
+    copies[1][0] = 20
+    assert STATS.deep_copies == 2
+    assert x.to_list() == [1, 2, 3]
+    assert copies[0].to_list() == [10, 2, 3]
+    assert copies[1].to_list() == [20, 2, 3]
+    assert copies[2].to_list() == [1, 2, 3]
+
+
+def test_append_extend_pop():
+    x = ValueArray([1])
+    y = x.copy()
+    x.append(2)
+    x.extend([3, 4])
+    assert x.to_list() == [1, 2, 3, 4]
+    assert y.to_list() == [1]
+    assert x.pop() == 4
+    assert x.to_list() == [1, 2, 3]
+
+
+def test_slicing_returns_value():
+    x = ValueArray([1, 2, 3, 4])
+    s = x[1:3]
+    s[0] = 99
+    assert x.to_list() == [1, 2, 3, 4]
+    assert s.to_list() == [99, 3]
+
+
+def test_equality():
+    assert ValueArray([1, 2]) == ValueArray([1, 2])
+    assert ValueArray([1, 2]) == [1, 2]
+    assert not (ValueArray([1]) == ValueArray([2]))
+
+
+def test_iteration_snapshot():
+    x = ValueArray([1, 2, 3])
+    assert list(x) == [1, 2, 3]
+    assert len(x) == 3
+
+
+def test_differentiable_conformance():
+    from repro.core import ZERO, move
+
+    x = ValueArray([1.0, 2.0])
+    moved = move(x, [0.5, ZERO])
+    assert moved.to_list() == [1.5, 2.0]
+    assert x.to_list() == [1.0, 2.0]
+    x.move_([ZERO, 1.0])
+    assert x.to_list() == [1.0, 3.0]
+
+
+def test_move_in_place_respects_sharing():
+    x = ValueArray([1.0, 2.0])
+    y = x.copy()
+    x.move_([1.0, 1.0])
+    assert x.to_list() == [2.0, 3.0]
+    assert y.to_list() == [1.0, 2.0]
