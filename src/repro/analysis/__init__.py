@@ -1,0 +1,68 @@
+"""Cross-layer static analysis: verifiers, linters, and per-pass checking.
+
+The subsystem spans the three IR layers of the reproduction:
+
+* **SIL** — structural SSA verification (:func:`repro.sil.verify.verify`)
+  plus typed checking of operand/result arity and dtypes
+  (:func:`repro.sil.typecheck.typecheck` / ``verify_typed``);
+* **HLO** — whole-module verification re-running shape inference and
+  checking DAG/fusion well-formedness (:func:`repro.hlo.verify.verify_module`);
+* **AD core** — the differentiability linter collecting batched
+  pre-synthesis diagnostics (:func:`repro.core.lint.lint_function` /
+  ``check_differentiability``);
+* **per-pass attribution** — ``verify_each`` mode for both pass pipelines
+  (:mod:`repro.analysis.attribution`), naming the offending pass on failure.
+
+``python -m repro.analysis --self-check`` runs every verifier over every
+registered primitive's synthesized JVP/VJP and over the HLO modules the
+LeNet-5 trace benchmark produces.
+
+This ``__init__`` resolves its re-exports lazily: the pass pipelines import
+:mod:`repro.analysis.attribution` at module load, and an eager init here
+would cycle back into ``repro.sil``/``repro.hlo``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.attribution import (  # noqa: F401  (import-light)
+    attribute_failure,
+    set_verify_each,
+    verify_each,
+    verify_each_enabled,
+)
+
+_LAZY = {
+    "typecheck": ("repro.sil.typecheck", "typecheck"),
+    "verify_typed": ("repro.sil.typecheck", "verify_typed"),
+    "verify_sil": ("repro.sil.verify", "verify"),
+    "verify_module": ("repro.hlo.verify", "verify_module"),
+    "verify_computation": ("repro.hlo.verify", "verify_computation"),
+    "lint_function": ("repro.core.lint", "lint_function"),
+    "check_differentiability": ("repro.core.lint", "check_differentiability"),
+    "self_check": ("repro.analysis.selfcheck", "self_check"),
+    "SelfCheckReport": ("repro.analysis.selfcheck", "SelfCheckReport"),
+}
+
+__all__ = [
+    "attribute_failure",
+    "set_verify_each",
+    "verify_each",
+    "verify_each_enabled",
+    *_LAZY,
+]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(__all__)

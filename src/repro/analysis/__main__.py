@@ -1,0 +1,51 @@
+"""Run the static-analysis toolchain from the command line.
+
+Usage::
+
+    python -m repro.analysis --self-check        # verify everything
+    python -m repro.analysis --self-check -q     # summary only on failure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Cross-layer static verification: typed SIL checking, HLO "
+            "module verification, per-pass invariant attribution, and the "
+            "differentiability linter."
+        ),
+    )
+    parser.add_argument(
+        "--self-check",
+        action="store_true",
+        help=(
+            "run every verifier over every registered primitive's "
+            "synthesized JVP/VJP and over the HLO modules produced by the "
+            "LeNet-5 trace workload"
+        ),
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="print the report only on failure"
+    )
+    args = parser.parse_args(argv)
+
+    if not args.self_check:
+        parser.print_help()
+        return 2
+
+    from repro.analysis.selfcheck import self_check
+
+    report = self_check()
+    if not args.quiet or not report.ok:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

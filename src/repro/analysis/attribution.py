@@ -1,0 +1,54 @@
+"""Per-pass invariant attribution (``verify_each`` mode).
+
+When enabled, the SIL pipeline (:mod:`repro.sil.passes.pipeline`) and the
+HLO pipeline (:mod:`repro.hlo.passes`) re-verify the IR after *every* pass
+iteration.  On failure the error names the offending pass and carries the
+printed IR from immediately before and after it, so a bug introduced by a
+rewrite is attributed to the rewrite — not to whichever downstream consumer
+happens to trip over it first.
+
+The mode can be requested per call (the ``verify_each`` keyword) or
+globally (:func:`set_verify_each`, used by the CLIs' ``--verify`` flags and
+the analysis self-check).  This module is deliberately import-light (only
+``repro.errors``) because both pass pipelines import it at module load.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+_VERIFY_EACH = False
+
+
+def set_verify_each(enabled: bool) -> None:
+    """Globally enable/disable per-pass verification."""
+    global _VERIFY_EACH
+    _VERIFY_EACH = bool(enabled)
+
+
+def verify_each_enabled(explicit: bool | None = None) -> bool:
+    """Resolve a per-call ``verify_each`` argument against the global mode."""
+    return _VERIFY_EACH if explicit is None else bool(explicit)
+
+
+@contextmanager
+def verify_each():
+    """Context manager form: per-pass verification inside the block."""
+    global _VERIFY_EACH
+    prior = _VERIFY_EACH
+    _VERIFY_EACH = True
+    try:
+        yield
+    finally:
+        _VERIFY_EACH = prior
+
+
+def attribute_failure(
+    pass_name: str, unit_name: str, error: Exception, before: str, after: str
+) -> str:
+    """Format a per-pass verification failure with before/after IR dumps."""
+    return (
+        f"pass {pass_name!r} broke invariants of {unit_name}: {error}\n"
+        f"--- IR before {pass_name} ---\n{before}\n"
+        f"--- IR after {pass_name} ---\n{after}"
+    )

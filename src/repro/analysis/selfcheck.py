@@ -1,0 +1,209 @@
+"""The analysis self-check: every verifier, over everything we can build.
+
+Three sweeps, mirroring the three layers the subsystem spans:
+
+1. **Primitive sweep** — for every primitive in the global registry
+   (scalar, math, structural, and tensor primitives alike), build a small
+   SIL wrapper function applying it, run structural + typed verification,
+   then synthesize its VJP and/or JVP plan and verify the planned function
+   again.  Non-differentiable primitives must instead be *rejected* by the
+   differentiability linter with an error diagnostic — the linter's
+   ahead-of-time property, checked both ways.
+
+2. **HLO sweep** — record the LeNet-5 forward trace on a lazy device (the
+   Figure 4 benchmark workload), lower it to an HLO module, verify it,
+   optimize it with per-pass verification enabled, and verify the
+   optimized (fused) module once more.
+
+3. **Pipeline sweep** — lower a handful of representative differentiable
+   Python functions (control flow included), run the default SIL pass
+   pipeline with ``verify_each``, and lint them.
+
+``python -m repro.analysis --self-check`` runs all three and exits 0 iff
+everything holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.lint import check_differentiability, lint_function
+from repro.core.synthesis import jvp_plan, vjp_plan
+from repro.errors import DifferentiabilityError, ReproError
+from repro.sil import ir
+from repro.sil.primitives import PRIMITIVES, Primitive
+from repro.sil.typecheck import verify_typed
+
+
+@dataclass
+class SelfCheckReport:
+    """What the self-check covered and what it found."""
+
+    primitives_checked: int = 0
+    vjp_plans_verified: int = 0
+    jvp_plans_verified: int = 0
+    nondifferentiable_rejected: int = 0
+    hlo_modules_verified: int = 0
+    hlo_instructions_verified: int = 0
+    functions_pipelined: int = 0
+    failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"primitives checked:            {self.primitives_checked}",
+            f"VJP plans verified:            {self.vjp_plans_verified}",
+            f"JVP plans verified:            {self.jvp_plans_verified}",
+            f"non-differentiable rejected:   {self.nondifferentiable_rejected}",
+            f"HLO modules verified:          {self.hlo_modules_verified}",
+            f"HLO instructions verified:     {self.hlo_instructions_verified}",
+            f"functions through verify_each: {self.functions_pipelined}",
+        ]
+        if self.failures:
+            lines.append(f"FAILURES ({len(self.failures)}):")
+            lines.extend(f"  - {f}" for f in self.failures)
+        else:
+            lines.append("all checks passed")
+        return "\n".join(lines)
+
+
+def _wrapper_function(prim: Primitive) -> ir.Function:
+    """A minimal SIL function applying ``prim`` to fresh parameters."""
+    lo, hi = prim.arity
+    n_args = lo if lo > 0 else (2 if hi is None else max(hi, 1))
+    func = ir.Function(f"selfcheck_{prim.name}", [f"a{i}" for i in range(n_args)])
+    entry = func.new_block("entry")
+    args = [entry.add_arg(ir.ANY, f"a{i}") for i in range(n_args)]
+    apply = entry.append(ir.ApplyInst(ir.FunctionRef(prim), args))
+    entry.append(ir.ReturnInst(apply.result))
+    return func
+
+
+def _check_primitives(report: SelfCheckReport) -> None:
+    # Import for their registration side effects: tensor + structural prims.
+    import repro.core  # noqa: F401
+    import repro.tensor  # noqa: F401
+
+    for name, prim in sorted(PRIMITIVES.items()):
+        report.primitives_checked += 1
+        try:
+            func = _wrapper_function(prim)
+            verify_typed(func)
+        except ReproError as exc:
+            report.failures.append(f"primitive {name!r}: wrapper rejected: {exc}")
+            continue
+
+        wrt = tuple(
+            i for i in range(len(func.params)) if i not in prim.nondiff_args
+        )
+        if not wrt:
+            continue
+        if prim.differentiable:
+            try:
+                check_differentiability(func, wrt)
+                if prim.vjp is not None:
+                    plan = vjp_plan(func, wrt)
+                    verify_typed(plan.func)
+                    report.vjp_plans_verified += 1
+                if prim.jvp is not None:
+                    plan = jvp_plan(func, wrt)
+                    verify_typed(plan.func)
+                    report.jvp_plans_verified += 1
+            except ReproError as exc:
+                report.failures.append(
+                    f"primitive {name!r}: synthesis/verification failed: {exc}"
+                )
+        else:
+            try:
+                check_differentiability(func, wrt)
+            except DifferentiabilityError as exc:
+                if any(d.is_error for d in exc.diagnostics):
+                    report.nondifferentiable_rejected += 1
+                else:  # pragma: no cover
+                    report.failures.append(
+                        f"primitive {name!r}: rejected without an error diag"
+                    )
+            else:
+                report.failures.append(
+                    f"primitive {name!r} has no derivative but the linter "
+                    "accepted an active application of it"
+                )
+
+
+def _check_hlo(report: SelfCheckReport) -> None:
+    from repro.hlo.passes import optimize
+    from repro.hlo.verify import verify_module
+    from repro.nn import LeNet
+    from repro.runtime.costmodel import S4TF_LAZY, TPU_V3_CORE
+    from repro.tensor import Device, Tensor
+    from repro.tensor.lazy_backend import _lower_to_hlo
+    from repro.viz import capture_forward_trace
+
+    device = Device("lazy", TPU_V3_CORE, S4TF_LAZY)
+    model = LeNet.create(device, seed=0)
+    x = Tensor(np.zeros((1, 28, 28, 1), np.float32), device)
+    root = capture_forward_trace(model, x)
+
+    module, _params = _lower_to_hlo([root])
+    try:
+        verify_module(module)
+        report.hlo_modules_verified += 1
+        report.hlo_instructions_verified += module.entry.instruction_count()
+        optimize(module, fuse=True, verify_each=True)
+        verify_module(module)
+        report.hlo_modules_verified += 1
+        report.hlo_instructions_verified += module.entry.instruction_count()
+    except ReproError as exc:
+        report.failures.append(f"HLO trace module: {exc}")
+
+
+def _representative_functions():
+    def polynomial(x):
+        return 3.0 * x * x + 2.0 * x + 1.0
+
+    def smooth_abs(x):
+        if x < 0.0:
+            return -x
+        return x
+
+    def geometric(x, n):
+        total = 0.0
+        term = 1.0
+        for _ in range(n):
+            term = term * x
+            total = total + term
+        return total
+
+    return [(polynomial, (0,)), (smooth_abs, (0,)), (geometric, (0,))]
+
+
+def _check_pipeline(report: SelfCheckReport) -> None:
+    from repro.sil.frontend import lower_function
+    from repro.sil.passes.pipeline import run_default_pipeline
+
+    for pyfunc, wrt in _representative_functions():
+        try:
+            func = lower_function(pyfunc)
+            run_default_pipeline(func, verify_each=True)
+            lint_function(func, wrt)
+            plan = vjp_plan(func, wrt)
+            verify_typed(plan.func)
+            report.functions_pipelined += 1
+        except ReproError as exc:
+            report.failures.append(f"pipeline over {pyfunc.__name__!r}: {exc}")
+
+
+def self_check(verbose: bool = False) -> SelfCheckReport:
+    """Run all sweeps; the report's ``ok`` says whether everything held."""
+    report = SelfCheckReport()
+    _check_primitives(report)
+    _check_hlo(report)
+    _check_pipeline(report)
+    if verbose:  # pragma: no cover
+        print(report.summary())
+    return report

@@ -1,0 +1,139 @@
+"""The differentiability linter (pre-synthesis batched diagnostics).
+
+Derivative synthesis (:mod:`repro.core.synthesis`) rejects a function the
+moment it needs a derivative rule that does not exist.  This linter runs the
+same activity analysis *before* synthesis and reports **every** problem at
+once, with source locations — the "rich compiler diagnostics" half of the
+paper's Section 2.2 pipeline (activity analysis → differentiability
+checking → derivative synthesis):
+
+* ``error`` — a primitive with no registered derivative is applied to an
+  active value (its result feeds the return), so synthesis must fail;
+* ``warning`` — a ``wrt`` parameter never influences the returned value:
+  its gradient is identically zero;
+* ``warning`` — an active value (varied w.r.t. the inputs) is dropped
+  before the return: derivative information is computed and discarded;
+* ``warning`` — the result does not depend on any ``wrt`` parameter at all.
+
+:func:`check_differentiability` raises one
+:class:`~repro.errors.DifferentiabilityError` carrying the full batch,
+never just the first failure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.activity import ActivityInfo, analyze_activity
+from repro.errors import Diagnostic, DifferentiabilityError
+from repro.sil import ir
+from repro.sil.primitives import Primitive
+
+
+def _param_name(func: ir.Function, index: int) -> str:
+    if index < len(func.param_names):
+        return func.param_names[index]
+    return f"%{func.params[index].id}"
+
+
+def lint_function(
+    func: ir.Function, wrt: Optional[Sequence[int]] = None
+) -> list[Diagnostic]:
+    """Collect every differentiability diagnostic for ``func`` w.r.t. the
+    parameter indices ``wrt`` (default: all parameters).  Does not raise."""
+    wrt_t = tuple(wrt) if wrt is not None else tuple(range(len(func.params)))
+    activity = analyze_activity(func, wrt_t)
+    diagnostics: list[Diagnostic] = []
+
+    if not activity.result_varied():
+        diagnostics.append(
+            Diagnostic(
+                "warning",
+                f"result of {func.name!r} does not depend on the "
+                "differentiation arguments; gradient will be zero",
+            )
+        )
+
+    for i in wrt_t:
+        param = func.params[i]
+        if activity.result_varied() and not activity.is_useful(param):
+            diagnostics.append(
+                Diagnostic(
+                    "warning",
+                    f"wrt parameter {_param_name(func, i)!r} of {func.name!r} "
+                    "never contributes to the result; its gradient is "
+                    "always zero",
+                )
+            )
+
+    users = ir.users(func)
+    for inst in func.instructions():
+        if not isinstance(inst, ir.ApplyInst):
+            continue
+        diagnostics.extend(_lint_apply(func, inst, activity, users))
+    return diagnostics
+
+
+def _lint_apply(
+    func: ir.Function,
+    inst: ir.ApplyInst,
+    activity: ActivityInfo,
+    users: dict[ir.Value, list[ir.Instruction]],
+) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+
+    target = None
+    if not inst.is_indirect:
+        target = inst.callee.target
+    else:
+        producer = inst.callee.producer
+        if isinstance(producer, ir.ConstInst):
+            target = producer.literal
+
+    if isinstance(target, Primitive) and not target.differentiable:
+        active_args = [
+            arg
+            for i, arg in enumerate(inst.args)
+            if i not in target.nondiff_args and activity.is_active_value(arg)
+        ]
+        if active_args and activity.is_active(inst):
+            names = ", ".join(repr(a) for a in active_args)
+            out.append(
+                Diagnostic(
+                    "error",
+                    f"expression is not differentiable: primitive "
+                    f"{target.name!r} applied to active value(s) {names} "
+                    "has no registered derivative",
+                    inst.loc,
+                )
+            )
+
+    # Active-but-dropped: the value varies with the inputs but neither
+    # reaches the return nor has any user — derivative work is discarded.
+    for res in inst.results:
+        if (
+            activity.is_varied(res)
+            and not activity.is_useful(res)
+            and not users.get(res)
+        ):
+            out.append(
+                Diagnostic(
+                    "warning",
+                    f"active value {res} is dropped before the return; "
+                    "its derivative is discarded",
+                    inst.loc,
+                )
+            )
+    return out
+
+
+def check_differentiability(
+    func: ir.Function, wrt: Optional[Sequence[int]] = None
+) -> list[Diagnostic]:
+    """Lint ``func`` and raise one :class:`DifferentiabilityError` carrying
+    *all* error diagnostics if any exist; returns warnings otherwise."""
+    diagnostics = lint_function(func, wrt)
+    errors = [d for d in diagnostics if d.is_error]
+    if errors:
+        raise DifferentiabilityError(diagnostics)
+    return diagnostics

@@ -192,19 +192,19 @@ class VJPPlan:
     # -- transformation (runs once) ----------------------------------------
 
     def build(self) -> None:
+        from repro.core.lint import lint_function
+
         self.build_count += 1
         func = self.func
         self.activity = analyze_activity(func, self.wrt)
         errors: list[Diagnostic] = []
 
-        if not self.activity.result_varied():
-            self.diagnostics.append(
-                Diagnostic(
-                    "warning",
-                    f"result of {func.name!r} does not depend on the "
-                    f"differentiation arguments; gradient will be zero",
-                )
-            )
+        # Pre-synthesis lint: batched warnings (constant result, unused wrt
+        # parameters, dropped active values) recorded alongside synthesis's
+        # own diagnostics so users see every problem in one shot.
+        self.diagnostics.extend(
+            d for d in lint_function(func, self.wrt) if not d.is_error
+        )
 
         for inst in func.instructions():
             if not isinstance(inst, ir.ApplyInst) or not self.activity.is_active(inst):
@@ -360,7 +360,6 @@ class VJPPlan:
         """Walk the record chain backwards; returns cotangents for all
         parameters (ZERO where nothing flowed)."""
         adj = _Adjoints()
-        activity = self.activity
 
         last = records[-1]
         ret_inst, _ = last.entries[-1]
@@ -460,9 +459,14 @@ class JVPPlan:
         self.build_count = 0
 
     def build(self) -> None:
+        from repro.core.lint import lint_function
+
         self.build_count += 1
         self.activity = analyze_activity(self.func, self.wrt)
         errors: list[Diagnostic] = []
+        self.diagnostics.extend(
+            d for d in lint_function(self.func, self.wrt) if not d.is_error
+        )
         for inst in self.func.instructions():
             if not isinstance(inst, ir.ApplyInst) or not self.activity.is_active(inst):
                 continue

@@ -21,7 +21,15 @@ class LoweringError(ReproError):
 
 
 class VerificationError(ReproError):
-    """A SIL function failed structural verification."""
+    """A SIL function failed structural or typed verification.
+
+    ``offending_pass`` names the optimization pass after which the invariant
+    first failed (``None`` when verification failed outside per-pass mode).
+    """
+
+    def __init__(self, message: str, offending_pass: str | None = None):
+        super().__init__(message)
+        self.offending_pass = offending_pass
 
 
 class InterpreterError(ReproError):
@@ -48,7 +56,15 @@ class ShapeError(ReproError):
 
 
 class HloError(ReproError):
-    """Invalid HLO construction, parsing, or pass application."""
+    """Invalid HLO construction, parsing, or pass application.
+
+    ``offending_pass`` names the optimization pass after which the module
+    first failed verification (``None`` outside per-pass mode).
+    """
+
+    def __init__(self, message: str, offending_pass: str | None = None):
+        super().__init__(message)
+        self.offending_pass = offending_pass
 
 
 class BorrowError(ReproError):
@@ -80,4 +96,22 @@ class Diagnostic:
     location: SourceLocation = field(default_factory=SourceLocation)
 
     def __str__(self) -> str:
-        return f"{self.location}: {self.severity}: {self.message}"
+        return f"{self.severity}: {self.message} (at {self.location})"
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == "error"
+
+
+def partition_diagnostics(
+    diagnostics,
+) -> tuple[list[Diagnostic], list[Diagnostic]]:
+    """Split into ``(errors, non_errors)`` preserving order."""
+    errors = [d for d in diagnostics if d.is_error]
+    rest = [d for d in diagnostics if not d.is_error]
+    return errors, rest
+
+
+def render_diagnostics(diagnostics) -> str:
+    """One diagnostic per line — the batched-transcript form linters emit."""
+    return "\n".join(str(d) for d in diagnostics)

@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments            # everything
     python -m repro.experiments table3     # one experiment
     python -m repro.experiments figure9 table4
+    python -m repro.experiments --verify table3   # per-pass IR verification
 """
 
 from __future__ import annotations
@@ -43,6 +44,14 @@ EXPERIMENTS = {
 
 
 def main(argv: list[str]) -> int:
+    argv = list(argv)
+    if "--verify" in argv:
+        # Per-pass invariant attribution: every SIL/HLO pass iteration is
+        # followed by full re-verification (see repro.analysis.attribution).
+        from repro.analysis import set_verify_each
+
+        argv.remove("--verify")
+        set_verify_each(True)
     names = argv or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:

@@ -28,6 +28,7 @@ from repro.hlo.passes import (
     optimize,
 )
 from repro.hlo.printer import print_module
+from repro.hlo.verify import verify_computation, verify_module
 
 __all__ = [
     "HloBuilder",
@@ -52,4 +53,6 @@ __all__ = [
     "fuse_elementwise",
     "optimize",
     "print_module",
+    "verify_computation",
+    "verify_module",
 ]

@@ -8,8 +8,12 @@ maximal connected regions of elementwise instructions collapse into single
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from repro.analysis import attribution
+from repro.errors import HloError
 from repro.hlo.ir import (
     HloComputation,
     HloInstruction,
@@ -303,16 +307,70 @@ def _build_fusion(comp, root, region) -> HloInstruction:
     return fusion
 
 
-def optimize(module: HloModule, fuse: bool = True, max_iters: int = 8) -> HloModule:
-    """The default pipeline: simplify/fold/CSE/DCE to fixpoint, then fuse."""
+def _checked(pass_name: str, module: HloModule, before: str) -> None:
+    from repro.hlo.printer import print_module
+    from repro.hlo.verify import verify_module
+
+    try:
+        verify_module(module)
+    except HloError as exc:
+        raise HloError(
+            attribution.attribute_failure(
+                pass_name, f"module {module.name!r}", exc, before, print_module(module)
+            ),
+            offending_pass=pass_name,
+        ) from exc
+
+
+def optimize(
+    module: HloModule,
+    fuse: bool = True,
+    max_iters: int = 8,
+    verify_each: Optional[bool] = None,
+) -> HloModule:
+    """The default pipeline: simplify/fold/CSE/DCE to fixpoint, then fuse.
+
+    With ``verify_each`` (per call, or globally via
+    :func:`repro.analysis.attribution.set_verify_each`), the module is
+    re-verified after every pass iteration and a failure names the
+    offending pass with before/after IR dumps.
+    """
+    verify_each = attribution.verify_each_enabled(verify_each)
+    if verify_each:
+        from repro.hlo.verify import verify_module
+
+        try:
+            verify_module(module)
+        except HloError as exc:
+            raise HloError(
+                f"module {module.name!r} was already malformed before "
+                f"optimization (builder/lowering bug, not a pass bug): {exc}"
+            ) from exc
+
+    passes = (
+        ("algebraic_simplify", algebraic_simplify),
+        ("constant_fold", constant_fold),
+        ("cse", cse),
+        ("dce", dce),
+    )
+
+    def run(name, pass_fn):
+        if not verify_each:
+            return pass_fn(module)
+        from repro.hlo.printer import print_module
+
+        before = print_module(module)
+        changed = pass_fn(module)
+        _checked(name, module, before)
+        return changed
+
     for _ in range(max_iters):
-        changed = algebraic_simplify(module)
-        changed |= constant_fold(module)
-        changed |= cse(module)
-        changed |= dce(module)
+        changed = False
+        for name, pass_fn in passes:
+            changed |= run(name, pass_fn)
         if not changed:
             break
     if fuse:
-        fuse_elementwise(module)
-        dce(module)
+        run("fuse_elementwise", fuse_elementwise)
+        run("dce", dce)
     return module

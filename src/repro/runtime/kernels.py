@@ -420,13 +420,6 @@ def max_pool2d(x, pool, stride):
 @kernel("max_pool2d_grad", flops_fn=_pool_flops)
 def max_pool2d_grad(x, grad_out, pool, stride):
     cols, (oh, ow) = _im2col_pool(x, pool, stride)
-    n, _, _, _, c = cols_shape = (
-        x.shape[0],
-        oh,
-        ow,
-        pool * pool,
-        x.shape[3],
-    )
     maxed = cols.max(axis=3, keepdims=True)
     mask = (cols == maxed).astype(DTYPE)
     mask /= np.maximum(mask.sum(axis=3, keepdims=True), 1.0)

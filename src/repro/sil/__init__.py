@@ -30,6 +30,7 @@ from repro.sil.frontend import (
 from repro.sil.interp import call_function
 from repro.sil.primitives import PRIMITIVES, Primitive, get_primitive, primitive
 from repro.sil.printer import print_function
+from repro.sil.typecheck import typecheck, verify_typed
 from repro.sil.verify import verify
 
 __all__ = [
@@ -57,5 +58,7 @@ __all__ = [
     "get_primitive",
     "primitive",
     "print_function",
+    "typecheck",
     "verify",
+    "verify_typed",
 ]

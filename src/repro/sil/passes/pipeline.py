@@ -2,30 +2,84 @@
 
 Mirrors a classic scalar pipeline: inline, then iterate
 fold/CSE/DCE to a fixed point (bounded, to guarantee termination).
+
+The input function is verified *before* any pass runs, so a malformed
+function coming out of the frontend is attributed to lowering rather than
+to whichever pass trips over it.  With ``verify_each`` (per call, or
+globally via :func:`repro.analysis.attribution.set_verify_each`), the
+function is structurally *and* type verified after every pass iteration;
+a failure names the offending pass and dumps the IR before/after it.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.analysis import attribution
+from repro.errors import VerificationError
 from repro.sil import ir
 from repro.sil.passes.constfold import constant_fold
 from repro.sil.passes.cse import common_subexpression_elimination
 from repro.sil.passes.dce import dead_code_elimination
 from repro.sil.passes.inline import inline_calls
+from repro.sil.printer import print_function
+from repro.sil.typecheck import verify_typed
 from repro.sil.verify import verify
 
 MAX_ITERATIONS = 16
 
+_PASSES = (
+    ("constant_fold", constant_fold),
+    ("cse", common_subexpression_elimination),
+    ("dce", dead_code_elimination),
+)
 
-def run_default_pipeline(func: ir.Function, inline: bool = True) -> ir.Function:
+
+def _checked(pass_name: str, func: ir.Function, before: str) -> None:
+    try:
+        verify_typed(func)
+    except VerificationError as exc:
+        raise VerificationError(
+            attribution.attribute_failure(
+                pass_name, f"@{func.name}", exc, before, print_function(func)
+            ),
+            offending_pass=pass_name,
+        ) from exc
+
+
+def run_default_pipeline(
+    func: ir.Function,
+    inline: bool = True,
+    verify_each: Optional[bool] = None,
+) -> ir.Function:
     """Optimize ``func`` in place and return it (verified)."""
+    verify_each = attribution.verify_each_enabled(verify_each)
+
+    # Verify the *input* first: a failure here is a frontend bug, not a
+    # pass bug, and must be reported as such.
+    try:
+        verify(func)
+    except VerificationError as exc:
+        raise VerificationError(
+            f"@{func.name}: input to the pass pipeline is already "
+            f"malformed (frontend/lowering bug, not a pass bug): {exc}"
+        ) from exc
+
     if inline:
         for _ in range(MAX_ITERATIONS):
-            if not inline_calls(func):
+            before = print_function(func) if verify_each else ""
+            changed = inline_calls(func)
+            if verify_each:
+                _checked("inline", func, before)
+            if not changed:
                 break
     for _ in range(MAX_ITERATIONS):
-        changed = constant_fold(func)
-        changed |= common_subexpression_elimination(func)
-        changed |= dead_code_elimination(func)
+        changed = False
+        for name, pass_fn in _PASSES:
+            before = print_function(func) if verify_each else ""
+            changed |= pass_fn(func)
+            if verify_each:
+                _checked(name, func, before)
         if not changed:
             break
     verify(func)

@@ -14,6 +14,7 @@ keeps the AD system decoupled from any particular Tensor implementation.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Optional
 
 
@@ -47,10 +48,38 @@ class Primitive:
         self.nondiff_args = nondiff_args
         #: Pure primitives may be constant-folded and CSE'd.
         self.pure = pure
+        self._arity: Optional[tuple[int, Optional[int]]] = None
 
     @property
     def differentiable(self) -> bool:
         return self.vjp is not None or self.jvp is not None
+
+    @property
+    def arity(self) -> tuple[int, Optional[int]]:
+        """``(min_args, max_args)`` of the implementation; ``max_args`` is
+        ``None`` for variadic primitives.  Used by the typed SIL verifier to
+        check apply-site operand counts against the primitive signature."""
+        if self._arity is None:
+            try:
+                sig = inspect.signature(self.fn)
+            except (TypeError, ValueError):
+                self._arity = (0, None)
+                return self._arity
+            lo = 0
+            hi: Optional[int] = 0
+            for param in sig.parameters.values():
+                if param.kind == inspect.Parameter.VAR_POSITIONAL:
+                    hi = None
+                elif param.kind in (
+                    inspect.Parameter.POSITIONAL_ONLY,
+                    inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                ):
+                    if param.default is inspect.Parameter.empty:
+                        lo += 1
+                    if hi is not None:
+                        hi += 1
+            self._arity = (lo, hi)
+        return self._arity
 
     def __call__(self, *args):
         return self.fn(*args)

@@ -7,21 +7,53 @@ Checks the SSA invariants the rest of the pipeline relies on:
 * every operand is defined before use (dominance, computed over the CFG);
 * values are defined exactly once;
 * the entry block has no predecessors.
+
+All checks operate over the *reachable* CFG.  Unreachable blocks are not
+silently skipped: each one produces a warning-level
+:class:`~repro.errors.Diagnostic` in the returned list (they carry no
+semantics, but their presence usually means a pass forgot to prune).
 """
 
 from __future__ import annotations
 
-from repro.errors import VerificationError
+from repro.errors import Diagnostic, VerificationError
 from repro.sil import ir
 
 
-def verify(func: ir.Function) -> None:
-    """Raise :class:`VerificationError` on the first violated invariant."""
+def verify(func: ir.Function) -> list[Diagnostic]:
+    """Raise :class:`VerificationError` on the first violated invariant.
+
+    Returns warning-level diagnostics for suspicious-but-legal structure
+    (currently: blocks unreachable from entry).
+    """
     if not func.blocks:
         raise VerificationError(f"@{func.name}: function has no blocks")
 
-    defined: set[int] = set()
+    # Terminator discipline is checked over *all* blocks first: computing
+    # the reachable CFG requires every block's successors to be defined.
     for block in func.blocks:
+        if not block.instructions or not block.instructions[-1].is_terminator:
+            raise VerificationError(f"@{func.name}/{block.name}: missing terminator")
+        for inst in block.instructions[:-1]:
+            if inst.is_terminator:
+                raise VerificationError(
+                    f"@{func.name}/{block.name}: terminator mid-block: {inst}"
+                )
+
+    blocks = func.reachable_blocks()
+    reachable_ids = {id(b) for b in blocks}
+    warnings = [
+        Diagnostic(
+            "warning",
+            f"@{func.name}: block {b.name} is unreachable from entry "
+            "and was not verified",
+        )
+        for b in func.blocks
+        if id(b) not in reachable_ids
+    ]
+
+    defined: set[int] = set()
+    for block in blocks:
         for arg in block.args:
             if arg.id in defined:
                 raise VerificationError(f"@{func.name}: value {arg} defined twice")
@@ -34,14 +66,7 @@ def verify(func: ir.Function) -> None:
                     )
                 defined.add(res.id)
 
-    for block in func.blocks:
-        if not block.instructions or not block.instructions[-1].is_terminator:
-            raise VerificationError(f"@{func.name}/{block.name}: missing terminator")
-        for inst in block.instructions[:-1]:
-            if inst.is_terminator:
-                raise VerificationError(
-                    f"@{func.name}/{block.name}: terminator mid-block: {inst}"
-                )
+    for block in blocks:
         term = block.terminator
         if isinstance(term, ir.BrInst):
             _check_edge(func, block, term.dest, term.operands)
@@ -53,7 +78,8 @@ def verify(func: ir.Function) -> None:
     if preds.get(func.entry):
         raise VerificationError(f"@{func.name}: entry block has predecessors")
 
-    _check_dominance(func)
+    _check_dominance(func, blocks)
+    return warnings
 
 
 def _check_edge(func, block, dest, args) -> None:
@@ -68,12 +94,12 @@ def _check_edge(func, block, dest, args) -> None:
         )
 
 
-def _check_dominance(func: ir.Function) -> None:
+def _check_dominance(func: ir.Function, blocks: list[ir.Block]) -> None:
     """Every use must be dominated by its definition.
 
-    Uses the classic iterative dominator dataflow over the reachable CFG.
+    Uses the classic iterative dominator dataflow over the reachable CFG
+    (the same block set the definition scan covered).
     """
-    blocks = func.reachable_blocks()
     index = {id(b): i for i, b in enumerate(blocks)}
     preds = func.predecessors()
 

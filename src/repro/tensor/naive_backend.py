@@ -231,8 +231,6 @@ def reduce(op: str, a: NaiveArray, axes, keepdims: bool) -> NaiveArray:
         for i, d in enumerate(a.shape)
         if keepdims or i not in axes_set
     )
-    reduced_count = _numel(tuple(a.shape[i] for i in axes_set)) or 1
-
     groups: dict[int, list[float]] = {}
     idx = [0] * rank
     out_strides = _strides(out_shape)

@@ -1,0 +1,101 @@
+"""The differentiability linter: batched diagnostics with locations."""
+
+import pytest
+
+from repro.core.lint import check_differentiability, lint_function
+from repro.errors import DifferentiabilityError, SourceLocation
+from repro.sil import ir
+from repro.sil.primitives import Primitive, get_primitive
+
+# A primitive with no registered derivative (deliberately NOT in the global
+# registry, so nothing else in the suite can see it).
+OPAQUE = Primitive("opaque_test", lambda x: float(hash(x)))
+
+
+def _double_opaque_function():
+    """f(x) = opaque(x) + opaque(x), each apply with its own location."""
+    func = ir.Function("uses_opaque", ["x"])
+    entry = func.new_block("entry")
+    x = entry.add_arg(ir.FLOAT, "x")
+    a = entry.append(
+        ir.ApplyInst(
+            ir.FunctionRef(OPAQUE), [x], loc=SourceLocation("model.py", 10, 4)
+        )
+    )
+    b = entry.append(
+        ir.ApplyInst(
+            ir.FunctionRef(OPAQUE), [x], loc=SourceLocation("model.py", 11, 8)
+        )
+    )
+    s = entry.append(
+        ir.ApplyInst(ir.FunctionRef(get_primitive("add")), [a.result, b.result])
+    )
+    entry.append(ir.ReturnInst(s.result))
+    return func
+
+
+def test_linter_batches_multiple_errors_with_locations():
+    with pytest.raises(DifferentiabilityError) as exc_info:
+        check_differentiability(_double_opaque_function(), (0,))
+    errors = [d for d in exc_info.value.diagnostics if d.is_error]
+    assert len(errors) == 2
+    message = str(exc_info.value)
+    assert "no registered derivative" in message
+    assert "'opaque_test'" in message
+    assert "model.py:10:4" in message
+    assert "model.py:11:8" in message
+
+
+def test_inactive_application_of_nondiff_primitive_allowed():
+    # opaque applied to a constant: nothing active flows through it.
+    func = ir.Function("opaque_on_const", ["x"])
+    entry = func.new_block("entry")
+    x = entry.add_arg(ir.FLOAT, "x")
+    c = entry.append(ir.ConstInst(7.0))
+    o = entry.append(ir.ApplyInst(ir.FunctionRef(OPAQUE), [c.result]))
+    s = entry.append(
+        ir.ApplyInst(ir.FunctionRef(get_primitive("add")), [x, o.result])
+    )
+    entry.append(ir.ReturnInst(s.result))
+    assert not any(d.is_error for d in lint_function(func, (0,)))
+
+
+def test_unused_wrt_parameter_warned():
+    func = ir.Function("ignores_y", ["x", "y"])
+    entry = func.new_block("entry")
+    x = entry.add_arg(ir.FLOAT, "x")
+    entry.add_arg(ir.FLOAT, "y")
+    m = entry.append(ir.ApplyInst(ir.FunctionRef(get_primitive("mul")), [x, x]))
+    entry.append(ir.ReturnInst(m.result))
+    warnings = check_differentiability(func, (0, 1))
+    assert any(
+        "'y'" in d.message and "never contributes" in d.message for d in warnings
+    )
+
+
+def test_dropped_active_value_warned():
+    func = ir.Function("drops_square", ["x"])
+    entry = func.new_block("entry")
+    x = entry.add_arg(ir.FLOAT, "x")
+    entry.append(ir.ApplyInst(ir.FunctionRef(get_primitive("mul")), [x, x]))
+    entry.append(ir.ReturnInst(x))
+    warnings = check_differentiability(func, (0,))
+    assert any("dropped before the return" in d.message for d in warnings)
+
+
+def test_constant_result_warned():
+    func = ir.Function("constant_result", ["x"])
+    entry = func.new_block("entry")
+    entry.add_arg(ir.FLOAT, "x")
+    c = entry.append(ir.ConstInst(4.0))
+    entry.append(ir.ReturnInst(c.result))
+    warnings = check_differentiability(func, (0,))
+    assert any("does not depend" in d.message for d in warnings)
+
+
+def test_diagnostic_str_format_is_stable():
+    with pytest.raises(DifferentiabilityError) as exc_info:
+        check_differentiability(_double_opaque_function(), (0,))
+    d = next(d for d in exc_info.value.diagnostics if d.is_error)
+    assert str(d).startswith("error: ")
+    assert str(d).endswith("(at model.py:10:4)")

@@ -1,0 +1,141 @@
+"""Per-pass invariant attribution: a seeded bug names the offending pass."""
+
+import pytest
+
+from repro.analysis import attribution
+from repro.errors import HloError, VerificationError
+from repro.hlo.ir import HloComputation, HloInstruction, HloModule, Shape
+from repro.sil import ir
+from repro.sil.passes import pipeline
+from repro.sil.primitives import get_primitive
+
+
+def _add_function():
+    func = ir.Function("adder", ["x", "y"])
+    entry = func.new_block("entry")
+    x = entry.add_arg(ir.FLOAT, "x")
+    y = entry.add_arg(ir.FLOAT, "y")
+    add = entry.append(ir.ApplyInst(ir.FunctionRef(get_primitive("add")), [x, y]))
+    entry.append(ir.ReturnInst(add.result))
+    return func
+
+
+def _evil_sil_pass(func):
+    # Duplicate the first instruction: a double definition.
+    func.entry.instructions.insert(0, func.entry.instructions[0])
+    return True
+
+
+def test_sil_verify_each_names_offending_pass(monkeypatch):
+    monkeypatch.setattr(pipeline, "_PASSES", (("evil", _evil_sil_pass),))
+    with pytest.raises(VerificationError) as exc_info:
+        pipeline.run_default_pipeline(
+            _add_function(), inline=False, verify_each=True
+        )
+    exc = exc_info.value
+    assert exc.offending_pass == "evil"
+    message = str(exc)
+    assert "pass 'evil' broke invariants of '@adder'" in message or (
+        "pass 'evil' broke invariants" in message
+    )
+    assert "--- IR before evil ---" in message
+    assert "--- IR after evil ---" in message
+    assert "defined twice" in message
+
+
+def test_sil_seeded_bug_not_caught_without_verify_each(monkeypatch):
+    monkeypatch.setattr(pipeline, "_PASSES", (("evil", _evil_sil_pass),))
+    # Without per-pass verification the final whole-pipeline verify still
+    # fails, but nothing names the pass.
+    with pytest.raises(VerificationError) as exc_info:
+        pipeline.run_default_pipeline(
+            _add_function(), inline=False, verify_each=False
+        )
+    assert exc_info.value.offending_pass is None
+
+
+def test_sil_malformed_input_attributed_to_frontend():
+    func = ir.Function("broken", ["x"])
+    entry = func.new_block("entry")
+    x = entry.add_arg(ir.FLOAT, "x")
+    late = ir.ConstInst(1.0)
+    early = ir.ApplyInst(ir.FunctionRef(get_primitive("add")), [x, late.result])
+    entry.append(early)
+    entry.append(late)
+    entry.append(ir.ReturnInst(early.result))
+    with pytest.raises(
+        VerificationError, match="frontend/lowering bug, not a pass bug"
+    ):
+        pipeline.run_default_pipeline(func)
+    # The failure is not attributed to any pass.
+    try:
+        pipeline.run_default_pipeline(func)
+    except VerificationError as exc:
+        assert exc.offending_pass is None
+
+
+def _small_module():
+    comp = HloComputation("entry")
+    p0 = comp.add(
+        HloInstruction("parameter", [], Shape((2,)), parameter_number=0)
+    )
+    p1 = comp.add(
+        HloInstruction("parameter", [], Shape((2,)), parameter_number=1)
+    )
+    add = comp.add(HloInstruction("add", [p0, p1], Shape((2,))))
+    comp.set_root(add)
+    return HloModule("m", comp)
+
+
+def _evil_hlo_pass(module):
+    # Corrupt the recorded root shape: re-inference will disagree.
+    module.entry.root.shape = Shape((99,))
+    return True
+
+
+def test_hlo_verify_each_names_offending_pass(monkeypatch):
+    import repro.hlo.passes as hlo_passes
+    from repro.hlo.passes import optimize
+
+    monkeypatch.setattr(hlo_passes, "cse", _evil_hlo_pass)
+    with pytest.raises(HloError) as exc_info:
+        optimize(_small_module(), fuse=False, verify_each=True)
+    exc = exc_info.value
+    assert exc.offending_pass == "cse"
+    message = str(exc)
+    assert "pass 'cse' broke invariants" in message
+    assert "--- IR before cse ---" in message
+    assert "--- IR after cse ---" in message
+    assert "does not match inferred shape" in message
+
+
+def test_hlo_malformed_input_attributed_to_builder():
+    from repro.hlo.passes import optimize
+
+    module = _small_module()
+    module.entry.root.shape = Shape((99,))  # malformed before any pass runs
+    with pytest.raises(HloError) as exc_info:
+        optimize(module, verify_each=True)
+    assert "already malformed before optimization" in str(exc_info.value)
+    assert exc_info.value.offending_pass is None
+
+
+def test_global_verify_each_flag_drives_pipelines(monkeypatch):
+    monkeypatch.setattr(pipeline, "_PASSES", (("evil", _evil_sil_pass),))
+    assert not attribution.verify_each_enabled()
+    with attribution.verify_each():
+        assert attribution.verify_each_enabled()
+        # An explicit per-call argument still wins over the global flag.
+        assert attribution.verify_each_enabled(False) is False
+        with pytest.raises(VerificationError) as exc_info:
+            pipeline.run_default_pipeline(_add_function(), inline=False)
+        assert exc_info.value.offending_pass == "evil"
+    assert not attribution.verify_each_enabled()
+
+
+def test_clean_pipelines_pass_under_verify_each():
+    from repro.hlo.passes import optimize
+
+    func = pipeline.run_default_pipeline(_add_function(), verify_each=True)
+    assert func.name == "adder"
+    optimize(_small_module(), verify_each=True)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import derivative, differentiable, gradient, jvp, vjp
 from repro.errors import DifferentiabilityError
-from repro.sil.primitives import Primitive, primitive
+from repro.sil.primitives import primitive
 
 
 def test_custom_vjp_for_new_primitive():

@@ -1,7 +1,6 @@
 """Dataset generators and batching."""
 
 import numpy as np
-import pytest
 
 from repro.data import (
     personalization_split,

@@ -1,0 +1,195 @@
+"""HLO module verification: one hand-built broken module per check."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HloError
+from repro.hlo.ir import HloComputation, HloInstruction, HloModule, Shape
+from repro.hlo.verify import verify_computation, verify_module
+
+
+def _param(number, dims=(2,)):
+    return HloInstruction("parameter", [], Shape(dims), parameter_number=number)
+
+
+def _well_formed():
+    comp = HloComputation("entry")
+    p0 = comp.add(_param(0))
+    p1 = comp.add(_param(1))
+    add = comp.add(HloInstruction("add", [p0, p1], Shape((2,))))
+    comp.set_root(add)
+    return HloModule("m", comp)
+
+
+def test_well_formed_module_accepted():
+    verify_module(_well_formed())
+
+
+def test_computation_without_root_flagged():
+    comp = HloComputation("entry")
+    comp.add(_param(0))
+    problems = verify_computation(comp)
+    assert problems == ["entry: computation has no root"]
+
+
+def test_foreign_root_flagged():
+    comp = HloComputation("entry")
+    p0 = comp.add(_param(0))
+    orphan = HloInstruction("negate", [p0], Shape((2,)))  # never comp.add()ed
+    comp.set_root(orphan)
+    problems = verify_computation(comp)
+    assert any("is not a member instruction" in p for p in problems)
+
+
+def test_cycle_detected():
+    comp = HloComputation("entry")
+    p0 = comp.add(_param(0))
+    a = comp.add(HloInstruction("negate", [p0], Shape((2,))))
+    b = comp.add(HloInstruction("negate", [a], Shape((2,))))
+    a.operands[0] = b  # a -> b -> a
+    comp.set_root(b)
+    problems = verify_computation(comp)
+    assert any("has a cycle" in p for p in problems)
+
+
+def test_foreign_operand_flagged():
+    comp = HloComputation("entry")
+    p0 = comp.add(_param(0))
+    stray = _param(1)  # defined in no computation
+    add = comp.add(HloInstruction("add", [p0, stray], Shape((2,))))
+    comp.set_root(add)
+    problems = verify_computation(comp)
+    assert any("def-before-use violation" in p for p in problems)
+
+
+def test_parameter_without_number_flagged():
+    comp = HloComputation("entry")
+    p = comp.add(HloInstruction("parameter", [], Shape((2,))))
+    comp.set_root(p)
+    problems = verify_computation(comp)
+    assert any("parameter without a parameter_number" in p for p in problems)
+
+
+def test_non_dense_parameter_numbers_flagged():
+    comp = HloComputation("entry")
+    p0 = comp.add(_param(0))
+    p2 = comp.add(_param(2))
+    add = comp.add(HloInstruction("add", [p0, p2], Shape((2,))))
+    comp.set_root(add)
+    problems = verify_computation(comp)
+    assert any("not dense" in p for p in problems)
+
+
+def test_recorded_shape_mismatch_flagged():
+    comp = HloComputation("entry")
+    p0 = comp.add(_param(0))
+    p1 = comp.add(_param(1))
+    add = comp.add(HloInstruction("add", [p0, p1], Shape((3,))))  # wrong
+    comp.set_root(add)
+    problems = verify_computation(comp)
+    assert any("does not match inferred shape" in p for p in problems)
+
+
+def test_constant_without_literal_flagged():
+    comp = HloComputation("entry")
+    c = comp.add(HloInstruction("constant", [], Shape(())))
+    comp.set_root(c)
+    problems = verify_computation(comp)
+    assert any("constant without a literal" in p for p in problems)
+
+
+def test_error_message_carries_instruction_location():
+    comp = HloComputation("entry")
+    p0 = comp.add(_param(0))
+    p1 = comp.add(_param(1))
+    add = comp.add(HloInstruction("add", [p0, p1], Shape((3,))))
+    comp.set_root(add)
+    with pytest.raises(HloError) as exc_info:
+        verify_module(HloModule("m", comp))
+    assert f"m/entry:%{add.name}" in str(exc_info.value)
+    assert "1 verification problem(s)" in str(exc_info.value)
+
+
+# ---------------------------------------------------------------------------
+# Fusion regions.
+# ---------------------------------------------------------------------------
+
+
+def _fusion_module(inner, operands, fusion_shape):
+    comp = HloComputation("entry")
+    for op in operands:
+        comp.add(op)
+    fusion = comp.add(
+        HloInstruction("fusion", operands, fusion_shape, fused_computation=inner)
+    )
+    comp.set_root(fusion)
+    return HloModule("m", comp)
+
+
+def _simple_region(dims=(2,)):
+    inner = HloComputation("fused")
+    p = inner.add(_param(0, dims))
+    neg = inner.add(HloInstruction("negate", [p], Shape(dims)))
+    inner.set_root(neg)
+    return inner
+
+
+def test_well_formed_fusion_accepted():
+    module = _fusion_module(_simple_region(), [_param(0)], Shape((2,)))
+    verify_module(module)
+
+
+def test_fusion_without_region_flagged():
+    module = _fusion_module(None, [_param(0)], Shape((2,)))
+    with pytest.raises(HloError, match="without a fused computation"):
+        verify_module(module)
+
+
+def test_fusion_parameter_count_mismatch_flagged():
+    inner = _simple_region()
+    module = _fusion_module(inner, [_param(0), _param(1)], Shape((2,)))
+    with pytest.raises(HloError, match=r"1 parameter\(s\) for 2 operand\(s\)"):
+        verify_module(module)
+
+
+def test_fusion_parameter_shape_mismatch_flagged():
+    inner = _simple_region(dims=(4,))
+    module = _fusion_module(inner, [_param(0, (2,))], Shape((4,)))
+    with pytest.raises(HloError, match="shape f32\\[4\\] != operand"):
+        verify_module(module)
+
+
+def test_fusion_root_shape_mismatch_flagged():
+    inner = _simple_region(dims=(2,))
+    module = _fusion_module(inner, [_param(0, (2,))], Shape((3,)))
+    with pytest.raises(HloError, match="!= region root shape"):
+        verify_module(module)
+
+
+def test_non_fusable_opcode_in_region_flagged():
+    inner = HloComputation("fused")
+    p = inner.add(_param(0, (2, 2)))
+    dot = inner.add(HloInstruction("dot", [p, p], Shape((2, 2))))
+    inner.set_root(dot)
+    module = _fusion_module(inner, [_param(0, (2, 2))], Shape((2, 2)))
+    with pytest.raises(HloError, match="non-fusable opcode 'dot'"):
+        verify_module(module)
+
+
+def test_optimized_pipeline_output_stays_verified():
+    from repro.hlo.passes import optimize
+
+    comp = HloComputation("entry")
+    p0 = comp.add(_param(0))
+    c = comp.add(
+        HloInstruction(
+            "constant", [], Shape(()), literal=np.asarray(2.0, np.float32)
+        )
+    )
+    b = comp.add(HloInstruction("broadcast", [c], Shape((2,)), attrs={"dims": (2,)}))
+    mul = comp.add(HloInstruction("multiply", [p0, b], Shape((2,))))
+    neg = comp.add(HloInstruction("negate", [mul], Shape((2,))))
+    comp.set_root(neg)
+    module = HloModule("m", comp)
+    optimize(module, fuse=True, verify_each=True)
+    verify_module(module)

@@ -13,7 +13,7 @@ from repro.experiments import (
     run_table3,
     run_table4,
 )
-from repro.experiments.table1 import SCALED_TPU_WORKLOAD, TPUWorkload, measure_pod
+from repro.experiments.table1 import TPUWorkload, measure_pod
 
 
 class TestTable1:

@@ -15,7 +15,6 @@ from repro.nn import (
     Residual,
     Sequential,
     relu,
-    sequenced,
 )
 from repro.tensor import Tensor, eager_device, lazy_device
 
@@ -183,7 +182,6 @@ def test_gradient_through_nested_residual(device):
 
 def test_embedding_lookup_and_gradient(device):
     from repro.nn import Embedding
-    from repro.tensor import one_hot
 
     emb = Embedding.create(5, 3, device=device, rng=np.random.default_rng(9))
     indices = Tensor([0.0, 2.0, 2.0], device)

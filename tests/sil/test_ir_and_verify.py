@@ -116,6 +116,22 @@ def test_value_repr_mentions_hint():
     assert "loss" in repr(v)
 
 
+def test_unreachable_block_reported_as_warning():
+    func = _build_add_function()
+    orphan = func.new_block("orphan")
+    c = orphan.append(ir.ConstInst(0.0))
+    orphan.append(ir.ReturnInst(c.result))
+    warnings = verify(func)
+    assert len(warnings) == 1
+    assert warnings[0].severity == "warning"
+    assert "orphan" in warnings[0].message
+    assert "unreachable" in warnings[0].message
+
+
+def test_verify_returns_empty_list_on_clean_function():
+    assert verify(_build_add_function()) == []
+
+
 def test_reachable_blocks_excludes_orphans():
     func = _build_add_function()
     orphan = func.new_block("orphan")

@@ -1,0 +1,143 @@
+"""Typed SIL verification: one malformed function per diagnostic branch."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.sil import ir
+from repro.sil.primitives import get_primitive
+from repro.sil.typecheck import typecheck, verify_typed
+
+
+def _entry(name="f", params=("x",)):
+    func = ir.Function(name, list(params))
+    entry = func.new_block("entry")
+    args = [entry.add_arg(ir.FLOAT, p) for p in params]
+    return func, entry, args
+
+
+def _errors(func):
+    return [d for d in typecheck(func) if d.is_error]
+
+
+def test_well_formed_function_has_no_diagnostics():
+    func, entry, (x,) = _entry()
+    add = entry.append(ir.ApplyInst(ir.FunctionRef(get_primitive("add")), [x, x]))
+    entry.append(ir.ReturnInst(add.result))
+    assert typecheck(func) == []
+    assert verify_typed(func) == []
+
+
+def test_primitive_arity_mismatch_flagged():
+    func, entry, (x,) = _entry()
+    bad = entry.append(ir.ApplyInst(ir.FunctionRef(get_primitive("add")), [x]))
+    entry.append(ir.ReturnInst(bad.result))
+    (err,) = _errors(func)
+    assert "apply @add expects 2" in err.message
+    assert "got 1" in err.message
+
+
+def test_function_callee_arity_mismatch_flagged():
+    target, tentry, (a,) = _entry("target", ("a",))
+    tentry.append(ir.ReturnInst(a))
+    func, entry, (x,) = _entry()
+    bad = entry.append(ir.ApplyInst(ir.FunctionRef(target), [x, x]))
+    entry.append(ir.ReturnInst(bad.result))
+    (err,) = _errors(func)
+    assert "apply @target expects 1 argument(s), got 2" in err.message
+
+
+def test_numeric_primitive_rejects_string_operand():
+    func, entry, _ = _entry()
+    s = entry.append(ir.ConstInst("not a number"))
+    bad = entry.append(ir.ApplyInst(ir.FunctionRef(get_primitive("exp")), [s.result]))
+    entry.append(ir.ReturnInst(bad.result))
+    (err,) = _errors(func)
+    assert "non-numeric type" in err.message
+    assert "@exp" in err.message
+
+
+def test_tuple_extract_of_scalar_flagged():
+    func, entry, (x,) = _entry()
+    c = entry.append(ir.ConstInst(1.0))
+    bad = entry.append(ir.TupleExtractInst(c.result, 0))
+    entry.append(ir.ReturnInst(bad.result))
+    (err,) = _errors(func)
+    assert "tuple_extract of non-aggregate" in err.message
+
+
+def test_tuple_extract_index_out_of_range_flagged():
+    func, entry, (x,) = _entry()
+    t = entry.append(ir.TupleInst([x, x]))
+    bad = entry.append(ir.TupleExtractInst(t.result, 5))
+    entry.append(ir.ReturnInst(bad.result))
+    (err,) = _errors(func)
+    assert "index 5 out of range for tuple of 2 element(s)" in err.message
+
+
+def test_struct_extract_of_non_struct_flagged():
+    func, entry, (x,) = _entry()
+    c = entry.append(ir.ConstInst(2.5))
+    bad = entry.append(ir.StructExtractInst(c.result, "weight"))
+    entry.append(ir.ReturnInst(bad.result))
+    (err,) = _errors(func)
+    assert "struct_extract #weight of non-struct" in err.message
+
+
+def test_cond_br_on_tuple_condition_flagged():
+    func, entry, (x,) = _entry()
+    t = entry.append(ir.TupleInst([x, x]))
+    then_b = func.new_block("then")
+    else_b = func.new_block("else")
+    entry.append(ir.CondBrInst(t.result, then_b, [], else_b, []))
+    then_b.append(ir.ReturnInst(x))
+    else_b.append(ir.ReturnInst(x))
+    (err,) = _errors(func)
+    assert "cond_br condition" in err.message
+    assert "non-boolean" in err.message
+
+
+def test_branch_edge_type_mismatch_flagged():
+    func, entry, (x,) = _entry()
+    s = entry.append(ir.ConstInst("hello"))
+    dest = func.new_block("dest")
+    y = dest.add_arg(ir.FLOAT, "y")
+    entry.append(ir.BrInst(dest, [s.result]))
+    dest.append(ir.ReturnInst(y))
+    (err,) = _errors(func)
+    assert "branch passes" in err.message
+    assert "dest" in err.message
+
+
+def test_indirect_apply_of_non_callable_constant_flagged():
+    func, entry, (x,) = _entry()
+    c = entry.append(ir.ConstInst(3.5))
+    bad = entry.append(ir.ApplyInst(c.result, [x]))
+    entry.append(ir.ReturnInst(bad.result))
+    (err,) = _errors(func)
+    assert "apply of non-callable constant 3.5" in err.message
+
+
+def test_verify_typed_batches_all_errors():
+    func, entry, (x,) = _entry()
+    s = entry.append(ir.ConstInst("oops"))
+    e1 = entry.append(ir.ApplyInst(ir.FunctionRef(get_primitive("exp")), [s.result]))
+    c = entry.append(ir.ConstInst(1.0))
+    e2 = entry.append(ir.TupleExtractInst(c.result, 0))
+    add = entry.append(
+        ir.ApplyInst(ir.FunctionRef(get_primitive("add")), [e1.result, e2.result])
+    )
+    entry.append(ir.ReturnInst(add.result))
+    with pytest.raises(VerificationError) as exc_info:
+        verify_typed(func)
+    message = str(exc_info.value)
+    assert "2 type error(s)" in message
+    assert "non-numeric type" in message
+    assert "non-aggregate" in message
+
+
+def test_verify_typed_runs_structural_checks_first():
+    func = ir.Function("broken", ["x"])
+    entry = func.new_block("entry")
+    entry.add_arg()
+    with pytest.raises(VerificationError, match="missing terminator"):
+        verify_typed(func)

@@ -3,7 +3,6 @@ implemented: sufficiently large trace fragments compile and dispatch
 automatically, with no user annotations."""
 
 import numpy as np
-import pytest
 
 from repro.hlo import clear_cache
 from repro.hlo.compiler import STATS

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import ZERO, gradient
+from repro.core import gradient
 from repro.tensor import (
     Tensor,
     eager_device,

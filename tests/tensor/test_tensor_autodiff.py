@@ -4,7 +4,7 @@ demonstrating the decoupling of AD from the Tensor implementation."""
 import numpy as np
 import pytest
 
-from repro.core import ZERO, gradient, value_and_gradient
+from repro.core import gradient, value_and_gradient
 from repro.tensor import (
     Tensor,
     avg_pool2d,

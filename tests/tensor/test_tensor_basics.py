@@ -5,7 +5,6 @@ import pytest
 
 from repro.errors import DeviceError, ShapeError
 from repro.tensor import (
-    Device,
     Tensor,
     eager_device,
     lazy_device,

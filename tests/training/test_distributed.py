@@ -7,7 +7,7 @@ from repro.data import synthetic_mnist
 from repro.nn import MLP, softmax_cross_entropy
 from repro.optim import SGD
 from repro.runtime.costmodel import S4TF_LAZY, TPU_V3_CORE
-from repro.tensor import Device, Tensor, one_hot
+from repro.tensor import Device
 from repro.training import DataParallelTrainer
 
 

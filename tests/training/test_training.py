@@ -1,7 +1,6 @@
 """Training loops: convergence, automatic barriers, memory discipline."""
 
 import numpy as np
-import pytest
 
 from repro.data import synthetic_mnist
 from repro.nn import MLP, LeNet, softmax_cross_entropy

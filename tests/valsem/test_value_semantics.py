@@ -1,7 +1,6 @@
 """Figure 5: value semantics — mutation through one variable is observable
 only through that variable."""
 
-import pytest
 
 from repro.valsem import STATS, ValueArray
 
