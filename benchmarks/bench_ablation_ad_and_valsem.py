@@ -12,13 +12,11 @@
 
 import math
 
-import pytest
 from conftest import save_result
 
-from repro.core import clear_plan_caches, value_and_gradient
+from repro.core import value_and_gradient
 from repro.core.api import DifferentiableFunction
-from repro.sil.frontend import clear_lowering_cache
-from repro.valsem import STATS, ValueArray
+from repro.valsem import ValueArray, copy_counting
 
 
 def heavy(x):
@@ -67,7 +65,7 @@ def test_aot_saves_retransformation(benchmark):
         # A new function object each call defeats every cache — the
         # "transform every call" strawman.
         clone = types.FunctionType(
-            heavy.__code__, heavy.__globals__, f"heavy_clone", None, None
+            heavy.__code__, heavy.__globals__, "heavy_clone", None, None
         )
         return clone
 
@@ -114,19 +112,19 @@ def test_cow_copy_is_o1(benchmark):
 
     import time
 
-    STATS.reset()
-    copies = [big.copy() for _ in range(100)]
-    assert STATS.deep_copies == 0  # 100 copies, zero storage duplications
+    with copy_counting() as stats:
+        copies = [big.copy() for _ in range(100)]
+        assert stats.deep_copies == 0  # 100 copies, zero storage duplications
 
-    start = time.perf_counter()
-    copies[0][0] = 42  # first shared mutation pays the deep copy
-    deep_time = time.perf_counter() - start
-    assert STATS.deep_copies == 1
+        start = time.perf_counter()
+        copies[0][0] = 42  # first shared mutation pays the deep copy
+        deep_time = time.perf_counter() - start
+        assert stats.deep_copies == 1
 
-    start = time.perf_counter()
-    copies[0][1] = 43  # now unshared: in-place
-    inplace_time = time.perf_counter() - start
-    assert STATS.deep_copies == 1
+        start = time.perf_counter()
+        copies[0][1] = 43  # now unshared: in-place
+        inplace_time = time.perf_counter() - start
+        assert stats.deep_copies == 1
 
     save_result(
         "ablation_cow",

@@ -11,11 +11,17 @@ The subsystem spans the three IR layers of the reproduction:
   pre-synthesis diagnostics (:func:`repro.core.lint.lint_function` /
   ``check_differentiability``);
 * **per-pass attribution** — ``verify_each`` mode for both pass pipelines
-  (:mod:`repro.analysis.attribution`), naming the offending pass on failure.
+  (:mod:`repro.analysis.attribution`), naming the offending pass on failure;
+* **ownership** — static mutable-value-semantics checking
+  (:mod:`repro.analysis.ownership`): alias/escape analysis, the borrow
+  checker proving the law of exclusivity over formal access scopes,
+  copy-materialization inference, and the Appendix-B pullback cost
+  analyzer.
 
 ``python -m repro.analysis --self-check`` runs every verifier over every
 registered primitive's synthesized JVP/VJP and over the HLO modules the
-LeNet-5 trace benchmark produces.
+LeNet-5 trace benchmark produces; ``--ownership <fn>`` prints one
+function's SIL with per-instruction ownership annotations.
 
 This ``__init__`` resolves its re-exports lazily: the pass pipelines import
 :mod:`repro.analysis.attribution` at module load, and an eager init here
@@ -41,6 +47,13 @@ _LAZY = {
     "check_differentiability": ("repro.core.lint", "check_differentiability"),
     "self_check": ("repro.analysis.selfcheck", "self_check"),
     "SelfCheckReport": ("repro.analysis.selfcheck", "SelfCheckReport"),
+    "analyze_aliases": ("repro.analysis.ownership", "analyze_aliases"),
+    "analyze_ownership": ("repro.analysis.ownership", "analyze_ownership"),
+    "analyze_pullback_cost": ("repro.analysis.ownership", "analyze_pullback_cost"),
+    "check_exclusivity": ("repro.analysis.ownership", "check_exclusivity"),
+    "check_ownership": ("repro.analysis.ownership", "check_ownership"),
+    "infer_copies": ("repro.analysis.ownership", "infer_copies"),
+    "OwnershipReport": ("repro.analysis.ownership", "OwnershipReport"),
 }
 
 __all__ = [

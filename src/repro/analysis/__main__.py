@@ -4,11 +4,19 @@ Usage::
 
     python -m repro.analysis --self-check        # verify everything
     python -m repro.analysis --self-check -q     # summary only on failure
+    python -m repro.analysis --ownership sgd_update
+    python -m repro.analysis --ownership mypkg.mymod:myfn --style functional
+
+``--ownership`` resolves its argument against the bundled model corpus
+(:mod:`repro.analysis.ownership.models`) first, then as a dotted
+``module:function`` (or ``module.function``) path; the function is lowered
+to SIL and printed with per-instruction ownership annotations.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
 import sys
 
 
@@ -31,9 +39,27 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--ownership",
+        metavar="FN",
+        help=(
+            "lower FN (a bundled model name, or module:function) to SIL and "
+            "print it with per-instruction ownership annotations: borrow "
+            "verdicts, copy-materialization labels, and pullback costs"
+        ),
+    )
+    parser.add_argument(
+        "--style",
+        choices=("mvs", "functional"),
+        default="mvs",
+        help="cotangent style for the pullback cost analyzer (default: mvs)",
+    )
+    parser.add_argument(
         "-q", "--quiet", action="store_true", help="print the report only on failure"
     )
     args = parser.parse_args(argv)
+
+    if args.ownership:
+        return _run_ownership(args.ownership, args.style)
 
     if not args.self_check:
         parser.print_help()
@@ -44,6 +70,43 @@ def main(argv: list[str] | None = None) -> int:
     report = self_check()
     if not args.quiet or not report.ok:
         print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _resolve_function(spec: str):
+    from repro.analysis.ownership import models
+
+    corpus = dict(models.OPTIMIZER_MODELS)
+    for fn in models.CLEAN_SUITE:
+        corpus.setdefault(fn.__name__, fn)
+    corpus.setdefault("copy_then_write", models.copy_then_write)
+    corpus.setdefault("array_subscript", models.array_subscript)
+    for fn, _verdict in models.VIOLATION_SUITE:
+        corpus.setdefault(fn.__name__, fn)
+    if spec in corpus:
+        return corpus[spec]
+
+    if ":" in spec:
+        module_name, _, attr = spec.partition(":")
+    else:
+        module_name, _, attr = spec.rpartition(".")
+    if not module_name:
+        raise SystemExit(
+            f"error: unknown function {spec!r}; bundled names: "
+            + ", ".join(sorted(corpus))
+        )
+    module = importlib.import_module(module_name)
+    return getattr(module, attr)
+
+
+def _run_ownership(spec: str, style: str) -> int:
+    from repro.analysis.ownership import analyze_ownership
+    from repro.sil.frontend import lower_function
+
+    pyfunc = _resolve_function(spec)
+    sil_func = getattr(pyfunc, "__sil_function__", None) or lower_function(pyfunc)
+    report = analyze_ownership(sil_func, style=style)
+    print(report.render())
     return 0 if report.ok else 1
 
 

@@ -1,0 +1,52 @@
+"""Static mutable-value-semantics checking over SIL (the ownership layer).
+
+Four cooperating analyses, mirroring what the Swift compiler does for the
+paper's mutable-value-semantics programming model:
+
+* :mod:`~repro.analysis.ownership.aliasing` — intraprocedural may-alias and
+  escape analysis over abstract storage roots;
+* :mod:`~repro.analysis.ownership.borrow` — the static borrow checker:
+  proves the law of exclusivity over formal ``begin_access`` scopes, or
+  reports exactly where the dynamic ``BorrowError`` check is still needed;
+* :mod:`~repro.analysis.ownership.copies` — copy-materialization inference:
+  labels every mutation site in-place / must-copy / may-copy, predicting
+  the deep copies the COW runtime will observe;
+* :mod:`~repro.analysis.ownership.pullback_cost` — classifies synthesized
+  pullbacks O(1) vs O(n) under the mutable-value-semantics and functional
+  cotangent styles of Appendix B.
+
+:func:`analyze_ownership` runs all four; :func:`check_ownership` raises on
+certain exclusivity violations the way ``check_differentiability`` does for
+AD errors.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ownership.aliasing import AliasInfo, analyze_aliases
+from repro.analysis.ownership.annotate import (
+    OwnershipReport,
+    analyze_ownership,
+    check_ownership,
+)
+from repro.analysis.ownership.borrow import BorrowReport, check_exclusivity
+from repro.analysis.ownership.copies import CopyInfo, infer_copies
+from repro.analysis.ownership.pullback_cost import (
+    STYLES,
+    PullbackCostReport,
+    analyze_pullback_cost,
+)
+
+__all__ = [
+    "AliasInfo",
+    "BorrowReport",
+    "CopyInfo",
+    "OwnershipReport",
+    "PullbackCostReport",
+    "STYLES",
+    "analyze_aliases",
+    "analyze_ownership",
+    "analyze_pullback_cost",
+    "check_exclusivity",
+    "check_ownership",
+    "infer_copies",
+]

@@ -19,7 +19,15 @@ Three sweeps, mirroring the three layers the subsystem spans:
    Python functions (control flow included), run the default SIL pass
    pipeline with ``verify_each``, and lint them.
 
-``python -m repro.analysis --self-check`` runs all three and exits 0 iff
+4. **Ownership sweep** — run the static borrow checker, the
+   copy-materialization inference, and the pullback cost analyzer over
+   every primitive wrapper from sweep 1, the lowerable optimizer update
+   loops, and the clean borrow corpus (all must come back violation-free,
+   and the optimizer loops must be all-in-place); then over the seeded
+   exclusivity-violation suite, asserting the checker produces exactly the
+   expected verdict for each program.
+
+``python -m repro.analysis --self-check`` runs all four and exits 0 iff
 everything holds.
 """
 
@@ -48,6 +56,9 @@ class SelfCheckReport:
     hlo_modules_verified: int = 0
     hlo_instructions_verified: int = 0
     functions_pipelined: int = 0
+    ownership_functions_checked: int = 0
+    exclusivity_violations_caught: int = 0
+    mutation_sites_labeled: int = 0
     failures: list[str] = field(default_factory=list)
 
     @property
@@ -63,6 +74,9 @@ class SelfCheckReport:
             f"HLO modules verified:          {self.hlo_modules_verified}",
             f"HLO instructions verified:     {self.hlo_instructions_verified}",
             f"functions through verify_each: {self.functions_pipelined}",
+            f"ownership-checked functions:   {self.ownership_functions_checked}",
+            f"exclusivity violations caught: {self.exclusivity_violations_caught}",
+            f"mutation sites labeled:        {self.mutation_sites_labeled}",
         ]
         if self.failures:
             lines.append(f"FAILURES ({len(self.failures)}):")
@@ -198,12 +212,79 @@ def _check_pipeline(report: SelfCheckReport) -> None:
             report.failures.append(f"pipeline over {pyfunc.__name__!r}: {exc}")
 
 
+def _check_ownership(report: SelfCheckReport) -> None:
+    from repro.analysis.ownership import analyze_ownership
+    from repro.analysis.ownership import models
+    from repro.sil.frontend import lower_function
+
+    # Every primitive wrapper must be ownership-clean (no formal accesses,
+    # hence no possible violations — the zero-false-positive baseline).
+    for name, prim in sorted(PRIMITIVES.items()):
+        try:
+            ownership = analyze_ownership(_wrapper_function(prim))
+        except ReproError as exc:
+            report.failures.append(f"ownership over primitive {name!r}: {exc}")
+            continue
+        report.ownership_functions_checked += 1
+        if not ownership.ok:
+            report.failures.append(
+                f"ownership over primitive {name!r}: spurious violation"
+            )
+
+    # Clean corpus: optimizer update loops and well-scoped borrows.  The
+    # optimizer loops additionally must be *all in-place* — the statically
+    # proven half of the zero-copy parameter-update claim (Section 4.3).
+    for pyfunc in models.CLEAN_SUITE:
+        try:
+            ownership = analyze_ownership(lower_function(pyfunc))
+        except ReproError as exc:
+            report.failures.append(f"ownership over {pyfunc.__name__!r}: {exc}")
+            continue
+        report.ownership_functions_checked += 1
+        report.mutation_sites_labeled += ownership.copies.mutation_sites
+        if ownership.diagnostics:
+            report.failures.append(
+                f"ownership over {pyfunc.__name__!r}: false positive: "
+                + ownership.diagnostics[0].message
+            )
+        if pyfunc.__name__ in models.OPTIMIZER_MODELS and (
+            ownership.copies.must_copy
+            or ownership.copies.may_copy
+            or not ownership.copies.in_place
+        ):
+            report.failures.append(
+                f"ownership over {pyfunc.__name__!r}: update loop not "
+                "proven copy-free"
+            )
+
+    # Seeded violations: the borrow checker must produce each expected
+    # verdict (error = certain trap, warning = dynamic check required).
+    for pyfunc, expected in models.VIOLATION_SUITE:
+        try:
+            ownership = analyze_ownership(lower_function(pyfunc))
+        except ReproError as exc:
+            report.failures.append(f"ownership over {pyfunc.__name__!r}: {exc}")
+            continue
+        report.ownership_functions_checked += 1
+        severities = {
+            "error" if d.is_error else "warning" for d in ownership.diagnostics
+        }
+        if expected in severities:
+            report.exclusivity_violations_caught += 1
+        else:
+            report.failures.append(
+                f"ownership over {pyfunc.__name__!r}: expected a(n) "
+                f"{expected} verdict, got {sorted(severities) or ['none']}"
+            )
+
+
 def self_check(verbose: bool = False) -> SelfCheckReport:
     """Run all sweeps; the report's ``ok`` says whether everything held."""
     report = SelfCheckReport()
     _check_primitives(report)
     _check_hlo(report)
     _check_pipeline(report)
+    _check_ownership(report)
     if verbose:  # pragma: no cover
         print(report.summary())
     return report

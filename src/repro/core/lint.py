@@ -68,6 +68,16 @@ def lint_function(
 
     users = ir.users(func)
     for inst in func.instructions():
+        if isinstance(inst, ir.AccessStoreInst) and activity.is_varied(inst.value):
+            diagnostics.append(
+                Diagnostic(
+                    "error",
+                    f"expression is not differentiable: access_store of "
+                    f"active value {inst.value} mutates a borrowed location "
+                    "(in-place mutation is outside the differentiable subset)",
+                    inst.loc,
+                )
+            )
         if not isinstance(inst, ir.ApplyInst):
             continue
         diagnostics.extend(_lint_apply(func, inst, activity, users))

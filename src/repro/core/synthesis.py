@@ -332,6 +332,14 @@ class VJPPlan:
                     if activity.is_active(inst):
                         record.entries.append((inst, operand))
                     continue
+                if isinstance(inst, ir.ACCESS_INSTS):
+                    # Formal access scopes only ever carry inactive data here:
+                    # the differentiability linter rejects stores of active
+                    # values before any plan is built.
+                    from repro.sil import interp
+
+                    interp.bind_results(inst, interp.eval_instruction(inst, env), env)
+                    continue
                 raise InterpreterError(f"cannot execute {inst}")
 
             term = block.terminator
@@ -423,6 +431,15 @@ class VJPPlan:
         tuple of parameter cotangents (all parameters)."""
         result, records = self.execute_forward(args)
         return result, lambda ct: self.run_pullback(records, ct)
+
+    def pullback_cost(self, style: str = "mvs"):
+        """Classify this plan's pullback O(1) vs O(n) per Appendix B.
+
+        Imported lazily: the ownership analyses live above the AD core.
+        """
+        from repro.analysis.ownership.pullback_cost import analyze_pullback_cost
+
+        return analyze_pullback_cost(self.func, self.wrt, style)
 
 
 def _plain_apply(inst: ir.ApplyInst, env, arg_vals):
@@ -576,6 +593,14 @@ class JVPPlan:
                     tan[inst.result.id] = (
                         ZERO if t is ZERO else getattr(t, inst.field, ZERO)
                     )
+                    continue
+                if isinstance(inst, ir.ACCESS_INSTS):
+                    # Inactive by construction (see the linter); no tangent.
+                    from repro.sil import interp
+
+                    interp.bind_results(inst, interp.eval_instruction(inst, env), env)
+                    for res in inst.results:
+                        tan[res.id] = ZERO
                     continue
                 raise InterpreterError(f"cannot execute {inst}")
 

@@ -15,6 +15,12 @@ Supported subset
   (``and``/``or`` lower to short-circuit control flow)
 * ``if``/``elif``/``else``, ``while``, ``for x in <iterable>``, ``break``,
   ``continue``, early ``return``
+* subscript/attribute stores (``a[i] = v``, ``obj.f = v``) and augmented
+  assignment through them, lowered to formal ``begin_access [modify]`` /
+  ``access_store`` / ``end_access`` scopes
+* ``with inout(obj, key) as ref:`` (and ``borrow_attr``/``borrow_item``)
+  lowered to a ``begin_access [modify]`` scope; ``ref.get()``, ``ref.set(v)``
+  and ``ref.update(f)`` operate through the access token
 * calls to primitives, other lowerable Python functions (recursively
   lowered, recursion allowed), ``math.*`` functions with registered
   primitive equivalents, and arbitrary first-class callables (indirect
@@ -76,8 +82,10 @@ _BUILTIN_PRIMS = {
 }
 
 #: Method names lowered to primitives (``x.sum()`` -> ``apply @tensor_sum(x)``).
-#: Tensor and other subsystems extend this table at import time.
-METHOD_TABLE: dict[str, str] = {}
+#: Tensor and other subsystems extend this table at import time.  ``copy`` is
+#: routed to the impure ``value_copy`` primitive so explicit value copies
+#: survive optimization and are visible to the copy-materialization analysis.
+METHOD_TABLE: dict[str, str] = {"copy": "value_copy"}
 
 
 def register_method(method_name: str, primitive_name: str) -> None:
@@ -252,14 +260,42 @@ class Lowerer:
         self.bind_target(stmt.target, self.lower_expr(stmt.value))
 
     def stmt_AugAssign(self, stmt: ast.AugAssign) -> None:
-        if not isinstance(stmt.target, ast.Name):
-            raise self.fail(stmt, "augmented assignment target must be a name")
         prim = _BINOPS.get(type(stmt.op))
         if prim is None:
             raise self.fail(stmt, f"unsupported operator {type(stmt.op).__name__}")
+        if isinstance(stmt.target, (ast.Subscript, ast.Attribute)):
+            # Read-modify-write under one formal access, mirroring Swift: the
+            # exclusive access spans the whole statement, so `a[i] += f(a)`
+            # with a mutating `f` is an exclusivity violation.
+            loc = self.loc(stmt)
+            token = self._begin_target_access(stmt.target)
+            current = self.emit(ir.AccessLoadInst(token, loc))
+            rhs = self.lower_expr(stmt.value)
+            new = self.apply_prim(prim, [current, rhs], stmt)
+            self.emit(ir.AccessStoreInst(token, new, loc))
+            self.emit(ir.EndAccessInst(token, loc))
+            return
+        if not isinstance(stmt.target, ast.Name):
+            raise self.fail(stmt, "augmented assignment target must be a name")
         current = self.lookup(stmt.target.id, stmt)
         rhs = self.lower_expr(stmt.value)
         self.vars[stmt.target.id] = self.apply_prim(prim, [current, rhs], stmt)
+
+    def _begin_target_access(self, target: ast.expr) -> ir.Value:
+        """Lower an lvalue's base and key; open a ``[modify]`` access on it."""
+        loc = self.loc(target)
+        if isinstance(target, ast.Subscript):
+            if isinstance(target.slice, ast.Slice):
+                raise self.fail(target, "slice assignment is unsupported")
+            base = self.lower_expr(target.value)
+            key = self.lower_expr(target.slice)
+            key_kind = "item"
+        else:
+            assert isinstance(target, ast.Attribute)
+            base = self.lower_expr(target.value)
+            key = self.const(target.attr, target)
+            key_kind = "attr"
+        return self.emit(ir.BeginAccessInst(base, key, "modify", key_kind, loc))
 
     def bind_target(self, target: ast.expr, value: ir.Value) -> None:
         if isinstance(target, ast.Name):
@@ -271,11 +307,15 @@ class Lowerer:
                     raise self.fail(elt, "starred unpacking is unsupported")
                 part = self.emit(ir.TupleExtractInst(value, i, self.loc(target)))
                 self.bind_target(elt, part)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            loc = self.loc(target)
+            token = self._begin_target_access(target)
+            self.emit(ir.AccessStoreInst(token, value, loc))
+            self.emit(ir.EndAccessInst(token, loc))
         else:
             raise self.fail(
                 target,
-                f"unsupported assignment target {type(target).__name__} "
-                "(field/subscript mutation is outside the lowered subset)",
+                f"unsupported assignment target {type(target).__name__}",
             )
 
     def stmt_If(self, stmt: ast.If) -> None:
@@ -442,6 +482,73 @@ class Lowerer:
             )
         )
 
+    def stmt_With(self, stmt: ast.With) -> None:
+        """Lower ``with inout(...)/borrow_attr(...)/borrow_item(...) as ref``.
+
+        Only the scoped-borrow context managers from :mod:`repro.valsem.inout`
+        are in the lowered subset; they become a formal ``begin_access
+        [modify]`` scope whose token is bound to the ``as`` name.  The body
+        must fall through (no return/break/continue out of the scope) so the
+        matching ``end_access`` is emitted on every path.
+        """
+        from repro.valsem.inout import borrow_attr, borrow_item, inout
+
+        if len(stmt.items) != 1:
+            raise self.fail(stmt, "only a single context manager is supported")
+        item = stmt.items[0]
+        ctx = item.context_expr
+        if not isinstance(ctx, ast.Call):
+            raise self.fail(
+                stmt,
+                "unsupported statement With: the context expression must be "
+                "an inout()/borrow_attr()/borrow_item() call",
+            )
+        found, target = self.try_static_eval(ctx.func)
+        if not found or target not in (inout, borrow_attr, borrow_item):
+            raise self.fail(
+                stmt,
+                "unsupported statement With: only inout()/borrow_attr()/"
+                "borrow_item() context managers are in the lowered subset",
+            )
+        if len(ctx.args) != 2 or ctx.keywords:
+            raise self.fail(stmt, "borrow context managers take (owner, key)")
+
+        loc = self.loc(stmt)
+        base = self.lower_expr(ctx.args[0])
+        if target is borrow_attr:
+            key_kind = "attr"
+            key = self.lower_expr(ctx.args[1])
+        elif target is borrow_item:
+            key_kind = "item"
+            key = self.lower_expr(ctx.args[1])
+        else:
+            # inout() picks attr-vs-item at runtime from the key; the lowered
+            # subset resolves it statically: string literals name attributes.
+            key_node = ctx.args[1]
+            is_str = isinstance(key_node, ast.Constant) and isinstance(
+                key_node.value, str
+            )
+            key_kind = "attr" if is_str else "item"
+            key = self.lower_expr(key_node)
+        token = self.emit(ir.BeginAccessInst(base, key, "modify", key_kind, loc))
+
+        if item.optional_vars is not None:
+            if not isinstance(item.optional_vars, ast.Name):
+                raise self.fail(stmt, "with-target must be a simple name")
+            token.hint = item.optional_vars.id
+            self.vars[item.optional_vars.id] = token
+
+        terminated = self.lower_stmts(stmt.body)
+        if terminated:
+            raise self.fail(
+                stmt,
+                "return/break/continue out of a borrow scope is outside the "
+                "lowered subset (the access must end on every path)",
+            )
+        self.emit(ir.EndAccessInst(token, loc))
+        if item.optional_vars is not None:
+            del self.vars[item.optional_vars.id]
+
     # -- expressions ---------------------------------------------------------
 
     def lower_expr(self, node: ast.expr) -> ir.Value:
@@ -600,6 +707,15 @@ class Lowerer:
         if found:
             return self.lower_static_call(node, target)
 
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "get",
+            "set",
+            "update",
+        ):
+            access = self._try_lower_access_method(node)
+            if access is not None:
+                return access
+
         if (
             isinstance(node.func, ast.Attribute)
             and node.func.attr in METHOD_TABLE
@@ -612,6 +728,39 @@ class Lowerer:
         callee = self.lower_expr(node.func)
         args = self._positional_args(node)
         return self.emit(ir.ApplyInst(callee, args, self.loc(node)))
+
+    def _try_lower_access_method(self, node: ast.Call) -> Optional[ir.Value]:
+        """Lower ``ref.get()/.set(v)/.update(f)`` when ``ref`` is an access
+        token bound by a ``with inout(...)`` scope.  Returns None when the
+        receiver is not a known access token (plain method-call lowering
+        proceeds)."""
+        recv = node.func.value
+        if not (isinstance(recv, ast.Name) and recv.id in self.vars):
+            return None
+        token = self.vars[recv.id]
+        if token.type is not ir.ACCESS:
+            return None
+        loc = self.loc(node)
+        method = node.func.attr
+        if node.keywords:
+            raise self.fail(node, f"{method}() takes no keyword arguments")
+        if method == "get":
+            if node.args:
+                raise self.fail(node, "get() takes no arguments")
+            return self.emit(ir.AccessLoadInst(token, loc))
+        if method == "set":
+            if len(node.args) != 1:
+                raise self.fail(node, "set() takes exactly one argument")
+            value = self.lower_expr(node.args[0])
+            self.emit(ir.AccessStoreInst(token, value, loc))
+            return self.const(None, node)
+        if len(node.args) != 1:
+            raise self.fail(node, "update() takes exactly one argument")
+        current = self.emit(ir.AccessLoadInst(token, loc))
+        fn = self.lower_expr(node.args[0])
+        new = self.emit(ir.ApplyInst(fn, [current], loc))
+        self.emit(ir.AccessStoreInst(token, new, loc))
+        return self.const(None, node)
 
     def _positional_args(self, node: ast.Call) -> list[ir.Value]:
         if node.keywords:

@@ -22,6 +22,49 @@ from repro.sil.primitives import Primitive
 MAX_STEPS = 10_000_000
 
 
+class _ReadAccess:
+    """Runtime token of a ``begin_access [read]``: observe, never mutate.
+
+    Read accesses may overlap each other, so they do not register in the
+    exclusivity table; only ``modify`` accesses materialize as
+    :class:`~repro.valsem.inout.InoutRef` unique borrows.
+    """
+
+    __slots__ = ("_owner", "_key", "_kind")
+
+    def __init__(self, owner, key, kind: str) -> None:
+        self._owner = owner
+        self._key = key
+        self._kind = kind
+
+    def get(self):
+        if self._kind == "attr":
+            return getattr(self._owner, self._key)
+        return self._owner[self._key]
+
+    def set(self, value) -> None:
+        raise InterpreterError("access_store through a [read] access")
+
+    def end(self) -> None:
+        pass
+
+
+def _begin_access(inst: ir.BeginAccessInst, base, key):
+    if inst.kind == "modify":
+        from repro.valsem.inout import InoutRef
+
+        # The dynamic exclusivity check: overlapping modify accesses raise
+        # BorrowError here, verifying the static borrow checker's verdict.
+        return InoutRef(base, key, inst.key_kind)
+    return _ReadAccess(base, key, inst.key_kind)
+
+
+def bind_results(inst: ir.Instruction, value, env: dict[int, object]) -> None:
+    """Store an evaluated instruction's value (if it produces one)."""
+    if inst.results:
+        env[inst.results[0].id] = value
+
+
 def call_function(func: ir.Function, args: Sequence[object]) -> object:
     """Execute ``func`` on ``args`` and return its result."""
     if len(args) != len(func.params):
@@ -39,7 +82,7 @@ def call_function(func: ir.Function, args: Sequence[object]) -> object:
             steps += 1
             if steps > MAX_STEPS:
                 raise InterpreterError(f"@{func.name}: exceeded {MAX_STEPS} steps")
-            env[inst.result.id] = eval_instruction(inst, env)
+            bind_results(inst, eval_instruction(inst, env), env)
         term = block.terminator
         if isinstance(term, ir.ReturnInst):
             return env[term.value.id]
@@ -70,6 +113,16 @@ def eval_instruction(inst: ir.Instruction, env: dict[int, object]) -> object:
         return env[inst.operands[0].id][inst.index]
     if isinstance(inst, ir.StructExtractInst):
         return getattr(env[inst.operands[0].id], inst.field)
+    if isinstance(inst, ir.BeginAccessInst):
+        return _begin_access(inst, env[inst.base.id], env[inst.key.id])
+    if isinstance(inst, ir.AccessLoadInst):
+        return env[inst.token.id].get()
+    if isinstance(inst, ir.AccessStoreInst):
+        env[inst.token.id].set(env[inst.value.id])
+        return None
+    if isinstance(inst, ir.EndAccessInst):
+        env[inst.token.id].end()
+        return None
     raise InterpreterError(f"cannot evaluate {inst}")
 
 
@@ -104,7 +157,7 @@ def count_instructions(func: ir.Function, args: Sequence[object]) -> int:
             env[param.id] = value
         for inst in block.body:
             counter += 1
-            env[inst.result.id] = eval_instruction(inst, env)
+            bind_results(inst, eval_instruction(inst, env), env)
         term = block.terminator
         counter += 1
         if isinstance(term, ir.ReturnInst):

@@ -53,6 +53,7 @@ STRUCT = SILType("Struct")
 LIST = SILType("List")
 TENSOR = SILType("Tensor")
 FUNCTION = SILType("Function")
+ACCESS = SILType("Access")
 ANY = SILType("Any")
 
 
@@ -233,6 +234,102 @@ class StructExtractInst(Instruction):
 
     def __repr__(self) -> str:
         return f"{self.result!r} = struct_extract {self.operands[0]!r}, #{self.field}"
+
+
+class BeginAccessInst(Instruction):
+    """Opens a formal access to one storage location, ``base[key]`` or
+    ``base.key`` — the SIL analogue of Swift's ``begin_access``.
+
+    ``kind`` is ``"read"`` or ``"modify"``; ``key_kind`` is ``"item"``
+    (subscript) or ``"attr"`` (stored property).  The single result is an
+    *access token* (type :data:`ACCESS`): the only value through which the
+    location may be read (:class:`AccessLoadInst`) or written
+    (:class:`AccessStoreInst`) until a matching :class:`EndAccessInst`.
+
+    The law of exclusivity is checked twice over these instructions: the
+    static borrow checker (``repro.analysis.ownership``) proves scopes
+    disjoint ahead of time, and the interpreter materializes each ``modify``
+    token as a :class:`repro.valsem.inout.InoutRef`, whose runtime
+    :class:`~repro.errors.BorrowError` verifies the static result.
+    """
+
+    __slots__ = ("kind", "key_kind")
+
+    def __init__(
+        self, base: Value, key: Value, kind: str = "modify",
+        key_kind: str = "item", loc=None,
+    ) -> None:
+        if kind not in ("read", "modify"):
+            raise ValueError(f"invalid access kind {kind!r}")
+        if key_kind not in ("item", "attr"):
+            raise ValueError(f"invalid access key kind {key_kind!r}")
+        super().__init__((base, key), 1, ACCESS, loc)
+        self.kind = kind
+        self.key_kind = key_kind
+
+    @property
+    def base(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def key(self) -> Value:
+        return self.operands[1]
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.result!r} = begin_access [{self.kind}] "
+            f"{self.base!r}, {self.key_kind} {self.key!r}"
+        )
+
+
+class AccessLoadInst(Instruction):
+    """Reads the current value of the location behind an access token."""
+
+    def __init__(self, token: Value, loc=None) -> None:
+        super().__init__((token,), 1, ANY, loc)
+
+    @property
+    def token(self) -> Value:
+        return self.operands[0]
+
+    def __repr__(self) -> str:
+        return f"{self.result!r} = access_load {self.token!r}"
+
+
+class AccessStoreInst(Instruction):
+    """Writes ``value`` through an access token (requires ``modify``)."""
+
+    def __init__(self, token: Value, value: Value, loc=None) -> None:
+        super().__init__((token, value), 0, ANY, loc)
+
+    @property
+    def token(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def value(self) -> Value:
+        return self.operands[1]
+
+    def __repr__(self) -> str:
+        return f"access_store {self.token!r}, {self.value!r}"
+
+
+class EndAccessInst(Instruction):
+    """Closes the access scope opened by a :class:`BeginAccessInst`."""
+
+    def __init__(self, token: Value, loc=None) -> None:
+        super().__init__((token,), 0, ANY, loc)
+
+    @property
+    def token(self) -> Value:
+        return self.operands[0]
+
+    def __repr__(self) -> str:
+        return f"end_access {self.token!r}"
+
+
+#: Instruction classes participating in formal access scopes.
+ACCESS_INSTS = (BeginAccessInst, AccessLoadInst, AccessStoreInst, EndAccessInst)
 
 
 class Terminator(Instruction):

@@ -14,6 +14,8 @@ from repro.sil.primitives import Primitive
 def _is_removable(inst: ir.Instruction) -> bool:
     if inst.is_terminator:
         return False
+    if isinstance(inst, ir.ACCESS_INSTS):
+        return False  # formal access scopes are effectful (exclusivity, COW)
     if isinstance(inst, ir.ApplyInst):
         if inst.is_indirect:
             return False  # unknown callee may have effects

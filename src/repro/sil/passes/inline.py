@@ -51,6 +51,16 @@ def _clone_instruction(inst, mapped, block_map, continuation):
         return ir.TupleExtractInst(mapped(inst.operands[0]), inst.index, inst.loc)
     if isinstance(inst, ir.StructExtractInst):
         return ir.StructExtractInst(mapped(inst.operands[0]), inst.field, inst.loc)
+    if isinstance(inst, ir.BeginAccessInst):
+        return ir.BeginAccessInst(
+            mapped(inst.base), mapped(inst.key), inst.kind, inst.key_kind, inst.loc
+        )
+    if isinstance(inst, ir.AccessLoadInst):
+        return ir.AccessLoadInst(mapped(inst.token), inst.loc)
+    if isinstance(inst, ir.AccessStoreInst):
+        return ir.AccessStoreInst(mapped(inst.token), mapped(inst.value), inst.loc)
+    if isinstance(inst, ir.EndAccessInst):
+        return ir.EndAccessInst(mapped(inst.token), inst.loc)
     if isinstance(inst, ir.BrInst):
         return ir.BrInst(
             block_map[id(inst.dest)], [mapped(o) for o in inst.operands], inst.loc

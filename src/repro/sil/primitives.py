@@ -380,6 +380,18 @@ def tuple_make(*elts):
     return tuple(elts)
 
 
+@primitive("value_copy", pure=False)
+def value_copy(x):
+    """Swift's ``var y = x`` on a COW value: an O(1) logical copy.
+
+    Dispatches to the operand's own ``copy()`` (``ValueArray``, ``list``,
+    ``dict``, ...).  Impure on purpose: duplicating storage claims is a
+    refcount side effect the ownership analysis models, so the optimizer
+    must not fold, CSE, or drop it.
+    """
+    return x.copy()
+
+
 @primitive("abs")
 def abs_(x):
     return abs(x)

@@ -6,7 +6,13 @@ parsed back (the HLO IR, by contrast, has a full text round-trip).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.sil import ir
+
+#: Per-instruction comments keyed by ``id(inst)`` — the ownership analyzer
+#: (and any other annotating analysis) renders its facts through this.
+Annotations = dict[int, str]
 
 
 def _v(value: ir.Value) -> str:
@@ -17,17 +23,21 @@ def print_instruction(inst: ir.Instruction) -> str:
     return repr(inst)
 
 
-def print_block(block: ir.Block) -> str:
+def print_block(block: ir.Block, annotations: Optional[Annotations] = None) -> str:
     args = ", ".join(f"{a!r}: {a.type!r}" for a in block.args)
     lines = [f"{block.name}({args}):"]
     for inst in block.instructions:
-        lines.append(f"  {print_instruction(inst)}")
+        text = f"  {print_instruction(inst)}"
+        note = annotations.get(id(inst)) if annotations else None
+        if note:
+            text = f"{text}  // {note}"
+        lines.append(text)
     return "\n".join(lines)
 
 
-def print_function(func: ir.Function) -> str:
+def print_function(func: ir.Function, annotations: Optional[Annotations] = None) -> str:
     lines = [f"sil @{func.name} {{"]
     for block in func.blocks:
-        lines.append(print_block(block))
+        lines.append(print_block(block, annotations))
     lines.append("}")
     return "\n".join(lines)

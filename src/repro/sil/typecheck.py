@@ -121,6 +121,41 @@ def typecheck(func: ir.Function) -> list[Diagnostic]:
                             _loc(inst),
                         )
                     )
+            elif isinstance(inst, ir.BeginAccessInst):
+                base_t = type_of(inst.base)
+                if base_t is ir.ACCESS:
+                    diagnostics.append(
+                        Diagnostic(
+                            "error",
+                            f"@{func.name}: begin_access base {inst.base} is "
+                            f"itself an access token",
+                            _loc(inst),
+                        )
+                    )
+                if inst.key_kind == "attr":
+                    key_t = type_of(inst.key)
+                    if key_t not in (ir.STRING, ir.ANY):
+                        diagnostics.append(
+                            Diagnostic(
+                                "error",
+                                f"@{func.name}: begin_access attr key "
+                                f"{inst.key} has non-string type {key_t!r}",
+                                _loc(inst),
+                            )
+                        )
+            elif isinstance(
+                inst, (ir.AccessLoadInst, ir.AccessStoreInst, ir.EndAccessInst)
+            ):
+                token_t = type_of(inst.token)
+                if token_t not in (ir.ACCESS, ir.ANY):
+                    diagnostics.append(
+                        Diagnostic(
+                            "error",
+                            f"@{func.name}: {inst} token operand {inst.token} "
+                            f"has type {token_t!r}, expected Access",
+                            _loc(inst),
+                        )
+                    )
             elif isinstance(inst, ir.CondBrInst):
                 cond_t = type_of(inst.cond)
                 if cond_t in _BAD_COND_TYPES or cond_t in (ir.TUPLE, ir.STRUCT):

@@ -6,7 +6,12 @@ Checks the SSA invariants the rest of the pipeline relies on:
 * branch argument counts match destination block argument counts;
 * every operand is defined before use (dominance, computed over the CFG);
 * values are defined exactly once;
-* the entry block has no predecessors.
+* the entry block has no predecessors;
+* formal access scopes are well-bracketed: an access token is only consumed
+  by ``access_load``/``access_store``/``end_access``, never escapes through a
+  branch or return, is not used after its ``end_access`` on any path, is not
+  ended twice, is closed before every ``return``, and a ``[read]`` access is
+  never stored through.
 
 All checks operate over the *reachable* CFG.  Unreachable blocks are not
 silently skipped: each one produces a warning-level
@@ -79,6 +84,7 @@ def verify(func: ir.Function) -> list[Diagnostic]:
         raise VerificationError(f"@{func.name}: entry block has predecessors")
 
     _check_dominance(func, blocks)
+    _check_access_scopes(func, blocks)
     return warnings
 
 
@@ -150,3 +156,101 @@ def _check_dominance(func: ir.Function, blocks: list[ir.Block]) -> None:
                     )
             for res in inst.results:
                 seen_local.add(res.id)
+
+
+def _successors(block: ir.Block) -> list[ir.Block]:
+    term = block.terminator
+    if isinstance(term, ir.BrInst):
+        return [term.dest]
+    if isinstance(term, ir.CondBrInst):
+        return [term.true_dest, term.false_dest]
+    return []
+
+
+def _check_access_scopes(func: ir.Function, blocks: list[ir.Block]) -> None:
+    """Verify the bracketing discipline of formal access instructions.
+
+    Token *usage* is purely structural; scope liveness is a forward
+    must-be-open dataflow (intersection at joins) — a token usable at a
+    program point must be open on every path reaching it.
+    """
+    begins: dict[int, ir.BeginAccessInst] = {}
+    for block in blocks:
+        for inst in block.instructions:
+            if isinstance(inst, ir.BeginAccessInst):
+                begins[inst.results[0].id] = inst
+    if not begins:
+        return
+
+    for block in blocks:
+        for inst in block.instructions:
+            for i, op in enumerate(inst.operands):
+                if op.id not in begins:
+                    continue
+                consumes_token = (
+                    isinstance(
+                        inst,
+                        (ir.AccessLoadInst, ir.AccessStoreInst, ir.EndAccessInst),
+                    )
+                    and i == 0
+                )
+                if not consumes_token:
+                    raise VerificationError(
+                        f"@{func.name}/{block.name}: access token {op} may only "
+                        f"be consumed by access_load/access_store/end_access, "
+                        f"not {inst}"
+                    )
+            if isinstance(inst, ir.AccessStoreInst):
+                begin = begins.get(inst.token.id)
+                if begin is not None and begin.kind == "read":
+                    raise VerificationError(
+                        f"@{func.name}/{block.name}: access_store through a "
+                        f"[read] access in {inst}"
+                    )
+        for op in block.terminator.operands:
+            if op.id in begins:
+                raise VerificationError(
+                    f"@{func.name}/{block.name}: access token {op} escapes "
+                    f"through {block.terminator}"
+                )
+
+    # Forward must-analysis: state = set of token ids open on *all* paths.
+    state: dict[int, set[int] | None] = {id(b): None for b in blocks}
+    state[id(func.entry)] = set()
+    by_id = {id(b): b for b in blocks}
+    worklist = [func.entry]
+    while worklist:
+        block = worklist.pop()
+        open_now = set(state[id(block)] or ())
+        for inst in block.instructions:
+            if isinstance(inst, ir.BeginAccessInst):
+                open_now.add(inst.results[0].id)
+            elif isinstance(inst, (ir.AccessLoadInst, ir.AccessStoreInst)):
+                if inst.token.id in begins and inst.token.id not in open_now:
+                    raise VerificationError(
+                        f"@{func.name}/{block.name}: {inst} uses access token "
+                        f"after its scope ended on some path"
+                    )
+            elif isinstance(inst, ir.EndAccessInst):
+                if inst.token.id in begins and inst.token.id not in open_now:
+                    raise VerificationError(
+                        f"@{func.name}/{block.name}: {inst} ends an access "
+                        f"that is not open (double end_access?)"
+                    )
+                open_now.discard(inst.token.id)
+        if isinstance(block.terminator, ir.ReturnInst) and open_now:
+            names = ", ".join(
+                repr(begins[t].results[0]) for t in sorted(open_now)
+            )
+            raise VerificationError(
+                f"@{func.name}/{block.name}: access scope(s) {names} still "
+                f"open at return"
+            )
+        for succ in _successors(block):
+            if id(succ) not in by_id:
+                continue  # unreachable-successor edge; verified elsewhere
+            prev = state[id(succ)]
+            new = set(open_now) if prev is None else prev & open_now
+            if prev is None or new != prev:
+                state[id(succ)] = new
+                worklist.append(succ)

@@ -7,9 +7,10 @@
 * :data:`STATS` — copy-on-write instrumentation for tests and benchmarks.
 """
 
-from repro.valsem.cow import STATS, CowBox, CowStats
+from repro.valsem.cow import STATS, CowBox, CowStats, copy_counting, current_stats
 from repro.valsem.inout import (
     InoutRef,
+    active_borrow_count,
     as_functional,
     borrow_attr,
     borrow_item,
@@ -22,7 +23,10 @@ __all__ = [
     "STATS",
     "CowBox",
     "CowStats",
+    "copy_counting",
+    "current_stats",
     "InoutRef",
+    "active_borrow_count",
     "as_functional",
     "borrow_attr",
     "borrow_item",

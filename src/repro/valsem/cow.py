@@ -13,15 +13,17 @@ copy is O(1) and the deep copy is deferred to first shared mutation.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
-from typing import Callable, Generic, TypeVar
+from typing import Callable, Generic, Iterator, Optional, TypeVar
 
 T = TypeVar("T")
 
 
 @dataclass
 class CowStats:
-    """Global instrumentation of copy-on-write behaviour."""
+    """Instrumentation of copy-on-write behaviour."""
 
     logical_copies: int = 0  # O(1) sharing copies
     deep_copies: int = 0  # actual storage duplications
@@ -31,7 +33,36 @@ class CowStats:
         self.deep_copies = 0
 
 
+#: Process-wide default counter (benchmarks and the CLI read this).
 STATS = CowStats()
+
+#: Scoped override installed by :func:`copy_counting`.  A ``ContextVar`` so
+#: concurrently-running tests (threads, async) each observe only their own
+#: copies instead of corrupting one shared global.
+_SCOPED_STATS: ContextVar[Optional[CowStats]] = ContextVar("cow_stats", default=None)
+
+
+def current_stats() -> CowStats:
+    """The counter CowBox instruments right now: scoped if inside
+    :func:`copy_counting`, the global :data:`STATS` otherwise."""
+    scoped = _SCOPED_STATS.get()
+    return STATS if scoped is None else scoped
+
+
+@contextmanager
+def copy_counting(stats: Optional[CowStats] = None) -> Iterator[CowStats]:
+    """Count COW events into a fresh, isolated :class:`CowStats`.
+
+    ``with copy_counting() as stats: ...`` observes exactly the logical and
+    deep copies performed inside the block, regardless of what other
+    contexts do to the global counter.  Nests: the innermost scope wins.
+    """
+    scope = CowStats() if stats is None else stats
+    token = _SCOPED_STATS.set(scope)
+    try:
+        yield scope
+    finally:
+        _SCOPED_STATS.reset(token)
 
 
 class _Storage(Generic[T]):
@@ -72,7 +103,7 @@ class CowBox(Generic[T]):
         clone._storage = self._storage
         clone._deep_copy = self._deep_copy
         self._storage.refcount += 1
-        STATS.logical_copies += 1
+        current_stats().logical_copies += 1
         return clone
 
     def unique(self) -> T:
@@ -81,7 +112,7 @@ class CowBox(Generic[T]):
         if storage.refcount > 1:
             storage.refcount -= 1
             self._storage = _Storage(self._deep_copy(storage.data))
-            STATS.deep_copies += 1
+            current_stats().deep_copies += 1
         return self._storage.data
 
     def release(self) -> None:

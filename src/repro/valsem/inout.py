@@ -15,33 +15,52 @@ asserted in tests.
 
 from __future__ import annotations
 
+import weakref
 from contextlib import contextmanager
 from typing import Any, Callable
 
 from repro.errors import BorrowError
 
-#: Currently-live unique borrows: (id(owner), key) -> True.
-_ACTIVE_BORROWS: dict[tuple[int, Any], bool] = {}
+#: Currently-live unique borrows: (id(owner), key) -> owner.  The value is a
+#: *strong* reference to the owner: while a borrow is live, the owner cannot
+#: be garbage collected, so its ``id`` cannot be reused by a different
+#: object (which would make an unrelated borrow spuriously "overlapping").
+_ACTIVE_BORROWS: dict[tuple[int, Any], Any] = {}
+
+
+def _release_token(token: tuple[int, Any]) -> None:
+    """Drop a borrow token (called by ``end()`` or the GC finalizer)."""
+    _ACTIVE_BORROWS.pop(token, None)
+
+
+def active_borrow_count() -> int:
+    """Number of currently-live unique borrows (tests and leak checks)."""
+    return len(_ACTIVE_BORROWS)
 
 
 class InoutRef:
     """A unique, revocable borrow of ``owner.key`` (attribute or index)."""
 
-    __slots__ = ("_owner", "_key", "_kind", "_token", "_live")
+    __slots__ = ("_owner", "_key", "_kind", "_token", "_live", "_finalizer", "__weakref__")
 
     def __init__(self, owner: Any, key: Any, kind: str) -> None:
         token = (id(owner), key)
-        if _ACTIVE_BORROWS.get(token):
+        if token in _ACTIVE_BORROWS:
             raise BorrowError(
                 f"overlapping inout borrows of {kind} {key!r}: "
                 "simultaneous access violates exclusivity"
             )
-        _ACTIVE_BORROWS[token] = True
+        _ACTIVE_BORROWS[token] = owner
         self._owner = owner
         self._key = key
         self._kind = kind
         self._token = token
         self._live = True
+        # If the ref leaks (never ``end()``ed and garbage collected), the
+        # finalizer releases the token so the owner isn't pinned forever and
+        # later borrows of a recycled id can't spuriously conflict.  The
+        # callback closes over the token only — never over ``self``.
+        self._finalizer = weakref.finalize(self, _release_token, token)
 
     def get(self):
         self._check()
@@ -63,7 +82,10 @@ class InoutRef:
     def end(self) -> None:
         if self._live:
             self._live = False
-            _ACTIVE_BORROWS.pop(self._token, None)
+            # detach() rather than () so a later finalizer run is a no-op
+            # even if the same token is re-issued to a fresh borrow.
+            self._finalizer.detach()
+            _release_token(self._token)
 
     def _check(self) -> None:
         if not self._live:

@@ -1,0 +1,325 @@
+"""The ownership layer: borrow checking, copy inference, pullback costs.
+
+Every static verdict asserted here is cross-checked against the dynamic
+mutable-value-semantics runtime where one exists:
+
+* "error" programs from the seeded violation suite must actually trap with
+  :class:`BorrowError` when interpreted;
+* "warning" programs must run clean on disjoint inputs and trap on
+  overlapping ones (exactly what "dynamic check required" means);
+* copy-materialization labels must agree with the deep/logical copy counts
+  the COW instrumentation observes.
+"""
+
+import pytest
+
+from repro.analysis.ownership import (
+    analyze_aliases,
+    analyze_ownership,
+    analyze_pullback_cost,
+    check_ownership,
+    models,
+)
+from repro.errors import BorrowError, VerificationError
+from repro.sil import ir
+from repro.sil.frontend import lower_function
+from repro.sil.interp import call_function
+from repro.valsem import ValueArray, copy_counting
+from repro.valsem.inout import borrow_item
+
+
+# ---------------------------------------------------------------------------
+# Borrow checker: seeded violations and the clean corpus.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "pyfunc,expected",
+    models.VIOLATION_SUITE,
+    ids=[fn.__name__ for fn, _ in models.VIOLATION_SUITE],
+)
+def test_violation_suite_verdicts(pyfunc, expected):
+    report = analyze_ownership(lower_function(pyfunc))
+    severities = {"error" if d.is_error else "warning" for d in report.diagnostics}
+    assert expected in severities, report.render()
+
+
+@pytest.mark.parametrize(
+    "pyfunc", models.CLEAN_SUITE, ids=[fn.__name__ for fn in models.CLEAN_SUITE]
+)
+def test_clean_suite_zero_false_positives(pyfunc):
+    report = analyze_ownership(lower_function(pyfunc))
+    assert report.ok
+    assert report.diagnostics == [], report.render()
+
+
+def test_check_ownership_raises_on_certain_violation():
+    func = lower_function(models.double_borrow_same_item)
+    with pytest.raises(VerificationError, match="exclusivity violation"):
+        check_ownership(func)
+
+
+def test_check_ownership_returns_warnings_without_raising():
+    func = lower_function(models.aliased_writes_may_conflict)
+    diagnostics = check_ownership(func)  # warning-only: must not raise
+    assert any(not d.is_error for d in diagnostics)
+
+
+# ---------------------------------------------------------------------------
+# Exclusivity corner cases.
+# ---------------------------------------------------------------------------
+
+
+def nested_distinct_keys(xs):
+    with borrow_item(xs, 0) as a:
+        with borrow_item(xs, 1) as b:
+            b.set(1.0)
+            a.set(2.0)
+    return xs[0]
+
+
+def borrow_across_join_conflict(xs, flag):
+    with borrow_item(xs, 0) as ref:
+        if flag:
+            v = 1.0
+        else:
+            v = 2.0
+        ref.set(v)
+        xs[0] = v  # the borrow is still open after the cond_br join
+    return xs[0]
+
+
+def borrow_across_join_clean(xs, flag):
+    with borrow_item(xs, 0) as ref:
+        if flag:
+            v = 1.0
+        else:
+            v = 2.0
+        ref.set(v)
+        xs[1] = v  # provably disjoint constant key
+    return xs[0]
+
+
+def test_nested_borrows_of_distinct_keys_are_clean():
+    report = analyze_ownership(lower_function(nested_distinct_keys))
+    assert report.diagnostics == [], report.render()
+    # And the runtime agrees: no trap.
+    xs = [0.0, 0.0]
+    assert call_function(lower_function(nested_distinct_keys), [xs]) == 2.0
+    assert xs == [2.0, 1.0]
+
+
+def test_borrow_survives_cond_br_join():
+    report = analyze_ownership(lower_function(borrow_across_join_conflict))
+    # The access opened before the branch is still held at the join, so the
+    # write to the same location must be flagged...
+    assert report.diagnostics, report.render()
+    # ...and the runtime traps on both paths.
+    for flag in (True, False):
+        with pytest.raises(BorrowError):
+            call_function(
+                lower_function(borrow_across_join_conflict), [[0.0, 0.0], flag]
+            )
+
+
+def test_disjoint_write_across_join_is_clean():
+    report = analyze_ownership(lower_function(borrow_across_join_clean))
+    assert report.diagnostics == [], report.render()
+    xs = [0.0, 0.0]
+    assert call_function(lower_function(borrow_across_join_clean), [xs, True]) == 1.0
+    assert xs == [1.0, 1.0]
+
+
+# ---------------------------------------------------------------------------
+# Static verdicts vs the dynamic exclusivity check.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "pyfunc,args",
+    [
+        (models.double_borrow_same_item, lambda: [[1.0, 2.0], 0]),
+        (models.aug_assign_under_borrow, lambda: [[1.0, 2.0], 1]),
+        (models.write_under_attr_borrow, lambda: [models.TinyModel()]),
+    ],
+    ids=["double_borrow", "aug_assign", "attr_write"],
+)
+def test_error_verdicts_trap_at_runtime(pyfunc, args):
+    func = lower_function(pyfunc)
+    severities = {
+        "error" if d.is_error else "warning"
+        for d in analyze_ownership(func).diagnostics
+    }
+    assert "error" in severities
+    with pytest.raises(BorrowError):
+        call_function(func, args())
+
+
+def test_warning_verdict_means_dynamic_check_decides():
+    func = lower_function(models.aliased_writes_may_conflict)
+    # Disjoint indices: the dynamic check passes.
+    xs = [1.0, 2.0, 3.0]
+    assert call_function(func, [xs, 0, 2]) == 1.0
+    # Overlapping indices: the dynamic check traps.
+    with pytest.raises(BorrowError):
+        call_function(func, [[1.0, 2.0], 1, 1])
+
+
+# ---------------------------------------------------------------------------
+# Copy-materialization inference vs COW instrumentation.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "name,pyfunc", sorted(models.OPTIMIZER_MODELS.items())
+)
+def test_optimizer_updates_proven_copy_free(name, pyfunc):
+    report = analyze_ownership(lower_function(pyfunc))
+    copies = report.copies
+    assert copies.mutation_sites > 0
+    assert copies.in_place == copies.mutation_sites
+    assert copies.must_copy == 0 and copies.may_copy == 0
+    assert copies.predicted_deep_copies() == (0, 0)
+
+
+def test_sgd_update_zero_copies_static_and_dynamic():
+    """Benchmark-style Section 4.3 claim: a parameter update loop touches
+    every parameter without materializing a single copy — predicted by the
+    copy inference AND confirmed by the COW runtime."""
+    func = lower_function(models.sgd_update)
+    report = analyze_ownership(func)
+    assert report.copies.predicted_deep_copies() == (0, 0)
+
+    params = ValueArray([1.0, 2.0, 3.0])
+    grads = [0.5, 0.5, 0.5]
+    with copy_counting() as stats:
+        call_function(func, [params, grads, 1.0])
+    assert stats.deep_copies == 0
+    assert stats.logical_copies == 0
+    assert params.to_list() == [0.5, 1.5, 2.5]
+
+
+def test_copy_then_write_labels_match_runtime():
+    func = lower_function(models.copy_then_write)
+    copies = analyze_ownership(func).copies
+    assert copies.mutation_sites == 2
+    assert copies.must_copy == 1  # first write after the logical copy
+    assert copies.in_place == 1  # second write: uniqueness restored
+    assert copies.logical_copy_sites == 1
+    assert copies.predicted_deep_copies() == (1, 1)
+
+    xs = ValueArray([0.0, 0.0, 0.0])
+    with copy_counting() as stats:
+        ys = call_function(func, [xs])
+    assert (stats.logical_copies, stats.deep_copies) == (1, 1)
+    assert xs.to_list() == [0.0, 0.0, 0.0]
+    assert ys.to_list() == [1.0, 2.0, 0.0]
+
+
+# ---------------------------------------------------------------------------
+# Alias analysis.
+# ---------------------------------------------------------------------------
+
+
+def test_subscript_projection_aliases_its_base():
+    func = lower_function(models.array_subscript)
+    info = analyze_aliases(func)
+    values_param = func.entry.args[0]
+    gets = [
+        inst
+        for inst in func.instructions()
+        if isinstance(inst, ir.ApplyInst)
+        and getattr(getattr(inst.callee, "target", None), "name", None) == "index_get"
+    ]
+    assert len(gets) == 2
+    for inst in gets:
+        assert info.may_alias(inst.result, values_param)
+
+
+def test_value_copy_result_is_logically_fresh():
+    func = lower_function(models.copy_isolates_ok)
+    info = analyze_aliases(func)
+    xs_param = func.entry.args[0]
+    copies = [
+        inst
+        for inst in func.instructions()
+        if isinstance(inst, ir.ApplyInst)
+        and getattr(getattr(inst.callee, "target", None), "name", None) == "value_copy"
+    ]
+    assert len(copies) == 1
+    # Exclusivity keys on the owner, and a COW copy is a distinct owner.
+    assert not info.may_alias(copies[0].result, xs_param)
+
+
+# ---------------------------------------------------------------------------
+# Pullback cost analyzer (Appendix B).
+# ---------------------------------------------------------------------------
+
+
+def test_array_subscript_pullback_cost_by_style():
+    func = lower_function(models.array_subscript)
+    mvs = analyze_pullback_cost(func, wrt=(0,), style="mvs")
+    functional = analyze_pullback_cost(func, wrt=(0,), style="functional")
+    assert mvs.overall == "O(1)"
+    assert functional.overall == "O(n)"
+    # Both styles classify the same active sites; only the cost differs.
+    assert mvs.active_sites == functional.active_sites > 0
+
+
+def test_unknown_style_rejected():
+    func = lower_function(models.array_subscript)
+    with pytest.raises(ValueError, match="style"):
+        analyze_pullback_cost(func, style="imperative")
+
+
+def test_vjp_plan_exposes_pullback_cost():
+    from repro.core.synthesis import vjp_plan
+
+    func = lower_function(models.array_subscript)
+    plan = vjp_plan(func, (0,))
+    assert plan.pullback_cost().overall == "O(1)"
+    assert plan.pullback_cost("functional").overall == "O(n)"
+
+
+# ---------------------------------------------------------------------------
+# Rendering and the CLI.
+# ---------------------------------------------------------------------------
+
+
+def test_render_includes_annotations_and_summary():
+    report = analyze_ownership(lower_function(models.sgd_update))
+    rendered = report.render()
+    assert "begin_access" in rendered
+    assert "// in-place" in rendered
+    assert "pullback O(" in rendered
+    assert "mutation site(s)" in rendered
+
+
+def test_cli_ownership_clean_function(capsys):
+    from repro.analysis.__main__ import main
+
+    assert main(["--ownership", "sgd_update"]) == 0
+    out = capsys.readouterr().out
+    assert "begin_access" in out and "in-place" in out
+
+
+def test_cli_ownership_violation_exits_nonzero(capsys):
+    from repro.analysis.__main__ import main
+
+    assert main(["--ownership", "double_borrow_same_item"]) == 1
+    out = capsys.readouterr().out
+    assert "BorrowError" in out
+
+
+def test_cli_ownership_style_flag(capsys):
+    from repro.analysis.__main__ import main
+
+    assert main(["--ownership", "array_subscript", "--style", "functional"]) == 0
+    assert "O(n)" in capsys.readouterr().out
+
+
+def test_cli_ownership_unknown_name():
+    from repro.analysis.__main__ import main
+
+    with pytest.raises(SystemExit, match="bundled names"):
+        main(["--ownership", "no_such_function_here"])

@@ -17,6 +17,11 @@ def test_self_check_passes_and_covers_all_layers():
     assert report.hlo_instructions_verified > 0
     # Pipeline sweep: the representative functions all went through.
     assert report.functions_pipelined == 3
+    # Ownership sweep: every primitive wrapper + the model corpus, with
+    # every seeded violation caught at its expected severity.
+    assert report.ownership_functions_checked >= 50
+    assert report.exclusivity_violations_caught == 4
+    assert report.mutation_sites_labeled > 0
     assert "all checks passed" in report.summary()
 
 

@@ -152,8 +152,10 @@ def test_optimize_is_idempotent(program, seed):
     rng = np.random.default_rng(seed)
     x = rng.uniform(-1, 1, n).astype(np.float32)
     expected = float(reference_eval(n, steps, x))
+    # nan_ok: chained exps can overflow to inf and inf-inf is nan in both
+    # the reference and the compiled run — that is still agreement.
     assert float(Executable(module).run([x])) == pytest.approx(
-        expected, rel=1e-3, abs=1e-3
+        expected, rel=1e-3, abs=1e-3, nan_ok=True
     )
 
 

@@ -1,0 +1,160 @@
+"""Borrow-token lifecycle and scoped copy counting.
+
+Regression coverage for two runtime-layer fixes that back the static
+ownership analyses:
+
+* leaked :class:`InoutRef` objects (never ``end()``ed) used to leave their
+  token in the active-borrow table forever, pinning the owner and — once
+  the owner was collected and its ``id`` recycled — raising a spurious
+  :class:`BorrowError` on a completely unrelated borrow.  A GC finalizer
+  now releases the token;
+* COW instrumentation used to be a single process-wide counter that every
+  test had to remember to reset; :func:`copy_counting` scopes it.
+"""
+
+import gc
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import BorrowError
+from repro.valsem import (
+    STATS,
+    ValueArray,
+    active_borrow_count,
+    as_functional,
+    borrow_attr,
+    copy_counting,
+    inout,
+)
+
+
+@dataclass
+class Holder:
+    count: int = 0
+
+
+# ---------------------------------------------------------------------------
+# Finalizer releases leaked borrow tokens.
+# ---------------------------------------------------------------------------
+
+
+def test_leaked_borrow_released_by_finalizer():
+    base = active_borrow_count()
+    h = Holder()
+    ref = borrow_attr(h, "count")
+    assert active_borrow_count() == base + 1
+    del ref  # leaked: never end()ed
+    gc.collect()
+    assert active_borrow_count() == base
+    # The location is borrowable again — no spurious conflict.
+    with inout(h, "count") as ref2:
+        ref2.set(7)
+    assert h.count == 7
+
+
+def test_id_reuse_after_leak_no_spurious_conflict():
+    # Pre-fix, a leaked token survived its owner; once CPython recycled the
+    # owner's id for a new object, borrowing that new object tripped a
+    # BorrowError about an overlap with a long-dead borrow.
+    for _ in range(50):
+        h = Holder()
+        borrow_attr(h, "count")  # dropped immediately, never ended
+        del h
+    gc.collect()
+    fresh = Holder()
+    with inout(fresh, "count") as ref:  # must not raise
+        ref.set(1)
+    assert fresh.count == 1
+
+
+def test_finalizer_is_noop_after_end_and_reissue():
+    # end() detaches the finalizer, so collecting the old ref later must
+    # not release a token that was since re-issued to a live borrow.
+    h = Holder()
+    ref = borrow_attr(h, "count")
+    ref.end()
+    ref2 = borrow_attr(h, "count")  # same (owner, key) token, re-issued
+    del ref
+    gc.collect()
+    with pytest.raises(BorrowError, match="exclusivity"):
+        borrow_attr(h, "count")  # ref2's borrow is still live
+    ref2.end()
+
+
+def test_live_borrow_pins_owner():
+    # While a borrow is live the table holds the owner strongly: its id
+    # cannot be recycled out from under the token.
+    base = active_borrow_count()
+    ref = borrow_attr(Holder(), "count")
+    gc.collect()
+    assert active_borrow_count() == base + 1
+    ref.set(3)
+    assert ref.get() == 3
+    ref.end()
+    assert active_borrow_count() == base
+
+
+# ---------------------------------------------------------------------------
+# Re-borrow after the Figure 8 functional rewrite.
+# ---------------------------------------------------------------------------
+
+
+def test_reborrow_after_as_functional():
+    def inc(x):
+        x.set(x.get() + 1)
+        return x.get() < 10
+
+    inc_functional = as_functional(inc)
+    h = Holder(count=2)
+    # The rewrite borrows a fresh cell, never `h`, so running it under a
+    # live borrow of `h` is exclusivity-clean...
+    with inout(h, "count") as ref:
+        y, _went = inc_functional(ref.get())
+        ref.set(y)
+    assert h.count == 3
+    # ...and `h` is immediately re-borrowable afterwards.
+    with inout(h, "count") as ref:
+        ref.set(0)
+    assert h.count == 0
+
+
+# ---------------------------------------------------------------------------
+# Scoped copy counting.
+# ---------------------------------------------------------------------------
+
+
+def test_copy_counting_isolated_from_global():
+    x = ValueArray([1, 2])
+    global_deep = STATS.deep_copies
+    global_logical = STATS.logical_copies
+    with copy_counting() as stats:
+        y = x.copy()
+        x[0] = 9  # shared -> deep copy, counted in the scope only
+        assert (stats.logical_copies, stats.deep_copies) == (1, 1)
+    assert STATS.deep_copies == global_deep
+    assert STATS.logical_copies == global_logical
+    assert y.to_list() == [1, 2]
+
+
+def test_copy_counting_nests_innermost_wins():
+    with copy_counting() as outer:
+        a = ValueArray([1])
+        a.copy()
+        with copy_counting() as inner:
+            b = ValueArray([2])
+            b.copy()
+            assert inner.logical_copies == 1
+        a.copy()
+        # Inner-scope events never leaked into the outer counter.
+        assert outer.logical_copies == 2
+
+
+def test_copy_counting_accepts_caller_stats():
+    from repro.valsem import CowStats
+
+    mine = CowStats()
+    with copy_counting(mine) as stats:
+        assert stats is mine
+        ValueArray([1]).copy()
+    assert mine.logical_copies == 1

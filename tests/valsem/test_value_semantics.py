@@ -1,12 +1,14 @@
 """Figure 5: value semantics — mutation through one variable is observable
-only through that variable."""
+only through that variable.
+
+Copy counting uses the scoped :func:`repro.valsem.copy_counting` context
+manager rather than resetting the process-wide ``STATS`` global, so these
+tests observe exactly their own COW events and cannot interfere with (or be
+corrupted by) anything else touching the global counter.
+"""
 
 
-from repro.valsem import STATS, ValueArray
-
-
-def setup_function(_):
-    STATS.reset()
+from repro.valsem import ValueArray, copy_counting
 
 
 def test_figure5_swift_column():
@@ -27,42 +29,46 @@ def test_python_list_reference_semantics_contrast():
 
 
 def test_copy_is_lazy():
-    x = ValueArray(range(1000))
-    y = x.copy()
-    assert STATS.logical_copies == 1
-    assert STATS.deep_copies == 0  # no storage duplicated yet
-    assert y[0] == 0  # reads never copy
-    assert STATS.deep_copies == 0
+    with copy_counting() as stats:
+        x = ValueArray(range(1000))
+        y = x.copy()
+        assert stats.logical_copies == 1
+        assert stats.deep_copies == 0  # no storage duplicated yet
+        assert y[0] == 0  # reads never copy
+        assert stats.deep_copies == 0
 
 
 def test_deep_copy_only_on_shared_mutation():
-    x = ValueArray([1, 2, 3])
-    y = x.copy()
-    x[0] = 99  # shared: must deep-copy
-    assert STATS.deep_copies == 1
-    x[1] = 88  # now unshared: mutate in place
-    assert STATS.deep_copies == 1
-    assert x.to_list() == [99, 88, 3]
-    assert y.to_list() == [1, 2, 3]
+    with copy_counting() as stats:
+        x = ValueArray([1, 2, 3])
+        y = x.copy()
+        x[0] = 99  # shared: must deep-copy
+        assert stats.deep_copies == 1
+        x[1] = 88  # now unshared: mutate in place
+        assert stats.deep_copies == 1
+        assert x.to_list() == [99, 88, 3]
+        assert y.to_list() == [1, 2, 3]
 
 
 def test_unshared_mutation_never_copies():
-    x = ValueArray([0] * 100)
-    for i in range(100):
-        x[i] = i
-    assert STATS.deep_copies == 0
+    with copy_counting() as stats:
+        x = ValueArray([0] * 100)
+        for i in range(100):
+            x[i] = i
+        assert stats.deep_copies == 0
 
 
 def test_many_copies_one_duplication_per_mutator():
-    x = ValueArray([1, 2, 3])
-    copies = [x.copy() for _ in range(5)]
-    copies[0][0] = 10
-    copies[1][0] = 20
-    assert STATS.deep_copies == 2
-    assert x.to_list() == [1, 2, 3]
-    assert copies[0].to_list() == [10, 2, 3]
-    assert copies[1].to_list() == [20, 2, 3]
-    assert copies[2].to_list() == [1, 2, 3]
+    with copy_counting() as stats:
+        x = ValueArray([1, 2, 3])
+        copies = [x.copy() for _ in range(5)]
+        copies[0][0] = 10
+        copies[1][0] = 20
+        assert stats.deep_copies == 2
+        assert x.to_list() == [1, 2, 3]
+        assert copies[0].to_list() == [10, 2, 3]
+        assert copies[1].to_list() == [20, 2, 3]
+        assert copies[2].to_list() == [1, 2, 3]
 
 
 def test_append_extend_pop():
