@@ -16,12 +16,19 @@ The subsystem spans the three IR layers of the reproduction:
   (:mod:`repro.analysis.ownership`): alias/escape analysis, the borrow
   checker proving the law of exclusivity over formal access scopes,
   copy-materialization inference, and the Appendix-B pullback cost
-  analyzer.
+  analyzer;
+* **tracing** — static trace-stability analysis for LazyTensor
+  (:mod:`repro.analysis.tracing`): cache-key canonicalization with an
+  executable-equivalence checker, the retrace-storm detector with
+  promote-to-input fix-its, the unrolling/barrier analyzer, and forward
+  shape/dtype inference over TraceNode DAGs before lowering.
 
 ``python -m repro.analysis --self-check`` runs every verifier over every
 registered primitive's synthesized JVP/VJP and over the HLO modules the
 LeNet-5 trace benchmark produces; ``--ownership <fn>`` prints one
-function's SIL with per-instruction ownership annotations.
+function's SIL with per-instruction ownership annotations;
+``--trace <program|all>`` proves cache behavior for a step program from
+the seeded trace corpus and cross-checks it against the runtime.
 
 This ``__init__`` resolves its re-exports lazily: the pass pipelines import
 :mod:`repro.analysis.attribution` at module load, and an eager init here
@@ -54,6 +61,18 @@ _LAZY = {
     "check_ownership": ("repro.analysis.ownership", "check_ownership"),
     "infer_copies": ("repro.analysis.ownership", "infer_copies"),
     "OwnershipReport": ("repro.analysis.ownership", "OwnershipReport"),
+    "analyze_stability": ("repro.analysis.tracing", "analyze_stability"),
+    "analyze_growth": ("repro.analysis.tracing", "analyze_growth"),
+    "analyze_step_program": ("repro.analysis.tracing", "analyze_step_program"),
+    "analyze_trace_program": ("repro.analysis.tracing", "analyze_trace_program"),
+    "canonicalize": ("repro.analysis.tracing", "canonicalize"),
+    "cache_key": ("repro.analysis.tracing", "cache_key"),
+    "capture_step_traces": ("repro.analysis.tracing", "capture_step_traces"),
+    "check_trace": ("repro.analysis.tracing", "check_trace"),
+    "infer_trace_shapes": ("repro.analysis.tracing", "infer_trace_shapes"),
+    "traces_equivalent": ("repro.analysis.tracing", "traces_equivalent"),
+    "CanonicalTrace": ("repro.analysis.tracing", "CanonicalTrace"),
+    "TraceStabilityReport": ("repro.analysis.tracing", "TraceStabilityReport"),
 }
 
 __all__ = [

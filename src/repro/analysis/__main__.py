@@ -6,11 +6,20 @@ Usage::
     python -m repro.analysis --self-check -q     # summary only on failure
     python -m repro.analysis --ownership sgd_update
     python -m repro.analysis --ownership mypkg.mymod:myfn --style functional
+    python -m repro.analysis --trace lr_schedule_storm
+    python -m repro.analysis --trace all
 
 ``--ownership`` resolves its argument against the bundled model corpus
 (:mod:`repro.analysis.ownership.models`) first, then as a dotted
 ``module:function`` (or ``module.function``) path; the function is lowered
 to SIL and printed with per-instruction ownership annotations.
+
+``--trace`` runs the static trace-stability analysis over one program
+from the seeded corpus (:mod:`repro.analysis.tracing.models`) — or every
+program with ``all`` — printing canonical cache keys, retrace-storm /
+growth diagnostics, and the static-vs-dynamic cross-check.  The exit
+status is 0 only when every analyzed program matches its expected
+verdict and every static cache prediction matches the runtime.
 """
 
 from __future__ import annotations
@@ -48,6 +57,16 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--trace",
+        metavar="PROGRAM",
+        help=(
+            "run the static trace-stability analysis over PROGRAM (a "
+            "seeded corpus name, or 'all'): canonical cache keys, "
+            "retrace-storm and growth diagnostics, and the exact "
+            "static-vs-dynamic cache cross-check"
+        ),
+    )
+    parser.add_argument(
         "--style",
         choices=("mvs", "functional"),
         default="mvs",
@@ -60,6 +79,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.ownership:
         return _run_ownership(args.ownership, args.style)
+
+    if args.trace:
+        return _run_trace(args.trace, args.quiet)
 
     if not args.self_check:
         parser.print_help()
@@ -97,6 +119,43 @@ def _resolve_function(spec: str):
         )
     module = importlib.import_module(module_name)
     return getattr(module, attr)
+
+
+def _run_trace(spec: str, quiet: bool) -> int:
+    from repro.analysis.tracing.models import PROGRAMS
+    from repro.analysis.tracing.report import analyze_trace_program
+
+    if spec == "all":
+        programs = list(PROGRAMS.values())
+    elif spec in PROGRAMS:
+        programs = [PROGRAMS[spec]]
+    else:
+        raise SystemExit(
+            f"error: unknown trace program {spec!r}; bundled names: "
+            + ", ".join(sorted(PROGRAMS))
+            + ", all"
+        )
+
+    failures = 0
+    for program in programs:
+        report = analyze_trace_program(program)
+        verdict_ok = report.verdicts() == {program.expect}
+        ok = verdict_ok and report.cross_check_ok
+        if not ok:
+            failures += 1
+        if not quiet or not ok:
+            print(report.render())
+            print(
+                f"expected verdict:        {program.expect} "
+                f"({'as predicted' if verdict_ok else 'MISPREDICTED'})"
+            )
+            print()
+    print(
+        f"{len(programs)} program(s) analyzed, {failures} failure(s); "
+        "static cache predictions "
+        + ("all match the runtime" if failures == 0 else "DIVERGE from the runtime")
+    )
+    return 0 if failures == 0 else 1
 
 
 def _run_ownership(spec: str, style: str) -> int:

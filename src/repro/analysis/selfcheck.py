@@ -27,7 +27,16 @@ Three sweeps, mirroring the three layers the subsystem spans:
    exclusivity-violation suite, asserting the checker produces exactly the
    expected verdict for each program.
 
-``python -m repro.analysis --self-check`` runs all four and exits 0 iff
+5. **Tracing sweep** — run the static trace-stability analysis over the
+   seeded step-program corpus: every program must produce exactly its
+   expected verdict (clean programs with zero diagnostics), every static
+   cache prediction must match the instrumented runtime's ``STATS``
+   deltas exactly, canonical-key equality must agree with the dynamic
+   ``fingerprint`` on every captured fragment pair, the hand-built
+   malformed traces must be rejected by pre-lowering shape inference,
+   and the LeNet-5 forward trace must shape-check cleanly.
+
+``python -m repro.analysis --self-check`` runs all five and exits 0 iff
 everything holds.
 """
 
@@ -59,6 +68,11 @@ class SelfCheckReport:
     ownership_functions_checked: int = 0
     exclusivity_violations_caught: int = 0
     mutation_sites_labeled: int = 0
+    trace_programs_checked: int = 0
+    trace_hazards_caught: int = 0
+    trace_predictions_matched: int = 0
+    trace_fragments_cross_validated: int = 0
+    malformed_traces_rejected: int = 0
     failures: list[str] = field(default_factory=list)
 
     @property
@@ -77,6 +91,11 @@ class SelfCheckReport:
             f"ownership-checked functions:   {self.ownership_functions_checked}",
             f"exclusivity violations caught: {self.exclusivity_violations_caught}",
             f"mutation sites labeled:        {self.mutation_sites_labeled}",
+            f"trace programs checked:        {self.trace_programs_checked}",
+            f"trace hazards caught:          {self.trace_hazards_caught}",
+            f"cache predictions matched:     {self.trace_predictions_matched}",
+            f"fragments cross-validated:     {self.trace_fragments_cross_validated}",
+            f"malformed traces rejected:     {self.malformed_traces_rejected}",
         ]
         if self.failures:
             lines.append(f"FAILURES ({len(self.failures)}):")
@@ -278,6 +297,107 @@ def _check_ownership(report: SelfCheckReport) -> None:
             )
 
 
+def _check_tracing(report: SelfCheckReport) -> None:
+    from repro.analysis.tracing import models as trace_models
+    from repro.analysis.tracing.report import (
+        analyze_trace_program,
+        fingerprint_of_fragment,
+    )
+    from repro.analysis.tracing.shapes import infer_trace_shapes
+
+    # Corpus sweep: exact verdicts, exact cache predictions, and — on every
+    # captured fragment pair — agreement between the static canonical key
+    # and the dynamic HLO fingerprint (the equivalence claim itself).
+    for program in trace_models.PROGRAMS.values():
+        try:
+            result = analyze_trace_program(program)
+        except ReproError as exc:
+            report.failures.append(f"trace program {program.name!r}: {exc}")
+            continue
+        report.trace_programs_checked += 1
+
+        verdicts = result.verdicts()
+        if verdicts != {program.expect}:
+            report.failures.append(
+                f"trace program {program.name!r}: expected verdict "
+                f"{program.expect!r}, got {sorted(verdicts)}"
+            )
+        elif program.expect != "clean":
+            report.trace_hazards_caught += 1
+
+        if program.expect == "clean" and any(
+            d.is_error for d in result.diagnostics
+        ):
+            report.failures.append(
+                f"trace program {program.name!r}: false positive: "
+                + next(d for d in result.diagnostics if d.is_error).message
+            )
+
+        if result.cross_check_ok:
+            report.trace_predictions_matched += 1
+        else:
+            report.failures.append(
+                f"trace program {program.name!r}: static cache prediction "
+                f"(compiles={result.predicted_compiles}, "
+                f"hits={result.predicted_cache_hits}) diverges from the "
+                f"runtime (compiles={result.dynamic_compiles}, "
+                f"hits={result.dynamic_cache_hits})"
+            )
+
+        analyzed = result.stability.fragments
+        records = result.capture.fragments
+        fingerprints = [fingerprint_of_fragment(r.fragment) for r in records]
+        for i in range(len(records)):
+            for j in range(i + 1, len(records)):
+                static_eq = analyzed[i].canonical.key == analyzed[j].canonical.key
+                dynamic_eq = fingerprints[i] == fingerprints[j]
+                if static_eq != dynamic_eq:
+                    report.failures.append(
+                        f"trace program {program.name!r}: canonical keys of "
+                        f"fragments {i} and {j} "
+                        f"{'agree' if static_eq else 'differ'} but their HLO "
+                        f"fingerprints "
+                        f"{'agree' if dynamic_eq else 'differ'}"
+                    )
+                else:
+                    report.trace_fragments_cross_validated += 1
+
+    # Malformed hand-built traces must be rejected before lowering.
+    for name, builder, needle in trace_models.MALFORMED_TRACES:
+        diagnostics = infer_trace_shapes(builder())
+        errors = [d for d in diagnostics if d.is_error]
+        if errors and needle in errors[0].message:
+            report.malformed_traces_rejected += 1
+        else:
+            report.failures.append(
+                f"malformed trace {name!r}: expected an error mentioning "
+                f"{needle!r}, got {[d.message for d in diagnostics] or 'none'}"
+            )
+    well = infer_trace_shapes(trace_models.wellformed_trace())
+    if well:
+        report.failures.append(
+            f"wellformed trace: spurious diagnostic: {well[0].message}"
+        )
+
+    # The LeNet-5 forward trace (the Figure 4 workload) must shape-check
+    # cleanly pre-lowering — the same DAG sweep 2 verifies post-lowering.
+    from repro.nn import LeNet
+    from repro.runtime.costmodel import S4TF_LAZY, TPU_V3_CORE
+    from repro.tensor import Device, Tensor
+    from repro.viz import capture_forward_trace
+
+    device = Device("lazy", TPU_V3_CORE, S4TF_LAZY)
+    model = LeNet.create(device, seed=0)
+    x = Tensor(np.zeros((1, 28, 28, 1), np.float32), device)
+    root = capture_forward_trace(model, x)
+    lenet_diags = infer_trace_shapes([root])
+    if lenet_diags:
+        report.failures.append(
+            f"LeNet forward trace: shape inference diagnostic: "
+            f"{lenet_diags[0].message}"
+        )
+
+
 def self_check(verbose: bool = False) -> SelfCheckReport:
     """Run all sweeps; the report's ``ok`` says whether everything held."""
     report = SelfCheckReport()
@@ -285,6 +405,7 @@ def self_check(verbose: bool = False) -> SelfCheckReport:
     _check_hlo(report)
     _check_pipeline(report)
     _check_ownership(report)
+    _check_tracing(report)
     if verbose:  # pragma: no cover
         print(report.summary())
     return report

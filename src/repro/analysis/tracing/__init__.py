@@ -1,0 +1,92 @@
+"""Static trace-stability analysis for LazyTensor (the tracing layer).
+
+PRs 1–2 gave the SIL and ownership layers static verification; this
+package does the same for the tracing layer of Section 3.4, whose
+performance model rests on two fragile dynamic properties: per-step
+traces must hash identically (so the trace-hash → executable cache hits),
+and traces must be cut before unrolled control flow grows them without
+bound.  Four cooperating analyses prove those properties ahead of
+execution instead of observing them after:
+
+* :mod:`~repro.analysis.tracing.canonical` — alpha-renaming +
+  data-abstraction canonicalizer producing the **static cache key**, with
+  an equivalence checker proving two fragments share one executable;
+* :mod:`~repro.analysis.tracing.stability` — the **retrace-storm
+  detector**: cross-step canonical diffing that attributes silent
+  recompilation to the exact step-volatile constants causing it, with
+  promote-to-input fix-its;
+* :mod:`~repro.analysis.tracing.growth` — the **unrolling/barrier
+  analyzer**: bounds per-step trace growth, flags auto-cut reliance, and
+  proposes barrier placement;
+* :mod:`~repro.analysis.tracing.shapes` — forward shape/dtype inference
+  over TraceNode DAGs against the :mod:`repro.hlo.shapes` rules, so
+  malformed traces are rejected before lowering with located diagnostics.
+
+Every report cross-checks its static cache predictions against the
+instrumented runtime (``STATS.compiles`` / ``STATS.cache_hits``);
+``python -m repro.analysis --trace <program|all>`` runs the analysis from
+the command line over the seeded corpus in
+:mod:`~repro.analysis.tracing.models`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tracing.canonical import (
+    CanonicalTrace,
+    ConstantSite,
+    cache_key,
+    canonicalize,
+    diff_constants,
+    explain_difference,
+    same_skeleton,
+    traces_equivalent,
+)
+from repro.analysis.tracing.capture import (
+    Fragment,
+    FragmentRecord,
+    SnapNode,
+    StepTraceCapture,
+    capture_step_traces,
+    snapshot_fragment,
+)
+from repro.analysis.tracing.growth import GrowthReport, analyze_growth
+from repro.analysis.tracing.report import (
+    TraceStabilityReport,
+    analyze_step_program,
+    analyze_trace_program,
+    fingerprint_of_fragment,
+)
+from repro.analysis.tracing.shapes import check_trace, infer_trace_shapes
+from repro.analysis.tracing.stability import (
+    StabilityReport,
+    VolatileConstant,
+    analyze_stability,
+)
+
+__all__ = [
+    "CanonicalTrace",
+    "ConstantSite",
+    "Fragment",
+    "FragmentRecord",
+    "GrowthReport",
+    "SnapNode",
+    "StabilityReport",
+    "StepTraceCapture",
+    "TraceStabilityReport",
+    "VolatileConstant",
+    "analyze_growth",
+    "analyze_stability",
+    "analyze_step_program",
+    "analyze_trace_program",
+    "cache_key",
+    "canonicalize",
+    "capture_step_traces",
+    "check_trace",
+    "diff_constants",
+    "explain_difference",
+    "fingerprint_of_fragment",
+    "infer_trace_shapes",
+    "same_skeleton",
+    "snapshot_fragment",
+    "traces_equivalent",
+]

@@ -1,0 +1,137 @@
+"""The unrolling/barrier analyzer: bounding per-step trace growth.
+
+Control flow is invisible to the tracer — loops unroll into the trace —
+so a training loop that never observes a tensor and never calls
+``LazyTensorBarrier()`` grows one unbounded trace (Section 3.4).  The
+runtime's ``_auto_cut`` fallback bounds memory when a threshold is set,
+but its cut points are op-count artifacts, not program structure, so
+relying on it is a performance hazard rather than a crash.
+
+Verdicts, from the per-step measurements the capture harness records:
+
+* **error** — pending trace grows monotonically with the step index and
+  nothing (barrier, observation, or auto-cut) ever cuts it: the loop is
+  being unrolled without bound.  The fix-it proposes the barrier
+  placement the training-loop library uses (cut after the optimizer
+  update, at the end of each step).
+* **warning** — every cut was an ``_auto_cut``: the program only
+  terminates its traces via the fallback, so fragment boundaries are
+  accidental and may drift across steps; an explicit barrier makes them
+  semantic.
+* clean — per-step pending work is bounded and cuts (if any) are
+  program-placed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import Diagnostic, SourceLocation
+
+from repro.analysis.tracing.capture import StepTraceCapture
+
+
+@dataclass
+class GrowthReport:
+    """What the analyzer bounded (or failed to bound) about trace growth."""
+
+    steps: int
+    per_step_recorded: list[int] = field(default_factory=list)
+    per_step_pending: list[int] = field(default_factory=list)
+    cut_reasons: set = field(default_factory=set)
+    auto_barrier_threshold: Optional[int] = None
+    #: Largest fragment actually cut, in ops (the compile-size bound).
+    max_fragment_ops: int = 0
+    #: True iff the pending trace is proven not to grow with the step index.
+    bounded: bool = True
+    #: True iff fragments were only ever cut by the ``_auto_cut`` fallback.
+    auto_cut_only: bool = False
+    barrier_suggestion: Optional[str] = None
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not any(d.is_error for d in self.diagnostics)
+
+    def render(self) -> str:
+        lines = [
+            f"per-step ops recorded:   {self.per_step_recorded}",
+            f"per-step ops pending:    {self.per_step_pending}",
+            f"cut reasons:             {sorted(self.cut_reasons) or ['(none)']}",
+            f"max fragment size:       {self.max_fragment_ops} ops",
+            f"growth bounded:          {self.bounded}",
+        ]
+        lines.extend(str(d) for d in self.diagnostics)
+        if self.barrier_suggestion:
+            lines.append(f"suggestion: {self.barrier_suggestion}")
+        return "\n".join(lines)
+
+
+def _grows_without_bound(pending: list[int]) -> bool:
+    """Monotone non-decreasing with net positive slope ⇒ unbounded."""
+    if len(pending) < 2:
+        return False
+    deltas = [b - a for a, b in zip(pending, pending[1:])]
+    return all(d >= 0 for d in deltas) and sum(deltas) > 0
+
+
+def analyze_growth(capture: StepTraceCapture) -> GrowthReport:
+    """Bound per-step trace growth and audit how fragments get cut."""
+    report = GrowthReport(
+        steps=capture.steps,
+        per_step_recorded=list(capture.per_step_recorded),
+        per_step_pending=list(capture.per_step_pending),
+        cut_reasons=set(capture.cut_reasons),
+        auto_barrier_threshold=capture.auto_barrier_threshold,
+        max_fragment_ops=max(
+            (f.fragment.n_ops for f in capture.fragments), default=0
+        ),
+    )
+    unbounded = _grows_without_bound(report.per_step_pending)
+    report.bounded = not unbounded
+    report.auto_cut_only = bool(report.cut_reasons) and report.cut_reasons == {
+        "auto_cut"
+    }
+
+    if unbounded:
+        growth_text = " → ".join(map(str, report.per_step_pending))
+        if capture.auto_barrier_threshold is None:
+            report.barrier_suggestion = (
+                "insert LazyTensorBarrier(device) at the end of each step "
+                "(after the optimizer update), or set an "
+                "auto_barrier_threshold on the device as a backstop"
+            )
+            report.diagnostics.append(
+                Diagnostic(
+                    "error",
+                    "unbounded trace growth: pending ops rise every step "
+                    f"({growth_text}) and no barrier, observation, or "
+                    "auto-cut ever cuts the trace — the loop is being "
+                    f"unrolled; {report.barrier_suggestion}",
+                    SourceLocation("<trace>", len(report.per_step_pending), 0),
+                )
+            )
+        else:
+            # A threshold exists but has not fired yet; growth is bounded
+            # by it, not by the program.  Treated like auto-cut reliance.
+            report.bounded = True
+            report.auto_cut_only = True
+
+    if report.auto_cut_only and not any(d.is_error for d in report.diagnostics):
+        report.barrier_suggestion = (
+            "place an explicit LazyTensorBarrier(device) where a step "
+            "semantically ends so cut points stop depending on the op "
+            "counter"
+        )
+        report.diagnostics.append(
+            Diagnostic(
+                "warning",
+                "trace only terminates via the _auto_cut fallback "
+                f"(threshold={capture.auto_barrier_threshold}): fragment "
+                "boundaries are op-count artifacts and can drift across "
+                f"steps; {report.barrier_suggestion}",
+                SourceLocation("<trace>", 0, 0),
+            )
+        )
+    return report

@@ -1,0 +1,242 @@
+"""The retrace-storm detector: cross-step canonical trace diffing.
+
+A LazyTensor training loop is only fast if the per-step trace hashes
+identically across steps, so steps 2..N hit the trace-hash → executable
+cache.  The failure mode — named "silent recompilation" by the LazyTensor
+paper and familiar from ``tf.function`` input-signature churn — is a
+*step-volatile* value embedded in the trace as a constant: a learning-rate
+schedule, a step counter, an annealing temperature.  Every step then
+produces a fresh canonical key and the JIT recompiles forever.
+
+This detector diffs the canonical form of each step's fragments:
+
+* identical keys across steps → *step-stable*: proven cache hits;
+* identical skeletons, differing constant values → a **retrace storm**,
+  attributed to the exact constant sites that change, with a fix-it
+  (promote the value to a trace input so it becomes a parameter);
+* differing skeletons → **structural instability** (shape or program
+  changes per step — every step is a genuinely new program).
+
+It also replays the compiler cache statically: walking fragments in cut
+order against a simulated (cold) key set yields the exact compile and
+cache-hit counts the runtime must observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import Diagnostic, SourceLocation
+
+from repro.analysis.tracing.canonical import (
+    CanonicalTrace,
+    canonicalize,
+    diff_constants,
+    same_skeleton,
+)
+from repro.analysis.tracing.capture import StepTraceCapture
+
+
+@dataclass(frozen=True)
+class VolatileConstant:
+    """One step-volatile trace-embedded literal and its observed values."""
+
+    slot: int  # fragment position within a step
+    position: int  # canonical node position within the fragment
+    values: tuple[float, ...]  # per-step values, in step order
+
+    def fix_it(self) -> str:
+        preview = ", ".join(f"{v:g}" for v in self.values[:4])
+        if len(self.values) > 4:
+            preview += ", …"
+        return (
+            f"promote the value at %{self.position} to a trace input "
+            f"(pass it as a Tensor, not a Python number) so the per-step "
+            f"trace hashes identically; embedded values were [{preview}]"
+        )
+
+
+@dataclass
+class AnalyzedFragment:
+    """A captured fragment paired with its canonical form."""
+
+    step: int
+    slot: int
+    reason: str
+    canonical: CanonicalTrace
+    predicted_hit: bool = False
+
+
+@dataclass
+class StabilityReport:
+    """Everything the detector proved about cross-step cache behavior."""
+
+    steps: int
+    fragments: list[AnalyzedFragment] = field(default_factory=list)
+    predicted_compiles: int = 0
+    predicted_cache_hits: int = 0
+    predicted_unique_keys: int = 0
+    volatile_constants: list[VolatileConstant] = field(default_factory=list)
+    structurally_unstable_slots: list[int] = field(default_factory=list)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def stable(self) -> bool:
+        """True iff steps 2..N are proven all-cache-hits."""
+        return (
+            not self.volatile_constants
+            and not self.structurally_unstable_slots
+            and not any(d.is_error for d in self.diagnostics)
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"steps analyzed:          {self.steps}",
+            f"fragments cut:           {len(self.fragments)}",
+            f"unique executables:      {self.predicted_unique_keys}",
+            f"predicted compiles:      {self.predicted_compiles}",
+            f"predicted cache hits:    {self.predicted_cache_hits}",
+        ]
+        for diag in self.diagnostics:
+            lines.append(str(diag))
+        if not self.diagnostics:
+            lines.append("trace is step-stable: steps 2..N are all cache hits")
+        return "\n".join(lines)
+
+
+def _slot_location(slot: int) -> SourceLocation:
+    return SourceLocation("<trace>", slot, 0)
+
+
+def analyze_stability(capture: StepTraceCapture) -> StabilityReport:
+    """Statically classify the capture's fragments and predict cache
+    behavior, without consulting the compiler or its cache."""
+    report = StabilityReport(steps=capture.steps)
+
+    # 1. Canonicalize every fragment and replay the executable cache.
+    seen_keys: set[str] = set()
+    for record in capture.fragments:
+        canonical = canonicalize(record.fragment.roots)
+        hit = canonical.key in seen_keys
+        if hit:
+            report.predicted_cache_hits += 1
+        else:
+            report.predicted_compiles += 1
+            seen_keys.add(canonical.key)
+        report.fragments.append(
+            AnalyzedFragment(record.step, record.index, record.reason, canonical, hit)
+        )
+    report.predicted_unique_keys = len(seen_keys)
+
+    # 2. Diff fragments slot-by-slot across steps.  The first step is a
+    # warm-up: any trace recorded before the loop (dataset preprocessing,
+    # initialization) is swept into its first barrier, so the property to
+    # prove — the lazy_backend docstring's claim — is that steps 2..N all
+    # share the steady-state executables.  Step 0 merely earns a note when
+    # it differs.
+    by_step: dict[int, list[AnalyzedFragment]] = {}
+    for fragment in report.fragments:
+        by_step.setdefault(fragment.step, []).append(fragment)
+    if not by_step:
+        return report
+    tail_steps = sorted(step for step in by_step if step >= 1)
+    if len(tail_steps) < 2:
+        tail_steps = sorted(by_step)  # too short for a warm-up split
+    counts = {step: len(by_step[step]) for step in tail_steps}
+    if len(set(counts.values())) > 1:
+        report.structurally_unstable_slots.append(-1)
+        report.diagnostics.append(
+            Diagnostic(
+                "warning",
+                "steps cut differing numbers of trace fragments "
+                f"({', '.join(f'step {s}: {counts[s]}' for s in tail_steps)}); "
+                "cut points drift across steps, so fragments cannot be "
+                "proven cache-stable",
+                _slot_location(0),
+            )
+        )
+
+    n_slots = min(counts.values()) if counts else 0
+    stable_slots = 0
+    for slot in range(n_slots):
+        series = [by_step[step][slot] for step in tail_steps]
+        if len(series) < 2:
+            continue
+        baseline = series[0].canonical
+        if all(f.canonical.key == baseline.key for f in series[1:]):
+            stable_slots += 1
+            continue  # proven stable: identical executable every step
+        if all(same_skeleton(f.canonical, baseline) for f in series[1:]):
+            # Retrace storm: same program shape, different embedded values.
+            changed: set[int] = set()
+            for fragment in series[1:]:
+                for position, _v0, _v1 in diff_constants(
+                    baseline, fragment.canonical
+                ):
+                    changed.add(position)
+            for position in sorted(changed):
+                values = []
+                for fragment in series:
+                    for site in fragment.canonical.constants:
+                        if site.position == position:
+                            values.append(site.value)
+                volatile = VolatileConstant(slot, position, tuple(values))
+                report.volatile_constants.append(volatile)
+                report.diagnostics.append(
+                    Diagnostic(
+                        "error",
+                        f"retrace storm: the constant at %{position} is "
+                        f"step-volatile — every step records a new trace "
+                        f"key and recompiles; {volatile.fix_it()}",
+                        _slot_location(position),
+                    )
+                )
+        else:
+            report.structurally_unstable_slots.append(slot)
+            divergent = next(
+                f for f in series[1:] if not same_skeleton(f.canonical, baseline)
+            )
+            detail = _skeleton_divergence(baseline, divergent.canonical)
+            report.diagnostics.append(
+                Diagnostic(
+                    "error",
+                    f"trace structure varies across steps (fragment {slot}): "
+                    f"{detail}; every step compiles a genuinely new "
+                    "executable — make per-step shapes and program "
+                    "structure uniform",
+                    _slot_location(slot),
+                )
+            )
+
+    # Warm-up note: the first step may legitimately compile its own
+    # fragment (setup work swept into the first barrier).
+    first_step = sorted(by_step)[0]
+    if first_step not in tail_steps and stable_slots == n_slots and n_slots:
+        tail_keys = {
+            by_step[step][slot].canonical.key
+            for step in tail_steps
+            for slot in range(n_slots)
+        }
+        if any(
+            f.canonical.key not in tail_keys for f in by_step[first_step]
+        ):
+            report.diagnostics.append(
+                Diagnostic(
+                    "note",
+                    "the first step's trace differs from the steady state "
+                    "(setup work recorded before the loop is swept into "
+                    "its fragment); steps 2..N share one executable",
+                    _slot_location(0),
+                )
+            )
+    return report
+
+
+def _skeleton_divergence(a: CanonicalTrace, b: CanonicalTrace) -> str:
+    for i, (la, lb) in enumerate(zip(a.skeleton.splitlines(), b.skeleton.splitlines())):
+        if la != lb:
+            return f"step traces diverge at %{i} ({la!r} vs {lb!r})"
+    return (
+        f"step traces differ in size ({len(a.lines) - 1} vs "
+        f"{len(b.lines) - 1} canonical nodes)"
+    )

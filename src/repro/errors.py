@@ -67,6 +67,21 @@ class HloError(ReproError):
         self.offending_pass = offending_pass
 
 
+class TraceError(ReproError):
+    """Static trace-stability analysis rejected a LazyTensor trace.
+
+    Carries the full batch of located diagnostics (malformed shapes,
+    unknown ops, retrace hazards), mirroring how
+    :class:`DifferentiabilityError` batches linter output.
+    """
+
+    def __init__(self, diagnostics):
+        self.diagnostics = list(diagnostics)
+        super().__init__(
+            "; ".join(str(d) for d in self.diagnostics) or "invalid trace"
+        )
+
+
 class BorrowError(ReproError):
     """A mutable value was borrowed while another unique borrow was live."""
 

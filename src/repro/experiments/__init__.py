@@ -14,6 +14,11 @@ from repro.experiments.table1 import (
 from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import FULL_WORKLOAD, SCALED_WORKLOAD, Workload, run_table3
 from repro.experiments.table4 import run_table4
+from repro.experiments.trace_stability import (
+    TraceStabilityResult,
+    TraceStabilityRow,
+    run_trace_stability,
+)
 
 __all__ = [
     "Figure4Result",
@@ -31,4 +36,7 @@ __all__ = [
     "Workload",
     "run_table3",
     "run_table4",
+    "TraceStabilityResult",
+    "TraceStabilityRow",
+    "run_trace_stability",
 ]

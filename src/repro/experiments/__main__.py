@@ -20,6 +20,7 @@ from repro.experiments import (
     run_table2,
     run_table3,
     run_table4,
+    run_trace_stability,
 )
 
 
@@ -40,6 +41,7 @@ EXPERIMENTS = {
     "table4": lambda: run_table4().render(),
     "figure4": _figure4_text,
     "figure9": lambda: render_figure9(run_figure9()),
+    "trace_stability": lambda: run_trace_stability().render(),
 }
 
 

@@ -4,6 +4,7 @@ from repro.hlo.builder import HloBuilder
 from repro.hlo.compiler import (
     STATS,
     Executable,
+    cache_keys,
     cache_size,
     clear_cache,
     compile_module,
@@ -34,6 +35,7 @@ __all__ = [
     "HloBuilder",
     "STATS",
     "Executable",
+    "cache_keys",
     "cache_size",
     "clear_cache",
     "compile_module",

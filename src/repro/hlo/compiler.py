@@ -306,3 +306,12 @@ def clear_cache() -> None:
 
 def cache_size() -> int:
     return len(_CACHE)
+
+
+def cache_keys() -> tuple[str, ...]:
+    """Canonical fingerprints currently cached (insertion order).
+
+    The static trace-stability analyzer cross-checks its predicted
+    distinct-executable count against the growth of this set.
+    """
+    return tuple(_CACHE)

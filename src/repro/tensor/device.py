@@ -84,6 +84,12 @@ class Device:
             return self.runtime.sync()
         return 0.0
 
+    def trace_stats(self) -> dict:
+        """Tracing counters (lazy devices only; empty otherwise)."""
+        if self.kind == "lazy":
+            return self.runtime.trace_stats()
+        return {}
+
     def __repr__(self) -> str:
         return f"Device({self.name})"
 

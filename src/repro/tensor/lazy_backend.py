@@ -81,10 +81,17 @@ class LazyRuntime:
         self.compiles_triggered = 0
         #: Section 3.4's future work, implemented: when set, a trace
         #: fragment is compiled and dispatched automatically once it grows
-        #: past this many ops — no user annotations required.
+        #: past this many ops — no user annotations required.  Reassignable
+        #: at any point (validated by the property setter below).
         self.auto_barrier_threshold = auto_barrier_threshold
         self.ops_since_cut = 0
         self.auto_cuts = 0
+        #: Callbacks ``observer(targets, reason)`` invoked with every trace
+        #: fragment *before* it is lowered and executed (reason is one of
+        #: ``"observe"``, ``"barrier"``, ``"auto_cut"``).  The static
+        #: trace-stability analyzer hooks here to snapshot fragments while
+        #: their DAG structure is still intact (execution consumes it).
+        self.fragment_observers: list = []
         #: Tensors currently alive on this device; the nodes they hold are
         #: what a barrier must materialize.  (Weak: dead intermediates of a
         #: trace are never barrier roots, which both preserves fusion and
@@ -101,7 +108,38 @@ class LazyRuntime:
         self.ops_traced = 0
         self.materializations = 0
         self.compiles_triggered = 0
+        self.ops_since_cut = 0
+        self.auto_cuts = 0
         self.sim.reset()
+
+    @property
+    def auto_barrier_threshold(self) -> Optional[int]:
+        return self._auto_barrier_threshold
+
+    @auto_barrier_threshold.setter
+    def auto_barrier_threshold(self, value: Optional[int]) -> None:
+        if value is not None:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise ValueError(
+                    f"auto_barrier_threshold must be an int or None, "
+                    f"got {value!r}"
+                )
+            if value < 1:
+                raise ValueError(
+                    f"auto_barrier_threshold must be >= 1, got {value}"
+                )
+        self._auto_barrier_threshold = value
+
+    def trace_stats(self) -> dict:
+        """Tracing counters for reporting: recorded ops, cuts, compiles."""
+        return {
+            "ops_traced": self.ops_traced,
+            "ops_since_cut": self.ops_since_cut,
+            "materializations": self.materializations,
+            "compiles_triggered": self.compiles_triggered,
+            "auto_cuts": self.auto_cuts,
+            "auto_barrier_threshold": self.auto_barrier_threshold,
+        }
 
     @property
     def elapsed(self) -> float:
@@ -144,7 +182,7 @@ class LazyRuntime:
             if isinstance(node, TraceNode) and not node.is_source:
                 seen[node.id] = node
         self.auto_cuts += 1
-        self._execute([seen[i] for i in sorted(seen)])
+        self._execute([seen[i] for i in sorted(seen)], reason="auto_cut")
 
     def source(self, array: np.ndarray) -> TraceNode:
         array = np.asarray(array, dtype=np.float32)
@@ -178,9 +216,11 @@ class LazyRuntime:
                 seen[node.id] = node
         pending = [seen[i] for i in sorted(seen)]
         if pending:
-            self._execute(pending)
+            self._execute(pending, reason="barrier")
 
-    def _execute(self, targets: list[TraceNode]) -> None:
+    def _execute(self, targets: list[TraceNode], reason: str = "observe") -> None:
+        for observer in self.fragment_observers:
+            observer(targets, reason)
         module, param_nodes = _lower_to_hlo(targets)
         if self.capture_traces:
             from repro.hlo.printer import print_module

@@ -1,7 +1,8 @@
-"""Trace visualisation (Figure 4)."""
+"""Trace visualisation (Figure 4), with static-analysis annotations."""
 
 from repro.viz.trace_viz import (
     capture_forward_trace,
+    stability_timeline,
     trace_summary,
     trace_to_dot,
     trace_to_text,
@@ -9,6 +10,7 @@ from repro.viz.trace_viz import (
 
 __all__ = [
     "capture_forward_trace",
+    "stability_timeline",
     "trace_summary",
     "trace_to_dot",
     "trace_to_text",

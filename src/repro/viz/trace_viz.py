@@ -4,11 +4,18 @@ Renders a trace DAG — as recorded by the lazy backend before
 materialization — in two forms: an indented text tree for terminals and
 Graphviz DOT for figures.  ``capture_forward_trace`` reproduces the
 paper's Figure 4 setup: the trace of a model's forward pass.
+
+With ``annotate=True`` (or volatile-constant positions from the
+retrace-storm detector) the renderings carry the static analysis results:
+the canonical cache key in the header, cut points (the fragment's roots)
+marked, and step-volatile constants highlighted at their canonical
+positions.  ``stability_timeline`` renders a whole captured run as a
+per-step cut/compile/hit timeline.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.tensor.lazy_backend import TraceNode
 
@@ -42,28 +49,126 @@ def _label(node: TraceNode) -> str:
     return f"{node.op} f32[{shape}]{attrs}"
 
 
-def trace_to_text(roots: Iterable[TraceNode]) -> str:
-    """One line per node in topological order, operands by id."""
-    order = _collect(list(roots))
+def _canonicalize(roots: list):
+    # Imported lazily: the canonicalizer lives in the analysis layer, and
+    # viz must stay importable without dragging the analyzers in eagerly.
+    from repro.analysis.tracing.canonical import canonicalize
+
+    return canonicalize(roots)
+
+
+def trace_to_text(
+    roots: Iterable[TraceNode],
+    annotate: bool = False,
+    volatile_positions: Sequence[int] = (),
+) -> str:
+    """One line per node in topological order, operands by id.
+
+    ``annotate=True`` prefixes the static cache key and marks the cut
+    points (the fragment's roots); ``volatile_positions`` — canonical
+    positions from the retrace-storm detector — highlight the constants
+    whose per-step churn defeats the executable cache.
+    """
+    roots = list(roots)
+    order = _collect(roots)
     index = {node.id: i for i, node in enumerate(order)}
     lines = []
+    volatile_ids: set[int] = set()
+    if annotate or volatile_positions:
+        canonical = _canonicalize(roots)
+        volatile_ids = {
+            canonical.node_ids[p]
+            for p in volatile_positions
+            if 0 <= p < len(canonical.node_ids)
+        }
+        if annotate:
+            lines.append(
+                f"# cache key {canonical.digest} "
+                f"({canonical.n_params} params, {canonical.n_ops} ops)"
+            )
+    root_ids = {r.id for r in roots}
     for i, node in enumerate(order):
         operands = ", ".join(f"%{index[x.id]}" for x in node.inputs)
-        lines.append(f"%{i} = {_label(node)}" + (f" ({operands})" if operands else ""))
+        line = f"%{i} = {_label(node)}" + (f" ({operands})" if operands else "")
+        if node.id in volatile_ids:
+            line += "   <-- step-volatile constant (promote to a trace input)"
+        elif annotate and node.id in root_ids:
+            line += "   <-- cut point (materialized here)"
+        lines.append(line)
     return "\n".join(lines)
 
 
-def trace_to_dot(roots: Iterable[TraceNode], name: str = "trace") -> str:
-    """Graphviz DOT of the trace DAG (the Figure 4 rendering)."""
-    order = _collect(list(roots))
+def trace_to_dot(
+    roots: Iterable[TraceNode],
+    name: str = "trace",
+    annotate: bool = False,
+    volatile_positions: Sequence[int] = (),
+) -> str:
+    """Graphviz DOT of the trace DAG (the Figure 4 rendering).
+
+    Annotations mirror :func:`trace_to_text`: the graph label carries the
+    canonical cache key, cut points get a double border, and step-volatile
+    constants are filled red.
+    """
+    roots = list(roots)
+    order = _collect(roots)
     lines = [f"digraph {name} {{", "  rankdir=TB;", '  node [shape=box, fontsize=10];']
+    volatile_ids: set[int] = set()
+    if annotate or volatile_positions:
+        canonical = _canonicalize(roots)
+        volatile_ids = {
+            canonical.node_ids[p]
+            for p in volatile_positions
+            if 0 <= p < len(canonical.node_ids)
+        }
+        if annotate:
+            lines.append(f'  label="cache key {canonical.digest}";')
+            lines.append("  labelloc=t;")
+    root_ids = {r.id for r in roots} if annotate else set()
     for node in order:
-        shape_attr = ', style=filled, fillcolor="#dddddd"' if node.is_source else ""
-        lines.append(f'  n{node.id} [label="{_label(node)}"{shape_attr}];')
+        extra = ""
+        if node.id in volatile_ids:
+            extra = ', style=filled, fillcolor="#ffb3b3"'
+        elif node.is_source:
+            extra = ', style=filled, fillcolor="#dddddd"'
+        if node.id in root_ids:
+            extra += ", peripheries=2"
+        lines.append(f'  n{node.id} [label="{_label(node)}"{extra}];')
     for node in order:
         for operand in node.inputs:
             lines.append(f"  n{operand.id} -> n{node.id};")
     lines.append("}")
+    return "\n".join(lines)
+
+
+def stability_timeline(report) -> str:
+    """Render a :class:`~repro.analysis.tracing.stability.StabilityReport`
+    as a per-step timeline: when each fragment was cut, why, under which
+    canonical key, and whether the executable cache (statically) hits."""
+    by_step: dict[int, list] = {}
+    for fragment in report.fragments:
+        by_step.setdefault(fragment.step, []).append(fragment)
+    volatile_by_slot: dict[int, list] = {}
+    for volatile in report.volatile_constants:
+        volatile_by_slot.setdefault(volatile.slot, []).append(volatile)
+    lines = []
+    for step in sorted(by_step):
+        for fragment in by_step[step]:
+            outcome = "cache hit" if fragment.predicted_hit else "compile"
+            lines.append(
+                f"step {step}: fragment {fragment.slot} cut by "
+                f"{fragment.reason}, key {fragment.canonical.digest} "
+                f"({outcome})"
+            )
+        for slot, volatiles in sorted(volatile_by_slot.items()):
+            for volatile in volatiles:
+                if slot < len(by_step[step]):
+                    lines.append(
+                        f"        ^ %{volatile.position} step-volatile "
+                        "constant defeats the cache"
+                    )
+    if not lines:
+        lines.append("(no fragments cut)")
     return "\n".join(lines)
 
 

@@ -22,6 +22,14 @@ def test_self_check_passes_and_covers_all_layers():
     assert report.ownership_functions_checked >= 50
     assert report.exclusivity_violations_caught == 4
     assert report.mutation_sites_labeled > 0
+    # Tracing sweep: the whole corpus, with every hazard caught, every
+    # cache prediction exact, and canonical keys agreeing with real HLO
+    # fingerprints on every fragment pair.
+    assert report.trace_programs_checked == 9
+    assert report.trace_hazards_caught == 5
+    assert report.trace_predictions_matched == 9
+    assert report.trace_fragments_cross_validated >= 50
+    assert report.malformed_traces_rejected == 4
     assert "all checks passed" in report.summary()
 
 
@@ -42,3 +50,24 @@ def test_cli_self_check_exits_zero(capsys):
 def test_cli_without_flags_prints_help(capsys):
     assert main([]) == 2
     assert "self-check" in capsys.readouterr().out
+
+
+def test_cli_trace_single_program(capsys):
+    assert main(["--trace", "lr_schedule_storm"]) == 0
+    out = capsys.readouterr().out
+    assert "retrace storm" in out
+    assert "static prediction vs dynamic runtime: MATCH" in out
+    assert "volatile-constant (as predicted)" in out
+
+
+def test_cli_trace_all_quiet(capsys):
+    assert main(["--trace", "all", "-q"]) == 0
+    out = capsys.readouterr().out
+    assert "9 program(s) analyzed, 0 failure(s)" in out
+
+
+def test_cli_trace_unknown_program():
+    import pytest
+
+    with pytest.raises(SystemExit, match="unknown trace program"):
+        main(["--trace", "nonesuch"])

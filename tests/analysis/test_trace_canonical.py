@@ -1,0 +1,131 @@
+"""The trace canonicalizer: the static cache key must predict the
+dynamic HLO fingerprint exactly — equality both ways."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tracing import (
+    cache_key,
+    canonicalize,
+    diff_constants,
+    explain_difference,
+    same_skeleton,
+    snapshot_fragment,
+    traces_equivalent,
+)
+from repro.tensor import Tensor, lazy_device
+
+
+def _trace(build, *arrays):
+    """Record ``build(*tensors)`` on a fresh lazy device; return roots."""
+    device = lazy_device()
+    tensors = [Tensor(a, device) for a in arrays]
+    out = build(*tensors)
+    outs = out if isinstance(out, (list, tuple)) else [out]
+    return [t._impl for t in outs]
+
+
+def test_alpha_invariance_identical_programs_share_a_key():
+    # Two independent recordings (distinct node ids) of one program.
+    a = _trace(lambda w: w - w * 0.1, np.ones(8, np.float32))
+    b = _trace(lambda w: w - w * 0.1, np.ones(8, np.float32))
+    assert traces_equivalent(canonicalize(a), canonicalize(b))
+    assert cache_key(a) == cache_key(b)
+
+
+def test_data_independence_source_values_never_change_the_key():
+    a = _trace(lambda w: (w * 2.0).sum(), np.ones(8, np.float32))
+    b = _trace(lambda w: (w * 2.0).sum(), np.full(8, -3.5, np.float32))
+    assert traces_equivalent(canonicalize(a), canonicalize(b))
+
+
+def test_constant_value_changes_key_but_not_skeleton():
+    a = canonicalize(_trace(lambda w: w * 0.1, np.ones(4, np.float32)))
+    b = canonicalize(_trace(lambda w: w * 0.2, np.ones(4, np.float32)))
+    assert not traces_equivalent(a, b)
+    assert same_skeleton(a, b)
+    [(position, va, vb)] = diff_constants(a, b)
+    assert (va, vb) == (0.1, 0.2)
+    assert f"%{position}" in explain_difference(a, b)
+    assert "constants" in explain_difference(a, b)
+
+
+def test_shape_change_breaks_the_skeleton():
+    a = canonicalize(_trace(lambda w: w * 2.0, np.ones(4, np.float32)))
+    b = canonicalize(_trace(lambda w: w * 2.0, np.ones(5, np.float32)))
+    assert not traces_equivalent(a, b)
+    assert not same_skeleton(a, b)
+    assert "diverge" in explain_difference(a, b)
+
+
+def test_op_change_breaks_the_skeleton():
+    a = canonicalize(_trace(lambda w: w + w, np.ones(4, np.float32)))
+    b = canonicalize(_trace(lambda w: w * w, np.ones(4, np.float32)))
+    assert not same_skeleton(a, b)
+
+
+def test_equivalent_traces_are_self_explanatory():
+    a = canonicalize(_trace(lambda w: w.relu(), np.ones(4, np.float32)))
+    b = canonicalize(_trace(lambda w: w.relu(), np.ones(4, np.float32)))
+    assert explain_difference(a, b) is None
+
+
+def test_multi_root_fragments_canonicalize_in_cut_order():
+    def build(w):
+        h = w * 2.0
+        return h + 1.0, h - 1.0
+
+    a = canonicalize(_trace(build, np.ones(4, np.float32)))
+    b = canonicalize(_trace(build, np.ones(4, np.float32)))
+    assert traces_equivalent(a, b)
+    assert a.lines[-1].startswith("roots(")
+    # Root order is part of the key: reversed outputs are a different
+    # executable (the tuple result shape differs).
+    c = canonicalize(list(reversed(_trace(build, np.ones(4, np.float32)))))
+    assert not traces_equivalent(a, c)
+
+
+def test_counts_params_ops_and_constants():
+    canonical = canonicalize(
+        _trace(lambda w, v: (w @ v) * 0.5, np.ones((2, 3), np.float32),
+               np.ones((3, 4), np.float32))
+    )
+    assert canonical.n_params == 2
+    assert canonical.n_ops == 2  # matmul + mul
+    assert [site.value for site in canonical.constants] == [0.5]
+    assert len(canonical.node_ids) == len(canonical.lines) - 1
+
+
+@pytest.mark.parametrize(
+    "build_a, build_b, expect_equal",
+    [
+        (lambda w: w - w * 0.1, lambda w: w - w * 0.1, True),
+        (lambda w: w - w * 0.1, lambda w: w - w * 0.2, False),
+        (lambda w: (w * w).sum(), lambda w: (w * w).sum(), True),
+        (lambda w: w.relu(), lambda w: w.tanh(), False),
+    ],
+)
+def test_canonical_equality_matches_hlo_fingerprint(build_a, build_b, expect_equal):
+    """The load-bearing claim: key equality ⇔ fingerprint equality."""
+    from repro.analysis.tracing import fingerprint_of_fragment
+
+    frag_a = snapshot_fragment(_trace(build_a, np.ones(6, np.float32)))
+    frag_b = snapshot_fragment(_trace(build_b, np.ones(6, np.float32)))
+    static_equal = traces_equivalent(
+        canonicalize(frag_a.roots), canonicalize(frag_b.roots)
+    )
+    dynamic_equal = fingerprint_of_fragment(frag_a) == fingerprint_of_fragment(
+        frag_b
+    )
+    assert static_equal == dynamic_equal == expect_equal
+
+
+def test_snapshot_survives_materialization():
+    device = lazy_device()
+    w = Tensor(np.full(4, 2.0, np.float32), device)
+    out = w * 3.0
+    frag = snapshot_fragment([out._impl])
+    key_before = cache_key(frag.roots)
+    out.numpy()  # materializes; the live node collapses to a source
+    assert out._impl.is_source
+    assert cache_key(frag.roots) == key_before  # snapshot is immutable

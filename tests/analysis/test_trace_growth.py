@@ -1,0 +1,102 @@
+"""The unrolling/barrier analyzer: growth bounds and cut-point auditing."""
+
+import numpy as np
+
+from repro.analysis.tracing import analyze_step_program, capture_step_traces
+from repro.analysis.tracing.growth import _grows_without_bound
+from repro.analysis.tracing.models import PROGRAMS
+from repro.analysis.tracing.report import analyze_trace_program
+from repro.tensor import LazyTensorBarrier, Tensor, lazy_device
+
+
+def test_unbounded_growth_is_an_error_with_barrier_fix_it():
+    report = analyze_trace_program(PROGRAMS["unrolled_no_barrier"])
+    growth = report.growth
+    assert not growth.bounded
+    [diag] = [d for d in growth.diagnostics if d.is_error]
+    assert "unbounded trace growth" in diag.message
+    assert "LazyTensorBarrier(device)" in diag.message
+    assert growth.barrier_suggestion
+    # Pending work really does rise every step.
+    assert growth.per_step_pending == sorted(growth.per_step_pending)
+    assert growth.per_step_pending[-1] > growth.per_step_pending[0]
+
+
+def test_auto_cut_reliance_is_a_warning_not_an_error():
+    report = analyze_trace_program(PROGRAMS["auto_cut_reliance"])
+    growth = report.growth
+    assert growth.bounded
+    assert growth.auto_cut_only
+    assert growth.ok  # warnings don't fail the analysis outright
+    [diag] = growth.diagnostics
+    assert diag.severity == "warning"
+    assert "_auto_cut" in diag.message
+    assert "threshold=6" in diag.message
+    assert report.capture.dynamic_auto_cuts > 0
+
+
+def test_threshold_set_but_not_yet_fired_counts_as_reliance():
+    """Growth bounded only by a threshold that hasn't fired is still
+    auto-cut reliance, not proven-bounded."""
+    device = lazy_device(auto_barrier_threshold=500)
+    state = {"w": Tensor(np.ones(4, np.float32), device)}
+
+    def step_fn(step):
+        state["w"] = state["w"] + 1.0  # never cut within the capture
+
+    report = analyze_step_program(step_fn, 4, device, name="latent_threshold")
+    assert report.growth.bounded
+    assert report.growth.auto_cut_only
+    assert report.verdicts() == {"auto-cut-reliance"}
+
+
+def test_clean_barrier_loops_are_bounded_with_program_placed_cuts():
+    report = analyze_trace_program(PROGRAMS["sgd_scalar_clean"])
+    growth = report.growth
+    assert growth.bounded
+    assert not growth.auto_cut_only
+    assert growth.cut_reasons == {"barrier"}
+    assert not growth.diagnostics
+    assert all(p == 0 for p in growth.per_step_pending)
+
+
+def test_observation_counts_as_a_program_placed_cut():
+    report = analyze_trace_program(PROGRAMS["observe_each_step_clean"])
+    assert report.growth.cut_reasons == {"observe"}
+    assert not report.growth.diagnostics
+
+
+def test_max_fragment_ops_reflects_the_largest_cut():
+    report = analyze_trace_program(PROGRAMS["affine_train_clean"])
+    assert report.growth.max_fragment_ops >= 4  # matmul+add+relu+sum+updates
+
+
+def test_growth_predicate():
+    assert _grows_without_bound([2, 4, 6, 8])
+    assert _grows_without_bound([2, 2, 4, 4, 6])  # plateaus still grow
+    assert not _grows_without_bound([3, 3, 3, 3])
+    assert not _grows_without_bound([5, 0, 5, 0])  # cut each step
+    assert not _grows_without_bound([7])
+
+
+def test_capture_reports_cut_reasons_and_threshold():
+    device = lazy_device(auto_barrier_threshold=64)
+    state = {"w": Tensor(np.ones(2, np.float32), device)}
+
+    def step_fn(step):
+        state["w"] = state["w"] * 2.0
+        LazyTensorBarrier(device)
+
+    capture = capture_step_traces(step_fn, 3, device)
+    assert capture.auto_barrier_threshold == 64
+    assert capture.cut_reasons == {"barrier"}
+    assert len(capture.fragments) == 3
+    assert capture.fragments_of_step(1)[0].reason == "barrier"
+
+
+def test_growth_render_lists_measurements():
+    report = analyze_trace_program(PROGRAMS["unrolled_no_barrier"])
+    text = report.growth.render()
+    assert "per-step ops pending" in text
+    assert "growth bounded:          False" in text
+    assert "suggestion:" in text

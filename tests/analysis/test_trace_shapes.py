@@ -1,0 +1,98 @@
+"""Pre-lowering shape/dtype inference over TraceNode DAGs: malformed
+traces are rejected with located diagnostics before HLO ever sees them."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tracing import check_trace, infer_trace_shapes
+from repro.analysis.tracing.models import (
+    MALFORMED_TRACES,
+    wellformed_trace,
+)
+from repro.errors import TraceError
+from repro.tensor import Tensor, lazy_device
+from repro.tensor.lazy_backend import TraceNode
+
+
+def test_wellformed_trace_is_clean():
+    assert infer_trace_shapes(wellformed_trace()) == []
+    check_trace(wellformed_trace())  # must not raise
+
+
+@pytest.mark.parametrize(
+    "name, builder, needle", MALFORMED_TRACES, ids=[m[0] for m in MALFORMED_TRACES]
+)
+def test_malformed_traces_rejected_before_lowering(name, builder, needle):
+    diagnostics = infer_trace_shapes(builder())
+    errors = [d for d in diagnostics if d.is_error]
+    assert errors, f"{name}: expected a diagnostic"
+    assert needle in errors[0].message
+    # Located: the diagnostic points into the canonical trace by position.
+    assert errors[0].location is not None
+    assert errors[0].location.filename == "<trace>"
+
+
+@pytest.mark.parametrize(
+    "name, builder, needle", MALFORMED_TRACES, ids=[m[0] for m in MALFORMED_TRACES]
+)
+def test_check_trace_raises_trace_error(name, builder, needle):
+    with pytest.raises(TraceError) as excinfo:
+        check_trace(builder())
+    assert needle in str(excinfo.value)
+    assert excinfo.value.diagnostics
+
+
+def test_diagnostic_anchors_name_the_offending_op():
+    from repro.analysis.tracing.models import malformed_matmul_trace
+
+    [diag] = [d for d in infer_trace_shapes(malformed_matmul_trace()) if d.is_error]
+    assert "matmul" in diag.message
+
+
+def test_misdeclared_shape_reports_both_shapes():
+    from repro.analysis.tracing.models import misdeclared_shape_trace
+
+    [diag] = [d for d in infer_trace_shapes(misdeclared_shape_trace()) if d.is_error]
+    assert "(2, 4)" in diag.message and "(2, 3)" in diag.message
+
+
+def test_no_cascade_after_first_failure():
+    """Downstream ops of a failed node trust its declared shape instead of
+    re-reporting — one defect, one diagnostic."""
+    a = TraceNode("source", [], (2, 3), data=np.zeros((2, 3), np.float32))
+    b = TraceNode("source", [], (5, 4), data=np.zeros((5, 4), np.float32))
+    mm = TraceNode("matmul", [a, b], (2, 4))
+    downstream = TraceNode("relu", [mm], (2, 4))
+    diagnostics = infer_trace_shapes([downstream])
+    assert len([d for d in diagnostics if d.is_error]) == 1
+
+
+def test_live_traces_from_real_programs_shape_check():
+    device = lazy_device()
+    x = Tensor(np.ones((4, 6), np.float32), device)
+    w = Tensor(np.ones((6, 3), np.float32), device)
+    out = ((x @ w).relu()).sum()
+    assert infer_trace_shapes([out._impl]) == []
+
+
+def test_compare_and_select_infer_pred_dtype():
+    device = lazy_device()
+    x = Tensor(np.ones(8, np.float32), device)
+    mask = x > 0.0
+    out = mask.select(x, x * 0.0)
+    assert mask._impl.dtype == "pred"
+    assert infer_trace_shapes([mask._impl]) == []
+    assert infer_trace_shapes([out._impl]) == []
+
+
+def test_lenet_forward_trace_shape_checks():
+    from repro.nn import LeNet
+    from repro.runtime.costmodel import S4TF_LAZY, TPU_V3_CORE
+    from repro.tensor import Device
+    from repro.viz import capture_forward_trace
+
+    device = Device("lazy", TPU_V3_CORE, S4TF_LAZY)
+    model = LeNet.create(device, seed=0)
+    x = Tensor(np.zeros((2, 28, 28, 1), np.float32), device)
+    root = capture_forward_trace(model, x)
+    assert infer_trace_shapes([root]) == []

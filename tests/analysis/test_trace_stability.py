@@ -1,0 +1,129 @@
+"""The retrace-storm detector and the static-vs-dynamic cross-check over
+the seeded corpus — every prediction exact, zero false positives."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tracing import analyze_step_program, analyze_trace_program
+from repro.analysis.tracing.models import CLEAN_PROGRAMS, HAZARD_PROGRAMS, PROGRAMS
+from repro.tensor import LazyTensorBarrier, Tensor, lazy_device
+
+
+@pytest.mark.parametrize("program", CLEAN_PROGRAMS, ids=lambda p: p.name)
+def test_clean_corpus_zero_false_positives(program):
+    report = analyze_trace_program(program)
+    assert report.verdicts() == {"clean"}
+    assert not any(d.is_error for d in report.diagnostics), [
+        str(d) for d in report.diagnostics
+    ]
+    assert report.cross_check_ok
+    assert report.stability.stable
+
+
+@pytest.mark.parametrize("program", HAZARD_PROGRAMS, ids=lambda p: p.name)
+def test_seeded_hazards_all_caught(program):
+    report = analyze_trace_program(program)
+    assert report.verdicts() == {program.expect}
+
+
+@pytest.mark.parametrize("program", list(PROGRAMS.values()), ids=lambda p: p.name)
+def test_static_cache_predictions_match_runtime_exactly(program):
+    report = analyze_trace_program(program)
+    assert report.predicted_compiles == report.dynamic_compiles
+    assert report.predicted_cache_hits == report.dynamic_cache_hits
+    assert (
+        report.stability.predicted_unique_keys
+        == report.capture.dynamic_new_cache_entries
+    )
+    assert report.cross_check_ok
+
+
+def test_retrace_storm_fix_it_names_the_constant_and_its_values():
+    report = analyze_trace_program(PROGRAMS["lr_schedule_storm"])
+    [volatile] = report.stability.volatile_constants
+    fix = volatile.fix_it()
+    assert "promote" in fix and "trace input" in fix
+    # The per-step schedule values 0.1/(1+step) for the stability window.
+    assert "0.05" in fix
+    assert len(volatile.values) >= 4
+    assert len(set(volatile.values)) == len(volatile.values)  # all distinct
+
+
+def test_storm_predicts_zero_hits_and_compile_per_step():
+    report = analyze_trace_program(PROGRAMS["step_counter_storm"])
+    assert report.predicted_cache_hits == 0
+    assert report.predicted_compiles == PROGRAMS["step_counter_storm"].steps
+
+
+def test_clean_loop_predicts_steps_2_to_n_all_hits():
+    program = PROGRAMS["sgd_scalar_clean"]
+    report = analyze_trace_program(program)
+    assert report.predicted_compiles == 1
+    assert report.predicted_cache_hits == program.steps - 1
+    # Every fragment after the first is a predicted (and actual) hit.
+    hits = [f.predicted_hit for f in report.stability.fragments]
+    assert hits == [False] + [True] * (program.steps - 1)
+
+
+def test_first_step_warmup_is_tolerated_with_a_note():
+    """A real train_step loop materializes setup work (one-hot labels)
+    into its first fragment; the detector must not flag the warm-up."""
+    report = analyze_trace_program(PROGRAMS["mlp_train_clean"])
+    assert report.verdicts() == {"clean"}
+    notes = [d for d in report.stability.diagnostics if d.severity == "note"]
+    assert notes and "first step" in notes[0].message
+    assert report.stability.stable
+
+
+def test_structural_instability_locates_the_divergence():
+    report = analyze_trace_program(PROGRAMS["shape_drift"])
+    assert report.stability.structurally_unstable_slots
+    [diag] = [d for d in report.stability.diagnostics if d.is_error]
+    assert "structure varies" in diag.message
+    assert "diverge" in diag.message
+
+
+def test_volatile_detection_ignores_step_stable_constants():
+    """Constants that are identical every step are not storms."""
+    device = lazy_device()
+    state = {"w": Tensor(np.ones(4, np.float32), device)}
+
+    def step_fn(step):
+        state["w"] = state["w"] * 0.5 + 0.25  # two stable literals
+        LazyTensorBarrier(device)
+
+    report = analyze_step_program(step_fn, 5, device, name="stable_consts")
+    assert report.verdicts() == {"clean"}
+    assert not report.stability.volatile_constants
+    assert report.cross_check_ok
+
+
+def test_mixed_stable_and_volatile_constants_attributed_precisely():
+    device = lazy_device()
+    state = {"w": Tensor(np.ones(4, np.float32), device)}
+
+    def step_fn(step):
+        # 0.5 is step-stable; the step counter is volatile.
+        state["w"] = state["w"] * 0.5 + float(step)
+        LazyTensorBarrier(device)
+
+    report = analyze_step_program(step_fn, 5, device, name="mixed_consts")
+    assert report.verdicts() == {"volatile-constant"}
+    positions = {v.position for v in report.stability.volatile_constants}
+    assert len(positions) == 1  # only the counter site, not 0.5's site
+    values = report.stability.volatile_constants[0].values
+    assert values == tuple(float(s) for s in range(1, 5))
+
+
+def test_report_render_mentions_the_cross_check():
+    report = analyze_trace_program(PROGRAMS["affine_train_clean"])
+    text = report.render()
+    assert "static prediction vs dynamic runtime: MATCH" in text
+    assert "verdicts:" in text and "clean" in text
+
+
+def test_capture_requires_a_lazy_device():
+    from repro.tensor import eager_device
+
+    with pytest.raises(ValueError, match="lazy device"):
+        analyze_step_program(lambda step: None, 2, eager_device())

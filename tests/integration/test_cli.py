@@ -25,4 +25,16 @@ def test_registry_covers_all_tables_and_figures():
         "table4",
         "figure4",
         "figure9",
+        "trace_stability",
     }
+
+
+def test_trace_stability_experiment_renders_exact_match_table(capsys):
+    assert main(["trace_stability"]) == 0
+    out = capsys.readouterr().out
+    assert "Trace-stability audit" in out
+    assert "all static predictions match the runtime" in out
+    assert "✗" not in out
+    # Every corpus program appears as a row.
+    for name in ("mlp_train_clean", "lr_schedule_storm", "shape_drift"):
+        assert name in out

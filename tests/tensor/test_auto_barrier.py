@@ -89,3 +89,63 @@ def test_disabled_by_default():
         y = y + 1.0
     assert device.runtime.auto_cuts == 0
     assert STATS.compiles == 0  # still fully lazy until observed
+
+
+def test_threshold_is_reconfigurable_after_construction():
+    device = lazy_device()
+    assert device.runtime.auto_barrier_threshold is None
+    device.runtime.auto_barrier_threshold = 10
+    x = Tensor(np.ones(8, np.float32), device)
+    y = x
+    for _ in range(25):
+        y = y * 1.01
+    assert device.runtime.auto_cuts >= 2  # newly set threshold fires
+    device.runtime.auto_barrier_threshold = None  # and can be disabled again
+    assert device.runtime.auto_barrier_threshold is None
+
+
+def test_threshold_rejects_invalid_values():
+    import pytest
+
+    device = lazy_device()
+    for bad in (0, -3, 1.5, True, "8"):
+        with pytest.raises(ValueError):
+            device.runtime.auto_barrier_threshold = bad
+    with pytest.raises(ValueError):
+        lazy_device(auto_barrier_threshold=0)
+
+
+def test_trace_stats_expose_auto_cuts():
+    device = lazy_device(auto_barrier_threshold=8)
+    x = Tensor(np.ones(4, np.float32), device)
+    y = x
+    for _ in range(30):
+        y = y + 0.5
+    y.numpy()
+    stats = device.trace_stats()
+    assert stats["auto_cuts"] == device.runtime.auto_cuts >= 1
+    assert stats["auto_barrier_threshold"] == 8
+    assert stats["ops_traced"] >= 30
+    assert stats["compiles_triggered"] >= 1
+    assert stats["materializations"] >= 1
+
+
+def test_trace_stats_reset():
+    device = lazy_device(auto_barrier_threshold=6)
+    x = Tensor(np.ones(4, np.float32), device)
+    y = x
+    for _ in range(20):
+        y = y * 1.1
+    y.numpy()
+    assert device.trace_stats()["auto_cuts"] >= 1
+    device.runtime.reset()
+    stats = device.trace_stats()
+    assert stats["auto_cuts"] == 0
+    assert stats["ops_traced"] == 0
+    assert stats["ops_since_cut"] == 0
+
+
+def test_eager_device_has_no_trace_stats():
+    from repro.tensor import eager_device
+
+    assert eager_device().trace_stats() == {}
