@@ -21,14 +21,22 @@ The subsystem spans the three IR layers of the reproduction:
   (:mod:`repro.analysis.tracing`): cache-key canonicalization with an
   executable-equivalence checker, the retrace-storm detector with
   promote-to-input fix-its, the unrolling/barrier analyzer, and forward
-  shape/dtype inference over TraceNode DAGs before lowering.
+  shape/dtype inference over TraceNode DAGs before lowering;
+* **derivatives** — static derivative-correctness verification
+  (:mod:`repro.analysis.derivatives`): pullback linearity by abstract
+  interpretation, JVP/VJP transpose consistency (⟨Jv, w⟩ = ⟨v, Jᵀw⟩),
+  pullback-record typing against tangent spaces, and the cotangent
+  liveness analysis behind ``vjp_plan(..., prune_captures=True)`` — all
+  cross-checked against seeded numeric probes.
 
 ``python -m repro.analysis --self-check`` runs every verifier over every
 registered primitive's synthesized JVP/VJP and over the HLO modules the
 LeNet-5 trace benchmark produces; ``--ownership <fn>`` prints one
 function's SIL with per-instruction ownership annotations;
 ``--trace <program|all>`` proves cache behavior for a step program from
-the seeded trace corpus and cross-checks it against the runtime.
+the seeded trace corpus and cross-checks it against the runtime;
+``--derivatives <model|all>`` runs the derivative verifier over the
+seeded derivative corpus (or any ``module:function``).
 
 This ``__init__`` resolves its re-exports lazily: the pass pipelines import
 :mod:`repro.analysis.attribution` at module load, and an eager init here
@@ -73,6 +81,26 @@ _LAZY = {
     "traces_equivalent": ("repro.analysis.tracing", "traces_equivalent"),
     "CanonicalTrace": ("repro.analysis.tracing", "CanonicalTrace"),
     "TraceStabilityReport": ("repro.analysis.tracing", "TraceStabilityReport"),
+    "analyze_capture_liveness": (
+        "repro.analysis.derivatives",
+        "analyze_capture_liveness",
+    ),
+    "analyze_derivative_model": (
+        "repro.analysis.derivatives",
+        "analyze_derivative_model",
+    ),
+    "check_pullback_linearity": (
+        "repro.analysis.derivatives",
+        "check_pullback_linearity",
+    ),
+    "check_record_typing": ("repro.analysis.derivatives", "check_record_typing"),
+    "check_transpose": ("repro.analysis.derivatives", "check_transpose"),
+    "prunable_instruction_ids": (
+        "repro.analysis.derivatives",
+        "prunable_instruction_ids",
+    ),
+    "verify_derivatives": ("repro.analysis.derivatives", "verify_derivatives"),
+    "DerivativeReport": ("repro.analysis.derivatives", "DerivativeReport"),
 }
 
 __all__ = [

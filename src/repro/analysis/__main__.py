@@ -8,6 +8,9 @@ Usage::
     python -m repro.analysis --ownership mypkg.mymod:myfn --style functional
     python -m repro.analysis --trace lr_schedule_storm
     python -m repro.analysis --trace all
+    python -m repro.analysis --derivatives bad_square
+    python -m repro.analysis --derivatives all
+    python -m repro.analysis --lint mypkg.mymod:myfn
 
 ``--ownership`` resolves its argument against the bundled model corpus
 (:mod:`repro.analysis.ownership.models`) first, then as a dotted
@@ -20,6 +23,16 @@ program with ``all`` — printing canonical cache keys, retrace-storm /
 growth diagnostics, and the static-vs-dynamic cross-check.  The exit
 status is 0 only when every analyzed program matches its expected
 verdict and every static cache prediction matches the runtime.
+
+``--derivatives`` runs the static derivative-correctness verifier
+(:mod:`repro.analysis.derivatives`) over one model from the seeded
+corpus — or every model with ``all``, or any ``module:function`` —
+printing pullback linearity verdicts, JVP/VJP transpose consistency,
+record typing, capture liveness, and the numeric cross-checks.
+
+``--lint`` lowers a function and prints the batched differentiability
+lint (including the custom-derivative contract checks) without running
+the full verifier.
 """
 
 from __future__ import annotations
@@ -67,6 +80,25 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--derivatives",
+        metavar="FN",
+        help=(
+            "run the static derivative verifier over FN (a seeded corpus "
+            "name, 'all', or module:function): pullback linearity, JVP/VJP "
+            "transpose consistency, record typing, capture liveness, and "
+            "the seeded numeric cross-checks"
+        ),
+    )
+    parser.add_argument(
+        "--lint",
+        metavar="FN",
+        help=(
+            "lower FN (module:function) and print the batched "
+            "differentiability lint, including custom-derivative contract "
+            "checks, without synthesizing a plan"
+        ),
+    )
+    parser.add_argument(
         "--style",
         choices=("mvs", "functional"),
         default="mvs",
@@ -82,6 +114,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.trace:
         return _run_trace(args.trace, args.quiet)
+
+    if args.derivatives:
+        return _run_derivatives(args.derivatives, args.quiet)
+
+    if args.lint:
+        return _run_lint(args.lint)
 
     if not args.self_check:
         parser.print_help()
@@ -156,6 +194,81 @@ def _run_trace(spec: str, quiet: bool) -> int:
         + ("all match the runtime" if failures == 0 else "DIVERGE from the runtime")
     )
     return 0 if failures == 0 else 1
+
+
+def _run_derivatives(spec: str, quiet: bool) -> int:
+    from repro.analysis.derivatives.models import MODELS
+    from repro.analysis.derivatives.report import (
+        analyze_derivative_model,
+        verify_derivatives,
+    )
+
+    if spec == "all":
+        reports = [
+            (model.expect, analyze_derivative_model(model))
+            for model in MODELS.values()
+        ]
+    elif spec in MODELS:
+        model = MODELS[spec]
+        reports = [(model.expect, analyze_derivative_model(model))]
+    else:
+        try:
+            pyfunc = _resolve_function(spec)
+        except SystemExit:
+            raise SystemExit(
+                f"error: unknown derivative model {spec!r}; bundled names: "
+                + ", ".join(sorted(MODELS))
+                + ", all, or module:function"
+            ) from None
+        reports = [(None, verify_derivatives(pyfunc))]
+
+    failures = 0
+    for expected, report in reports:
+        verdict_ok = expected is None or expected in report.verdicts()
+        ok = verdict_ok and report.cross_check_ok
+        if not ok:
+            failures += 1
+        if not quiet or not ok:
+            print(report.render())
+            if len(reports) == 1:
+                annotated = report.annotated_sil()
+                if annotated is not None:
+                    print()
+                    print(annotated)
+            if expected is not None:
+                print(
+                    f"expected verdict: {expected} "
+                    f"({'as predicted' if verdict_ok else 'MISPREDICTED'})"
+                )
+            print()
+    print(
+        f"{len(reports)} function(s) verified, {failures} failure(s); "
+        "static verdicts "
+        + (
+            "all agree with the numeric probes"
+            if failures == 0
+            else "DISAGREE with the numeric probes"
+        )
+    )
+    return 0 if failures == 0 else 1
+
+
+def _run_lint(spec: str) -> int:
+    from repro.core.lint import lint_function
+    from repro.sil.frontend import lower_function
+
+    pyfunc = _resolve_function(spec)
+    sil_func = getattr(pyfunc, "__sil_function__", None) or lower_function(pyfunc)
+    diagnostics = lint_function(
+        sil_func, tuple(range(len(sil_func.params))), probe_custom_rules=True
+    )
+    for diag in diagnostics:
+        print(diag)
+    errors = sum(1 for d in diagnostics if d.is_error)
+    print(
+        f"@{sil_func.name}: {len(diagnostics)} diagnostic(s), {errors} error(s)"
+    )
+    return 0 if errors == 0 else 1
 
 
 def _run_ownership(spec: str, style: str) -> int:

@@ -1,0 +1,82 @@
+"""Static derivative-correctness verification.
+
+Derivative synthesis (:mod:`repro.core.synthesis`) trusts its ingredient
+rules: a registered VJP is *assumed* to be a linear pullback that is the
+transpose of the registered JVP and that returns one well-typed cotangent
+per differentiable argument.  This package discharges those assumptions
+statically, with every verdict paired against an independent numeric
+probe:
+
+* **linearity** (:mod:`.linearity`) — abstract interpretation of the
+  pullback over an affine domain (:mod:`.abstract`) proves it is a linear
+  map of the cotangent; a two-point numeric probe cross-checks;
+* **transpose consistency** (:mod:`.transpose`) — the JVP's forward
+  coefficients (columns of J) must equal the VJP's reverse coefficients
+  (rows of Jᵀ), i.e. ⟨Jv, w⟩ = ⟨v, Jᵀw⟩; a seeded inner-product probe
+  cross-checks;
+* **record typing** (:mod:`.records`) — every pullback-captured value in
+  a ``_BlockRecord`` must inhabit the tangent space of its primal type,
+  and every probed rule must return one cotangent per argument;
+* **capture liveness** (:mod:`.liveness`) — a backward cotangent-flow
+  dataflow finds values the activity analysis records but whose cotangent
+  provably dies in a zero-derivative (discrete) chain; those captures can
+  be pruned via ``vjp_plan(..., prune_captures=True)``.
+
+:func:`~repro.analysis.derivatives.report.verify_derivatives` runs all
+four over one function and folds the verdicts, diagnostics, and numeric
+cross-checks into a :class:`~repro.analysis.derivatives.report.DerivativeReport`;
+the seeded corpus in :mod:`.models` pins down the expected verdict for
+every known hazard class.
+"""
+
+from repro.analysis.derivatives.linearity import (  # noqa: F401
+    RuleLinearity,
+    check_primitive_linearity,
+    check_pullback_linearity,
+)
+from repro.analysis.derivatives.liveness import (  # noqa: F401
+    CaptureLiveness,
+    DeadCapture,
+    analyze_capture_liveness,
+    cotangent_live_values,
+    prunable_instruction_ids,
+)
+from repro.analysis.derivatives.records import (  # noqa: F401
+    RecordTyping,
+    check_record_typing,
+    probe_rule_record,
+    tangent_space_of,
+    verify_plan_records,
+)
+from repro.analysis.derivatives.report import (  # noqa: F401
+    DerivativeReport,
+    analyze_derivative_model,
+    verify_derivatives,
+)
+from repro.analysis.derivatives.transpose import (  # noqa: F401
+    TransposeCheck,
+    check_primitive_transpose,
+    check_transpose,
+)
+
+__all__ = [
+    "CaptureLiveness",
+    "DeadCapture",
+    "DerivativeReport",
+    "RecordTyping",
+    "RuleLinearity",
+    "TransposeCheck",
+    "analyze_capture_liveness",
+    "analyze_derivative_model",
+    "check_primitive_linearity",
+    "check_primitive_transpose",
+    "check_pullback_linearity",
+    "check_record_typing",
+    "check_transpose",
+    "cotangent_live_values",
+    "probe_rule_record",
+    "prunable_instruction_ids",
+    "tangent_space_of",
+    "verify_derivatives",
+    "verify_plan_records",
+]

@@ -1,0 +1,349 @@
+"""The affine abstract domain for derivative verification.
+
+A pullback (or differential) is supposed to be a *linear map*.  We prove
+this by abstract interpretation: run the closure on an
+:class:`AffineValue` — a symbolic scalar of the form ``const + Σ cᵢ·symᵢ``
+— and inspect the result.  Because every primitive and every pullback in
+this reproduction is generic over operand type (dispatching through the
+operands' own operators, see :mod:`repro.sil.primitives`), the abstract
+value flows through the very same code paths the runtime executes: the
+analysis interprets the real derivative, not a model of it.
+
+The domain tracks three facts per value:
+
+* ``const`` — the concrete part, independent of every symbol;
+* ``coeffs`` — the linear coefficient of each tracked symbol;
+* ``nonlinear`` — a poison flag set the moment two symbolic values are
+  multiplied, a symbolic value is used as a divisor/exponent, or a
+  non-affine operation (``abs``) is applied; ``reason`` records the first
+  cause for diagnostics.
+
+Linearity of a pullback output then reads off directly: ``nonlinear`` ⇒
+not additive; ``const ≠ 0`` ⇒ fails zero-preservation (affine offset);
+otherwise the output *is* the linear map ``ct ↦ Σ cᵢ·symᵢ`` and the
+coefficients are the rows of Jᵀ — which is what the transpose-consistency
+check compares against the JVP's columns.
+
+Control flow on an abstract value (``bool(v)``) and coercion to a
+concrete float both escape the domain; they raise
+:class:`AbstractBranchError` / :class:`AbstractCoercionError` so the
+harness can report "pullback branches on the cotangent" or fall back to
+numeric probing ("opaque").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+#: Tolerance for treating a floating coefficient as zero.
+_EPS = 1e-12
+
+
+class AbstractEscapeError(Exception):
+    """Base: the interpreted code left the affine domain."""
+
+
+class AbstractBranchError(AbstractEscapeError):
+    """Control flow (or an ordering comparison) depends on an abstract
+    value — the map is at best piecewise and cannot be proven linear."""
+
+
+class AbstractCoercionError(AbstractEscapeError):
+    """The interpreted code forced an abstract value to a concrete float
+    (``math.*`` fallback paths do this); the analysis must go opaque."""
+
+
+Numeric = Union[int, float]
+
+
+class AffineValue:
+    """A scalar of the form ``const + Σ coeffs[s]·s`` with a poison flag."""
+
+    __slots__ = ("const", "coeffs", "nonlinear", "reason")
+
+    def __init__(
+        self,
+        const: float = 0.0,
+        coeffs: Optional[dict[str, float]] = None,
+        nonlinear: bool = False,
+        reason: str = "",
+    ) -> None:
+        self.const = float(const)
+        self.coeffs: dict[str, float] = dict(coeffs or {})
+        self.nonlinear = nonlinear
+        self.reason = reason
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def symbol(cls, name: str) -> "AffineValue":
+        return cls(0.0, {name: 1.0})
+
+    @classmethod
+    def poison(cls, reason: str) -> "AffineValue":
+        return cls(0.0, None, nonlinear=True, reason=reason)
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def is_symbolic(self) -> bool:
+        return self.nonlinear or any(abs(c) > _EPS for c in self.coeffs.values())
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.is_symbolic
+
+    def coefficient(self, name: str) -> float:
+        return self.coeffs.get(name, 0.0)
+
+    def __repr__(self) -> str:
+        if self.nonlinear:
+            return f"<nonlinear: {self.reason}>"
+        terms = [f"{c:g}*{s}" for s, c in sorted(self.coeffs.items()) if abs(c) > _EPS]
+        if self.const or not terms:
+            terms.insert(0, f"{self.const:g}")
+        return "<" + " + ".join(terms) + ">"
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _coerce(other) -> Optional["AffineValue"]:
+        if isinstance(other, AffineValue):
+            return other
+        if isinstance(other, bool):
+            return AffineValue(1.0 if other else 0.0)
+        if isinstance(other, (int, float)):
+            return AffineValue(float(other))
+        # The symbolic ZERO tangent is an additive identity.
+        from repro.core.differentiable import is_zero
+
+        if is_zero(other):
+            return AffineValue(0.0)
+        return None
+
+    def _combine(self, other: "AffineValue", sign: float) -> "AffineValue":
+        coeffs = dict(self.coeffs)
+        for s, c in other.coeffs.items():
+            coeffs[s] = coeffs.get(s, 0.0) + sign * c
+        out = AffineValue(self.const + sign * other.const, coeffs)
+        if self.nonlinear or other.nonlinear:
+            out.nonlinear = True
+            out.reason = self.reason or other.reason
+        return out
+
+    # -- affine arithmetic ---------------------------------------------------
+
+    def __add__(self, other):
+        o = self._coerce(other)
+        return NotImplemented if o is None else self._combine(o, 1.0)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        o = self._coerce(other)
+        return NotImplemented if o is None else self._combine(o, -1.0)
+
+    def __rsub__(self, other):
+        o = self._coerce(other)
+        return NotImplemented if o is None else o._combine(self, -1.0)
+
+    def __neg__(self):
+        out = AffineValue(
+            -self.const, {s: -c for s, c in self.coeffs.items()}
+        )
+        out.nonlinear, out.reason = self.nonlinear, self.reason
+        return out
+
+    def __pos__(self):
+        return self
+
+    def _scale(self, k: float) -> "AffineValue":
+        out = AffineValue(self.const * k, {s: c * k for s, c in self.coeffs.items()})
+        out.nonlinear, out.reason = self.nonlinear, self.reason
+        return out
+
+    def __mul__(self, other):
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        if self.nonlinear or o.nonlinear:
+            return AffineValue.poison(self.reason or o.reason)
+        if self.is_symbolic and o.is_symbolic:
+            return AffineValue.poison(
+                "product of two symbol-dependent values (e.g. ct * ct)"
+            )
+        return self._scale(o.const) if o.is_constant else o._scale(self.const)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        if o.is_symbolic:
+            return AffineValue.poison("division by a symbol-dependent value")
+        return self._scale(1.0 / o.const)
+
+    def __rtruediv__(self, other):
+        if self.is_symbolic:
+            return AffineValue.poison("division by a symbol-dependent value")
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return o._scale(1.0 / self.const)
+
+    def __pow__(self, other):
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        if o.is_symbolic:
+            return AffineValue.poison("symbol-dependent exponent")
+        if self.is_symbolic:
+            if abs(o.const - 1.0) < _EPS:
+                return self
+            return AffineValue.poison(
+                f"symbol-dependent value raised to power {o.const:g}"
+            )
+        return AffineValue(self.const**o.const)
+
+    def __rpow__(self, other):
+        if self.is_symbolic:
+            return AffineValue.poison("symbol-dependent exponent")
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        return AffineValue(o.const**self.const)
+
+    def __matmul__(self, other):
+        # Contractions behave like products for linearity purposes.
+        return self.__mul__(other)
+
+    __rmatmul__ = __matmul__
+
+    def __abs__(self):
+        if self.is_symbolic:
+            return AffineValue.poison("abs() of a symbol-dependent value")
+        return AffineValue(abs(self.const))
+
+    def __mod__(self, other):
+        return AffineValue.poison("mod of a symbol-dependent value")
+
+    __rmod__ = __mod__
+
+    def __floordiv__(self, other):
+        return AffineValue.poison("floor division of a symbol-dependent value")
+
+    __rfloordiv__ = __floordiv__
+
+    # -- escapes -------------------------------------------------------------
+
+    def __bool__(self):
+        raise AbstractBranchError(
+            "control flow depends on an abstract value"
+        )
+
+    def _compare(self, other, op: str):
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        if self.is_symbolic or o.is_symbolic:
+            raise AbstractBranchError(
+                f"comparison ({op}) involves an abstract value"
+            )
+        import operator
+
+        return getattr(operator, op)(self.const, o.const)
+
+    def __lt__(self, other):
+        return self._compare(other, "lt")
+
+    def __le__(self, other):
+        return self._compare(other, "le")
+
+    def __gt__(self, other):
+        return self._compare(other, "gt")
+
+    def __ge__(self, other):
+        return self._compare(other, "ge")
+
+    def __eq__(self, other):  # noqa: D105  (value equality over the domain)
+        o = self._coerce(other)
+        if o is None:
+            return NotImplemented
+        if self.is_symbolic or o.is_symbolic:
+            raise AbstractBranchError("equality test involves an abstract value")
+        return self.const == o.const
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self):
+        raise AbstractCoercionError("abstract values are not hashable")
+
+    def __float__(self):
+        raise AbstractCoercionError(
+            "abstract value coerced to a concrete float"
+        )
+
+    def __int__(self):
+        raise AbstractCoercionError("abstract value coerced to a concrete int")
+
+
+def classify(component) -> tuple[str, Optional[float], str]:
+    """Classify one pullback output component.
+
+    Returns ``(kind, coefficient, detail)`` with kind one of
+
+    * ``"zero"`` — ``None`` or the symbolic ZERO: no cotangent flows;
+    * ``"linear"`` — homogeneous linear in the tracked symbols
+      (coefficient reported for single-symbol runs);
+    * ``"affine"`` — linear plus a nonzero constant: fails
+      zero-preservation;
+    * ``"nonlinear"`` — the poison flag was set (detail says where);
+    * ``"ill-typed"`` — a bool/str/other non-tangent value;
+    * ``"opaque"`` — a container or unknown object the scalar domain
+      cannot decide.
+    """
+    from repro.core.differentiable import is_zero
+
+    if component is None or is_zero(component):
+        return "zero", None, ""
+    if isinstance(component, bool):
+        return "ill-typed", None, "bool is not a tangent value"
+    if isinstance(component, (int, float)):
+        if abs(float(component)) <= _EPS:
+            return "zero", 0.0, ""
+        return (
+            "affine",
+            None,
+            f"constant offset {float(component):g} (fails zero-preservation)",
+        )
+    if isinstance(component, str):
+        return "ill-typed", None, "str is not a tangent value"
+    if isinstance(component, AffineValue):
+        if component.nonlinear:
+            return "nonlinear", None, component.reason
+        if abs(component.const) > _EPS:
+            return (
+                "affine",
+                None,
+                f"constant offset {component.const:g} (fails zero-preservation)",
+            )
+        if not component.coeffs:
+            return "zero", 0.0, ""
+        return "linear", None, ""
+    return "opaque", None, f"{type(component).__name__} output"
+
+
+#: Severity order used when folding component kinds into a rule verdict.
+_KIND_ORDER = ("zero", "linear", "opaque", "affine", "nonlinear", "ill-typed")
+
+
+def worst_kind(kinds) -> str:
+    """The most severe classification among ``kinds`` (``"zero"`` if empty)."""
+    worst = "zero"
+    for kind in kinds:
+        if _KIND_ORDER.index(kind) > _KIND_ORDER.index(worst):
+            worst = kind
+    return worst

@@ -1,0 +1,285 @@
+"""Linearity verification of pullbacks (analysis 1 of the verifier).
+
+A VJP's pullback must be a *linear map* on cotangents: zero-preserving
+(``pb(0) = 0``) and additive (``pb(a + b) = pb(a) + pb(b)``).  Synthesized
+plans are linear by construction — the reverse sweep composes per-site
+pullbacks, and composition preserves linearity — so the whole proof
+reduces to the leaves: every primitive and custom VJP rule the plan uses.
+
+For each rule this module
+
+1. runs the forward ``vjp`` at seeded concrete primals to obtain the
+   pullback closure;
+2. **abstractly interprets** the pullback on the symbolic cotangent
+   ``ct`` (:class:`~repro.analysis.derivatives.abstract.AffineValue`),
+   classifying every output component as zero / linear / affine /
+   nonlinear / ill-typed — because pullbacks dispatch through operand
+   operators, the abstract run walks the real derivative code;
+3. cross-checks the verdict with **seeded numeric probes** of the three
+   linear-map laws (zero-preservation, additivity, homogeneity), exactly
+   the static-vs-dynamic discipline of the tracing/ownership analyses:
+   ``cross_check_ok`` is True iff the static verdict and the numeric
+   evidence agree;
+4. (custom rules) watches for primitive invocations *during* the
+   pullback call via
+   :func:`repro.sil.primitives.observe_primitive_calls` — a pullback
+   that re-runs primal work instead of capturing the forward value is
+   flagged with a fix-it.
+
+Rules whose forward or pullback cannot run on scalar samples (tensor-only
+primitives) come back ``"opaque"``: no claim is made and the cross-check
+is vacuous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.derivatives.abstract import (
+    AbstractBranchError,
+    AbstractEscapeError,
+    AffineValue,
+    classify,
+    worst_kind,
+)
+from repro.errors import Diagnostic, SourceLocation
+from repro.sil.primitives import observe_primitive_calls
+
+#: Deterministic primal samples: positive, away from 0 and 1, so domain
+#: restrictions (log, pow) and degenerate coefficients are avoided.
+_PRIMAL_SAMPLES = (0.7, 1.3, 0.4, 2.1, 1.7, 0.9, 0.6, 1.1)
+
+#: Seeded cotangent probes for the numeric cross-check.
+_PROBE_A, _PROBE_B, _PROBE_SCALE = 0.37, -1.21, 2.5
+
+_TOL = 1e-9
+
+
+def default_samples(n_args: int) -> tuple[float, ...]:
+    """``n_args`` deterministic primal sample values."""
+    return tuple(
+        _PRIMAL_SAMPLES[i % len(_PRIMAL_SAMPLES)] for i in range(n_args)
+    )
+
+
+@dataclass
+class NumericProbe:
+    """Outcome of the seeded linear-map probes."""
+
+    ran: bool = False
+    zero_preserved: bool = False
+    additive: bool = False
+    homogeneous: bool = False
+
+    @property
+    def linear(self) -> bool:
+        return self.ran and self.zero_preserved and self.additive and self.homogeneous
+
+
+@dataclass
+class RuleLinearity:
+    """Static verdict + numeric evidence for one derivative rule."""
+
+    name: str
+    kind: str  # "primitive" | "custom" | "function"
+    n_args: int
+    #: "linear" | "affine" | "nonlinear" | "ill-typed" | "opaque"
+    verdict: str = "opaque"
+    reason: str = ""
+    #: Per-component classification kinds, in pullback output order.
+    component_kinds: tuple[str, ...] = ()
+    #: d(arg_i cotangent)/d(ct) at the samples (None where no flow).
+    coefficients: tuple[Optional[float], ...] = ()
+    #: Number of cotangent components the pullback returned (-1: unknown).
+    returned_components: int = -1
+    probe: NumericProbe = field(default_factory=NumericProbe)
+    #: Names of primitives invoked while the pullback ran (primal rework).
+    recomputed_primitives: tuple[str, ...] = ()
+    loc: SourceLocation = field(default_factory=SourceLocation)
+
+    @property
+    def is_linear(self) -> bool:
+        return self.verdict == "linear"
+
+    @property
+    def cross_check_ok(self) -> bool:
+        """Static claim and numeric evidence agree.
+
+        ``linear`` must probe linear; ``affine``/``nonlinear``/
+        ``ill-typed`` must *fail* the probe (a probe that cannot even
+        produce numbers counts as failing the linear-map laws);
+        ``opaque`` makes no claim.
+        """
+        if self.verdict == "opaque":
+            return True
+        if self.verdict == "linear":
+            return self.probe.linear
+        return not self.probe.linear
+
+    def diagnostics(self) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        if self.verdict in ("affine", "nonlinear"):
+            out.append(
+                Diagnostic(
+                    "error",
+                    f"pullback of {self.name!r} is not a linear map: "
+                    f"{self.reason or self.verdict}",
+                    self.loc,
+                )
+            )
+        if self.recomputed_primitives:
+            names = ", ".join(repr(n) for n in self.recomputed_primitives)
+            out.append(
+                Diagnostic(
+                    "warning",
+                    f"pullback of {self.name!r} re-runs primal work "
+                    f"(invokes primitive(s) {names}); capture the forward "
+                    "value in the closure instead",
+                    self.loc,
+                )
+            )
+        return out
+
+
+def _flatten_components(out) -> Optional[list]:
+    if out is None:
+        return [None]
+    if isinstance(out, (tuple, list)):
+        return list(out)
+    return [out]
+
+
+def _numeric_parts(out, n: int) -> Optional[list[float]]:
+    """Pullback output as ``n`` floats (None/ZERO → 0.0); None if any
+    component is not numeric."""
+    from repro.core.differentiable import is_zero
+
+    parts = _flatten_components(out)
+    values: list[float] = []
+    for part in parts:
+        if part is None or is_zero(part):
+            values.append(0.0)
+        elif isinstance(part, bool):
+            return None
+        elif isinstance(part, (int, float)):
+            values.append(float(part))
+        else:
+            return None
+    return values
+
+
+def _probe_numeric(pullback: Callable, n_args: int) -> NumericProbe:
+    probe = NumericProbe()
+    try:
+        at_zero = _numeric_parts(pullback(0.0), n_args)
+        at_a = _numeric_parts(pullback(_PROBE_A), n_args)
+        at_b = _numeric_parts(pullback(_PROBE_B), n_args)
+        at_ab = _numeric_parts(pullback(_PROBE_A + _PROBE_B), n_args)
+        at_sa = _numeric_parts(pullback(_PROBE_SCALE * _PROBE_A), n_args)
+    except Exception:
+        return probe
+    if None in (at_zero, at_a, at_b, at_ab, at_sa):
+        return probe
+    if len({len(at_zero), len(at_a), len(at_b), len(at_ab), len(at_sa)}) != 1:
+        return probe
+    probe.ran = True
+    probe.zero_preserved = all(abs(v) <= _TOL for v in at_zero)
+    probe.additive = all(
+        abs((x + y) - z) <= _TOL * max(1.0, abs(z))
+        for x, y, z in zip(at_a, at_b, at_ab)
+    )
+    probe.homogeneous = all(
+        abs(_PROBE_SCALE * x - z) <= _TOL * max(1.0, abs(z))
+        for x, z in zip(at_a, at_sa)
+    )
+    return probe
+
+
+def check_pullback_linearity(
+    name: str,
+    vjp_fn: Callable,
+    n_args: int,
+    kind: str = "primitive",
+    samples: Optional[Sequence[float]] = None,
+    loc: Optional[SourceLocation] = None,
+    watch_recompute: bool = False,
+) -> RuleLinearity:
+    """Verify that ``vjp_fn``'s pullback is a linear map on cotangents."""
+    result = RuleLinearity(
+        name=name, kind=kind, n_args=n_args, loc=loc or SourceLocation()
+    )
+    primals = tuple(samples) if samples is not None else default_samples(n_args)
+
+    try:
+        _value, pullback = vjp_fn(*primals)
+    except Exception as exc:
+        result.verdict = "opaque"
+        result.reason = f"forward not probeable on scalar samples ({exc!r})"
+        return result
+
+    # -- abstract pass: the pullback on the symbolic cotangent --------------
+    ct = AffineValue.symbol("ct")
+    try:
+        if watch_recompute:
+            with observe_primitive_calls() as calls:
+                out = pullback(ct)
+            result.recomputed_primitives = tuple(
+                dict.fromkeys(p.name for p in calls)
+            )
+        else:
+            out = pullback(ct)
+    except AbstractBranchError:
+        result.verdict = "nonlinear"
+        result.reason = "control flow in the pullback depends on the cotangent"
+        out = None
+    except AbstractEscapeError as exc:
+        result.verdict = "opaque"
+        result.reason = str(exc)
+        out = None
+    except Exception as exc:
+        result.verdict = "opaque"
+        result.reason = f"pullback not abstractly interpretable ({exc!r})"
+        out = None
+
+    if out is not None:
+        components = _flatten_components(out)
+        result.returned_components = len(components)
+        kinds, coeffs, details = [], [], []
+        for component in components:
+            comp_kind, _coeff, detail = classify(component)
+            kinds.append(comp_kind)
+            if comp_kind == "linear":
+                coeffs.append(component.coefficient("ct"))
+            elif comp_kind == "zero":
+                coeffs.append(None if component is None else 0.0)
+            else:
+                coeffs.append(None)
+            if detail:
+                details.append(detail)
+        result.component_kinds = tuple(kinds)
+        result.coefficients = tuple(coeffs)
+        worst = worst_kind(kinds)
+        result.verdict = "linear" if worst in ("zero", "linear") else worst
+        if details and not result.reason:
+            result.reason = details[0]
+
+    # -- numeric cross-check -------------------------------------------------
+    if watch_recompute and not result.recomputed_primitives:
+        with observe_primitive_calls() as calls:
+            result.probe = _probe_numeric(pullback, n_args)
+        result.recomputed_primitives = tuple(
+            dict.fromkeys(p.name for p in calls)
+        )
+    else:
+        result.probe = _probe_numeric(pullback, n_args)
+    return result
+
+
+def check_primitive_linearity(prim, loc=None) -> RuleLinearity:
+    """Linearity of a registered primitive's VJP (scalar samples)."""
+    lo, hi = prim.arity
+    n_args = lo if lo > 0 else (2 if hi is None else max(hi, 1))
+    return check_pullback_linearity(
+        prim.name, prim.vjp, n_args, kind="primitive", loc=loc
+    )

@@ -1,0 +1,270 @@
+"""Record typing (analysis 3 of the verifier).
+
+``VJPPlan.execute_forward`` pushes one :class:`_BlockRecord` per executed
+block; each *entry* in a record captures either a pullback closure (apply
+sites) or structural information (tuple/struct ops).  The reverse sweep
+feeds every entry a cotangent of its primal result.  For the sweep to be
+well-typed, that cotangent must live in the primal value's *tangent
+space* — and ``Bool``/``String`` values have none.
+
+This module type-checks the record layout **statically, before any
+execution**: it walks the instructions the forward sweep would record
+(exactly mirroring the ``execute_forward`` gating on activity) and
+rejects entries whose primal type has an empty tangent space with located
+:class:`~repro.errors.DifferentiabilityError` diagnostics.  For plans
+carrying custom/primitive rules it additionally probes each rule once at
+seeded samples and checks the pullback's output *shape*: one cotangent
+component per differentiable operand, each component a value of the
+operand's tangent space (``bool``/``str`` cotangents are rejected — the
+classic hand-written-derivative bug of returning a validity flag in the
+cotangent slot).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import Diagnostic, DifferentiabilityError, SourceLocation
+from repro.sil import ir
+
+#: SIL type tag -> tangent-space description; ``None`` marks an empty
+#: tangent space (values of the type cannot receive a cotangent).
+_TANGENT_SPACES: dict[str, Optional[str]] = {
+    "Float": "Float",
+    "Int": "Float",  # ints conform with tangent space Float
+    "Tensor": "Tensor",
+    "Tuple": "elementwise tuple of tangents",
+    "List": "elementwise list of tangents",
+    "Struct": "synthesized TangentVector",
+    "Any": "unknown (checked at runtime)",
+    "Bool": None,
+    "String": None,
+}
+
+
+def tangent_space_of(sil_type: ir.SILType) -> Optional[str]:
+    """Human-readable tangent space of a SIL type tag, None if empty."""
+    return _TANGENT_SPACES.get(sil_type.name, "unknown (checked at runtime)")
+
+
+@dataclass
+class RecordEntryCheck:
+    """Typing verdict for one would-be record entry."""
+
+    description: str
+    kind: str  # "apply" | "tuple" | "tuple_extract" | "struct_extract"
+    primal_type: str
+    tangent_space: Optional[str]
+    ok: bool
+    reason: str = ""
+    loc: SourceLocation = field(default_factory=SourceLocation)
+
+
+@dataclass
+class RecordTyping:
+    """Static type-check of a plan's record layout."""
+
+    func_name: str
+    wrt: tuple[int, ...]
+    entries: list[RecordEntryCheck] = field(default_factory=list)
+    param_errors: list[Diagnostic] = field(default_factory=list)
+    #: Rules whose probed pullback output shape was wrong.
+    rule_errors: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.param_errors
+            and not self.rule_errors
+            and all(e.ok for e in self.entries)
+        )
+
+    @property
+    def checked_entries(self) -> int:
+        return len(self.entries)
+
+    def diagnostics(self) -> list[Diagnostic]:
+        out = list(self.param_errors)
+        for entry in self.entries:
+            if not entry.ok:
+                out.append(
+                    Diagnostic(
+                        "error",
+                        f"ill-typed pullback record entry in "
+                        f"@{self.func_name}: {entry.description} has primal "
+                        f"type ${entry.primal_type}, whose tangent space is "
+                        f"empty — {entry.reason}",
+                        entry.loc,
+                    )
+                )
+        out.extend(self.rule_errors)
+        return out
+
+    def raise_if_ill_typed(self) -> None:
+        errors = [d for d in self.diagnostics() if d.is_error]
+        if errors:
+            raise DifferentiabilityError(errors)
+
+
+_ENTRY_KINDS = {
+    ir.ApplyInst: "apply",
+    ir.TupleInst: "tuple",
+    ir.TupleExtractInst: "tuple_extract",
+    ir.StructExtractInst: "struct_extract",
+}
+
+
+def _describe(inst: ir.Instruction) -> str:
+    hint = inst.result.hint
+    label = f" ({hint!r})" if hint else ""
+    return f"%{inst.result.id} = {inst.opname()}{label}"
+
+
+def check_record_typing(
+    func: ir.Function, wrt: tuple[int, ...], activity=None
+) -> RecordTyping:
+    """Type-check the record entries synthesis would emit for ``func``."""
+    from repro.core.activity import analyze_activity
+
+    if activity is None:
+        activity = analyze_activity(func, wrt)
+    report = RecordTyping(func_name=func.name, wrt=tuple(wrt))
+
+    for i in wrt:
+        param = func.params[i]
+        space = tangent_space_of(param.type)
+        if space is None:
+            report.param_errors.append(
+                Diagnostic(
+                    "error",
+                    f"@{func.name} parameter {i} has type ${param.type.name},"
+                    " which has no tangent space; it cannot be a"
+                    " differentiation parameter",
+                    func.loc if hasattr(func, "loc") else SourceLocation(),
+                )
+            )
+
+    for inst in func.instructions():
+        kind = _ENTRY_KINDS.get(type(inst))
+        if kind is None or not inst.results:
+            continue
+        # Mirror execute_forward: only active instructions are recorded.
+        if not activity.is_active(inst):
+            continue
+        primal = inst.result.type
+        space = tangent_space_of(primal)
+        report.entries.append(
+            RecordEntryCheck(
+                description=_describe(inst),
+                kind=kind,
+                primal_type=primal.name,
+                tangent_space=space,
+                ok=space is not None,
+                reason=(
+                    ""
+                    if space is not None
+                    else f"${primal.name} values are not differentiable"
+                ),
+                loc=inst.loc,
+            )
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Rule probing: the pullback's output shape against the apply's operands.
+# ---------------------------------------------------------------------------
+
+
+def _is_tangent_value(component) -> Optional[str]:
+    """None if ``component`` may inhabit a tangent space, else a reason."""
+    from repro.core.differentiable import is_zero
+
+    if component is None or is_zero(component):
+        return None  # structural zero: always admissible
+    if isinstance(component, bool):
+        return "bool is not a tangent value"
+    if isinstance(component, str):
+        return "str is not a tangent value"
+    if isinstance(component, (tuple, list)):
+        for part in component:
+            reason = _is_tangent_value(part)
+            if reason is not None:
+                return reason
+        return None
+    return None  # numbers, tensors, TangentVectors, abstract values
+
+
+def probe_rule_record(
+    name: str,
+    vjp_fn,
+    n_args: int,
+    loc: Optional[SourceLocation] = None,
+) -> list[Diagnostic]:
+    """Run one rule at seeded samples and type-check its pullback output.
+
+    Returns located diagnostics for shape/typing violations; an empty list
+    when the rule is well-typed *or* cannot run on scalar samples (tensor
+    rules are checked dynamically by the interpreter instead).
+    """
+    from repro.analysis.derivatives.linearity import default_samples
+
+    loc = loc or SourceLocation()
+    try:
+        _value, pullback = vjp_fn(*default_samples(n_args))
+        out = pullback(1.0)
+    except Exception:
+        return []
+
+    components = list(out) if isinstance(out, (tuple, list)) else [out]
+    diags: list[Diagnostic] = []
+    if isinstance(out, (tuple, list)) and len(components) != n_args:
+        diags.append(
+            Diagnostic(
+                "error",
+                f"pullback of {name!r} returns {len(components)} cotangent"
+                f" component(s) for {n_args} argument(s); the record is"
+                " ill-typed",
+                loc,
+            )
+        )
+    for i, component in enumerate(components):
+        reason = _is_tangent_value(component)
+        if reason is not None:
+            diags.append(
+                Diagnostic(
+                    "error",
+                    f"pullback of {name!r} produces an ill-typed cotangent"
+                    f" for argument {i}: {reason}",
+                    loc,
+                )
+            )
+    return diags
+
+
+def verify_plan_records(plan) -> RecordTyping:
+    """Full record-typing pass over a built :class:`VJPPlan`.
+
+    Static layout check plus a seeded probe of every custom/primitive rule
+    the plan holds, attributed to the apply site's source location.
+    """
+    from repro.core.synthesis import CustomVJPRule, PrimitiveVJPRule
+
+    report = check_record_typing(plan.func, plan.wrt, plan.activity)
+    for inst in plan.func.instructions():
+        if not isinstance(inst, ir.ApplyInst):
+            continue
+        rule = plan.rules.get(id(inst))
+        if isinstance(rule, PrimitiveVJPRule):
+            report.rule_errors.extend(
+                probe_rule_record(
+                    rule.prim.name, rule.prim.vjp, len(inst.args), inst.loc
+                )
+            )
+        elif isinstance(rule, CustomVJPRule):
+            name = getattr(rule.fn, "__name__", repr(rule.fn))
+            report.rule_errors.extend(
+                probe_rule_record(name, rule.fn, len(inst.args), inst.loc)
+            )
+    return report

@@ -1,0 +1,236 @@
+"""JVP/VJP transpose consistency (analysis 2 of the verifier).
+
+For a correct derivative pair, the reverse rule is the *transpose* of the
+forward one: ``⟨J·v, w⟩ = ⟨v, Jᵀ·w⟩`` for all tangents ``v`` and
+cotangents ``w``.  Both sides are extracted statically by abstract
+interpretation at seeded primals:
+
+* **forward** — run the JVP with one basis symbol ``tᵢ`` per argument;
+  the output tangent's coefficient on ``tᵢ`` is column ``i`` of ``J``;
+* **reverse** — run the pullback on the symbol ``ct`` (reusing the
+  linearity analysis); the cotangent of argument ``i`` has coefficient
+  ``kᵢ`` on ``ct``, which is row ``i`` of ``Jᵀ``.
+
+Consistency is then the pointwise check ``cᵢ = kᵢ``.  Every verdict is
+cross-checked numerically with a seeded probe of the inner-product
+identity itself (``cross_check_ok``), mirroring the static-vs-dynamic
+discipline of the tracing analysis.  Pairs that cannot run on scalar
+samples come back ``"opaque"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.derivatives.abstract import (
+    AbstractEscapeError,
+    AffineValue,
+    classify,
+)
+from repro.analysis.derivatives.linearity import (
+    check_pullback_linearity,
+    default_samples,
+)
+from repro.errors import Diagnostic, SourceLocation
+
+_TOL = 1e-9
+
+#: Seeded tangent/cotangent probe values for the inner-product identity.
+_PROBE_TANGENTS = (0.83, -1.37, 0.59, 1.91, -0.47, 1.13, 0.71, -0.29)
+_PROBE_COTANGENT = 0.73
+
+
+@dataclass
+class TransposeCheck:
+    """Static transpose comparison + numeric inner-product evidence."""
+
+    name: str
+    n_args: int
+    #: "consistent" | "inconsistent" | "opaque"
+    verdict: str = "opaque"
+    reason: str = ""
+    #: Columns of J from the JVP (None: no forward flow for that arg).
+    forward_coefficients: tuple[Optional[float], ...] = ()
+    #: Rows of Jᵀ from the pullback (None: no reverse flow).
+    reverse_coefficients: tuple[Optional[float], ...] = ()
+    #: Numeric ⟨Jv, w⟩ = ⟨v, Jᵀw⟩ probe: True/False, None if not runnable.
+    probe_consistent: Optional[bool] = None
+    loc: SourceLocation = field(default_factory=SourceLocation)
+
+    @property
+    def cross_check_ok(self) -> bool:
+        """The static verdict matches the numeric inner-product probe."""
+        if self.verdict == "opaque" or self.probe_consistent is None:
+            return True
+        return (self.verdict == "consistent") == self.probe_consistent
+
+    def diagnostics(self) -> list[Diagnostic]:
+        if self.verdict != "inconsistent":
+            return []
+        pairs = ", ".join(
+            f"arg {i}: J={_fmt(c)} vs Jᵀ={_fmt(k)}"
+            for i, (c, k) in enumerate(
+                zip(self.forward_coefficients, self.reverse_coefficients)
+            )
+            if not _matches(c, k)
+        )
+        return [
+            Diagnostic(
+                "error",
+                f"VJP of {self.name!r} is not the transpose of its JVP "
+                f"(⟨Jv, w⟩ ≠ ⟨v, Jᵀw⟩): {pairs or self.reason}",
+                self.loc,
+            )
+        ]
+
+
+def _fmt(c: Optional[float]) -> str:
+    return "0 (no flow)" if c is None else f"{c:g}"
+
+
+def _matches(c: Optional[float], k: Optional[float]) -> bool:
+    cv = 0.0 if c is None else c
+    kv = 0.0 if k is None else k
+    return abs(cv - kv) <= _TOL * max(1.0, abs(cv), abs(kv))
+
+
+def _forward_coefficients(
+    jvp_fn: Callable, primals: Sequence[float]
+) -> tuple[Optional[tuple], str]:
+    """Columns of J via one basis symbol per argument; (None, reason) when
+    the JVP cannot be interpreted abstractly."""
+    syms = tuple(AffineValue.symbol(f"t{i}") for i in range(len(primals)))
+    try:
+        _value, tangent_out = jvp_fn(tuple(primals), syms)
+    except AbstractEscapeError as exc:
+        return None, str(exc)
+    except Exception as exc:
+        return None, f"JVP not probeable on scalar samples ({exc!r})"
+    kind, _coeff, detail = classify(tangent_out)
+    if kind == "zero":
+        return (None,) * len(primals), ""
+    if kind != "linear":
+        return None, (
+            f"forward differential is not linear in the tangent: "
+            f"{detail or kind}"
+        )
+    return (
+        tuple(tangent_out.coefficient(f"t{i}") for i in range(len(primals))),
+        "",
+    )
+
+
+def _numeric_inner_product_probe(
+    jvp_fn: Callable,
+    vjp_fn: Callable,
+    primals: Sequence[float],
+    nondiff: Sequence[int] = (),
+) -> Optional[bool]:
+    """Seeded check of ⟨Jv, w⟩ = ⟨v, Jᵀw⟩ at the samples."""
+    n = len(primals)
+    v = [
+        0.0 if i in nondiff else _PROBE_TANGENTS[i % len(_PROBE_TANGENTS)]
+        for i in range(n)
+    ]
+    w = _PROBE_COTANGENT
+    try:
+        _y, jv = jvp_fn(tuple(primals), tuple(v))
+        _y2, pullback = vjp_fn(*primals)
+        jtw = pullback(w)
+    except Exception:
+        return None
+    from repro.core.differentiable import is_zero
+
+    def as_float(x) -> Optional[float]:
+        if x is None or is_zero(x):
+            return 0.0
+        if isinstance(x, bool) or not isinstance(x, (int, float)):
+            return None
+        return float(x)
+
+    jv_f = as_float(jv)
+    if jv_f is None:
+        return None
+    parts = jtw if isinstance(jtw, (tuple, list)) else (jtw,)
+    if len(parts) != n:
+        return False  # a missing cotangent breaks the identity by itself
+    lhs = jv_f * w
+    rhs = 0.0
+    for vi, ci in zip(v, parts):
+        cf = as_float(ci)
+        if cf is None:
+            return False
+        rhs += vi * cf
+    return abs(lhs - rhs) <= 1e-6 * max(1.0, abs(lhs), abs(rhs))
+
+
+def check_transpose(
+    name: str,
+    jvp_fn: Callable,
+    vjp_fn: Callable,
+    n_args: int,
+    nondiff: Sequence[int] = (),
+    samples: Optional[Sequence[float]] = None,
+    loc: Optional[SourceLocation] = None,
+) -> TransposeCheck:
+    """Statically pair a JVP with its VJP and check Jᵀ really transposes J."""
+    check = TransposeCheck(
+        name=name, n_args=n_args, loc=loc or SourceLocation()
+    )
+    primals = tuple(samples) if samples is not None else default_samples(n_args)
+
+    forward, fwd_reason = _forward_coefficients(jvp_fn, primals)
+    reverse_lin = check_pullback_linearity(
+        name, vjp_fn, n_args, samples=primals, loc=loc
+    )
+    check.probe_consistent = _numeric_inner_product_probe(
+        jvp_fn, vjp_fn, primals, nondiff
+    )
+
+    if forward is None or reverse_lin.verdict == "opaque":
+        check.verdict = "opaque"
+        check.reason = fwd_reason or reverse_lin.reason
+        return check
+    if not reverse_lin.is_linear:
+        # Linearity violations are reported by the linearity analysis; a
+        # nonlinear pullback has no well-defined transpose to compare.
+        check.verdict = "inconsistent"
+        check.reason = f"pullback is not linear ({reverse_lin.reason})"
+        return check
+
+    reverse = reverse_lin.coefficients
+    if len(reverse) != n_args:
+        check.verdict = "inconsistent"
+        check.reason = (
+            f"pullback returns {len(reverse)} cotangent(s) for "
+            f"{n_args} argument(s)"
+        )
+        return check
+
+    check.forward_coefficients = forward
+    check.reverse_coefficients = reverse
+    mismatched = [
+        i
+        for i in range(n_args)
+        if i not in nondiff and not _matches(forward[i], reverse[i])
+    ]
+    check.verdict = "inconsistent" if mismatched else "consistent"
+    return check
+
+
+def check_primitive_transpose(prim, loc=None) -> Optional[TransposeCheck]:
+    """Transpose consistency of a registered primitive's JVP/VJP pair
+    (None when the primitive does not carry both rules)."""
+    if prim.jvp is None or prim.vjp is None:
+        return None
+    lo, hi = prim.arity
+    n_args = lo if lo > 0 else (2 if hi is None else max(hi, 1))
+    return check_transpose(
+        prim.name,
+        prim.jvp,
+        prim.vjp,
+        n_args,
+        nondiff=prim.nondiff_args,
+        loc=loc,
+    )

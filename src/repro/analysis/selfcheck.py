@@ -36,7 +36,18 @@ Three sweeps, mirroring the three layers the subsystem spans:
    malformed traces must be rejected by pre-lowering shape inference,
    and the LeNet-5 forward trace must shape-check cleanly.
 
-``python -m repro.analysis --self-check`` runs all five and exits 0 iff
+6. **Derivative sweep** — run the static derivative-correctness verifier
+   (:mod:`repro.analysis.derivatives`): every registered pullback in the
+   global primitive table must be proven a linear map (or be numerically
+   opaque — never *dis*proven), every registered JVP/VJP pair must be
+   mutual transposes with the seeded inner-product probe agreeing, and
+   the derivative model corpus must produce exactly its expected
+   verdicts — clean models with zero error diagnostics and gradients
+   matching finite differences, every seeded hazard caught with a
+   *located* diagnostic, and every ``prune_captures`` measurement
+   showing bit-identical gradients.
+
+``python -m repro.analysis --self-check`` runs all six and exits 0 iff
 everything holds.
 """
 
@@ -73,6 +84,12 @@ class SelfCheckReport:
     trace_predictions_matched: int = 0
     trace_fragments_cross_validated: int = 0
     malformed_traces_rejected: int = 0
+    derivative_rules_checked: int = 0
+    pullbacks_proven_linear: int = 0
+    transpose_pairs_consistent: int = 0
+    derivative_models_checked: int = 0
+    derivative_hazards_caught: int = 0
+    pullback_captures_pruned: int = 0
     failures: list[str] = field(default_factory=list)
 
     @property
@@ -96,6 +113,12 @@ class SelfCheckReport:
             f"cache predictions matched:     {self.trace_predictions_matched}",
             f"fragments cross-validated:     {self.trace_fragments_cross_validated}",
             f"malformed traces rejected:     {self.malformed_traces_rejected}",
+            f"derivative rules checked:      {self.derivative_rules_checked}",
+            f"pullbacks proven linear:       {self.pullbacks_proven_linear}",
+            f"transpose pairs consistent:    {self.transpose_pairs_consistent}",
+            f"derivative models checked:     {self.derivative_models_checked}",
+            f"derivative hazards caught:     {self.derivative_hazards_caught}",
+            f"pullback captures pruned:      {self.pullback_captures_pruned}",
         ]
         if self.failures:
             lines.append(f"FAILURES ({len(self.failures)}):")
@@ -398,6 +421,106 @@ def _check_tracing(report: SelfCheckReport) -> None:
         )
 
 
+def _check_derivatives(report: SelfCheckReport) -> None:
+    from repro.analysis.derivatives.linearity import check_primitive_linearity
+    from repro.analysis.derivatives.models import MODELS
+    from repro.analysis.derivatives.report import analyze_derivative_model
+    from repro.analysis.derivatives.transpose import check_primitive_transpose
+
+    # Registry sweep: every registered pullback must be a provably linear
+    # map of the cotangent (or numerically opaque — never *dis*proven),
+    # with the abstract verdict agreeing with the linear-map probes; every
+    # registered JVP/VJP pair must satisfy ⟨Jv, w⟩ = ⟨v, Jᵀw⟩.
+    for name, prim in sorted(PRIMITIVES.items()):
+        if prim.vjp is None:
+            continue
+        lin = check_primitive_linearity(prim)
+        report.derivative_rules_checked += 1
+        if lin.is_linear:
+            report.pullbacks_proven_linear += 1
+        elif any(d.is_error for d in lin.diagnostics()):
+            report.failures.append(
+                f"primitive {name!r}: registered pullback judged "
+                f"{lin.verdict}: {lin.reason}"
+            )
+        if not lin.cross_check_ok:
+            report.failures.append(
+                f"primitive {name!r}: linearity verdict {lin.verdict!r} "
+                "disagrees with the numeric linear-map probes"
+            )
+
+        pair = check_primitive_transpose(prim)
+        if pair is None:
+            continue
+        if pair.verdict == "consistent":
+            report.transpose_pairs_consistent += 1
+        elif pair.verdict == "inconsistent":
+            report.failures.append(
+                f"primitive {name!r}: VJP is not the transpose of the "
+                f"registered JVP: {pair.reason}"
+            )
+        if not pair.cross_check_ok:
+            report.failures.append(
+                f"primitive {name!r}: transpose verdict {pair.verdict!r} "
+                "disagrees with the inner-product probe"
+            )
+
+    # Corpus sweep: exact verdicts.  Clean models must carry zero error
+    # diagnostics (the zero-false-positive baseline) and match finite
+    # differences; every seeded hazard must be caught with a *located*
+    # diagnostic; every pruning measurement must leave gradients
+    # bit-identical.
+    for model in MODELS.values():
+        try:
+            result = analyze_derivative_model(model)
+        except ReproError as exc:
+            report.failures.append(f"derivative model {model.name!r}: {exc}")
+            continue
+        report.derivative_models_checked += 1
+
+        verdicts = result.verdicts()
+        if model.expect not in verdicts:
+            report.failures.append(
+                f"derivative model {model.name!r}: expected verdict "
+                f"{model.expect!r}, got {sorted(verdicts)}"
+            )
+        elif model.expect != "clean":
+            located = [
+                d for d in result.diagnostics() if d.location.line > 0
+            ]
+            if located:
+                report.derivative_hazards_caught += 1
+            else:
+                report.failures.append(
+                    f"derivative model {model.name!r}: hazard caught but "
+                    "no diagnostic carries a source location"
+                )
+
+        if model.expect == "clean" and any(
+            d.is_error for d in result.diagnostics()
+        ):
+            report.failures.append(
+                f"derivative model {model.name!r}: false positive: "
+                + next(
+                    d for d in result.diagnostics() if d.is_error
+                ).message
+            )
+
+        if not result.cross_check_ok:
+            report.failures.append(
+                f"derivative model {model.name!r}: static verdicts "
+                "disagree with the numeric probes"
+            )
+
+        if result.pruning is not None:
+            if not result.pruning.gradients_identical:
+                report.failures.append(
+                    f"derivative model {model.name!r}: prune_captures "
+                    "changed the gradient"
+                )
+            report.pullback_captures_pruned += result.pruning.entries_saved
+
+
 def self_check(verbose: bool = False) -> SelfCheckReport:
     """Run all sweeps; the report's ``ok`` says whether everything held."""
     report = SelfCheckReport()
@@ -406,6 +529,7 @@ def self_check(verbose: bool = False) -> SelfCheckReport:
     _check_pipeline(report)
     _check_ownership(report)
     _check_tracing(report)
+    _check_derivatives(report)
     if verbose:  # pragma: no cover
         print(report.summary())
     return report

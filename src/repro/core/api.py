@@ -66,9 +66,13 @@ class DifferentiableFunction:
             return (wrt,)
         return tuple(wrt)
 
-    def vjp_plan(self, wrt: Wrt = None) -> synthesis.VJPPlan:
+    def vjp_plan(
+        self, wrt: Wrt = None, prune_captures: bool = False
+    ) -> synthesis.VJPPlan:
         return synthesis.vjp_plan(
-            self.func, self._wrt_tuple(wrt, len(self.func.params))
+            self.func,
+            self._wrt_tuple(wrt, len(self.func.params)),
+            prune_captures=prune_captures,
         )
 
     def jvp_plan(self, wrt: Wrt = None) -> synthesis.JVPPlan:

@@ -13,7 +13,11 @@ checking → derivative synthesis):
   its gradient is identically zero;
 * ``warning`` — an active value (varied w.r.t. the inputs) is dropped
   before the return: derivative information is computed and discarded;
-* ``warning`` — the result does not depend on any ``wrt`` parameter at all.
+* ``warning`` — the result does not depend on any ``wrt`` parameter at all;
+* ``error`` — a custom derivative rule breaks its contract: the registered
+  VJP's arity disagrees with the function it claims to differentiate, or
+  (with ``probe_custom_rules=True``) its pullback returns the wrong number
+  of cotangent components.
 
 :func:`check_differentiability` raises one
 :class:`~repro.errors.DifferentiabilityError` carrying the full batch,
@@ -36,11 +40,50 @@ def _param_name(func: ir.Function, index: int) -> str:
     return f"%{func.params[index].id}"
 
 
+def _callable_arity(fn) -> tuple[int, Optional[int]]:
+    """``(min_args, max_args)`` of a plain callable; ``(0, None)`` when the
+    signature cannot be introspected."""
+    import inspect
+
+    try:
+        sig = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return (0, None)
+    lo = 0
+    hi: Optional[int] = 0
+    for param in sig.parameters.values():
+        if param.kind == inspect.Parameter.VAR_POSITIONAL:
+            hi = None
+        elif param.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            if param.default is inspect.Parameter.empty:
+                lo += 1
+            if hi is not None:
+                hi += 1
+    return (lo, hi)
+
+
+def _fits(n: int, arity: tuple[int, Optional[int]]) -> bool:
+    lo, hi = arity
+    return n >= lo and (hi is None or n <= hi)
+
+
 def lint_function(
-    func: ir.Function, wrt: Optional[Sequence[int]] = None
+    func: ir.Function,
+    wrt: Optional[Sequence[int]] = None,
+    probe_custom_rules: bool = False,
 ) -> list[Diagnostic]:
     """Collect every differentiability diagnostic for ``func`` w.r.t. the
-    parameter indices ``wrt`` (default: all parameters).  Does not raise."""
+    parameter indices ``wrt`` (default: all parameters).  Does not raise.
+
+    With ``probe_custom_rules=True`` every primitive/custom VJP reachable
+    from an apply site is additionally *run once* at seeded scalar samples
+    and its pullback's output shape checked (wrong tuple length, ``bool``
+    in a cotangent slot).  Off by default: probing executes rule code,
+    which the pre-synthesis lint inside ``VJPPlan.build`` must not do.
+    """
     wrt_t = tuple(wrt) if wrt is not None else tuple(range(len(func.params)))
     activity = analyze_activity(func, wrt_t)
     diagnostics: list[Diagnostic] = []
@@ -81,7 +124,81 @@ def lint_function(
         if not isinstance(inst, ir.ApplyInst):
             continue
         diagnostics.extend(_lint_apply(func, inst, activity, users))
+        diagnostics.extend(
+            _lint_custom_contract(inst, probe=probe_custom_rules)
+        )
     return diagnostics
+
+
+def _lint_custom_contract(
+    inst: ir.ApplyInst, probe: bool = False
+) -> list[Diagnostic]:
+    """Contract checks for the derivative rule bound to this apply site:
+    the VJP's arity must match the callee it claims to differentiate, and
+    (when probing) its pullback must return one cotangent per argument."""
+    if inst.is_indirect:
+        return []
+    target = inst.callee.target
+
+    name: Optional[str] = None
+    vjp_fn = None
+    jvp_fn = None
+    jvp_name: Optional[str] = None
+    expected_args = len(inst.args)
+    if isinstance(target, Primitive):
+        if target.vjp is not None:
+            name, vjp_fn = target.name, target.vjp
+        if target.jvp is not None:
+            jvp_name, jvp_fn = target.name, target.jvp
+    elif isinstance(target, ir.Function):
+        from repro.core import registry
+
+        custom = registry.custom_vjp_for(target)
+        if custom is not None:
+            name = getattr(custom, "__name__", repr(custom))
+            vjp_fn = custom
+            expected_args = len(target.params)
+        custom_jvp = registry.custom_jvp_for(target)
+        if custom_jvp is not None:
+            jvp_name = getattr(custom_jvp, "__name__", repr(custom_jvp))
+            jvp_fn = custom_jvp
+
+    out: list[Diagnostic] = []
+    if jvp_fn is not None and not _fits(2, _callable_arity(jvp_fn)):
+        out.append(
+            Diagnostic(
+                "error",
+                f"custom derivative contract violation: JVP {jvp_name!r} "
+                "must accept exactly (primals, tangents)",
+                inst.loc,
+            )
+        )
+    if vjp_fn is None:
+        return out
+    arity = _callable_arity(vjp_fn)
+    if not _fits(expected_args, arity):
+        lo, hi = arity
+        accepts = f"{lo}" if hi == lo else f"{lo}..{'*' if hi is None else hi}"
+        out.append(
+            Diagnostic(
+                "error",
+                f"custom derivative contract violation: VJP {name!r} "
+                f"accepts {accepts} argument(s) but its primal takes "
+                f"{expected_args}",
+                inst.loc,
+            )
+        )
+        return out
+
+    if probe:
+        # Imported lazily: the record-typing prober lives in the analysis
+        # layer, above this core module.
+        from repro.analysis.derivatives.records import probe_rule_record
+
+        out.extend(
+            probe_rule_record(name, vjp_fn, expected_args, inst.loc)
+        )
+    return out
 
 
 def _lint_apply(

@@ -177,15 +177,32 @@ class _BlockRecord:
 
 
 class VJPPlan:
-    """Ahead-of-time synthesized reverse-mode derivative of one function."""
+    """Ahead-of-time synthesized reverse-mode derivative of one function.
 
-    def __init__(self, func: ir.Function, wrt: tuple[int, ...]) -> None:
+    With ``prune_captures=True`` the build additionally runs the capture
+    liveness analysis (:mod:`repro.analysis.derivatives.liveness`) and
+    drops record entries whose cotangent is provably never consumed —
+    varied-but-cotangent-dead values whose consumers all have
+    zero-derivative pullbacks.  Gradients are bit-identical; the reverse
+    sweep would have skipped those entries anyway when their adjoint slot
+    came back ZERO.
+    """
+
+    def __init__(
+        self,
+        func: ir.Function,
+        wrt: tuple[int, ...],
+        prune_captures: bool = False,
+    ) -> None:
         self.func = func
         self.wrt = wrt
+        self.prune_captures = prune_captures
         self.diagnostics: list[Diagnostic] = []
         self.activity: Optional[ActivityInfo] = None
         #: apply-site rules keyed by instruction identity, built once.
         self.rules: dict[int, object] = {}
+        #: id(inst) of record entries dropped by capture pruning.
+        self.pruned: set[int] = set()
         #: Number of times this plan was (re)built; tests assert == 1.
         self.build_count = 0
 
@@ -199,6 +216,17 @@ class VJPPlan:
         self.activity = analyze_activity(func, self.wrt)
         errors: list[Diagnostic] = []
 
+        if self.prune_captures:
+            # Imported lazily: the derivative analyses live above the AD
+            # core (same layering as pullback_cost below).
+            from repro.analysis.derivatives.liveness import (
+                prunable_instruction_ids,
+            )
+
+            self.pruned = prunable_instruction_ids(
+                func, self.wrt, self.activity
+            )
+
         # Pre-synthesis lint: batched warnings (constant result, unused wrt
         # parameters, dropped active values) recorded alongside synthesis's
         # own diagnostics so users see every problem in one shot.
@@ -209,10 +237,12 @@ class VJPPlan:
         for inst in func.instructions():
             if not isinstance(inst, ir.ApplyInst) or not self.activity.is_active(inst):
                 continue
+            # Diagnostics are computed even for pruned sites: pruning is an
+            # optimization, not a differentiability waiver.
             rule, diag = self._rule_for(inst)
             if diag is not None:
                 errors.append(diag)
-            if rule is not None:
+            if rule is not None and id(inst) not in self.pruned:
                 self.rules[id(inst)] = rule
 
         if errors:
@@ -252,6 +282,10 @@ class VJPPlan:
         if isinstance(target, ir.Function):
             custom = registry.custom_vjp_for(target)
             if custom is not None:
+                # Record the edge even for custom rules: re-registering a
+                # derivative for ``target`` must invalidate this caller's
+                # plan too, or it would keep calling the stale closure.
+                _note_dependency(self.func, target)
                 return CustomVJPRule(custom), None
             try:
                 plan = vjp_plan(target, tuple(range(len(target.params))))
@@ -317,19 +351,19 @@ class VJPPlan:
                     continue
                 if isinstance(inst, ir.TupleInst):
                     env[inst.result.id] = tuple(env[v.id] for v in inst.operands)
-                    if activity.is_active(inst):
+                    if activity.is_active(inst) and id(inst) not in self.pruned:
                         record.entries.append((inst, len(inst.operands)))
                     continue
                 if isinstance(inst, ir.TupleExtractInst):
                     operand = env[inst.operands[0].id]
                     env[inst.result.id] = operand[inst.index]
-                    if activity.is_active(inst):
+                    if activity.is_active(inst) and id(inst) not in self.pruned:
                         record.entries.append((inst, len(operand)))
                     continue
                 if isinstance(inst, ir.StructExtractInst):
                     operand = env[inst.operands[0].id]
                     env[inst.result.id] = getattr(operand, inst.field)
-                    if activity.is_active(inst):
+                    if activity.is_active(inst) and id(inst) not in self.pruned:
                         record.entries.append((inst, operand))
                     continue
                 if isinstance(inst, ir.ACCESS_INSTS):
@@ -506,6 +540,7 @@ class JVPPlan:
             elif isinstance(target, ir.Function):
                 custom = registry.custom_jvp_for(target)
                 if custom is not None:
+                    _note_dependency(self.func, target)
                     self.rules[id(inst)] = ("custom", custom)
                 else:
                     try:
@@ -646,8 +681,10 @@ def _indirect_jvp(callee, arg_vals, arg_tans, callee_tan):
 # Plan caches.
 # ---------------------------------------------------------------------------
 
-_VJP_PLANS: dict[tuple[int, tuple[int, ...]], VJPPlan] = {}
-_JVP_PLANS: dict[tuple[int, tuple[int, ...]], JVPPlan] = {}
+#: VJP keys are (id(func), wrt, prune_captures); JVP keys (id(func), wrt).
+#: ``invalidate_plans_for`` only inspects key[0], so the shapes may differ.
+_VJP_PLANS: dict[tuple, VJPPlan] = {}
+_JVP_PLANS: dict[tuple, JVPPlan] = {}
 
 #: Reverse call-graph edges between plan'd functions: callee id -> caller
 #: function objects.  Used to propagate plan invalidation when a custom
@@ -659,14 +696,22 @@ def _note_dependency(caller: ir.Function, callee: ir.Function) -> None:
     _DEPENDENTS.setdefault(id(callee), set()).add(caller)
 
 
-def vjp_plan(func: ir.Function, wrt: Optional[tuple[int, ...]] = None) -> VJPPlan:
-    """Get (or synthesize, once) the reverse-mode plan for ``func``."""
+def vjp_plan(
+    func: ir.Function,
+    wrt: Optional[tuple[int, ...]] = None,
+    prune_captures: bool = False,
+) -> VJPPlan:
+    """Get (or synthesize, once) the reverse-mode plan for ``func``.
+
+    Pruned and unpruned plans are cached independently; both stay AOT
+    (each is built exactly once).
+    """
     if wrt is None:
         wrt = tuple(range(len(func.params)))
-    key = (id(func), wrt)
+    key = (id(func), wrt, prune_captures)
     plan = _VJP_PLANS.get(key)
     if plan is None:
-        plan = VJPPlan(func, wrt)
+        plan = VJPPlan(func, wrt, prune_captures=prune_captures)
         # Insert before building so recursive functions resolve to the
         # in-progress plan rather than recursing forever.
         _VJP_PLANS[key] = plan

@@ -3,6 +3,11 @@ paper's evaluation (Section 5).  Each module documents the paper's numbers,
 the substitutions made, and the shape being reproduced; EXPERIMENTS.md
 records paper-vs-measured for all of them."""
 
+from repro.experiments.derivative_pruning import (
+    PruningResult,
+    PruningRow,
+    run_derivative_pruning,
+)
 from repro.experiments.figure4 import Figure4Result, run_figure4
 from repro.experiments.figure9 import Figure9Point, render_figure9, run_figure9
 from repro.experiments.table1 import (
@@ -21,6 +26,9 @@ from repro.experiments.trace_stability import (
 )
 
 __all__ = [
+    "PruningResult",
+    "PruningRow",
+    "run_derivative_pruning",
     "Figure4Result",
     "run_figure4",
     "Figure9Point",

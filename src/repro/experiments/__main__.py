@@ -14,6 +14,7 @@ import sys
 
 from repro.experiments import (
     render_figure9,
+    run_derivative_pruning,
     run_figure4,
     run_figure9,
     run_table1,
@@ -42,6 +43,7 @@ EXPERIMENTS = {
     "figure4": _figure4_text,
     "figure9": lambda: render_figure9(run_figure9()),
     "trace_stability": lambda: run_trace_stability().render(),
+    "derivative_pruning": lambda: run_derivative_pruning().render(),
 }
 
 

@@ -14,8 +14,27 @@ keeps the AD system decoupled from any particular Tensor implementation.
 
 from __future__ import annotations
 
+import contextlib
 import inspect
 from typing import Callable, Optional
+
+#: When set (a list), every ``Primitive.__call__`` appends itself here.
+#: Installed by :func:`observe_primitive_calls`; the derivative verifier
+#: uses it to catch pullbacks that re-run primal work instead of capturing
+#: the forward value.  ``None`` keeps the fast path allocation-free.
+_CALL_OBSERVER: Optional[list] = None
+
+
+@contextlib.contextmanager
+def observe_primitive_calls():
+    """Record every primitive invocation made inside the ``with`` body."""
+    global _CALL_OBSERVER
+    previous, calls = _CALL_OBSERVER, []
+    _CALL_OBSERVER = calls
+    try:
+        yield calls
+    finally:
+        _CALL_OBSERVER = previous
 
 
 class Primitive:
@@ -82,6 +101,8 @@ class Primitive:
         return self._arity
 
     def __call__(self, *args):
+        if _CALL_OBSERVER is not None:
+            _CALL_OBSERVER.append(self)
         return self.fn(*args)
 
     def def_vjp(self, fn: Callable) -> Callable:

@@ -35,7 +35,50 @@ def print_block(block: ir.Block, annotations: Optional[Annotations] = None) -> s
     return "\n".join(lines)
 
 
-def print_function(func: ir.Function, annotations: Optional[Annotations] = None) -> str:
+def activity_annotations(func: ir.Function, activity) -> Annotations:
+    """Per-instruction ``[varied]``/``[useful]``/``[active]`` labels from an
+    :class:`~repro.core.activity.ActivityInfo` (duck-typed, so this module
+    stays below the AD core in the layering).
+
+    A result that is both varied and useful prints ``[active]``; one that
+    is only one of the two prints that single fact; inactive instructions
+    get no annotation.
+    """
+    notes: Annotations = {}
+    for inst in func.instructions():
+        labels = []
+        for res in inst.results:
+            varied = activity.is_varied(res)
+            useful = activity.is_useful(res)
+            if varied and useful:
+                labels.append("[active]")
+            elif varied:
+                labels.append("[varied]")
+            elif useful:
+                labels.append("[useful]")
+        if labels:
+            notes[id(inst)] = " ".join(labels)
+    return notes
+
+
+def _merge(base: Optional[Annotations], extra: Annotations) -> Annotations:
+    if not base:
+        return extra
+    merged = dict(extra)
+    for key, note in base.items():
+        merged[key] = f"{merged[key]}  {note}" if key in merged else note
+    return merged
+
+
+def print_function(
+    func: ir.Function,
+    annotations: Optional[Annotations] = None,
+    activity=None,
+) -> str:
+    """Print ``func``; with ``activity=`` (an ``ActivityInfo``) every
+    instruction additionally carries its activity verdict as a comment."""
+    if activity is not None:
+        annotations = _merge(annotations, activity_annotations(func, activity))
     lines = [f"sil @{func.name} {{"]
     for block in func.blocks:
         lines.append(print_block(block, annotations))

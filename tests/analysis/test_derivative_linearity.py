@@ -1,0 +1,129 @@
+"""Pullback linearity: the affine abstract domain + the numeric cross-check."""
+
+import pytest
+
+from repro.analysis.derivatives.abstract import (
+    AbstractBranchError,
+    AbstractCoercionError,
+    AffineValue,
+    classify,
+    worst_kind,
+)
+from repro.analysis.derivatives.linearity import (
+    check_primitive_linearity,
+    check_pullback_linearity,
+    default_samples,
+)
+from repro.sil.primitives import Primitive, get_primitive
+
+
+class TestAffineDomain:
+    def test_linear_arithmetic_tracks_coefficients(self):
+        ct = AffineValue.symbol("ct")
+        v = 2.0 * ct + ct / 4.0 - ct * 0.25
+        assert not v.nonlinear
+        assert v.coefficient("ct") == pytest.approx(2.0)
+        assert v.const == 0.0
+
+    def test_symbol_times_symbol_poisons(self):
+        ct = AffineValue.symbol("ct")
+        assert (ct * ct).nonlinear
+        assert (1.0 / ct).nonlinear
+        assert (ct ** 2).nonlinear
+        assert abs(ct).nonlinear
+
+    def test_branch_on_abstract_value_escapes(self):
+        ct = AffineValue.symbol("ct")
+        with pytest.raises(AbstractBranchError):
+            bool(ct)
+        with pytest.raises(AbstractBranchError):
+            ct > 0.0
+
+    def test_coercion_to_float_escapes(self):
+        with pytest.raises(AbstractCoercionError):
+            float(AffineValue.symbol("ct"))
+
+    def test_classify_kinds(self):
+        ct = AffineValue.symbol("ct")
+        assert classify(3.0 * ct)[0] == "linear"
+        assert classify(ct + 1.0)[0] == "affine"
+        assert classify(ct * ct)[0] == "nonlinear"
+        assert classify(None)[0] == "zero"
+        assert classify(True)[0] == "ill-typed"
+
+    def test_worst_kind_ordering(self):
+        assert worst_kind(["zero", "linear"]) == "linear"
+        assert worst_kind(["linear", "nonlinear", "affine"]) == "nonlinear"
+        assert worst_kind(["linear", "ill-typed"]) == "ill-typed"
+
+
+class TestCheckPullbackLinearity:
+    def test_correct_scale_rule_is_proven_linear(self):
+        result = check_pullback_linearity(
+            "scale", lambda x: (2.0 * x, lambda ct: (2.0 * ct,)), 1
+        )
+        assert result.verdict == "linear"
+        assert result.is_linear
+        assert result.coefficients == (2.0,)
+        assert result.probe.linear
+        assert result.cross_check_ok
+        assert result.diagnostics() == []
+
+    def test_nonlinear_pullback_caught_and_probe_agrees(self):
+        result = check_pullback_linearity(
+            "bad", lambda x: (x * x, lambda ct: (ct * ct,)), 1
+        )
+        assert result.verdict == "nonlinear"
+        assert not result.is_linear
+        # The numeric probe must fail the linear-map laws too.
+        assert not result.probe.linear
+        assert result.cross_check_ok
+        errors = [d for d in result.diagnostics() if d.is_error]
+        assert len(errors) == 1
+        assert "not a linear map" in errors[0].message
+
+    def test_affine_offset_fails_zero_preservation(self):
+        result = check_pullback_linearity(
+            "offset", lambda x: (x, lambda ct: (ct + 1.0,)), 1
+        )
+        assert result.verdict == "affine"
+        assert result.probe.ran and not result.probe.zero_preserved
+        assert result.cross_check_ok
+
+    def test_branch_on_cotangent_is_nonlinear(self):
+        def vjp(x):
+            return abs(x), lambda ct: ((ct,) if ct > 0.0 else (-ct,))
+
+        result = check_pullback_linearity("absish", vjp, 1)
+        assert result.verdict == "nonlinear"
+        assert "control flow" in result.reason
+        # |ct| fails additivity at the mixed-sign probe points.
+        assert result.cross_check_ok
+
+    def test_unprobeable_forward_goes_opaque(self):
+        def vjp(x):
+            raise RuntimeError("needs a tensor")
+
+        result = check_pullback_linearity("tensorish", vjp, 1)
+        assert result.verdict == "opaque"
+        assert result.cross_check_ok
+
+    def test_recompute_watch_reports_primal_rework(self):
+        prim = Primitive("relint_helper", lambda x: x * 3.0)
+
+        def vjp(x):
+            return x * 3.0, lambda ct: (ct * (prim(x) / x),)
+
+        result = check_pullback_linearity("reworks", vjp, 1, watch_recompute=True)
+        assert "relint_helper" in result.recomputed_primitives
+        warnings = [d for d in result.diagnostics() if not d.is_error]
+        assert any("re-runs primal work" in d.message for d in warnings)
+
+    def test_registered_mul_primitive_is_linear(self):
+        result = check_primitive_linearity(get_primitive("mul"))
+        assert result.verdict == "linear"
+        assert result.cross_check_ok
+
+    def test_default_samples_deterministic(self):
+        assert default_samples(3) == default_samples(3)
+        assert len(default_samples(5)) == 5

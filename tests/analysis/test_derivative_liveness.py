@@ -1,0 +1,83 @@
+"""Capture liveness: the backward cotangent-flow analysis and its pruning set."""
+
+import math
+
+from repro.analysis.derivatives.liveness import (
+    analyze_capture_liveness,
+    cotangent_live_values,
+    prunable_instruction_ids,
+)
+from repro.analysis.derivatives.models import dead_capture, loop_dead_capture
+from repro.sil import ir, lower_function
+
+
+def test_all_live_when_every_pullback_flows():
+    def f(x):
+        return x * x + 2.0 * x
+
+    func = lower_function(f)
+    report = analyze_capture_liveness(func, (0,))
+    assert report.ok
+    assert report.dead == []
+    assert report.recorded_entries > 0
+    assert report.live_entries == report.recorded_entries
+    assert report.diagnostics() == []
+
+
+def test_discrete_chain_kills_cotangent_flow():
+    func = lower_function(dead_capture)
+    report = analyze_capture_liveness(func, (0,))
+    assert not report.ok
+    assert len(report.dead) == 1
+    dead = report.dead[0]
+    # The dead capture is exp(x): varied, but its cotangent dies at int().
+    assert dead.hint == "y"
+    assert "prune_captures=True" in dead.fix_it()
+    diags = report.diagnostics()
+    assert len(diags) == 1
+    assert not diags[0].is_error  # a dead capture is waste, not wrongness
+    assert "dead pullback capture" in diags[0].message
+
+
+def test_loop_body_dead_captures_found():
+    func = lower_function(loop_dead_capture)
+    report = analyze_capture_liveness(func, (0,))
+    # exp(total) and the int(.)%7 intermediate are dead; k itself is NOT —
+    # the mul pullback consumes k's cotangent slot, so its capture is live.
+    assert len(report.dead) == 2
+    assert "y" in {d.hint for d in report.dead}
+
+
+def test_live_set_contains_wrt_chain():
+    def f(x):
+        y = math.sin(x)
+        return y * 2.0
+
+    func = lower_function(f)
+    live = cotangent_live_values(func)
+    # The returned value and the sin result both carry cotangent.
+    ret = func.blocks[0].terminator
+    assert isinstance(ret, ir.ReturnInst)
+    assert ret.operands[0].id in live
+
+
+def test_prunable_ids_match_dead_captures():
+    func = lower_function(dead_capture)
+    report = analyze_capture_liveness(func, (0,))
+    prunable = prunable_instruction_ids(func, (0,))
+    assert len(prunable) == len(report.dead)
+    dead_value_ids = {d.value_id for d in report.dead}
+    by_result = {
+        inst.result.id: id(inst)
+        for inst in func.instructions()
+        if inst.results
+    }
+    assert {by_result[v] for v in dead_value_ids} == prunable
+
+
+def test_conservative_on_unknown_rules():
+    # A function whose applies all have flowing pullbacks must prune nothing.
+    def f(x):
+        return math.exp(x) * x
+
+    assert prunable_instruction_ids(lower_function(f), (0,)) == set()

@@ -1,0 +1,89 @@
+"""Record typing: captures must inhabit tangent spaces, rules must fit arity."""
+
+import pytest
+
+from repro.analysis.derivatives.models import _bad_arity, _bad_bool_ct
+from repro.analysis.derivatives.records import (
+    check_record_typing,
+    probe_rule_record,
+    tangent_space_of,
+    verify_plan_records,
+)
+from repro.core.synthesis import vjp_plan
+from repro.errors import DifferentiabilityError, SourceLocation
+from repro.sil import ir, lower_function
+
+
+class TestTangentSpaces:
+    def test_scalar_types(self):
+        assert tangent_space_of(ir.FLOAT) == "Float"
+        assert tangent_space_of(ir.INT) == "Float"
+        assert tangent_space_of(ir.BOOL) is None
+        assert tangent_space_of(ir.STRING) is None
+
+    def test_any_is_unknown_but_allowed(self):
+        assert tangent_space_of(ir.ANY) is not None
+
+
+class TestStaticRecordTyping:
+    def test_float_function_records_are_well_typed(self):
+        def f(x):
+            return x * x + 2.0 * x
+
+        typing = check_record_typing(lower_function(f), (0,))
+        assert typing.ok
+        assert typing.checked_entries > 0
+        assert typing.diagnostics() == []
+
+    def test_raise_if_ill_typed_is_noop_when_clean(self):
+        def f(x):
+            return x + 1.0
+
+        check_record_typing(lower_function(f), (0,)).raise_if_ill_typed()
+
+
+class TestProbedRules:
+    def test_wrong_component_count_located(self):
+        loc = SourceLocation("model.py", 7, 2)
+        diags = probe_rule_record("bad_arity_hazard", _bad_arity.vjp, 2, loc)
+        assert len(diags) == 1
+        assert diags[0].is_error
+        assert "1 cotangent component(s) for 2 argument(s)" in diags[0].message
+        assert diags[0].location is loc
+
+    def test_bool_cotangent_located(self):
+        diags = probe_rule_record("bad_bool_ct_hazard", _bad_bool_ct.vjp, 1, None)
+        assert any("bool" in d.message for d in diags)
+        assert all(d.is_error for d in diags)
+
+    def test_unrunnable_rule_is_skipped(self):
+        def vjp(x):
+            raise RuntimeError("tensor-only")
+
+        assert probe_rule_record("opq", vjp, 1, None) == []
+
+    def test_correct_rule_is_clean(self):
+        diags = probe_rule_record(
+            "ok", lambda x: (2.0 * x, lambda ct: (2.0 * ct,)), 1, None
+        )
+        assert diags == []
+
+
+class TestPlanRecords:
+    def test_verify_plan_records_over_clean_plan(self):
+        def f(x):
+            return 3.0 * x * x
+
+        plan = vjp_plan(lower_function(f), (0,))
+        typing = verify_plan_records(plan)
+        assert typing.ok
+
+    def test_ill_typed_plan_raises_differentiability_error(self):
+        def f(x):
+            return _bad_bool_ct(x) + x
+
+        plan = vjp_plan(lower_function(f), (0,))
+        typing = verify_plan_records(plan)
+        assert not typing.ok
+        with pytest.raises(DifferentiabilityError):
+            typing.raise_if_ill_typed()

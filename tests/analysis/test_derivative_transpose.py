@@ -1,0 +1,105 @@
+"""JVP/VJP transpose consistency: ⟨Jv, w⟩ = ⟨v, Jᵀw⟩, statically and probed."""
+
+from repro.analysis.derivatives.models import _bad_scale
+from repro.analysis.derivatives.transpose import (
+    check_primitive_transpose,
+    check_transpose,
+)
+from repro.sil.primitives import PRIMITIVES, Primitive, get_primitive
+
+
+def _good_scale():
+    return Primitive(
+        "good_scale_t",
+        lambda x: 3.0 * x,
+        jvp=lambda primals, tangents: (3.0 * primals[0], 3.0 * tangents[0]),
+        vjp=lambda x: (3.0 * x, lambda ct: (3.0 * ct,)),
+    )
+
+
+def test_consistent_pair_is_proven():
+    check = check_primitive_transpose(_good_scale())
+    assert check.verdict == "consistent"
+    assert check.forward_coefficients == (3.0,)
+    assert check.reverse_coefficients == (3.0,)
+    assert check.probe_consistent is True
+    assert check.cross_check_ok
+    assert check.diagnostics() == []
+
+
+def test_wrong_transpose_caught_even_though_both_rules_are_linear():
+    check = check_primitive_transpose(_bad_scale)
+    assert check.verdict == "inconsistent"
+    # The seeded inner-product probe independently rejects the pair.
+    assert check.probe_consistent is False
+    assert check.cross_check_ok
+    errors = [d for d in check.diagnostics() if d.is_error]
+    assert len(errors) == 1
+    assert "not the transpose of its JVP" in errors[0].message
+    assert "J=3" in errors[0].message and "Jᵀ=2" in errors[0].message
+
+
+def test_nonlinear_pullback_has_no_transpose():
+    check = check_transpose(
+        "nl",
+        lambda primals, tangents: (primals[0] ** 2, 2.0 * primals[0] * tangents[0]),
+        lambda x: (x * x, lambda ct: (ct * ct,)),
+        1,
+    )
+    assert check.verdict == "inconsistent"
+    assert "not linear" in check.reason
+
+
+def test_missing_cotangent_component_is_inconsistent():
+    check = check_transpose(
+        "short",
+        lambda primals, tangents: (
+            primals[0] + primals[1],
+            tangents[0] + tangents[1],
+        ),
+        lambda x, y: (x + y, lambda ct: (ct,)),
+        2,
+    )
+    assert check.verdict == "inconsistent"
+    assert "2 argument(s)" in check.reason
+    assert check.probe_consistent is False
+    assert check.cross_check_ok
+
+
+def test_primitive_without_both_rules_returns_none():
+    vjp_only = Primitive("vjp_only_t", lambda x: x, vjp=lambda x: (x, lambda ct: (ct,)))
+    assert check_primitive_transpose(vjp_only) is None
+
+
+def test_opaque_forward_makes_no_claim():
+    def jvp(primals, tangents):
+        raise RuntimeError("tensor-only rule")
+
+    check = check_transpose("opq", jvp, lambda x: (x, lambda ct: (ct,)), 1)
+    assert check.verdict == "opaque"
+    assert check.cross_check_ok
+    assert check.diagnostics() == []
+
+
+def test_every_registered_pair_is_consistent_or_opaque():
+    for name, prim in sorted(PRIMITIVES.items()):
+        check = check_primitive_transpose(prim)
+        if check is None:
+            continue
+        assert check.verdict in ("consistent", "opaque"), (
+            f"{name}: {check.verdict} ({check.reason})"
+        )
+        assert check.cross_check_ok, name
+
+
+def test_nondiff_positions_are_exempt():
+    # index_get's argument 1 (the index) is non-differentiable: the pair
+    # must not be judged on its zero column.
+    import repro.core  # noqa: F401  (registration side effects)
+
+    prim = get_primitive("index_get")
+    assert prim.nondiff_args == (1,)
+    check = check_primitive_transpose(prim)
+    assert check is not None
+    assert check.verdict in ("consistent", "opaque")
+    assert check.cross_check_ok

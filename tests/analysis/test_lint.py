@@ -99,3 +99,105 @@ def test_diagnostic_str_format_is_stable():
     d = next(d for d in exc_info.value.diagnostics if d.is_error)
     assert str(d).startswith("error: ")
     assert str(d).endswith("(at model.py:10:4)")
+
+
+# ---------------------------------------------------------------------------
+# Custom-derivative contract checks.
+# ---------------------------------------------------------------------------
+
+
+def _apply_site(prim, n_args=1, loc=None):
+    """A one-apply function calling ``prim`` on fresh float parameters."""
+    func = ir.Function("contract_site", [f"a{i}" for i in range(n_args)])
+    entry = func.new_block("entry")
+    args = [entry.add_arg(ir.FLOAT, f"a{i}") for i in range(n_args)]
+    a = entry.append(
+        ir.ApplyInst(
+            ir.FunctionRef(prim),
+            args,
+            loc=loc or SourceLocation("model.py", 3, 1),
+        )
+    )
+    entry.append(ir.ReturnInst(a.result))
+    return func
+
+
+def test_vjp_arity_mismatch_is_a_contract_violation():
+    bad = Primitive(
+        "contract_bad_vjp",
+        lambda x: x * 2.0,
+        vjp=lambda x, y: (x * 2.0, lambda ct: (2.0 * ct,)),  # primal takes 1
+    )
+    diagnostics = lint_function(_apply_site(bad), (0,))
+    errors = [d for d in diagnostics if d.is_error]
+    assert any(
+        "contract violation" in d.message and "accepts 2" in d.message
+        for d in errors
+    )
+    assert all(d.location.line > 0 for d in errors)
+
+
+def test_jvp_must_take_primals_and_tangents():
+    bad = Primitive(
+        "contract_bad_jvp",
+        lambda x: x * 2.0,
+        jvp=lambda primals, tangents, extra: (0.0, 0.0),
+    )
+    diagnostics = lint_function(_apply_site(bad), (0,))
+    assert any(
+        "must accept exactly (primals, tangents)" in d.message
+        for d in diagnostics
+        if d.is_error
+    )
+
+
+def test_probe_catches_wrong_pullback_tuple_length():
+    bad = Primitive(
+        "contract_short_pullback",
+        lambda x, y: x + y,
+        vjp=lambda x, y: (x + y, lambda ct: (ct,)),  # one ct for two args
+    )
+    func = _apply_site(bad, n_args=2)
+    # Off by default: the pre-synthesis lint must not execute rule code.
+    assert not any(
+        d.is_error for d in lint_function(func, (0, 1))
+    )
+    probed = lint_function(func, (0, 1), probe_custom_rules=True)
+    assert any(
+        "ill-typed" in d.message and d.is_error for d in probed
+    )
+
+
+def test_correct_rules_produce_no_contract_diagnostics():
+    good = Primitive(
+        "contract_good",
+        lambda x: x * 2.0,
+        jvp=lambda primals, tangents: (primals[0] * 2.0, tangents[0] * 2.0),
+        vjp=lambda x: (x * 2.0, lambda ct: (2.0 * ct,)),
+    )
+    diagnostics = lint_function(
+        _apply_site(good), (0,), probe_custom_rules=True
+    )
+    assert not any("contract" in d.message for d in diagnostics)
+
+
+def test_registered_function_vjp_arity_checked():
+    from repro.core.registry import derivative
+    from repro.sil import lower_function
+
+    def lint_scaled(x):
+        return x * 5.0
+
+    @derivative(of=lint_scaled)
+    def lint_scaled_vjp(x, extra):  # the primal takes one argument
+        return x * 5.0, lambda ct: (5.0 * ct,)
+
+    def caller(x):
+        return lint_scaled(x)
+
+    diagnostics = lint_function(lower_function(caller), (0,))
+    assert any(
+        "contract violation" in d.message and "lint_scaled_vjp" in d.message
+        for d in diagnostics
+        if d.is_error
+    )

@@ -30,6 +30,16 @@ def test_self_check_passes_and_covers_all_layers():
     assert report.trace_predictions_matched == 9
     assert report.trace_fragments_cross_validated >= 50
     assert report.malformed_traces_rejected == 4
+    # Derivative sweep: every registered pullback checked, a solid core of
+    # them proven linear with transpose-consistent JVP/VJP pairs, the model
+    # corpus at its expected verdicts with every hazard caught, and the
+    # dead-capture models yielding real pruning savings.
+    assert report.derivative_rules_checked >= 40
+    assert report.pullbacks_proven_linear >= 25
+    assert report.transpose_pairs_consistent >= 25
+    assert report.derivative_models_checked == 12
+    assert report.derivative_hazards_caught == 6
+    assert report.pullback_captures_pruned == 7
     assert "all checks passed" in report.summary()
 
 

@@ -1,0 +1,127 @@
+"""Plan invalidation when custom derivatives are (re-)registered.
+
+The regression of record: registering a custom derivative *after* plans
+were synthesized must invalidate not just the target function's plans but
+— transitively — every dependent caller's plan.  This includes callers
+whose plan already holds a ``CustomVJPRule`` for a *previous* registration
+(the rule closure is baked into the plan, so a stale plan silently keeps
+calling the old derivative).
+"""
+
+import pytest
+
+from repro.core import derivative, differentiable, gradient, jvp
+from repro.core.synthesis import vjp_plan
+from repro.sil.frontend import lower_function
+
+
+def test_reregistration_invalidates_dependent_caller_plans():
+    # Caller's plan is built while the *first* custom rule is in effect:
+    # the plan holds CustomVJPRule(first).  Re-registering must not leave
+    # that stale closure in place.
+    def inner(v):
+        return v * v
+
+    def outer(x):
+        return inner(x) + x
+
+    @derivative(of=inner)
+    def inner_vjp_v1(v):
+        return v * v, lambda ct: (ct * 10.0,)
+
+    assert gradient(outer, 3.0) == pytest.approx(11.0)
+
+    @derivative(of=inner)
+    def inner_vjp_v2(v):
+        return v * v, lambda ct: (ct * 100.0,)
+
+    assert gradient(outer, 3.0) == pytest.approx(101.0)
+
+
+def test_reregistration_invalidates_dependent_caller_jvp_plans():
+    def inner(v):
+        return v * 2.0
+
+    def outer(x):
+        return inner(x) * 3.0
+
+    @derivative(of=inner, kind="jvp")
+    def inner_jvp_v1(primals, tangents):
+        return primals[0] * 2.0, tangents[0] * 10.0
+
+    _, d = jvp(outer, (1.0,), (1.0,))
+    assert d == pytest.approx(30.0)
+
+    @derivative(of=inner, kind="jvp")
+    def inner_jvp_v2(primals, tangents):
+        return primals[0] * 2.0, tangents[0] * 100.0
+
+    _, d = jvp(outer, (1.0,), (1.0,))
+    assert d == pytest.approx(300.0)
+
+
+def test_registration_invalidates_transitive_callers():
+    # h -> g -> f: registering a custom derivative for f after all three
+    # plans exist must rebuild the whole chain, not just f.
+    def f_leaf(v):
+        return v * v
+
+    def g_mid(v):
+        return f_leaf(v) * 2.0
+
+    def h_top(x):
+        return g_mid(x) + 1.0
+
+    h = differentiable(h_top)
+    stale_plan = h.vjp_plan((0,))
+    assert gradient(h_top, 2.0) == pytest.approx(8.0)  # 2 * 2x
+
+    @derivative(of=f_leaf)
+    def f_leaf_vjp(v):
+        return v * v, lambda ct: (ct * -1.0,)
+
+    assert gradient(h_top, 2.0) == pytest.approx(-2.0)
+    assert h.vjp_plan((0,)) is not stale_plan
+
+
+def test_registration_only_invalidates_affected_plans():
+    def f_leaf2(v):
+        return v * v
+
+    def caller2(x):
+        return f_leaf2(x)
+
+    def unrelated(x):
+        return x * 5.0
+
+    u = differentiable(unrelated)
+    untouched = u.vjp_plan((0,))
+    assert gradient(caller2, 1.0) == pytest.approx(2.0)
+
+    @derivative(of=f_leaf2)
+    def f_leaf2_vjp(v):
+        return v * v, lambda ct: (ct * 7.0,)
+
+    assert gradient(caller2, 1.0) == pytest.approx(7.0)
+    # A function that never called f_leaf2 keeps its cached plan.
+    assert u.vjp_plan((0,)) is untouched
+
+
+def test_pruned_plan_variants_are_invalidated_too():
+    def f_leaf3(v):
+        return v * v
+
+    def caller(x):
+        return f_leaf3(x)
+
+    func = lower_function(caller)
+    pruned = vjp_plan(func, (0,), prune_captures=True)
+    assert pruned.vjp([3.0])[1](1.0) == pytest.approx((6.0,))
+
+    @derivative(of=f_leaf3)
+    def f_leaf3_vjp(v):
+        return v * v, lambda ct: (ct * 9.0,)
+
+    rebuilt = vjp_plan(func, (0,), prune_captures=True)
+    assert rebuilt is not pruned
+    assert rebuilt.vjp([3.0])[1](1.0) == pytest.approx((9.0,))

@@ -141,3 +141,93 @@ class TestDiagnostics:
         for x in (1.0, 3.0, 9.0):
             gradient(f, x)
         assert f.vjp_plan((0,)).build_count == 1
+
+
+class TestCapturePruning:
+    def test_pruned_plan_records_fewer_entries(self):
+        from repro.analysis.derivatives.models import dead_capture
+
+        func = lower_function(dead_capture)
+        plain = vjp_plan(func, (0,))
+        pruned = vjp_plan(func, (0,), prune_captures=True)
+        assert plain is not pruned
+        assert pruned.pruned and not plain.pruned
+        _, rec1 = plain.execute_forward((1.3,))
+        _, rec2 = pruned.execute_forward((1.3,))
+        n1 = sum(len(r.entries) for r in rec1)
+        n2 = sum(len(r.entries) for r in rec2)
+        assert n2 == n1 - 1
+
+    def test_pruned_and_unpruned_gradients_bit_identical(self):
+        from repro.analysis.derivatives.models import dead_capture
+
+        func = lower_function(dead_capture)
+        plain = vjp_plan(func, (0,))
+        pruned = vjp_plan(func, (0,), prune_captures=True)
+        for x in (0.3, 1.3, 2.7, -0.9):
+            _, rec1 = plain.execute_forward((x,))
+            _, rec2 = pruned.execute_forward((x,))
+            assert plain.run_pullback(rec1, 1.0) == pruned.run_pullback(
+                rec2, 1.0
+            )
+
+    def test_pruned_plan_cached_separately(self):
+        def f(x):
+            return x * 2.0
+
+        func = lower_function(f)
+        assert vjp_plan(func, (0,)) is vjp_plan(func, (0,))
+        assert vjp_plan(func, (0,), prune_captures=True) is vjp_plan(
+            func, (0,), prune_captures=True
+        )
+        assert vjp_plan(func, (0,)) is not vjp_plan(
+            func, (0,), prune_captures=True
+        )
+
+    def test_pruning_never_drops_a_rule_diagnostic(self):
+        # Pruning is an optimization, not a differentiability waiver: the
+        # pruned plan carries the same diagnostics as the plain one.
+        from repro.analysis.derivatives.models import dead_capture
+
+        func = lower_function(dead_capture)
+        plain = vjp_plan(func, (0,))
+        pruned = vjp_plan(func, (0,), prune_captures=True)
+        assert [d.message for d in pruned.diagnostics] == [
+            d.message for d in plain.diagnostics
+        ]
+
+    def test_value_id_reuse_across_loop_iterations_under_pruning(self):
+        # The loop body's SIL value ids are reused every iteration; the
+        # pop-on-consume _Adjoints discipline must keep per-iteration
+        # cotangents separate even when some sites are pruned away.
+        from repro.analysis.derivatives.models import loop_dead_capture
+
+        func = lower_function(loop_dead_capture)
+        plain = vjp_plan(func, (0,))
+        pruned = vjp_plan(func, (0,), prune_captures=True)
+        for x in (0.2, 0.4, 0.6):
+            v1, rec1 = plain.execute_forward((x,))
+            v2, rec2 = pruned.execute_forward((x,))
+            assert v1 == v2
+            # 2 dead sites per iteration x 3 iterations never recorded.
+            assert (
+                sum(len(r.entries) for r in rec1)
+                - sum(len(r.entries) for r in rec2)
+                == 6
+            )
+            assert plain.run_pullback(rec1, 1.0) == pruned.run_pullback(
+                rec2, 1.0
+            )
+
+    def test_corpus_property_pruning_preserves_gradients(self):
+        from repro.analysis.derivatives.models import CLEAN_MODELS
+
+        for model in CLEAN_MODELS:
+            func = lower_function(model.build())
+            plain = vjp_plan(func, model.wrt)
+            pruned = vjp_plan(func, model.wrt, prune_captures=True)
+            _, rec1 = plain.execute_forward(model.args)
+            _, rec2 = pruned.execute_forward(model.args)
+            assert plain.run_pullback(rec1, 1.0) == pruned.run_pullback(
+                rec2, 1.0
+            ), model.name

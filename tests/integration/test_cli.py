@@ -26,7 +26,18 @@ def test_registry_covers_all_tables_and_figures():
         "figure4",
         "figure9",
         "trace_stability",
+        "derivative_pruning",
     }
+
+
+def test_derivative_pruning_experiment_renders_identity_table(capsys):
+    assert main(["derivative_pruning"]) == 0
+    out = capsys.readouterr().out
+    assert "Pullback-capture pruning" in out
+    assert "every pruned gradient is bit-identical" in out
+    assert "✗" not in out
+    for name in ("polynomial", "dead_capture", "loop_dead_capture"):
+        assert name in out
 
 
 def test_trace_stability_experiment_renders_exact_match_table(capsys):

@@ -1,0 +1,74 @@
+"""The printer's activity-annotation mode: [varied]/[useful]/[active] comments."""
+
+import math
+
+from repro.core.activity import analyze_activity
+from repro.sil import lower_function
+from repro.sil.printer import activity_annotations, print_function
+
+
+def _annotated(pyfunc, wrt=(0,)):
+    func = lower_function(pyfunc)
+    return func, print_function(func, activity=analyze_activity(func, wrt))
+
+
+def test_active_instructions_labeled():
+    def f(x):
+        return x * x
+
+    _func, text = _annotated(f)
+    assert "// [active]" in text
+
+
+def test_constant_chain_is_useful_but_never_varied():
+    def f(x):
+        k = 2.0 + 3.0  # feeds the result (useful) but never varies with x
+        return x * k
+
+    _func, text = _annotated(f)
+    lines = [ln for ln in text.splitlines() if "apply" in ln and "add" in ln]
+    assert lines
+    assert all("[useful]" in ln for ln in lines)
+    assert all("[active]" not in ln and "[varied]" not in ln for ln in lines)
+
+
+def test_varied_but_not_useful_labeled_varied():
+    def f(x):
+        _waste = math.exp(x)  # varied, but dropped before the return
+        return x * 2.0
+
+    _func, text = _annotated(f)
+    assert "// [varied]" in text
+    assert "[active]" in text
+
+
+def test_annotations_keyed_by_instruction_identity():
+    def f(x):
+        return x + 1.0
+
+    func = lower_function(f)
+    notes = activity_annotations(func, analyze_activity(func, (0,)))
+    inst_ids = {id(inst) for inst in func.instructions()}
+    assert notes and set(notes) <= inst_ids
+
+
+def test_activity_merges_with_explicit_annotations():
+    def f(x):
+        return x * 3.0
+
+    func = lower_function(f)
+    activity = analyze_activity(func, (0,))
+    from repro.sil import ir
+
+    mul = next(i for i in func.instructions() if isinstance(i, ir.ApplyInst))
+    text = print_function(func, {id(mul): "[custom note]"}, activity=activity)
+    line = next(ln for ln in text.splitlines() if "custom note" in ln)
+    assert "[active]" in line  # both annotations on the same line
+
+
+def test_plain_printing_unchanged_without_activity():
+    def f(x):
+        return x * 3.0
+
+    func = lower_function(f)
+    assert "[active]" not in print_function(func)
