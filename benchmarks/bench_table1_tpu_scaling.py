@@ -8,7 +8,7 @@ to 128 cores.  ``pytest benchmarks/bench_table1_tpu_scaling.py --benchmark-only`
 from conftest import save_result
 
 from repro.experiments import run_table1
-from repro.experiments.table1 import POD_SIZES
+from repro.experiments.table1 import POD_SIZES, run_overlap_ablation
 
 
 def test_table1_tpu_scaling(benchmark):
@@ -22,3 +22,22 @@ def test_table1_tpu_scaling(benchmark):
     # Global throughput scales near-linearly.
     totals = [table.results[n]["throughput"] for n in POD_SIZES]
     assert totals[2] > 7.0 * totals[0]
+
+
+def test_table1_overlap_ablation(benchmark):
+    table = benchmark.pedantic(run_overlap_ablation, rounds=1, iterations=1)
+    save_result("table1_overlap_ablation", table.render())
+
+    for n in (16, 32):
+        r = table.results[n]
+        # Overlap wins where bucket latency does not dominate.
+        assert r["per_core_overlapped"] >= r["per_core_single_shot"]
+    for n in POD_SIZES:
+        r = table.results[n]
+        # The pipeline hides most of its own ring time everywhere.
+        assert r["hidden_fraction"] > 0.5
+        assert r["n_buckets"] > 1
+        # Identity: hidden + exposed == total ring time.
+        assert abs(
+            r["hidden_allreduce"] + r["exposed_allreduce"] - r["allreduce_total"]
+        ) < 1e-12

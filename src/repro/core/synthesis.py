@@ -22,6 +22,7 @@ re-transforms or re-traces user code.  Tests assert this AOT property.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Optional, Sequence
 
 from repro.core import registry
@@ -691,6 +692,14 @@ _JVP_PLANS: dict[tuple, JVPPlan] = {}
 #: derivative is registered after synthesis.
 _DEPENDENTS: dict[int, set] = {}
 
+#: Plan synthesis inserts an *in-progress* plan before building it (the
+#: recursion sentinel below); a second thread must never observe that
+#: half-built plan.  Reentrant because building a plan recursively plans
+#: its callees on the same thread.  Concurrent replicas therefore
+#: serialize on first-step synthesis and share the finished plan — the
+#: host-side analogue of the compiler cache's single-flight discipline.
+_PLAN_LOCK = threading.RLock()
+
 
 def _note_dependency(caller: ir.Function, callee: ir.Function) -> None:
     _DEPENDENTS.setdefault(id(callee), set()).add(caller)
@@ -709,17 +718,18 @@ def vjp_plan(
     if wrt is None:
         wrt = tuple(range(len(func.params)))
     key = (id(func), wrt, prune_captures)
-    plan = _VJP_PLANS.get(key)
-    if plan is None:
-        plan = VJPPlan(func, wrt, prune_captures=prune_captures)
-        # Insert before building so recursive functions resolve to the
-        # in-progress plan rather than recursing forever.
-        _VJP_PLANS[key] = plan
-        try:
-            plan.build()
-        except Exception:
-            del _VJP_PLANS[key]
-            raise
+    with _PLAN_LOCK:
+        plan = _VJP_PLANS.get(key)
+        if plan is None:
+            plan = VJPPlan(func, wrt, prune_captures=prune_captures)
+            # Insert before building so recursive functions resolve to the
+            # in-progress plan rather than recursing forever.
+            _VJP_PLANS[key] = plan
+            try:
+                plan.build()
+            except Exception:
+                del _VJP_PLANS[key]
+                raise
     return plan
 
 
@@ -727,15 +737,16 @@ def jvp_plan(func: ir.Function, wrt: Optional[tuple[int, ...]] = None) -> JVPPla
     if wrt is None:
         wrt = tuple(range(len(func.params)))
     key = (id(func), wrt)
-    plan = _JVP_PLANS.get(key)
-    if plan is None:
-        plan = JVPPlan(func, wrt)
-        _JVP_PLANS[key] = plan
-        try:
-            plan.build()
-        except Exception:
-            del _JVP_PLANS[key]
-            raise
+    with _PLAN_LOCK:
+        plan = _JVP_PLANS.get(key)
+        if plan is None:
+            plan = JVPPlan(func, wrt)
+            _JVP_PLANS[key] = plan
+            try:
+                plan.build()
+            except Exception:
+                del _JVP_PLANS[key]
+                raise
     return plan
 
 

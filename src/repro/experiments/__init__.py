@@ -14,6 +14,7 @@ from repro.experiments.table1 import (
     FULL_TPU_WORKLOAD,
     SCALED_TPU_WORKLOAD,
     TPUWorkload,
+    run_overlap_ablation,
     run_table1,
 )
 from repro.experiments.table2 import run_table2
@@ -37,6 +38,7 @@ __all__ = [
     "FULL_TPU_WORKLOAD",
     "SCALED_TPU_WORKLOAD",
     "TPUWorkload",
+    "run_overlap_ablation",
     "run_table1",
     "run_table2",
     "FULL_WORKLOAD",

@@ -4,12 +4,21 @@
 memoizes it by the module's canonical fingerprint — the reproduction of
 the XLA-program cache of Section 3.4 ("each unique trace is only compiled
 by XLA once").
+
+:class:`AsyncCompiler` is the concurrent face of that cache: a cache miss
+hands compilation to a background worker and returns immediately, so the
+host can fall back to op-by-op execution instead of stalling on the JIT —
+the dispatch/compile pipelining XLA-style runtimes use.  Submissions are
+deduplicated per canonical cache key (*single-flight*): however many
+replicas race on the same fresh trace, exactly one compile runs.
 """
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -182,6 +191,10 @@ class CompilerStats:
 
 STATS = CompilerStats()
 
+#: Guards the fingerprint cache and STATS counters: concurrent replicas
+#: (and the async compile worker) all funnel through ``compile_module``.
+_LOCK = threading.Lock()
+
 
 class Executable:
     """A compiled HLO module, runnable on a simulated device."""
@@ -261,6 +274,11 @@ class Executable:
 #: The XLA-program cache: canonical module text -> Executable.
 _CACHE: dict[str, Executable] = {}
 
+#: Modules currently being compiled, keyed by fingerprint: the second
+#: thread to ask for an in-flight key blocks on the first one's Future
+#: instead of compiling again (single-flight, synchronous face).
+_INFLIGHT: dict[str, Future] = {}
+
 
 def fingerprint(module: HloModule) -> str:
     """Canonical key of a module (its printed text, modulo value names)."""
@@ -279,33 +297,69 @@ def fingerprint(module: HloModule) -> str:
     return re.sub(r"%[\w.\-]+", rename, text)
 
 
+def _codegen(module: HloModule, fuse: bool) -> Executable:
+    """Optimize + emit, updating the compile counters."""
+    optimize(module, fuse=fuse)
+    executable = Executable(module)
+    with _LOCK:
+        STATS.compiles += 1
+        STATS.instructions_compiled += len(executable.order)
+    return executable
+
+
 def compile_module(
     module: HloModule,
     use_cache: bool = True,
     fuse: bool = True,
 ) -> Executable:
-    """Optimize + codegen, memoized by fingerprint."""
-    key = fingerprint(module) if use_cache else None
-    if key is not None:
+    """Optimize + codegen, memoized by fingerprint.
+
+    Thread-safe and single-flight: concurrent replicas materializing the
+    same fresh trace produce exactly one compile — the first caller runs
+    it, the rest block on its result and count as cache hits.
+    """
+    if not use_cache:
+        return _codegen(module, fuse)
+    key = fingerprint(module)
+    with _LOCK:
         cached = _CACHE.get(key)
         if cached is not None:
             STATS.cache_hits += 1
             return cached
-    optimize(module, fuse=fuse)
-    executable = Executable(module)
-    STATS.compiles += 1
-    STATS.instructions_compiled += len(executable.order)
-    if key is not None:
+        pending = _INFLIGHT.get(key)
+        if pending is None:
+            pending = Future()
+            _INFLIGHT[key] = pending
+            owner = True
+        else:
+            owner = False
+    if not owner:
+        executable = pending.result()
+        with _LOCK:
+            STATS.cache_hits += 1
+        return executable
+    try:
+        executable = _codegen(module, fuse)
+    except BaseException as exc:
+        with _LOCK:
+            _INFLIGHT.pop(key, None)
+        pending.set_exception(exc)
+        raise
+    with _LOCK:
         _CACHE[key] = executable
+        _INFLIGHT.pop(key, None)
+    pending.set_result(executable)
     return executable
 
 
 def clear_cache() -> None:
-    _CACHE.clear()
+    with _LOCK:
+        _CACHE.clear()
 
 
 def cache_size() -> int:
-    return len(_CACHE)
+    with _LOCK:
+        return len(_CACHE)
 
 
 def cache_keys() -> tuple[str, ...]:
@@ -314,4 +368,151 @@ def cache_keys() -> tuple[str, ...]:
     The static trace-stability analyzer cross-checks its predicted
     distinct-executable count against the growth of this set.
     """
-    return tuple(_CACHE)
+    with _LOCK:
+        return tuple(_CACHE)
+
+
+# ---------------------------------------------------------------------------
+# Asynchronous compilation (the concurrent execution engine's JIT face).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AsyncCompileStats:
+    """Counters of one :class:`AsyncCompiler` (all monotonic except the
+    ``compile_inflight`` gauge reported by :meth:`AsyncCompiler.stats`)."""
+
+    #: Steps that found a ready executable for their canonical key.
+    compile_hits: int = 0
+    #: Steps that ran op-by-op because their compile was still in flight.
+    fallback_steps: int = 0
+    #: Distinct keys handed to the background worker.
+    submitted: int = 0
+    #: Submissions coalesced onto an already-in-flight compile
+    #: (single-flight dedup: these never reached the worker).
+    deduplicated: int = 0
+    completed: int = 0
+    failed: int = 0
+
+
+class AsyncCompiler:
+    """Background JIT with a single-flight, key-addressed executable cache.
+
+    Keys are *canonical trace keys* (``repro.analysis.tracing.canonical``)
+    computed before lowering, so a lookup costs no HLO printing.  A miss
+    never blocks: :meth:`submit` schedules the build on a worker thread
+    and returns; the caller executes its fragment op-by-op in the meantime
+    and finds the executable ready on a later step.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="hlo-compile"
+        )
+        self._lock = threading.Lock()
+        self._ready: dict[str, Executable] = {}
+        self._inflight: dict[str, Future] = {}
+        self.stats = AsyncCompileStats()
+
+    # -- cache interface -----------------------------------------------------
+
+    def lookup(self, key: str) -> Optional[Executable]:
+        """The non-blocking cache probe; counts a hit iff ready."""
+        with self._lock:
+            executable = self._ready.get(key)
+            if executable is not None:
+                self.stats.compile_hits += 1
+            return executable
+
+    def submit(self, key: str, build: Callable[[], Executable]) -> Future:
+        """Schedule ``build`` for ``key`` unless ready or already in flight.
+
+        Returns the Future tracking the key's compilation (already
+        resolved if the executable is ready).  Exactly one ``build`` runs
+        per key, however many threads race here — the single-flight
+        guarantee the stress tests pin down.
+        """
+        with self._lock:
+            executable = self._ready.get(key)
+            if executable is not None:
+                done: Future = Future()
+                done.set_result(executable)
+                return done
+            pending = self._inflight.get(key)
+            if pending is not None:
+                self.stats.deduplicated += 1
+                return pending
+            self.stats.submitted += 1
+            pending = self._executor.submit(self._build, key, build)
+            self._inflight[key] = pending
+            return pending
+
+    def note_fallback(self) -> None:
+        """Record one step that executed eagerly under an in-flight compile."""
+        with self._lock:
+            self.stats.fallback_steps += 1
+
+    def _build(self, key: str, build: Callable[[], Executable]) -> Executable:
+        try:
+            executable = build()
+        except BaseException:
+            with self._lock:
+                self._inflight.pop(key, None)
+                self.stats.failed += 1
+            raise
+        with self._lock:
+            self._ready[key] = executable
+            self._inflight.pop(key, None)
+            self.stats.completed += 1
+        return executable
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def compile_inflight(self) -> int:
+        with self._lock:
+            return len(self._inflight)
+
+    def cached_keys(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._ready)
+
+    def wait(self, timeout: Optional[float] = None) -> None:
+        """Block until every in-flight compile has finished (for tests and
+        deterministic benchmark boundaries)."""
+        while True:
+            with self._lock:
+                pending = list(self._inflight.values())
+            if not pending:
+                return
+            for future in pending:
+                future.exception(timeout=timeout)
+
+    def stats_dict(self) -> dict:
+        """The stats surface: counters plus the in-flight gauge."""
+        with self._lock:
+            return {
+                "compile_inflight": len(self._inflight),
+                "compile_hits": self.stats.compile_hits,
+                "fallback_steps": self.stats.fallback_steps,
+                "submitted": self.stats.submitted,
+                "deduplicated": self.stats.deduplicated,
+                "completed": self.stats.completed,
+                "failed": self.stats.failed,
+                "cached_executables": len(self._ready),
+            }
+
+    def reset(self) -> None:
+        """Drop cached executables and zero the counters (idle only)."""
+        self.wait()
+        with self._lock:
+            self._ready.clear()
+            self.stats = AsyncCompileStats()
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=True)
+
+
+#: The process-wide async compiler shared by replicas that don't bring
+#: their own (mirrors the global fingerprint cache above).
+ASYNC_COMPILER = AsyncCompiler()

@@ -107,3 +107,24 @@ def tangent_byte_size(tree) -> int:
         return 4 * size
 
     return int(tree_reduce_sum(leaf_bytes, tree))
+
+
+def tangent_leaf_sizes(tree) -> list[int]:
+    """Per-leaf f32 byte sizes in tree traversal order.
+
+    The traversal order matches :func:`tree_map`, which walks struct
+    fields in declaration order — the same order gradients for a model's
+    parameters are produced, so the reversed list approximates backward
+    production order for all-reduce bucketing.
+    """
+    sizes: list[int] = []
+
+    def visit(leaf):
+        if isinstance(leaf, (int, float)):
+            sizes.append(4)
+        else:
+            sizes.append(4 * int(getattr(leaf, "size", 1)))
+        return leaf
+
+    tree_map(visit, tree)
+    return sizes

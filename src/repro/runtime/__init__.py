@@ -7,6 +7,13 @@ and accounts time via :mod:`repro.runtime.costmodel`.
 
 from repro.runtime.cluster import PodSimulator, StepTiming
 from repro.runtime.costmodel import (
+    SINGLE_SHOT,
+    AllReduceConfig,
+    AllReduceTiming,
+    bucket_gradient_bytes,
+    overlapped_allreduce_time,
+)
+from repro.runtime.costmodel import (
     DESKTOP_CPU,
     GTX_1080,
     JAX_JIT,
@@ -26,10 +33,17 @@ from repro.runtime.costmodel import (
 from repro.runtime.device import DeviceStats, Dispatcher, SimDevice
 from repro.runtime.kernels import DTYPE, ITEMSIZE, KERNELS, Kernel, get_kernel
 from repro.runtime.memory import TRACKER, MemoryTracker, track
+from repro.runtime.parallel.executor import MultiReplicaExecutor
 
 __all__ = [
     "PodSimulator",
     "StepTiming",
+    "SINGLE_SHOT",
+    "AllReduceConfig",
+    "AllReduceTiming",
+    "bucket_gradient_bytes",
+    "overlapped_allreduce_time",
+    "MultiReplicaExecutor",
     "DESKTOP_CPU",
     "GTX_1080",
     "JAX_JIT",

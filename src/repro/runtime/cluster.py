@@ -2,42 +2,129 @@
 
 A pod of N identical accelerator cores trains synchronously: every step,
 each replica computes forward+backward on its shard of the global batch,
-then the pod ring-all-reduces the gradients.  One representative replica
-runs the real numerics; the simulated step time combines its compute time
-with the all-reduce cost model, which is what determines the per-core
-throughput scaling the paper measures.
+then the pod ring-all-reduces the gradients.  The multi-replica executor
+(:mod:`repro.runtime.parallel`) runs real numerics for every replica on a
+thread pool and hands this simulator the per-replica compute times; the
+pod's step time merges them deterministically (the synchronous step waits
+for the slowest replica) and adds the all-reduce cost — bucketed and
+optionally overlapped with backward compute (:class:`AllReduceConfig`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
-from repro.runtime.costmodel import DeviceProfile
+from repro.runtime.costmodel import (
+    SINGLE_SHOT,
+    AllReduceConfig,
+    DeviceProfile,
+    bucket_gradient_bytes,
+    overlapped_allreduce_time,
+)
 
 
 @dataclass
 class StepTiming:
     compute_time: float
+    #: All-reduce time *exposed* on the step's critical path.
     allreduce_time: float
+    #: Total ring time across buckets (== allreduce_time when not
+    #: overlapped; the difference is what compute overlap hid).
+    allreduce_total: float = None  # type: ignore[assignment]
+    n_buckets: int = 1
+    overlap: bool = False
+
+    def __post_init__(self) -> None:
+        if self.allreduce_total is None:
+            self.allreduce_total = self.allreduce_time
 
     @property
     def total(self) -> float:
         return self.compute_time + self.allreduce_time
 
+    @property
+    def hidden_allreduce(self) -> float:
+        """Communication time hidden under backward compute."""
+        return self.allreduce_total - self.allreduce_time
+
 
 class PodSimulator:
     """Synchronous data-parallel pod of ``n_cores`` devices."""
 
-    def __init__(self, profile: DeviceProfile, n_cores: int) -> None:
+    def __init__(
+        self,
+        profile: DeviceProfile,
+        n_cores: int,
+        allreduce: Optional[AllReduceConfig] = None,
+    ) -> None:
         if n_cores < 1:
             raise ValueError("a pod needs at least one core")
         self.profile = profile
         self.n_cores = n_cores
+        self.allreduce = allreduce or SINGLE_SHOT
 
-    def step_time(self, per_replica_compute: float, gradient_bytes: float) -> StepTiming:
-        """Simulated time of one synchronous training step."""
-        ar = self.profile.allreduce_time(gradient_bytes, self.n_cores)
-        return StepTiming(compute_time=per_replica_compute, allreduce_time=ar)
+    def step_time(
+        self,
+        per_replica_compute: float,
+        gradient_bytes: float,
+        grad_leaf_bytes: Optional[Sequence[float]] = None,
+        allreduce: Optional[AllReduceConfig] = None,
+    ) -> StepTiming:
+        """Simulated time of one synchronous training step.
+
+        ``grad_leaf_bytes`` (backward production order) enables bucketing;
+        without it the whole gradient is one bucket of ``gradient_bytes``.
+        """
+        return self.step_time_multi(
+            [per_replica_compute],
+            gradient_bytes,
+            grad_leaf_bytes=grad_leaf_bytes,
+            allreduce=allreduce,
+        )
+
+    def step_time_multi(
+        self,
+        per_replica_computes: Sequence[float],
+        gradient_bytes: float,
+        grad_leaf_bytes: Optional[Sequence[float]] = None,
+        allreduce: Optional[AllReduceConfig] = None,
+    ) -> StepTiming:
+        """Merge per-replica compute times into one synchronous step.
+
+        The merge is deterministic and independent of host thread
+        scheduling: the synchronous pod proceeds at the pace of its
+        slowest replica (``max``), regardless of the order the replica
+        threads finished in.
+        """
+        if not per_replica_computes:
+            raise ValueError("need at least one replica compute time")
+        compute = max(per_replica_computes)
+        config = allreduce or self.allreduce
+        if self.n_cores == 1:
+            # A single core has nobody to reduce with: gradient exchange
+            # must cost exactly zero whatever the schedule says.
+            timing = self.profile.allreduce_time(gradient_bytes, 1)
+            assert timing == 0.0, "ring all-reduce of a 1-core pod must be free"
+            return StepTiming(compute, 0.0, 0.0, n_buckets=0, overlap=config.overlap)
+        if grad_leaf_bytes is not None:
+            buckets = bucket_gradient_bytes(grad_leaf_bytes, config.bucket_bytes)
+        else:
+            buckets = [float(gradient_bytes)]
+        comm = overlapped_allreduce_time(
+            self.profile,
+            buckets,
+            self.n_cores,
+            backward_time=compute * config.backward_fraction,
+            overlap=config.overlap,
+        )
+        return StepTiming(
+            compute,
+            comm.exposed,
+            comm.total,
+            n_buckets=comm.n_buckets,
+            overlap=comm.overlap,
+        )
 
     def throughput(
         self, per_replica_compute: float, gradient_bytes: float, per_replica_batch: int

@@ -23,6 +23,7 @@ robust to moderate changes — see EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 
 @dataclass(frozen=True)
@@ -51,6 +52,107 @@ class DeviceProfile:
         steps = 2 * (n_devices - 1)
         shard = nbytes / n_devices
         return steps * (self.link_latency + shard / self.link_bandwidth_bytes_per_sec)
+
+
+# ---------------------------------------------------------------------------
+# Bucketed, compute-overlapped gradient all-reduce (the DDP discipline).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AllReduceConfig:
+    """How a pod reduces gradients at the end of each step.
+
+    ``overlap=False`` with a single bucket is the legacy model: the whole
+    gradient is ring-all-reduced after backward finishes, fully exposed.
+    ``overlap=True`` buckets gradient leaves (in the order backward
+    produces them) and all-reduces bucket *k* while backward still computes
+    the gradients of bucket *k+1* — only the tail of the communication
+    pipeline is exposed on the step's critical path.
+    """
+
+    #: Close a bucket once it holds at least this many gradient bytes.
+    bucket_bytes: float = 4 * 1024 * 1024
+    overlap: bool = True
+    #: Share of per-replica compute spent in backward (the window that can
+    #: hide communication).  Forward:backward ~ 1:2 for conv/dense nets.
+    backward_fraction: float = 2.0 / 3.0
+
+
+#: The legacy single-shot schedule (one bucket, nothing hidden).
+SINGLE_SHOT = AllReduceConfig(bucket_bytes=float("inf"), overlap=False)
+
+
+def bucket_gradient_bytes(
+    leaf_bytes: Sequence[float], bucket_bytes: float
+) -> list[float]:
+    """Greedily pack gradient-leaf sizes into all-reduce buckets.
+
+    ``leaf_bytes`` must be in the order backward *produces* the gradients
+    (last layer first); a bucket is flushed as soon as it reaches the
+    threshold, so every bucket except possibly the last holds at least
+    ``bucket_bytes``.
+    """
+    buckets: list[float] = []
+    current = 0.0
+    for nbytes in leaf_bytes:
+        if nbytes < 0:
+            raise ValueError(f"negative gradient-leaf size {nbytes!r}")
+        current += float(nbytes)
+        if current >= bucket_bytes:
+            buckets.append(current)
+            current = 0.0
+    if current > 0.0 or not buckets:
+        buckets.append(current)
+    return buckets
+
+
+@dataclass(frozen=True)
+class AllReduceTiming:
+    """The communication outcome of one step under a schedule."""
+
+    #: Time on the step's critical path (after backward has finished).
+    exposed: float
+    #: Total ring time summed over buckets (≥ exposed when overlapped).
+    total: float
+    n_buckets: int
+    overlap: bool
+
+
+def overlapped_allreduce_time(
+    profile: DeviceProfile,
+    buckets: Sequence[float],
+    n_devices: int,
+    backward_time: float,
+    overlap: bool,
+) -> AllReduceTiming:
+    """Pipeline buckets of gradient all-reduce against backward compute.
+
+    Bucket *k* becomes ready once backward has produced its gradients —
+    modelled as the byte-proportional prefix of ``backward_time`` — and the
+    interconnect is serial: ring *k* starts at ``max(ready_k, done_{k-1})``.
+    ``exposed`` is what the pipeline sticks out past the end of backward;
+    with ``overlap=False`` every ring runs after backward and ``exposed ==
+    total``.
+    """
+    buckets = [float(b) for b in buckets]
+    if n_devices <= 1:
+        return AllReduceTiming(0.0, 0.0, len(buckets), overlap)
+    durations = [profile.allreduce_time(b, n_devices) for b in buckets]
+    total = sum(durations)
+    if not overlap:
+        return AllReduceTiming(total, total, len(buckets), overlap)
+    total_bytes = sum(buckets)
+    done = 0.0
+    produced = 0.0
+    for nbytes, duration in zip(buckets, durations):
+        produced += nbytes
+        ready = (
+            backward_time * (produced / total_bytes) if total_bytes else 0.0
+        )
+        done = max(ready, done) + duration
+    exposed = max(done - backward_time, 0.0)
+    return AllReduceTiming(exposed, total, len(buckets), overlap)
 
 
 # ---------------------------------------------------------------------------
@@ -119,6 +221,10 @@ class EngineProfile:
     fuses: bool = False
     #: Fixed per-step framework overhead (session / runtime entry).
     per_step_overhead: float = 0.0
+    #: Host time to dispatch one op when a lazy engine falls back to
+    #: op-by-op execution while an asynchronous compile is still in
+    #: flight (the TF-Eager escape hatch under the LazyTensor trace).
+    fallback_op_overhead: float = 55e-6
 
 
 #: Swift for TensorFlow eager mode, backed by TensorFlow-Eager's C API:

@@ -7,7 +7,14 @@ on-device memory column of Table 4.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
+
+# Replica threads of the parallel executor allocate concurrently; the
+# counters below are read-modify-write, so guard them with one lock.
+# Reentrant: ``free`` runs from weakref finalizers, which the interpreter
+# may invoke while the same thread already holds the lock in ``allocate``.
+_LOCK = threading.RLock()
 
 
 class MemoryTracker:
@@ -20,14 +27,16 @@ class MemoryTracker:
         self.allocation_count = 0
 
     def allocate(self, nbytes: int) -> None:
-        self.live_bytes += nbytes
-        self.total_allocated += nbytes
-        self.allocation_count += 1
-        if self.live_bytes > self.peak_bytes:
-            self.peak_bytes = self.live_bytes
+        with _LOCK:
+            self.live_bytes += nbytes
+            self.total_allocated += nbytes
+            self.allocation_count += 1
+            if self.live_bytes > self.peak_bytes:
+                self.peak_bytes = self.live_bytes
 
     def free(self, nbytes: int) -> None:
-        self.live_bytes -= nbytes
+        with _LOCK:
+            self.live_bytes -= nbytes
 
     def reset(self) -> None:
         self.live_bytes = 0

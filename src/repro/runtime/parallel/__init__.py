@@ -1,0 +1,20 @@
+"""Concurrent execution engine: real numerics for every pod replica.
+
+``MultiReplicaExecutor`` fans per-replica work out to a thread pool with
+deterministic (replica-id-ordered) merges; ``ParallelDataParallelTrainer``
+uses it to run synchronous data-parallel training where *all* replicas
+execute real NumPy numerics — the concurrent upgrade of the
+single-representative :class:`~repro.training.distributed.DataParallelTrainer`.
+"""
+
+from repro.runtime.parallel.executor import MultiReplicaExecutor
+from repro.runtime.parallel.trainer import (
+    ParallelDataParallelTrainer,
+    ParallelStepStats,
+)
+
+__all__ = [
+    "MultiReplicaExecutor",
+    "ParallelDataParallelTrainer",
+    "ParallelStepStats",
+]

@@ -260,17 +260,28 @@ def pow_(x, y):
     return x**y
 
 
-@pow_.def_vjp
-def _pow_vjp(x, y):
+def _log_of(x):
+    """ln(x), generic over scalars and tensors."""
+    log = getattr(x, "log", None)
+    if callable(log):
+        return log()
     import math
 
+    return math.log(x)
+
+
+@pow_.def_vjp
+def _pow_vjp(x, y):
     z = x**y
     def pullback(ct):
         dx = ct * y * x ** (y - 1)
         # d/dy x**y = x**y * ln(x); only valid for x > 0, which covers the
         # differentiable uses.  Integer exponents are usually non-varied.
         try:
-            dy = ct * z * math.log(x)
+            dy = ct * z * _log_of(x)
+            if isinstance(y, (int, float)) and callable(getattr(dy, "sum", None)):
+                # Tensor base, scalar exponent: contract to a scalar cotangent.
+                dy = dy.sum().item()
         except (ValueError, TypeError):
             dy = None
         return (dx, dy)
@@ -280,14 +291,12 @@ def _pow_vjp(x, y):
 
 @pow_.def_jvp
 def _pow_jvp(primals, tangents):
-    import math
-
     (x, y), (dx, dy) = primals, tangents
     z = x**y
     dz = dx * y * x ** (y - 1)
     if dy is not None and not (isinstance(dy, float) and dy == 0.0):
         try:
-            dz = dz + dy * z * math.log(x)
+            dz = dz + dy * z * _log_of(x)
         except (ValueError, TypeError):
             pass
     return z, dz
@@ -418,16 +427,24 @@ def abs_(x):
     return abs(x)
 
 
+def _abs_sign(x):
+    """d|x|/dx, generic over scalars and tensors (0 at x == 0)."""
+    sign = getattr(x, "sign", None)
+    if sign is not None and callable(sign):
+        return sign()
+    return 1.0 if x > 0 else -1.0 if x < 0 else 0.0
+
+
 @abs_.def_vjp
 def _abs_vjp(x):
-    y = abs(x)
-    return y, lambda ct: (ct if x >= 0 else -ct,)
+    s = _abs_sign(x)
+    return abs(x), lambda ct: (ct * s,)
 
 
 @abs_.def_jvp
 def _abs_jvp(primals, tangents):
     (x,), (dx,) = primals, tangents
-    return abs(x), dx if x >= 0 else -dx
+    return abs(x), dx * _abs_sign(x)
 
 
 @primitive("min")

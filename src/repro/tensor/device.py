@@ -41,6 +41,7 @@ class Device:
         engine: Optional[EngineProfile] = None,
         name: str = "",
         auto_barrier_threshold: Optional[int] = None,
+        async_compile=False,
     ) -> None:
         if kind not in ("naive", "eager", "lazy"):
             raise ValueError(f"unknown device kind {kind!r}")
@@ -52,11 +53,26 @@ class Device:
             self.sim = SimDevice(profile or DESKTOP_CPU)
             self.dispatcher = Dispatcher(self.sim, engine or S4TF_EAGER)
         elif kind == "lazy":
+            from repro.hlo.compiler import ASYNC_COMPILER, AsyncCompiler
             from repro.tensor.lazy_backend import LazyRuntime
 
+            if async_compile is False or async_compile is None:
+                compiler = None
+            elif async_compile is True:
+                compiler = ASYNC_COMPILER
+            elif isinstance(async_compile, AsyncCompiler):
+                compiler = async_compile
+            else:
+                raise ValueError(
+                    "async_compile must be a bool or an AsyncCompiler, "
+                    f"got {async_compile!r}"
+                )
             self.sim = SimDevice(profile or DESKTOP_CPU)
             self.runtime = LazyRuntime(
-                self.sim, engine or S4TF_LAZY, auto_barrier_threshold
+                self.sim,
+                engine or S4TF_LAZY,
+                auto_barrier_threshold,
+                async_compiler=compiler,
             )
         else:
             self.sim = None
@@ -131,7 +147,13 @@ def eager_device(profile=None, engine=None) -> Device:
     return Device("eager", profile, engine)
 
 
-def lazy_device(profile=None, engine=None, auto_barrier_threshold=None) -> Device:
+def lazy_device(
+    profile=None, engine=None, auto_barrier_threshold=None, async_compile=False
+) -> Device:
     return Device(
-        "lazy", profile, engine, auto_barrier_threshold=auto_barrier_threshold
+        "lazy",
+        profile,
+        engine,
+        auto_barrier_threshold=auto_barrier_threshold,
+        async_compile=async_compile,
     )

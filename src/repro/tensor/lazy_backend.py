@@ -24,11 +24,12 @@ import numpy as np
 from repro.errors import HloError
 from repro.hlo import shapes as si
 from repro.hlo.builder import HloBuilder
-from repro.hlo.compiler import STATS as COMPILER_STATS
-from repro.hlo.compiler import compile_module
+from repro.hlo.compiler import _COMPARE, STATS as COMPILER_STATS
+from repro.hlo.compiler import AsyncCompiler, compile_module
 from repro.hlo.ir import Shape
 from repro.runtime.costmodel import EngineProfile
 from repro.runtime.device import SimDevice
+from repro.runtime.kernels import ITEMSIZE, KERNELS
 
 
 class TraceNode:
@@ -72,6 +73,7 @@ class LazyRuntime:
         sim: SimDevice,
         engine: EngineProfile,
         auto_barrier_threshold: Optional[int] = None,
+        async_compiler: Optional[AsyncCompiler] = None,
     ) -> None:
         self.sim = sim
         self.engine = engine
@@ -79,6 +81,12 @@ class LazyRuntime:
         self.ops_traced = 0
         self.materializations = 0
         self.compiles_triggered = 0
+        #: When set, cache misses compile in the background on this worker
+        #: (shared across replicas for cross-replica single-flight) while
+        #: the missing step executes its fragment op-by-op eagerly.
+        self.async_compiler = async_compiler
+        self.async_compile_hits = 0
+        self.async_fallback_steps = 0
         #: Section 3.4's future work, implemented: when set, a trace
         #: fragment is compiled and dispatched automatically once it grows
         #: past this many ops — no user annotations required.  Reassignable
@@ -110,6 +118,8 @@ class LazyRuntime:
         self.compiles_triggered = 0
         self.ops_since_cut = 0
         self.auto_cuts = 0
+        self.async_compile_hits = 0
+        self.async_fallback_steps = 0
         self.sim.reset()
 
     @property
@@ -132,7 +142,7 @@ class LazyRuntime:
 
     def trace_stats(self) -> dict:
         """Tracing counters for reporting: recorded ops, cuts, compiles."""
-        return {
+        stats = {
             "ops_traced": self.ops_traced,
             "ops_since_cut": self.ops_since_cut,
             "materializations": self.materializations,
@@ -140,6 +150,11 @@ class LazyRuntime:
             "auto_cuts": self.auto_cuts,
             "auto_barrier_threshold": self.auto_barrier_threshold,
         }
+        if self.async_compiler is not None:
+            stats["async_compile_hits"] = self.async_compile_hits
+            stats["async_fallback_steps"] = self.async_fallback_steps
+            stats["async_compile"] = self.async_compiler.stats_dict()
+        return stats
 
     @property
     def elapsed(self) -> float:
@@ -221,6 +236,9 @@ class LazyRuntime:
     def _execute(self, targets: list[TraceNode], reason: str = "observe") -> None:
         for observer in self.fragment_observers:
             observer(targets, reason)
+        if self.async_compiler is not None:
+            self._execute_async(targets)
+            return
         module, param_nodes = _lower_to_hlo(targets)
         if self.capture_traces:
             from repro.hlo.printer import print_module
@@ -240,6 +258,44 @@ class LazyRuntime:
         args = [p.data for p in param_nodes]
         self.sim.busy_until = max(self.sim.busy_until, self.host_time)
         results = executable.run(args, device=self.sim, host_time=self.host_time)
+        self._consume(targets, results)
+
+    def _execute_async(self, targets: list[TraceNode]) -> None:
+        """Materialize without ever stalling the host on the JIT.
+
+        The canonical trace key (computed *before* lowering, on the intact
+        DAG — ``repro.analysis.tracing.canonical``) addresses the async
+        cache.  A hit runs the compiled executable; a miss kicks
+        compilation to the background worker and executes this fragment
+        op-by-op eagerly, bit-identically to the compiled path.
+        """
+        # The canonicalizer lives in the analysis layer but depends only on
+        # the TraceNode duck type; import lazily to keep layering acyclic.
+        from repro.analysis.tracing.canonical import canonicalize
+
+        key = canonicalize(targets).digest
+        executable = self.async_compiler.lookup(key)
+        if executable is not None:
+            self.async_compile_hits += 1
+            _, param_nodes = _lower_to_hlo(targets)
+            args = [p.data for p in param_nodes]
+            self.sim.busy_until = max(self.sim.busy_until, self.host_time)
+            results = executable.run(
+                args, device=self.sim, host_time=self.host_time
+            )
+            self._consume(targets, results)
+            return
+        # Miss: lower now (the execution below consumes the DAG), compile
+        # in the background, run this step op-by-op.
+        module, _ = _lower_to_hlo(targets)
+        self.async_compiler.submit(key, lambda: compile_module(module))
+        self.async_compiler.note_fallback()
+        self.async_fallback_steps += 1
+        results = self._eval_fragment_eager(targets)
+        self._consume(targets, results)
+
+    def _consume(self, targets: list[TraceNode], results) -> None:
+        """Store materialized values and release the executed fragment."""
         self.materializations += 1
         if len(targets) == 1:
             results = (results,)
@@ -252,6 +308,39 @@ class LazyRuntime:
             node.attrs = {}
             node.op = "source"
         self.ops_since_cut = 0
+
+    def _eval_fragment_eager(self, targets: list[TraceNode]):
+        """Op-by-op fallback: evaluate the DAG with the same NumPy kernels
+        the compiled path lowers to (results are bit-identical), charging
+        eager per-op dispatch on the host clock and one unfused kernel per
+        op on the device clock."""
+        values: dict[int, np.ndarray] = {}
+        for node in _fragment_postorder(targets):
+            if node.is_source:
+                values[node.id] = node.data
+                continue
+            if node.op == "constant":
+                values[node.id] = np.asarray(node.attrs["value"], dtype=np.float32)
+                continue
+            args = [values[i.id] for i in node.inputs]
+            result = _eval_trace_node(node, args)
+            values[node.id] = result
+            self.host_time += self.engine.fallback_op_overhead
+            out_elems = int(np.prod(node.shape)) if node.shape else 1
+            in_elems = sum(
+                int(np.prod(i.shape)) if i.shape else 1 for i in node.inputs
+            )
+            flops = _FALLBACK_FLOPS_PER_ELEMENT.get(node.op, 1.0) * out_elems
+            if node.op == "matmul":
+                k = node.inputs[0].shape[-1] if node.inputs[0].shape else 1
+                flops = 2.0 * out_elems * k
+            self.sim.busy_until = max(self.sim.busy_until, self.host_time)
+            self.sim.launch_fused(
+                1, flops, (out_elems + in_elems) * ITEMSIZE, self.host_time
+            )
+        if len(targets) == 1:
+            return values[targets[0].id]
+        return tuple(values[t.id] for t in targets)
 
 
 #: Trace op name -> HloBuilder lowering.  Most map one-to-one.
@@ -398,3 +487,113 @@ def _emit(builder: HloBuilder, node: TraceNode, inputs):
     if op == "concat":
         return builder.concatenate(inputs, node.attrs["axis"])
     raise HloError(f"no HLO lowering for traced op {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Op-by-op fallback evaluation (async-compile misses).
+# ---------------------------------------------------------------------------
+
+_K = KERNELS
+
+#: Transcendentals cost ~10 flops/element on the roofline, matching the
+#: compiled path's per-instruction cost table.
+_FALLBACK_FLOPS_PER_ELEMENT = {
+    "exp": 10.0,
+    "log": 10.0,
+    "tanh": 10.0,
+    "sigmoid": 10.0,
+    "pow": 10.0,
+    "sqrt": 4.0,
+    "rsqrt": 4.0,
+}
+
+_REDUCE_KERNELS = {"sum": "reduce_sum", "mean": "reduce_mean", "max": "reduce_max"}
+
+
+def _fragment_postorder(targets: Sequence[TraceNode]) -> list[TraceNode]:
+    """The exact traversal `_lower_to_hlo` uses, without building HLO."""
+    seen: set[int] = set()
+    order: list[TraceNode] = []
+    for root in targets:
+        stack: list[tuple[TraceNode, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node.id in seen:
+                continue
+            if node.is_source or node.op == "constant" or expanded:
+                seen.add(node.id)
+                order.append(node)
+                continue
+            stack.append((node, True))
+            for operand in reversed(node.inputs):
+                if operand.id not in seen:
+                    stack.append((operand, False))
+    return order
+
+
+def _eval_trace_node(node: TraceNode, args: list):
+    """Evaluate one traced op with the kernels its lowering compiles to."""
+    op = node.op
+    if op in _UNARY:
+        return _K[op](args[0])
+    if op in _BINARY:
+        return _K[op](args[0], args[1])
+    if op == "compare":
+        return _COMPARE[node.attrs["direction"]](args[0], args[1])
+    if op == "select":
+        pred, on_true, on_false = np.broadcast_arrays(*args)
+        return _K["select"](pred, on_true, on_false)
+    if op == "matmul":
+        return _K["matmul"](args[0], args[1])
+    if op == "conv2d":
+        return _K["conv2d"](args[0], args[1], node.attrs["stride"], node.attrs["padding"])
+    if op == "conv2d_grad_input":
+        return _K["conv2d_grad_input"](
+            args[0],
+            args[1],
+            node.attrs["input_dims"],
+            node.attrs["stride"],
+            node.attrs["padding"],
+        )
+    if op == "conv2d_grad_filter":
+        return _K["conv2d_grad_filter"](
+            args[0],
+            args[1],
+            node.attrs["filter_dims"],
+            node.attrs["stride"],
+            node.attrs["padding"],
+        )
+    if op == "reduce":
+        kernel = _REDUCE_KERNELS[node.attrs["kind"]]
+        return _K[kernel](args[0], node.attrs["axes"], node.attrs["keepdims"])
+    if op == "reshape":
+        return _K["reshape"](args[0], node.attrs["dims"])
+    if op == "transpose":
+        return _K["transpose"](args[0], node.attrs["perm"])
+    if op == "broadcast_to":
+        return _K["broadcast_to"](args[0], node.attrs["dims"])
+    if op == "avg_pool":
+        return _K["avg_pool2d"](args[0], node.attrs["pool"], node.attrs["stride"])
+    if op == "avg_pool_grad":
+        return _K["avg_pool2d_grad"](
+            args[0], node.attrs["input_dims"], node.attrs["pool"], node.attrs["stride"]
+        )
+    if op == "max_pool":
+        return _K["max_pool2d"](args[0], node.attrs["pool"], node.attrs["stride"])
+    if op == "max_pool_grad":
+        return _K["max_pool2d_grad"](
+            args[0], args[1], node.attrs["pool"], node.attrs["stride"]
+        )
+    if op == "one_hot":
+        return _K["one_hot"](args[0], node.attrs["depth"])
+    if op == "softmax_ce":
+        return _K["softmax_cross_entropy"](args[0], args[1])
+    if op == "softmax_ce_grad":
+        return _K["softmax_cross_entropy_grad"](args[0], args[1])
+    if op == "pad":
+        return _K["pad"](args[0], node.attrs["paddings"])
+    if op == "slice":
+        return _K["slice"](args[0], node.attrs["starts"], node.attrs["sizes"])
+    if op == "concat":
+        return _K["concat"](*args, node.attrs["axis"])
+    raise HloError(f"no fallback evaluation for traced op {op!r}")

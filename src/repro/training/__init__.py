@@ -1,11 +1,14 @@
 """Training library: loops with automatic barriers, distributed training."""
 
+from repro.runtime.parallel import ParallelDataParallelTrainer, ParallelStepStats
 from repro.training.distributed import DataParallelTrainer, DistributedStepStats
 from repro.training.loop import History, StepResult, evaluate, train, train_step
 
 __all__ = [
     "DataParallelTrainer",
     "DistributedStepStats",
+    "ParallelDataParallelTrainer",
+    "ParallelStepStats",
     "History",
     "StepResult",
     "evaluate",

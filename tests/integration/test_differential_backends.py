@@ -1,0 +1,186 @@
+"""Differential testing of the execution paths (the concurrent engine's proof).
+
+A seeded generator emits random tensor programs; every program runs on:
+
+* the **naive** device (pure-Python f64 scalars) — the semantic oracle,
+  compared within tolerance;
+* the **eager** device (op-by-op NumPy) — the bit-level reference;
+* the **lazy** device (trace -> HLO -> compiled executable);
+* the **async-lazy** device twice: the cold run falls back to op-by-op
+  execution while the JIT runs in the background, the warm run executes
+  the compiled executable;
+* two concurrent replicas on a thread pool sharing one async compiler.
+
+Values *and* gradients on every NumPy path must be bit-identical
+(``tobytes`` equality): the fallback interpreter, the compiled
+executable, and the eager dispatcher all bottom out in the same kernels,
+and nothing about tracing, fusion, or thread scheduling may change a
+single ulp.  The generator avoids literal ``0.0``/``1.0`` constants so
+algebraic simplification is value-preserving at the bit level.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import random
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core import differentiable
+from repro.hlo.compiler import AsyncCompiler
+from repro.runtime.parallel import MultiReplicaExecutor
+from repro.tensor import Device, Tensor
+
+N_PROGRAMS = 200
+SHAPE = (4, 4)
+
+_UNARY = ("tanh", "sigmoid", "relu", "abs", "neg")
+_BINARY = ("add", "sub", "mul", "matmul")
+#: No 0.0 / 1.0: those literals trigger algebraic identities (x+0 -> x)
+#: that drop ops and could legally change bit patterns (e.g. -0.0).
+_SCALARS = (0.5, 1.5, 2.0, -0.5, 0.25, 2.5, -1.5)
+
+
+def generate_program(seed: int) -> tuple[str, str, int]:
+    """(function name, source text, number of tensor inputs)."""
+    rng = random.Random(seed)
+    n_inputs = rng.randint(1, 3)
+    args = [f"x{i}" for i in range(n_inputs)]
+    names = list(args)
+    lines = []
+    for i in range(rng.randint(3, 7)):
+        var = f"t{i}"
+        roll = rng.random()
+        if roll < 0.35:
+            a = rng.choice(names)
+            expr = {
+                "tanh": f"{a}.tanh()",
+                "sigmoid": f"{a}.sigmoid()",
+                "relu": f"{a}.relu()",
+                "abs": f"{a}.abs()",
+                "neg": f"(-{a})",
+            }[rng.choice(_UNARY)]
+        elif roll < 0.55:
+            a = rng.choice(names)
+            expr = f"{a} {rng.choice(['+', '-', '*'])} {rng.choice(_SCALARS)}"
+        else:
+            a, b = rng.choice(names), rng.choice(names)
+            op = rng.choice(_BINARY)
+            if op == "matmul":
+                # Scale down to keep value growth bounded through chains.
+                expr = f"({a} @ {b}) * 0.25"
+            else:
+                expr = f"{a} {'+' if op == 'add' else '-' if op == 'sub' else '*'} {b}"
+        lines.append(f"    {var} = {expr}")
+        names.append(var)
+    # Mix every input into the result so no gradient is symbolically ZERO.
+    mix = " + ".join(args)
+    lines.append(f"    return ({names[-1]} + ({mix}) * 0.125).mean()")
+    name = f"prog_{seed}"
+    source = f"def {name}({', '.join(args)}):\n" + "\n".join(lines) + "\n"
+    return name, source, n_inputs
+
+
+@pytest.fixture(scope="module")
+def program_module(tmp_path_factory):
+    """All generated programs written to a real module (the SIL frontend
+    reads function source via ``inspect.getsource``)."""
+    sources = [generate_program(seed) for seed in range(N_PROGRAMS)]
+    path = tmp_path_factory.mktemp("diffprogs") / "generated_programs.py"
+    path.write_text("".join(src for _, src, _ in sources))
+    spec = importlib.util.spec_from_file_location("generated_programs", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["generated_programs"] = module
+    spec.loader.exec_module(module)
+    try:
+        yield module, sources
+    finally:
+        sys.modules.pop("generated_programs", None)
+
+
+def _inputs_for(seed: int, n_inputs: int) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed + 10_000)
+    return [
+        rng.standard_normal(SHAPE).astype(np.float32) for _ in range(n_inputs)
+    ]
+
+
+def _run_on(df, device: Device, arrays) -> tuple[np.ndarray, list[np.ndarray]]:
+    """(value, gradients) of the promoted program on one device."""
+    from repro.core import value_and_gradient
+
+    tensors = [Tensor(a, device) for a in arrays]
+    value, grads = value_and_gradient(df, *tensors)
+    if not isinstance(grads, tuple):
+        grads = (grads,)
+    return np.asarray(value.numpy()), [np.asarray(g.numpy()) for g in grads]
+
+
+def _bits(value: np.ndarray, grads) -> bytes:
+    return value.tobytes() + b"|".join(g.tobytes() for g in grads)
+
+
+def _check_program(module, name: str, seed: int, n_inputs: int) -> None:
+    fn = getattr(module, name)
+    df = differentiable(fn)
+    arrays = _inputs_for(seed, n_inputs)
+
+    eager_value, eager_grads = _run_on(df, Device("eager"), arrays)
+    reference = _bits(eager_value, eager_grads)
+
+    # Lazy (synchronous JIT) must be bit-identical.
+    lazy_value, lazy_grads = _run_on(df, Device("lazy"), arrays)
+    assert _bits(lazy_value, lazy_grads) == reference, name
+
+    # Async engine: cold run (op-by-op fallback) and warm run (compiled
+    # executable) must both be bit-identical.
+    compiler = AsyncCompiler()
+    cold = _run_on(df, Device("lazy", async_compile=compiler), arrays)
+    compiler.wait()
+    warm = _run_on(df, Device("lazy", async_compile=compiler), arrays)
+    assert _bits(*cold) == reference, f"{name}: fallback path diverged"
+    assert _bits(*warm) == reference, f"{name}: compiled path diverged"
+    assert compiler.stats.fallback_steps >= 1, name
+    assert compiler.stats.compile_hits >= 1, name
+
+    # Two concurrent replicas racing on the same shared compiler.
+    executor = MultiReplicaExecutor(2)
+    try:
+        replica_bits = executor.run(
+            lambda i: _bits(
+                *_run_on(df, Device("lazy", async_compile=compiler), arrays)
+            )
+        )
+    finally:
+        executor.shutdown()
+    for i, bits in enumerate(replica_bits):
+        assert bits == reference, f"{name}: replica {i} diverged"
+
+    # Naive oracle: same math in Python f64 — close, not bit-equal.
+    naive_value, naive_grads = _run_on(df, Device("naive"), arrays)
+    np.testing.assert_allclose(naive_value, eager_value, rtol=2e-4, atol=1e-5)
+    for got, want in zip(naive_grads, eager_grads):
+        np.testing.assert_allclose(got, want, rtol=2e-4, atol=1e-5)
+
+
+@pytest.mark.parametrize("chunk", range(20))
+def test_differential_backends(program_module, chunk):
+    module, sources = program_module
+    per_chunk = N_PROGRAMS // 20
+    for index in range(chunk * per_chunk, (chunk + 1) * per_chunk):
+        name, _, n_inputs = sources[index]
+        _check_program(module, name, index, n_inputs)
+
+
+def test_generator_is_deterministic():
+    assert generate_program(17) == generate_program(17)
+    assert generate_program(3) != generate_program(4)
+
+
+def test_generator_avoids_identity_literals():
+    for seed in range(N_PROGRAMS):
+        _, source, _ = generate_program(seed)
+        assert " 1.0" not in source.replace("* 0.125", "")
+        assert " 0.0" not in source

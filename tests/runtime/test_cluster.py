@@ -1,0 +1,189 @@
+"""PodSimulator and all-reduce cost-model unit tests.
+
+Includes the regression for the 1-core pod: ``step_time`` used to charge a
+ring all-reduce to a pod with nobody to reduce with; a single core's
+gradient "exchange" must cost exactly zero under every schedule.
+"""
+
+import pytest
+
+from repro.runtime.cluster import PodSimulator, StepTiming
+from repro.runtime.costmodel import (
+    SINGLE_SHOT,
+    TPU_V3_CORE,
+    AllReduceConfig,
+    bucket_gradient_bytes,
+    overlapped_allreduce_time,
+)
+
+GRAD_BYTES = 100e6
+LEAVES = [30e6, 10e6, 25e6, 5e6, 20e6, 10e6]  # backward production order
+
+
+# ---------------------------------------------------------------------------
+# n_cores == 1 regression
+# ---------------------------------------------------------------------------
+
+
+def test_single_core_pod_allreduce_is_free():
+    pod = PodSimulator(TPU_V3_CORE, n_cores=1)
+    timing = pod.step_time(0.25, GRAD_BYTES)
+    assert timing.allreduce_time == 0.0
+    assert timing.allreduce_total == 0.0
+    assert timing.hidden_allreduce == 0.0
+    assert timing.total == 0.25
+
+
+def test_single_core_pod_free_under_every_schedule():
+    for config in (SINGLE_SHOT, AllReduceConfig(bucket_bytes=1e6, overlap=True)):
+        pod = PodSimulator(TPU_V3_CORE, n_cores=1, allreduce=config)
+        timing = pod.step_time(0.1, GRAD_BYTES, grad_leaf_bytes=LEAVES)
+        assert timing.allreduce_time == 0.0
+        assert timing.total == 0.1
+
+
+def test_multi_core_pod_allreduce_is_not_free():
+    pod = PodSimulator(TPU_V3_CORE, n_cores=2)
+    assert pod.step_time(0.25, GRAD_BYTES).allreduce_time > 0.0
+
+
+def test_pod_needs_a_core():
+    with pytest.raises(ValueError):
+        PodSimulator(TPU_V3_CORE, n_cores=0)
+
+
+# ---------------------------------------------------------------------------
+# Gradient bucketing
+# ---------------------------------------------------------------------------
+
+
+def test_buckets_preserve_total_bytes():
+    buckets = bucket_gradient_bytes(LEAVES, 25e6)
+    assert sum(buckets) == pytest.approx(sum(LEAVES))
+    assert len(buckets) > 1
+
+
+def test_all_buckets_but_last_reach_threshold():
+    threshold = 25e6
+    buckets = bucket_gradient_bytes(LEAVES, threshold)
+    assert all(b >= threshold for b in buckets[:-1])
+
+
+def test_infinite_threshold_is_single_shot():
+    assert bucket_gradient_bytes(LEAVES, float("inf")) == [sum(LEAVES)]
+
+
+def test_empty_leaves_yield_one_empty_bucket():
+    assert bucket_gradient_bytes([], 1e6) == [0.0]
+
+
+def test_negative_leaf_rejected():
+    with pytest.raises(ValueError):
+        bucket_gradient_bytes([1e6, -1.0], 1e6)
+
+
+def test_bucketing_is_deterministic():
+    assert bucket_gradient_bytes(LEAVES, 25e6) == bucket_gradient_bytes(
+        LEAVES, 25e6
+    )
+
+
+# ---------------------------------------------------------------------------
+# Overlapped all-reduce pipeline
+# ---------------------------------------------------------------------------
+
+
+def test_overlap_identity_hidden_plus_exposed_is_total():
+    buckets = bucket_gradient_bytes(LEAVES, 25e6)
+    timing = overlapped_allreduce_time(
+        TPU_V3_CORE, buckets, 32, backward_time=0.2, overlap=True
+    )
+    assert timing.exposed <= timing.total
+    assert timing.exposed >= 0.0
+    hidden = timing.total - timing.exposed
+    assert hidden >= 0.0
+
+
+def test_no_overlap_exposes_everything():
+    buckets = bucket_gradient_bytes(LEAVES, 25e6)
+    timing = overlapped_allreduce_time(
+        TPU_V3_CORE, buckets, 32, backward_time=0.2, overlap=False
+    )
+    assert timing.exposed == timing.total
+    assert timing.total == pytest.approx(
+        sum(TPU_V3_CORE.allreduce_time(b, 32) for b in buckets)
+    )
+
+
+def test_longer_backward_hides_more():
+    buckets = bucket_gradient_bytes(LEAVES, 25e6)
+    short = overlapped_allreduce_time(
+        TPU_V3_CORE, buckets, 32, backward_time=0.001, overlap=True
+    )
+    long = overlapped_allreduce_time(
+        TPU_V3_CORE, buckets, 32, backward_time=0.5, overlap=True
+    )
+    assert long.exposed <= short.exposed
+    assert long.total == pytest.approx(short.total)
+
+
+def test_zero_backward_overlap_exposes_everything():
+    buckets = bucket_gradient_bytes(LEAVES, 25e6)
+    timing = overlapped_allreduce_time(
+        TPU_V3_CORE, buckets, 32, backward_time=0.0, overlap=True
+    )
+    assert timing.exposed == pytest.approx(timing.total)
+
+
+def test_one_device_pipeline_is_free():
+    timing = overlapped_allreduce_time(
+        TPU_V3_CORE, [GRAD_BYTES], 1, backward_time=0.2, overlap=True
+    )
+    assert timing.exposed == 0.0 and timing.total == 0.0
+
+
+# ---------------------------------------------------------------------------
+# step_time / step_time_multi
+# ---------------------------------------------------------------------------
+
+
+def test_step_time_multi_takes_slowest_replica():
+    pod = PodSimulator(TPU_V3_CORE, n_cores=4)
+    single = pod.step_time(0.3, GRAD_BYTES)
+    multi = pod.step_time_multi([0.1, 0.3, 0.2, 0.05], GRAD_BYTES)
+    assert multi.compute_time == 0.3
+    assert multi.total == pytest.approx(single.total)
+
+
+def test_step_time_multi_order_independent():
+    pod = PodSimulator(TPU_V3_CORE, n_cores=4)
+    times = [0.11, 0.29, 0.17, 0.23]
+    a = pod.step_time_multi(times, GRAD_BYTES)
+    b = pod.step_time_multi(list(reversed(times)), GRAD_BYTES)
+    assert a == b
+
+
+def test_step_time_multi_requires_a_replica():
+    pod = PodSimulator(TPU_V3_CORE, n_cores=4)
+    with pytest.raises(ValueError):
+        pod.step_time_multi([], GRAD_BYTES)
+
+
+def test_overlap_beats_single_shot_when_backward_hides_it():
+    config = AllReduceConfig(bucket_bytes=GRAD_BYTES / 8, overlap=True)
+    pod = PodSimulator(TPU_V3_CORE, n_cores=16)
+    overlapped = pod.step_time(
+        0.3, GRAD_BYTES, grad_leaf_bytes=LEAVES, allreduce=config
+    )
+    single = pod.step_time(0.3, GRAD_BYTES, allreduce=SINGLE_SHOT)
+    assert overlapped.total < single.total
+    assert overlapped.hidden_allreduce > 0.0
+    assert overlapped.n_buckets > 1
+    assert single.n_buckets == 1 and single.hidden_allreduce == 0.0
+
+
+def test_step_timing_defaults_total_to_exposed():
+    timing = StepTiming(compute_time=1.0, allreduce_time=0.25)
+    assert timing.allreduce_total == 0.25
+    assert timing.total == 1.25
+    assert timing.hidden_allreduce == 0.0

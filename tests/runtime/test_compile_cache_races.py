@@ -1,0 +1,245 @@
+"""Race stress tests for the compilation caches (the single-flight proof).
+
+Two layers share the guarantee that one canonical key compiles exactly
+once no matter how many threads race on it:
+
+* ``repro.hlo.compiler.compile_module`` — the synchronous fingerprint
+  cache: late arrivals block on the owner's Future;
+* :class:`repro.hlo.compiler.AsyncCompiler` — the non-blocking cache the
+  concurrent engine uses: late arrivals coalesce onto the in-flight
+  compile and fall back to op-by-op execution.
+
+Every test hammers one of them from many threads through a barrier (to
+maximize collision probability) and asserts build counts, stats
+consistency, and the absence of deadlocks (joins are time-bounded).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+
+from repro.hlo import compiler as hlo_compiler
+from repro.hlo.compiler import STATS, AsyncCompiler, compile_module
+from repro.hlo.ir import HloComputation, HloInstruction, HloModule, Shape
+
+N_THREADS = 8
+JOIN_TIMEOUT = 30.0
+
+
+def _run_threads(fn, n=N_THREADS):
+    """Run ``fn(thread_index)`` on n threads behind a start barrier;
+    re-raise the first worker exception; fail instead of deadlocking."""
+    barrier = threading.Barrier(n)
+    errors: list[BaseException] = []
+
+    def worker(i):
+        barrier.wait()
+        try:
+            fn(i)
+        except BaseException as exc:  # noqa: BLE001 - reported via errors
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=JOIN_TIMEOUT)
+        assert not t.is_alive(), "worker deadlocked"
+    if errors:
+        raise errors[0]
+
+
+def _fresh_module(dims=(5, 7)):
+    """A small well-formed module; identical dims => identical fingerprint
+    (fingerprints canonicalize value names but keep shapes)."""
+    comp = HloComputation("entry")
+    p0 = comp.add(
+        HloInstruction("parameter", [], Shape(dims), parameter_number=0)
+    )
+    p1 = comp.add(
+        HloInstruction("parameter", [], Shape(dims), parameter_number=1)
+    )
+    add = comp.add(HloInstruction("add", [p0, p1], Shape(dims)))
+    neg = comp.add(HloInstruction("negate", [add], Shape(dims)))
+    comp.set_root(neg)
+    return HloModule("m", comp)
+
+
+# ---------------------------------------------------------------------------
+# Synchronous cache: compile_module
+# ---------------------------------------------------------------------------
+
+
+def test_compile_module_single_flight_under_contention():
+    # Distinct dims per test run are unnecessary: clear the global cache
+    # so this module's fingerprint is guaranteed fresh.
+    hlo_compiler.clear_cache()
+    dims = (11, 13)
+    key = hlo_compiler.fingerprint(_fresh_module(dims))
+    compiles_before = STATS.compiles
+    results = [None] * N_THREADS
+
+    def race(i):
+        results[i] = compile_module(_fresh_module(dims))
+
+    _run_threads(race)
+
+    assert all(r is not None for r in results)
+    # Single-flight: every thread got the *same* Executable object.
+    assert len({id(r) for r in results}) == 1
+    # Exactly one compile ran for this fingerprint across all threads.
+    assert STATS.compiles == compiles_before + 1
+    assert key in hlo_compiler.cache_keys()
+
+
+def test_compile_module_distinct_keys_compile_independently():
+    hlo_compiler.clear_cache()
+    shapes = [(2, i + 2) for i in range(N_THREADS)]
+    compiles_before = STATS.compiles
+    results = [None] * N_THREADS
+
+    def race(i):
+        results[i] = compile_module(_fresh_module(shapes[i]))
+
+    _run_threads(race)
+
+    assert len({id(r) for r in results}) == N_THREADS
+    assert STATS.compiles == compiles_before + N_THREADS
+    assert hlo_compiler.cache_size() >= N_THREADS
+
+
+# ---------------------------------------------------------------------------
+# Asynchronous cache: AsyncCompiler
+# ---------------------------------------------------------------------------
+
+
+class _SlowBuild:
+    """A build callable that records invocations and is deliberately slow,
+    widening the window in which racing submits must coalesce."""
+
+    def __init__(self, delay=0.02):
+        self.delay = delay
+        self.calls = Counter()
+        self.lock = threading.Lock()
+
+    def builder(self, key):
+        def build():
+            with self.lock:
+                self.calls[key] += 1
+            time.sleep(self.delay)
+            return ("executable", key)
+
+        return build
+
+
+def test_async_cache_colliding_keys_build_once():
+    compiler = AsyncCompiler()
+    build = _SlowBuild()
+    keys = [f"key-{i % 2}" for i in range(N_THREADS)]  # heavy collisions
+    futures = [None] * N_THREADS
+
+    def race(i):
+        key = keys[i]
+        if compiler.lookup(key) is None:
+            futures[i] = compiler.submit(key, build.builder(key))
+            compiler.note_fallback()
+
+    _run_threads(race)
+    compiler.wait()
+
+    # Exactly one build per distinct key, however many threads submitted.
+    assert build.calls == Counter({"key-0": 1, "key-1": 1})
+    stats = compiler.stats_dict()
+    assert stats["submitted"] == 2
+    assert stats["completed"] == 2
+    assert stats["submitted"] + stats["deduplicated"] == N_THREADS
+    assert stats["fallback_steps"] == N_THREADS
+    assert stats["compile_inflight"] == 0
+    assert stats["failed"] == 0
+    # Every racer's Future resolves to its key's executable.
+    for key, future in zip(keys, futures):
+        assert future.result(timeout=JOIN_TIMEOUT) == ("executable", key)
+    # After completion, lookups hit.
+    assert compiler.lookup("key-0") == ("executable", "key-0")
+    assert compiler.lookup("key-1") == ("executable", "key-1")
+    assert stats["cached_executables"] == 2
+    compiler.shutdown()
+
+
+def test_async_cache_hammer_many_rounds():
+    """N threads x R rounds x K keys: the steady-state invariants hold
+    whatever interleaving the scheduler produces."""
+    compiler = AsyncCompiler(workers=2)
+    build = _SlowBuild(delay=0.001)
+    n_keys = 5
+    rounds = 20
+
+    def race(i):
+        for r in range(rounds):
+            key = f"k{(i + r) % n_keys}"
+            if compiler.lookup(key) is None:
+                compiler.submit(key, build.builder(key))
+                compiler.note_fallback()
+
+    _run_threads(race)
+    compiler.wait()
+
+    stats = compiler.stats_dict()
+    # One build per key ever.
+    assert build.calls == Counter({f"k{i}": 1 for i in range(n_keys)})
+    assert stats["submitted"] == n_keys
+    assert stats["completed"] == n_keys
+    assert stats["cached_executables"] == n_keys
+    assert stats["compile_inflight"] == 0
+    # Conservation: every loop iteration either hit or fell back.
+    assert stats["compile_hits"] + stats["fallback_steps"] == N_THREADS * rounds
+    # Warm cache: everything is a hit now.
+    hits_before = stats["compile_hits"]
+    for i in range(n_keys):
+        assert compiler.lookup(f"k{i}") == ("executable", f"k{i}")
+    assert compiler.stats_dict()["compile_hits"] == hits_before + n_keys
+    compiler.shutdown()
+
+
+def test_async_cache_failed_build_is_not_poisoned():
+    """A failing compile clears its in-flight slot: the key can be
+    resubmitted and succeed (no wedged Future, no cached failure)."""
+    compiler = AsyncCompiler()
+
+    def boom():
+        raise RuntimeError("codegen exploded")
+
+    future = compiler.submit("bad", boom)
+    try:
+        future.result(timeout=JOIN_TIMEOUT)
+    except RuntimeError:
+        pass
+    else:  # pragma: no cover - the build must fail
+        raise AssertionError("expected the build to raise")
+    compiler.wait()
+    stats = compiler.stats_dict()
+    assert stats["failed"] == 1
+    assert stats["compile_inflight"] == 0
+    assert compiler.lookup("bad") is None
+
+    # Retry succeeds and caches.
+    good = compiler.submit("bad", lambda: "fixed")
+    assert good.result(timeout=JOIN_TIMEOUT) == "fixed"
+    compiler.wait()
+    assert compiler.lookup("bad") == "fixed"
+    assert compiler.stats_dict()["completed"] == 1
+    compiler.shutdown()
+
+
+def test_async_cache_reset_resets():
+    compiler = AsyncCompiler()
+    compiler.submit("x", lambda: 1)
+    compiler.wait()
+    assert compiler.lookup("x") == 1
+    compiler.reset()
+    assert compiler.lookup("x") is None
+    stats = compiler.stats_dict()
+    assert stats["submitted"] == 0 and stats["compile_hits"] == 0
+    compiler.shutdown()
