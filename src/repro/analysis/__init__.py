@@ -27,7 +27,13 @@ The subsystem spans the three IR layers of the reproduction:
   interpretation, JVP/VJP transpose consistency (⟨Jv, w⟩ = ⟨v, Jᵀw⟩),
   pullback-record typing against tangent spaces, and the cotangent
   liveness analysis behind ``vjp_plan(..., prune_captures=True)`` — all
-  cross-checked against seeded numeric probes.
+  cross-checked against seeded numeric probes;
+* **concurrency** — static concurrency-safety analysis for the parallel
+  engine (:mod:`repro.analysis.concurrency`): the shared-state inventory
+  with its ``guarded_by`` registry, lockset race detection over Python
+  ASTs, the lock-order deadlock graph cross-checked against the
+  instrumented-lock dynamic witness, and replica-merge determinism
+  verification.
 
 ``python -m repro.analysis --self-check`` runs every verifier over every
 registered primitive's synthesized JVP/VJP and over the HLO modules the
@@ -36,7 +42,9 @@ function's SIL with per-instruction ownership annotations;
 ``--trace <program|all>`` proves cache behavior for a step program from
 the seeded trace corpus and cross-checks it against the runtime;
 ``--derivatives <model|all>`` runs the derivative verifier over the
-seeded derivative corpus (or any ``module:function``).
+seeded derivative corpus (or any ``module:function``);
+``--concurrency <runtime|corpus|model|all>`` runs the concurrency-safety
+analysis over the real parallel engine and/or the seeded hazard corpus.
 
 This ``__init__`` resolves its re-exports lazily: the pass pipelines import
 :mod:`repro.analysis.attribution` at module load, and an eager init here
@@ -101,6 +109,14 @@ _LAZY = {
     ),
     "verify_derivatives": ("repro.analysis.derivatives", "verify_derivatives"),
     "DerivativeReport": ("repro.analysis.derivatives", "DerivativeReport"),
+    "analyze_runtime": ("repro.analysis.concurrency", "analyze_runtime"),
+    "analyze_corpus": ("repro.analysis.concurrency", "analyze_corpus"),
+    "analyze_locksets": ("repro.analysis.concurrency", "analyze_locksets"),
+    "build_inventory": ("repro.analysis.concurrency", "build_inventory"),
+    "build_lock_order": ("repro.analysis.concurrency", "build_lock_order"),
+    "verify_merges": ("repro.analysis.concurrency", "verify_merges"),
+    "ConcurrencyReport": ("repro.analysis.concurrency", "ConcurrencyReport"),
+    "GuardRegistry": ("repro.analysis.concurrency", "GuardRegistry"),
 }
 
 __all__ = [

@@ -11,6 +11,9 @@ Usage::
     python -m repro.analysis --derivatives bad_square
     python -m repro.analysis --derivatives all
     python -m repro.analysis --lint mypkg.mymod:myfn
+    python -m repro.analysis --concurrency runtime
+    python -m repro.analysis --concurrency race_unlocked_counter
+    python -m repro.analysis --concurrency all
 
 ``--ownership`` resolves its argument against the bundled model corpus
 (:mod:`repro.analysis.ownership.models`) first, then as a dotted
@@ -33,6 +36,16 @@ record typing, capture liveness, and the numeric cross-checks.
 ``--lint`` lowers a function and prints the batched differentiability
 lint (including the custom-derivative contract checks) without running
 the full verifier.
+
+``--concurrency`` runs the static concurrency-safety analysis
+(:mod:`repro.analysis.concurrency`): shared-state inventory against the
+``guarded_by`` registry, lockset race detection, the lock-order deadlock
+graph with its dynamic witness cross-check, and replica-merge
+determinism verification.  ``runtime`` analyzes the real parallel
+engine, a corpus model name analyzes that seeded hazard, ``corpus``
+analyzes every model, and ``all`` runs runtime + corpus; exit status 0
+iff the runtime is clean, every seeded hazard is caught, and every
+static-vs-dynamic cross-check agrees.
 """
 
 from __future__ import annotations
@@ -99,6 +112,22 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     parser.add_argument(
+        "--concurrency",
+        metavar="TARGET",
+        help=(
+            "run the concurrency-safety analysis over TARGET ('runtime', "
+            "'corpus', a seeded corpus model name, or 'all'): shared-state "
+            "inventory, lockset race detection, lock-order deadlock graph "
+            "with dynamic witness cross-check, and merge-determinism "
+            "verification"
+        ),
+    )
+    parser.add_argument(
+        "--no-witness",
+        action="store_true",
+        help="skip the dynamic lock-witness runs (static analysis only)",
+    )
+    parser.add_argument(
         "--style",
         choices=("mvs", "functional"),
         default="mvs",
@@ -120,6 +149,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.lint:
         return _run_lint(args.lint)
+
+    if args.concurrency:
+        return _run_concurrency(args.concurrency, args.quiet, not args.no_witness)
 
     if not args.self_check:
         parser.print_help()
@@ -248,6 +280,58 @@ def _run_derivatives(spec: str, quiet: bool) -> int:
             "all agree with the numeric probes"
             if failures == 0
             else "DISAGREE with the numeric probes"
+        )
+    )
+    return 0 if failures == 0 else 1
+
+
+def _run_concurrency(spec: str, quiet: bool, witness: bool) -> int:
+    from repro.analysis.concurrency.models import CORPUS_MODELS
+    from repro.analysis.concurrency.report import (
+        analyze_corpus,
+        analyze_corpus_model,
+        analyze_runtime,
+    )
+
+    model_names = {m.name: m for m in CORPUS_MODELS}
+    failures = 0
+
+    def show(text: str, ok: bool) -> None:
+        if not quiet or not ok:
+            print(text)
+            print()
+
+    if spec in ("runtime", "all"):
+        report = analyze_runtime(run_witness=witness)
+        if not report.ok:
+            failures += 1
+        show(report.render(), report.ok)
+
+    if spec in ("corpus", "all"):
+        corpus = analyze_corpus(run_witness=witness)
+        failures += sum(not r.matches for r in corpus.results)
+        show(corpus.render(), corpus.ok)
+    elif spec in model_names:
+        result = analyze_corpus_model(model_names[spec])
+        if not result.matches:
+            failures += 1
+        print(result.render())
+        for diag in result.diagnostics:
+            print(f"    {diag.severity}: {diag.message} "
+                  f"[{diag.location.filename}:{diag.location.line}]")
+    elif spec not in ("runtime", "corpus", "all"):
+        raise SystemExit(
+            f"error: unknown concurrency target {spec!r}; use 'runtime', "
+            "'corpus', 'all', or a corpus model: "
+            + ", ".join(sorted(model_names))
+        )
+
+    print(
+        f"concurrency analysis: {failures} failure(s); "
+        + (
+            "locksets, lock order, and merges all verified"
+            if failures == 0
+            else "hazards or cross-check divergences found"
         )
     )
     return 0 if failures == 0 else 1

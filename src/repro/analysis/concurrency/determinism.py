@@ -1,0 +1,432 @@
+"""Merge-determinism verification for replica reductions.
+
+When the parallel engine merges per-replica results — gradient
+averaging, loss accumulation, pod step timing, stats aggregation — the
+merged value must not depend on *which replica thread finished first*.
+Floating-point addition is not associative, so a float accumulation is
+only acceptable when its iteration order is pinned (replica-id order),
+and a merge iterated in completion order is a nondeterminism bug even
+though no lock is missing.
+
+The static classifier inspects each registered merge function's AST and
+decomposes it into **accumulation sites**:
+
+* the accumulation *operation* — ``+=``/``-=``, ``np.add(..., out=)``
+  and ``sum(...)`` are **order-sensitive** in floating point; ``max``/
+  ``min`` are **order-insensitive** (associative *and* commutative);
+* the *iteration source* feeding it — ``range(...)`` is index-ordered,
+  ``as_completed(...)`` is completion-ordered, ``set(...)`` is
+  unordered, and any other iterable is sequence-ordered (follows the
+  replica-indexed input).
+
+The verdict per site (and, taking the worst, per function):
+
+=====================  ===========================  ====================
+operation              iteration                    verdict
+=====================  ===========================  ====================
+insensitive (max/min)  any                          ``order-insensitive``
+sensitive (float sum)  index-/sequence-ordered      ``replica-ordered``
+sensitive (float sum)  completion-/unordered        ``order-sensitive``
+=====================  ===========================  ====================
+
+``order-sensitive`` is an error: the merged float depends on thread
+scheduling.  ``replica-ordered`` is the documented contract of the
+engine's merges (deterministic, bit-identical across runs, dependent
+only on replica ids).
+
+Each registered merge can also carry a **numeric probe** — run the real
+function on adversarial values (``[1e8, 1.0, -1e8, 3.0]`` exposes f32
+non-associativity) under repeated and permuted orders.  The probe's
+observed (deterministic, order-sensitive) pair must agree with the
+static verdict, giving the same static-vs-dynamic ``cross_check_ok``
+discipline the lock-order graph uses.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import Diagnostic, SourceLocation
+
+from .inventory import load_module_ast
+
+#: Adversarial f32 addends: summing left-to-right gives 3.0, any order
+#: that pairs the 1e8s first gives 4.0.
+PROBE_VALUES: Tuple[float, ...] = (1.0e8, 1.0, -1.0e8, 3.0)
+
+_SENSITIVE_REDUCERS = frozenset({"sum"})
+_INSENSITIVE_REDUCERS = frozenset({"max", "min"})
+_SENSITIVE_NP_OPS = frozenset({"add", "subtract", "multiply"})
+
+_VERDICT_RANK = {"order-insensitive": 0, "replica-ordered": 1, "order-sensitive": 2}
+
+
+@dataclass(frozen=True)
+class AccumulationSite:
+    """One accumulation statement inside a merge function."""
+
+    op: str  # e.g. "+=", "np.add", "sum", "max"
+    sensitive: bool  # float-order-sensitive operation
+    iteration: str  # index-ordered | sequence-ordered | completion-ordered | unordered
+    verdict: str
+    location: SourceLocation
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """What actually happened when the merge ran on adversarial floats."""
+
+    deterministic: bool  # same inputs, same completion order -> same bits
+    order_sensitive: bool  # reordering contributions changes the result
+
+
+@dataclass(frozen=True)
+class MergeSpec:
+    """A registered merge function with its expected verdict and probe."""
+
+    qualname: str
+    expect: str
+    probe: Optional[Callable[[], ProbeResult]] = None
+
+
+@dataclass
+class MergeFinding:
+    qualname: str
+    verdict: str
+    expect: str
+    sites: List[AccumulationSite]
+    probe: Optional[ProbeResult]
+    probe_consistent: Optional[bool]
+    location: SourceLocation
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict == self.expect and self.probe_consistent is not False
+
+
+@dataclass
+class DeterminismReport:
+    findings: List[MergeFinding] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def cross_check_ok(self) -> bool:
+        return all(f.probe_consistent is not False for f in self.findings)
+
+    @property
+    def order_sensitive(self) -> List[MergeFinding]:
+        return [f for f in self.findings if f.verdict == "order-sensitive"]
+
+    def render(self) -> str:
+        lines = [
+            f"-- merge determinism: {len(self.findings)} merge(s), "
+            f"{len(self.order_sensitive)} order-sensitive, "
+            f"cross_check_ok={self.cross_check_ok} --"
+        ]
+        for f in self.findings:
+            mark = "ok" if f.ok else "FAIL"
+            probe = (
+                "unprobed"
+                if f.probe is None
+                else f"probe(det={f.probe.deterministic}, "
+                f"sens={f.probe.order_sensitive})"
+            )
+            lines.append(
+                f"  [{mark:>4}] {f.qualname}: {f.verdict} "
+                f"(expected {f.expect}, {probe})"
+            )
+            for s in f.sites:
+                lines.append(
+                    f"         {s.op} over {s.iteration} -> {s.verdict} "
+                    f"(line {s.location.line})"
+                )
+        return "\n".join(lines)
+
+
+def _iteration_kind(iter_expr: ast.expr) -> str:
+    if isinstance(iter_expr, ast.Call):
+        func = iter_expr.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        if name == "range":
+            return "index-ordered"
+        if name == "as_completed":
+            return "completion-ordered"
+        if name in ("set", "frozenset"):
+            return "unordered"
+        if name in ("sorted", "enumerate", "zip", "reversed"):
+            return "sequence-ordered"
+        return "sequence-ordered"
+    if isinstance(iter_expr, (ast.Set, ast.SetComp)):
+        return "unordered"
+    return "sequence-ordered"
+
+
+def _site_verdict(sensitive: bool, iteration: str) -> str:
+    if not sensitive:
+        return "order-insensitive"
+    if iteration in ("index-ordered", "sequence-ordered"):
+        return "replica-ordered"
+    return "order-sensitive"
+
+
+class _MergeClassifier(ast.NodeVisitor):
+    """Collect accumulation sites, tracking the innermost loop's order."""
+
+    def __init__(self, filename: str) -> None:
+        self.filename = filename
+        self.loop_stack: List[str] = []
+        self.sites: List[AccumulationSite] = []
+
+    def _loc(self, node: ast.AST) -> SourceLocation:
+        return SourceLocation(self.filename, getattr(node, "lineno", 0),
+                              getattr(node, "col_offset", 0))
+
+    def _iteration(self) -> str:
+        return self.loop_stack[-1] if self.loop_stack else "sequence-ordered"
+
+    def _emit(self, op: str, sensitive: bool, node: ast.AST,
+              iteration: Optional[str] = None) -> None:
+        it = iteration if iteration is not None else self._iteration()
+        self.sites.append(
+            AccumulationSite(op, sensitive, it, _site_verdict(sensitive, it),
+                             self._loc(node))
+        )
+
+    def visit_For(self, node: ast.For) -> None:
+        self.loop_stack.append(_iteration_kind(node.iter))
+        self.visit(node.iter)
+        for stmt in node.body:
+            self.visit(stmt)
+        self.loop_stack.pop()
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    visit_AsyncFor = visit_For  # type: ignore[assignment]
+
+    def visit_While(self, node: ast.While) -> None:
+        # A while-loop draining a queue.get() etc. is completion-ordered
+        # by nature; without a recognizable source, stay conservative.
+        self.loop_stack.append("completion-ordered")
+        self.generic_visit(node)
+        self.loop_stack.pop()
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mult)):
+            # Only accumulation in a loop reorders across replicas.
+            if self.loop_stack:
+                symbol = {ast.Add: "+=", ast.Sub: "-=", ast.Mult: "*="}[
+                    type(node.op)
+                ]
+                self._emit(symbol, True, node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        if isinstance(func, ast.Attribute) and name in _SENSITIVE_NP_OPS and any(
+            kw.arg == "out" for kw in node.keywords
+        ):
+            # np.add(acc, x, out=acc): in-place accumulate.
+            if self.loop_stack:
+                self._emit(f"np.{name}", True, node)
+        elif isinstance(func, ast.Name):
+            if name in _SENSITIVE_REDUCERS and len(node.args) >= 1:
+                self._emit(name, True, node,
+                           iteration=self._reduction_order(node.args[0]))
+            elif name in _INSENSITIVE_REDUCERS and node.args:
+                self._emit(name, False, node,
+                           iteration=self._reduction_order(node.args[0]))
+        self.generic_visit(node)
+
+    @staticmethod
+    def _reduction_order(arg: ast.expr) -> str:
+        # sum(set(...)) / max(as_completed(...)) classify by the argument.
+        return _iteration_kind(arg) if isinstance(
+            arg, (ast.Call, ast.Set, ast.SetComp)
+        ) else "sequence-ordered"
+
+
+def _find_function(tree: ast.Module, qualname_tail: str) -> Optional[ast.AST]:
+    parts = qualname_tail.split(".")
+    body: Sequence[ast.stmt] = tree.body
+    node: Optional[ast.AST] = None
+    for part in parts:
+        node = None
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)) and stmt.name == part:
+                node = stmt
+                body = stmt.body
+                break
+        if node is None:
+            return None
+    return node if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) else None
+
+
+def classify_merge(module: str, qualname_tail: str) -> Tuple[
+    str, List[AccumulationSite], SourceLocation
+]:
+    """Static (verdict, sites, location) for one merge function."""
+    filename, tree = load_module_ast(module)
+    node = _find_function(tree, qualname_tail)
+    if node is None:
+        raise ValueError(f"merge function {module}.{qualname_tail} not found")
+    classifier = _MergeClassifier(filename)
+    for stmt in node.body:  # type: ignore[attr-defined]
+        classifier.visit(stmt)
+    sites = classifier.sites
+    if sites:
+        verdict = max((s.verdict for s in sites), key=_VERDICT_RANK.__getitem__)
+    else:
+        verdict = "order-insensitive"
+    location = SourceLocation(filename, node.lineno, node.col_offset)
+    return verdict, sites, location
+
+
+def _probe_consistent(verdict: str, probe: ProbeResult) -> bool:
+    if verdict == "order-insensitive":
+        return probe.deterministic and not probe.order_sensitive
+    if verdict == "replica-ordered":
+        return probe.deterministic and probe.order_sensitive
+    return not probe.deterministic
+
+
+def verify_merges(merges: Sequence[MergeSpec]) -> DeterminismReport:
+    """Classify every registered merge and cross-check against probes."""
+    report = DeterminismReport()
+    for spec in merges:
+        module, _, tail = spec.qualname.partition(":")
+        verdict, sites, location = classify_merge(module, tail)
+        probe = spec.probe() if spec.probe is not None else None
+        consistent = (
+            _probe_consistent(verdict, probe) if probe is not None else None
+        )
+        finding = MergeFinding(
+            qualname=spec.qualname, verdict=verdict, expect=spec.expect,
+            sites=sites, probe=probe, probe_consistent=consistent,
+            location=location,
+        )
+        report.findings.append(finding)
+        if verdict == "order-sensitive":
+            culprit = next(
+                (s for s in sites if s.verdict == "order-sensitive"), None
+            )
+            detail = (
+                f": `{culprit.op}` accumulates floats in "
+                f"{culprit.iteration} iteration" if culprit else ""
+            )
+            report.diagnostics.append(
+                Diagnostic(
+                    "error",
+                    f"order-sensitive merge {spec.qualname}{detail}; merged "
+                    "value depends on thread completion order",
+                    culprit.location if culprit else location,
+                )
+            )
+        if verdict != spec.expect:
+            report.diagnostics.append(
+                Diagnostic(
+                    "error" if _VERDICT_RANK[verdict] > _VERDICT_RANK[spec.expect]
+                    else "warning",
+                    f"merge {spec.qualname} classified {verdict}, registry "
+                    f"expects {spec.expect}",
+                    location,
+                )
+            )
+        if consistent is False:
+            report.diagnostics.append(
+                Diagnostic(
+                    "error",
+                    f"merge {spec.qualname}: numeric probe "
+                    f"(deterministic={probe.deterministic}, "
+                    f"order_sensitive={probe.order_sensitive}) contradicts "
+                    f"static verdict {verdict}",
+                    location,
+                )
+            )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Numeric probes for the real runtime merges.
+# ---------------------------------------------------------------------------
+
+
+def _probe_average_leaves() -> ProbeResult:
+    import numpy as np
+
+    from repro.runtime.parallel.trainer import _average_leaves
+
+    replicas = [[np.float32(v)] for v in PROBE_VALUES]
+    first = _average_leaves(replicas)[0]
+    again = _average_leaves(replicas)[0]
+    permuted = _average_leaves([replicas[1], replicas[3], replicas[0],
+                                replicas[2]])[0]
+    return ProbeResult(
+        deterministic=bool(first == again),
+        order_sensitive=bool(first != permuted),
+    )
+
+
+def _probe_step_stats_loss() -> ProbeResult:
+    from repro.runtime.parallel.trainer import ParallelStepStats
+    from repro.runtime.cluster import StepTiming
+
+    def loss_of(values: Sequence[float]) -> float:
+        stats = ParallelStepStats(
+            losses=list(values),
+            replica_compute_times=[0.0] * len(values),
+            timing=StepTiming(0.0, 0.0, 0.0, n_buckets=0, overlap=False),
+            gradient_bytes=0,
+        )
+        return stats.loss
+
+    # Use f32 addends so the non-associativity is observable through the
+    # float64 accumulator too (1e16 swamps 1.0 in f64).
+    values = (1.0e16, 1.0, -1.0e16, 3.0)
+    first = loss_of(values)
+    again = loss_of(values)
+    permuted = loss_of((values[1], values[3], values[0], values[2]))
+    return ProbeResult(
+        deterministic=first == again, order_sensitive=first != permuted
+    )
+
+
+def _probe_step_time_multi() -> ProbeResult:
+    from repro.runtime.cluster import PodSimulator
+    from repro.runtime.costmodel import TPU_V3_CORE
+
+    pod = PodSimulator(TPU_V3_CORE, n_cores=4)
+    computes = [3.0, 1.0, 4.0, 2.0]
+    first = pod.step_time_multi(computes, 1024.0).total
+    again = pod.step_time_multi(computes, 1024.0).total
+    permuted = pod.step_time_multi(list(reversed(computes)), 1024.0).total
+    return ProbeResult(
+        deterministic=first == again, order_sensitive=first != permuted
+    )
+
+
+#: The replica merges of the real runtime and their expected verdicts.
+RUNTIME_MERGES: Tuple[MergeSpec, ...] = (
+    MergeSpec(
+        "repro.runtime.parallel.trainer:_average_leaves",
+        expect="replica-ordered",
+        probe=_probe_average_leaves,
+    ),
+    MergeSpec(
+        "repro.runtime.parallel.trainer:ParallelStepStats.loss",
+        expect="replica-ordered",
+        probe=_probe_step_stats_loss,
+    ),
+    MergeSpec(
+        "repro.runtime.cluster:PodSimulator.step_time_multi",
+        expect="order-insensitive",
+        probe=_probe_step_time_multi,
+    ),
+)

@@ -1,0 +1,530 @@
+"""Shared-state inventory: what the worker threads can touch, and under what lock.
+
+The first question a concurrency analysis must answer is *what is shared*.
+This module AST-scans the runtime modules reachable from
+:class:`~repro.runtime.parallel.executor.MultiReplicaExecutor` and
+:class:`~repro.hlo.compiler.AsyncCompiler` worker threads and collects
+every **shared mutable candidate**:
+
+* module-level assignments of mutable containers (dict/list/set literals
+  and comprehensions) or constructor calls (``CompilerStats()``,
+  ``MemoryTracker()``, ...);
+* class-level mutable attributes;
+* instance attributes initialized to mutable values in ``__init__``.
+
+Each candidate must then be *accounted for* by the target's
+:class:`GuardRegistry` — the ``guarded_by`` map — in exactly one way:
+
+* ``guarded_fields[qualname] = lock`` — every read/write of the field
+  needs ``lock`` in the static lockset;
+* ``guarded_classes[class] = lock`` — ditto for every ``self.<attr>``
+  access inside the class's methods (stats/tracker objects whose fields
+  are individually counters);
+* ``exempt_fields`` / ``exempt_classes`` — shared but safe *for a stated
+  reason* (thread-confined, replica-indexed, barrier-handoff, internally
+  synchronized), which the report prints;
+* otherwise the candidate is **unregistered**: an error if any analyzed
+  code writes it (silently-added shared state is exactly the bug class
+  this gate exists for), a note if it is only ever read (an
+  import-time-constant table).
+
+The scan also resolves every lock definition: ``X = named_rlock("name")``
+at module level and ``self.X = named_rlock("name")`` in ``__init__``
+bind the static lock identity the lockset analysis uses.  A bare
+``threading.Lock()``/``RLock()`` assignment is reported as an *anonymous
+lock* diagnostic — unnamed locks cannot be checked, which is why the
+runtime constructs every lock through :func:`repro.locks.named_rlock`.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import Diagnostic, SourceLocation
+
+#: Call targets that produce locks (tracked, not shared-state candidates).
+_LOCK_FACTORIES = {"named_rlock"}
+_ANONYMOUS_LOCK_FACTORIES = {"Lock", "RLock", "Semaphore", "Condition"}
+
+#: Call targets whose results are immutable or synchronization/meta objects,
+#: never shared-mutable-state candidates.
+_IMMUTABLE_FACTORIES = {
+    "ContextVar",
+    "TypeVar",
+    "frozenset",
+    "tuple",
+    "namedtuple",
+    "property",
+    "contextmanager",
+    "object",
+    "compile",
+}
+
+
+@dataclass(frozen=True)
+class SharedField:
+    """One shared mutable candidate and how the registry accounts for it."""
+
+    qualname: str  # e.g. "repro.hlo.compiler._CACHE" / "....AsyncCompiler._ready"
+    kind: str  # "module-global" | "class-attr" | "instance-attr"
+    status: str  # "guarded" | "exempt" | "unregistered"
+    guard: Optional[str]  # lock name when guarded
+    reason: Optional[str]  # exemption reason when exempt
+    location: SourceLocation
+
+
+@dataclass(frozen=True)
+class LockDef:
+    """One statically-resolvable lock binding."""
+
+    key: Tuple[str, ...]  # ("global", module, var) | ("attr", module, cls, attr)
+    name: Optional[str]  # None for anonymous (un-analyzable) locks
+    location: SourceLocation
+
+
+@dataclass
+class GuardRegistry:
+    """The ``guarded_by`` registry: lock discipline, declared and checkable.
+
+    ``requires`` declares *function contracts*: locks that must already be
+    held on entry (verified at every analyzed call site), seeding the
+    interprocedural lockset analysis the same way ``guarded_fields`` seeds
+    the access checks.
+    """
+
+    guarded_fields: Dict[str, str] = field(default_factory=dict)
+    guarded_classes: Dict[str, str] = field(default_factory=dict)
+    exempt_fields: Dict[str, str] = field(default_factory=dict)
+    exempt_classes: Dict[str, str] = field(default_factory=dict)
+    #: Function qualnames whose accesses are construction-time by nature.
+    exempt_functions: FrozenSet[str] = frozenset()
+    requires: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+
+    def lock_for_field(self, qualname: str) -> Optional[str]:
+        lock = self.guarded_fields.get(qualname)
+        if lock is not None:
+            return lock
+        cls = qualname.rpartition(".")[0]
+        return self.guarded_classes.get(cls)
+
+    def is_exempt_field(self, qualname: str) -> bool:
+        if qualname in self.exempt_fields:
+            return True
+        cls = qualname.rpartition(".")[0]
+        return cls in self.exempt_classes
+
+    def accounted(self, qualname: str) -> Optional[str]:
+        """("guarded", lock) / ("exempt", reason) classification, else None."""
+        if self.lock_for_field(qualname) is not None:
+            return "guarded"
+        if self.is_exempt_field(qualname):
+            return "exempt"
+        return None
+
+    def reason_for(self, qualname: str) -> Optional[str]:
+        reason = self.exempt_fields.get(qualname)
+        if reason is not None:
+            return reason
+        cls = qualname.rpartition(".")[0]
+        return self.exempt_classes.get(cls)
+
+
+@dataclass(frozen=True)
+class AnalysisTarget:
+    """A set of modules plus the registry that governs them."""
+
+    name: str
+    modules: Tuple[str, ...]
+    registry: GuardRegistry
+
+
+@dataclass
+class InventoryReport:
+    """Everything the shared-state scan discovered."""
+
+    target: str
+    fields: List[SharedField] = field(default_factory=list)
+    locks: List[LockDef] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def guarded(self) -> List[SharedField]:
+        return [f for f in self.fields if f.status == "guarded"]
+
+    @property
+    def exempt(self) -> List[SharedField]:
+        return [f for f in self.fields if f.status == "exempt"]
+
+    @property
+    def unregistered(self) -> List[SharedField]:
+        return [f for f in self.fields if f.status == "unregistered"]
+
+    def lock_table(self) -> Dict[Tuple[str, ...], str]:
+        return {d.key: d.name for d in self.locks if d.name is not None}
+
+    def render(self) -> str:
+        lines = [f"-- shared-state inventory: {len(self.fields)} field(s), "
+                 f"{len(self.locks)} lock definition(s) --"]
+        for f in self.fields:
+            if f.status == "guarded":
+                note = f"guarded_by {f.guard}"
+            elif f.status == "exempt":
+                note = f"exempt: {f.reason}"
+            else:
+                note = "UNREGISTERED"
+            lines.append(f"  [{f.kind:>13}] {f.qualname}: {note}")
+        for d in self.locks:
+            label = d.name if d.name is not None else "<anonymous>"
+            lines.append(f"  [         lock] {'.'.join(d.key[1:])}: {label}")
+        return "\n".join(lines)
+
+
+def _is_mutable_value(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.SetComp,
+                         ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _call_name(node)
+        if name is None:
+            return False
+        if name in _LOCK_FACTORIES or name in _ANONYMOUS_LOCK_FACTORIES:
+            return False
+        if name in _IMMUTABLE_FACTORIES:
+            return False
+        return True
+    return False
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _lock_def(node: ast.expr) -> Optional[Optional[str]]:
+    """``named_rlock("x")`` -> "x"; anonymous lock ctor -> None; else no-def.
+
+    Returns the lock name, ``None`` for an anonymous lock, or raises
+    nothing and returns ``...`` sentinel via wrapper below.
+    """
+    if not isinstance(node, ast.Call):
+        return ...  # type: ignore[return-value]
+    name = _call_name(node)
+    if name in _LOCK_FACTORIES:
+        if node.args and isinstance(node.args[0], ast.Constant) and isinstance(
+            node.args[0].value, str
+        ):
+            return node.args[0].value
+        return None  # named_rlock with a non-literal name is un-analyzable
+    if name in _ANONYMOUS_LOCK_FACTORIES:
+        return None
+    return ...  # type: ignore[return-value]
+
+
+def load_module_ast(module_name: str) -> Tuple[str, ast.Module]:
+    """(filename, parsed AST) of an importable module's source."""
+    module = importlib.import_module(module_name)
+    filename = module.__file__
+    with open(filename, "r") as handle:
+        source = handle.read()
+    return filename, ast.parse(source)
+
+
+def _loc(filename: str, node: ast.AST) -> SourceLocation:
+    return SourceLocation(filename, getattr(node, "lineno", 0),
+                          getattr(node, "col_offset", 0))
+
+
+def _assign_targets(stmt: ast.stmt) -> Tuple[List[ast.expr], Optional[ast.expr]]:
+    if isinstance(stmt, ast.Assign):
+        return stmt.targets, stmt.value
+    if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        return [stmt.target], stmt.value
+    return [], None
+
+
+def scan_module(
+    module_name: str, registry: GuardRegistry
+) -> Tuple[List[SharedField], List[LockDef], List[Diagnostic]]:
+    """Scan one importable module for shared state and lock definitions."""
+    filename, tree = load_module_ast(module_name)
+    return scan_tree(module_name, filename, tree, registry)
+
+
+def scan_tree(
+    module_name: str,
+    filename: str,
+    tree: ast.Module,
+    registry: GuardRegistry,
+) -> Tuple[List[SharedField], List[LockDef], List[Diagnostic]]:
+    """Scan a parsed module AST for shared-state candidates and locks."""
+    fields: List[SharedField] = []
+    locks: List[LockDef] = []
+    diagnostics: List[Diagnostic] = []
+
+    def classify(qualname: str, kind: str, node: ast.AST) -> None:
+        status = registry.accounted(qualname)
+        location = _loc(filename, node)
+        if status == "guarded":
+            fields.append(SharedField(qualname, kind, "guarded",
+                                      registry.lock_for_field(qualname), None,
+                                      location))
+        elif status == "exempt":
+            fields.append(SharedField(qualname, kind, "exempt", None,
+                                      registry.reason_for(qualname), location))
+        else:
+            fields.append(SharedField(qualname, kind, "unregistered", None,
+                                      None, location))
+
+    def handle_assignment(
+        targets: List[ast.expr],
+        value: Optional[ast.expr],
+        scope: str,  # "" for module level, else class name
+        kind: str,
+        stmt: ast.stmt,
+        self_attr: bool = False,
+    ) -> None:
+        if value is None:
+            return
+        lock_name = _lock_def(value)
+        for target in targets:
+            if self_attr:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                attr = target.attr
+            elif isinstance(target, ast.Name):
+                attr = target.id
+            else:
+                continue
+            qualname = (
+                f"{module_name}.{scope}.{attr}" if scope else f"{module_name}.{attr}"
+            )
+            if lock_name is not ...:  # a lock definition, named or anonymous
+                key = (
+                    ("attr", module_name, scope, attr)
+                    if self_attr
+                    else ("global", module_name, attr)
+                )
+                locks.append(LockDef(key, lock_name, _loc(filename, stmt)))
+                if lock_name is None:
+                    diagnostics.append(
+                        Diagnostic(
+                            "error",
+                            f"anonymous lock {qualname}: locks must be created "
+                            "with named_rlock(<string literal>) so the static "
+                            "analysis can identify them",
+                            _loc(filename, stmt),
+                        )
+                    )
+                continue
+            if _is_mutable_value(value):
+                classify(qualname, kind, stmt)
+
+    for stmt in tree.body:
+        targets, value = _assign_targets(stmt)
+        if targets:
+            handle_assignment(targets, value, "", "module-global", stmt)
+        if isinstance(stmt, ast.ClassDef):
+            cls = stmt.name
+            for item in stmt.body:
+                ctargets, cvalue = _assign_targets(item)
+                if ctargets:
+                    handle_assignment(ctargets, cvalue, cls, "class-attr", item)
+                if isinstance(item, ast.FunctionDef) and item.name == "__init__":
+                    for sub in ast.walk(item):
+                        stargets, svalue = _assign_targets(sub)  # type: ignore[arg-type]
+                        if stargets:
+                            handle_assignment(
+                                stargets, svalue, cls, "instance-attr", sub,
+                                self_attr=True,
+                            )
+    return fields, locks, diagnostics
+
+
+def build_inventory(target: AnalysisTarget) -> InventoryReport:
+    """Scan every module of ``target`` and classify against its registry."""
+    report = InventoryReport(target=target.name)
+    for module_name in target.modules:
+        fields, locks, diagnostics = scan_module(module_name, target.registry)
+        report.fields.extend(fields)
+        report.locks.extend(locks)
+        report.diagnostics.extend(diagnostics)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# The real runtime target: modules reachable from MultiReplicaExecutor /
+# AsyncCompiler worker threads, and the lock discipline they must follow.
+# ---------------------------------------------------------------------------
+
+#: Modules whose code runs on (or publishes state to) worker threads.
+RUNTIME_MODULES: Tuple[str, ...] = (
+    "repro.runtime.parallel.executor",
+    "repro.runtime.parallel.trainer",
+    "repro.runtime.memory",
+    "repro.runtime.device",
+    "repro.runtime.cluster",
+    "repro.hlo.compiler",
+    "repro.core.synthesis",
+    "repro.valsem.cow",
+)
+
+RUNTIME_REGISTRY = GuardRegistry(
+    guarded_fields={
+        # The XLA-program cache and its single-flight companion.
+        "repro.hlo.compiler._CACHE": "hlo.compiler.cache",
+        "repro.hlo.compiler._INFLIGHT": "hlo.compiler.cache",
+        # AsyncCompiler's key-addressed executable cache.
+        "repro.hlo.compiler.AsyncCompiler._ready": "hlo.async_compiler",
+        "repro.hlo.compiler.AsyncCompiler._inflight": "hlo.async_compiler",
+        "repro.hlo.compiler.AsyncCompiler.stats": "hlo.async_compiler",
+        # Plan caches: single-flight synthesis inserts in-progress plans.
+        "repro.core.synthesis._VJP_PLANS": "core.plan_cache",
+        "repro.core.synthesis._JVP_PLANS": "core.plan_cache",
+        "repro.core.synthesis._DEPENDENTS": "core.plan_cache",
+        # The scoped-tracker stack: replica threads iterate while track()
+        # scopes push/pop.
+        "repro.runtime.memory._ACTIVE": "runtime.memory",
+        # Process-wide compile counters: every increment is read-modify-write
+        # from whichever replica thread wins the single-flight compile.
+        "repro.hlo.compiler.STATS": "hlo.compiler.cache",
+    },
+    guarded_classes={
+        # Counter objects whose every field is read-modify-write shared.
+        "repro.hlo.compiler.CompilerStats": "hlo.compiler.cache",
+        "repro.hlo.compiler.AsyncCompileStats": "hlo.async_compiler",
+        "repro.runtime.memory.MemoryTracker": "runtime.memory",
+    },
+    exempt_fields={
+        "repro.hlo.compiler._UNARY_KERNELS": (
+            "import-time-constant kernel table, read-only after import"
+        ),
+        "repro.hlo.compiler._BINARY_KERNELS": (
+            "import-time-constant kernel table, read-only after import"
+        ),
+        "repro.hlo.compiler._COMPARE": (
+            "import-time-constant kernel table, read-only after import"
+        ),
+        "repro.hlo.compiler.AsyncCompiler._executor": (
+            "ThreadPoolExecutor is internally synchronized"
+        ),
+        "repro.core.synthesis._INDIRECT_RULE": (
+            "import-time singleton sentinel, compared by identity and never "
+            "mutated"
+        ),
+        "repro.hlo.compiler.ASYNC_COMPILER": (
+            "internally synchronized: every AsyncCompiler method takes "
+            "hlo.async_compiler before touching its state"
+        ),
+        "repro.runtime.memory.TRACKER": (
+            "internally synchronized: every MemoryTracker method takes "
+            "runtime.memory before touching its counters"
+        ),
+        "repro.valsem.cow.STATS": (
+            "instrumentation counters; concurrent measurements use the "
+            "copy_counting() ContextVar scope, the process-wide counter is "
+            "advisory (single-threaded benchmarks/CLI only)"
+        ),
+    },
+    exempt_classes={
+        "repro.hlo.compiler.Executable": (
+            "immutable after construction; cached and shared read-only "
+            "across replicas"
+        ),
+        # One executor/trainer drives the step from the main thread; the
+        # per-replica lists are replica-indexed (worker i touches element i
+        # only) and merged results are read only after run() has drained
+        # every future — the barrier handoff the differential tests pin.
+        "repro.runtime.parallel.executor.MultiReplicaExecutor": (
+            "immutable after construction; run() drains all futures before "
+            "returning (barrier handoff)"
+        ),
+        "repro.runtime.parallel.trainer.ParallelDataParallelTrainer": (
+            "replica-indexed: worker i touches devices/models/optimizers[i] "
+            "only; merges run on the driver after the executor barrier"
+        ),
+        "repro.runtime.parallel.trainer.ParallelStepStats": (
+            "per-step value object built and read on the driver thread"
+        ),
+        # Simulated devices are thread-confined: one replica thread per
+        # Device per phase, handed off at the executor barrier.
+        "repro.runtime.device.SimDevice": (
+            "thread-confined per replica; snapshots taken only after the "
+            "executor barrier (dataclasses.replace on the driver)"
+        ),
+        "repro.runtime.device.DeviceStats": (
+            "owned by a thread-confined SimDevice; aggregation copies after "
+            "the barrier"
+        ),
+        "repro.runtime.device.Dispatcher": (
+            "thread-confined: one dispatcher per device per replica thread"
+        ),
+        "repro.runtime.cluster.PodSimulator": (
+            "immutable after construction (profile/core-count/schedule)"
+        ),
+        # Plan objects: built exactly once under core.plan_cache (insert-
+        # before-build single-flight), then read-only for executors.
+        "repro.core.synthesis.VJPPlan": (
+            "built under core.plan_cache; immutable after build() (plans "
+            "are cached and shared read-only)"
+        ),
+        "repro.core.synthesis.JVPPlan": (
+            "built under core.plan_cache; immutable after build()"
+        ),
+        "repro.core.synthesis._Adjoints": (
+            "per-gradient-call accumulator, never crosses threads"
+        ),
+        "repro.core.synthesis._BlockRecord": (
+            "per-forward-execution record, never crosses threads"
+        ),
+        "repro.core.synthesis.VJPPlan.build.<locals>": (
+            "build-local scratch"
+        ),
+        # COW storage: CowBox values obey the law of exclusivity (the
+        # borrow runtime traps cross-thread unique borrows); storage is
+        # confined to one replica's value graph.
+        "repro.valsem.cow.CowBox": (
+            "value-semantic handle confined to one replica thread; "
+            "exclusivity enforced by the borrow runtime"
+        ),
+        "repro.valsem.cow._Storage": (
+            "reached only through a thread-confined CowBox"
+        ),
+        "repro.valsem.cow.CowStats": (
+            "scoped instances are ContextVar-isolated; the global is "
+            "advisory instrumentation"
+        ),
+    },
+    exempt_functions=frozenset(
+        {
+            # Constructors publish the object only after returning.
+            "repro.hlo.compiler.AsyncCompiler.__init__",
+            "repro.runtime.memory.MemoryTracker.__init__",
+            "repro.hlo.compiler.CompilerStats.__init__",
+            "repro.hlo.compiler.AsyncCompileStats.__init__",
+        }
+    ),
+    requires={
+        # plan.build() is only legal under the plan-cache lock: vjp_plan/
+        # jvp_plan insert the in-progress plan first (recursion sentinel),
+        # so an unlocked build() could leak a half-built plan.
+        "repro.core.synthesis.VJPPlan.build": frozenset({"core.plan_cache"}),
+        "repro.core.synthesis.JVPPlan.build": frozenset({"core.plan_cache"}),
+        # _note_dependency mutates the reverse call graph.
+        "repro.core.synthesis._note_dependency": frozenset({"core.plan_cache"}),
+    },
+)
+
+RUNTIME_TARGET = AnalysisTarget(
+    name="runtime", modules=RUNTIME_MODULES, registry=RUNTIME_REGISTRY
+)

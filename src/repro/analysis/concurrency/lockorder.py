@@ -1,0 +1,193 @@
+"""Lock-order graph: static deadlock detection with a dynamic witness.
+
+Two locks deadlock when two threads acquire them in opposite orders.  We
+build a directed graph over *lock names* — vertex per ``named_rlock``
+name, edge ``a -> b`` whenever ``b`` is acquired while ``a`` is held —
+from two independent sources:
+
+* **static edges** from the lockset analysis: nested ``with`` blocks
+  plus calls made under locks paired with the callee's transitive
+  acquisitions (see :mod:`.lockset`);
+* **dynamic edges** from :class:`repro.locks.LockWitness`: every real
+  acquisition records an edge from each lock the thread already holds.
+
+A cycle in the union graph is a potential deadlock, reported as an error
+naming the cycle's lock sequence and (for static edges) the code
+locations that create each edge.
+
+The two edge sets must also *agree*: a dynamic edge the static analysis
+cannot predict means the AST model of the runtime is wrong (an
+un-modeled acquisition path), so ``cross_check_ok`` fails — unless the
+acquired lock is a declared **leaf**.  ``runtime.memory`` is the one
+leaf: buffer-release finalizers run at garbage-collection points, so the
+interpreter can acquire it while *any* other lock is held.  Leaves are
+safe to exempt precisely because a leaf's own critical sections take no
+further locks (verified here: a leaf with outgoing edges is an error),
+so leaf edges can never close a cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.errors import Diagnostic, SourceLocation
+
+from .lockset import LocksetReport, StaticEdge
+
+#: Locks acquirable from anywhere (GC finalizers), exempt from the
+#: dynamic-edge prediction check.  Must remain sinks of the order graph.
+LEAF_LOCKS: FrozenSet[str] = frozenset({"runtime.memory"})
+
+
+@dataclass
+class LockOrderReport:
+    """The combined lock-order graph and its verdicts."""
+
+    static_edges: List[StaticEdge] = field(default_factory=list)
+    dynamic_edges: FrozenSet[Tuple[str, str]] = frozenset()
+    leaf_locks: FrozenSet[str] = LEAF_LOCKS
+    cycles: List[Tuple[str, ...]] = field(default_factory=list)
+    unpredicted_dynamic: List[Tuple[str, str]] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def acyclic(self) -> bool:
+        return not self.cycles
+
+    @property
+    def cross_check_ok(self) -> bool:
+        return not self.unpredicted_dynamic
+
+    def static_edge_set(self) -> FrozenSet[Tuple[str, str]]:
+        return frozenset((e.held, e.acquired) for e in self.static_edges)
+
+    def render(self) -> str:
+        union = sorted(self.static_edge_set() | self.dynamic_edges)
+        lines = [
+            f"-- lock-order graph: {len(union)} edge(s), "
+            f"{len(self.cycles)} cycle(s), cross_check_ok={self.cross_check_ok} --"
+        ]
+        static = self.static_edge_set()
+        for a, b in union:
+            sources = []
+            if (a, b) in static:
+                sources.append("static")
+            if (a, b) in self.dynamic_edges:
+                sources.append("dynamic")
+            lines.append(f"  {a} -> {b}  [{'+'.join(sources)}]")
+        for cycle in self.cycles:
+            lines.append("  CYCLE: " + " -> ".join(cycle + (cycle[0],)))
+        for a, b in self.unpredicted_dynamic:
+            lines.append(f"  UNPREDICTED dynamic edge: {a} -> {b}")
+        return "\n".join(lines)
+
+
+def build_lock_order(
+    lockset_report: LocksetReport,
+    dynamic_edges: FrozenSet[Tuple[str, str]] = frozenset(),
+    leaf_locks: FrozenSet[str] = LEAF_LOCKS,
+) -> LockOrderReport:
+    """Combine static and dynamic acquisition edges and find cycles."""
+    report = LockOrderReport(
+        static_edges=list(lockset_report.static_edges),
+        dynamic_edges=frozenset(dynamic_edges),
+        leaf_locks=leaf_locks,
+    )
+    static = report.static_edge_set()
+
+    graph = nx.DiGraph()
+    for a, b in static | report.dynamic_edges:
+        graph.add_edge(a, b)
+    for cycle in nx.simple_cycles(graph):
+        # Canonical rotation so reports and tests are deterministic.
+        pivot = min(range(len(cycle)), key=lambda i: cycle[i])
+        report.cycles.append(tuple(cycle[pivot:] + cycle[:pivot]))
+    report.cycles.sort()
+
+    locations: Dict[Tuple[str, str], SourceLocation] = {}
+    for edge in report.static_edges:
+        locations.setdefault((edge.held, edge.acquired), edge.location)
+    for cycle in report.cycles:
+        pairs = list(zip(cycle, cycle[1:] + cycle[:1]))
+        where = [
+            f"{a}->{b} at {loc.filename}:{loc.line}"
+            for a, b in pairs
+            if (loc := locations.get((a, b))) is not None
+        ]
+        detail = ("; " + "; ".join(where)) if where else ""
+        report.diagnostics.append(
+            Diagnostic(
+                "error",
+                "potential deadlock: lock-order cycle "
+                + " -> ".join(cycle + (cycle[0],))
+                + detail,
+                locations.get((cycle[0], cycle[1 % len(cycle)]))
+                or SourceLocation("<dynamic>", 0, 0),
+            )
+        )
+
+    # Leaves must be sinks, else the leaf exemption could hide a cycle.
+    for a, b in sorted(static | report.dynamic_edges):
+        if a in leaf_locks:
+            report.diagnostics.append(
+                Diagnostic(
+                    "error",
+                    f"leaf lock `{a}` has an outgoing edge to `{b}`: leaf "
+                    "critical sections must not acquire other locks",
+                    locations.get((a, b)) or SourceLocation("<dynamic>", 0, 0),
+                )
+            )
+
+    # Cross-check: every dynamic edge must be statically predicted, or
+    # point into a declared leaf.
+    for a, b in sorted(report.dynamic_edges):
+        if (a, b) not in static and b not in leaf_locks:
+            report.unpredicted_dynamic.append((a, b))
+            report.diagnostics.append(
+                Diagnostic(
+                    "error",
+                    f"dynamic lock-order edge {a} -> {b} was never predicted "
+                    "statically: un-modeled acquisition path",
+                    SourceLocation("<dynamic>", 0, 0),
+                )
+            )
+    return report
+
+
+def check_static_covers_dynamic(
+    static: FrozenSet[Tuple[str, str]],
+    dynamic: FrozenSet[Tuple[str, str]],
+    leaf_locks: FrozenSet[str] = LEAF_LOCKS,
+) -> Tuple[bool, Sequence[Tuple[str, str]]]:
+    """Standalone form of the witness cross-check used by the stress test."""
+    missing = [
+        (a, b) for a, b in sorted(dynamic)
+        if (a, b) not in static and b not in leaf_locks
+    ]
+    return (not missing, missing)
+
+
+def merge_dynamic_witness(
+    *edge_sets: FrozenSet[Tuple[str, str]],
+) -> FrozenSet[Tuple[str, str]]:
+    merged: FrozenSet[Tuple[str, str]] = frozenset()
+    for edges in edge_sets:
+        merged |= edges
+    return merged
+
+
+def order_position(report: LockOrderReport) -> Optional[Dict[str, int]]:
+    """A topological rank per lock when the graph is acyclic, else None.
+
+    The rank makes the global lock hierarchy printable: a thread may only
+    acquire locks of strictly increasing rank (leaves rank last).
+    """
+    if not report.acyclic:
+        return None
+    graph = nx.DiGraph()
+    for a, b in report.static_edge_set() | report.dynamic_edges:
+        graph.add_edge(a, b)
+    return {name: i for i, name in enumerate(nx.topological_sort(graph))}

@@ -1,0 +1,650 @@
+"""Static lockset analysis: which locks are held at every shared access.
+
+Classic lockset race detection (in the RacerD/Warlock tradition) over
+Python ASTs.  For every function in a target's modules we compute, at
+every statement, the set of lock *names* certainly held:
+
+* ``with <lock>:`` blocks extend the lockset for their body, including
+  nested acquisition — ``<lock>`` resolves through the inventory's lock
+  table (module-global ``_LOCK``, ``self._lock`` instance locks, and
+  cross-module ``mod._LOCK`` references via the import map);
+* manual ``lock.acquire()`` / ``lock.release()`` pairs (the try/finally
+  idiom) update the running lockset between statements;
+* **method-call boundaries** are crossed with an interprocedural
+  entry-lockset fixpoint: a private function's entry lockset is the
+  intersection over all analyzed call sites of the locks held at the
+  call, computed greatest-fixpoint-first so mutually recursive helpers
+  converge; public (escaping) functions get the empty entry lockset;
+* ``requires`` contracts from the :class:`GuardRegistry` pin a
+  function's entry lockset explicitly, and every analyzed call site is
+  *checked* to hold the declared locks.
+
+Every read or write of a registry-guarded field whose effective lockset
+(entry ∪ local) is missing the field's declared guard becomes a located
+``unguarded-access`` diagnostic carrying the access path and the missing
+lock.  The walk simultaneously records the raw material for the
+lock-order graph: each acquisition made while other locks are held, and
+each call made under locks (paired later with the callee's transitive
+acquisitions).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import Diagnostic, SourceLocation
+
+from .inventory import (
+    AnalysisTarget,
+    GuardRegistry,
+    InventoryReport,
+    build_inventory,
+    load_module_ast,
+)
+
+#: Method names that mutate their receiver in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "clear", "add",
+        "discard", "update", "setdefault", "popitem", "sort", "reverse",
+    }
+)
+
+#: Method names resolved *by name alone* across the analyzed set.  Kept to
+#: an allowlist so e.g. ``executor.submit`` does not alias every analyzed
+#: ``submit`` method; entries here are names whose REQUIRES contracts must
+#: be checked even when the receiver's type is not statically known.
+NAME_RESOLVED_METHODS = frozenset({"build"})
+
+
+@dataclass(frozen=True)
+class Access:
+    """One read/write of a registry-known shared field."""
+
+    field: str  # field qualname
+    path: str  # the access path as written, e.g. "self.stats.compile_hits"
+    kind: str  # "read" | "write"
+    function: str  # enclosing function qualname
+    lockset: FrozenSet[str]  # effective lockset (entry ∪ local)
+    required: Optional[str]  # the guard lock, None for exempt fields
+    ok: bool
+    location: SourceLocation
+
+
+@dataclass(frozen=True)
+class StaticEdge:
+    """Lock-order edge: ``held`` was held when ``acquired`` was taken."""
+
+    held: str
+    acquired: str
+    via: str  # function qualname (suffixed " -> callee" for call edges)
+    location: SourceLocation
+
+
+@dataclass
+class _FuncInfo:
+    qualname: str
+    module: str
+    cls: Optional[str]
+    name: str
+    location: SourceLocation
+    # (lock name, local lockset at acquisition, location)
+    acquisitions: List[Tuple[str, FrozenSet[str], SourceLocation]] = field(
+        default_factory=list
+    )
+    # (callee qualname, local lockset at call, location)
+    calls: List[Tuple[str, FrozenSet[str], SourceLocation]] = field(
+        default_factory=list
+    )
+    # (field, path, kind, local lockset, location)
+    raw_accesses: List[Tuple[str, str, str, FrozenSet[str], SourceLocation]] = field(
+        default_factory=list
+    )
+
+    @property
+    def is_private(self) -> bool:
+        leaf = self.name
+        return leaf.startswith("_") and not (
+            leaf.startswith("__") and leaf.endswith("__")
+        )
+
+
+@dataclass
+class LocksetReport:
+    """All accesses, entry locksets, diagnostics, and lock-order material."""
+
+    target: str
+    accesses: List[Access] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    entry_locksets: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    static_edges: List[StaticEdge] = field(default_factory=list)
+    functions_analyzed: int = 0
+
+    @property
+    def violations(self) -> List[Access]:
+        return [a for a in self.accesses if not a.ok]
+
+    def edge_set(self) -> FrozenSet[Tuple[str, str]]:
+        return frozenset((e.held, e.acquired) for e in self.static_edges)
+
+    def render(self) -> str:
+        guarded = [a for a in self.accesses if a.required is not None]
+        lines = [
+            f"-- lockset analysis: {self.functions_analyzed} function(s), "
+            f"{len(guarded)} guarded access(es), "
+            f"{len(self.violations)} violation(s) --"
+        ]
+        for acc in self.accesses:
+            if acc.required is None:
+                continue
+            mark = "ok" if acc.ok else "RACE"
+            held = "{" + ", ".join(sorted(acc.lockset)) + "}"
+            lines.append(
+                f"  [{mark:>4}] {acc.kind:>5} {acc.path} in {acc.function} "
+                f"holding {held} (requires {acc.required})"
+            )
+        return "\n".join(lines)
+
+
+class _ModuleContext:
+    """Per-module name resolution: imports, lock table, known functions."""
+
+    def __init__(
+        self,
+        module: str,
+        filename: str,
+        tree: ast.Module,
+        lock_table: Dict[Tuple[str, ...], str],
+        registry: GuardRegistry,
+    ) -> None:
+        self.module = module
+        self.filename = filename
+        self.tree = tree
+        self.lock_table = lock_table
+        self.registry = registry
+        # local alias -> fully qualified module or symbol source module
+        self.module_aliases: Dict[str, str] = {}
+        self.symbol_sources: Dict[str, str] = {}
+        for stmt in ast.walk(tree):
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    self.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(stmt, ast.ImportFrom) and stmt.module and stmt.level == 0:
+                for alias in stmt.names:
+                    local = alias.asname or alias.name
+                    self.symbol_sources[local] = f"{stmt.module}.{alias.name}"
+                    # ``from repro.runtime import memory`` imports a module.
+                    self.module_aliases.setdefault(local, f"{stmt.module}.{alias.name}")
+
+    def resolve_lock(self, node: ast.expr, cls: Optional[str]) -> Optional[str]:
+        """Lock *name* for an expression, or None if not a known lock."""
+        if isinstance(node, ast.Name):
+            name = self.lock_table.get(("global", self.module, node.id))
+            if name is not None:
+                return name
+            source = self.symbol_sources.get(node.id)
+            if source is not None:
+                mod, _, var = source.rpartition(".")
+                return self.lock_table.get(("global", mod, var))
+            return None
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            base = node.value.id
+            if base == "self" and cls is not None:
+                return self.lock_table.get(("attr", self.module, cls, node.attr))
+            target = self.module_aliases.get(base)
+            if target is not None:
+                return self.lock_table.get(("global", target, node.attr))
+        return None
+
+    def resolve_field(self, node: ast.expr, cls: Optional[str]) -> Optional[str]:
+        """Shared-field qualname an expression reaches, or None.
+
+        Attribute chains resolve to their *root* registered field:
+        ``STATS.compiles`` is an access to ``...STATS``;
+        ``self.stats.hits`` (in AsyncCompiler) goes through
+        ``...AsyncCompiler.stats``.
+        """
+        known = self._known_field
+        if isinstance(node, ast.Name):
+            return known(f"{self.module}.{node.id}") or self._imported_field(node.id)
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name):
+                base = node.value.id
+                if base == "self" and cls is not None:
+                    qual = f"{self.module}.{cls}.{node.attr}"
+                    hit = known(qual)
+                    if hit is not None:
+                        return hit
+                    if f"{self.module}.{cls}" in self.registry.guarded_classes:
+                        return qual  # class-level guard covers every attr
+                    return None
+                target = self.module_aliases.get(base)
+                if target is not None:
+                    return known(f"{target}.{node.attr}")
+            # Chain: resolve the base; an access through a registered field
+            # is an access to that field.
+            return self.resolve_field(node.value, cls)
+        if isinstance(node, ast.Subscript):
+            return self.resolve_field(node.value, cls)
+        return None
+
+    def _known_field(self, qualname: str) -> Optional[str]:
+        reg = self.registry
+        if qualname in reg.guarded_fields or qualname in reg.exempt_fields:
+            return qualname
+        return None
+
+    def _imported_field(self, name: str) -> Optional[str]:
+        source = self.symbol_sources.get(name)
+        if source is not None:
+            return self._known_field(source)
+        return None
+
+
+def _path_of(node: ast.expr) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return f"{_path_of(node.value)}.{node.attr}"
+    if isinstance(node, ast.Subscript):
+        return f"{_path_of(node.value)}[...]"
+    return "<expr>"
+
+
+class _FunctionWalker:
+    """Walk one function body tracking the running local lockset."""
+
+    def __init__(self, ctx: _ModuleContext, info: _FuncInfo,
+                 functions: Dict[str, _FuncInfo]) -> None:
+        self.ctx = ctx
+        self.info = info
+        self.functions = functions
+
+    def loc(self, node: ast.AST) -> SourceLocation:
+        return SourceLocation(
+            self.ctx.filename, getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0),
+        )
+
+    # -- statements ---------------------------------------------------
+
+    def walk_block(self, stmts: List[ast.stmt], lockset: FrozenSet[str]) -> None:
+        running: Set[str] = set(lockset)
+        for stmt in stmts:
+            self.walk_stmt(stmt, frozenset(running), running)
+
+    def walk_stmt(self, stmt: ast.stmt, lockset: FrozenSet[str],
+                  running: Set[str]) -> None:
+        if isinstance(stmt, ast.With) or isinstance(stmt, ast.AsyncWith):
+            acquired: List[str] = []
+            for item in stmt.items:
+                lock = self.ctx.resolve_lock(item.context_expr, self.info.cls)
+                if lock is not None:
+                    inner = frozenset(lockset | set(acquired))
+                    self._record_acquire(lock, inner, item.context_expr)
+                    acquired.append(lock)
+                else:
+                    self.visit_expr(item.context_expr, lockset)
+            self.walk_block(stmt.body, frozenset(lockset | set(acquired)))
+        elif isinstance(stmt, (ast.If, ast.For, ast.AsyncFor, ast.While)):
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self.visit_target(stmt.target, lockset)
+                self.visit_expr(stmt.iter, lockset)
+            else:
+                self.visit_expr(stmt.test, lockset)
+            self.walk_block(stmt.body, lockset)
+            self.walk_block(stmt.orelse, lockset)
+        elif isinstance(stmt, ast.Try):
+            self.walk_block(stmt.body, lockset)
+            for handler in stmt.handlers:
+                self.walk_block(handler.body, lockset)
+            self.walk_block(stmt.orelse, lockset)
+            self.walk_block(stmt.finalbody, lockset)
+        elif isinstance(stmt, ast.Assign):
+            self.visit_expr(stmt.value, lockset)
+            for target in stmt.targets:
+                self.visit_target(target, lockset)
+        elif isinstance(stmt, ast.AugAssign):
+            self.visit_expr(stmt.value, lockset)
+            self._record_access(stmt.target, "write", lockset)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.visit_expr(stmt.value, lockset)
+                self.visit_target(stmt.target, lockset)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._record_access(target, "write", lockset)
+        elif isinstance(stmt, (ast.Expr, ast.Return)):
+            value = stmt.value
+            if value is not None:
+                # ``lock.acquire()`` / ``lock.release()`` as statements
+                # update the running lockset for the rest of this block.
+                manual = self._manual_lock_op(value)
+                if manual is not None:
+                    op, lock = manual
+                    if op == "acquire":
+                        self._record_acquire(lock, lockset, value)
+                        running.add(lock)
+                    else:
+                        running.discard(lock)
+                    return
+                self.visit_expr(value, lockset)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested function: analyzed separately with an empty entry
+            # lockset (it may escape and run on any thread).
+            _collect_function(
+                self.ctx, stmt,
+                f"{self.info.qualname}.<locals>.{stmt.name}",
+                self.info.cls, self.functions,
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            pass
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.visit_expr(child, lockset)
+
+    # -- expressions --------------------------------------------------
+
+    def visit_target(self, node: ast.expr, lockset: FrozenSet[str]) -> None:
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for element in node.elts:
+                self.visit_target(element, lockset)
+        elif isinstance(node, ast.Starred):
+            self.visit_target(node.value, lockset)
+        elif isinstance(node, ast.Name):
+            # Rebinding a local never mutates shared state; rebinding a
+            # module global from inside a function shows as Name-store
+            # with a ``global`` declaration — treat any store to a known
+            # field name as a write.
+            self._record_access(node, "write", lockset, only_known=True)
+        else:
+            self._record_access(node, "write", lockset)
+
+    def visit_expr(self, node: ast.expr, lockset: FrozenSet[str]) -> None:
+        if isinstance(node, ast.Call):
+            self._visit_call(node, lockset)
+            return
+        if isinstance(node, (ast.Name, ast.Attribute, ast.Subscript)):
+            self._record_access(node, "read", lockset)
+            if isinstance(node, ast.Subscript):
+                self.visit_expr(node.slice, lockset)
+            return
+        if isinstance(node, ast.Lambda):
+            return  # opaque; lambdas in these modules close over locals
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.visit_expr(child, lockset)
+            elif isinstance(child, ast.comprehension):
+                self.visit_expr(child.iter, lockset)
+                for cond in child.ifs:
+                    self.visit_expr(cond, lockset)
+
+    def _visit_call(self, node: ast.Call, lockset: FrozenSet[str]) -> None:
+        func = node.func
+        # Mutating method on a shared field: field.append(x) etc.
+        if isinstance(func, ast.Attribute):
+            fieldq = self.ctx.resolve_field(func.value, self.info.cls)
+            if fieldq is not None:
+                kind = "write" if func.attr in MUTATING_METHODS else "read"
+                self._emit_access(fieldq, _path_of(func.value), kind,
+                                  lockset, func)
+        callee = self._resolve_callee(func)
+        if callee is not None:
+            self.info.calls.append((callee, lockset, self.loc(node)))
+        for arg in node.args:
+            self.visit_expr(arg, lockset)
+        for kw in node.keywords:
+            self.visit_expr(kw.value, lockset)
+
+    def _resolve_callee(self, func: ast.expr) -> Optional[str]:
+        module = self.ctx.module
+        if isinstance(func, ast.Name):
+            qual = f"{module}.{func.id}"
+            if qual in self.functions:
+                return qual
+            source = self.ctx.symbol_sources.get(func.id)
+            if source is not None and source in self.functions:
+                return source
+            return None
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name):
+                base = func.value.id
+                if base == "self" and self.info.cls is not None:
+                    qual = f"{module}.{self.info.cls}.{func.attr}"
+                    if qual in self.functions:
+                        return qual
+                target = self.ctx.module_aliases.get(base)
+                if target is not None:
+                    qual = f"{target}.{func.attr}"
+                    if qual in self.functions:
+                        return qual
+            if func.attr in NAME_RESOLVED_METHODS:
+                # Unknown receiver: by-name match, used so REQUIRES
+                # contracts on e.g. ``plan.build()`` are still checked.
+                matches = [
+                    q for q in self.functions
+                    if q.endswith(f".{func.attr}") and "<locals>" not in q
+                ]
+                if len(matches) >= 1:
+                    return matches[0] if len(matches) == 1 else matches[0]
+        return None
+
+    def _manual_lock_op(self, node: ast.expr) -> Optional[Tuple[str, str]]:
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            return None
+        if node.func.attr not in ("acquire", "release"):
+            return None
+        lock = self.ctx.resolve_lock(node.func.value, self.info.cls)
+        if lock is None:
+            return None
+        return node.func.attr, lock
+
+    # -- recording ----------------------------------------------------
+
+    def _record_acquire(self, lock: str, lockset: FrozenSet[str],
+                        node: ast.AST) -> None:
+        self.info.acquisitions.append((lock, lockset, self.loc(node)))
+
+    def _record_access(self, node: ast.expr, kind: str,
+                       lockset: FrozenSet[str], only_known: bool = False) -> None:
+        fieldq = self.ctx.resolve_field(node, self.info.cls)
+        if fieldq is None:
+            if not only_known and isinstance(node, (ast.Attribute, ast.Subscript)):
+                # Still visit the base for reads buried in the chain.
+                self.visit_expr(node.value, lockset)  # type: ignore[union-attr]
+            return
+        self._emit_access(fieldq, _path_of(node), kind, lockset, node)
+
+    def _emit_access(self, fieldq: str, path: str, kind: str,
+                     lockset: FrozenSet[str], node: ast.AST) -> None:
+        self.info.raw_accesses.append((fieldq, path, kind, lockset, self.loc(node)))
+
+
+def _collect_function(
+    ctx: _ModuleContext,
+    node: ast.stmt,
+    qualname: str,
+    cls: Optional[str],
+    functions: Dict[str, _FuncInfo],
+) -> None:
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    info = _FuncInfo(
+        qualname=qualname, module=ctx.module, cls=cls, name=node.name,
+        location=SourceLocation(ctx.filename, node.lineno, node.col_offset),
+    )
+    functions[qualname] = info
+    _FunctionWalker(ctx, info, functions).walk_block(node.body, frozenset())
+
+
+def _collect_module(
+    module: str, registry: GuardRegistry,
+    lock_table: Dict[Tuple[str, ...], str],
+    functions: Dict[str, _FuncInfo],
+) -> None:
+    filename, tree = load_module_ast(module)
+    ctx = _ModuleContext(module, filename, tree, lock_table, registry)
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _collect_function(ctx, stmt, f"{module}.{stmt.name}", None, functions)
+        elif isinstance(stmt, ast.ClassDef):
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    _collect_function(
+                        ctx, item, f"{module}.{stmt.name}.{item.name}",
+                        stmt.name, functions,
+                    )
+
+
+def _entry_locksets(
+    functions: Dict[str, _FuncInfo], registry: GuardRegistry,
+    all_locks: FrozenSet[str], diagnostics: List[Diagnostic],
+) -> Dict[str, FrozenSet[str]]:
+    """Greatest-fixpoint entry locksets + REQUIRES call-site verification."""
+    call_sites: Dict[str, List[Tuple[str, FrozenSet[str]]]] = {}
+    for info in functions.values():
+        for callee, local, _loc in info.calls:
+            call_sites.setdefault(callee, []).append((info.qualname, local))
+
+    entry: Dict[str, FrozenSet[str]] = {}
+    for qual, info in functions.items():
+        if qual in registry.requires:
+            entry[qual] = registry.requires[qual]
+        elif info.is_private and call_sites.get(qual):
+            entry[qual] = all_locks  # ⊤, refined downward
+        else:
+            entry[qual] = frozenset()  # public / escaping / uncalled
+
+    changed = True
+    while changed:
+        changed = False
+        for qual, info in functions.items():
+            if qual in registry.requires or not (
+                info.is_private and call_sites.get(qual)
+            ):
+                continue
+            new = all_locks
+            for caller, local in call_sites[qual]:
+                new = new & (entry[caller] | local)
+            if new != entry[qual]:
+                entry[qual] = new
+                changed = True
+
+    # Verify REQUIRES contracts at every analyzed call site.
+    for info in functions.values():
+        for callee, local, loc in info.calls:
+            required = registry.requires.get(callee)
+            if required is None:
+                continue
+            held = entry[info.qualname] | local
+            missing = required - held
+            if missing:
+                diagnostics.append(
+                    Diagnostic(
+                        "error",
+                        f"call to {callee} from {info.qualname} without "
+                        f"required lock(s) {sorted(missing)} "
+                        f"(REQUIRES contract)",
+                        loc,
+                    )
+                )
+    return entry
+
+
+def _transitive_acquires(
+    functions: Dict[str, _FuncInfo],
+) -> Dict[str, FrozenSet[str]]:
+    acquires: Dict[str, Set[str]] = {
+        qual: {lock for lock, _ls, _loc in info.acquisitions}
+        for qual, info in functions.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for qual, info in functions.items():
+            for callee, _local, _loc in info.calls:
+                extra = acquires.get(callee, set()) - acquires[qual]
+                if extra:
+                    acquires[qual] |= extra
+                    changed = True
+    return {qual: frozenset(locks) for qual, locks in acquires.items()}
+
+
+def analyze_locksets(
+    target: AnalysisTarget, inventory: Optional[InventoryReport] = None
+) -> LocksetReport:
+    """Run the lockset analysis over every module of ``target``."""
+    if inventory is None:
+        inventory = build_inventory(target)
+    registry = target.registry
+    lock_table = inventory.lock_table()
+    all_locks = frozenset(lock_table.values())
+
+    functions: Dict[str, _FuncInfo] = {}
+    for module in target.modules:
+        _collect_module(module, registry, lock_table, functions)
+
+    report = LocksetReport(target=target.name)
+    report.functions_analyzed = len(functions)
+    entry = _entry_locksets(functions, registry, all_locks, report.diagnostics)
+    report.entry_locksets = dict(entry)
+    acquires = _transitive_acquires(functions)
+
+    def exempt_function(qual: str, fieldq: str) -> bool:
+        if qual in registry.exempt_functions:
+            return True
+        # A constructor writing its own instance attributes publishes
+        # them only when __init__ returns.
+        cls = fieldq.rpartition(".")[0]
+        return qual == f"{cls}.__init__"
+
+    for qual, info in functions.items():
+        base = entry[qual]
+        for fieldq, path, kind, local, loc in info.raw_accesses:
+            effective = base | local
+            required = registry.lock_for_field(fieldq)
+            if required is None:
+                report.accesses.append(
+                    Access(fieldq, path, kind, qual, effective, None, True, loc)
+                )
+                continue
+            ok = (
+                required in effective
+                or exempt_function(qual, fieldq)
+                or registry.is_exempt_field(fieldq)
+            )
+            report.accesses.append(
+                Access(fieldq, path, kind, qual, effective, required, ok, loc)
+            )
+            if not ok:
+                held = "{" + ", ".join(sorted(effective)) + "}" if effective else "{}"
+                report.diagnostics.append(
+                    Diagnostic(
+                        "error",
+                        f"unguarded {kind} of {fieldq} (access path `{path}`) "
+                        f"in {qual}: holds {held}, requires "
+                        f"`{required}`",
+                        loc,
+                    )
+                )
+        # Lock-order material: direct nested acquisitions...
+        for lock, local, loc in info.acquisitions:
+            for held in base | local:
+                if held != lock:
+                    report.static_edges.append(StaticEdge(held, lock, qual, loc))
+        # ... and acquisitions reached through calls made under locks.
+        for callee, local, loc in info.calls:
+            held_here = base | local
+            if not held_here:
+                continue
+            for acquired in acquires.get(callee, frozenset()):
+                for held in held_here:
+                    if held != acquired:
+                        report.static_edges.append(
+                            StaticEdge(held, acquired, f"{qual} -> {callee}", loc)
+                        )
+    return report

@@ -1,0 +1,312 @@
+"""Seeded concurrency-hazard corpus: ground truth for the analyzers.
+
+Like the ownership and tracing corpora, this module is a bank of small,
+self-contained models with *known* verdicts — each deliberately clean or
+deliberately seeded with one hazard class — used to prove the analyzers
+catch what they claim to catch (and, on the clean models, that they stay
+silent).  The functions are real, runnable code: the dynamic-witness
+tests execute ``ConsistentPair``/``InvertedPair`` on actual threads to
+check recorded acquisition edges against the static lock-order graph,
+and ``completion_order_merge`` really does produce different floats for
+different completion orders (the numeric probe forces both orders with
+gated futures).
+
+Seeded hazards:
+
+* three lockset races — an unlocked read-modify-write, a check-then-act
+  whose write escapes the lock, a stats object whose ``reset`` forgets
+  the lock its ``record`` takes — plus an unlocked dirty read;
+* one lock-order cycle — ``InvertedPair`` acquires ``corpus.lock_a`` and
+  ``corpus.lock_b`` in both orders;
+* one order-sensitive merge — a float accumulation iterated in
+  ``as_completed`` (completion) order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.locks import named_rlock
+
+from .determinism import MergeSpec, ProbeResult
+from .inventory import AnalysisTarget, GuardRegistry
+
+_LOCK_A = named_rlock("corpus.lock_a")
+_LOCK_B = named_rlock("corpus.lock_b")
+_STATS_LOCK = named_rlock("corpus.stats")
+_CACHE_LOCK = named_rlock("corpus.cache")
+
+#: Shared mutable state the corpus models contend on.
+_COUNTER: Dict[str, int] = {"value": 0}
+_CACHE: Dict[str, int] = {}
+_EVENTS: List[str] = []
+
+
+# -- clean: correctly guarded counter ---------------------------------------
+
+
+def guarded_increment() -> int:
+    """Read-modify-write under the counter's declared lock."""
+    with _LOCK_A:
+        _COUNTER["value"] += 1
+        return _COUNTER["value"]
+
+
+# -- race: the same counter, no lock ----------------------------------------
+
+
+def unlocked_increment() -> int:
+    _COUNTER["value"] += 1  # seeded race: no corpus.lock_a
+    return _COUNTER["value"]
+
+
+# -- race: check under lock, act outside it ---------------------------------
+
+
+def check_then_act(key: str) -> int:
+    with _CACHE_LOCK:
+        hit = key in _CACHE
+    if not hit:
+        _CACHE[key] = len(key)  # seeded race: write escaped the lock
+    with _CACHE_LOCK:
+        return _CACHE[key]
+
+
+# -- race: dirty read --------------------------------------------------------
+
+
+def dirty_read_latest() -> str:
+    return _EVENTS[-1] if _EVENTS else ""  # seeded race: no corpus.lock_b
+
+
+# -- race: stats object whose reset forgets the lock ------------------------
+
+
+class RaceyStats:
+    """``record`` takes ``corpus.stats``; ``reset`` forgot to."""
+
+    def __init__(self) -> None:
+        self.records: List[float] = []
+        self.total = 0.0
+
+    def record(self, value: float) -> None:
+        with _STATS_LOCK:
+            self.records.append(value)
+            self.total += value
+
+    def reset(self) -> None:
+        self.records.clear()  # seeded race: no corpus.stats
+        self.total = 0.0
+
+
+RSTATS = RaceyStats()
+
+
+# -- clean: consistent A-before-B lock pair ---------------------------------
+
+
+class ConsistentPair:
+    """Both paths take ``corpus.lock_a`` then ``corpus.lock_b``."""
+
+    def update(self, event: str) -> None:
+        with _LOCK_A:
+            with _LOCK_B:
+                _EVENTS.append(event)
+
+    def snapshot(self) -> List[str]:
+        with _LOCK_A:
+            with _LOCK_B:
+                return list(_EVENTS)
+
+
+# -- deadlock: the same pair, inverted on one path --------------------------
+
+
+class InvertedPair:
+    """``forward`` is A-then-B; ``backward`` is B-then-A: cycle."""
+
+    def forward(self, event: str) -> None:
+        with _LOCK_A:
+            with _LOCK_B:  # seeded: A -> B
+                _EVENTS.append(event)
+
+    def backward(self) -> List[str]:
+        with _LOCK_B:
+            with _LOCK_A:  # seeded: B -> A closes the cycle
+                return list(_EVENTS)
+
+
+# -- order-sensitive merge: accumulate in completion order ------------------
+
+
+def completion_order_merge(futures: Sequence) -> float:
+    """Sum replica results as they finish — the seeded nondeterminism.
+
+    Float addition is not associative, so the total depends on which
+    replica thread completed first.
+    """
+    total = 0.0
+    for future in as_completed(futures):
+        total += future.result()
+    return total
+
+
+# -- clean merge: accumulate in replica-id order ----------------------------
+
+
+def replica_order_merge(replica_values: Sequence[float]) -> float:
+    total = 0.0
+    for r in range(len(replica_values)):
+        total += replica_values[r]
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Registry and model specs
+# ---------------------------------------------------------------------------
+
+_MODULE = __name__
+
+CORPUS_REGISTRY = GuardRegistry(
+    guarded_fields={
+        f"{_MODULE}._COUNTER": "corpus.lock_a",
+        f"{_MODULE}._CACHE": "corpus.cache",
+        f"{_MODULE}._EVENTS": "corpus.lock_b",
+    },
+    guarded_classes={
+        f"{_MODULE}.RaceyStats": "corpus.stats",
+    },
+    exempt_fields={
+        f"{_MODULE}.RSTATS": (
+            "singleton handle; state guarded per-class by corpus.stats"
+        ),
+        f"{_MODULE}.CORPUS_REGISTRY": "analysis metadata, written at import only",
+        f"{_MODULE}.CORPUS_TARGET": "analysis metadata, written at import only",
+    },
+)
+
+CORPUS_TARGET = AnalysisTarget(
+    name="corpus", modules=(_MODULE,), registry=CORPUS_REGISTRY
+)
+
+
+# Adversarial addends: in f64, 1e16 + 1.0 == 1e16, so the sum is 3.0
+# left-to-right but 4.0 when the 1e16s cancel first.
+_MERGE_VALUES: Tuple[float, ...] = (1.0e16, 1.0, -1.0e16, 3.0)
+
+
+def _run_completion_merge(order: Sequence[int]) -> float:
+    """Run the completion-order merge forcing a specific finish order."""
+    gates = [threading.Event() for _ in _MERGE_VALUES]
+
+    def make_task(i: int):
+        def task() -> float:
+            assert gates[i].wait(10.0), "probe gate timed out"
+            return _MERGE_VALUES[i]
+
+        return task
+
+    with ThreadPoolExecutor(max_workers=len(_MERGE_VALUES)) as pool:
+        futures = [pool.submit(make_task(i)) for i in range(len(_MERGE_VALUES))]
+        box: Dict[str, float] = {}
+        runner = threading.Thread(
+            target=lambda: box.__setitem__("total", completion_order_merge(futures))
+        )
+        runner.start()
+        for i in order:
+            gates[i].set()
+            while not futures[i].done():
+                time.sleep(0.0005)
+            time.sleep(0.002)  # let as_completed observe this completion
+        runner.join(10.0)
+    return box["total"]
+
+
+def _probe_completion_merge() -> ProbeResult:
+    ltr = _run_completion_merge((0, 1, 2, 3))
+    paired = _run_completion_merge((0, 2, 1, 3))
+    return ProbeResult(deterministic=ltr == paired, order_sensitive=ltr != paired)
+
+
+def _probe_replica_merge() -> ProbeResult:
+    first = replica_order_merge(_MERGE_VALUES)
+    again = replica_order_merge(_MERGE_VALUES)
+    values = _MERGE_VALUES
+    permuted = replica_order_merge((values[0], values[2], values[1], values[3]))
+    return ProbeResult(deterministic=first == again, order_sensitive=first != permuted)
+
+
+@dataclass(frozen=True)
+class ConcurrencyModel:
+    """One corpus entry: functions to analyze and the expected verdict."""
+
+    name: str
+    expect: str  # "clean" | "race" | "deadlock" | "order-sensitive-merge"
+    functions: Tuple[str, ...] = ()  # qualnames within this module
+    merges: Tuple[MergeSpec, ...] = ()
+    description: str = ""
+
+
+def _q(*tails: str) -> Tuple[str, ...]:
+    return tuple(f"{_MODULE}.{tail}" for tail in tails)
+
+
+CORPUS_MODELS: Tuple[ConcurrencyModel, ...] = (
+    ConcurrencyModel(
+        "clean_guarded_counter", "clean", _q("guarded_increment"),
+        description="read-modify-write correctly under corpus.lock_a",
+    ),
+    ConcurrencyModel(
+        "race_unlocked_counter", "race", _q("unlocked_increment"),
+        description="same counter mutated with an empty lockset",
+    ),
+    ConcurrencyModel(
+        "race_check_then_act", "race", _q("check_then_act"),
+        description="membership test under the lock, insert outside it",
+    ),
+    ConcurrencyModel(
+        "race_dirty_read", "race", _q("dirty_read_latest"),
+        description="unlocked read of a guarded list",
+    ),
+    ConcurrencyModel(
+        "race_stats_reset", "race",
+        _q("RaceyStats.record", "RaceyStats.reset"),
+        description="record locks corpus.stats, reset does not",
+    ),
+    ConcurrencyModel(
+        "clean_consistent_pair", "clean",
+        _q("ConsistentPair.update", "ConsistentPair.snapshot"),
+        description="both paths acquire lock_a before lock_b",
+    ),
+    ConcurrencyModel(
+        "deadlock_inverted_pair", "deadlock",
+        _q("InvertedPair.forward", "InvertedPair.backward"),
+        description="A->B on one path, B->A on the other",
+    ),
+    ConcurrencyModel(
+        "merge_completion_order", "order-sensitive-merge",
+        merges=(
+            MergeSpec(
+                f"{_MODULE}:completion_order_merge",
+                expect="order-sensitive",
+                probe=_probe_completion_merge,
+            ),
+        ),
+        description="float accumulation iterated in as_completed order",
+    ),
+    ConcurrencyModel(
+        "merge_replica_order", "clean",
+        merges=(
+            MergeSpec(
+                f"{_MODULE}:replica_order_merge",
+                expect="replica-ordered",
+                probe=_probe_replica_merge,
+            ),
+        ),
+        description="float accumulation pinned to replica-id order",
+    ),
+)

@@ -1,0 +1,191 @@
+"""Dynamic lock witness: record real acquisition edges and cross-check.
+
+The static lock-order graph predicts which nestings *can* happen; the
+witness records which nestings *do*.  Every ``named_rlock`` acquisition
+funnels through :class:`repro.locks.LockWitness`, which notes an edge
+from each lock the acquiring thread already holds.  This module packages
+the workloads that exercise the runtime's locks for real:
+
+* a two-replica data-parallel training step (replica threads race on the
+  compile cache, the plan cache, and the memory tracker);
+* a barriered ``compile_module`` stampede (the single-flight path);
+* an async-compile warm/hit cycle;
+* a scoped ``track()`` measurement around allocations (the finalizer
+  path that makes ``runtime.memory`` a leaf lock).
+
+``run_runtime_witness`` returns the recorded edges; callers cross-check
+them against the static graph with
+:func:`repro.analysis.concurrency.lockorder.check_static_covers_dynamic`.
+The corpus helpers run the clean and inverted lock pairs on real threads
+(the inverted pair sequentially — recording both edge directions without
+actually deadlocking the test process).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Tuple
+
+from repro.locks import LOCK_REGISTRY, WITNESS, reset_witness, witness_edges
+
+
+@dataclass
+class WitnessReport:
+    """What the instrumented locks observed during a workload."""
+
+    edges: FrozenSet[Tuple[str, str]] = frozenset()
+    acquisitions: Dict[str, int] = field(default_factory=dict)
+    locks_registered: Dict[str, int] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [
+            f"-- dynamic witness: {len(self.edges)} edge(s), "
+            f"{sum(self.acquisitions.values())} acquisition(s) across "
+            f"{len(self.acquisitions)} lock class(es) --"
+        ]
+        for a, b in sorted(self.edges):
+            lines.append(f"  observed {a} -> {b}")
+        for name in sorted(self.acquisitions):
+            lines.append(f"  {name}: {self.acquisitions[name]} acquisition(s)")
+        return "\n".join(lines)
+
+
+def _snapshot() -> WitnessReport:
+    return WitnessReport(
+        edges=witness_edges(),
+        acquisitions=dict(WITNESS.acquisitions),
+        locks_registered=dict(LOCK_REGISTRY),
+    )
+
+
+def _train_two_replicas() -> None:
+    import numpy as np
+
+    from repro.nn import MLP, softmax_cross_entropy
+    from repro.optim import SGD
+    from repro.runtime.parallel import ParallelDataParallelTrainer
+
+    trainer = ParallelDataParallelTrainer(
+        lambda device: MLP.create(4, [6], 3, device=device, seed=0),
+        lambda: SGD(learning_rate=0.1),
+        2,
+    )
+    rng = np.random.default_rng(7)
+    x = rng.standard_normal((4, 4)).astype(np.float32)
+    y = np.eye(3, dtype=np.float32)[rng.integers(0, 3, 4)]
+
+    def loss_fn(model, xs, ys):
+        return softmax_cross_entropy(model(xs), ys)
+
+    try:
+        trainer.step(loss_fn, trainer.replicate_batch(x, y))
+    finally:
+        trainer.shutdown()
+
+
+def _witness_module(dims: Tuple[int, int]):
+    from repro.hlo.ir import HloComputation, HloInstruction, HloModule, Shape
+
+    comp = HloComputation("entry")
+    p0 = comp.add(HloInstruction("parameter", [], Shape(dims), parameter_number=0))
+    neg = comp.add(HloInstruction("negate", [p0], Shape(dims)))
+    comp.set_root(neg)
+    return HloModule("witness", comp)
+
+
+def _compile_stampede(n_threads: int = 4) -> None:
+    from repro.hlo.compiler import compile_module
+
+    barrier = threading.Barrier(n_threads)
+
+    def worker() -> None:
+        barrier.wait()
+        compile_module(_witness_module((3, 5)))
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def _async_compile_cycle() -> None:
+    from repro.hlo.compiler import AsyncCompiler, compile_module
+
+    compiler = AsyncCompiler()
+    try:
+        build = lambda: compile_module(_witness_module((2, 7)), use_cache=False)  # noqa: E731
+        compiler.submit("witness-key", build).result(timeout=10.0)
+        assert compiler.lookup("witness-key") is not None  # warm hit
+    finally:
+        compiler.shutdown()
+
+
+def _tracked_allocation() -> None:
+    import numpy as np
+
+    from repro.runtime import memory
+
+    with memory.track() as tracker:
+        buffer = np.zeros(1024, dtype=np.float32)
+        memory.track_buffer(buffer)
+        assert tracker.live_bytes > 0
+        del buffer  # fire the finalizer (the leaf-lock path) now
+
+
+def run_runtime_witness() -> WitnessReport:
+    """Exercise the runtime's locks on real threads; return observed edges."""
+    reset_witness()
+    _train_two_replicas()
+    _compile_stampede()
+    _async_compile_cycle()
+    _tracked_allocation()
+    return _snapshot()
+
+
+# ---------------------------------------------------------------------------
+# Corpus workloads
+# ---------------------------------------------------------------------------
+
+
+def run_consistent_pair(iterations: int = 50) -> WitnessReport:
+    """Two threads hammer the A-then-B pair; records only A->B edges."""
+    from .models import ConsistentPair
+
+    reset_witness()
+    pair = ConsistentPair()
+    barrier = threading.Barrier(2)
+
+    def writer() -> None:
+        barrier.wait()
+        for i in range(iterations):
+            pair.update(f"w{i}")
+
+    def reader() -> None:
+        barrier.wait()
+        for _ in range(iterations):
+            pair.snapshot()
+
+    threads = [threading.Thread(target=writer), threading.Thread(target=reader)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return _snapshot()
+
+
+def run_inverted_pair() -> WitnessReport:
+    """Run both inverted-pair paths *sequentially*.
+
+    Sequential execution records the A->B and B->A edges — the witness
+    evidence of the hazard — without actually provoking the deadlock the
+    static cycle predicts.
+    """
+    from .models import InvertedPair
+
+    reset_witness()
+    pair = InvertedPair()
+    pair.forward("probe")
+    pair.backward()
+    return _snapshot()

@@ -47,7 +47,19 @@ Three sweeps, mirroring the three layers the subsystem spans:
    *located* diagnostic, and every ``prune_captures`` measurement
    showing bit-identical gradients.
 
-``python -m repro.analysis --self-check`` runs all six and exits 0 iff
+7. **Concurrency sweep** — run the static concurrency-safety analysis
+   (:mod:`repro.analysis.concurrency`) over the real parallel engine:
+   the shared-state inventory must account for every mutable reachable
+   from worker threads (zero unregistered fields), the lockset analysis
+   must find zero unguarded accesses, the lock-order graph must be
+   acyclic with every dynamically witnessed acquisition edge statically
+   predicted, and every replica merge must verify replica-ordered or
+   order-insensitive with its numeric probe agreeing.  Then over the
+   seeded hazard corpus: every race, lock-order cycle, and
+   order-sensitive merge must be caught with a located diagnostic, and
+   every clean model must come back silent.
+
+``python -m repro.analysis --self-check`` runs all seven and exits 0 iff
 everything holds.
 """
 
@@ -90,6 +102,12 @@ class SelfCheckReport:
     derivative_models_checked: int = 0
     derivative_hazards_caught: int = 0
     pullback_captures_pruned: int = 0
+    shared_fields_inventoried: int = 0
+    guarded_accesses_proven: int = 0
+    lock_edges_cross_checked: int = 0
+    concurrency_models_checked: int = 0
+    concurrency_hazards_caught: int = 0
+    merges_verified: int = 0
     failures: list[str] = field(default_factory=list)
 
     @property
@@ -119,6 +137,12 @@ class SelfCheckReport:
             f"derivative models checked:     {self.derivative_models_checked}",
             f"derivative hazards caught:     {self.derivative_hazards_caught}",
             f"pullback captures pruned:      {self.pullback_captures_pruned}",
+            f"shared fields inventoried:     {self.shared_fields_inventoried}",
+            f"guarded accesses proven:       {self.guarded_accesses_proven}",
+            f"lock edges cross-checked:      {self.lock_edges_cross_checked}",
+            f"concurrency models checked:    {self.concurrency_models_checked}",
+            f"concurrency hazards caught:    {self.concurrency_hazards_caught}",
+            f"merges verified:               {self.merges_verified}",
         ]
         if self.failures:
             lines.append(f"FAILURES ({len(self.failures)}):")
@@ -521,6 +545,77 @@ def _check_derivatives(report: SelfCheckReport) -> None:
             report.pullback_captures_pruned += result.pruning.entries_saved
 
 
+def _check_concurrency(report: SelfCheckReport) -> None:
+    from repro.analysis.concurrency.report import analyze_corpus, analyze_runtime
+
+    # Runtime sweep: the real parallel engine must be provably clean —
+    # every shared mutable accounted for, every guarded access holding
+    # its lock, the lock-order graph acyclic, every dynamically
+    # witnessed edge statically predicted, every merge deterministic.
+    try:
+        runtime = analyze_runtime(run_witness=True)
+    except ReproError as exc:  # pragma: no cover
+        report.failures.append(f"concurrency runtime analysis: {exc}")
+        runtime = None
+    if runtime is not None:
+        report.shared_fields_inventoried += len(runtime.inventory.fields)
+        report.guarded_accesses_proven += sum(
+            1 for a in runtime.lockset.accesses if a.required is not None and a.ok
+        )
+        report.lock_edges_cross_checked += len(runtime.dynamic_edges)
+        report.merges_verified += sum(
+            1 for f in runtime.determinism.findings if f.ok
+        )
+        if runtime.inventory.unregistered:
+            report.failures.append(
+                "concurrency runtime: unregistered shared state: "
+                + ", ".join(f.qualname for f in runtime.inventory.unregistered)
+            )
+        if runtime.verdicts() != ("clean",):
+            report.failures.append(
+                "concurrency runtime: expected a clean engine, got "
+                f"{', '.join(runtime.verdicts())}: "
+                + "; ".join(
+                    d.message for d in runtime.diagnostics() if d.is_error
+                )
+            )
+        if not runtime.cross_check_ok:
+            report.failures.append(
+                "concurrency runtime: static model diverges from the "
+                "dynamic witness or numeric probes"
+            )
+
+    # Corpus sweep: exact verdicts — seeded races, the lock-order cycle,
+    # and the completion-order merge all caught with located
+    # diagnostics; clean models silent (zero false positives).
+    corpus = analyze_corpus(run_witness=True)
+    for result in corpus.results:
+        report.concurrency_models_checked += 1
+        report.lock_edges_cross_checked += len(result.dynamic_edges)
+        if not result.matches:
+            report.failures.append(
+                f"concurrency model {result.model.name!r}: expected "
+                f"{result.model.expect!r}, got {', '.join(result.verdicts)}"
+                + ("" if result.cross_check_ok else " (cross-check diverged)")
+            )
+            continue
+        if result.model.expect != "clean":
+            located = [
+                d for d in result.diagnostics
+                if d.is_error and d.location.line > 0
+            ]
+            if located:
+                report.concurrency_hazards_caught += 1
+            else:
+                report.failures.append(
+                    f"concurrency model {result.model.name!r}: hazard "
+                    "caught but no diagnostic carries a source location"
+                )
+        else:
+            if result.model.merges:
+                report.merges_verified += len(result.model.merges)
+
+
 def self_check(verbose: bool = False) -> SelfCheckReport:
     """Run all sweeps; the report's ``ok`` says whether everything held."""
     report = SelfCheckReport()
@@ -530,6 +625,7 @@ def self_check(verbose: bool = False) -> SelfCheckReport:
     _check_ownership(report)
     _check_tracing(report)
     _check_derivatives(report)
+    _check_concurrency(report)
     if verbose:  # pragma: no cover
         print(report.summary())
     return report

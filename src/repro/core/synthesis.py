@@ -22,7 +22,6 @@ re-transforms or re-traces user code.  Tests assert this AOT property.
 
 from __future__ import annotations
 
-import threading
 from typing import Callable, Optional, Sequence
 
 from repro.core import registry
@@ -30,6 +29,7 @@ from repro.core.activity import ActivityInfo, analyze_activity
 from repro.core.cotangents import PartialTuple, normalize_cotangent
 from repro.core.differentiable import ZERO, embed_field_cotangent, tangent_add
 from repro.errors import Diagnostic, DifferentiabilityError, InterpreterError
+from repro.locks import named_rlock
 from repro.sil import ir
 from repro.sil.primitives import Primitive
 
@@ -698,7 +698,7 @@ _DEPENDENTS: dict[int, set] = {}
 #: its callees on the same thread.  Concurrent replicas therefore
 #: serialize on first-step synthesis and share the finished plan — the
 #: host-side analogue of the compiler cache's single-flight discipline.
-_PLAN_LOCK = threading.RLock()
+_PLAN_LOCK = named_rlock("core.plan_cache")
 
 
 def _note_dependency(caller: ir.Function, callee: ir.Function) -> None:
@@ -754,20 +754,25 @@ def invalidate_plans_for(func: ir.Function) -> None:
     """Drop cached plans for ``func`` and, transitively, every plan whose
     synthesized rules reference it (used when a custom derivative is
     registered after plans were synthesized)."""
-    worklist = [func]
-    seen: set[int] = set()
-    while worklist:
-        current = worklist.pop()
-        if id(current) in seen:
-            continue
-        seen.add(id(current))
-        for cache in (_VJP_PLANS, _JVP_PLANS):
-            for key in [k for k in cache if k[0] == id(current)]:
-                del cache[key]
-        worklist.extend(_DEPENDENTS.pop(id(current), ()))
+    # Guarded: re-registration can race first-step synthesis on replica
+    # threads; an unlocked sweep here could observe (or strand) the
+    # in-progress plan that vjp_plan inserts before building.
+    with _PLAN_LOCK:
+        worklist = [func]
+        seen: set[int] = set()
+        while worklist:
+            current = worklist.pop()
+            if id(current) in seen:
+                continue
+            seen.add(id(current))
+            for cache in (_VJP_PLANS, _JVP_PLANS):
+                for key in [k for k in cache if k[0] == id(current)]:
+                    del cache[key]
+            worklist.extend(_DEPENDENTS.pop(id(current), ()))
 
 
 def clear_plan_caches() -> None:
-    _VJP_PLANS.clear()
-    _JVP_PLANS.clear()
-    _DEPENDENTS.clear()
+    with _PLAN_LOCK:
+        _VJP_PLANS.clear()
+        _JVP_PLANS.clear()
+        _DEPENDENTS.clear()

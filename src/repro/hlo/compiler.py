@@ -15,7 +15,6 @@ replicas race on the same fresh trace, exactly one compile runs.
 
 from __future__ import annotations
 
-import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
@@ -28,6 +27,7 @@ from repro.hlo.passes import optimize
 from repro.hlo.printer import print_module
 from repro.runtime.device import SimDevice
 from repro.runtime.kernels import ITEMSIZE, KERNELS
+from repro.locks import named_rlock
 
 _K = KERNELS
 
@@ -183,17 +183,20 @@ class CompilerStats:
     compile_time: float = 0.0
 
     def reset(self) -> None:
-        self.compiles = 0
-        self.cache_hits = 0
-        self.instructions_compiled = 0
-        self.compile_time = 0.0
+        # Guarded like every other STATS mutation: tests and benchmarks
+        # reset counters while replica threads may still be compiling.
+        with _LOCK:
+            self.compiles = 0
+            self.cache_hits = 0
+            self.instructions_compiled = 0
+            self.compile_time = 0.0
 
 
 STATS = CompilerStats()
 
 #: Guards the fingerprint cache and STATS counters: concurrent replicas
 #: (and the async compile worker) all funnel through ``compile_module``.
-_LOCK = threading.Lock()
+_LOCK = named_rlock("hlo.compiler.cache")
 
 
 class Executable:
@@ -409,7 +412,7 @@ class AsyncCompiler:
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="hlo-compile"
         )
-        self._lock = threading.Lock()
+        self._lock = named_rlock("hlo.async_compiler")
         self._ready: dict[str, Executable] = {}
         self._inflight: dict[str, Future] = {}
         self.stats = AsyncCompileStats()

@@ -1,0 +1,166 @@
+"""Named, instrumented locks: the dynamic witness of the concurrency analysis.
+
+Every lock the runtime uses is created through :func:`named_rlock`, which
+does three things a bare ``threading.RLock()`` cannot:
+
+1. **Registration** — the lock's *name* lands in :data:`LOCK_REGISTRY`, so
+   the static lockset analysis (:mod:`repro.analysis.concurrency`) can
+   resolve ``with <lock>:`` statements to the same identities it uses in
+   its ``guarded_by`` registry.  Instances sharing a name form one *lock
+   class* (e.g. every ``AsyncCompiler`` carries a ``hlo.async_compiler``
+   lock); lock-order reasoning is over classes, as usual.
+2. **Held-set tracking** — each thread keeps a stack of the instrumented
+   locks it currently holds (:func:`held_locks`), which tests use to
+   assert a lock really is held inside a guarded region.
+3. **Acquisition-order witness** — whenever a thread acquires lock ``B``
+   while holding lock ``A`` (``A != B``), the edge ``A -> B`` is recorded
+   in the process-wide :data:`WITNESS`.  The static lock-order graph must
+   cover every witnessed edge (``dynamic ⊆ static``): a nesting the
+   analyzer did not predict fails the cross-check before it can deadlock.
+
+Reentrant re-acquisition of a lock already held by the same thread records
+no edge (an ``A -> A`` self-loop is not an ordering).  The witness's own
+bookkeeping lock is a plain ``threading.RLock`` — it must not instrument
+itself — and recording is reentrancy-safe: a weakref finalizer that fires
+mid-record (e.g. :func:`repro.runtime.memory.free`) re-enters cleanly.
+
+This module imports nothing but the standard library so every layer
+(``core``, ``hlo``, ``runtime``, ``valsem``) can use it without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from typing import Dict, FrozenSet, List, Tuple
+
+#: Lock-class name -> number of live instances created under that name.
+LOCK_REGISTRY: Counter = Counter()
+
+#: Per-thread stack of lock names currently held (reentrant holds repeat).
+_HELD = threading.local()
+
+#: Guards the witness's edge map and the registry counter.  Deliberately a
+#: bare RLock: instrumenting it would recurse.
+_WITNESS_LOCK = threading.RLock()
+
+
+class LockWitness:
+    """The dynamic acquisition-order record.
+
+    ``edges`` maps ``(held, acquired)`` name pairs to the number of times
+    that nesting was observed.  ``acquisitions`` counts every acquire per
+    lock class (reentrant re-acquisitions included), so tests can assert a
+    code path actually exercised its locks.
+    """
+
+    def __init__(self) -> None:
+        self.edges: Dict[Tuple[str, str], int] = {}
+        self.acquisitions: Counter = Counter()
+
+    def record_acquire(self, name: str, held: List[str]) -> None:
+        with _WITNESS_LOCK:
+            self.acquisitions[name] += 1
+            for outer in set(held):
+                if outer != name:
+                    edge = (outer, name)
+                    self.edges[edge] = self.edges.get(edge, 0) + 1
+
+    def edge_set(self) -> FrozenSet[Tuple[str, str]]:
+        with _WITNESS_LOCK:
+            return frozenset(self.edges)
+
+    def reset(self) -> None:
+        with _WITNESS_LOCK:
+            self.edges.clear()
+            self.acquisitions.clear()
+
+
+#: The process-wide witness every instrumented lock reports to.
+WITNESS = LockWitness()
+
+
+def _held_stack() -> List[str]:
+    stack = getattr(_HELD, "stack", None)
+    if stack is None:
+        stack = []
+        _HELD.stack = stack
+    return stack
+
+
+def held_locks() -> Tuple[str, ...]:
+    """Names of instrumented locks the *current thread* holds (innermost
+    last; reentrant holds appear once per acquisition)."""
+    return tuple(_held_stack())
+
+
+class InstrumentedRLock:
+    """A reentrant lock with a name, a registry entry, and an order witness.
+
+    Drop-in for ``threading.RLock()`` under ``with``/``acquire``/``release``.
+    The name is the lock's *class*: every instance created under the same
+    name is one vertex of the lock-order graph, which is what lets a
+    per-instance lock (``AsyncCompiler._lock``) be analyzed statically.
+    """
+
+    __slots__ = ("name", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.RLock()
+        with _WITNESS_LOCK:
+            LOCK_REGISTRY[name] += 1
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            stack = _held_stack()
+            WITNESS.record_acquire(self.name, stack)
+            stack.append(self.name)
+        return acquired
+
+    def release(self) -> None:
+        stack = _held_stack()
+        # Remove the innermost hold of this name; release() raises below if
+        # the thread never held the underlying lock.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == self.name:
+                del stack[i]
+                break
+        self._lock.release()
+
+    def __enter__(self) -> "InstrumentedRLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def held_by_current_thread(self) -> bool:
+        """True iff the calling thread currently holds this lock class."""
+        return self.name in _held_stack()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"InstrumentedRLock({self.name!r})"
+
+
+def named_rlock(name: str) -> InstrumentedRLock:
+    """Create (and register) the instrumented lock for one lock class.
+
+    The static analyzer resolves ``X = named_rlock("<name>")`` assignments
+    by reading the *literal* name, so the argument must be a string
+    literal at every call site — a constraint the inventory enforces.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError("lock name must be a non-empty string literal")
+    return InstrumentedRLock(name)
+
+
+def witness_edges() -> FrozenSet[Tuple[str, str]]:
+    """The dynamic lock-order edges observed so far (name pairs)."""
+    return WITNESS.edge_set()
+
+
+def reset_witness() -> None:
+    """Clear recorded edges/acquisitions (test and sweep boundaries)."""
+    WITNESS.reset()

@@ -7,14 +7,18 @@ on-device memory column of Table 4.
 
 from __future__ import annotations
 
-import threading
 from contextlib import contextmanager
+
+from repro.locks import named_rlock
 
 # Replica threads of the parallel executor allocate concurrently; the
 # counters below are read-modify-write, so guard them with one lock.
 # Reentrant: ``free`` runs from weakref finalizers, which the interpreter
 # may invoke while the same thread already holds the lock in ``allocate``.
-_LOCK = threading.RLock()
+# Finalizers also mean this lock can be acquired while *any* other lock is
+# held, so it must stay a leaf of the lock-order hierarchy (declared in
+# ``repro.analysis.concurrency.lockorder``).
+_LOCK = named_rlock("runtime.memory")
 
 
 class MemoryTracker:
@@ -39,27 +43,34 @@ class MemoryTracker:
             self.live_bytes -= nbytes
 
     def reset(self) -> None:
-        self.live_bytes = 0
-        self.peak_bytes = 0
-        self.total_allocated = 0
-        self.allocation_count = 0
+        # Guarded: experiments reset the process-wide tracker while replica
+        # threads (or finalizers) may still be accounting buffers.
+        with _LOCK:
+            self.live_bytes = 0
+            self.peak_bytes = 0
+            self.total_allocated = 0
+            self.allocation_count = 0
 
 
 #: The default process-wide tracker.
 TRACKER = MemoryTracker()
 
-#: Trackers currently observing allocations (scoped measurements).
+#: Trackers currently observing allocations (scoped measurements).  The
+#: list itself is shared mutable state: ``track()`` scopes push/pop while
+#: replica threads iterate, so every touch holds the module lock.
 _ACTIVE: list[MemoryTracker] = [TRACKER]
 
 
 def allocate(nbytes: int) -> None:
-    for tracker in _ACTIVE:
-        tracker.allocate(nbytes)
+    with _LOCK:
+        for tracker in _ACTIVE:
+            tracker.allocate(nbytes)
 
 
 def free(nbytes: int) -> None:
-    for tracker in _ACTIVE:
-        tracker.free(nbytes)
+    with _LOCK:
+        for tracker in _ACTIVE:
+            tracker.free(nbytes)
 
 
 def track_buffer(buffer, nbytes: int | None = None) -> None:
@@ -92,8 +103,10 @@ def track():
     >>> t.peak_bytes
     """
     tracker = MemoryTracker()
-    _ACTIVE.append(tracker)
+    with _LOCK:
+        _ACTIVE.append(tracker)
     try:
         yield tracker
     finally:
-        _ACTIVE.remove(tracker)
+        with _LOCK:
+            _ACTIVE.remove(tracker)

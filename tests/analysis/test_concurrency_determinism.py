@@ -1,0 +1,133 @@
+"""Merge-determinism: static classification, numeric probes, cross-check."""
+
+import pytest
+
+from repro.analysis.concurrency.determinism import (
+    PROBE_VALUES,
+    MergeSpec,
+    ProbeResult,
+    RUNTIME_MERGES,
+    classify_merge,
+    verify_merges,
+)
+
+MODELS = "repro.analysis.concurrency.models"
+
+
+# ---------------------------------------------------------------------------
+# Static classifier on the corpus merges
+# ---------------------------------------------------------------------------
+
+
+def test_completion_order_merge_is_order_sensitive():
+    verdict, sites, location = classify_merge(MODELS, "completion_order_merge")
+    assert verdict == "order-sensitive"
+    site = next(s for s in sites if s.verdict == "order-sensitive")
+    assert site.op == "+="
+    assert site.iteration == "completion-ordered"
+    assert site.location.line > 0
+    assert location.filename.endswith("models.py")
+
+
+def test_replica_order_merge_is_replica_ordered():
+    verdict, sites, _ = classify_merge(MODELS, "replica_order_merge")
+    assert verdict == "replica-ordered"
+    assert all(s.iteration == "index-ordered" for s in sites)
+
+
+def test_unknown_merge_function_raises():
+    with pytest.raises(ValueError, match="not found"):
+        classify_merge(MODELS, "no_such_merge")
+
+
+# ---------------------------------------------------------------------------
+# The real runtime merges
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def runtime_report():
+    return verify_merges(RUNTIME_MERGES)
+
+
+def test_runtime_merges_all_verified(runtime_report):
+    assert len(runtime_report.findings) == 3
+    assert all(f.ok for f in runtime_report.findings), [
+        (f.qualname, f.verdict, f.expect) for f in runtime_report.findings
+    ]
+    assert runtime_report.order_sensitive == []
+    assert not any(d.is_error for d in runtime_report.diagnostics)
+
+
+def test_runtime_probes_ran_and_agree(runtime_report):
+    assert runtime_report.cross_check_ok
+    for finding in runtime_report.findings:
+        assert finding.probe is not None, finding.qualname
+        assert finding.probe_consistent is True, finding.qualname
+        # Float-sum merges must actually be order-sensitive numerically —
+        # the probe proves the static "replica-ordered" verdict is load-
+        # bearing, not vacuous.
+        if finding.expect == "replica-ordered":
+            assert finding.probe.order_sensitive
+        assert finding.probe.deterministic
+
+
+def test_gradient_average_is_pinned_to_replica_order(runtime_report):
+    by_name = {f.qualname: f for f in runtime_report.findings}
+    avg = by_name["repro.runtime.parallel.trainer:_average_leaves"]
+    assert avg.verdict == "replica-ordered"
+    pod = by_name["repro.runtime.cluster:PodSimulator.step_time_multi"]
+    assert pod.verdict == "order-insensitive"
+
+
+# ---------------------------------------------------------------------------
+# Probe cross-check discipline
+# ---------------------------------------------------------------------------
+
+
+def test_probe_values_expose_f32_nonassociativity():
+    import numpy as np
+
+    ltr = np.float32(0.0)
+    for v in PROBE_VALUES:
+        ltr = np.float32(ltr + np.float32(v))
+    paired = np.float32(np.float32(PROBE_VALUES[0]) + np.float32(PROBE_VALUES[2]))
+    paired = np.float32(paired + np.float32(PROBE_VALUES[1]))
+    paired = np.float32(paired + np.float32(PROBE_VALUES[3]))
+    assert ltr != paired
+
+
+def test_contradicting_probe_fails_cross_check():
+    # Statically order-sensitive, but the probe claims deterministic:
+    # the disagreement itself is an error.
+    spec = MergeSpec(
+        f"{MODELS}:completion_order_merge",
+        expect="order-sensitive",
+        probe=lambda: ProbeResult(deterministic=True, order_sensitive=False),
+    )
+    report = verify_merges([spec])
+    assert not report.cross_check_ok
+    diag = next(d for d in report.diagnostics if "contradicts" in d.message)
+    assert diag.is_error
+
+
+def test_expect_mismatch_is_diagnosed():
+    spec = MergeSpec(f"{MODELS}:replica_order_merge", expect="order-insensitive")
+    report = verify_merges([spec])
+    finding = report.findings[0]
+    assert not finding.ok
+    assert any(
+        "registry expects order-insensitive" in d.message
+        for d in report.diagnostics
+    )
+
+
+def test_order_sensitive_diagnostic_is_located():
+    spec = MergeSpec(f"{MODELS}:completion_order_merge", expect="order-sensitive")
+    report = verify_merges([spec])
+    diag = next(
+        d for d in report.diagnostics if "completion order" in d.message
+    )
+    assert diag.is_error
+    assert diag.location.filename.endswith("models.py")
+    assert diag.location.line > 0

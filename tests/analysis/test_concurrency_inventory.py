@@ -1,0 +1,149 @@
+"""Shared-state inventory: the scan, the registry, the runtime surface."""
+
+import ast
+
+from repro.analysis.concurrency.inventory import (
+    GuardRegistry,
+    RUNTIME_TARGET,
+    build_inventory,
+    scan_tree,
+)
+
+
+def _scan(source: str, registry: GuardRegistry | None = None):
+    return scan_tree(
+        "fake.mod", "<fake>", ast.parse(source), registry or GuardRegistry()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Scanner mechanics
+# ---------------------------------------------------------------------------
+
+
+def test_module_level_mutables_are_candidates():
+    fields, _locks, _diags = _scan(
+        "CACHE = {}\nEVENTS = []\nSEEN = set()\nPAIRS = [(1, 2)]\n"
+    )
+    assert {f.qualname for f in fields} == {
+        "fake.mod.CACHE", "fake.mod.EVENTS", "fake.mod.SEEN", "fake.mod.PAIRS",
+    }
+    assert all(f.kind == "module-global" for f in fields)
+    assert all(f.status == "unregistered" for f in fields)
+
+
+def test_immutable_and_meta_values_are_not_candidates():
+    fields, _locks, _diags = _scan(
+        "X = 3\nNAME = 'x'\nDIMS = (2, 3)\n"
+        "VAR = ContextVar('v')\nT = TypeVar('T')\nFROZEN = frozenset({1})\n"
+    )
+    assert fields == []
+
+
+def test_instance_attrs_in_init_are_candidates():
+    fields, _locks, _diags = _scan(
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self.items = []\n"
+        "        self.count = 0\n"  # immutable scalar: not a candidate
+        "    def other(self):\n"
+        "        self.late = []\n"  # not in __init__: out of scope
+    )
+    assert [f.qualname for f in fields] == ["fake.mod.C.items"]
+    assert fields[0].kind == "instance-attr"
+
+
+def test_named_lock_definitions_resolve():
+    _fields, locks, diags = _scan(
+        "_LOCK = named_rlock('my.lock')\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = named_rlock('c.lock')\n"
+    )
+    assert diags == []
+    table = {d.key: d.name for d in locks}
+    assert table[("global", "fake.mod", "_LOCK")] == "my.lock"
+    assert table[("attr", "fake.mod", "C", "_lock")] == "c.lock"
+
+
+def test_anonymous_lock_is_an_error():
+    _fields, locks, diags = _scan("_LOCK = threading.Lock()\n")
+    assert len(locks) == 1 and locks[0].name is None
+    assert len(diags) == 1 and diags[0].is_error
+    assert "anonymous lock" in diags[0].message
+    assert "named_rlock" in diags[0].message
+
+
+def test_registry_classification():
+    registry = GuardRegistry(
+        guarded_fields={"fake.mod.CACHE": "lock.a"},
+        guarded_classes={"fake.mod.Stats": "lock.b"},
+        exempt_fields={"fake.mod.TABLE": "import-time constant"},
+    )
+    fields, _locks, _diags = _scan(
+        "CACHE = {}\nTABLE = {}\nROGUE = {}\n"
+        "class Stats:\n"
+        "    def __init__(self):\n"
+        "        self.values = []\n",
+        registry,
+    )
+    by_name = {f.qualname: f for f in fields}
+    assert by_name["fake.mod.CACHE"].status == "guarded"
+    assert by_name["fake.mod.CACHE"].guard == "lock.a"
+    assert by_name["fake.mod.TABLE"].status == "exempt"
+    assert by_name["fake.mod.TABLE"].reason == "import-time constant"
+    # Class-level guard covers instance attrs.
+    assert by_name["fake.mod.Stats.values"].status == "guarded"
+    assert by_name["fake.mod.Stats.values"].guard == "lock.b"
+    assert by_name["fake.mod.ROGUE"].status == "unregistered"
+
+
+# ---------------------------------------------------------------------------
+# The real runtime surface
+# ---------------------------------------------------------------------------
+
+
+def test_runtime_inventory_fully_accounted():
+    report = build_inventory(RUNTIME_TARGET)
+    assert report.unregistered == [], [f.qualname for f in report.unregistered]
+    assert not any(d.is_error for d in report.diagnostics)
+    # The surface is real: dozens of shared fields across the engine.
+    assert len(report.fields) >= 40
+
+
+def test_runtime_lock_table_covers_the_four_lock_classes():
+    report = build_inventory(RUNTIME_TARGET)
+    names = {d.name for d in report.locks}
+    assert names == {
+        "runtime.memory",
+        "hlo.compiler.cache",
+        "hlo.async_compiler",
+        "core.plan_cache",
+    }
+
+
+def test_runtime_caches_are_guarded_by_their_locks():
+    report = build_inventory(RUNTIME_TARGET)
+    guards = {f.qualname: f.guard for f in report.guarded}
+    assert guards["repro.hlo.compiler._CACHE"] == "hlo.compiler.cache"
+    assert guards["repro.hlo.compiler._INFLIGHT"] == "hlo.compiler.cache"
+    assert guards["repro.core.synthesis._VJP_PLANS"] == "core.plan_cache"
+    assert guards["repro.runtime.memory._ACTIVE"] == "runtime.memory"
+    assert (
+        guards["repro.hlo.compiler.AsyncCompiler._ready"] == "hlo.async_compiler"
+    )
+
+
+def test_exemptions_carry_documented_reasons():
+    report = build_inventory(RUNTIME_TARGET)
+    assert report.exempt, "expected exempt fields"
+    for f in report.exempt:
+        assert f.reason, f"{f.qualname} exempt without a reason"
+
+
+def test_render_mentions_every_field():
+    report = build_inventory(RUNTIME_TARGET)
+    text = report.render()
+    assert "repro.hlo.compiler._CACHE" in text
+    assert "guarded_by hlo.compiler.cache" in text
+    assert "exempt:" in text

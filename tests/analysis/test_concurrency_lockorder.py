@@ -1,0 +1,104 @@
+"""Lock-order graph: cycles, leaves, and the static/dynamic cross-check."""
+
+from repro.analysis.concurrency.lockorder import (
+    build_lock_order,
+    check_static_covers_dynamic,
+)
+from repro.analysis.concurrency.lockset import LocksetReport, StaticEdge
+from repro.errors import SourceLocation
+
+
+def _report(edges):
+    report = LocksetReport(target="test")
+    report.static_edges = [
+        StaticEdge(a, b, "test.fn", SourceLocation("<test>", i + 1, 0))
+        for i, (a, b) in enumerate(edges)
+    ]
+    return report
+
+
+def test_acyclic_graph_is_clean():
+    order = build_lock_order(_report([("a", "b"), ("b", "c"), ("a", "c")]))
+    assert order.acyclic
+    assert order.cross_check_ok
+    assert not any(d.is_error for d in order.diagnostics)
+
+
+def test_two_lock_cycle_is_a_potential_deadlock():
+    order = build_lock_order(_report([("a", "b"), ("b", "a")]))
+    assert not order.acyclic
+    assert order.cycles == [("a", "b")]
+    diag = next(d for d in order.diagnostics if "deadlock" in d.message)
+    assert "a -> b -> a" in diag.message
+    # The diagnostic names the code location of each static edge.
+    assert "<test>:1" in diag.message
+    assert "<test>:2" in diag.message
+
+
+def test_three_lock_cycle_detected():
+    order = build_lock_order(_report([("a", "b"), ("b", "c"), ("c", "a")]))
+    assert order.cycles == [("a", "b", "c")]
+
+
+def test_dynamic_edge_matching_static_is_predicted():
+    order = build_lock_order(
+        _report([("a", "b")]), dynamic_edges=frozenset({("a", "b")})
+    )
+    assert order.cross_check_ok
+    assert order.unpredicted_dynamic == []
+
+
+def test_unpredicted_dynamic_edge_fails_cross_check():
+    order = build_lock_order(
+        _report([("a", "b")]), dynamic_edges=frozenset({("b", "c")})
+    )
+    assert not order.cross_check_ok
+    assert order.unpredicted_dynamic == [("b", "c")]
+    diag = next(d for d in order.diagnostics if "never predicted" in d.message)
+    assert "b -> c" in diag.message
+
+
+def test_dynamic_edge_into_leaf_is_exempt():
+    # Finalizers can acquire runtime.memory under any lock: that dynamic
+    # edge needs no static prediction.
+    order = build_lock_order(
+        _report([]),
+        dynamic_edges=frozenset({("core.plan_cache", "runtime.memory")}),
+    )
+    assert order.cross_check_ok
+
+
+def test_leaf_with_outgoing_edge_is_an_error():
+    # The leaf exemption is only sound if leaves are sinks.
+    order = build_lock_order(_report([("runtime.memory", "x")]))
+    diag = next(d for d in order.diagnostics if "leaf lock" in d.message)
+    assert "runtime.memory" in diag.message
+
+
+def test_dynamic_cycle_still_detected_through_leaf_exemption():
+    # Even exempt-from-prediction edges participate in cycle detection.
+    order = build_lock_order(
+        _report([("x", "runtime.memory")]),
+        dynamic_edges=frozenset({("runtime.memory", "x")}),
+    )
+    assert not order.acyclic
+
+
+def test_check_static_covers_dynamic_helper():
+    static = frozenset({("a", "b")})
+    ok, missing = check_static_covers_dynamic(static, frozenset({("a", "b")}))
+    assert ok and missing == []
+    ok, missing = check_static_covers_dynamic(static, frozenset({("b", "a")}))
+    assert not ok and missing == [("b", "a")]
+    ok, _ = check_static_covers_dynamic(
+        static, frozenset({("a", "runtime.memory")})
+    )
+    assert ok
+
+
+def test_render_shows_edge_provenance():
+    order = build_lock_order(
+        _report([("a", "b")]), dynamic_edges=frozenset({("a", "b")})
+    )
+    text = order.render()
+    assert "a -> b  [static+dynamic]" in text

@@ -40,6 +40,16 @@ def test_self_check_passes_and_covers_all_layers():
     assert report.derivative_models_checked == 12
     assert report.derivative_hazards_caught == 6
     assert report.pullback_captures_pruned == 7
+    # Concurrency sweep: the whole shared-state surface of the parallel
+    # engine accounted for, every guarded access proven locked, the
+    # corpus at its expected verdicts with every hazard caught, the
+    # dynamic-witness edges predicted, and every merge verified.
+    assert report.shared_fields_inventoried >= 40
+    assert report.guarded_accesses_proven >= 70
+    assert report.lock_edges_cross_checked >= 3
+    assert report.concurrency_models_checked == 9
+    assert report.concurrency_hazards_caught == 6
+    assert report.merges_verified == 4
     assert "all checks passed" in report.summary()
 
 
