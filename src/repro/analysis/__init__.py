@@ -33,7 +33,14 @@ The subsystem spans the three IR layers of the reproduction:
   with its ``guarded_by`` registry, lockset race detection over Python
   ASTs, the lock-order deadlock graph cross-checked against the
   instrumented-lock dynamic witness, and replica-merge determinism
-  verification.
+  verification;
+* **memory** — static memory planning for HLO
+  (:mod:`repro.analysis.memory`): instruction-level liveness over module
+  schedules, interval-coloring buffer assignment with safe in-place
+  donations, peak-memory certification with per-pass attribution
+  (cross-checked against the runtime tracker: sound everywhere, exact on
+  straight-line traces), and over-budget diagnostics with
+  recompute-or-spill fix-its.
 
 ``python -m repro.analysis --self-check`` runs every verifier over every
 registered primitive's synthesized JVP/VJP and over the HLO modules the
@@ -44,7 +51,9 @@ the seeded trace corpus and cross-checks it against the runtime;
 ``--derivatives <model|all>`` runs the derivative verifier over the
 seeded derivative corpus (or any ``module:function``);
 ``--concurrency <runtime|corpus|model|all>`` runs the concurrency-safety
-analysis over the real parallel engine and/or the seeded hazard corpus.
+analysis over the real parallel engine and/or the seeded hazard corpus;
+``--memory <program|all>`` certifies peak memory for a step program from
+the seeded memory corpus and cross-checks it against the runtime tracker.
 
 This ``__init__`` resolves its re-exports lazily: the pass pipelines import
 :mod:`repro.analysis.attribution` at module load, and an eager init here
@@ -117,6 +126,17 @@ _LAZY = {
     "verify_merges": ("repro.analysis.concurrency", "verify_merges"),
     "ConcurrencyReport": ("repro.analysis.concurrency", "ConcurrencyReport"),
     "GuardRegistry": ("repro.analysis.concurrency", "GuardRegistry"),
+    "analyze_liveness": ("repro.analysis.memory", "analyze_liveness"),
+    "plan_buffers": ("repro.analysis.memory", "plan_buffers"),
+    "validate_plan": ("repro.analysis.memory", "validate_plan"),
+    "certify": ("repro.analysis.memory", "certify"),
+    "certify_module": ("repro.analysis.memory", "certify_module"),
+    "attribute_passes": ("repro.analysis.memory", "attribute_passes"),
+    "analyze_memory_model": ("repro.analysis.memory", "analyze_memory_model"),
+    "buffer_annotations": ("repro.analysis.memory", "buffer_annotations"),
+    "MemoryPlan": ("repro.analysis.memory", "MemoryPlan"),
+    "MemoryPlanReport": ("repro.analysis.memory", "MemoryPlanReport"),
+    "PeakCertificate": ("repro.analysis.memory", "PeakCertificate"),
 }
 
 __all__ = [

@@ -14,6 +14,8 @@ Usage::
     python -m repro.analysis --concurrency runtime
     python -m repro.analysis --concurrency race_unlocked_counter
     python -m repro.analysis --concurrency all
+    python -m repro.analysis --memory mlp_chain_reuse
+    python -m repro.analysis --memory all
 
 ``--ownership`` resolves its argument against the bundled model corpus
 (:mod:`repro.analysis.ownership.models`) first, then as a dotted
@@ -46,6 +48,17 @@ engine, a corpus model name analyzes that seeded hazard, ``corpus``
 analyzes every model, and ``all`` runs runtime + corpus; exit status 0
 iff the runtime is clean, every seeded hazard is caught, and every
 static-vs-dynamic cross-check agrees.
+
+``--memory`` runs the static memory planner
+(:mod:`repro.analysis.memory`) over one program from the seeded corpus —
+or every program with ``all`` — printing liveness-based buffer plans,
+peak-memory certificates with per-pass attribution, budget/remat
+fix-its, and the certified-vs-observed cross-check (the bound must hold
+on every trace and be exact on straight-line traces).
+
+Each subsystem is one row of the ``SUBSYSTEMS`` dispatch table below:
+a flag, its argument metavar/help, and the runner the parsed argument is
+handed to.
 """
 
 from __future__ import annotations
@@ -53,6 +66,94 @@ from __future__ import annotations
 import argparse
 import importlib
 import sys
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Subsystem:
+    """One analysis subsystem's CLI surface: flag + runner."""
+
+    flag: str
+    metavar: str
+    help: str
+    run: Callable[[argparse.Namespace], int]
+
+    @property
+    def dest(self) -> str:
+        return self.flag.lstrip("-").replace("-", "_")
+
+
+SUBSYSTEMS: tuple[Subsystem, ...] = (
+    Subsystem(
+        flag="--ownership",
+        metavar="FN",
+        help=(
+            "lower FN (a bundled model name, or module:function) to SIL and "
+            "print it with per-instruction ownership annotations: borrow "
+            "verdicts, copy-materialization labels, and pullback costs"
+        ),
+        run=lambda args: _run_ownership(args.ownership, args.style),
+    ),
+    Subsystem(
+        flag="--trace",
+        metavar="PROGRAM",
+        help=(
+            "run the static trace-stability analysis over PROGRAM (a "
+            "seeded corpus name, or 'all'): canonical cache keys, "
+            "retrace-storm and growth diagnostics, and the exact "
+            "static-vs-dynamic cache cross-check"
+        ),
+        run=lambda args: _run_trace(args.trace, args.quiet),
+    ),
+    Subsystem(
+        flag="--derivatives",
+        metavar="FN",
+        help=(
+            "run the static derivative verifier over FN (a seeded corpus "
+            "name, 'all', or module:function): pullback linearity, JVP/VJP "
+            "transpose consistency, record typing, capture liveness, and "
+            "the seeded numeric cross-checks"
+        ),
+        run=lambda args: _run_derivatives(args.derivatives, args.quiet),
+    ),
+    Subsystem(
+        flag="--lint",
+        metavar="FN",
+        help=(
+            "lower FN (module:function) and print the batched "
+            "differentiability lint, including custom-derivative contract "
+            "checks, without synthesizing a plan"
+        ),
+        run=lambda args: _run_lint(args.lint),
+    ),
+    Subsystem(
+        flag="--concurrency",
+        metavar="TARGET",
+        help=(
+            "run the concurrency-safety analysis over TARGET ('runtime', "
+            "'corpus', a seeded corpus model name, or 'all'): shared-state "
+            "inventory, lockset race detection, lock-order deadlock graph "
+            "with dynamic witness cross-check, and merge-determinism "
+            "verification"
+        ),
+        run=lambda args: _run_concurrency(
+            args.concurrency, args.quiet, not args.no_witness
+        ),
+    ),
+    Subsystem(
+        flag="--memory",
+        metavar="PROGRAM",
+        help=(
+            "run the static memory planner over PROGRAM (a seeded corpus "
+            "name, or 'all'): liveness-based buffer plans with in-place "
+            "donations, peak-memory certificates with per-pass "
+            "attribution, budget fix-its, and the certified-vs-observed "
+            "cross-check"
+        ),
+        run=lambda args: _run_memory(args.memory, args.quiet),
+    ),
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -73,55 +174,10 @@ def main(argv: list[str] | None = None) -> int:
             "LeNet-5 trace workload"
         ),
     )
-    parser.add_argument(
-        "--ownership",
-        metavar="FN",
-        help=(
-            "lower FN (a bundled model name, or module:function) to SIL and "
-            "print it with per-instruction ownership annotations: borrow "
-            "verdicts, copy-materialization labels, and pullback costs"
-        ),
-    )
-    parser.add_argument(
-        "--trace",
-        metavar="PROGRAM",
-        help=(
-            "run the static trace-stability analysis over PROGRAM (a "
-            "seeded corpus name, or 'all'): canonical cache keys, "
-            "retrace-storm and growth diagnostics, and the exact "
-            "static-vs-dynamic cache cross-check"
-        ),
-    )
-    parser.add_argument(
-        "--derivatives",
-        metavar="FN",
-        help=(
-            "run the static derivative verifier over FN (a seeded corpus "
-            "name, 'all', or module:function): pullback linearity, JVP/VJP "
-            "transpose consistency, record typing, capture liveness, and "
-            "the seeded numeric cross-checks"
-        ),
-    )
-    parser.add_argument(
-        "--lint",
-        metavar="FN",
-        help=(
-            "lower FN (module:function) and print the batched "
-            "differentiability lint, including custom-derivative contract "
-            "checks, without synthesizing a plan"
-        ),
-    )
-    parser.add_argument(
-        "--concurrency",
-        metavar="TARGET",
-        help=(
-            "run the concurrency-safety analysis over TARGET ('runtime', "
-            "'corpus', a seeded corpus model name, or 'all'): shared-state "
-            "inventory, lockset race detection, lock-order deadlock graph "
-            "with dynamic witness cross-check, and merge-determinism "
-            "verification"
-        ),
-    )
+    for subsystem in SUBSYSTEMS:
+        parser.add_argument(
+            subsystem.flag, metavar=subsystem.metavar, help=subsystem.help
+        )
     parser.add_argument(
         "--no-witness",
         action="store_true",
@@ -138,20 +194,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.ownership:
-        return _run_ownership(args.ownership, args.style)
-
-    if args.trace:
-        return _run_trace(args.trace, args.quiet)
-
-    if args.derivatives:
-        return _run_derivatives(args.derivatives, args.quiet)
-
-    if args.lint:
-        return _run_lint(args.lint)
-
-    if args.concurrency:
-        return _run_concurrency(args.concurrency, args.quiet, not args.no_witness)
+    for subsystem in SUBSYSTEMS:
+        if getattr(args, subsystem.dest):
+            return subsystem.run(args)
 
     if not args.self_check:
         parser.print_help()
@@ -332,6 +377,47 @@ def _run_concurrency(spec: str, quiet: bool, witness: bool) -> int:
             "locksets, lock order, and merges all verified"
             if failures == 0
             else "hazards or cross-check divergences found"
+        )
+    )
+    return 0 if failures == 0 else 1
+
+
+def _run_memory(spec: str, quiet: bool) -> int:
+    from repro.analysis.memory import CORPUS, analyze_memory_program
+
+    names = {p.name: p for p in CORPUS}
+    if spec == "all":
+        programs = list(CORPUS)
+    elif spec in names:
+        programs = [names[spec]]
+    else:
+        raise SystemExit(
+            f"error: unknown memory program {spec!r}; bundled names: "
+            + ", ".join(sorted(names))
+            + ", all"
+        )
+
+    failures = 0
+    for program in programs:
+        report = analyze_memory_program(program)
+        verdict_ok = report.verdicts() == {program.expect}
+        ok = verdict_ok and report.cross_check_ok
+        if not ok:
+            failures += 1
+        if not quiet or not ok:
+            print(report.render())
+            print(
+                f"  expected verdict: {program.expect} "
+                f"({'as predicted' if verdict_ok else 'MISPREDICTED'})"
+            )
+            print()
+    print(
+        f"{len(programs)} program(s) certified, {failures} failure(s); "
+        "static peak bounds "
+        + (
+            "hold against the dynamic tracker"
+            if failures == 0
+            else "DIVERGE from the dynamic tracker"
         )
     )
     return 0 if failures == 0 else 1

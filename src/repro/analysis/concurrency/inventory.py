@@ -395,6 +395,9 @@ RUNTIME_REGISTRY = GuardRegistry(
         # The scoped-tracker stack: replica threads iterate while track()
         # scopes push/pop.
         "repro.runtime.memory._ACTIVE": "runtime.memory",
+        # Buffer-id dedup registry: track_buffer inserts while finalizers
+        # (any thread) discard.
+        "repro.runtime.memory._TRACKED_IDS": "runtime.memory",
         # Process-wide compile counters: every increment is read-modify-write
         # from whichever replica thread wins the single-flight compile.
         "repro.hlo.compiler.STATS": "hlo.compiler.cache",
@@ -404,6 +407,7 @@ RUNTIME_REGISTRY = GuardRegistry(
         "repro.hlo.compiler.CompilerStats": "hlo.compiler.cache",
         "repro.hlo.compiler.AsyncCompileStats": "hlo.async_compiler",
         "repro.runtime.memory.MemoryTracker": "runtime.memory",
+        "repro.runtime.memory.TraceAttribution": "runtime.memory",
     },
     exempt_fields={
         "repro.hlo.compiler._UNARY_KERNELS": (
@@ -429,6 +433,10 @@ RUNTIME_REGISTRY = GuardRegistry(
         "repro.runtime.memory.TRACKER": (
             "internally synchronized: every MemoryTracker method takes "
             "runtime.memory before touching its counters"
+        ),
+        "repro.runtime.memory._ATTRIBUTION": (
+            "internally synchronized: every TraceAttribution method takes "
+            "runtime.memory before touching its state"
         ),
         "repro.valsem.cow.STATS": (
             "instrumentation counters; concurrent measurements use the "
@@ -510,6 +518,7 @@ RUNTIME_REGISTRY = GuardRegistry(
             # Constructors publish the object only after returning.
             "repro.hlo.compiler.AsyncCompiler.__init__",
             "repro.runtime.memory.MemoryTracker.__init__",
+            "repro.runtime.memory.TraceAttribution.__init__",
             "repro.hlo.compiler.CompilerStats.__init__",
             "repro.hlo.compiler.AsyncCompileStats.__init__",
         }

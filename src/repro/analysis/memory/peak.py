@@ -1,0 +1,170 @@
+"""Peak-memory certification.
+
+Folds a module's liveness timeline into a static peak-bytes bound — the
+*certificate* the dynamic :class:`repro.runtime.memory.TraceAttribution`
+oracle is checked against: the certified peak is always >= the observed
+transient peak, and exactly equal on straight-line traces.
+
+Also provides pass-pipeline attribution: re-certifying after every HLO
+pass application shows how DCE, CSE, and fusion move the bound (fusion in
+particular collapses elementwise chains into single kernels, deleting the
+intermediate buffers Table 3 pays for without fusion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hlo.ir import HloModule
+from repro.hlo.passes import optimize
+
+from .bufferplan import MemoryPlan, plan_buffers
+from .liveness import LivenessInfo, analyze_liveness
+
+
+@dataclass(frozen=True)
+class PeakCertificate:
+    """The static memory verdict for one module/trace."""
+
+    module_name: str
+    trace_key: Optional[str]
+    #: Bytes of parameters + constants (live for the whole run, unplanned).
+    resident_bytes: int
+    #: No-reuse bound: one private buffer per planned value.
+    naive_bytes: int
+    #: The certified transient peak: max planned-live bytes over the
+    #: schedule, including the materialization entry (end-live bytes plus
+    #: predicate-output conversion copies).  Sound upper bound on what the
+    #: dynamic tracker can observe; exact on straight-line traces.
+    certified_peak_bytes: int
+    #: Total bytes of the reuse plan's buffer pool.
+    planned_pool_bytes: int
+    output_conversion_bytes: int
+    exact: bool  # straight-line: the bound is an equality
+    timeline: tuple[int, ...]
+
+    @property
+    def reuse_factor(self) -> float:
+        """How much smaller the planned pool is than the no-reuse bound."""
+        if self.planned_pool_bytes <= 0:
+            return 1.0
+        return self.naive_bytes / self.planned_pool_bytes
+
+    @property
+    def peak_position(self) -> int:
+        return max(range(len(self.timeline)), key=self.timeline.__getitem__)
+
+    def render(self) -> str:
+        kind = "exact" if self.exact else "upper bound"
+        lines = [
+            f"peak certificate for {self.module_name}"
+            + (f" [trace {self.trace_key}]" if self.trace_key else ""),
+            f"  certified peak : {self.certified_peak_bytes} B ({kind})"
+            f" at position {self.peak_position}",
+            f"  no-reuse bound : {self.naive_bytes} B",
+            f"  planned pool   : {self.planned_pool_bytes} B"
+            f" (reuse factor {self.reuse_factor:.2f}x)",
+            f"  resident       : {self.resident_bytes} B",
+        ]
+        if self.output_conversion_bytes:
+            lines.append(
+                f"  output convert : {self.output_conversion_bytes} B"
+            )
+        return "\n".join(lines)
+
+
+def certify(
+    liveness: LivenessInfo,
+    plan: Optional[MemoryPlan] = None,
+    trace_key: Optional[str] = None,
+) -> PeakCertificate:
+    """Fold liveness (and a buffer plan) into a :class:`PeakCertificate`."""
+    if plan is None:
+        plan = plan_buffers(liveness, trace_key=trace_key)
+    timeline = liveness.timeline()
+    return PeakCertificate(
+        module_name=liveness.module_name,
+        trace_key=trace_key if trace_key is not None else plan.trace_key,
+        resident_bytes=liveness.resident_bytes,
+        naive_bytes=liveness.naive_bytes,
+        certified_peak_bytes=max(timeline) if timeline else 0,
+        planned_pool_bytes=plan.pool_bytes,
+        output_conversion_bytes=liveness.output_conversion_bytes,
+        exact=liveness.straight_line,
+        timeline=tuple(timeline),
+    )
+
+
+def certify_module(
+    module: HloModule, trace_key: Optional[str] = None
+) -> PeakCertificate:
+    liveness = analyze_liveness(module)
+    return certify(liveness, plan_buffers(liveness, trace_key), trace_key)
+
+
+# ---------------------------------------------------------------------------
+# Pass-pipeline attribution.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PassEffect:
+    """One pass application that changed the module, and where it moved
+    the certified peak."""
+
+    pass_name: str
+    peak_before: int
+    peak_after: int
+
+    @property
+    def delta(self) -> int:
+        return self.peak_after - self.peak_before
+
+
+@dataclass
+class PassAttribution:
+    """How each optimization pass moved the peak-memory bound."""
+
+    module_name: str
+    initial_peak: int
+    final_peak: int
+    effects: list[PassEffect] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            f"pass attribution for {self.module_name}: "
+            f"{self.initial_peak} B -> {self.final_peak} B"
+        ]
+        for e in self.effects:
+            sign = "+" if e.delta > 0 else ""
+            lines.append(
+                f"  after {e.pass_name:<18} {e.peak_after} B"
+                f" ({sign}{e.delta} B)"
+            )
+        if not self.effects:
+            lines.append("  (no pass changed the module)")
+        return "\n".join(lines)
+
+
+def attribute_passes(module: HloModule, fuse: bool = True) -> PassAttribution:
+    """Run the standard ``optimize`` pipeline on ``module`` (in place),
+    re-certifying the peak bound after every pass that changed it."""
+    initial = certify_module(module).certified_peak_bytes
+    attribution = PassAttribution(
+        module_name=module.name, initial_peak=initial, final_peak=initial
+    )
+    current = [initial]
+
+    def on_pass(name: str, mod: HloModule, changed: bool) -> None:
+        if not changed:
+            return
+        peak = certify_module(mod).certified_peak_bytes
+        attribution.effects.append(
+            PassEffect(pass_name=name, peak_before=current[0], peak_after=peak)
+        )
+        current[0] = peak
+
+    optimize(module, fuse=fuse, on_pass=on_pass)
+    attribution.final_peak = current[0]
+    return attribution

@@ -1,0 +1,101 @@
+"""Budget checking with rematerialization/spill fix-its.
+
+Given a certified peak and a byte budget, flag over-budget traces and
+suggest what to do about them: the values *carried across* the peak
+position (defined before it, last used after it) are the ones a scheduler
+could recompute closer to their use (cheap elementwise producers) or
+spill (expensive producers like dot/convolution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import Diagnostic, SourceLocation
+from repro.hlo.ir import ELEMENTWISE, VIEW_ALIAS_OPS
+
+from .liveness import LivenessInfo
+from .peak import PeakCertificate
+
+#: Producers cheap enough that recomputing beats holding the buffer.
+_RECOMPUTE_OPS = frozenset(ELEMENTWISE | VIEW_ALIAS_OPS | {"fusion"})
+
+#: At most this many fix-its per over-budget trace (largest first).
+_MAX_SUGGESTIONS = 3
+
+
+@dataclass(frozen=True)
+class RematCandidate:
+    """A value carried across the peak, with the suggested remedy."""
+
+    inst_id: int
+    name: str
+    opcode: str
+    nbytes: int
+    kind: str  # "recompute" | "spill"
+    interval: tuple[int, int]
+
+
+def remat_candidates(
+    liveness: LivenessInfo, certificate: PeakCertificate
+) -> list[RematCandidate]:
+    """Values live across (not defined or last used at) the peak position."""
+    p = certificate.peak_position
+    out: list[RematCandidate] = []
+    for vid in liveness.live_at(p):
+        start, end = liveness.intervals[vid]
+        if start >= p or end <= p:
+            continue  # produced or consumed at the peak itself
+        v = liveness.values[vid]
+        kind = "recompute" if v.opcode in _RECOMPUTE_OPS else "spill"
+        out.append(
+            RematCandidate(
+                inst_id=vid,
+                name=v.name,
+                opcode=v.opcode,
+                nbytes=v.nbytes,
+                kind=kind,
+                interval=(start, end),
+            )
+        )
+    out.sort(key=lambda c: (-c.nbytes, c.inst_id))
+    return out
+
+
+def budget_diagnostics(
+    liveness: LivenessInfo,
+    certificate: PeakCertificate,
+    budget_bytes: Optional[int],
+    location: Optional[SourceLocation] = None,
+) -> tuple[list[Diagnostic], list[RematCandidate]]:
+    """Error when the certified peak exceeds the budget, plus fix-its."""
+    if budget_bytes is None or certificate.certified_peak_bytes <= budget_bytes:
+        return [], []
+    loc = location or SourceLocation("<memory-plan>", 0)
+    over = certificate.certified_peak_bytes - budget_bytes
+    diags = [
+        Diagnostic(
+            "error",
+            f"over budget: certified peak {certificate.certified_peak_bytes} B"
+            f" exceeds the {budget_bytes} B budget by {over} B"
+            f" (peak at schedule position {certificate.peak_position})",
+            loc,
+        )
+    ]
+    candidates = remat_candidates(liveness, certificate)
+    for c in candidates[:_MAX_SUGGESTIONS]:
+        verb = (
+            f"rematerialize %{c.name} ({c.opcode}) near its use"
+            if c.kind == "recompute"
+            else f"spill %{c.name} ({c.opcode}) and reload after the peak"
+        )
+        diags.append(
+            Diagnostic(
+                "warning",
+                f"fix-it: {verb} instead of holding {c.nbytes} B across "
+                f"positions [{c.interval[0]}..{c.interval[1]}]",
+                loc,
+            )
+        )
+    return diags, candidates

@@ -1,0 +1,234 @@
+"""Drive the memory planner over a corpus program and cross-check it.
+
+For every captured step trace: lower, optimize (recording per-pass peak
+attribution), run liveness + buffer assignment + validation + peak
+certification + budget checking — then compare the certificate against
+the dynamic oracle, the per-trace transient peak
+:class:`repro.runtime.memory.TraceAttribution` recorded while the program
+actually ran.  The contract:
+
+* ``certified >= observed`` on **every** trace (soundness);
+* ``certified == observed`` on straight-line traces (exactness);
+* clean programs produce zero error diagnostics; seeded hazards produce
+  exactly their expected verdict, located in the corpus source.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import Diagnostic, SourceLocation
+
+from .bufferplan import MemoryPlan, plan_buffers, validate_plan
+from .liveness import LivenessInfo, analyze_liveness
+from .models import CORPUS, MemoryProgram, get_program
+from .peak import PassAttribution, PeakCertificate, attribute_passes, certify
+from .remat import RematCandidate, budget_diagnostics
+
+#: Diagnostic message prefix -> corpus verdict label.
+_VERDICT_PREFIXES = (
+    ("tuple-aliasing", "tuple-aliasing"),
+    ("unsafe in-place", "unsafe-in-place"),
+    ("unsafe buffer reuse", "unsafe-reuse"),
+    ("over budget", "over-budget"),
+)
+
+
+def _verdict_of(diag: Diagnostic) -> Optional[str]:
+    for prefix, label in _VERDICT_PREFIXES:
+        if diag.message.startswith(prefix):
+            return label
+    return None
+
+
+@dataclass
+class TraceMemoryCheck:
+    """The planner's verdict for one unique trace of a program."""
+
+    trace_key: str
+    liveness: LivenessInfo
+    plan: MemoryPlan
+    certificate: PeakCertificate
+    pass_attribution: PassAttribution
+    observed_peak_bytes: Optional[int]
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    remat: list[RematCandidate] = field(default_factory=list)
+
+    @property
+    def sound(self) -> bool:
+        """certified >= observed (the bound held)."""
+        return (
+            self.observed_peak_bytes is not None
+            and self.certificate.certified_peak_bytes
+            >= self.observed_peak_bytes
+        )
+
+    @property
+    def exact(self) -> bool:
+        return (
+            self.observed_peak_bytes is not None
+            and self.certificate.certified_peak_bytes
+            == self.observed_peak_bytes
+        )
+
+
+@dataclass
+class MemoryPlanReport:
+    """Everything the memory analysis concluded about one corpus program."""
+
+    program: MemoryProgram
+    location: SourceLocation
+    checks: list[TraceMemoryCheck] = field(default_factory=list)
+
+    def diagnostics(self) -> list[Diagnostic]:
+        return [d for c in self.checks for d in c.diagnostics]
+
+    def verdicts(self) -> set[str]:
+        found = {
+            v
+            for d in self.diagnostics()
+            if d.is_error and (v := _verdict_of(d)) is not None
+        }
+        return found or {"clean"}
+
+    @property
+    def cross_check_ok(self) -> bool:
+        """Static and dynamic halves agree: every trace's bound held, was
+        exact when the trace is straight-line, and the corpus declaration
+        of straight-line-ness matches what liveness derived."""
+        if not self.checks:
+            return False
+        for c in self.checks:
+            if not c.sound:
+                return False
+            if c.liveness.straight_line != self.program.straight_line:
+                return False
+            if c.liveness.straight_line and not c.exact:
+                return False
+        return True
+
+    @property
+    def reuse_factor(self) -> float:
+        factors = [c.certificate.reuse_factor for c in self.checks]
+        return max(factors) if factors else 1.0
+
+    def render(self) -> str:
+        lines = [
+            f"memory plan report: {self.program.name}"
+            f" [{self.program.description}]",
+            f"  verdicts: {', '.join(sorted(self.verdicts()))}"
+            f" (expected {self.program.expect});"
+            f" cross-check {'OK' if self.cross_check_ok else 'FAILED'}",
+        ]
+        for c in self.checks:
+            observed = (
+                f"{c.observed_peak_bytes} B"
+                if c.observed_peak_bytes is not None
+                else "(not observed)"
+            )
+            relation = "==" if c.exact else (">=" if c.sound else "<!")
+            lines.append(
+                f"  trace {c.trace_key}: certified "
+                f"{c.certificate.certified_peak_bytes} B {relation} "
+                f"observed {observed}; pool {c.certificate.planned_pool_bytes}"
+                f" B of {c.certificate.naive_bytes} B no-reuse "
+                f"(reuse {c.certificate.reuse_factor:.2f}x, "
+                f"{c.plan.buffers_reused} values share buffers)"
+            )
+            for e in c.pass_attribution.effects:
+                sign = "+" if e.delta > 0 else ""
+                lines.append(
+                    f"    pass {e.pass_name}: {sign}{e.delta} B"
+                    f" -> {e.peak_after} B"
+                )
+            for d in c.diagnostics:
+                lines.append(f"    {d}")
+        return "\n".join(lines)
+
+
+def _program_location(program: MemoryProgram) -> SourceLocation:
+    fn = inspect.unwrap(program.build)
+    code = fn.__code__
+    return SourceLocation(code.co_filename, code.co_firstlineno)
+
+
+def analyze_memory_program(program: MemoryProgram) -> MemoryPlanReport:
+    """Run ``program`` under the dynamic oracle, then certify every unique
+    trace it produced and cross-check the two."""
+    from repro.analysis.tracing.canonical import canonicalize
+    from repro.analysis.tracing.capture import capture_step_traces
+    from repro.runtime import memory as runtime_memory
+    from repro.tensor.lazy_backend import _lower_to_hlo
+
+    device, step_fn = program.build()
+    with runtime_memory.trace_attribution() as attribution:
+        capture = capture_step_traces(step_fn, steps=program.steps, device=device)
+
+    location = _program_location(program)
+    report = MemoryPlanReport(program=program, location=location)
+    seen: set[str] = set()
+    for record in capture.fragments:
+        key = canonicalize(record.fragment.roots).digest
+        if key in seen:
+            continue
+        seen.add(key)
+        module, _params = _lower_to_hlo(record.fragment.to_trace_nodes())
+        pass_attribution = attribute_passes(module)
+        liveness = analyze_liveness(module)
+        plan = plan_buffers(liveness, trace_key=key)
+        if program.corrupt is not None:
+            plan = program.corrupt(liveness, plan)
+        diagnostics = validate_plan(liveness, plan, location=location)
+        certificate = certify(liveness, plan, trace_key=key)
+        budget_diags, remat = budget_diagnostics(
+            liveness, certificate, program.budget_bytes, location=location
+        )
+        diagnostics.extend(budget_diags)
+        report.checks.append(
+            TraceMemoryCheck(
+                trace_key=key,
+                liveness=liveness,
+                plan=plan,
+                certificate=certificate,
+                pass_attribution=pass_attribution,
+                observed_peak_bytes=attribution.peak_for(key),
+                diagnostics=diagnostics,
+                remat=remat,
+            )
+        )
+    return report
+
+
+def analyze_memory_model(name: str) -> MemoryPlanReport:
+    return analyze_memory_program(get_program(name))
+
+
+def analyze_all_memory_models() -> list[MemoryPlanReport]:
+    return [analyze_memory_program(p) for p in CORPUS]
+
+
+def buffer_annotations(module) -> dict[int, str]:
+    """Per-instruction planner annotations for the IR printer."""
+    liveness = analyze_liveness(module)
+    plan = plan_buffers(liveness)
+    notes: dict[int, str] = {}
+    for inst in liveness.schedule:
+        v = liveness.values[inst.id]
+        if v.category == "resident":
+            notes[inst.id] = "{resident}"
+        elif v.category == "alias":
+            roots = ", ".join(
+                f"%{liveness.values[r].name}" for r in v.storage_roots
+            )
+            notes[inst.id] = f"{{alias of {roots}}}" if roots else "{alias}"
+        else:
+            a = plan.assignments[inst.id]
+            start, end = liveness.intervals[inst.id]
+            note = f"{{buf={a.buffer}, live=[{start}..{end}]"
+            if a.donated_from is not None:
+                donor = liveness.values[a.donated_from].name
+                note += f", in-place of %{donor}"
+            notes[inst.id] = note + "}"
+    return notes

@@ -59,7 +59,16 @@ Three sweeps, mirroring the three layers the subsystem spans:
    order-sensitive merge must be caught with a located diagnostic, and
    every clean model must come back silent.
 
-``python -m repro.analysis --self-check`` runs all seven and exits 0 iff
+8. **Memory sweep** — run the static memory planner
+   (:mod:`repro.analysis.memory`) over the seeded step-program corpus:
+   every program must produce exactly its expected verdict, every
+   certified peak must bound the dynamically observed per-trace peak
+   (and equal it exactly on straight-line traces), every buffer plan
+   must validate against its liveness intervals, and every seeded hazard
+   (over-budget trace, unsafe in-place donation, tuple-aliasing reuse)
+   must be caught with a *located* diagnostic — clean programs silent.
+
+``python -m repro.analysis --self-check`` runs all eight and exits 0 iff
 everything holds.
 """
 
@@ -108,6 +117,11 @@ class SelfCheckReport:
     concurrency_models_checked: int = 0
     concurrency_hazards_caught: int = 0
     merges_verified: int = 0
+    memory_programs_checked: int = 0
+    memory_hazards_caught: int = 0
+    peak_bounds_certified: int = 0
+    exact_peak_matches: int = 0
+    buffers_reused: int = 0
     failures: list[str] = field(default_factory=list)
 
     @property
@@ -143,6 +157,11 @@ class SelfCheckReport:
             f"concurrency models checked:    {self.concurrency_models_checked}",
             f"concurrency hazards caught:    {self.concurrency_hazards_caught}",
             f"merges verified:               {self.merges_verified}",
+            f"memory programs checked:       {self.memory_programs_checked}",
+            f"memory hazards caught:         {self.memory_hazards_caught}",
+            f"peak bounds certified:         {self.peak_bounds_certified}",
+            f"exact peak matches:            {self.exact_peak_matches}",
+            f"buffers reused:                {self.buffers_reused}",
         ]
         if self.failures:
             lines.append(f"FAILURES ({len(self.failures)}):")
@@ -616,6 +635,73 @@ def _check_concurrency(report: SelfCheckReport) -> None:
                 report.merges_verified += len(result.model.merges)
 
 
+def _check_memory(report: SelfCheckReport) -> None:
+    from repro.analysis.memory import CORPUS, analyze_memory_program
+
+    # Corpus sweep: exact verdicts, sound (and exact where promised) peak
+    # bounds, validated buffer plans.  Clean programs must carry zero
+    # error diagnostics; every seeded hazard must be caught with a
+    # *located* diagnostic.
+    for program in CORPUS:
+        try:
+            result = analyze_memory_program(program)
+        except ReproError as exc:  # pragma: no cover
+            report.failures.append(f"memory program {program.name!r}: {exc}")
+            continue
+        report.memory_programs_checked += 1
+
+        verdicts = result.verdicts()
+        if verdicts != {program.expect}:
+            report.failures.append(
+                f"memory program {program.name!r}: expected verdict "
+                f"{program.expect!r}, got {sorted(verdicts)}"
+            )
+        elif program.expect != "clean":
+            located = [
+                d
+                for c in result.checks
+                for d in c.diagnostics
+                if d.is_error and d.location.line > 0
+            ]
+            if located:
+                report.memory_hazards_caught += 1
+            else:
+                report.failures.append(
+                    f"memory program {program.name!r}: hazard caught but "
+                    "no diagnostic carries a source location"
+                )
+
+        if program.expect == "clean" and any(
+            d.is_error for d in result.diagnostics()
+        ):
+            report.failures.append(
+                f"memory program {program.name!r}: false positive: "
+                + next(d for d in result.diagnostics() if d.is_error).message
+            )
+
+        if not result.cross_check_ok:
+            divergent = [
+                f"trace {c.trace_key}: certified "
+                f"{c.certificate.certified_peak_bytes} vs observed "
+                f"{c.observed_peak_bytes}"
+                for c in result.checks
+                if not c.sound or (c.liveness.straight_line and not c.exact)
+            ]
+            report.failures.append(
+                f"memory program {program.name!r}: certified peak bound "
+                "diverges from the dynamic tracker ("
+                + ("; ".join(divergent) or "straight-line mismatch")
+                + ")"
+            )
+            continue
+
+        for check in result.checks:
+            report.peak_bounds_certified += 1
+            if check.liveness.straight_line:
+                report.exact_peak_matches += 1
+            report.buffers_reused += check.plan.buffers_reused
+
+
 def self_check(verbose: bool = False) -> SelfCheckReport:
     """Run all sweeps; the report's ``ok`` says whether everything held."""
     report = SelfCheckReport()
@@ -626,6 +712,7 @@ def self_check(verbose: bool = False) -> SelfCheckReport:
     _check_tracing(report)
     _check_derivatives(report)
     _check_concurrency(report)
+    _check_memory(report)
     if verbose:  # pragma: no cover
         print(report.summary())
     return report

@@ -9,6 +9,11 @@ from repro.experiments.derivative_pruning import (
     run_derivative_pruning,
 )
 from repro.experiments.figure4 import Figure4Result, run_figure4
+from repro.experiments.memory_plan import (
+    MemoryPlanResult,
+    MemoryPlanRow,
+    run_memory_plan,
+)
 from repro.experiments.figure9 import Figure9Point, render_figure9, run_figure9
 from repro.experiments.table1 import (
     FULL_TPU_WORKLOAD,
@@ -32,6 +37,9 @@ __all__ = [
     "run_derivative_pruning",
     "Figure4Result",
     "run_figure4",
+    "MemoryPlanResult",
+    "MemoryPlanRow",
+    "run_memory_plan",
     "Figure9Point",
     "render_figure9",
     "run_figure9",

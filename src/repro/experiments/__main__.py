@@ -17,6 +17,7 @@ from repro.experiments import (
     run_derivative_pruning,
     run_figure4,
     run_figure9,
+    run_memory_plan,
     run_table1,
     run_table2,
     run_table3,
@@ -44,6 +45,7 @@ EXPERIMENTS = {
     "figure9": lambda: render_figure9(run_figure9()),
     "trace_stability": lambda: run_trace_stability().render(),
     "derivative_pruning": lambda: run_derivative_pruning().render(),
+    "memory_plan": lambda: run_memory_plan().render(),
 }
 
 

@@ -25,6 +25,7 @@ from repro.errors import HloError
 from repro.hlo.ir import HloInstruction, HloModule
 from repro.hlo.passes import optimize
 from repro.hlo.printer import print_module
+from repro.runtime import memory
 from repro.runtime.device import SimDevice
 from repro.runtime.kernels import ITEMSIZE, KERNELS
 from repro.locks import named_rlock
@@ -213,6 +214,11 @@ class Executable:
             for inst in self.order
             if inst.opcode not in ("parameter", "constant", "tuple")
         )
+        #: Operand-slot use counts: run() frees each value at its last use,
+        #: which is what makes the static liveness intervals of the memory
+        #: planner (repro.analysis.memory) exact on straight-line traces.
+        self._use_counts = module.entry.use_counts()
+        self._root_id = module.entry.root.id
 
     def run(
         self,
@@ -225,6 +231,12 @@ class Executable:
             raise HloError(
                 f"executable expects {self.n_parameters} args, got {len(args)}"
             )
+        # Inside a trace_attribution scope, account every *owning* result
+        # buffer so the dynamic per-trace peak is observable; views
+        # (broadcast, and reshape/transpose when layout permits) allocate
+        # nothing.  Off by default: finalizers per instruction cost time.
+        tracked = memory.intermediates_tracked()
+        remaining = dict(self._use_counts)
         values: dict[int, np.ndarray] = {}
         for inst in self.order:
             if inst.opcode == "parameter":
@@ -233,19 +245,42 @@ class Executable:
             in_vals = [values[o.id] for o in inst.operands]
             if inst.opcode == "tuple":
                 values[inst.id] = tuple(in_vals)
-                continue
-            if inst.opcode == "fusion":
-                values[inst.id] = self._run_fused(inst, in_vals, device, host_time)
-                continue
-            result = evaluate_instruction(inst, in_vals)
-            values[inst.id] = result
-            if device is not None and inst.opcode != "constant":
-                flops, traffic = _instruction_cost(
-                    inst, [o.shape.dims for o in inst.operands]
-                )
-                device.busy_until = max(device.busy_until, host_time)
-                device.launch_fused(1, flops, traffic, host_time)
-        return values[self.module.entry.root.id]
+            elif inst.opcode == "fusion":
+                result = self._run_fused(inst, in_vals, device, host_time)
+                values[inst.id] = result
+                if (
+                    tracked
+                    and isinstance(result, np.ndarray)
+                    and result.base is None
+                ):
+                    memory.track_buffer(result)
+            else:
+                result = evaluate_instruction(inst, in_vals)
+                values[inst.id] = result
+                if (
+                    tracked
+                    and inst.opcode != "constant"
+                    and isinstance(result, np.ndarray)
+                    and result.base is None
+                ):
+                    memory.track_buffer(result)
+                if device is not None and inst.opcode != "constant":
+                    flops, traffic = _instruction_cost(
+                        inst, [o.shape.dims for o in inst.operands]
+                    )
+                    device.busy_until = max(device.busy_until, host_time)
+                    device.launch_fused(1, flops, traffic, host_time)
+            # Free dead values: drop each operand at its last use (the root
+            # is the caller's result and always survives).  Clearing the
+            # locals matters — a lingering reference would delay the free
+            # past the next allocation and break the planner's certificate.
+            for o in inst.operands:
+                left = remaining[o.id] - 1
+                remaining[o.id] = left
+                if left == 0 and o.id != self._root_id:
+                    values.pop(o.id, None)
+            in_vals = result = None  # noqa: F841
+        return values[self._root_id]
 
     def _run_fused(self, fusion, external_args, device, host_time):
         inner = fusion.fused_computation

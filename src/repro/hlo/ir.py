@@ -46,6 +46,12 @@ class Shape:
     def byte_size(self) -> int:
         return self.num_elements * 4
 
+    @property
+    def storage_bytes(self) -> int:
+        """Bytes a buffer of this shape occupies (dtype-aware: predicates
+        are byte masks, everything else is f32)."""
+        return self.num_elements * (1 if self.dtype == PRED else 4)
+
     def __str__(self) -> str:
         dims = ",".join(map(str, self.dims))
         return f"{self.dtype}[{dims}]"
@@ -82,6 +88,20 @@ ELEMENTWISE_BINARY = {
 }
 ELEMENTWISE_OTHER = {"select"}
 ELEMENTWISE = ELEMENTWISE_UNARY | ELEMENTWISE_BINARY | ELEMENTWISE_OTHER
+
+#: Opcodes whose value lives in memory the caller already owns: parameters
+#: alias the argument buffers, constants alias the module's literal pool.
+#: The memory planner counts them as *resident*, never as plan buffers.
+RESIDENT_OPS = frozenset({"parameter", "constant"})
+
+#: Opcodes the backend always executes as a zero-copy view of operand 0
+#: (``np.broadcast_to`` never copies): pure aliases, zero plan bytes.
+VIEW_ALIAS_OPS = frozenset({"broadcast"})
+
+#: Opcodes the backend executes as a view *when layout permits* (NumPy
+#: reshape/transpose): the planner must both reserve output bytes (the
+#: copying case) and extend the operand's storage lifetime (the view case).
+MAY_ALIAS_OPS = frozenset({"reshape", "transpose"})
 
 OPCODES = (
     ELEMENTWISE
@@ -213,6 +233,16 @@ class HloComputation:
                 table.setdefault(op.id, []).append(inst)
         return table
 
+    def use_counts(self) -> dict[int, int]:
+        """Operand-slot use counts over the schedule (an operand appearing
+        twice in one instruction counts twice — the executor decrements
+        once per slot when freeing at last use)."""
+        counts: dict[int, int] = {}
+        for inst in self.post_order():
+            for op in inst.operands:
+                counts[op.id] = counts.get(op.id, 0) + 1
+        return counts
+
     def instruction_count(self) -> int:
         return len(self.post_order())
 
@@ -223,6 +253,12 @@ class HloModule:
     def __init__(self, name: str, entry: HloComputation) -> None:
         self.name = name
         self.entry = entry
+
+    def schedule(self) -> list[HloInstruction]:
+        """The execution order: the entry computation's post-order, which is
+        exactly the order ``Executable.run`` evaluates (and frees) values —
+        the schedule the static memory planner reasons over."""
+        return self.entry.post_order()
 
     def __repr__(self) -> str:
         from repro.hlo.printer import print_module

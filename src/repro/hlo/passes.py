@@ -8,7 +8,7 @@ maximal connected regions of elementwise instructions collapse into single
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -327,6 +327,7 @@ def optimize(
     fuse: bool = True,
     max_iters: int = 8,
     verify_each: Optional[bool] = None,
+    on_pass: Optional[Callable[[str, HloModule, bool], None]] = None,
 ) -> HloModule:
     """The default pipeline: simplify/fold/CSE/DCE to fixpoint, then fuse.
 
@@ -334,6 +335,10 @@ def optimize(
     :func:`repro.analysis.attribution.set_verify_each`), the module is
     re-verified after every pass iteration and a failure names the
     offending pass with before/after IR dumps.
+
+    ``on_pass(name, module, changed)`` is invoked after every pass
+    application — the hook the memory planner's pass-attribution uses to
+    measure how each pass (DCE, fusion, ...) moves the peak-memory bound.
     """
     verify_each = attribution.verify_each_enabled(verify_each)
     if verify_each:
@@ -356,12 +361,15 @@ def optimize(
 
     def run(name, pass_fn):
         if not verify_each:
-            return pass_fn(module)
-        from repro.hlo.printer import print_module
+            changed = pass_fn(module)
+        else:
+            from repro.hlo.printer import print_module
 
-        before = print_module(module)
-        changed = pass_fn(module)
-        _checked(name, module, before)
+            before = print_module(module)
+            changed = pass_fn(module)
+            _checked(name, module, before)
+        if on_pass is not None:
+            on_pass(name, module, changed)
         return changed
 
     for _ in range(max_iters):

@@ -1,6 +1,15 @@
-"""Text format for HLO modules (printer half of the round-trip)."""
+"""Text format for HLO modules (printer half of the round-trip).
+
+With ``annotate_buffers=True``, :func:`print_module` appends the static
+memory planner's verdict to every instruction — ``{buf=N, live=[i..j]}``
+for planned buffers, ``{alias}``/``{resident}`` for zero-byte values —
+so buffer assignments are readable next to the IR.  The default output is
+byte-identical to the unannotated printer.
+"""
 
 from __future__ import annotations
+
+from typing import Optional
 
 from repro.hlo.ir import HloComputation, HloInstruction, HloModule
 
@@ -12,7 +21,9 @@ def _literal_text(inst: HloInstruction) -> str:
     return repr(arr.tolist())
 
 
-def print_instruction(inst: HloInstruction, root: bool = False) -> str:
+def print_instruction(
+    inst: HloInstruction, root: bool = False, annotation: Optional[str] = None
+) -> str:
     prefix = "ROOT " if root else ""
     ops = ", ".join(f"%{o.name}" for o in inst.operands)
     extra = ""
@@ -25,10 +36,17 @@ def print_instruction(inst: HloInstruction, root: bool = False) -> str:
         body = f"{inst.opcode}({extra}" if not ops else f"{inst.opcode}({ops}; {extra}"
     body += inst.attr_string()
     body += ")"
-    return f"{prefix}%{inst.name} = {inst.shape} {body}"
+    line = f"{prefix}%{inst.name} = {inst.shape} {body}"
+    if annotation:
+        line += f"  {annotation}"
+    return line
 
 
-def print_computation(comp: HloComputation, indent: str = "") -> str:
+def print_computation(
+    comp: HloComputation,
+    indent: str = "",
+    annotations: Optional[dict[int, str]] = None,
+) -> str:
     lines = [f"{indent}{comp.name} {{"]
     order = comp.post_order()
     ordered_ids = {i.id for i in order}
@@ -40,13 +58,23 @@ def print_computation(comp: HloComputation, indent: str = "") -> str:
         if inst.opcode == "fusion":
             inner = print_computation(inst.fused_computation, indent + "  ")
             lines.append(f"{indent}  // fused computation:\n{inner}")
+        note = annotations.get(inst.id) if annotations else None
         lines.append(
-            f"{indent}  {print_instruction(inst, root=inst is comp.root)}"
+            f"{indent}  "
+            f"{print_instruction(inst, root=inst is comp.root, annotation=note)}"
         )
     lines.append(f"{indent}}}")
     return "\n".join(lines)
 
 
-def print_module(module: HloModule) -> str:
+def print_module(module: HloModule, annotate_buffers: bool = False) -> str:
     header = f"HloModule {module.name}"
-    return f"{header}\n\nENTRY {print_computation(module.entry)}\n"
+    annotations = None
+    if annotate_buffers:
+        # Lazy import: the printer is a leaf module the analysis layer
+        # depends on; only the opt-in path reaches back up.
+        from repro.analysis.memory import buffer_annotations
+
+        annotations = buffer_annotations(module)
+    body = print_computation(module.entry, annotations=annotations)
+    return f"{header}\n\nENTRY {body}\n"

@@ -3,6 +3,13 @@
 Tensor buffers register their sizes here so experiments can report peak
 memory — used for the "avoiding model copies" result (Section 4.2) and the
 on-device memory column of Table 4.
+
+Beyond the process-wide counters, this module carries the *dynamic half*
+of the static memory planner (:mod:`repro.analysis.memory`): inside a
+:func:`trace_attribution` scope the HLO executor tracks every owning
+intermediate buffer it allocates and attributes the transient peak of each
+run to the trace's canonical cache key, so static peak-bytes certificates
+can be cross-checked against what actually happened.
 """
 
 from __future__ import annotations
@@ -51,6 +58,44 @@ class MemoryTracker:
             self.total_allocated = 0
             self.allocation_count = 0
 
+    def snapshot(self) -> tuple[int, int]:
+        """(live_bytes, peak_bytes) read atomically."""
+        with _LOCK:
+            return self.live_bytes, self.peak_bytes
+
+
+class TraceAttribution:
+    """Per-trace peak-memory registry (the planner's dynamic oracle).
+
+    ``depth`` counts nested :func:`trace_attribution` scopes — while it is
+    positive the HLO executor tracks every owning intermediate buffer and
+    :func:`attribute_trace` records each run's transient peak here, keyed
+    by the trace's canonical cache key (``repro.analysis.tracing``).
+    Every method takes the module lock, so the global instance is safe to
+    read from replica threads.
+    """
+
+    def __init__(self) -> None:
+        self.depth = 0
+        self.peaks: dict[str, int] = {}
+
+    def enabled(self) -> bool:
+        with _LOCK:
+            return self.depth > 0
+
+    def record(self, key: str, peak_bytes: int) -> None:
+        with _LOCK:
+            if peak_bytes > self.peaks.get(key, -1):
+                self.peaks[key] = peak_bytes
+
+    def peak_for(self, key: str) -> int | None:
+        with _LOCK:
+            return self.peaks.get(key)
+
+    def clear(self) -> None:
+        with _LOCK:
+            self.peaks.clear()
+
 
 #: The default process-wide tracker.
 TRACKER = MemoryTracker()
@@ -59,6 +104,17 @@ TRACKER = MemoryTracker()
 #: list itself is shared mutable state: ``track()`` scopes push/pop while
 #: replica threads iterate, so every touch holds the module lock.
 _ACTIVE: list[MemoryTracker] = [TRACKER]
+
+#: ids of buffers already accounted by :func:`track_buffer`.  Executor-side
+#: intermediate tracking and ``_consume``-side output tracking can see the
+#: same array object; the id registry keeps each buffer counted once.  A
+#: buffer's finalizer discards its id before freeing, so id reuse by a new
+#: object can never be mistaken for the dead one.
+_TRACKED_IDS: set[int] = set()
+
+#: The process-wide per-trace attribution registry (internally
+#: synchronized, like TRACKER).
+_ATTRIBUTION = TraceAttribution()
 
 
 def allocate(nbytes: int) -> None:
@@ -73,12 +129,23 @@ def free(nbytes: int) -> None:
             tracker.free(nbytes)
 
 
+def _release(buffer_id: int, nbytes: int) -> None:
+    """Finalizer of a tracked buffer: forget its id, then free its bytes."""
+    with _LOCK:
+        _TRACKED_IDS.discard(buffer_id)
+        for tracker in _ACTIVE:
+            tracker.free(nbytes)
+
+
 def track_buffer(buffer, nbytes: int | None = None) -> None:
     """Account a buffer's allocation now and its release at GC time.
 
-    Used by the eager dispatcher, the naive arrays, and lazy
-    materialization so peak-memory experiments (Section 4.2, Table 4) see
-    real buffer lifetimes.
+    Used by the eager dispatcher, the naive arrays, lazy materialization,
+    and (inside a :func:`trace_attribution` scope) the HLO executor's
+    per-instruction intermediates, so peak-memory experiments
+    (Section 4.2, Table 4) see real buffer lifetimes.  Tracking is
+    id-deduplicated: a buffer that is already accounted (e.g. an executor
+    intermediate that becomes a materialized output) is not counted twice.
     """
     import weakref
 
@@ -86,21 +153,32 @@ def track_buffer(buffer, nbytes: int | None = None) -> None:
         nbytes = getattr(buffer, "nbytes", 0)
     if nbytes <= 0:
         return
-    allocate(nbytes)
-    try:
-        weakref.finalize(buffer, free, nbytes)
-    except TypeError:
-        # Non-weakref-able buffer: account the allocation only.
-        pass
+    buffer_id = id(buffer)
+    with _LOCK:
+        if buffer_id in _TRACKED_IDS:
+            return
+        try:
+            weakref.finalize(buffer, _release, buffer_id, nbytes)
+        except TypeError:
+            # Non-weakref-able buffer: account the allocation only.
+            for tracker in _ACTIVE:
+                tracker.allocate(nbytes)
+            return
+        _TRACKED_IDS.add(buffer_id)
+        for tracker in _ACTIVE:
+            tracker.allocate(nbytes)
 
 
 @contextmanager
-def track():
+def scoped_tracker():
     """Measure allocations within a scope:
 
-    >>> with track() as t:
+    >>> with scoped_tracker() as t:
     ...     ...
     >>> t.peak_bytes
+
+    Scopes nest (every active tracker sees every allocation), and the
+    active-tracker stack is restored even when the body raises.
     """
     tracker = MemoryTracker()
     with _LOCK:
@@ -110,3 +188,51 @@ def track():
     finally:
         with _LOCK:
             _ACTIVE.remove(tracker)
+
+
+#: Backwards-compatible alias (the original scoped-measurement spelling).
+track = scoped_tracker
+
+
+def intermediates_tracked() -> bool:
+    """True while a :func:`trace_attribution` scope is active — the HLO
+    executor checks this to decide whether to track per-instruction
+    intermediate buffers (off by default: finalizer bookkeeping per
+    instruction is measurable overhead)."""
+    return _ATTRIBUTION.enabled()
+
+
+@contextmanager
+def trace_attribution():
+    """Enable per-trace peak attribution within a scope.
+
+    >>> with trace_attribution() as attribution:
+    ...     ...  # materialize traces
+    >>> attribution.peak_for(canonical_key)
+    """
+    with _LOCK:
+        _ATTRIBUTION.depth += 1
+    try:
+        yield _ATTRIBUTION
+    finally:
+        with _LOCK:
+            _ATTRIBUTION.depth -= 1
+
+
+@contextmanager
+def attribute_trace(key_fn):
+    """Executor-side hook: attribute one run's transient peak to its trace.
+
+    ``key_fn`` must return the trace's canonical cache key; it is called
+    *before* the body runs (execution consumes the trace DAG the key is
+    computed from).  Outside a :func:`trace_attribution` scope this is a
+    no-op that never calls ``key_fn``.
+    """
+    if not _ATTRIBUTION.enabled():
+        yield None
+        return
+    key = key_fn()
+    with scoped_tracker() as tracker:
+        yield tracker
+    _, peak = tracker.snapshot()
+    _ATTRIBUTION.record(key, peak)

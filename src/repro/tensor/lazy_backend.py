@@ -236,6 +236,23 @@ class LazyRuntime:
     def _execute(self, targets: list[TraceNode], reason: str = "observe") -> None:
         for observer in self.fragment_observers:
             observer(targets, reason)
+        from repro.runtime import memory
+
+        # Inside a trace_attribution scope the run's transient peak is
+        # recorded against the trace's canonical cache key — the dynamic
+        # oracle the static memory planner cross-checks its certificates
+        # against.  The key must be computed *before* execution consumes
+        # the DAG, which is why attribute_trace takes a thunk and calls it
+        # eagerly (and never calls it when attribution is off).
+        def _trace_key() -> str:
+            from repro.analysis.tracing.canonical import canonicalize
+
+            return canonicalize(targets).digest
+
+        with memory.attribute_trace(_trace_key):
+            self._execute_fragment(targets)
+
+    def _execute_fragment(self, targets: list[TraceNode]) -> None:
         if self.async_compiler is not None:
             self._execute_async(targets)
             return
@@ -303,7 +320,12 @@ class LazyRuntime:
 
         for node, value in zip(targets, results):
             node.data = np.asarray(value, dtype=np.float32)
-            memory.track_buffer(node.data)
+            # Views (e.g. a broadcast or transposed root) allocate nothing:
+            # tracking them would double-count their base buffer's bytes.
+            # track_buffer additionally dedups by id, so an output that the
+            # executor already accounted as an intermediate counts once.
+            if node.data.base is None:
+                memory.track_buffer(node.data)
             node.inputs = []  # release the consumed trace fragment
             node.attrs = {}
             node.op = "source"

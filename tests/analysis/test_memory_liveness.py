@@ -1,0 +1,151 @@
+"""Liveness analysis over hand-built HLO modules: value categories,
+alias-extended storage intervals, timelines, and the straight-line
+(exactness) predicate."""
+
+from repro.analysis.memory import analyze_liveness
+from repro.analysis.memory.liveness import ALIAS, COMPUTE, MAY_ALIAS, RESIDENT
+from repro.hlo.ir import PRED, HloComputation, HloInstruction, HloModule, Shape
+
+
+def _module(name, build):
+    comp = HloComputation("entry")
+    root = build(comp)
+    comp.set_root(root)
+    return HloModule(name, comp)
+
+
+def _param(comp, number, dims, dtype="f32"):
+    return comp.add(
+        HloInstruction(
+            "parameter", [], Shape(dims, dtype), parameter_number=number
+        )
+    )
+
+
+def test_chain_categories_intervals_and_timeline():
+    def build(comp):
+        p0 = _param(comp, 0, (4, 4))
+        p1 = _param(comp, 1, (4, 4))
+        d = comp.add(HloInstruction("dot", [p0, p1], Shape((4, 4))))
+        return comp.add(HloInstruction("relu", [d], Shape((4, 4))))
+
+    live = analyze_liveness(_module("chain", build))
+    by_op = {v.opcode: v for v in live.values.values()}
+    assert by_op["parameter"].category == RESIDENT
+    assert by_op["dot"].category == COMPUTE
+    assert by_op["relu"].category == COMPUTE
+    # Two 4x4 f32 params are resident; two planned values of 64 B each.
+    assert live.resident_bytes == 128
+    assert live.naive_bytes == 128
+    # dot defined at position 2, last used by relu at 3; relu is the root
+    # so its storage survives to the end.
+    assert live.intervals[by_op["dot"].inst_id] == (2, 3)
+    assert live.intervals[by_op["relu"].inst_id] == (3, 3)
+    # Timeline: nothing live over the params, dot's buffer, dot+relu at
+    # the relu (operand and result coexist), then the materialization
+    # entry (dot is freed only after the store, so both count).
+    assert live.timeline() == [0, 0, 64, 128, 128]
+    assert live.straight_line
+    assert live.output_conversion_bytes == 0
+
+
+def test_broadcast_alias_extends_storage_interval():
+    def build(comp):
+        q = _param(comp, 0, (4, 4))
+        p = _param(comp, 1, (4,))
+        x = comp.add(HloInstruction("add", [p, p], Shape((4,))))
+        b = comp.add(
+            HloInstruction("broadcast", [x], Shape((4, 4)))
+        )
+        return comp.add(HloInstruction("add", [q, b], Shape((4, 4))))
+
+    live = analyze_liveness(_module("bcast", build))
+    x_info = next(v for v in live.values.values() if v.position == 2)
+    b_info = next(v for v in live.values.values() if v.opcode == "broadcast")
+    assert x_info.category == COMPUTE
+    assert b_info.category == ALIAS
+    assert b_info.nbytes == 0
+    assert b_info.storage_roots == (x_info.inst_id,)
+    # x is directly read for the last time by the broadcast (position 3),
+    # but the broadcast's *view* of x is read by the final add (position
+    # 4): the true storage interval must cover the view's use.
+    assert live.direct_intervals[x_info.inst_id] == (2, 3)
+    assert live.intervals[x_info.inst_id] == (2, 4)
+
+
+def test_tuple_root_pins_element_storage_to_end():
+    def build(comp):
+        p0 = _param(comp, 0, (4, 4))
+        p1 = _param(comp, 1, (4, 4))
+        u = comp.add(HloInstruction("dot", [p0, p1], Shape((4, 4))))
+        w = comp.add(HloInstruction("relu", [u], Shape((4, 4))))
+        return comp.add(HloInstruction("tuple", [u, w], Shape((4, 4))))
+
+    live = analyze_liveness(_module("diamond", build))
+    u_id = next(v.inst_id for v in live.values.values() if v.opcode == "dot")
+    tup = next(v for v in live.values.values() if v.opcode == "tuple")
+    last = len(live.schedule) - 1
+    assert tup.category == ALIAS
+    # The tuple aliases *both* operands' storage...
+    assert set(tup.storage_roots) == set(live.intervals)
+    # ...so the early element stays live through the whole schedule.
+    assert live.intervals[u_id] == (2, last)
+    assert live.straight_line
+
+
+def test_reshape_is_may_alias_and_breaks_exactness():
+    def build(comp):
+        p0 = _param(comp, 0, (4, 4))
+        p1 = _param(comp, 1, (2, 4))
+        x = comp.add(HloInstruction("add", [p0, p0], Shape((4, 4))))
+        r = comp.add(HloInstruction("reshape", [x], Shape((8, 2))))
+        return comp.add(HloInstruction("dot", [r, p1], Shape((8, 4))))
+
+    live = analyze_liveness(_module("reshape", build))
+    r_info = next(v for v in live.values.values() if v.opcode == "reshape")
+    x_info = next(v for v in live.values.values() if v.opcode == "add")
+    assert r_info.category == MAY_ALIAS
+    # Sound both ways: the reshape reserves its own (possible-copy) bytes
+    # AND extends the operand's storage (possible-view case).
+    assert r_info.nbytes == 64
+    assert r_info.planned
+    assert set(r_info.storage_roots) == {r_info.inst_id, x_info.inst_id}
+    # The dot reads the reshape (a possible view of x) at the last
+    # position, so x's storage must live through it.
+    assert live.intervals[x_info.inst_id][1] == len(live.schedule) - 1
+    assert not live.straight_line
+
+
+def test_pred_output_costs_a_conversion_copy():
+    def build(comp):
+        p0 = _param(comp, 0, (8,))
+        p1 = _param(comp, 1, (8,))
+        return comp.add(
+            HloInstruction(
+                "compare", [p0, p1], Shape((8,), PRED), attrs={"direction": "GT"}
+            )
+        )
+
+    live = analyze_liveness(_module("pred", build))
+    cmp_info = next(v for v in live.values.values() if v.opcode == "compare")
+    # Predicate buffers are byte masks (1 B/elem)...
+    assert cmp_info.nbytes == 8
+    # ...but materialization converts the root to f32 while the mask is
+    # still live, and predicates break exactness.
+    assert live.output_conversion_bytes == 32
+    assert not live.straight_line
+    assert live.timeline()[-1] == 8 + 32
+
+
+def test_scalar_reduction_breaks_exactness():
+    def build(comp):
+        p0 = _param(comp, 0, (8,))
+        return comp.add(
+            HloInstruction("reduce", [p0], Shape(()), attrs={"kind": "sum"})
+        )
+
+    live = analyze_liveness(_module("scalar", build))
+    # Full reductions return untracked NumPy scalars at run time, so the
+    # static model is an upper bound, not an equality.
+    assert not live.straight_line
+    assert live.naive_bytes == 4

@@ -1,0 +1,190 @@
+"""Buffer assignment, in-place donation, the independent plan validator,
+peak certification, and remat fix-its — on hand-built HLO modules."""
+
+import pytest
+
+from repro.analysis.memory import analyze_liveness, certify, plan_buffers, validate_plan
+from repro.analysis.memory.bufferplan import force_donation, force_shared_buffer
+from repro.analysis.memory.remat import budget_diagnostics, remat_candidates
+from repro.errors import SourceLocation
+from repro.hlo.ir import HloComputation, HloInstruction, HloModule, Shape
+
+LOC = SourceLocation("test_memory_plan.py", 1)
+
+
+def _module(name, build):
+    comp = HloComputation("entry")
+    comp.set_root(build(comp))
+    return HloModule(name, comp)
+
+
+def _param(comp, number, dims):
+    return comp.add(
+        HloInstruction("parameter", [], Shape(dims), parameter_number=number)
+    )
+
+
+def _relu_chain_module():
+    def build(comp):
+        p = _param(comp, 0, (4, 4))
+        a = comp.add(HloInstruction("add", [p, p], Shape((4, 4))))
+        b = comp.add(HloInstruction("relu", [a], Shape((4, 4))))
+        return comp.add(HloInstruction("relu", [b], Shape((4, 4))))
+
+    return _module("relu_chain", build)
+
+
+def _dot_chain_module():
+    def build(comp):
+        x = _param(comp, 0, (4, 4))
+        w1 = _param(comp, 1, (4, 4))
+        w2 = _param(comp, 2, (4, 4))
+        w3 = _param(comp, 3, (4, 4))
+        h1 = comp.add(HloInstruction("dot", [x, w1], Shape((4, 4))))
+        h2 = comp.add(HloInstruction("dot", [h1, w2], Shape((4, 4))))
+        return comp.add(HloInstruction("dot", [h2, w3], Shape((4, 4))))
+
+    return _module("dot_chain", build)
+
+
+def _held_activation_module():
+    """h1 carried across two dots to a final elementwise combine."""
+
+    def build(comp):
+        x = _param(comp, 0, (4, 4))
+        w1 = _param(comp, 1, (4, 4))
+        w2 = _param(comp, 2, (4, 4))
+        w3 = _param(comp, 3, (4, 4))
+        h1 = comp.add(HloInstruction("dot", [x, w1], Shape((4, 4))))
+        h2 = comp.add(HloInstruction("dot", [h1, w2], Shape((4, 4))))
+        h3 = comp.add(HloInstruction("dot", [h2, w3], Shape((4, 4))))
+        return comp.add(HloInstruction("multiply", [h1, h3], Shape((4, 4))))
+
+    return _module("held", build)
+
+
+def test_elementwise_chain_donates_in_place():
+    live = analyze_liveness(_relu_chain_module())
+    plan = plan_buffers(live)
+    # Each consumer writes over its dying same-size operand: one buffer
+    # serves all three planned values.
+    assert len(plan.buffer_sizes) == 1
+    assert plan.pool_bytes == 64
+    assert plan.buffers_reused == 2
+    assert len(plan.donations) == 2
+    assert validate_plan(live, plan, LOC) == []
+    cert = certify(live, plan)
+    assert cert.reuse_factor == pytest.approx(192 / 64)
+
+
+def test_dot_chain_reuses_freed_buffer_without_donation():
+    live = analyze_liveness(_dot_chain_module())
+    plan = plan_buffers(live)
+    # dot is not donatable, but h1 dies before h3 is defined, so h3
+    # takes h1's pool slot from the free list.
+    assert plan.donations == {}
+    assert len(plan.buffer_sizes) == 2
+    assert plan.pool_bytes == 128
+    assert plan.buffers_reused == 1
+    assert validate_plan(live, plan, LOC) == []
+    h1 = min(live.planned_values, key=lambda v: v.position).inst_id
+    h3 = max(live.planned_values, key=lambda v: v.position).inst_id
+    assert plan.buffer_of(h1) == plan.buffer_of(h3)
+
+
+def test_validator_rejects_donation_into_dot():
+    live = analyze_liveness(_dot_chain_module())
+    plan = plan_buffers(live)
+    planned = sorted(live.planned_values, key=lambda v: v.position)
+    h1, h2 = planned[0], planned[1]
+    force_donation(plan, h2.inst_id, h1.inst_id)
+    diags = validate_plan(live, plan, LOC)
+    messages = [d.message for d in diags if d.is_error]
+    assert any(m.startswith("unsafe in-place") for m in messages)
+    assert any("non-elementwise op" in m and "(dot)" in m for m in messages)
+    assert all(d.location.line > 0 for d in diags)
+
+
+def test_validator_rejects_donation_from_live_donor():
+    live = analyze_liveness(_held_activation_module())
+    plan = plan_buffers(live)
+    planned = sorted(live.planned_values, key=lambda v: v.position)
+    h1, h2 = planned[0], planned[1]
+    # h1 is still read by the final multiply — donating it into h2 is a
+    # use-after-overwrite even though h2 is h1's consumer.
+    force_donation(plan, h2.inst_id, h1.inst_id)
+    messages = [d.message for d in validate_plan(live, plan, LOC)]
+    assert any("stays live until position" in m for m in messages)
+
+
+def test_validator_rejects_plain_overlapping_reuse():
+    live = analyze_liveness(_held_activation_module())
+    plan = plan_buffers(live)
+    planned = sorted(live.planned_values, key=lambda v: v.position)
+    h1, h2 = planned[0], planned[1]
+    # h1 and h2 are simultaneously live; forcing them into one buffer is
+    # the plain (non-tuple, non-donation) reuse bug.
+    force_shared_buffer(plan, h1.inst_id, h2.inst_id)
+    messages = [d.message for d in validate_plan(live, plan, LOC) if d.is_error]
+    assert any(m.startswith("unsafe buffer reuse") for m in messages)
+
+
+def test_validator_classifies_tuple_aliasing_separately():
+    def build(comp):
+        p0 = _param(comp, 0, (4, 4))
+        p1 = _param(comp, 1, (4, 4))
+        u = comp.add(HloInstruction("dot", [p0, p1], Shape((4, 4))))
+        w = comp.add(HloInstruction("relu", [u], Shape((4, 4))))
+        v = comp.add(HloInstruction("dot", [w, p1], Shape((4, 4))))
+        return comp.add(HloInstruction("tuple", [u, v], Shape((4, 4))))
+
+    live = analyze_liveness(_module("tuple_out", build))
+    plan = plan_buffers(live)
+    u_id = next(
+        v.inst_id
+        for v in live.planned_values
+        if v.opcode == "dot" and v.position == 2
+    )
+    v_id = next(
+        v.inst_id
+        for v in live.planned_values
+        if v.opcode == "dot" and v.position != 2
+    )
+    force_shared_buffer(plan, u_id, v_id)
+    messages = [d.message for d in validate_plan(live, plan, LOC) if d.is_error]
+    assert any(m.startswith("tuple-aliasing") for m in messages)
+    assert any("output tuple still aliases" in m for m in messages)
+
+
+def test_certificate_timeline_and_peak():
+    live = analyze_liveness(_held_activation_module())
+    cert = certify(live, plan_buffers(live))
+    # Positions: 4 params, then h1(4) h2(5) h3(6) multiply(7): h1 is
+    # carried, so three 64 B values coexist at h3 and beyond.
+    assert cert.certified_peak_bytes == 192
+    assert cert.naive_bytes == 256
+    assert cert.exact
+    assert max(cert.timeline) == cert.timeline[cert.peak_position]
+    assert cert.resident_bytes == 256  # four 4x4 f32 params
+
+
+def test_remat_suggests_spilling_the_carried_dot():
+    live = analyze_liveness(_held_activation_module())
+    cert = certify(live, plan_buffers(live))
+    candidates = remat_candidates(live, cert)
+    assert [c.opcode for c in candidates] == ["dot"]
+    assert candidates[0].kind == "spill"  # dot is too expensive to recompute
+
+    diags, cands = budget_diagnostics(live, cert, budget_bytes=150, location=LOC)
+    assert cands == candidates
+    errors = [d for d in diags if d.is_error]
+    assert len(errors) == 1
+    assert errors[0].message.startswith("over budget")
+    assert "exceeds the 150 B budget by 42 B" in errors[0].message
+    fixits = [d for d in diags if not d.is_error]
+    assert len(fixits) == 1
+    assert "spill %" in fixits[0].message
+
+    # Under budget: silence.
+    assert budget_diagnostics(live, cert, budget_bytes=192, location=LOC) == ([], [])
+    assert budget_diagnostics(live, cert, budget_bytes=None, location=LOC) == ([], [])

@@ -50,6 +50,15 @@ def test_self_check_passes_and_covers_all_layers():
     assert report.concurrency_models_checked == 9
     assert report.concurrency_hazards_caught == 6
     assert report.merges_verified == 4
+    # Memory sweep: the whole planning corpus certified, every seeded
+    # hazard (over-budget, unsafe in-place, tuple aliasing) caught with
+    # located diagnostics, every certified peak >= the dynamically
+    # observed one, exact on every straight-line trace, with real reuse.
+    assert report.memory_programs_checked == 9
+    assert report.memory_hazards_caught == 3
+    assert report.peak_bounds_certified == 9
+    assert report.exact_peak_matches == 7
+    assert report.buffers_reused > 0
     assert "all checks passed" in report.summary()
 
 

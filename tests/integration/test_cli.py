@@ -27,6 +27,7 @@ def test_registry_covers_all_tables_and_figures():
         "figure9",
         "trace_stability",
         "derivative_pruning",
+        "memory_plan",
     }
 
 

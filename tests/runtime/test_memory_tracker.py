@@ -1,0 +1,146 @@
+"""Edge paths of ``repro.runtime.memory``: scope nesting, exception
+unwinding, reset-under-scope, buffer id-dedup, and the per-trace
+attribution registry that backs the static memory planner."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import memory
+
+
+@pytest.fixture(autouse=True)
+def _clean_attribution():
+    memory._ATTRIBUTION.clear()
+    yield
+    memory._ATTRIBUTION.clear()
+
+
+def test_nested_scopes_both_see_allocations():
+    with memory.scoped_tracker() as outer:
+        memory.allocate(100)
+        with memory.scoped_tracker() as inner:
+            memory.allocate(50)
+        # Inner scope saw only its own window.
+        assert inner.total_allocated == 50
+        memory.allocate(25)
+    assert outer.total_allocated == 175
+    assert inner.total_allocated == 50  # closed scope stops observing
+
+
+def test_scope_unwinds_on_exception():
+    depth_before = len(memory._ACTIVE)
+    with pytest.raises(RuntimeError, match="boom"):
+        with memory.scoped_tracker():
+            raise RuntimeError("boom")
+    assert len(memory._ACTIVE) == depth_before
+    # The crashed scope's tracker no longer observes allocations.
+    with memory.scoped_tracker() as t:
+        memory.allocate(8)
+        memory.free(8)
+    assert t.peak_bytes == 8
+
+
+def test_reset_under_active_scope():
+    with memory.scoped_tracker() as t:
+        memory.allocate(64)
+        t.reset()
+        assert t.snapshot() == (0, 0)
+        memory.allocate(16)
+    assert t.peak_bytes == 16
+    assert t.allocation_count == 1
+
+
+def test_peak_tracks_high_water_mark_not_total():
+    with memory.scoped_tracker() as t:
+        memory.allocate(100)
+        memory.free(100)
+        memory.allocate(60)
+        memory.free(60)
+    assert t.peak_bytes == 100
+    assert t.total_allocated == 160
+    assert t.live_bytes == 0
+
+
+def test_track_alias_is_scoped_tracker():
+    assert memory.track is memory.scoped_tracker
+
+
+def test_track_buffer_id_dedup():
+    buf = np.zeros(16, dtype=np.float32)  # 64 bytes
+    with memory.scoped_tracker() as t:
+        memory.track_buffer(buf)
+        memory.track_buffer(buf)  # same object: must not double-count
+    assert t.total_allocated == 64
+    assert id(buf) in memory._TRACKED_IDS
+    del buf  # finalizer forgets the id and frees the bytes
+
+
+def test_track_buffer_release_on_gc():
+    with memory.scoped_tracker() as t:
+        buf = np.zeros(8, dtype=np.float32)
+        memory.track_buffer(buf)
+        assert t.live_bytes == 32
+        buf_id = id(buf)
+        del buf
+        assert buf_id not in memory._TRACKED_IDS
+        assert t.live_bytes == 0
+    assert t.peak_bytes == 32
+
+
+def test_track_buffer_ignores_empty():
+    with memory.scoped_tracker() as t:
+        memory.track_buffer(np.zeros(0, dtype=np.float32))
+        memory.track_buffer(object(), nbytes=0)
+    assert t.allocation_count == 0
+
+
+def test_trace_attribution_records_max_peak():
+    attribution = memory._ATTRIBUTION
+    assert not attribution.enabled()
+    with memory.trace_attribution() as scope:
+        assert scope is attribution
+        assert attribution.enabled()
+        assert memory.intermediates_tracked()
+        scope.record("k1", 100)
+        scope.record("k1", 80)  # lower peak: max-merge keeps 100
+        scope.record("k1", 120)
+        scope.record("k2", 7)
+    assert not attribution.enabled()
+    assert attribution.peak_for("k1") == 120
+    assert attribution.peak_for("k2") == 7
+    assert attribution.peak_for("nonesuch") is None
+
+
+def test_trace_attribution_nests():
+    with memory.trace_attribution():
+        with memory.trace_attribution():
+            assert memory._ATTRIBUTION.depth == 2
+        assert memory._ATTRIBUTION.enabled()
+    assert not memory._ATTRIBUTION.enabled()
+
+
+def test_attribute_trace_disabled_never_calls_key_fn():
+    def explode():
+        raise AssertionError("key_fn called outside trace_attribution scope")
+
+    with memory.attribute_trace(explode) as tracker:
+        assert tracker is None
+
+
+def test_attribute_trace_records_transient_peak():
+    with memory.trace_attribution() as attribution:
+        with memory.attribute_trace(lambda: "trace-key") as tracker:
+            assert tracker is not None
+            memory.allocate(256)
+            memory.free(256)
+            memory.allocate(64)
+            memory.free(64)
+    assert attribution.peak_for("trace-key") == 256
+
+
+def test_attribute_trace_key_computed_before_body():
+    calls = []
+    with memory.trace_attribution():
+        with memory.attribute_trace(lambda: calls.append("key") or "k"):
+            calls.append("body")
+    assert calls == ["key", "body"]
