@@ -16,6 +16,9 @@ Usage::
     python -m repro.analysis --concurrency all
     python -m repro.analysis --memory mlp_chain_reuse
     python -m repro.analysis --memory all
+    python -m repro.analysis --precision softmax_unstabilized
+    python -m repro.analysis --precision all --json
+    python -m repro.analysis --list                # the dispatch table
 
 ``--ownership`` resolves its argument against the bundled model corpus
 (:mod:`repro.analysis.ownership.models`) first, then as a dotted
@@ -56,8 +59,22 @@ peak-memory certificates with per-pass attribution, budget/remat
 fix-its, and the certified-vs-observed cross-check (the bound must hold
 on every trace and be exact on straight-line traces).
 
+``--precision`` runs the static precision-safety analysis
+(:mod:`repro.analysis.precision`) over one program from the seeded
+corpus — or every program with ``all`` — printing the autocast plan,
+dtype-flow verdicts under the naive narrow-everything lowering, the
+certified ⊇ observed interval cross-check against the dynamic oracle,
+output-accuracy metrics for the naive and planned lowerings, and the
+memory planner's certified peak before and after narrowing.
+
+``--list`` prints the dispatch table itself: every subsystem flag, the
+self-check sweep it backs, and the bundled program/model names its
+argument resolves against.  ``--json`` switches ``--precision``,
+``--list``, and ``--self-check`` output to machine-readable JSON.
+
 Each subsystem is one row of the ``SUBSYSTEMS`` dispatch table below:
-a flag, its argument metavar/help, and the runner the parsed argument is
+a flag, its argument metavar/help, the self-check sweep number, the
+bundled-program enumerator, and the runner the parsed argument is
 handed to.
 """
 
@@ -65,6 +82,7 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import json
 import sys
 from dataclasses import dataclass
 from typing import Callable
@@ -72,16 +90,58 @@ from typing import Callable
 
 @dataclass(frozen=True)
 class Subsystem:
-    """One analysis subsystem's CLI surface: flag + runner."""
+    """One analysis subsystem's CLI surface: flag + sweep + runner."""
 
     flag: str
     metavar: str
     help: str
     run: Callable[[argparse.Namespace], int]
+    #: Which self-check sweep this subsystem backs (see
+    #: :mod:`repro.analysis.selfcheck`'s module docstring).
+    sweep: int = 0
+    #: Enumerates the bundled program/model names the argument resolves
+    #: against (``None`` when the flag takes arbitrary ``module:function``
+    #: specs only).  Deferred behind a callable so ``--list`` is the only
+    #: code path paying for the corpus imports.
+    programs: Callable[[], list[str]] | None = None
 
     @property
     def dest(self) -> str:
         return self.flag.lstrip("-").replace("-", "_")
+
+
+def _ownership_names() -> list[str]:
+    return sorted(_ownership_corpus())
+
+
+def _trace_names() -> list[str]:
+    from repro.analysis.tracing.models import PROGRAMS
+
+    return sorted(PROGRAMS)
+
+
+def _derivative_names() -> list[str]:
+    from repro.analysis.derivatives.models import MODELS
+
+    return sorted(MODELS)
+
+
+def _concurrency_names() -> list[str]:
+    from repro.analysis.concurrency.models import CORPUS_MODELS
+
+    return ["runtime", "corpus"] + sorted(m.name for m in CORPUS_MODELS)
+
+
+def _memory_names() -> list[str]:
+    from repro.analysis.memory import CORPUS
+
+    return sorted(p.name for p in CORPUS)
+
+
+def _precision_names() -> list[str]:
+    from repro.analysis.precision import CORPUS
+
+    return sorted(p.name for p in CORPUS)
 
 
 SUBSYSTEMS: tuple[Subsystem, ...] = (
@@ -94,6 +154,8 @@ SUBSYSTEMS: tuple[Subsystem, ...] = (
             "verdicts, copy-materialization labels, and pullback costs"
         ),
         run=lambda args: _run_ownership(args.ownership, args.style),
+        sweep=4,
+        programs=_ownership_names,
     ),
     Subsystem(
         flag="--trace",
@@ -105,6 +167,8 @@ SUBSYSTEMS: tuple[Subsystem, ...] = (
             "static-vs-dynamic cache cross-check"
         ),
         run=lambda args: _run_trace(args.trace, args.quiet),
+        sweep=5,
+        programs=_trace_names,
     ),
     Subsystem(
         flag="--derivatives",
@@ -116,6 +180,8 @@ SUBSYSTEMS: tuple[Subsystem, ...] = (
             "the seeded numeric cross-checks"
         ),
         run=lambda args: _run_derivatives(args.derivatives, args.quiet),
+        sweep=6,
+        programs=_derivative_names,
     ),
     Subsystem(
         flag="--lint",
@@ -126,6 +192,7 @@ SUBSYSTEMS: tuple[Subsystem, ...] = (
             "checks, without synthesizing a plan"
         ),
         run=lambda args: _run_lint(args.lint),
+        sweep=3,
     ),
     Subsystem(
         flag="--concurrency",
@@ -140,6 +207,8 @@ SUBSYSTEMS: tuple[Subsystem, ...] = (
         run=lambda args: _run_concurrency(
             args.concurrency, args.quiet, not args.no_witness
         ),
+        sweep=7,
+        programs=_concurrency_names,
     ),
     Subsystem(
         flag="--memory",
@@ -152,6 +221,22 @@ SUBSYSTEMS: tuple[Subsystem, ...] = (
             "cross-check"
         ),
         run=lambda args: _run_memory(args.memory, args.quiet),
+        sweep=8,
+        programs=_memory_names,
+    ),
+    Subsystem(
+        flag="--precision",
+        metavar="PROGRAM",
+        help=(
+            "run the static precision-safety analysis over PROGRAM (a "
+            "seeded corpus name, or 'all'): interval ranges, dtype-flow "
+            "hazard verdicts under the naive narrow lowering, the "
+            "verified autocast plan, the certified-contains-observed "
+            "oracle cross-check, and the peak-memory delta of narrowing"
+        ),
+        run=lambda args: _run_precision(args.precision, args.quiet, args.json),
+        sweep=9,
+        programs=_precision_names,
     ),
 )
 
@@ -179,6 +264,22 @@ def main(argv: list[str] | None = None) -> int:
             subsystem.flag, metavar=subsystem.metavar, help=subsystem.help
         )
     parser.add_argument(
+        "--list",
+        action="store_true",
+        help=(
+            "print the subsystem dispatch table: every flag, the "
+            "self-check sweep it backs, and its bundled program names"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "emit machine-readable JSON instead of rendered text "
+            "(supported by --precision, --list, and --self-check)"
+        ),
+    )
+    parser.add_argument(
         "--no-witness",
         action="store_true",
         help="skip the dynamic lock-witness runs (static analysis only)",
@@ -194,6 +295,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.json and not (args.list or args.self_check or args.precision):
+        parser.error("--json is supported with --precision, --list, and --self-check")
+
+    if args.list:
+        return _run_list(args.json)
+
     for subsystem in SUBSYSTEMS:
         if getattr(args, subsystem.dest):
             return subsystem.run(args)
@@ -205,12 +312,38 @@ def main(argv: list[str] | None = None) -> int:
     from repro.analysis.selfcheck import self_check
 
     report = self_check()
-    if not args.quiet or not report.ok:
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    elif not args.quiet or not report.ok:
         print(report.summary())
     return 0 if report.ok else 1
 
 
-def _resolve_function(spec: str):
+def _run_list(as_json: bool) -> int:
+    rows = [
+        {
+            "flag": s.flag,
+            "metavar": s.metavar,
+            "sweep": s.sweep,
+            "programs": s.programs() if s.programs is not None else [],
+        }
+        for s in SUBSYSTEMS
+    ]
+    if as_json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    width = max(len(f"{r['flag']} {r['metavar']}") for r in rows)
+    for row in rows:
+        head = f"{row['flag']} {row['metavar']}"
+        print(f"{head:<{width}}  sweep {row['sweep']}")
+        if row["programs"]:
+            print(f"{'':<{width}}  programs: " + ", ".join(row["programs"]) + ", all")
+        else:
+            print(f"{'':<{width}}  programs: (module:function specs)")
+    return 0
+
+
+def _ownership_corpus() -> dict:
     from repro.analysis.ownership import models
 
     corpus = dict(models.OPTIMIZER_MODELS)
@@ -220,6 +353,11 @@ def _resolve_function(spec: str):
     corpus.setdefault("array_subscript", models.array_subscript)
     for fn, _verdict in models.VIOLATION_SUITE:
         corpus.setdefault(fn.__name__, fn)
+    return corpus
+
+
+def _resolve_function(spec: str):
+    corpus = _ownership_corpus()
     if spec in corpus:
         return corpus[spec]
 
@@ -420,6 +558,52 @@ def _run_memory(spec: str, quiet: bool) -> int:
             else "DIVERGE from the dynamic tracker"
         )
     )
+    return 0 if failures == 0 else 1
+
+
+def _run_precision(spec: str, quiet: bool, as_json: bool) -> int:
+    from repro.analysis.precision import CORPUS, analyze_precision_program
+
+    names = {p.name: p for p in CORPUS}
+    if spec == "all":
+        programs = list(CORPUS)
+    elif spec in names:
+        programs = [names[spec]]
+    else:
+        raise SystemExit(
+            f"error: unknown precision program {spec!r}; bundled names: "
+            + ", ".join(sorted(names))
+            + ", all"
+        )
+
+    failures = 0
+    json_reports = []
+    for program in programs:
+        report = analyze_precision_program(program)
+        ok = report.verdict_matches and report.cross_check_ok
+        if not ok:
+            failures += 1
+        if as_json:
+            json_reports.append(report.to_json())
+        elif not quiet or not ok:
+            print(report.render())
+            print(
+                f"  expected verdict: {program.expect} "
+                f"({'as predicted' if report.verdict_matches else 'MISPREDICTED'})"
+            )
+            print()
+    if as_json:
+        print(json.dumps(json_reports, indent=2))
+    else:
+        print(
+            f"{len(programs)} program(s) audited, {failures} failure(s); "
+            "certified intervals "
+            + (
+                "contain every observed value"
+                if failures == 0
+                else "VIOLATED by the dynamic oracle"
+            )
+        )
     return 0 if failures == 0 else 1
 
 

@@ -38,6 +38,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.hlo.ir import (
+    BF16,
+    F32,
     MAY_ALIAS_OPS,
     PRED,
     RESIDENT_OPS,
@@ -114,6 +116,10 @@ class LivenessInfo:
                 return False
             inst = self.schedule[v.position]
             if inst.shape.dtype == PRED:
+                return False
+            if inst.shape.dtype == BF16:
+                # bf16 is emulated in f32 storage: certified (hardware)
+                # bytes are a lower layout, not what NumPy allocates.
                 return False
             if v.category == COMPUTE and inst.shape.rank == 0:
                 return False
@@ -233,9 +239,12 @@ class _Builder:
         return tuple(roots)
 
     def _conversion_bytes(self, root: HloInstruction) -> int:
+        # Materialization converts every non-f32 output to an f32 array
+        # (predicate masks and narrowed values alike): the converted copy
+        # coexists with the source buffer at the peak.
         outputs = list(root.operands) if root.opcode == "tuple" else [root]
         return sum(
-            o.shape.num_elements * 4 for o in outputs if o.shape.dtype == PRED
+            o.shape.num_elements * 4 for o in outputs if o.shape.dtype != F32
         )
 
 

@@ -1,0 +1,272 @@
+"""The autocast planner: a verified per-op precision assignment.
+
+Two policies produce a :class:`PrecisionAssignment` for an (unfused,
+f32) module:
+
+* :func:`naive_assignment` narrows *every* float compute op to the
+  target dtype, narrow accumulators included.  This is the policy the
+  hazard corpus is checked under — it surfaces every precision bug a
+  blind "cast the whole model down" conversion would hit, and clean
+  programs must still verify clean under it (the zero-false-positive
+  bar).
+* :func:`plan_casts` follows the AMP discipline: range-tolerant ops
+  (matmul, conv, add, relu, ...) go narrow, transcendentals and division
+  stay f32 (:data:`WIDE_OPS`), sum/mean reductions keep narrow storage
+  but accumulate in f32, and any op whose exact interval escapes the
+  narrow dtype's range is reverted to f32 with a recorded reason.
+
+:func:`apply_plan` rewrites the module accordingly — cloning the DAG,
+re-dtyping assigned ops, inserting explicit ``convert`` instructions at
+every dtype boundary (parameters and constants stay f32; the root
+converts back to its original dtype) — and runs the verifier before
+returning.  The report then re-analyzes the planned module and requires
+it to check clean: the plan is not a suggestion, it is a certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import HloError
+from repro.hlo.dtypes import finfo
+from repro.hlo.ir import (
+    F32,
+    NARROW_DTYPES,
+    PRED,
+    HloComputation,
+    HloInstruction,
+    HloModule,
+)
+from repro.analysis.precision.ranges import RangeInfo
+
+#: Ops kept in f32 by :func:`plan_casts`: transcendentals whose output
+#: (or whose useful input resolution) exceeds narrow range, division,
+#: and the fused loss kernels (internally exponential).
+WIDE_OPS = frozenset(
+    {
+        "exponential",
+        "log",
+        "power",
+        "logistic",
+        "tanh",
+        "sqrt",
+        "rsqrt",
+        "divide",
+        "softmax_ce",
+        "softmax_ce_grad",
+    }
+)
+
+#: Ops never re-dtyped by any policy (structure, residents, predicates).
+_SKIP_OPS = frozenset(
+    {"parameter", "constant", "tuple", "fusion", "convert", "compare", "not"}
+)
+
+#: Widening order used when converging mixed operands of a kept-dtype op.
+_ORDER = {"f16": 0, "bf16": 1, "f32": 2, "f64": 3}
+
+
+@dataclass
+class PrecisionAssignment:
+    """A per-instruction precision decision for one module."""
+
+    module_name: str
+    #: The narrow dtype this plan targets ("f16" or "bf16").
+    policy: str
+    #: inst id -> assigned element type (unlisted ids keep their own).
+    compute: dict[int, str] = field(default_factory=dict)
+    #: reduce inst ids that accumulate in f32 despite narrow storage.
+    accum_f32: set[int] = field(default_factory=set)
+    #: inst id -> why the planner kept it wide ("wide-op",
+    #: "range-overflow", "range-underflow", "range-unknown").
+    reverted: dict[int, str] = field(default_factory=dict)
+
+    def dtype_for(self, inst: HloInstruction) -> str | None:
+        return self.compute.get(inst.id)
+
+    @property
+    def narrowed_count(self) -> int:
+        return sum(1 for d in self.compute.values() if d in NARROW_DTYPES)
+
+    def summary(self) -> str:
+        reasons: dict[str, int] = {}
+        for why in self.reverted.values():
+            reasons[why] = reasons.get(why, 0) + 1
+        kept = ", ".join(f"{k}={v}" for k, v in sorted(reasons.items()))
+        return (
+            f"{self.narrowed_count} ops -> {self.policy}, "
+            f"{len(self.accum_f32)} f32 accumulators"
+            + (f", kept wide: {kept}" if kept else "")
+        )
+
+
+def naive_assignment(module: HloModule, dtype: str) -> PrecisionAssignment:
+    """Narrow every float compute op to ``dtype`` — no safety analysis.
+
+    The straw-man policy a whole-model ``.half()`` conversion implies:
+    transcendentals go narrow, reductions accumulate narrow.  Hazard
+    programs must be *caught* under it and clean programs must pass.
+    """
+    _require_narrow(dtype)
+    plan = PrecisionAssignment(module_name=module.name, policy=dtype)
+    for inst in module.schedule():
+        if inst.opcode in _SKIP_OPS or inst.shape.dtype != F32:
+            continue
+        plan.compute[inst.id] = dtype
+    return plan
+
+
+def plan_casts(
+    module: HloModule, dtype: str, ranges: RangeInfo
+) -> PrecisionAssignment:
+    """The AMP-style plan, validated against the module's value ranges.
+
+    ``ranges`` must come from :func:`~repro.analysis.precision.ranges.
+    analyze_ranges` over the *original* (f32) module with the real
+    parameter intervals: the planner compares each op's exact-math
+    interval against the narrow dtype's representable range and keeps
+    anything that escapes it in f32.
+    """
+    _require_narrow(dtype)
+    info = finfo(dtype)
+    plan = PrecisionAssignment(module_name=module.name, policy=dtype)
+    for inst in module.schedule():
+        if inst.opcode in _SKIP_OPS or inst.shape.dtype != F32:
+            continue
+        if inst.opcode in WIDE_OPS:
+            plan.reverted[inst.id] = "wide-op"
+            continue
+        exact = ranges.exact.get(inst.id)
+        if exact is None or exact.poisoned:
+            plan.reverted[inst.id] = "range-unknown"
+            continue
+        if exact.max_abs > info.max:
+            plan.reverted[inst.id] = "range-overflow"
+            continue
+        if exact.min_abs > 0.0 and exact.max_abs < info.smallest_normal:
+            plan.reverted[inst.id] = "range-underflow"
+            continue
+        plan.compute[inst.id] = dtype
+        if inst.opcode == "reduce" and inst.attrs.get("kind") in ("sum", "mean"):
+            plan.accum_f32.add(inst.id)
+    return plan
+
+
+def apply_plan(module: HloModule, plan: PrecisionAssignment) -> HloModule:
+    """Rewrite ``module`` under ``plan`` and verify the result.
+
+    The rewrite clones the DAG: every assigned op is re-dtyped, every
+    dtype boundary gets an explicit ``convert`` (the only legal way to
+    change element type), parameters and constants keep their original
+    storage, and the root converts back to its original dtype so the
+    rewritten module is a drop-in replacement for the original.
+    Expects an unfused module (plans are made before optimization).
+    """
+    from repro.hlo.verify import verify_module
+
+    entry = HloComputation(f"{module.entry.name}_{plan.policy}")
+    mapping: dict[int, HloInstruction] = {}
+
+    def convert_to(inst: HloInstruction, dt: str) -> HloInstruction:
+        if inst.shape.dtype == dt:
+            return inst
+        return entry.add(
+            HloInstruction(
+                "convert",
+                [inst],
+                inst.shape.with_dtype(dt),
+                attrs={"new_dtype": dt},
+            )
+        )
+
+    for inst in module.schedule():
+        if inst.opcode == "fusion":
+            raise HloError(
+                f"apply_plan expects an unfused module; %{inst.name} in "
+                f"{module.name!r} is a fusion (plan before optimize())"
+            )
+        if inst.opcode == "parameter":
+            mapping[inst.id] = entry.add(
+                HloInstruction(
+                    "parameter",
+                    [],
+                    inst.shape,
+                    parameter_number=inst.parameter_number,
+                )
+            )
+            continue
+        if inst.opcode == "constant":
+            mapping[inst.id] = entry.add(
+                HloInstruction("constant", [], inst.shape, literal=inst.literal)
+            )
+            continue
+
+        target = plan.dtype_for(inst)
+        operands = [mapping[op.id] for op in inst.operands]
+        if target is None:
+            # A kept op keeps its original element type — reverting an op
+            # means computing it wide, so its float operands convert *up*
+            # to it, never the op down to them.
+            new_dtype = inst.shape.dtype
+            if new_dtype in _ORDER:
+                operands = [
+                    convert_to(o, new_dtype) if o.shape.dtype in _ORDER else o
+                    for o in operands
+                ]
+            elif new_dtype == PRED:
+                # compare: its float operands only need to agree with
+                # each other; converge mixed dtypes to the widest.
+                float_dts = [
+                    o.shape.dtype for o in operands if o.shape.dtype in _ORDER
+                ]
+                if len(set(float_dts)) > 1:
+                    widest = max(float_dts, key=lambda d: _ORDER[d])
+                    operands = [
+                        convert_to(o, widest) if o.shape.dtype in _ORDER else o
+                        for o in operands
+                    ]
+        else:
+            operands = [
+                convert_to(o, target) if o.shape.dtype in _ORDER else o
+                for o in operands
+            ]
+            new_dtype = target
+
+        attrs = dict(inst.attrs)
+        if inst.id in plan.accum_f32:
+            attrs["accum"] = "f32"
+        mapping[inst.id] = entry.add(
+            HloInstruction(
+                inst.opcode,
+                operands,
+                inst.shape.with_dtype(new_dtype),
+                attrs=attrs,
+                literal=inst.literal,
+            )
+        )
+
+    old_root = module.entry.root
+    new_root = mapping[old_root.id]
+    if old_root.opcode == "tuple":
+        elements = [
+            convert_to(mapping[op.id], op.shape.dtype)
+            for op in old_root.operands
+        ]
+        if any(e is not mapping[op.id] for e, op in zip(elements, old_root.operands)):
+            new_root = entry.add(
+                HloInstruction("tuple", elements, old_root.shape)
+            )
+    else:
+        new_root = convert_to(new_root, old_root.shape.dtype)
+    entry.set_root(new_root)
+
+    rewritten = HloModule(f"{module.name}_{plan.policy}", entry)
+    verify_module(rewritten)
+    return rewritten
+
+
+def _require_narrow(dtype: str) -> None:
+    if dtype not in NARROW_DTYPES:
+        raise HloError(
+            f"precision policy must be one of {NARROW_DTYPES}, got {dtype!r}"
+        )

@@ -1,0 +1,232 @@
+"""A sound interval domain for value-range certification.
+
+Endpoints are f64.  Soundness conventions:
+
+* every transfer function widens its result outward by a few f64 ULPs
+  (:func:`_widen`), so f64 rounding inside the analysis itself can never
+  produce a certificate tighter than the math;
+* an interval that may contain non-finite values (``inf``/NaN) is
+  *poisoned*: it becomes TOP ``[-inf, +inf]`` and :meth:`Interval.contains`
+  accepts anything, including NaN — poison propagates through every
+  operation, so a single overflow taints (and is reported at) its origin
+  only, while downstream values stay soundly covered;
+* :meth:`Interval.round_into` models executing a value in a narrow dtype:
+  endpoints widen by one ULP of that dtype and saturate to ``inf`` beyond
+  its finite range — the bridge between exact-math ranges and what a
+  narrowed executable can actually produce.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hlo.dtypes import finfo, ulp
+
+_INF = math.inf
+
+
+def _widen(lo: float, hi: float) -> tuple[float, float]:
+    """Outward-round endpoints by 4 f64 ULPs (absorbs f64 transfer error)."""
+    if math.isfinite(lo):
+        for _ in range(4):
+            lo = float(np.nextafter(lo, -_INF))
+    if math.isfinite(hi):
+        for _ in range(4):
+            hi = float(np.nextafter(hi, _INF))
+    return lo, hi
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]``; ``poisoned`` admits NaN as well."""
+
+    lo: float
+    hi: float
+    poisoned: bool = False
+
+    def __post_init__(self):
+        if self.poisoned:
+            object.__setattr__(self, "lo", -_INF)
+            object.__setattr__(self, "hi", _INF)
+        elif math.isnan(self.lo) or math.isnan(self.hi):
+            object.__setattr__(self, "lo", -_INF)
+            object.__setattr__(self, "hi", _INF)
+            object.__setattr__(self, "poisoned", True)
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def top() -> "Interval":
+        return Interval(-_INF, _INF, poisoned=True)
+
+    @staticmethod
+    def point(x: float) -> "Interval":
+        return Interval.make(x, x)
+
+    @staticmethod
+    def make(lo: float, hi: float) -> "Interval":
+        """Widened (sound) interval from possibly-unordered f64 endpoints."""
+        if math.isnan(lo) or math.isnan(hi):
+            return Interval.top()
+        if lo > hi:
+            lo, hi = hi, lo
+        lo, hi = _widen(lo, hi)
+        return Interval(lo, hi)
+
+    @staticmethod
+    def of_array(array: np.ndarray) -> "Interval":
+        a = np.asarray(array, dtype=np.float64)
+        if a.size == 0:
+            return Interval.point(0.0)
+        if not np.isfinite(a).all():
+            return Interval.top()
+        return Interval.make(float(a.min()), float(a.max()))
+
+    @staticmethod
+    def hull(*intervals: "Interval") -> "Interval":
+        if any(i.poisoned for i in intervals):
+            return Interval.top()
+        return Interval(
+            min(i.lo for i in intervals), max(i.hi for i in intervals)
+        )
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def finite(self) -> bool:
+        return math.isfinite(self.lo) and math.isfinite(self.hi)
+
+    @property
+    def max_abs(self) -> float:
+        return max(abs(self.lo), abs(self.hi))
+
+    @property
+    def min_abs(self) -> float:
+        """Smallest magnitude any value in the interval can have."""
+        if self.lo <= 0.0 <= self.hi:
+            return 0.0
+        return min(abs(self.lo), abs(self.hi))
+
+    def contains(self, value: float) -> bool:
+        if self.poisoned:
+            return True
+        if math.isnan(value):
+            return False
+        return self.lo <= value <= self.hi
+
+    def contains_interval(self, other: "Interval") -> bool:
+        if self.poisoned:
+            return True
+        if other.poisoned:
+            return False
+        return self.lo <= other.lo and other.hi <= self.hi
+
+    def __str__(self) -> str:
+        if self.poisoned:
+            return "[poisoned]"
+        return f"[{self.lo:.6g}, {self.hi:.6g}]"
+
+    # -- arithmetic transfer functions ---------------------------------------
+
+    def _binop(self, other: "Interval", fn) -> "Interval":
+        if self.poisoned or other.poisoned:
+            return Interval.top()
+        candidates = [
+            fn(a, b)
+            for a in (self.lo, self.hi)
+            for b in (other.lo, other.hi)
+        ]
+        if any(math.isnan(c) for c in candidates):
+            return Interval.top()
+        return Interval.make(min(candidates), max(candidates))
+
+    def add(self, other: "Interval") -> "Interval":
+        return self._binop(other, lambda a, b: a + b)
+
+    def sub(self, other: "Interval") -> "Interval":
+        return self._binop(other, lambda a, b: a - b)
+
+    def mul(self, other: "Interval") -> "Interval":
+        def prod(a, b):
+            # 0 * inf is NaN in IEEE; in exact math over a closed interval
+            # the contribution of a zero endpoint is zero.
+            if a == 0.0 or b == 0.0:
+                return 0.0
+            return a * b
+
+        return self._binop(other, prod)
+
+    def div(self, other: "Interval") -> "Interval":
+        if self.poisoned or other.poisoned:
+            return Interval.top()
+        if other.lo <= 0.0 <= other.hi:
+            # Divisor interval contains zero: unbounded (and possibly NaN).
+            return Interval.top()
+        return self._binop(other, lambda a, b: a / b)
+
+    def neg(self) -> "Interval":
+        if self.poisoned:
+            return Interval.top()
+        return Interval(-self.hi, -self.lo)
+
+    def abs(self) -> "Interval":
+        if self.poisoned:
+            return Interval.top()
+        if self.lo >= 0:
+            return self
+        if self.hi <= 0:
+            return self.neg()
+        return Interval(0.0, self.max_abs)
+
+    def maximum(self, other: "Interval") -> "Interval":
+        return self._binop(other, max)
+
+    def minimum(self, other: "Interval") -> "Interval":
+        return self._binop(other, min)
+
+    def monotone(self, fn) -> "Interval":
+        """Apply a monotone (non-decreasing) scalar function elementwise."""
+        if self.poisoned:
+            return Interval.top()
+        with np.errstate(all="ignore"):
+            lo = float(fn(self.lo))
+            hi = float(fn(self.hi))
+        if math.isnan(lo) or math.isnan(hi):
+            return Interval.top()
+        return Interval.make(lo, hi)
+
+    def scale(self, k: float) -> "Interval":
+        """Multiply by a scalar (contraction sizes etc.)."""
+        return self.mul(Interval.make(k, k))
+
+    def widen_absolute(self, err: float) -> "Interval":
+        """Grow both endpoints outward by an absolute error bound."""
+        if self.poisoned:
+            return Interval.top()
+        if not math.isfinite(err):
+            return Interval.top()
+        return Interval.make(self.lo - err, self.hi + err)
+
+    # -- dtype rounding --------------------------------------------------------
+
+    def round_into(self, dtype: str) -> "Interval":
+        """The interval of this value *as computed in* ``dtype``.
+
+        Endpoints widen by one ULP of the dtype (each op rounds once) and
+        saturate to ``±inf`` where they exceed the dtype's finite range —
+        the certified interval of a narrowed instruction, guaranteed to
+        cover every value its rounded execution can produce.
+        """
+        if self.poisoned:
+            return Interval.top()
+        info = finfo(dtype)
+        lo = self.lo - ulp(dtype, self.lo)
+        hi = self.hi + ulp(dtype, self.hi)
+        if hi > info.max:
+            hi = _INF
+        if lo < -info.max:
+            lo = -_INF
+        return Interval(lo, hi)

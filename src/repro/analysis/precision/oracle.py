@@ -1,0 +1,175 @@
+"""The dynamic oracle: instrumented runs that the certificates must cover.
+
+Two entry points walk a module's schedule with
+:func:`repro.hlo.compiler.evaluate_instruction`, recording per-instruction
+observed value statistics:
+
+* :func:`run_reference` — the original (f32) module fed f64 arguments;
+  every float result is widened to f64 before use, so the run is the
+  exact-math stand-in the output-error metrics compare against;
+* :func:`run_observed` — a (possibly narrowed) module executed exactly as
+  recorded: f16 ops round to half precision, bf16 ops quantize, narrow
+  reductions accumulate serially in their own dtype.
+
+The report then requires, per instruction and per trace, that the static
+certified interval contains the observed ``[min, max]`` (NaN observed ⇒
+the interval must be poisoned) — the "certified ⊇ observed" contract —
+and compares outputs against the reference to confirm each statically
+predicted hazard *manifests* (and that clean programs stay accurate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import HloError
+from repro.hlo.compiler import evaluate_instruction
+from repro.hlo.dtypes import finfo
+from repro.hlo.ir import HloModule
+
+#: NumPy float dtypes whose values the oracle records statistics for.
+_FLOAT_KINDS = ("f",)
+
+
+@dataclass(frozen=True)
+class ObservedStats:
+    """Elementwise min/max (over every element seen) plus NaN presence."""
+
+    lo: float
+    hi: float
+    has_nan: bool
+
+    @property
+    def finite(self) -> bool:
+        return (
+            not self.has_nan
+            and np.isfinite(self.lo)
+            and np.isfinite(self.hi)
+        )
+
+
+@dataclass
+class OracleRun:
+    """One instrumented execution of one module."""
+
+    module_name: str
+    #: inst id -> observed stats (float-valued instructions only).
+    observed: dict[int, ObservedStats] = field(default_factory=dict)
+    #: Root outputs, widened to f64 (tuple roots flatten in order).
+    outputs: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def has_nonfinite_output(self) -> bool:
+        return any(not np.isfinite(o).all() for o in self.outputs)
+
+
+def run_observed(module: HloModule, args: Sequence[np.ndarray]) -> OracleRun:
+    """Execute ``module`` as recorded (narrow dtypes and all), instrumented."""
+    return _walk(module, args, widen=False)
+
+
+def run_reference(module: HloModule, args: Sequence[np.ndarray]) -> OracleRun:
+    """Execute ``module`` at f64: arguments and every float result widen."""
+    return _walk(module, [np.asarray(a, np.float64) for a in args], widen=True)
+
+
+def _walk(module: HloModule, args: Sequence[np.ndarray], widen: bool) -> OracleRun:
+    run = OracleRun(module_name=module.name)
+    values: dict[int, object] = {}
+    for inst in module.schedule():
+        if inst.opcode == "parameter":
+            result = np.asarray(args[inst.parameter_number])
+        elif inst.opcode == "tuple":
+            result = tuple(values[o.id] for o in inst.operands)
+        elif inst.opcode == "fusion":
+            raise HloError(
+                f"the precision oracle walks unfused modules; %{inst.name} "
+                f"in {module.name!r} is a fusion"
+            )
+        else:
+            in_vals = [values[o.id] for o in inst.operands]
+            # Narrowed hazard runs produce inf/NaN *by design* — that is
+            # the manifestation being measured; keep NumPy quiet about it.
+            with np.errstate(all="ignore"):
+                result = evaluate_instruction(inst, in_vals)
+            if widen and isinstance(result, np.ndarray) and result.dtype.kind in _FLOAT_KINDS:
+                result = np.asarray(result, np.float64)
+        values[inst.id] = result
+        stats = _stats_of(result)
+        if stats is not None:
+            run.observed[inst.id] = stats
+    root = values[module.entry.root.id]
+    outputs = root if isinstance(root, tuple) else (root,)
+    for o in outputs:
+        # Rank-0 reductions come back as NumPy scalars, not arrays.
+        if isinstance(o, np.ndarray) and o.dtype.kind in _FLOAT_KINDS:
+            run.outputs.append(np.asarray(o, np.float64))
+        elif isinstance(o, (float, np.floating)):
+            run.outputs.append(np.asarray(o, np.float64))
+    return run
+
+
+def _stats_of(result) -> ObservedStats | None:
+    if not isinstance(result, np.ndarray) or result.dtype.kind not in _FLOAT_KINDS:
+        if isinstance(result, (float, np.floating)):
+            v = float(result)
+            return ObservedStats(v, v, has_nan=bool(np.isnan(v)))
+        return None
+    if result.size == 0:
+        return None
+    a = np.asarray(result, np.float64)
+    has_nan = bool(np.isnan(a).any())
+    finite_or_inf = a[~np.isnan(a)] if has_nan else a
+    if finite_or_inf.size == 0:
+        return ObservedStats(np.nan, np.nan, has_nan=True)
+    return ObservedStats(
+        float(finite_or_inf.min()), float(finite_or_inf.max()), has_nan
+    )
+
+
+@dataclass(frozen=True)
+class OutputError:
+    """Output deviation of an observed run from the f64 reference."""
+
+    #: max over outputs of max|y - y_ref| / max(max|y_ref|, 1e-12).
+    max_scaled: float
+    #: max elementwise |y - y_ref| in units of ``dtype``'s ULP at the
+    #: reference magnitude — "how many representable steps off".
+    max_ulp: float
+    #: The observed run produced inf/NaN where the reference did not.
+    introduced_nonfinite: bool
+
+
+def output_errors(
+    observed: OracleRun, reference: OracleRun, dtype: str
+) -> OutputError:
+    """Compare two runs of semantically-equal modules output by output."""
+    if len(observed.outputs) != len(reference.outputs):
+        raise HloError(
+            f"output arity mismatch: {len(observed.outputs)} observed vs "
+            f"{len(reference.outputs)} reference"
+        )
+    info = finfo(dtype)
+    max_scaled = 0.0
+    max_ulp = 0.0
+    introduced = False
+    for y, ref in zip(observed.outputs, reference.outputs):
+        ref_ok = np.isfinite(ref)
+        y_bad = ~np.isfinite(y)
+        if bool((ref_ok & y_bad).any()):
+            introduced = True
+            continue
+        ok = ref_ok & ~y_bad
+        if not bool(ok.any()):
+            continue
+        err = np.abs(y[ok] - ref[ok])
+        scale = max(float(np.abs(ref[ok]).max()), 1e-12)
+        max_scaled = max(max_scaled, float(err.max()) / scale)
+        ulps = np.maximum(
+            np.abs(ref[ok]) * info.eps, info.smallest_subnormal
+        )
+        max_ulp = max(max_ulp, float((err / ulps).max()))
+    return OutputError(max_scaled, max_ulp, introduced)

@@ -1,0 +1,336 @@
+"""Interval range propagation over HLO module schedules.
+
+:func:`analyze_ranges` walks a module's schedule once, computing for every
+instruction:
+
+* an **exact** interval — the image of the op's real-valued math over its
+  operands' certified intervals (what the value would be with infinite
+  precision); and
+* a **certified** interval — the exact interval *rounded into* the
+  instruction's element type (one-ULP outward widening, saturation to
+  ``inf`` beyond the dtype's finite range) plus, for reductions with a
+  narrow accumulator, the accumulated-rounding error bound.
+
+The certified interval is the analysis' promise: every value the narrowed
+executable can produce for that instruction lies inside it (the dynamic
+oracle enforces exactly this, per instruction, per trace).  The dtype-flow
+checker reads the *exact* intervals to attribute hazards to their origin:
+an ``exp`` whose exact image exceeds f16's 65504 is an overflow at the
+``exp``, while everything downstream of the resulting ``inf`` is poisoned
+and reported nowhere else.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.hlo.dtypes import FINFO, finfo
+from repro.hlo.ir import (
+    NARROW_DTYPES,
+    PRED,
+    HloComputation,
+    HloInstruction,
+    HloModule,
+)
+from repro.analysis.precision.intervals import Interval
+
+import numpy as np
+
+#: Interval of a predicate value.
+_PRED_INTERVAL = Interval(0.0, 1.0)
+
+
+@dataclass
+class RangeInfo:
+    """Per-instruction interval facts for one module."""
+
+    module_name: str
+    #: inst id -> certified interval (covers the narrowed execution).
+    intervals: dict[int, Interval] = field(default_factory=dict)
+    #: inst id -> exact-math interval (pre-rounding; hazard attribution).
+    exact: dict[int, Interval] = field(default_factory=dict)
+    #: reduce inst id -> number of elements its accumulator folds.
+    reduce_elements: dict[int, int] = field(default_factory=dict)
+    #: inst ids whose *operands* were already poisoned (downstream of an
+    #: overflow origin; the checker skips these).
+    poisoned_inputs: set[int] = field(default_factory=set)
+
+    def certified(self, inst: HloInstruction) -> Interval:
+        return self.intervals.get(inst.id, Interval.top())
+
+
+def analyze_ranges(
+    module: HloModule, param_intervals: dict[int, Interval]
+) -> RangeInfo:
+    """Propagate intervals over ``module``'s schedule.
+
+    ``param_intervals`` maps parameter numbers to the intervals of the
+    arguments the module will be run with (the report derives them from
+    the captured trace's real source data).  Missing parameters are TOP.
+    """
+    info = RangeInfo(module_name=module.name)
+    _analyze_computation(module.entry, param_intervals, info)
+    return info
+
+
+def _analyze_computation(
+    comp: HloComputation,
+    param_intervals: dict[int, Interval],
+    info: RangeInfo,
+) -> None:
+    for inst in comp.post_order():
+        if inst.opcode == "fusion":
+            inner_params = {
+                i: info.certified(op) for i, op in enumerate(inst.operands)
+            }
+            _analyze_computation(inst.fused_computation, inner_params, info)
+            root = inst.fused_computation.root
+            exact = info.exact.get(root.id, Interval.top())
+            certified = info.intervals.get(root.id, Interval.top())
+        else:
+            exact = _transfer(inst, param_intervals, info)
+            certified = _certify(inst, exact, info)
+        if any(info.certified(op).poisoned for op in inst.operands):
+            info.poisoned_inputs.add(inst.id)
+        info.exact[inst.id] = exact
+        info.intervals[inst.id] = certified
+
+
+def _certify(
+    inst: HloInstruction, exact: Interval, info: RangeInfo
+) -> Interval:
+    """Round the exact interval into the instruction's element type."""
+    dt = inst.shape.dtype
+    if dt == PRED or dt == "tuple":
+        return exact
+    if dt not in FINFO:
+        return Interval.top()
+    certified = exact
+    if inst.opcode == "reduce" and _narrow_accumulator(inst):
+        n = info.reduce_elements.get(inst.id, 1)
+        delta = accumulation_relative_bound(dt, n)
+        operand = info.certified(inst.operands[0])
+        if not exact.poisoned and (operand.lo >= 0.0 or operand.hi <= 0.0):
+            # Same-sign summands: no cancellation, so the accumulated
+            # rounding error is *relative* to the (sign-preserving) sum —
+            # crucially, a positive sum stays certified positive, which
+            # keeps downstream normalizer divisions away from zero.
+            certified = Interval.make(
+                exact.lo - delta * abs(exact.lo),
+                exact.hi + delta * abs(exact.hi),
+            )
+        else:
+            # Mixed signs cancel: the error is relative to the sum of
+            # magnitudes, which ``exact.max_abs`` (n x element max) bounds.
+            certified = certified.widen_absolute(
+                accumulation_error_bound(dt, n, exact.max_abs)
+            )
+    return certified.round_into(dt)
+
+
+def _narrow_accumulator(inst: HloInstruction) -> bool:
+    return (
+        inst.shape.dtype in NARROW_DTYPES
+        and inst.attrs.get("accum") != "f32"
+        and inst.attrs.get("kind") in ("sum", "mean")
+    )
+
+
+def accumulation_relative_bound(dtype: str, n: int) -> float:
+    """Relative error factor of an ``n``-term serial sum accumulated in
+    ``dtype``: the standard ``(1 + eps/2)^n - 1``, kept finite with
+    ``expm1``."""
+    return math.expm1(0.5 * n * finfo(dtype).eps)
+
+
+def accumulation_error_bound(dtype: str, n: int, max_abs: float) -> float:
+    """Absolute error bound of an ``n``-term serial sum accumulated in
+    ``dtype`` whose exact result magnitude is at most ``max_abs``.
+
+    Each of the ``n`` additions rounds once, by at most half an ULP of
+    the running partial, compounding to the standard
+    ``(1 + eps/2)^n - 1`` factor over the sum of magnitudes (which the
+    caller's ``max_abs`` — the scaled sum interval's bound — dominates).
+    Kept finite with ``expm1``.  Loose by design: the looseness *is* the
+    static case for ``accum="f32"``.
+    """
+    if not math.isfinite(max_abs):
+        return math.inf
+    return accumulation_relative_bound(dtype, n) * max_abs
+
+
+def reduced_element_count(inst: HloInstruction) -> int:
+    operand = inst.operands[0]
+    axes = inst.attrs.get("axes")
+    dims = operand.shape.dims
+    if axes is None:
+        axes = tuple(range(len(dims)))
+    n = 1
+    for a in axes:
+        n *= dims[a % len(dims)] if dims else 1
+    return max(n, 1)
+
+
+# ---------------------------------------------------------------------------
+# Transfer functions (exact math over operand certified intervals).
+# ---------------------------------------------------------------------------
+
+
+def _transfer(
+    inst: HloInstruction,
+    param_intervals: dict[int, Interval],
+    info: RangeInfo,
+) -> Interval:
+    op = inst.opcode
+    ivs = [info.certified(o) for o in inst.operands]
+
+    if op == "parameter":
+        return param_intervals.get(inst.parameter_number, Interval.top())
+    if op == "constant":
+        return Interval.of_array(np.asarray(inst.literal, dtype=np.float64))
+    if op == "convert":
+        return ivs[0]
+
+    if op == "add":
+        return ivs[0].add(ivs[1])
+    if op == "subtract":
+        return ivs[0].sub(ivs[1])
+    if op == "multiply":
+        return ivs[0].mul(ivs[1])
+    if op == "divide":
+        return ivs[0].div(ivs[1])
+    if op == "power":
+        return _power_interval(ivs[0], ivs[1])
+    if op == "maximum":
+        return ivs[0].maximum(ivs[1])
+    if op == "minimum":
+        return ivs[0].minimum(ivs[1])
+    if op == "compare" or op == "not":
+        return _PRED_INTERVAL
+    if op == "select":
+        return Interval.hull(ivs[1], ivs[2])
+
+    if op == "negate":
+        return ivs[0].neg()
+    if op == "abs":
+        return ivs[0].abs()
+    if op == "sign":
+        return Interval(-1.0, 1.0)
+    if op == "relu":
+        return ivs[0].maximum(Interval.point(0.0))
+    if op == "exponential":
+        return ivs[0].monotone(math.exp)
+    if op == "tanh":
+        return ivs[0].monotone(math.tanh)
+    if op == "logistic":
+        return ivs[0].monotone(lambda x: 1.0 / (1.0 + math.exp(-x)))
+    if op == "log":
+        if ivs[0].poisoned or ivs[0].lo <= 0.0:
+            return Interval.top()
+        return ivs[0].monotone(math.log)
+    if op == "sqrt":
+        if ivs[0].poisoned or ivs[0].lo < 0.0:
+            return Interval.top()
+        return ivs[0].monotone(math.sqrt)
+    if op == "rsqrt":
+        if ivs[0].poisoned or ivs[0].lo <= 0.0:
+            return Interval.top()
+        return Interval.make(
+            1.0 / math.sqrt(ivs[0].hi), 1.0 / math.sqrt(ivs[0].lo)
+        )
+
+    if op in ("broadcast", "reshape", "transpose", "slice", "avg_pool"):
+        return ivs[0]
+    if op == "max_pool":
+        return ivs[0]
+    if op == "pad":
+        return Interval.hull(ivs[0], Interval.point(0.0))
+    if op == "concatenate":
+        return Interval.hull(*ivs)
+
+    if op == "dot":
+        k = inst.operands[0].shape.dims[-1] if inst.operands[0].shape.dims else 1
+        return _sum_of_products(ivs[0], ivs[1], k)
+    if op == "convolution":
+        kh, kw, cin, _ = inst.operands[1].shape.dims
+        return _sum_of_products(ivs[0], ivs[1], kh * kw * cin)
+    if op == "conv_grad_input":
+        kh, kw, _, cout = inst.operands[1].shape.dims
+        return _sum_of_products(ivs[0], ivs[1], kh * kw * cout)
+    if op == "conv_grad_filter":
+        n, oh, ow, _ = inst.operands[1].shape.dims
+        return _sum_of_products(ivs[0], ivs[1], n * oh * ow)
+
+    if op == "reduce":
+        n = reduced_element_count(inst)
+        info.reduce_elements[inst.id] = n
+        kind = inst.attrs.get("kind")
+        if kind == "sum":
+            # Sum of n elements, each in the operand interval.
+            return ivs[0].scale(n)
+        return ivs[0]  # mean and max stay within the operand's hull
+
+    if op == "avg_pool_grad":
+        pool = inst.attrs["pool"]
+        stride = inst.attrs["stride"]
+        windows = math.ceil(pool / max(stride, 1)) ** 2
+        return Interval.hull(
+            ivs[0].scale(windows / (pool * pool)), Interval.point(0.0)
+        )
+    if op == "max_pool_grad":
+        pool = inst.attrs["pool"]
+        stride = inst.attrs["stride"]
+        windows = math.ceil(pool / max(stride, 1)) ** 2
+        return Interval.hull(ivs[1].scale(windows), Interval.point(0.0))
+
+    if op == "iota":
+        return Interval.make(0.0, float(inst.attrs["n"] - 1))
+    if op == "one_hot":
+        return Interval(0.0, 1.0)
+    if op == "softmax_ce":
+        logits = ivs[0]
+        if logits.poisoned:
+            return Interval.top()
+        classes = inst.operands[0].shape.dims[-1]
+        return Interval.make(
+            0.0, (logits.hi - logits.lo) + math.log(max(classes, 1))
+        )
+    if op == "softmax_ce_grad":
+        if ivs[0].poisoned:
+            return Interval.top()
+        return Interval(-1.0, 1.0)  # (softmax - onehot)/batch ⊆ [-1, 1]
+    if op == "tuple":
+        return Interval.hull(*ivs) if ivs else Interval.point(0.0)
+
+    return Interval.top()  # unknown op: soundly unbounded
+
+
+def _sum_of_products(a: Interval, b: Interval, k: int) -> Interval:
+    """Interval of a k-term contraction (dot/conv): k products summed."""
+    return a.mul(b).scale(max(k, 1))
+
+
+def _power_interval(base: Interval, exponent: Interval) -> Interval:
+    if base.poisoned or exponent.poisoned:
+        return Interval.top()
+    if base.lo >= 0.0:
+        with np.errstate(all="ignore"):
+            candidates = [
+                float(np.float64(a) ** np.float64(b))
+                for a in (base.lo, base.hi)
+                for b in (exponent.lo, exponent.hi)
+            ]
+        if any(math.isnan(c) for c in candidates):
+            return Interval.top()
+        # x^y over a box is monotone in each variable for the other held
+        # fixed (x > 0), so the corner candidates bound the image.
+        return Interval.make(min(candidates), max(candidates))
+    # Negative bases with a point integer exponent are still sound.
+    if exponent.lo == exponent.hi and float(exponent.lo).is_integer():
+        n = int(exponent.lo)
+        candidates = [base.lo**n, base.hi**n]
+        if base.contains(0.0):
+            candidates.append(0.0)
+        return Interval.make(min(candidates), max(candidates))
+    return Interval.top()

@@ -68,13 +68,24 @@ Three sweeps, mirroring the three layers the subsystem spans:
    (over-budget trace, unsafe in-place donation, tuple-aliasing reuse)
    must be caught with a *located* diagnostic — clean programs silent.
 
-``python -m repro.analysis --self-check`` runs all eight and exits 0 iff
+9. **Precision sweep** — run the static precision-safety analysis
+   (:mod:`repro.analysis.precision`) over the seeded step-program
+   corpus: every program's dtype-flow verdict under the naive
+   narrow-everything lowering must match its expectation (clean
+   programs with zero error diagnostics), every certified interval must
+   contain every dynamically observed value across the reference, naive,
+   and planned oracle runs, every statically predicted hazard must
+   *manifest* in the naive run's outputs, every autocast plan must
+   re-check clean and run accurately, and narrowing must shrink the
+   memory planner's certified peak on at least one trace.
+
+``python -m repro.analysis --self-check`` runs all nine and exits 0 iff
 everything holds.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -122,11 +133,21 @@ class SelfCheckReport:
     peak_bounds_certified: int = 0
     exact_peak_matches: int = 0
     buffers_reused: int = 0
+    precision_programs_checked: int = 0
+    precision_hazards_caught: int = 0
+    intervals_contained: int = 0
+    autocast_plans_verified: int = 0
+    narrow_peak_bytes_saved: int = 0
     failures: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    def to_json(self) -> dict:
+        payload = asdict(self)
+        payload["ok"] = self.ok
+        return payload
 
     def summary(self) -> str:
         lines = [
@@ -162,6 +183,11 @@ class SelfCheckReport:
             f"peak bounds certified:         {self.peak_bounds_certified}",
             f"exact peak matches:            {self.exact_peak_matches}",
             f"buffers reused:                {self.buffers_reused}",
+            f"precision programs checked:    {self.precision_programs_checked}",
+            f"precision hazards caught:      {self.precision_hazards_caught}",
+            f"intervals containing observed: {self.intervals_contained}",
+            f"autocast plans verified:       {self.autocast_plans_verified}",
+            f"narrowed peak bytes saved:     {self.narrow_peak_bytes_saved}",
         ]
         if self.failures:
             lines.append(f"FAILURES ({len(self.failures)}):")
@@ -702,6 +728,87 @@ def _check_memory(report: SelfCheckReport) -> None:
             report.buffers_reused += check.plan.buffers_reused
 
 
+def _check_precision(report: SelfCheckReport) -> None:
+    from repro.analysis.precision import CORPUS, analyze_precision_program
+
+    # Corpus sweep: verdicts under the naive narrow-everything lowering
+    # (clean programs with zero error diagnostics, hazards with *located*
+    # diagnostics), certified ⊇ observed on every oracle run, every
+    # statically predicted hazard manifesting dynamically, every autocast
+    # plan re-checking clean and running accurately — and, across the
+    # corpus, at least one trace whose certified peak shrinks.
+    best_saved = 0
+    for program in CORPUS:
+        try:
+            result = analyze_precision_program(program)
+        except ReproError as exc:  # pragma: no cover
+            report.failures.append(f"precision program {program.name!r}: {exc}")
+            continue
+        report.precision_programs_checked += 1
+
+        if not result.verdict_matches:
+            report.failures.append(
+                f"precision program {program.name!r}: expected verdict "
+                f"{program.expect!r}, got {sorted(result.verdicts())}"
+            )
+        elif program.expect != "clean":
+            located = [
+                d
+                for d in result.diagnostics()
+                if d.is_error and d.location.line > 0
+            ]
+            if located:
+                report.precision_hazards_caught += 1
+            else:
+                report.failures.append(
+                    f"precision program {program.name!r}: hazard caught "
+                    "but no diagnostic carries a source location"
+                )
+
+        if program.expect == "clean" and any(
+            d.is_error for d in result.diagnostics()
+        ):
+            report.failures.append(
+                f"precision program {program.name!r}: false positive: "
+                + next(d for d in result.diagnostics() if d.is_error).message
+            )
+
+        if not result.cross_check_ok:
+            divergent = [
+                failure
+                for c in result.checks
+                for failure in c.containment_failures
+            ] + [
+                f"trace {c.trace_key}: "
+                + (
+                    "hazard does not manifest"
+                    if not c.manifestation_agrees
+                    else "planned lowering not clean"
+                )
+                for c in result.checks
+                if not c.manifestation_agrees or not c.planned_ok
+            ]
+            report.failures.append(
+                f"precision program {program.name!r}: static verdicts "
+                "diverge from the dynamic oracle ("
+                + ("; ".join(divergent) or "no traces captured")
+                + ")"
+            )
+            continue
+
+        for check in result.checks:
+            report.intervals_contained += 1
+            report.autocast_plans_verified += 1
+        best_saved = max(best_saved, result.bytes_saved)
+        report.narrow_peak_bytes_saved += max(result.bytes_saved, 0)
+
+    if report.precision_programs_checked and best_saved <= 0:
+        report.failures.append(
+            "precision sweep: no corpus trace's certified peak shrank "
+            "under the autocast plan — narrowing must be visible in bytes"
+        )
+
+
 def self_check(verbose: bool = False) -> SelfCheckReport:
     """Run all sweeps; the report's ``ok`` says whether everything held."""
     report = SelfCheckReport()
@@ -713,6 +820,7 @@ def self_check(verbose: bool = False) -> SelfCheckReport:
     _check_derivatives(report)
     _check_concurrency(report)
     _check_memory(report)
+    _check_precision(report)
     if verbose:  # pragma: no cover
         print(report.summary())
     return report

@@ -32,9 +32,11 @@ class SnapNode:
     so both accept live trace roots and snapshots interchangeably.
     """
 
-    __slots__ = ("id", "op", "inputs", "attrs", "shape", "dtype", "_source")
+    __slots__ = ("id", "op", "inputs", "attrs", "shape", "dtype", "_source", "data")
 
-    def __init__(self, node: TraceNode, inputs: list["SnapNode"]) -> None:
+    def __init__(
+        self, node: TraceNode, inputs: list["SnapNode"], keep_data: bool = False
+    ) -> None:
         self.id = node.id
         self.op = node.op
         self.inputs = inputs
@@ -42,6 +44,13 @@ class SnapNode:
         self.shape = tuple(node.shape)
         self.dtype = node.dtype
         self._source = node.is_source
+        #: Source array, retained only under ``keep_data`` (the precision
+        #: oracle needs real inputs; every other analysis is shape-only).
+        self.data = (
+            np.array(node.data, copy=True)
+            if keep_data and node.is_source and node.data is not None
+            else None
+        )
 
     @property
     def is_source(self) -> bool:
@@ -82,11 +91,12 @@ class Fragment:
         return sum(1 for n in self.nodes() if not n.is_source)
 
     def to_trace_nodes(self) -> list[TraceNode]:
-        """Rebuild real (zero-filled) TraceNodes, e.g. for HLO lowering.
+        """Rebuild real TraceNodes, e.g. for HLO lowering.
 
-        Source data is abstracted to zeros of the right shape: the lowered
-        module's fingerprint depends only on shapes, so this reconstruction
-        is fingerprint-faithful.
+        Source data is abstracted to zeros of the right shape unless the
+        snapshot retained it (``keep_source_data`` capture): the lowered
+        module's fingerprint depends only on shapes, so either
+        reconstruction is fingerprint-faithful.
         """
         rebuilt: dict[int, TraceNode] = {}
         for snap in self.nodes():
@@ -96,7 +106,11 @@ class Fragment:
                     [],
                     snap.shape,
                     snap.dtype,
-                    data=np.zeros(snap.shape, np.float32),
+                    data=(
+                        snap.data
+                        if snap.data is not None
+                        else np.zeros(snap.shape, np.float32)
+                    ),
                 )
             else:
                 node = TraceNode(
@@ -110,7 +124,7 @@ class Fragment:
         return [rebuilt[r.id] for r in self.roots]
 
 
-def snapshot_fragment(targets) -> Fragment:
+def snapshot_fragment(targets, keep_data: bool = False) -> Fragment:
     """Deep-copy the DAG rooted at ``targets`` into :class:`SnapNode` form."""
     snapped: dict[int, SnapNode] = {}
     for target in targets:
@@ -121,7 +135,7 @@ def snapshot_fragment(targets) -> Fragment:
                 continue
             if expanded or not node.inputs:
                 snapped[node.id] = SnapNode(
-                    node, [snapped[i.id] for i in node.inputs]
+                    node, [snapped[i.id] for i in node.inputs], keep_data
                 )
             else:
                 stack.append((node, True))
@@ -192,6 +206,7 @@ def capture_step_traces(
     steps: int,
     device,
     isolate_cache: bool = True,
+    keep_source_data: bool = False,
 ) -> StepTraceCapture:
     """Drive ``step_fn(step)`` for ``steps`` iterations on a lazy ``device``,
     snapshotting every trace fragment the runtime cuts.
@@ -222,7 +237,10 @@ def capture_step_traces(
         nonlocal cuts_this_step
         capture.fragments.append(
             FragmentRecord(
-                current_step, cuts_this_step, reason, snapshot_fragment(targets)
+                current_step,
+                cuts_this_step,
+                reason,
+                snapshot_fragment(targets, keep_data=keep_source_data),
             )
         )
         cuts_this_step += 1

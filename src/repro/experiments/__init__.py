@@ -15,6 +15,11 @@ from repro.experiments.memory_plan import (
     run_memory_plan,
 )
 from repro.experiments.figure9 import Figure9Point, render_figure9, run_figure9
+from repro.experiments.precision_audit import (
+    PrecisionAuditResult,
+    PrecisionAuditRow,
+    run_precision_audit,
+)
 from repro.experiments.table1 import (
     FULL_TPU_WORKLOAD,
     SCALED_TPU_WORKLOAD,
@@ -43,6 +48,9 @@ __all__ = [
     "Figure9Point",
     "render_figure9",
     "run_figure9",
+    "PrecisionAuditResult",
+    "PrecisionAuditRow",
+    "run_precision_audit",
     "FULL_TPU_WORKLOAD",
     "SCALED_TPU_WORKLOAD",
     "TPUWorkload",

@@ -18,6 +18,7 @@ from repro.experiments import (
     run_figure4,
     run_figure9,
     run_memory_plan,
+    run_precision_audit,
     run_table1,
     run_table2,
     run_table3,
@@ -46,6 +47,7 @@ EXPERIMENTS = {
     "trace_stability": lambda: run_trace_stability().render(),
     "derivative_pruning": lambda: run_derivative_pruning().render(),
     "memory_plan": lambda: run_memory_plan().render(),
+    "precision_audit": lambda: run_precision_audit().render(),
 }
 
 

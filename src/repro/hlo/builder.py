@@ -36,10 +36,17 @@ class HloBuilder:
             HloInstruction("parameter", [], shape, parameter_number=number)
         )
 
-    def constant(self, value) -> HloInstruction:
-        array = np.asarray(value, dtype=np.float32)
+    def constant(self, value, dtype: Optional[str] = None) -> HloInstruction:
+        if dtype is None:
+            array = np.asarray(value, dtype=np.float32)
+            shape = Shape.of(array)
+        else:
+            from repro.hlo.dtypes import cast_array
+
+            array = cast_array(np.asarray(value), dtype)
+            shape = Shape(tuple(int(d) for d in array.shape), dtype)
         return self._add(
-            HloInstruction("constant", [], Shape.of(array), literal=array)
+            HloInstruction("constant", [], shape, literal=array)
         )
 
     def iota(self, n: int) -> HloInstruction:
@@ -62,6 +69,15 @@ class HloBuilder:
     def select(self, pred, on_true, on_false) -> HloInstruction:
         shape = si.infer_select(pred.shape, on_true.shape, on_false.shape)
         return self._add(HloInstruction("select", [pred, on_true, on_false], shape))
+
+    def convert(self, x, new_dtype: str) -> HloInstruction:
+        """Element-type conversion (the only legal dtype boundary)."""
+        if x.shape.dtype == new_dtype:
+            return x
+        shape = si.infer_convert(x.shape, new_dtype)
+        return self._add(
+            HloInstruction("convert", [x], shape, attrs={"new_dtype": new_dtype})
+        )
 
     # -- shape ops --------------------------------------------------------------
 
@@ -132,7 +148,7 @@ class HloBuilder:
             HloInstruction(
                 "conv_grad_input",
                 [grad, filters],
-                Shape(tuple(input_dims)),
+                Shape(tuple(input_dims), grad.shape.dtype),
                 attrs={
                     "input_dims": tuple(input_dims),
                     "stride": stride,
@@ -146,7 +162,7 @@ class HloBuilder:
             HloInstruction(
                 "conv_grad_filter",
                 [x, grad],
-                Shape(tuple(filter_dims)),
+                Shape(tuple(filter_dims), grad.shape.dtype),
                 attrs={
                     "filter_dims": tuple(filter_dims),
                     "stride": stride,
@@ -155,19 +171,25 @@ class HloBuilder:
             )
         )
 
-    def reduce(self, x, kind: str, axes, keepdims: bool = False) -> HloInstruction:
+    def reduce(
+        self,
+        x,
+        kind: str,
+        axes,
+        keepdims: bool = False,
+        accum: Optional[str] = None,
+    ) -> HloInstruction:
         shape = si.infer_reduce(x.shape, axes, keepdims)
         axes_t = (
             tuple(a % x.shape.rank for a in axes) if axes is not None else None
         )
-        return self._add(
-            HloInstruction(
-                "reduce",
-                [x],
-                shape,
-                attrs={"kind": kind, "axes": axes_t, "keepdims": keepdims},
-            )
-        )
+        attrs = {"kind": kind, "axes": axes_t, "keepdims": keepdims}
+        if accum is not None:
+            # Accumulator dtype (the AMP discipline: narrow inputs may
+            # still demand f32 accumulation).  Absent means "accumulate
+            # in the operand dtype".
+            attrs["accum"] = accum
+        return self._add(HloInstruction("reduce", [x], shape, attrs=attrs))
 
     # -- pooling / fused training ops ---------------------------------------------
 
@@ -184,7 +206,7 @@ class HloBuilder:
             HloInstruction(
                 "avg_pool_grad",
                 [grad],
-                Shape(tuple(input_dims)),
+                Shape(tuple(input_dims), grad.shape.dtype),
                 attrs={
                     "input_dims": tuple(input_dims),
                     "pool": pool,

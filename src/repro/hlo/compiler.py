@@ -22,7 +22,8 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.errors import HloError
-from repro.hlo.ir import HloInstruction, HloModule
+from repro.hlo.dtypes import cast_array
+from repro.hlo.ir import BF16, F16, F64, HloInstruction, HloModule, NARROW_DTYPES
 from repro.hlo.passes import optimize
 from repro.hlo.printer import print_module
 from repro.runtime import memory
@@ -66,10 +67,28 @@ _COMPARE = {
 
 
 def evaluate_instruction(inst: HloInstruction, args: Sequence[np.ndarray]):
-    """Evaluate one (non-parameter, non-fusion) instruction numerically."""
+    """Evaluate one (non-parameter, non-fusion) instruction numerically.
+
+    Results are coerced to the instruction's recorded element type, so a
+    narrowed module computes genuinely narrowed values: f16 ops run in
+    half precision, bf16 ops quantize every result to the bf16 grid (f32
+    storage — NumPy has no bfloat16), f64 is the oracle's reference
+    precision.  f32/pred results pass through untouched (the pre-dtype
+    fast path is byte-identical).
+    """
+    result = _evaluate_raw(inst, args)
+    dt = inst.shape.dtype
+    if dt == F16 or dt == BF16 or dt == F64:
+        return cast_array(result, dt)
+    return result
+
+
+def _evaluate_raw(inst: HloInstruction, args: Sequence[np.ndarray]):
     op = inst.opcode
     if op == "constant":
         return inst.literal
+    if op == "convert":
+        return cast_array(args[0], inst.attrs["new_dtype"])
     if op in _UNARY_KERNELS:
         return _K[_UNARY_KERNELS[op]](args[0])
     if op in _BINARY_KERNELS:
@@ -93,10 +112,15 @@ def evaluate_instruction(inst: HloInstruction, args: Sequence[np.ndarray]):
     if op == "concatenate":
         return _K["concat"](*args, inst.attrs["axis"])
     if op == "dot":
-        return _K["matmul"](args[0], args[1])
+        # Tensor-core semantics for narrow dtypes: multiply narrow,
+        # accumulate in f32, round the result (the outer coercion).
+        return _K["matmul"](_f32_accum(args[0]), _f32_accum(args[1]))
     if op == "convolution":
         return _K["conv2d"](
-            args[0], args[1], inst.attrs["stride"], inst.attrs["padding"]
+            _f32_accum(args[0]),
+            _f32_accum(args[1]),
+            inst.attrs["stride"],
+            inst.attrs["padding"],
         )
     if op == "conv_grad_input":
         return _K["conv2d_grad_input"](
@@ -116,10 +140,21 @@ def evaluate_instruction(inst: HloInstruction, args: Sequence[np.ndarray]):
         )
     if op == "reduce":
         kind = inst.attrs["kind"]
+        x = args[0]
+        if inst.attrs.get("accum") == "f32" and x.dtype != np.float32:
+            # The AMP discipline: narrow inputs, f32 accumulation.
+            x = x.astype(np.float32)
+        elif inst.shape.dtype in NARROW_DTYPES and kind in ("sum", "mean"):
+            # No accumulator override: accumulate *in the narrow dtype*,
+            # serially, like a hardware accumulator register would.
+            return _narrow_accum_reduce(
+                x, inst.attrs["axes"], inst.attrs["keepdims"], kind,
+                inst.shape.dtype,
+            )
         kernel = {"sum": "reduce_sum", "mean": "reduce_mean", "max": "reduce_max"}[
             kind
         ]
-        return _K[kernel](args[0], inst.attrs["axes"], inst.attrs["keepdims"])
+        return _K[kernel](x, inst.attrs["axes"], inst.attrs["keepdims"])
     if op == "avg_pool":
         return _K["avg_pool2d"](args[0], inst.attrs["pool"], inst.attrs["stride"])
     if op == "avg_pool_grad":
@@ -141,6 +176,49 @@ def evaluate_instruction(inst: HloInstruction, args: Sequence[np.ndarray]):
     if op == "softmax_ce_grad":
         return _K["softmax_cross_entropy_grad"](args[0], args[1])
     raise HloError(f"no backend lowering for opcode {op!r}")
+
+
+def _f32_accum(x: np.ndarray) -> np.ndarray:
+    """Upcast a half-precision contraction operand to f32 (bf16 operands
+    already live in f32 storage, so only native float16 needs widening)."""
+    return x.astype(np.float32) if x.dtype == np.float16 else x
+
+
+def _narrow_accum_reduce(x, axes, keepdims: bool, kind: str, dtype: str):
+    """Sum/mean with a *narrow* accumulator, element-serial.
+
+    NumPy's pairwise summation would hide most of the drift a narrow
+    accumulator suffers on real hardware, so this models the worst
+    (and common) case faithfully: one running register in the reduce
+    dtype, rounded after every addition.  Once the partial sum exceeds
+    ``1/eps`` times the element magnitude, additions round to zero and
+    the sum flatlines — exactly the hazard the static analysis flags
+    (and the reason the autocast planner always assigns ``accum="f32"``).
+    """
+    x = np.asarray(x)
+    rank = x.ndim
+    reduce_axes = (
+        tuple(range(rank)) if axes is None else tuple(a % rank for a in axes)
+    )
+    kept = [i for i in range(rank) if i not in reduce_axes]
+    moved = np.transpose(x, kept + list(reduce_axes))
+    kept_dims = tuple(x.shape[i] for i in kept)
+    n = 1
+    for i in reduce_axes:
+        n *= x.shape[i]
+    flat = cast_array(moved.reshape(kept_dims + (n,)), dtype)
+    total = cast_array(np.zeros(kept_dims, np.float32), dtype)
+    for i in range(n):
+        # float16 + float16 rounds natively; bf16 re-quantizes explicitly.
+        total = cast_array(total + flat[..., i], dtype)
+    if kind == "mean":
+        total = cast_array(total / np.float32(n), dtype)
+    if keepdims:
+        out_dims = tuple(
+            1 if i in reduce_axes else x.shape[i] for i in range(rank)
+        )
+        total = total.reshape(out_dims)
+    return total
 
 
 def _instruction_cost(inst: HloInstruction, in_shapes) -> tuple[float, float]:

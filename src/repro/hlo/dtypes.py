@@ -1,0 +1,150 @@
+"""Element-type support for the HLO layer.
+
+The NumPy backend stores each HLO dtype as follows:
+
+=======  ==================  =========================================
+dtype    NumPy storage       notes
+=======  ==================  =========================================
+f16      ``np.float16``      native half precision (2 bytes)
+bf16     ``np.float32``      *emulated*: values quantized to the bf16
+                             grid (8-bit exponent, 7-bit mantissa)
+                             after every operation, stored in f32
+f32      ``np.float32``      the default compute type
+f64      ``np.float64``      the dynamic-oracle reference type
+pred     ``np.bool_``        comparison masks
+=======  ==================  =========================================
+
+NumPy has no bfloat16, so ``bf16`` is emulated by rounding every result
+to the nearest representable bf16 value (round-to-nearest-even on the
+top 16 bits of the f32 encoding).  The emulation is value-exact — every
+intermediate holds a number representable in bf16 — but the *buffers*
+are 4 bytes per element, which is why dynamic byte-exact memory
+cross-checks are restricted to f16/f32/pred traces (see
+:mod:`repro.analysis.memory`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import HloError
+from repro.hlo.ir import BF16, F16, F32, F64, PRED
+
+#: HLO dtype -> NumPy storage dtype.
+NUMPY_STORAGE = {
+    F16: np.float16,
+    BF16: np.float32,  # emulated (see module docstring)
+    F32: np.float32,
+    F64: np.float64,
+    PRED: np.bool_,
+}
+
+
+def np_dtype_of(dtype: str) -> type:
+    """The NumPy storage dtype backing an HLO element type."""
+    try:
+        return NUMPY_STORAGE[dtype]
+    except KeyError:
+        raise HloError(f"unknown element type {dtype!r}") from None
+
+
+def quantize_bf16(array: np.ndarray) -> np.ndarray:
+    """Round an f32 array to the nearest bf16-representable values.
+
+    Works on the bit pattern: bf16 is the top 16 bits of an IEEE f32, so
+    rounding adds half a ULP (adjusted for round-to-nearest-even) and
+    truncates the low 16 bits.  Infinities pass through; NaNs stay NaN
+    (the payload may change, which is fine — HLO has no NaN payloads).
+    """
+    a = np.ascontiguousarray(array, dtype=np.float32)
+    bits = a.view(np.uint32)
+    # Round-to-nearest-even: bias by 0x7FFF plus the current LSB of the
+    # kept mantissa, then truncate.  NaNs are preserved explicitly so the
+    # bias cannot carry a NaN encoding into the infinity encoding.
+    nan_mask = np.isnan(a)
+    rounded = ((bits + (0x7FFF + ((bits >> 16) & 1))) & 0xFFFF0000).astype(np.uint32)
+    out = rounded.view(np.float32).copy()
+    if nan_mask.any():
+        out[nan_mask] = np.float32(np.nan)
+    return out.reshape(array.shape)
+
+
+def cast_array(array: np.ndarray, dtype: str) -> np.ndarray:
+    """Cast a NumPy array to the storage of an HLO dtype.
+
+    For bf16 this quantizes to the bf16 grid (keeping f32 storage); for
+    every other dtype it is a plain ``astype``.  Casting to a narrower
+    float saturates to ``inf`` exactly as hardware does (NumPy's float
+    casts already overflow to inf).
+    """
+    array = np.asarray(array)
+    if dtype == BF16:
+        return quantize_bf16(array.astype(np.float32, copy=False))
+    storage = np_dtype_of(dtype)
+    if array.dtype == storage:
+        return array
+    with np.errstate(over="ignore"):
+        return array.astype(storage)
+
+
+@dataclass(frozen=True)
+class DTypeInfo:
+    """Float characteristics of an HLO element type (f64 math)."""
+
+    dtype: str
+    max: float  # largest finite magnitude
+    smallest_normal: float  # below this, precision degrades (subnormals)
+    smallest_subnormal: float  # below this, values flush to exactly zero
+    eps: float  # spacing of 1.0 (2**-mantissa_bits)
+    mantissa_bits: int  # explicit mantissa bits
+
+
+def _np_info(dtype: str, np_dtype: type, mantissa_bits: int) -> DTypeInfo:
+    fi = np.finfo(np_dtype)
+    return DTypeInfo(
+        dtype=dtype,
+        max=float(fi.max),
+        smallest_normal=float(fi.smallest_normal),
+        smallest_subnormal=float(fi.smallest_subnormal),
+        eps=float(fi.eps),
+        mantissa_bits=mantissa_bits,
+    )
+
+
+#: bf16 by hand: f32 exponent range, 7 mantissa bits, no subnormal use in
+#: practice (the emulation quantizes f32 subnormals, so keep f32's floor).
+_BF16_INFO = DTypeInfo(
+    dtype=BF16,
+    max=3.3895313892515355e38,  # 0x7F7F0000
+    smallest_normal=1.1754943508222875e-38,
+    smallest_subnormal=9.183549615799121e-41,  # smallest bf16 subnormal
+    eps=0.0078125,  # 2**-7
+    mantissa_bits=7,
+)
+
+FINFO = {
+    F16: _np_info(F16, np.float16, 10),
+    BF16: _BF16_INFO,
+    F32: _np_info(F32, np.float32, 23),
+    F64: _np_info(F64, np.float64, 52),
+}
+
+
+def finfo(dtype: str) -> DTypeInfo:
+    """Float characteristics of an HLO dtype (raises for ``pred``)."""
+    try:
+        return FINFO[dtype]
+    except KeyError:
+        raise HloError(f"{dtype!r} is not a float element type") from None
+
+
+def ulp(dtype: str, magnitude: float) -> float:
+    """The unit-in-the-last-place of ``dtype`` at ``magnitude``.
+
+    Uses the dtype's relative spacing (``eps``) scaled to the magnitude,
+    floored at the subnormal spacing so ULPs near zero stay positive.
+    """
+    info = finfo(dtype)
+    return max(abs(magnitude) * info.eps, info.smallest_subnormal)

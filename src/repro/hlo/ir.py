@@ -20,8 +20,24 @@ import numpy as np
 
 from repro.errors import HloError
 
+F16 = "f16"
+BF16 = "bf16"
 F32 = "f32"
+F64 = "f64"
 PRED = "pred"
+
+#: Bytes per element of each element type — what a buffer of that dtype
+#: occupies on a real accelerator.  The NumPy backend *emulates* bf16 in
+#: f32 storage (NumPy has no native bfloat16), so dynamic byte-exact
+#: cross-checks only run for f16/f32/pred traces; certificates for bf16
+#: modules describe the hardware layout, not the emulation.
+DTYPE_BYTES = {F16: 2, BF16: 2, F32: 4, F64: 8, PRED: 1}
+
+#: Floating element types, narrowest first.
+FLOAT_DTYPES = (F16, BF16, F32, F64)
+
+#: The narrow compute dtypes a mixed-precision plan may assign.
+NARROW_DTYPES = (F16, BF16)
 
 
 @dataclass(frozen=True)
@@ -44,21 +60,31 @@ class Shape:
 
     @property
     def byte_size(self) -> int:
-        return self.num_elements * 4
+        return self.num_elements * DTYPE_BYTES.get(self.dtype, 4)
 
     @property
     def storage_bytes(self) -> int:
         """Bytes a buffer of this shape occupies (dtype-aware: predicates
-        are byte masks, everything else is f32)."""
-        return self.num_elements * (1 if self.dtype == PRED else 4)
+        are byte masks, f16/bf16 are half-width, f64 double-width)."""
+        return self.num_elements * DTYPE_BYTES.get(self.dtype, 4)
 
     def __str__(self) -> str:
         dims = ",".join(map(str, self.dims))
         return f"{self.dtype}[{dims}]"
 
+    def with_dtype(self, dtype: str) -> "Shape":
+        return Shape(self.dims, dtype)
+
     @classmethod
     def of(cls, array: np.ndarray) -> "Shape":
-        dtype = PRED if array.dtype == np.bool_ else F32
+        if array.dtype == np.bool_:
+            dtype = PRED
+        elif array.dtype == np.float16:
+            dtype = F16
+        elif array.dtype == np.float64:
+            dtype = F64
+        else:
+            dtype = F32
         return cls(tuple(int(d) for d in array.shape), dtype)
 
 
@@ -111,6 +137,7 @@ OPCODES = (
         "broadcast",
         "reshape",
         "transpose",
+        "convert",
         "dot",
         "convolution",
         "reduce",

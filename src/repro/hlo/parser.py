@@ -17,7 +17,10 @@ from repro.hlo.ir import HloComputation, HloInstruction, HloModule, Shape
 
 _INST_RE = re.compile(
     r"^(ROOT )?%(?P<name>[\w.\-]+) = (?P<dtype>\w+)\[(?P<dims>[\d,]*)\] "
-    r"(?P<opcode>\w+)\((?P<body>.*)\)$"
+    r"(?P<opcode>\w+)\((?P<body>.*)\)"
+    # Trailing `{...}` printer annotations (opt-in buffer verdicts) are
+    # accepted and discarded so annotated output still parses.
+    r"(?:\s+\{[^{}]*\})?$"
 )
 
 
@@ -81,8 +84,13 @@ def _parse_instruction(line: str, by_name) -> tuple[HloInstruction, bool]:
     literal = None
     parameter_number = None
     if opcode == "constant":
-        literal = np.asarray(ast.literal_eval(extra), dtype=np.float32)
-        shape = Shape.of(literal)
+        from repro.hlo.dtypes import cast_array
+
+        # The declared dtype is authoritative: literals print as Python
+        # floats, so the array must be rebuilt in the dtype's storage
+        # (bf16 literals re-quantize to the same values — round-trip safe).
+        literal = cast_array(np.asarray(ast.literal_eval(extra)), shape.dtype)
+        shape = Shape(tuple(int(d) for d in literal.shape), shape.dtype)
     elif opcode == "parameter":
         parameter_number = int(extra)
 

@@ -14,11 +14,11 @@ import numpy as np
 
 from repro.analysis import attribution
 from repro.errors import HloError
+from repro.hlo.dtypes import cast_array
 from repro.hlo.ir import (
     HloComputation,
     HloInstruction,
     HloModule,
-    Shape,
 )
 
 
@@ -151,11 +151,14 @@ def constant_fold(module: HloModule) -> bool:
                 )
             except Exception:
                 continue
+            # The folded constant must keep the instruction's recorded
+            # element type: folding a bf16 multiply must not resurface
+            # as an f32 literal (the values are already quantized).
             folded = HloInstruction(
                 "constant",
                 [],
-                Shape.of(np.asarray(result)),
-                literal=np.asarray(result, dtype=np.float32),
+                inst.shape,
+                literal=cast_array(np.asarray(result), inst.shape.dtype),
             )
             comp.add(folded)
             values[folded.id] = folded.literal
@@ -191,7 +194,12 @@ def _cse_key(inst: HloInstruction):
     if inst.opcode == "fusion":
         return None
     if inst.opcode == "constant":
-        return ("constant", inst.literal.shape, inst.literal.tobytes())
+        return (
+            "constant",
+            inst.shape.dtype,
+            inst.literal.shape,
+            inst.literal.tobytes(),
+        )
     attrs = tuple(sorted((k, repr(v)) for k, v in inst.attrs.items()))
     return (inst.opcode, tuple(o.id for o in inst.operands), attrs)
 

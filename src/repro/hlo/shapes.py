@@ -12,7 +12,7 @@ import math
 import numpy as np
 
 from repro.errors import ShapeError
-from repro.hlo.ir import F32, PRED, Shape
+from repro.hlo.ir import DTYPE_BYTES, PRED, Shape
 
 
 def broadcast_shapes(a: Shape, b: Shape) -> tuple[int, ...]:
@@ -22,9 +22,28 @@ def broadcast_shapes(a: Shape, b: Shape) -> tuple[int, ...]:
         raise ShapeError(f"cannot broadcast {a} with {b}") from exc
 
 
+def promote_dtypes(a: Shape, b: Shape, what: str) -> str:
+    """The element type of a binary op over ``a`` and ``b``.
+
+    Matching dtypes pass through; a predicate promotes to the other
+    operand's dtype (masks act as 0/1 values); anything else is a dtype
+    mismatch — mixed-precision programs must insert explicit ``convert``
+    instructions rather than rely on implicit promotion.
+    """
+    if a.dtype == b.dtype:
+        return a.dtype
+    if a.dtype == PRED:
+        return b.dtype
+    if b.dtype == PRED:
+        return a.dtype
+    raise ShapeError(f"{what} dtype mismatch: {a} vs {b} (insert a convert)")
+
+
 def infer_elementwise_binary(opcode: str, a: Shape, b: Shape) -> Shape:
     dims = broadcast_shapes(a, b)
-    dtype = PRED if opcode == "compare" else a.dtype
+    dtype = promote_dtypes(a, b, opcode)
+    if opcode == "compare":
+        dtype = PRED
     return Shape(dims, dtype)
 
 
@@ -32,7 +51,13 @@ def infer_select(pred: Shape, on_true: Shape, on_false: Shape) -> Shape:
     if on_true.dims != on_false.dims:
         raise ShapeError(f"select branches disagree: {on_true} vs {on_false}")
     dims = broadcast_shapes(pred, on_true)
-    return Shape(dims, on_true.dtype)
+    return Shape(dims, promote_dtypes(on_true, on_false, "select"))
+
+
+def infer_convert(operand: Shape, new_dtype: str) -> Shape:
+    if new_dtype not in DTYPE_BYTES:
+        raise ShapeError(f"convert to unknown element type {new_dtype!r}")
+    return Shape(operand.dims, new_dtype)
 
 
 def infer_broadcast(operand: Shape, out_dims: tuple[int, ...]) -> Shape:
@@ -62,9 +87,10 @@ def infer_dot(a: Shape, b: Shape) -> Shape:
         raise ShapeError(f"dot needs matrices, got {a} and {b}")
     if a.dims[-1] != b.dims[-2]:
         raise ShapeError(f"dot contraction mismatch: {a} @ {b}")
+    dtype = promote_dtypes(a, b, "dot")
     batch = a.dims[:-2] if a.rank > 2 else ()
     lead = a.dims[-2:-1] if a.rank >= 2 else ()
-    return Shape(batch + lead + (b.dims[-1],), a.dtype)
+    return Shape(batch + lead + (b.dims[-1],), dtype)
 
 
 def infer_reduce(operand: Shape, axes, keepdims: bool) -> Shape:
@@ -109,7 +135,8 @@ def conv_output_dims(
 def infer_conv(input: Shape, filters: Shape, stride: int, padding: str) -> Shape:
     if input.rank != 4 or filters.rank != 4:
         raise ShapeError(f"conv expects NHWC and KKIO, got {input}, {filters}")
-    return Shape(conv_output_dims(input.dims, filters.dims, stride, padding), F32)
+    dtype = promote_dtypes(input, filters, "convolution")
+    return Shape(conv_output_dims(input.dims, filters.dims, stride, padding), dtype)
 
 
 def infer_pool(input: Shape, pool: int, stride: int) -> Shape:

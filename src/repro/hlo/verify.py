@@ -185,6 +185,8 @@ def _infer_shape(inst: HloInstruction) -> Shape | None:
         return si.infer_reshape(operands[0].shape, tuple(attrs["dims"]))
     if op == "transpose":
         return si.infer_transpose(operands[0].shape, tuple(attrs["perm"]))
+    if op == "convert":
+        return si.infer_convert(operands[0].shape, attrs["new_dtype"])
     if op == "dot":
         return si.infer_dot(operands[0].shape, operands[1].shape)
     if op == "convolution":

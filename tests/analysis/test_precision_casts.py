@@ -1,0 +1,178 @@
+"""The autocast planner: naive vs AMP-style assignments and the verified
+module rewrite."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.precision.casts import (
+    WIDE_OPS,
+    apply_plan,
+    naive_assignment,
+    plan_casts,
+)
+from repro.analysis.precision.intervals import Interval
+from repro.analysis.precision.ranges import analyze_ranges
+from repro.errors import HloError
+from repro.hlo import HloBuilder
+from repro.hlo.ir import BF16, F16, F32, Shape
+from repro.hlo.passes import optimize
+
+
+def _mlp_module():
+    b = HloBuilder("mlp")
+    x = b.parameter(Shape((2, 8), F32), number=0)
+    w = b.parameter(Shape((8, 4), F32), number=1)
+    h = b.unary("relu", b.dot(x, w))
+    e = b.unary("exponential", h)
+    s = b.reduce(e, "sum", axes=(1,), keepdims=True)
+    return b.build(b.binary("divide", e, b.broadcast(s, (2, 4))))
+
+
+def _params():
+    return {0: Interval.make(-1.0, 1.0), 1: Interval.make(-0.2, 0.2)}
+
+
+def test_naive_assignment_narrows_every_compute_op():
+    module = _mlp_module()
+    plan = naive_assignment(module, F16)
+    assert plan.policy == F16
+    narrowed_ops = {
+        inst.opcode for inst in module.schedule() if inst.id in plan.compute
+    }
+    # Transcendentals and divides go narrow too — that is the point.
+    assert "exponential" in narrowed_ops and "divide" in narrowed_ops
+    skipped = {
+        inst.opcode
+        for inst in module.schedule()
+        if inst.id not in plan.compute
+    }
+    assert skipped <= {"parameter", "constant", "tuple"}
+    assert plan.narrowed_count == len(plan.compute)
+    assert not plan.reverted and not plan.accum_f32
+
+
+def test_policy_must_be_narrow():
+    module = _mlp_module()
+    with pytest.raises(HloError, match="precision policy"):
+        naive_assignment(module, F32)
+    with pytest.raises(HloError, match="precision policy"):
+        plan_casts(module, "f64", analyze_ranges(module, _params()))
+
+
+def test_plan_casts_keeps_wide_ops_wide():
+    module = _mlp_module()
+    plan = plan_casts(module, F16, analyze_ranges(module, _params()))
+    by_id = {inst.id: inst for inst in module.schedule()}
+    for inst_id, why in plan.reverted.items():
+        if by_id[inst_id].opcode in WIDE_OPS:
+            assert why == "wide-op"
+    reverted_ops = {by_id[i].opcode for i in plan.reverted}
+    assert "exponential" in reverted_ops and "divide" in reverted_ops
+    # dot/relu are range-tolerant here: they narrow.
+    narrowed_ops = {by_id[i].opcode for i in plan.compute}
+    assert "dot" in narrowed_ops and "relu" in narrowed_ops
+    assert "kept wide" in plan.summary()
+
+
+def test_plan_casts_reverts_range_overflow():
+    b = HloBuilder("big")
+    x = b.parameter(Shape((4,), F32))
+    big = b.binary("multiply", x, x)  # up to 1e10 >> f16 max
+    module = b.build(big)
+    plan = plan_casts(
+        module, F16, analyze_ranges(module, {0: Interval.make(0.0, 1e5)})
+    )
+    assert plan.reverted[big.id] == "range-overflow"
+    assert big.id not in plan.compute
+
+
+def test_plan_casts_reverts_range_underflow():
+    b = HloBuilder("tiny")
+    x = b.parameter(Shape((4,), F32))
+    tiny = b.binary("multiply", x, x)  # at most 4e-16 << f16 subnormals
+    module = b.build(tiny)
+    plan = plan_casts(
+        module, F16, analyze_ranges(module, {0: Interval.make(1e-8, 2e-8)})
+    )
+    assert plan.reverted[tiny.id] == "range-underflow"
+
+
+def test_plan_casts_reverts_unknown_ranges():
+    b = HloBuilder("unknown")
+    x = b.parameter(Shape((4,), F32))
+    y = b.unary("negate", x)
+    module = b.build(y)
+    plan = plan_casts(module, F16, analyze_ranges(module, {}))  # params TOP
+    assert plan.reverted[y.id] == "range-unknown"
+
+
+def test_plan_casts_assigns_f32_accumulators():
+    b = HloBuilder("reduce")
+    x = b.parameter(Shape((8, 512), F32))
+    s = b.reduce(x, "sum", axes=(1,))
+    module = b.build(s)
+    plan = plan_casts(
+        module, F16, analyze_ranges(module, {0: Interval.make(0.0, 1.0)})
+    )
+    assert s.id in plan.compute
+    assert s.id in plan.accum_f32
+
+
+def test_apply_plan_rewrites_and_verifies():
+    module = _mlp_module()
+    plan = plan_casts(module, F16, analyze_ranges(module, _params()))
+    rewritten = apply_plan(module, plan)  # verify_module runs inside
+    # The rewritten module is a drop-in replacement: same parameter
+    # shapes, same root dtype.
+    assert rewritten.entry.root.shape.dtype == module.entry.root.shape.dtype
+    params = [i for i in rewritten.schedule() if i.opcode == "parameter"]
+    assert all(p.shape.dtype == F32 for p in params)
+    # Narrowing happened, and only through explicit converts.
+    assert any(i.shape.dtype == F16 for i in rewritten.schedule())
+    converts = [i for i in rewritten.schedule() if i.opcode == "convert"]
+    assert converts
+    # Reverted wide ops' narrow operands convert *up* to f32.
+    for inst in rewritten.schedule():
+        if inst.opcode in ("parameter", "constant", "convert", "tuple"):
+            continue
+        for op in inst.operands:
+            if op.shape.dtype != inst.shape.dtype:
+                assert inst.shape.dtype == "pred"
+
+
+def test_apply_plan_sets_accum_attr():
+    b = HloBuilder("reduce")
+    x = b.parameter(Shape((8, 512), F32))
+    module = b.build(b.reduce(x, "sum", axes=(1,)))
+    plan = plan_casts(
+        module, F16, analyze_ranges(module, {0: Interval.make(0.0, 1.0)})
+    )
+    rewritten = apply_plan(module, plan)
+    [reduce] = [i for i in rewritten.schedule() if i.opcode == "reduce"]
+    assert reduce.shape.dtype == F16
+    assert reduce.attrs["accum"] == "f32"
+
+
+def test_apply_plan_preserves_semantics_on_benign_input():
+    module = _mlp_module()
+    plan = plan_casts(module, F16, analyze_ranges(module, _params()))
+    rewritten = apply_plan(module, plan)
+    from repro.hlo.compiler import Executable
+
+    rng = np.random.default_rng(11)
+    args = [
+        rng.uniform(-1.0, 1.0, (2, 8)).astype(np.float32),
+        rng.uniform(-0.2, 0.2, (8, 4)).astype(np.float32),
+    ]
+    ref = Executable(module).run(args)
+    out = Executable(rewritten).run(args)
+    assert out.dtype == ref.dtype
+    assert np.allclose(out, ref, rtol=2e-2, atol=2e-3)
+
+
+def test_apply_plan_rejects_fused_modules():
+    module = _mlp_module()
+    plan = naive_assignment(module, BF16)
+    optimize(module, fuse=True)
+    with pytest.raises(HloError, match="unfused"):
+        apply_plan(module, plan)

@@ -1,0 +1,132 @@
+"""The interval domain: soundness conventions, poison, dtype rounding."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.precision.intervals import Interval
+from repro.hlo.dtypes import finfo
+
+
+def test_make_widens_outward():
+    iv = Interval.make(1.0, 2.0)
+    assert iv.lo < 1.0 < 2.0 < iv.hi
+    assert iv.contains(1.0) and iv.contains(2.0)
+    # Unordered endpoints are normalized, not rejected.
+    assert Interval.make(2.0, 1.0).contains(1.5)
+
+
+def test_nan_endpoints_poison():
+    assert Interval.make(math.nan, 1.0).poisoned
+    assert Interval(0.0, math.nan).poisoned
+    top = Interval.top()
+    assert top.contains(math.nan) and top.contains(math.inf)
+    assert not Interval.make(0.0, 1.0).contains(math.nan)
+
+
+def test_of_array():
+    iv = Interval.of_array(np.array([[-3.0, 2.0], [0.5, 1.0]]))
+    assert iv.contains(-3.0) and iv.contains(2.0)
+    assert not iv.contains(2.5)
+    assert Interval.of_array(np.array([1.0, math.inf])).poisoned
+    assert Interval.of_array(np.array([])).contains(0.0)
+
+
+def test_min_max_abs():
+    assert Interval(-3.0, 2.0).max_abs == 3.0
+    assert Interval(-3.0, 2.0).min_abs == 0.0  # straddles zero
+    assert Interval(1.0, 2.0).min_abs == 1.0
+    assert Interval(-2.0, -0.5).min_abs == 0.5
+
+
+def test_arithmetic_soundness_on_samples():
+    a = Interval.make(-2.0, 3.0)
+    b = Interval.make(0.5, 4.0)
+    xs = [-2.0, -1.0, 0.0, 1.5, 3.0]
+    ys = [0.5, 1.0, 2.0, 4.0]
+    for x in xs:
+        for y in ys:
+            assert a.add(b).contains(x + y)
+            assert a.sub(b).contains(x - y)
+            assert a.mul(b).contains(x * y)
+            assert a.div(b).contains(x / y)
+    assert a.neg().contains(2.0) and a.neg().contains(-3.0)
+    assert a.abs().contains(0.0) and a.abs().contains(3.0)
+    assert a.maximum(b).contains(max(-1.0, 2.0))
+
+
+def test_division_by_zero_straddling_interval_is_top():
+    assert Interval.make(1.0, 2.0).div(Interval.make(-1.0, 1.0)).poisoned
+    assert not Interval.make(1.0, 2.0).div(Interval.make(0.5, 1.0)).poisoned
+
+
+def test_mul_zero_times_unbounded_endpoint():
+    # 0 * inf is NaN in IEEE, but exact math over the closed interval
+    # contributes 0 — the product must stay sound, not poison.
+    z = Interval(0.0, 1.0)
+    unbounded = Interval(0.0, math.inf)
+    assert z.mul(unbounded).contains(0.0)
+
+
+def test_poison_propagates():
+    top = Interval.top()
+    assert top.add(Interval.point(1.0)).poisoned
+    assert Interval.point(1.0).mul(top).poisoned
+    assert top.neg().poisoned and top.abs().poisoned
+    assert top.monotone(math.exp).poisoned
+
+
+def test_monotone_and_hull():
+    e = Interval.make(0.0, 1.0).monotone(math.exp)
+    assert e.contains(1.0) and e.contains(math.e)
+    h = Interval.hull(Interval.point(-1.0), Interval.point(5.0))
+    assert h.contains(0.0) and h.contains(5.0)
+    assert Interval.hull(Interval.point(0.0), Interval.top()).poisoned
+
+
+def test_contains_interval():
+    outer = Interval(0.0, 10.0)
+    assert outer.contains_interval(Interval(1.0, 2.0))
+    assert not outer.contains_interval(Interval(1.0, 11.0))
+    assert Interval.top().contains_interval(outer)
+    assert not outer.contains_interval(Interval.top())
+
+
+def test_round_into_widens_one_ulp():
+    iv = Interval(1.0, 2.0).round_into("f16")
+    eps = finfo("f16").eps
+    assert iv.lo <= 1.0 - eps * 0.5 and iv.hi >= 2.0 + eps
+    assert not iv.poisoned
+
+
+def test_round_into_saturates_past_dtype_max():
+    over = Interval(0.0, 70000.0).round_into("f16")
+    assert over.hi == math.inf
+    assert not over.poisoned  # inf endpoint is saturation, not NaN
+    assert over.contains(math.inf) is True or over.hi == math.inf
+    under = Interval(-1e39, 0.0).round_into("f32")
+    assert under.lo == -math.inf
+
+
+def test_widen_absolute():
+    iv = Interval(0.5, 1.0).widen_absolute(0.25)
+    assert iv.contains(0.25) and iv.contains(1.25)
+    assert Interval(0.0, 1.0).widen_absolute(math.inf).poisoned
+
+
+def test_str_forms():
+    assert str(Interval.top()) == "[poisoned]"
+    assert str(Interval(1.0, 2.0)) == "[1, 2]"
+
+
+@pytest.mark.parametrize("dtype", ["f16", "bf16", "f32"])
+def test_round_into_covers_actual_rounding(dtype):
+    from repro.hlo.dtypes import cast_array
+
+    rng = np.random.default_rng(7)
+    values = rng.uniform(-100.0, 100.0, size=64)
+    iv = Interval.of_array(values).round_into(dtype)
+    rounded = cast_array(values.astype(np.float32), dtype)
+    for v in np.asarray(rounded, np.float64):
+        assert iv.contains(float(v))

@@ -1,0 +1,191 @@
+"""Range propagation over HLO schedules: exact vs certified intervals,
+narrow-accumulator error bounds, and poison attribution."""
+
+import math
+
+import numpy as np
+
+from repro.analysis.precision.intervals import Interval
+from repro.analysis.precision.ranges import (
+    accumulation_error_bound,
+    accumulation_relative_bound,
+    analyze_ranges,
+    reduced_element_count,
+)
+from repro.hlo import HloBuilder
+from repro.hlo.ir import F16, F32, Shape
+
+
+def test_parameter_and_elementwise_ranges():
+    b = HloBuilder("affine")
+    x = b.parameter(Shape((4,), F32), number=0)
+    w = b.parameter(Shape((4,), F32), number=1)
+    y = b.binary("add", b.binary("multiply", x, w), x)
+    module = b.build(y)
+    info = analyze_ranges(
+        module,
+        {0: Interval.make(-1.0, 1.0), 1: Interval.make(0.0, 2.0)},
+    )
+    exact = info.exact[y.id]
+    # x*w ∈ [-2, 2], plus x ∈ [-1, 1] -> [-3, 3].
+    assert exact.contains(-3.0) and exact.contains(3.0)
+    assert not exact.contains(3.5)
+    # Certified = exact rounded into f32: barely wider, same coverage.
+    assert info.intervals[y.id].contains_interval(exact)
+
+
+def test_missing_parameter_interval_is_top():
+    b = HloBuilder("unknown")
+    x = b.parameter(Shape((4,), F32))
+    module = b.build(b.unary("negate", x))
+    info = analyze_ranges(module, {})
+    assert info.exact[x.id].poisoned
+
+
+def test_exp_overflow_saturates_certified_interval():
+    b = HloBuilder("overflow")
+    x = b.parameter(Shape((4,), F16))
+    e = b.unary("exponential", x)  # f16: exp(12) = 162k > 65504
+    y = b.binary("add", e, e)
+    module = b.build(y)
+    info = analyze_ranges(module, {0: Interval.make(0.0, 12.0)})
+    # The exp's exact image is finite (the hazard is *attributed* here)...
+    assert not info.exact[e.id].poisoned
+    assert info.exact[e.id].max_abs > 65504.0
+    # ...but its certified f16 interval saturates to +inf — still sound
+    # (it covers the hardware's inf), and still a usable bound, so the
+    # consumer is *not* written off as poisoned.
+    assert info.intervals[e.id].hi == math.inf
+    assert not info.intervals[e.id].poisoned
+    assert e.id not in info.poisoned_inputs
+    assert y.id not in info.poisoned_inputs
+    assert info.exact[y.id].hi == math.inf
+
+
+def test_true_poison_suppresses_downstream():
+    b = HloBuilder("poisoned")
+    x = b.parameter(Shape((4,), F16))
+    d = b.binary("divide", x, x)  # divisor straddles zero: TOP
+    y = b.binary("add", d, d)
+    module = b.build(y)
+    info = analyze_ranges(module, {0: Interval.make(-1.0, 1.0)})
+    assert info.intervals[d.id].poisoned
+    assert d.id not in info.poisoned_inputs  # reported at its origin
+    assert y.id in info.poisoned_inputs  # suppressed downstream
+
+
+def test_certified_reduce_keeps_sign_for_same_sign_summands():
+    b = HloBuilder("normalizer")
+    x = b.parameter(Shape((64,), F16))
+    s = b.reduce(x, "sum", axes=(0,))
+    module = b.build(s)
+    info = analyze_ranges(module, {0: Interval.make(1.0, 2.0)})
+    cert = info.intervals[s.id]
+    # All-positive summands can't cancel: the narrow-accumulator error is
+    # *relative*, so a modest sum stays certified strictly positive —
+    # this is what keeps softmax normalizer divisions away from zero.
+    assert cert.lo > 0.0
+    assert cert.contains(64.0) and cert.contains(128.0)
+    # The bound is real: it is wider than the exact interval.
+    assert cert.lo < info.exact[s.id].lo
+
+
+def test_certified_reduce_covers_flatlined_serial_sum():
+    from repro.hlo.compiler import evaluate_instruction
+
+    b = HloBuilder("flatline")
+    x = b.parameter(Shape((4096,), F16))
+    s = b.reduce(x, "sum", axes=(0,))
+    module = b.build(s)
+    info = analyze_ranges(module, {0: Interval.make(1.0, 1.0)})
+    cert = info.intervals[s.id]
+    [reduce] = [i for i in module.schedule() if i.opcode == "reduce"]
+    drifted = float(evaluate_instruction(reduce, [np.ones(4096, np.float16)]))
+    # The serial f16 sum flatlines at 2048 — far from the exact 4096 —
+    # and the certified interval must still cover it.
+    assert drifted == 2048.0
+    assert cert.contains(drifted) and cert.contains(4096.0)
+
+
+def test_certified_reduce_mixed_sign_uses_absolute_bound():
+    b = HloBuilder("cancelling")
+    x = b.parameter(Shape((2048,), F16))
+    s = b.reduce(x, "sum", axes=(0,))
+    module = b.build(s)
+    info = analyze_ranges(module, {0: Interval.make(-1.0, 1.0)})
+    cert = info.intervals[s.id]
+    assert cert.contains(0.0)
+    assert cert.lo < -2048.0 * 0.0  # widened below the exact lo
+    assert cert.contains_interval(Interval(-2048.0, 2048.0))
+
+
+def test_f32_accum_attribute_suppresses_drift_bound():
+    def certified_width(accum):
+        b = HloBuilder("w")
+        x = b.parameter(Shape((2048,), F16))
+        s = b.reduce(x, "sum", axes=(0,), accum=accum)
+        info = analyze_ranges(b.build(s), {0: Interval.make(1.0, 2.0)})
+        cert = info.intervals[s.id]
+        return cert.hi - cert.lo
+
+    assert certified_width("f32") < certified_width(None)
+
+
+def test_accumulation_bounds():
+    assert accumulation_relative_bound("f16", 0) == 0.0
+    assert accumulation_relative_bound("f16", 1024) < accumulation_relative_bound(
+        "f16", 8192
+    )
+    assert accumulation_error_bound("f16", 100, math.inf) == math.inf
+    assert accumulation_error_bound("f16", 100, 10.0) == (
+        accumulation_relative_bound("f16", 100) * 10.0
+    )
+
+
+def test_reduced_element_count():
+    b = HloBuilder("counts")
+    x = b.parameter(Shape((8, 16), F32))
+    all_axes = b.reduce(x, "sum", axes=None)
+    module = b.build(all_axes)
+    [reduce] = [i for i in module.schedule() if i.opcode == "reduce"]
+    assert reduced_element_count(reduce) == 128
+
+    b = HloBuilder("one_axis")
+    x = b.parameter(Shape((8, 16), F32))
+    module = b.build(b.reduce(x, "sum", axes=(1,), keepdims=True))
+    [reduce] = [i for i in module.schedule() if i.opcode == "reduce"]
+    assert reduced_element_count(reduce) == 16
+
+
+def test_dot_contraction_scales_by_inner_dim():
+    b = HloBuilder("dot")
+    a = b.parameter(Shape((2, 64), F32), number=0)
+    w = b.parameter(Shape((64, 3), F32), number=1)
+    d = b.dot(a, w)
+    info = analyze_ranges(
+        b.build(d),
+        {0: Interval.make(-1.0, 1.0), 1: Interval.make(-1.0, 1.0)},
+    )
+    exact = info.exact[d.id]
+    assert exact.contains(64.0) and exact.contains(-64.0)
+    assert not exact.contains(100.0)
+
+
+def test_oracle_containment_on_executed_module():
+    """The certified intervals must cover a real narrowed execution."""
+    from repro.analysis.precision.oracle import run_observed
+
+    b = HloBuilder("end_to_end")
+    x = b.parameter(Shape((8,), F16))
+    y = b.binary("multiply", b.unary("tanh", x), x)
+    module = b.build(y)
+    rng = np.random.default_rng(3)
+    arg = rng.uniform(-2.0, 2.0, size=8).astype(np.float16)
+    info = analyze_ranges(module, {0: Interval.of_array(arg)})
+    run = run_observed(module, [arg])
+    for inst in module.schedule():
+        stats = run.observed.get(inst.id)
+        if stats is None:
+            continue
+        cert = info.intervals[inst.id]
+        assert cert.contains(stats.lo) and cert.contains(stats.hi), inst.name

@@ -1,0 +1,167 @@
+"""The HLO dtype foundation: byte accounting, bf16 emulation, convert,
+narrowed execution, and the printer/parser dtype syntax."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HloError
+from repro.hlo import HloBuilder, parse_module, print_module, verify_module
+from repro.hlo.compiler import Executable, evaluate_instruction
+from repro.hlo.dtypes import (
+    FINFO,
+    cast_array,
+    finfo,
+    np_dtype_of,
+    quantize_bf16,
+    ulp,
+)
+from repro.hlo.ir import BF16, DTYPE_BYTES, F16, F32, F64, PRED, Shape
+
+
+def test_dtype_bytes_table():
+    assert DTYPE_BYTES == {"f16": 2, "bf16": 2, "f32": 4, "f64": 8, "pred": 1}
+
+
+def test_shape_bytes_is_dtype_aware():
+    # The logical byte size follows the element type, not a fixed 4.
+    assert Shape((4, 4), F16).byte_size == 32
+    assert Shape((4, 4), BF16).byte_size == 32
+    assert Shape((4, 4), F32).byte_size == 64
+    assert Shape((4, 4), F64).byte_size == 128
+    assert Shape((4, 4), PRED).byte_size == 16
+    assert Shape((4, 4), F32).with_dtype(F16).byte_size == 32
+    assert Shape((4, 4), F16).storage_bytes == 32
+
+
+def test_finfo_characteristics():
+    assert finfo(F16).max == 65504.0
+    assert finfo(F16).eps == 2.0**-10
+    assert finfo(BF16).eps == 2.0**-7
+    assert finfo(BF16).max == pytest.approx(3.3895e38, rel=1e-3)
+    assert finfo(F32).mantissa_bits == 23
+    assert set(FINFO) == {F16, BF16, F32, F64}
+    with pytest.raises(HloError, match="not a float"):
+        finfo(PRED)
+
+
+def test_ulp_scales_and_floors():
+    assert ulp(F16, 1.0) == finfo(F16).eps
+    assert ulp(F16, 2048.0) == 2048.0 * finfo(F16).eps
+    # Near zero the ULP floors at the subnormal spacing, never 0.
+    assert ulp(F16, 0.0) == finfo(F16).smallest_subnormal
+    assert ulp(F16, 0.0) > 0.0
+
+
+def test_numpy_storage():
+    assert np_dtype_of(F16) is np.float16
+    assert np_dtype_of(BF16) is np.float32  # emulated in f32 storage
+    assert np_dtype_of(F64) is np.float64
+    with pytest.raises(HloError, match="unknown element type"):
+        np_dtype_of("f8")
+
+
+def test_quantize_bf16_round_to_nearest_even():
+    # Values on the bf16 grid pass through untouched.
+    on_grid = np.array([1.0, 1.5, -2.0, 0.0, 256.0], np.float32)
+    assert np.array_equal(quantize_bf16(on_grid), on_grid)
+    # 1 + 2**-8 sits exactly between 1.0 and 1 + 2**-7: ties go to the
+    # even mantissa (1.0); anything past the midpoint rounds up.
+    assert quantize_bf16(np.array([1.0 + 2.0**-8], np.float32))[0] == 1.0
+    assert (
+        quantize_bf16(np.array([1.0 + 2.0**-8 + 2.0**-16], np.float32))[0]
+        == np.float32(1.0 + 2.0**-7)
+    )
+    # Non-finites survive quantization.
+    specials = quantize_bf16(np.array([np.inf, -np.inf, np.nan], np.float32))
+    assert specials[0] == np.inf and specials[1] == -np.inf
+    assert np.isnan(specials[2])
+
+
+def test_cast_array_saturates_like_hardware():
+    assert np.isposinf(cast_array(np.array([1e30], np.float32), F16))[0]
+    assert cast_array(np.array([1e30], np.float32), F16).dtype == np.float16
+    # bf16 keeps f32 storage but lands on the bf16 grid.
+    q = cast_array(np.array([1.0 + 2.0**-8], np.float32), BF16)
+    assert q.dtype == np.float32 and q[0] == 1.0
+
+
+def _convert_module():
+    b = HloBuilder("convert_chain")
+    x = b.parameter(Shape((2, 2), F32))
+    h = b.convert(x, F16)
+    y = b.binary("add", h, h)
+    return b.build(b.convert(y, F32)), x
+
+
+def test_builder_convert_and_verify():
+    module, _ = _convert_module()
+    verify_module(module)
+    converts = [i for i in module.schedule() if i.opcode == "convert"]
+    assert [c.shape.dtype for c in converts] == [F16, F32]
+    assert all(c.attrs["new_dtype"] == c.shape.dtype for c in converts)
+
+
+def test_builder_convert_to_same_dtype_is_identity():
+    b = HloBuilder("noop")
+    x = b.parameter(Shape((2,), F32))
+    assert b.convert(x, F32) is x
+
+
+def test_printer_parser_round_trip_with_dtypes():
+    module, _ = _convert_module()
+    text = print_module(module)
+    assert "f16[2,2]" in text and "f32[2,2]" in text
+    reparsed = parse_module(text)
+    assert print_module(reparsed) == text
+    verify_module(reparsed)
+
+
+def test_narrowed_execution_rounds_to_dtype():
+    module, _ = _convert_module()
+    out = Executable(module).run([np.full((2, 2), 1.0 + 2.0**-12, np.float32)])
+    # The add ran in f16: the 2**-12 tail is below half's resolution.
+    assert np.allclose(out, 2.0)
+    assert out.dtype == np.float32
+
+
+def test_bf16_execution_lands_on_grid():
+    b = HloBuilder("bf16_add")
+    x = b.parameter(Shape((4,), BF16))
+    module = b.build(b.binary("add", x, x))
+    out = Executable(module).run(
+        [cast_array(np.array([1.0, 1.25, 3.0, 0.5], np.float32), BF16)]
+    )
+    assert np.array_equal(quantize_bf16(out), out)
+
+
+def test_narrow_accum_reduce_flatlines_without_f32_accum():
+    b = HloBuilder("drift")
+    x = b.parameter(Shape((4096,), F16))
+    module = b.build(b.reduce(x, "sum", axes=(0,)))
+    ones = np.ones((4096,), np.float16)
+    [reduce] = [i for i in module.schedule() if i.opcode == "reduce"]
+    drifted = evaluate_instruction(reduce, [ones])
+    # Past 1/eps = 1024 the running f16 sum's ULP exceeds 1.0 and the
+    # additions round away entirely; the serial sum flatlines at 2048.
+    assert float(drifted) == 2048.0
+
+    b = HloBuilder("accum")
+    x = b.parameter(Shape((4096,), F16))
+    module = b.build(b.reduce(x, "sum", axes=(0,), accum="f32"))
+    [reduce] = [i for i in module.schedule() if i.opcode == "reduce"]
+    assert float(evaluate_instruction(reduce, [ones])) == 4096.0
+
+
+def test_f16_dot_accumulates_in_f32():
+    b = HloBuilder("dot")
+    x = b.parameter(Shape((1, 2048), F16), number=0)
+    w = b.parameter(Shape((2048, 1), F16), number=1)
+    module = b.build(b.dot(x, w))
+    [dot] = [i for i in module.schedule() if i.opcode == "dot"]
+    out = evaluate_instruction(
+        dot, [np.ones((1, 2048), np.float16), np.ones((2048, 1), np.float16)]
+    )
+    # 2048 exceeds f16's 1/eps, but dot upcasts its accumulation to f32
+    # (tensor-core semantics), then rounds the result back to f16.
+    assert float(out[0, 0]) == 2048.0
+    assert out.dtype == np.float16

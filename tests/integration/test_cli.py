@@ -28,6 +28,7 @@ def test_registry_covers_all_tables_and_figures():
         "trace_stability",
         "derivative_pruning",
         "memory_plan",
+        "precision_audit",
     }
 
 
