@@ -18,6 +18,8 @@ Usage::
     python -m repro.analysis --memory all
     python -m repro.analysis --precision softmax_unstabilized
     python -m repro.analysis --precision all --json
+    python -m repro.analysis --codegen mlp_chain
+    python -m repro.analysis --codegen all
     python -m repro.analysis --list                # the dispatch table
 
 ``--ownership`` resolves its argument against the bundled model corpus
@@ -67,10 +69,18 @@ certified ⊇ observed interval cross-check against the dynamic oracle,
 output-accuracy metrics for the naive and planned lowerings, and the
 memory planner's certified peak before and after narrowing.
 
+``--codegen`` runs the translation validator
+(:mod:`repro.analysis.equivalence`) over one program from the seeded
+corpus — or every program with ``all`` — emitting each unique trace's
+flat-NumPy step function, statically certifying it equivalent to its HLO
+schedule, cross-checking the certificate dynamically (interpreted ≡
+generated, bit for bit), and requiring every seeded miscompile to be
+rejected with a located diagnostic.
+
 ``--list`` prints the dispatch table itself: every subsystem flag, the
 self-check sweep it backs, and the bundled program/model names its
-argument resolves against.  ``--json`` switches ``--precision``,
-``--list``, and ``--self-check`` output to machine-readable JSON.
+argument resolves against.  ``--json`` switches any subcommand's output
+to machine-readable JSON (``--lint`` excepted).
 
 Each subsystem is one row of the ``SUBSYSTEMS`` dispatch table below:
 a flag, its argument metavar/help, the self-check sweep number, the
@@ -144,6 +154,12 @@ def _precision_names() -> list[str]:
     return sorted(p.name for p in CORPUS)
 
 
+def _codegen_names() -> list[str]:
+    from repro.analysis.equivalence import CORPUS
+
+    return sorted(p.name for p in CORPUS)
+
+
 SUBSYSTEMS: tuple[Subsystem, ...] = (
     Subsystem(
         flag="--ownership",
@@ -153,7 +169,7 @@ SUBSYSTEMS: tuple[Subsystem, ...] = (
             "print it with per-instruction ownership annotations: borrow "
             "verdicts, copy-materialization labels, and pullback costs"
         ),
-        run=lambda args: _run_ownership(args.ownership, args.style),
+        run=lambda args: _run_ownership(args.ownership, args.style, args.json),
         sweep=4,
         programs=_ownership_names,
     ),
@@ -166,7 +182,7 @@ SUBSYSTEMS: tuple[Subsystem, ...] = (
             "retrace-storm and growth diagnostics, and the exact "
             "static-vs-dynamic cache cross-check"
         ),
-        run=lambda args: _run_trace(args.trace, args.quiet),
+        run=lambda args: _run_trace(args.trace, args.quiet, args.json),
         sweep=5,
         programs=_trace_names,
     ),
@@ -179,7 +195,7 @@ SUBSYSTEMS: tuple[Subsystem, ...] = (
             "transpose consistency, record typing, capture liveness, and "
             "the seeded numeric cross-checks"
         ),
-        run=lambda args: _run_derivatives(args.derivatives, args.quiet),
+        run=lambda args: _run_derivatives(args.derivatives, args.quiet, args.json),
         sweep=6,
         programs=_derivative_names,
     ),
@@ -205,7 +221,7 @@ SUBSYSTEMS: tuple[Subsystem, ...] = (
             "verification"
         ),
         run=lambda args: _run_concurrency(
-            args.concurrency, args.quiet, not args.no_witness
+            args.concurrency, args.quiet, not args.no_witness, args.json
         ),
         sweep=7,
         programs=_concurrency_names,
@@ -220,7 +236,7 @@ SUBSYSTEMS: tuple[Subsystem, ...] = (
             "attribution, budget fix-its, and the certified-vs-observed "
             "cross-check"
         ),
-        run=lambda args: _run_memory(args.memory, args.quiet),
+        run=lambda args: _run_memory(args.memory, args.quiet, args.json),
         sweep=8,
         programs=_memory_names,
     ),
@@ -237,6 +253,21 @@ SUBSYSTEMS: tuple[Subsystem, ...] = (
         run=lambda args: _run_precision(args.precision, args.quiet, args.json),
         sweep=9,
         programs=_precision_names,
+    ),
+    Subsystem(
+        flag="--codegen",
+        metavar="PROGRAM",
+        help=(
+            "run the translation validator over PROGRAM (a seeded corpus "
+            "name, or 'all'): emit the flat-NumPy step function for every "
+            "unique trace, certify it equivalent to its HLO schedule, "
+            "cross-check dynamically (interpreted == generated, bit for "
+            "bit), and require seeded miscompiles to be rejected with "
+            "located diagnostics"
+        ),
+        run=lambda args: _run_codegen(args.codegen, args.quiet, args.json),
+        sweep=10,
+        programs=_codegen_names,
     ),
 )
 
@@ -276,7 +307,7 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help=(
             "emit machine-readable JSON instead of rendered text "
-            "(supported by --precision, --list, and --self-check)"
+            "(supported by every subcommand except --lint)"
         ),
     )
     parser.add_argument(
@@ -295,8 +326,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.json and not (args.list or args.self_check or args.precision):
-        parser.error("--json is supported with --precision, --list, and --self-check")
+    if args.json and args.lint:
+        parser.error("--json is not supported with --lint")
 
     if args.list:
         return _run_list(args.json)
@@ -374,7 +405,17 @@ def _resolve_function(spec: str):
     return getattr(module, attr)
 
 
-def _run_trace(spec: str, quiet: bool) -> int:
+def _diag_json(diag) -> dict:
+    loc = getattr(diag, "location", None)
+    return {
+        "severity": diag.severity,
+        "message": diag.message,
+        "file": loc.filename if loc is not None else None,
+        "line": loc.line if loc is not None else None,
+    }
+
+
+def _run_trace(spec: str, quiet: bool, as_json: bool = False) -> int:
     from repro.analysis.tracing.models import PROGRAMS
     from repro.analysis.tracing.report import analyze_trace_program
 
@@ -390,28 +431,48 @@ def _run_trace(spec: str, quiet: bool) -> int:
         )
 
     failures = 0
+    json_reports = []
     for program in programs:
         report = analyze_trace_program(program)
         verdict_ok = report.verdicts() == {program.expect}
         ok = verdict_ok and report.cross_check_ok
         if not ok:
             failures += 1
-        if not quiet or not ok:
+        if as_json:
+            json_reports.append(
+                {
+                    "program": program.name,
+                    "expect": program.expect,
+                    "verdicts": sorted(report.verdicts()),
+                    "verdict_matches": verdict_ok,
+                    "cross_check_ok": report.cross_check_ok,
+                    "ok": ok,
+                    "predicted_compiles": report.predicted_compiles,
+                    "dynamic_compiles": report.dynamic_compiles,
+                    "predicted_cache_hits": report.predicted_cache_hits,
+                    "dynamic_cache_hits": report.dynamic_cache_hits,
+                    "diagnostics": [_diag_json(d) for d in report.diagnostics],
+                }
+            )
+        elif not quiet or not ok:
             print(report.render())
             print(
                 f"expected verdict:        {program.expect} "
                 f"({'as predicted' if verdict_ok else 'MISPREDICTED'})"
             )
             print()
-    print(
-        f"{len(programs)} program(s) analyzed, {failures} failure(s); "
-        "static cache predictions "
-        + ("all match the runtime" if failures == 0 else "DIVERGE from the runtime")
-    )
+    if as_json:
+        print(json.dumps(json_reports, indent=2))
+    else:
+        print(
+            f"{len(programs)} program(s) analyzed, {failures} failure(s); "
+            "static cache predictions "
+            + ("all match the runtime" if failures == 0 else "DIVERGE from the runtime")
+        )
     return 0 if failures == 0 else 1
 
 
-def _run_derivatives(spec: str, quiet: bool) -> int:
+def _run_derivatives(spec: str, quiet: bool, as_json: bool = False) -> int:
     from repro.analysis.derivatives.models import MODELS
     from repro.analysis.derivatives.report import (
         analyze_derivative_model,
@@ -438,12 +499,25 @@ def _run_derivatives(spec: str, quiet: bool) -> int:
         reports = [(None, verify_derivatives(pyfunc))]
 
     failures = 0
+    json_reports = []
     for expected, report in reports:
         verdict_ok = expected is None or expected in report.verdicts()
         ok = verdict_ok and report.cross_check_ok
         if not ok:
             failures += 1
-        if not quiet or not ok:
+        if as_json:
+            json_reports.append(
+                {
+                    "function": report.func_name,
+                    "expect": expected,
+                    "verdicts": sorted(report.verdicts()),
+                    "verdict_matches": verdict_ok,
+                    "cross_check_ok": report.cross_check_ok,
+                    "ok": ok,
+                    "diagnostics": [_diag_json(d) for d in report.diagnostics()],
+                }
+            )
+        elif not quiet or not ok:
             print(report.render())
             if len(reports) == 1:
                 annotated = report.annotated_sil()
@@ -456,19 +530,24 @@ def _run_derivatives(spec: str, quiet: bool) -> int:
                     f"({'as predicted' if verdict_ok else 'MISPREDICTED'})"
                 )
             print()
-    print(
-        f"{len(reports)} function(s) verified, {failures} failure(s); "
-        "static verdicts "
-        + (
-            "all agree with the numeric probes"
-            if failures == 0
-            else "DISAGREE with the numeric probes"
+    if as_json:
+        print(json.dumps(json_reports, indent=2))
+    else:
+        print(
+            f"{len(reports)} function(s) verified, {failures} failure(s); "
+            "static verdicts "
+            + (
+                "all agree with the numeric probes"
+                if failures == 0
+                else "DISAGREE with the numeric probes"
+            )
         )
-    )
     return 0 if failures == 0 else 1
 
 
-def _run_concurrency(spec: str, quiet: bool, witness: bool) -> int:
+def _run_concurrency(
+    spec: str, quiet: bool, witness: bool, as_json: bool = False
+) -> int:
     from repro.analysis.concurrency.models import CORPUS_MODELS
     from repro.analysis.concurrency.report import (
         analyze_corpus,
@@ -478,30 +557,58 @@ def _run_concurrency(spec: str, quiet: bool, witness: bool) -> int:
 
     model_names = {m.name: m for m in CORPUS_MODELS}
     failures = 0
+    payload: dict = {}
 
     def show(text: str, ok: bool) -> None:
+        if as_json:
+            return
         if not quiet or not ok:
             print(text)
             print()
+
+    def model_json(result) -> dict:
+        return {
+            "model": result.model.name,
+            "expect": result.model.expect,
+            "verdicts": sorted(result.verdicts),
+            "matches": result.matches,
+            "cross_check_ok": result.cross_check_ok,
+            "diagnostics": [_diag_json(d) for d in result.diagnostics],
+        }
 
     if spec in ("runtime", "all"):
         report = analyze_runtime(run_witness=witness)
         if not report.ok:
             failures += 1
         show(report.render(), report.ok)
+        if as_json:
+            payload["runtime"] = {
+                "ok": report.ok,
+                "verdicts": sorted(report.verdicts()),
+                "cross_check_ok": report.cross_check_ok,
+                "unregistered_fields": [
+                    f.qualname for f in report.inventory.unregistered
+                ],
+                "diagnostics": [_diag_json(d) for d in report.diagnostics()],
+            }
 
     if spec in ("corpus", "all"):
         corpus = analyze_corpus(run_witness=witness)
         failures += sum(not r.matches for r in corpus.results)
         show(corpus.render(), corpus.ok)
+        if as_json:
+            payload["corpus"] = [model_json(r) for r in corpus.results]
     elif spec in model_names:
         result = analyze_corpus_model(model_names[spec])
         if not result.matches:
             failures += 1
-        print(result.render())
-        for diag in result.diagnostics:
-            print(f"    {diag.severity}: {diag.message} "
-                  f"[{diag.location.filename}:{diag.location.line}]")
+        if as_json:
+            payload["corpus"] = [model_json(result)]
+        else:
+            print(result.render())
+            for diag in result.diagnostics:
+                print(f"    {diag.severity}: {diag.message} "
+                      f"[{diag.location.filename}:{diag.location.line}]")
     elif spec not in ("runtime", "corpus", "all"):
         raise SystemExit(
             f"error: unknown concurrency target {spec!r}; use 'runtime', "
@@ -509,18 +616,23 @@ def _run_concurrency(spec: str, quiet: bool, witness: bool) -> int:
             + ", ".join(sorted(model_names))
         )
 
-    print(
-        f"concurrency analysis: {failures} failure(s); "
-        + (
-            "locksets, lock order, and merges all verified"
-            if failures == 0
-            else "hazards or cross-check divergences found"
+    if as_json:
+        payload["failures"] = failures
+        payload["ok"] = failures == 0
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"concurrency analysis: {failures} failure(s); "
+            + (
+                "locksets, lock order, and merges all verified"
+                if failures == 0
+                else "hazards or cross-check divergences found"
+            )
         )
-    )
     return 0 if failures == 0 else 1
 
 
-def _run_memory(spec: str, quiet: bool) -> int:
+def _run_memory(spec: str, quiet: bool, as_json: bool = False) -> int:
     from repro.analysis.memory import CORPUS, analyze_memory_program
 
     names = {p.name: p for p in CORPUS}
@@ -536,28 +648,64 @@ def _run_memory(spec: str, quiet: bool) -> int:
         )
 
     failures = 0
+    json_reports = []
     for program in programs:
         report = analyze_memory_program(program)
         verdict_ok = report.verdicts() == {program.expect}
         ok = verdict_ok and report.cross_check_ok
         if not ok:
             failures += 1
-        if not quiet or not ok:
+        if as_json:
+            json_reports.append(
+                {
+                    "program": program.name,
+                    "expect": program.expect,
+                    "verdicts": sorted(report.verdicts()),
+                    "verdict_matches": verdict_ok,
+                    "cross_check_ok": report.cross_check_ok,
+                    "ok": ok,
+                    "reuse_factor": report.reuse_factor,
+                    "checks": [
+                        {
+                            "trace_key": c.trace_key,
+                            "certified_peak_bytes": (
+                                c.certificate.certified_peak_bytes
+                            ),
+                            "observed_peak_bytes": c.observed_peak_bytes,
+                            "sound": c.sound,
+                            "exact": c.exact,
+                            "planned_pool_bytes": (
+                                c.certificate.planned_pool_bytes
+                            ),
+                            "naive_bytes": c.certificate.naive_bytes,
+                            "buffers_reused": c.plan.buffers_reused,
+                            "diagnostics": [
+                                _diag_json(d) for d in c.diagnostics
+                            ],
+                        }
+                        for c in report.checks
+                    ],
+                }
+            )
+        elif not quiet or not ok:
             print(report.render())
             print(
                 f"  expected verdict: {program.expect} "
                 f"({'as predicted' if verdict_ok else 'MISPREDICTED'})"
             )
             print()
-    print(
-        f"{len(programs)} program(s) certified, {failures} failure(s); "
-        "static peak bounds "
-        + (
-            "hold against the dynamic tracker"
-            if failures == 0
-            else "DIVERGE from the dynamic tracker"
+    if as_json:
+        print(json.dumps(json_reports, indent=2))
+    else:
+        print(
+            f"{len(programs)} program(s) certified, {failures} failure(s); "
+            "static peak bounds "
+            + (
+                "hold against the dynamic tracker"
+                if failures == 0
+                else "DIVERGE from the dynamic tracker"
+            )
         )
-    )
     return 0 if failures == 0 else 1
 
 
@@ -625,15 +773,106 @@ def _run_lint(spec: str) -> int:
     return 0 if errors == 0 else 1
 
 
-def _run_ownership(spec: str, style: str) -> int:
+def _run_ownership(spec: str, style: str, as_json: bool = False) -> int:
     from repro.analysis.ownership import analyze_ownership
     from repro.sil.frontend import lower_function
 
     pyfunc = _resolve_function(spec)
     sil_func = getattr(pyfunc, "__sil_function__", None) or lower_function(pyfunc)
     report = analyze_ownership(sil_func, style=style)
-    print(report.render())
+    if as_json:
+        print(
+            json.dumps(
+                {
+                    "function": sil_func.name,
+                    "ok": report.ok,
+                    "mutation_sites": report.copies.mutation_sites,
+                    "must_copy": report.copies.must_copy,
+                    "may_copy": report.copies.may_copy,
+                    "in_place": report.copies.in_place,
+                    "diagnostics": [_diag_json(d) for d in report.diagnostics],
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(report.render())
     return 0 if report.ok else 1
+
+
+def _run_codegen(spec: str, quiet: bool, as_json: bool = False) -> int:
+    from repro.analysis.equivalence import CORPUS, analyze_equivalence_program
+
+    names = {p.name: p for p in CORPUS}
+    if spec == "all":
+        programs = list(CORPUS)
+    elif spec in names:
+        programs = [names[spec]]
+    else:
+        raise SystemExit(
+            f"error: unknown equivalence program {spec!r}; bundled names: "
+            + ", ".join(sorted(names))
+            + ", all"
+        )
+
+    failures = 0
+    json_reports = []
+    for program in programs:
+        report = analyze_equivalence_program(program)
+        verdict_ok = report.verdicts() == {program.expect}
+        ok = verdict_ok and report.cross_check_ok
+        if not ok:
+            failures += 1
+        if as_json:
+            json_reports.append(
+                {
+                    "program": program.name,
+                    "expect": program.expect,
+                    "verdicts": sorted(report.verdicts()),
+                    "verdict_matches": verdict_ok,
+                    "cross_check_ok": report.cross_check_ok,
+                    "ok": ok,
+                    "checks": [
+                        {
+                            "trace_key": c.trace_key,
+                            "certified": c.result.certified,
+                            "checked_values": c.result.checked_values,
+                            "term_count": c.result.term_count,
+                            "step_fn_lines": c.generated.line_count,
+                            "bit_identical": c.bit_identical,
+                            "baseline_certified": (
+                                None
+                                if c.baseline is None
+                                else c.baseline.certified
+                            ),
+                            "diagnostics": [
+                                _diag_json(d) for d in c.diagnostics
+                            ],
+                        }
+                        for c in report.checks
+                    ],
+                }
+            )
+        elif not quiet or not ok:
+            print(report.render())
+            print(
+                f"  expected verdict: {program.expect} "
+                f"({'as predicted' if verdict_ok else 'MISPREDICTED'})"
+            )
+            print()
+    if as_json:
+        print(json.dumps(json_reports, indent=2))
+    else:
+        print(
+            f"{len(programs)} program(s) validated, {failures} failure(s); "
+            "certified translations "
+            + (
+                "run bit-identically to the interpreter"
+                if failures == 0
+                else "DIVERGE from the interpreter"
+            )
+        )
+    return 0 if failures == 0 else 1
 
 
 if __name__ == "__main__":

@@ -375,6 +375,7 @@ RUNTIME_MODULES: Tuple[str, ...] = (
     "repro.runtime.device",
     "repro.runtime.cluster",
     "repro.hlo.compiler",
+    "repro.hlo.codegen",
     "repro.core.synthesis",
     "repro.valsem.cow",
 )
@@ -401,6 +402,11 @@ RUNTIME_REGISTRY = GuardRegistry(
         # Process-wide compile counters: every increment is read-modify-write
         # from whichever replica thread wins the single-flight compile.
         "repro.hlo.compiler.STATS": "hlo.compiler.cache",
+        # The codegen pipeline's emitted-source cache and counters: compile
+        # workers, replicas, and analysis sweeps all reach
+        # generate_certified concurrently.
+        "repro.hlo.codegen._SOURCE_CACHE": "hlo.codegen.cache",
+        "repro.hlo.codegen.STATS": "hlo.codegen.cache",
     },
     guarded_classes={
         # Counter objects whose every field is read-modify-write shared.
@@ -408,8 +414,12 @@ RUNTIME_REGISTRY = GuardRegistry(
         "repro.hlo.compiler.AsyncCompileStats": "hlo.async_compiler",
         "repro.runtime.memory.MemoryTracker": "runtime.memory",
         "repro.runtime.memory.TraceAttribution": "runtime.memory",
+        "repro.hlo.codegen.CodegenStats": "hlo.codegen.cache",
     },
     exempt_fields={
+        "repro.hlo.codegen._REDUCE_KERNELS": (
+            "import-time-constant kernel table, read-only after import"
+        ),
         "repro.hlo.compiler._UNARY_KERNELS": (
             "import-time-constant kernel table, read-only after import"
         ),
@@ -448,6 +458,15 @@ RUNTIME_REGISTRY = GuardRegistry(
         "repro.hlo.compiler.Executable": (
             "immutable after construction; cached and shared read-only "
             "across replicas"
+        ),
+        "repro.hlo.codegen.CodegenExecutable": (
+            "immutable after construction; the compiled step function is "
+            "pure and the launch replay is a static tuple — cached and "
+            "shared read-only across replicas exactly like Executable"
+        ),
+        "repro.hlo.codegen.GeneratedStep": (
+            "frozen dataclass value object: emitted source and metadata, "
+            "never mutated after emission"
         ),
         # One executor/trainer drives the step from the main thread; the
         # per-replica lists are replica-indexed (worker i touches element i

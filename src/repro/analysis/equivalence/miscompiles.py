@@ -1,0 +1,223 @@
+"""Seeded miscompiles: the five classic codegen bugs the proof must catch.
+
+Each transform takes *correct* emitted source and produces a plausibly
+buggy variant — the kind of defect a hand-written emitter ships: a
+broadcast to the wrong dims, a buffer reused while its old value is still
+needed, a dropped dtype conversion, swapped operands of a
+non-commutative op, and an elided f32-accumulation widening.  The
+transformed source still parses and runs; only the translation validator
+stands between it and the cache.  Sweep 10 requires every applicable
+transform to be rejected with a located diagnostic.
+
+Transforms are AST-to-AST (``ast.unparse``) so they survive formatting
+details of the emitter.  A transform returns ``None`` when its pattern
+does not occur in the given source (e.g. no ``cast`` call in an all-f32
+module); the corpus pairs each miscompile with a program where it
+applies.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+def _parse(source: str) -> ast.Module:
+    return ast.parse(source)
+
+
+def _emit(tree: ast.Module) -> str:
+    return ast.unparse(ast.fix_missing_locations(tree)) + "\n"
+
+
+def _kernel_calls(tree: ast.Module, name: str) -> list[ast.Call]:
+    found: list[ast.Call] = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Subscript)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "K"
+            and isinstance(node.func.slice, ast.Constant)
+            and node.func.slice.value == name
+        ):
+            found.append(node)
+    return found
+
+
+def wrong_broadcast(source: str) -> Optional[str]:
+    """Perturb the dims of the first broadcast (off-by-one leading dim)."""
+    tree = _parse(source)
+    for call in _kernel_calls(tree, "broadcast_to"):
+        dims = call.args[1]
+        if isinstance(dims, ast.Tuple) and dims.elts:
+            first = dims.elts[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, int):
+                first.value += 1
+                return _emit(tree)
+    return None
+
+
+def stale_buffer_reuse(source: str) -> Optional[str]:
+    """Retarget one assignment onto a variable that is still live.
+
+    Emulates a planner bug: value *i* is written into the buffer of a
+    value V whose interval has not ended.  Every later read of V now sees
+    the clobbering value — the first such consumer is the divergence the
+    validator must name.
+    """
+    tree = _parse(source)
+    fn = next(n for n in tree.body if isinstance(n, ast.FunctionDef))
+    assigns = [s for s in fn.body if isinstance(s, ast.Assign)]
+
+    def reads_of(stmt: ast.stmt) -> set[str]:
+        return {
+            n.id
+            for n in ast.walk(stmt)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+        }
+
+    for i, stmt in enumerate(assigns):
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        defined_before = {
+            s.targets[0].id
+            for s in assigns[:i]
+            if isinstance(s.targets[0], ast.Name)
+        }
+        read_after: set[str] = set()
+        for later in fn.body[fn.body.index(stmt) + 1 :]:
+            read_after |= reads_of(later)
+        victims = sorted((defined_before - {target.id}) & read_after)
+        if not victims:
+            continue
+        victim = victims[0]
+        old_name = target.id
+        target.id = victim
+        # Later reads of the retargeted value follow it to the new name.
+        past = False
+        for later in fn.body:
+            if later is stmt:
+                past = True
+                continue
+            if not past:
+                continue
+            for n in ast.walk(later):
+                if (
+                    isinstance(n, ast.Name)
+                    and isinstance(n.ctx, ast.Load)
+                    and n.id == old_name
+                ):
+                    n.id = victim
+        return _emit(tree)
+    return None
+
+
+def dropped_convert(source: str) -> Optional[str]:
+    """Strip the first ``cast(x, dtype)`` wrapper — the narrowed result
+    silently keeps its wide storage."""
+    tree = _parse(source)
+
+    class Strip(ast.NodeTransformer):
+        def __init__(self) -> None:
+            self.done = False
+
+        def visit_Call(self, node: ast.Call):
+            self.generic_visit(node)
+            if (
+                not self.done
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "cast"
+                and len(node.args) == 2
+            ):
+                self.done = True
+                return node.args[0]
+            return node
+
+    stripper = Strip()
+    tree = stripper.visit(tree)
+    return _emit(tree) if stripper.done else None
+
+
+def reordered_noncommutative(source: str) -> Optional[str]:
+    """Swap the operands of the first subtract/divide/matmul call."""
+    tree = _parse(source)
+    for name in ("sub", "div", "pow", "matmul"):
+        for call in _kernel_calls(tree, name):
+            if len(call.args) == 2:
+                call.args[0], call.args[1] = call.args[1], call.args[0]
+                return _emit(tree)
+    return None
+
+
+def f32_accum_elision(source: str) -> Optional[str]:
+    """Strip the first ``f32acc(x)`` widening — the contraction then
+    accumulates in f16, the exact hazard PR-8 exists to prevent."""
+    tree = _parse(source)
+
+    class Strip(ast.NodeTransformer):
+        def __init__(self) -> None:
+            self.done = False
+
+        def visit_Call(self, node: ast.Call):
+            self.generic_visit(node)
+            if (
+                not self.done
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "f32acc"
+                and len(node.args) == 1
+            ):
+                self.done = True
+                return node.args[0]
+            return node
+
+    stripper = Strip()
+    tree = stripper.visit(tree)
+    return _emit(tree) if stripper.done else None
+
+
+@dataclass(frozen=True)
+class Miscompile:
+    """One seeded codegen bug: a source transform plus its verdict label."""
+
+    name: str
+    description: str
+    #: Verdict label the report assigns when the validator rejects it.
+    verdict: str
+    transform: Callable[[str], Optional[str]]
+
+
+MISCOMPILES: tuple[Miscompile, ...] = (
+    Miscompile(
+        "wrong_broadcast",
+        "broadcast emitted with perturbed target dims",
+        "wrong-broadcast",
+        wrong_broadcast,
+    ),
+    Miscompile(
+        "stale_buffer_reuse",
+        "a buffer reused while its previous value is still live",
+        "stale-reuse",
+        stale_buffer_reuse,
+    ),
+    Miscompile(
+        "dropped_convert",
+        "a dtype conversion silently dropped",
+        "dropped-convert",
+        dropped_convert,
+    ),
+    Miscompile(
+        "reordered_noncommutative",
+        "operands of a non-commutative op swapped",
+        "reordered-op",
+        reordered_noncommutative,
+    ),
+    Miscompile(
+        "f32_accum_elision",
+        "f32-accumulation widening of an f16 contraction elided",
+        "accum-elision",
+        f32_accum_elision,
+    ),
+)

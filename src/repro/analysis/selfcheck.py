@@ -79,7 +79,18 @@ Three sweeps, mirroring the three layers the subsystem spans:
    re-check clean and run accurately, and narrowing must shrink the
    memory planner's certified peak on at least one trace.
 
-``python -m repro.analysis --self-check`` runs all nine and exits 0 iff
+10. **Equivalence sweep** — run the translation validator
+    (:mod:`repro.analysis.equivalence`) over the codegen corpus: every
+    clean program's lowered modules must certify (the emitted flat-NumPy
+    step function proven value-for-value equivalent to its HLO schedule)
+    with zero error diagnostics and the dynamic differential check
+    passing — interpreted ≡ generated, bit for bit — and every seeded
+    miscompile (wrong broadcast, stale buffer reuse, dropped convert,
+    reordered non-commutative op, f32-accumulation elision) must be
+    rejected with a *located* diagnostic naming the divergent value,
+    while its untransformed baseline still certifies.
+
+``python -m repro.analysis --self-check`` runs all ten and exits 0 iff
 everything holds.
 """
 
@@ -138,6 +149,10 @@ class SelfCheckReport:
     intervals_contained: int = 0
     autocast_plans_verified: int = 0
     narrow_peak_bytes_saved: int = 0
+    codegen_modules_certified: int = 0
+    codegen_values_checked: int = 0
+    miscompiles_caught: int = 0
+    differential_matches: int = 0
     failures: list[str] = field(default_factory=list)
 
     @property
@@ -188,6 +203,10 @@ class SelfCheckReport:
             f"intervals containing observed: {self.intervals_contained}",
             f"autocast plans verified:       {self.autocast_plans_verified}",
             f"narrowed peak bytes saved:     {self.narrow_peak_bytes_saved}",
+            f"codegen modules certified:     {self.codegen_modules_certified}",
+            f"codegen values proven:         {self.codegen_values_checked}",
+            f"miscompiles caught:            {self.miscompiles_caught}",
+            f"differential runs identical:   {self.differential_matches}",
         ]
         if self.failures:
             lines.append(f"FAILURES ({len(self.failures)}):")
@@ -809,6 +828,64 @@ def _check_precision(report: SelfCheckReport) -> None:
         )
 
 
+def _check_equivalence(report: SelfCheckReport) -> None:
+    from repro.analysis.equivalence import CORPUS, analyze_equivalence_program
+    from repro.errors import ReproError
+
+    # Corpus sweep: every clean program certifies every unique trace with
+    # zero error diagnostics (no false positives) and passes the dynamic
+    # differential check bit for bit; every seeded miscompile's baseline
+    # certifies while the transformed source is rejected with a *located*
+    # diagnostic carrying exactly its expected verdict.
+    for program in CORPUS:
+        try:
+            result = analyze_equivalence_program(program)
+        except ReproError as exc:  # pragma: no cover
+            report.failures.append(f"equivalence program {program.name!r}: {exc}")
+            continue
+
+        verdicts = result.verdicts()
+        if verdicts != {program.expect}:
+            report.failures.append(
+                f"equivalence program {program.name!r}: expected verdict "
+                f"{program.expect!r}, got {sorted(verdicts)}"
+            )
+            continue
+
+        if program.expect == "clean":
+            if any(d.is_error for d in result.diagnostics()):
+                report.failures.append(
+                    f"equivalence program {program.name!r}: false positive: "
+                    + next(d for d in result.diagnostics() if d.is_error).message
+                )
+                continue
+            for check in result.checks:
+                if check.result.certified:
+                    report.codegen_modules_certified += 1
+                    report.codegen_values_checked += check.result.checked_values
+                if check.bit_identical:
+                    report.differential_matches += 1
+        else:
+            located = [
+                c
+                for c in result.checks
+                if not c.result.certified and c.located
+            ]
+            if located:
+                report.miscompiles_caught += 1
+            else:
+                report.failures.append(
+                    f"equivalence program {program.name!r}: miscompile "
+                    "rejected but no diagnostic carries a source location"
+                )
+
+        if not result.cross_check_ok:
+            report.failures.append(
+                f"equivalence program {program.name!r}: static certificate "
+                "diverges from the dynamic differential check"
+            )
+
+
 def self_check(verbose: bool = False) -> SelfCheckReport:
     """Run all sweeps; the report's ``ok`` says whether everything held."""
     report = SelfCheckReport()
@@ -821,6 +898,7 @@ def self_check(verbose: bool = False) -> SelfCheckReport:
     _check_concurrency(report)
     _check_memory(report)
     _check_precision(report)
+    _check_equivalence(report)
     if verbose:  # pragma: no cover
         print(report.summary())
     return report

@@ -3,6 +3,11 @@ paper's evaluation (Section 5).  Each module documents the paper's numbers,
 the substitutions made, and the shape being reproduced; EXPERIMENTS.md
 records paper-vs-measured for all of them."""
 
+from repro.experiments.codegen_audit import (
+    CodegenAuditResult,
+    CodegenAuditRow,
+    run_codegen_audit,
+)
 from repro.experiments.derivative_pruning import (
     PruningResult,
     PruningRow,
@@ -37,6 +42,9 @@ from repro.experiments.trace_stability import (
 )
 
 __all__ = [
+    "CodegenAuditResult",
+    "CodegenAuditRow",
+    "run_codegen_audit",
     "PruningResult",
     "PruningRow",
     "run_derivative_pruning",

@@ -14,6 +14,7 @@ import sys
 
 from repro.experiments import (
     render_figure9,
+    run_codegen_audit,
     run_derivative_pruning,
     run_figure4,
     run_figure9,
@@ -48,6 +49,7 @@ EXPERIMENTS = {
     "derivative_pruning": lambda: run_derivative_pruning().render(),
     "memory_plan": lambda: run_memory_plan().render(),
     "precision_audit": lambda: run_precision_audit().render(),
+    "codegen_audit": lambda: run_codegen_audit().render(),
 }
 
 

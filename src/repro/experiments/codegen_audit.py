@@ -1,0 +1,108 @@
+"""Codegen audit — translation certificates vs the running interpreter.
+
+The translation validator (:mod:`repro.analysis.equivalence`) certifies,
+per canonical trace, that the flat NumPy step function the codegen
+backend emits computes exactly the values the HLO schedule computes.
+This harness runs it over the seeded corpus and tabulates, per program:
+the verdict, how many values the proof covered, the size of the shared
+term DAG, the emitted step function's length, and whether the dynamic
+cross-check (interpreted ≡ generated, ``tobytes`` equality) agreed.  A ✓
+in every MATCH cell is the falsifiability check: the certificate is a
+proof about the code that actually runs — clean programs must execute
+bit-identically on both paths, and every seeded miscompile must be
+stopped statically, before it can run at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CodegenAuditRow:
+    program: str
+    expected: str
+    verdicts: tuple
+    traces: int
+    checked_values: int
+    term_count: int
+    step_lines: int
+    #: True = ran bit-identically; None = rejected statically, never ran.
+    bit_identical: object
+    cross_check_ok: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.cross_check_ok and set(self.verdicts) == {self.expected}
+
+
+@dataclass
+class CodegenAuditResult:
+    rows: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(row.ok for row in self.rows)
+
+    def render(self) -> str:
+        header = (
+            f"{'program':26s} {'verdict':18s} {'traces':>6s} "
+            f"{'values':>6s} {'terms':>6s} {'lines':>6s} "
+            f"{'bits':>6s} {'match':>6s}"
+        )
+        lines = [
+            "Codegen audit: translation certificates vs the interpreter",
+            "=" * len(header),
+            header,
+            "-" * len(header),
+        ]
+        for row in self.rows:
+            verdict = ", ".join(row.verdicts)
+            bits = (
+                "≡"
+                if row.bit_identical is True
+                else ("—" if row.bit_identical is None else "≠")
+            )
+            mark = "✓" if row.ok else "✗"
+            lines.append(
+                f"{row.program:26s} {verdict:18s} {row.traces:>6d} "
+                f"{row.checked_values:>6d} {row.term_count:>6d} "
+                f"{row.step_lines:>6d} {bits:>6s} {mark:>6s}"
+            )
+        lines.append("-" * len(header))
+        lines.append(
+            "every certified step function runs bit-identically to the "
+            "interpreter; every seeded miscompile is stopped statically"
+            if self.ok
+            else "DIVERGENCE: a certificate or verdict failed"
+        )
+        return "\n".join(lines)
+
+
+def run_codegen_audit() -> CodegenAuditResult:
+    from repro.analysis.equivalence import CORPUS, analyze_equivalence_program
+
+    result = CodegenAuditResult()
+    for program in CORPUS:
+        report = analyze_equivalence_program(program)
+        checks = report.checks
+        # Clean programs certify and run both paths; miscompile programs
+        # report the corrupted variant's verdict (bit_identical is None —
+        # rejected code never executes).
+        bits: object = all(c.bit_identical is True for c in checks)
+        if any(c.bit_identical is None for c in checks):
+            bits = None
+        result.rows.append(
+            CodegenAuditRow(
+                program=program.name,
+                expected=program.expect,
+                verdicts=tuple(sorted(report.verdicts())),
+                traces=len(checks),
+                checked_values=sum(c.result.checked_values for c in checks),
+                term_count=sum(c.result.term_count for c in checks),
+                step_lines=sum(c.generated.line_count for c in checks),
+                bit_identical=bits,
+                cross_check_ok=report.cross_check_ok,
+            )
+        )
+    return result

@@ -1,6 +1,13 @@
 """The XLA-analogue domain-specific compiler (HLO IR + JIT backend)."""
 
 from repro.hlo.builder import HloBuilder
+from repro.hlo.codegen import (
+    CodegenExecutable,
+    GeneratedStep,
+    compile_step,
+    emit_module,
+    generate_certified,
+)
 from repro.hlo.compiler import (
     STATS,
     Executable,
@@ -33,6 +40,11 @@ from repro.hlo.verify import verify_computation, verify_module
 
 __all__ = [
     "HloBuilder",
+    "CodegenExecutable",
+    "GeneratedStep",
+    "compile_step",
+    "emit_module",
+    "generate_certified",
     "STATS",
     "Executable",
     "cache_keys",

@@ -413,13 +413,28 @@ def fingerprint(module: HloModule) -> str:
     return re.sub(r"%[\w.\-]+", rename, text)
 
 
-def _codegen(module: HloModule, fuse: bool) -> Executable:
-    """Optimize + emit, updating the compile counters."""
+def _codegen(
+    module: HloModule,
+    fuse: bool,
+    codegen: bool = False,
+    key: Optional[str] = None,
+) -> Executable:
+    """Optimize + emit, updating the compile counters.
+
+    Under ``codegen`` the interpreted executable is additionally lowered
+    to a flat-NumPy step function — installed only if the translation
+    validator certifies it (``repro.analysis.equivalence``); a rejected
+    translation silently falls back to the interpreted executable.
+    """
     optimize(module, fuse=fuse)
     executable = Executable(module)
     with _LOCK:
         STATS.compiles += 1
         STATS.instructions_compiled += len(executable.order)
+    if codegen:
+        from repro.hlo.codegen import generate_certified
+
+        executable = generate_certified(module, executable, key=key)
     return executable
 
 
@@ -427,6 +442,7 @@ def compile_module(
     module: HloModule,
     use_cache: bool = True,
     fuse: bool = True,
+    codegen: bool = False,
 ) -> Executable:
     """Optimize + codegen, memoized by fingerprint.
 
@@ -435,8 +451,13 @@ def compile_module(
     it, the rest block on its result and count as cache hits.
     """
     if not use_cache:
-        return _codegen(module, fuse)
+        return _codegen(module, fuse, codegen=codegen)
     key = fingerprint(module)
+    if codegen:
+        # Certified-codegen executables live under their own keyspace so a
+        # mixed workload never hands an interpreted caller a generated step
+        # function (or vice versa).
+        key = "codegen:" + key
     with _LOCK:
         cached = _CACHE.get(key)
         if cached is not None:
@@ -455,7 +476,7 @@ def compile_module(
             STATS.cache_hits += 1
         return executable
     try:
-        executable = _codegen(module, fuse)
+        executable = _codegen(module, fuse, codegen=codegen, key=key)
     except BaseException as exc:
         with _LOCK:
             _INFLIGHT.pop(key, None)

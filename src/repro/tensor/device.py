@@ -42,6 +42,7 @@ class Device:
         name: str = "",
         auto_barrier_threshold: Optional[int] = None,
         async_compile=False,
+        codegen: bool = False,
     ) -> None:
         if kind not in ("naive", "eager", "lazy"):
             raise ValueError(f"unknown device kind {kind!r}")
@@ -73,6 +74,7 @@ class Device:
                 engine or S4TF_LAZY,
                 auto_barrier_threshold,
                 async_compiler=compiler,
+                codegen=codegen,
             )
         else:
             self.sim = None
@@ -148,7 +150,11 @@ def eager_device(profile=None, engine=None) -> Device:
 
 
 def lazy_device(
-    profile=None, engine=None, auto_barrier_threshold=None, async_compile=False
+    profile=None,
+    engine=None,
+    auto_barrier_threshold=None,
+    async_compile=False,
+    codegen=False,
 ) -> Device:
     return Device(
         "lazy",
@@ -156,4 +162,5 @@ def lazy_device(
         engine,
         auto_barrier_threshold=auto_barrier_threshold,
         async_compile=async_compile,
+        codegen=codegen,
     )

@@ -74,9 +74,14 @@ class LazyRuntime:
         engine: EngineProfile,
         auto_barrier_threshold: Optional[int] = None,
         async_compiler: Optional[AsyncCompiler] = None,
+        codegen: bool = False,
     ) -> None:
         self.sim = sim
         self.engine = engine
+        #: When set, compiled fragments run as translation-validated flat
+        #: NumPy step functions (``repro.hlo.codegen``); a fragment whose
+        #: translation the validator rejects runs interpreted instead.
+        self.codegen = codegen
         self.host_time = 0.0
         self.ops_traced = 0
         self.materializations = 0
@@ -264,7 +269,7 @@ class LazyRuntime:
                 (print_module(module), [p.data for p in param_nodes])
             )
         compiles_before = COMPILER_STATS.compiles
-        executable = compile_module(module)
+        executable = compile_module(module, codegen=self.codegen)
         if COMPILER_STATS.compiles > compiles_before:
             # A genuinely new trace: pay JIT compilation.
             self.compiles_triggered += 1
@@ -291,6 +296,10 @@ class LazyRuntime:
         from repro.analysis.tracing.canonical import canonicalize
 
         key = canonicalize(targets).digest
+        if self.codegen:
+            # Separate keyspace: a shared AsyncCompiler must never hand an
+            # interpreted replica a generated step function or vice versa.
+            key = "codegen:" + key
         executable = self.async_compiler.lookup(key)
         if executable is not None:
             self.async_compile_hits += 1
@@ -305,7 +314,9 @@ class LazyRuntime:
         # Miss: lower now (the execution below consumes the DAG), compile
         # in the background, run this step op-by-op.
         module, _ = _lower_to_hlo(targets)
-        self.async_compiler.submit(key, lambda: compile_module(module))
+        self.async_compiler.submit(
+            key, lambda: compile_module(module, codegen=self.codegen)
+        )
         self.async_compiler.note_fallback()
         self.async_fallback_steps += 1
         results = self._eval_fragment_eager(targets)

@@ -137,6 +137,6 @@ def test_nested_acquisitions_become_static_edges(corpus):
 
 
 def test_runtime_static_graph_is_empty(runtime):
-    # The engine never nests its four lock classes statically — the
+    # The engine never nests its five lock classes statically — the
     # strongest possible deadlock-freedom evidence.
     assert runtime.edge_set() == frozenset()

@@ -1,7 +1,9 @@
 """Printer -> parser -> printer golden round-trips over every module the
-analysis corpora can produce — tracing, memory, and precision programs,
-including narrowed (f16/bf16) lowerings with explicit converts and f32
-accumulator attributes, and buffer-annotated printing."""
+analysis corpora can produce — tracing, memory, precision, and equivalence
+programs, including narrowed (f16/bf16) lowerings with explicit converts
+and f32 accumulator attributes, and buffer-annotated printing.  The
+equivalence corpus additionally pins codegen determinism: one canonical
+key, one emitted source."""
 
 import numpy as np
 import pytest
@@ -14,6 +16,7 @@ from repro.analysis.precision.casts import (
 )
 from repro.analysis.precision.intervals import Interval
 from repro.analysis.precision.ranges import analyze_ranges
+from repro.analysis.equivalence.models import CORPUS as EQUIVALENCE_CORPUS
 from repro.analysis.memory.models import CORPUS as MEMORY_CORPUS
 from repro.analysis.tracing.models import PROGRAMS as TRACE_PROGRAMS
 from repro.hlo import parse_module, print_module, verify_module
@@ -99,3 +102,29 @@ def test_annotated_printing_round_trips(program):
         # The annotations are comments to the parser: reparsing the
         # annotated text recovers the same module as the plain text.
         assert print_module(parse_module(annotated)) == plain
+
+
+@pytest.mark.parametrize(
+    "program",
+    [p for p in EQUIVALENCE_CORPUS if p.expect == "clean"],
+    ids=lambda p: p.name,
+)
+def test_equivalence_corpus_round_trips_and_emits_deterministically(program):
+    """The codegen'd corpus: every lowered module round-trips through the
+    printer, and emission is a pure function of the canonical trace key —
+    two independent builds of the same program produce byte-identical
+    step-function source."""
+    from repro.hlo import emit_module, optimize
+
+    def emissions():
+        out = []
+        for module, _params in _lowered_modules(program):
+            _assert_round_trip(module)
+            generated = emit_module(optimize(module, fuse=True), key="k")
+            # Emitted names are positional (p{n}/b{buf}/v{pos}), so the
+            # source carries no builder counters at all.
+            out.append((generated.source, generated.launches))
+        return out
+
+    first, second = emissions(), emissions()
+    assert first and first == second

@@ -210,16 +210,17 @@ def test_cli_list_json(capsys):
     assert lint["programs"] == []
 
 
-def test_cli_json_requires_supported_flag(capsys):
+def test_cli_json_rejects_lint(capsys):
+    # Every subcommand except --lint speaks JSON now.
     with pytest.raises(SystemExit):
-        main(["--memory", "all", "--json"])
-    assert "--json is supported" in capsys.readouterr().err
+        main(["--lint", "repro.analysis.lintdemo:mixed_bag", "--json"])
+    assert "--json is not supported with --lint" in capsys.readouterr().err
 
 
 def test_subsystem_sweeps_are_unique_and_ordered():
     sweeps = [s.sweep for s in SUBSYSTEMS]
     assert len(set(sweeps)) == len(sweeps)
-    assert max(sweeps) == 9  # precision is the ninth sweep
+    assert max(sweeps) == 10  # equivalence is the tenth sweep
 
 
 # -- the selfcheck sweep and the experiment table ----------------------------

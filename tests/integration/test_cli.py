@@ -29,6 +29,7 @@ def test_registry_covers_all_tables_and_figures():
         "derivative_pruning",
         "memory_plan",
         "precision_audit",
+        "codegen_audit",
     }
 
 
@@ -50,4 +51,13 @@ def test_trace_stability_experiment_renders_exact_match_table(capsys):
     assert "✗" not in out
     # Every corpus program appears as a row.
     for name in ("mlp_train_clean", "lr_schedule_storm", "shape_drift"):
+        assert name in out
+
+def test_codegen_audit_experiment_renders_certificate_table(capsys):
+    assert main(["codegen_audit"]) == 0
+    out = capsys.readouterr().out
+    assert "Codegen audit" in out
+    assert "bit-identically" in out
+    assert "✗" not in out
+    for name in ("mlp_chain", "lenet_forward", "miscompile_stale_reuse"):
         assert name in out

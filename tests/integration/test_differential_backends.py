@@ -134,6 +134,11 @@ def _check_program(module, name: str, seed: int, n_inputs: int) -> None:
     lazy_value, lazy_grads = _run_on(df, Device("lazy"), arrays)
     assert _bits(lazy_value, lazy_grads) == reference, name
 
+    # Certified codegen: the translation-validated flat step function
+    # replaces the interpreted executable and may not move a single ulp.
+    gen_value, gen_grads = _run_on(df, Device("lazy", codegen=True), arrays)
+    assert _bits(gen_value, gen_grads) == reference, f"{name}: codegen diverged"
+
     # Async engine: cold run (op-by-op fallback) and warm run (compiled
     # executable) must both be bit-identical.
     compiler = AsyncCompiler()
