@@ -8,11 +8,13 @@ Two comparisons, both written to ``BENCH_parallel.json``:
   the compile runs in the background).  Asserts the async engine is at
   least 1.5x faster over the cold-start window on 4 replicas.
 
-* **Host wall-clock** (hardware-dependent): the same lockstep steps run
-  through the serial executor vs the thread-pool executor.  NumPy releases
-  the GIL, so replicas overlap on multi-core hosts; the speedup assert is
-  gated on ``os.cpu_count() >= 4`` because a single-core host cannot
-  overlap anything.
+* **Host wall-clock backend sweep** (hardware-dependent): the same
+  lockstep steps run through every executor backend — ``serial``,
+  ``thread`` (GIL-released NumPy overlap), ``process`` (forked workers
+  exchanging gradients over shared memory).  Each entry records its
+  ``executor_backend``, wall times, and a ``speedup_asserted`` gate keyed
+  on ``os.cpu_count() >= n_replicas``: a host that cannot overlap the
+  replicas keeps an honest ``skip_reason`` instead of a vacuous assert.
 
 Run directly: ``python benchmarks/bench_parallel_replicas.py --quick``
 or via pytest: ``pytest benchmarks/bench_parallel_replicas.py``.
@@ -31,22 +33,29 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
+from repro.nn import softmax_cross_entropy
+
+#: Backends swept by the wall-clock comparison, serial oracle first.
+WALL_BACKENDS = ("serial", "thread", "process")
+
+
+def bench_loss(model, x, y):
+    """Module-level so the process backend can ship it by reference."""
+    return softmax_cross_entropy(model(x), y)
+
 
 def _workload(quick: bool):
-    from repro.nn import MLP, softmax_cross_entropy
+    from repro.nn import MLP
 
     hidden = [32] if quick else [64, 64]
 
     def build(device):
         return MLP.create(16, hidden, 8, device=device, seed=0)
 
-    def loss_fn(model, x, y):
-        return softmax_cross_entropy(model(x), y)
-
     rng = np.random.default_rng(7)
     x = rng.standard_normal((16, 16)).astype(np.float32)
     y = np.eye(8, dtype=np.float32)[rng.integers(0, 8, 16)]
-    return build, loss_fn, x, y
+    return build, bench_loss, x, y
 
 
 def _run_steps(trainer, loss_fn, x, y, steps: int):
@@ -75,13 +84,13 @@ def run_bench(quick: bool = True, n_replicas: int = 4, steps: int = 6) -> dict:
 
     build, loss_fn, x, y = _workload(quick)
 
-    def make_trainer(async_compile, serial=False):
+    def make_trainer(async_compile=False, backend="thread"):
         return ParallelDataParallelTrainer(
             build,
             lambda: SGD(learning_rate=0.05),
             n_replicas,
             async_compile=async_compile,
-            serial=serial,
+            backend=backend,
         )
 
     # -- simulated clock: sync JIT stall vs async compile + fallback --------
@@ -95,34 +104,43 @@ def run_bench(quick: bool = True, n_replicas: int = 4, steps: int = 6) -> dict:
     async_stats = async_trainer.async_stats()
     sim_speedup = sim_sync / sim_async
 
-    # -- host wall-clock: serial executor vs thread pool --------------------
+    # -- host wall-clock: backend sweep (serial is the oracle) --------------
     wall_steps = steps if quick else steps * 4
-    serial_trainer = make_trainer(async_compile=False, serial=True)
-    _run_steps(serial_trainer, loss_fn, x, y, 2)  # warm the JIT cache
-    t0 = time.perf_counter()
-    _, _, serial_step_walls = _run_steps(serial_trainer, loss_fn, x, y, wall_steps)
-    wall_serial = time.perf_counter() - t0
-
-    parallel_trainer = make_trainer(async_compile=False, serial=False)
-    _run_steps(parallel_trainer, loss_fn, x, y, 2)
-    t0 = time.perf_counter()
-    _, replica_compute_totals, parallel_step_walls = _run_steps(
-        parallel_trainer, loss_fn, x, y, wall_steps
-    )
-    wall_parallel = time.perf_counter() - t0
-    parallel_trainer.shutdown()
-
     cpu_count = os.cpu_count() or 1
-    wall_speedup = wall_serial / wall_parallel if wall_parallel > 0 else 0.0
-    multicore = cpu_count >= 4
+    multicore = cpu_count >= n_replicas
     skip_reason = (
         None
         if multicore
         else (
-            f"cpu_count={cpu_count} < 4: replicas cannot overlap on this "
-            "host, so the wall-clock speedup assertion is skipped"
+            f"cpu_count={cpu_count} < n_replicas={n_replicas}: replicas "
+            "cannot overlap on this host, so the wall-clock speedup "
+            "assertion is skipped"
         )
     )
+
+    backends = {}
+    serial_wall = None
+    for backend in WALL_BACKENDS:
+        trainer = make_trainer(async_compile=False, backend=backend)
+        _run_steps(trainer, loss_fn, x, y, 2)  # warm JIT / worker caches
+        t0 = time.perf_counter()
+        _, replica_compute_totals, step_walls = _run_steps(
+            trainer, loss_fn, x, y, wall_steps
+        )
+        wall = time.perf_counter() - t0
+        trainer.shutdown()
+        if backend == "serial":
+            serial_wall = wall
+        speedup = serial_wall / wall if wall > 0 else 0.0
+        backends[backend] = {
+            "executor_backend": backend,
+            "wall_s": wall,
+            "speedup_vs_serial": speedup,
+            "step_wall_s": step_walls,
+            "per_replica_compute_s": replica_compute_totals,
+            "speedup_asserted": multicore and backend != "serial",
+            "skip_reason": None if backend == "serial" else skip_reason,
+        }
 
     result = {
         "n_replicas": n_replicas,
@@ -135,15 +153,10 @@ def run_bench(quick: bool = True, n_replicas: int = 4, steps: int = 6) -> dict:
             "async_stats": async_stats,
         },
         "wall_clock": {
-            "serial_s": wall_serial,
-            "parallel_s": wall_parallel,
-            "speedup": wall_speedup,
             "cpu_count": cpu_count,
             "speedup_asserted": multicore,
             "skip_reason": skip_reason,
-            "serial_step_wall_s": serial_step_walls,
-            "parallel_step_wall_s": parallel_step_walls,
-            "per_replica_compute_s": replica_compute_totals,
+            "backends": backends,
         },
     }
 
@@ -151,11 +164,12 @@ def run_bench(quick: bool = True, n_replicas: int = 4, steps: int = 6) -> dict:
         f"async compile engine only {sim_speedup:.2f}x faster than the "
         f"blocking JIT over the cold-start window (need >= 1.5x)"
     )
-    if multicore:
-        assert wall_speedup >= 1.5, (
-            f"thread-pool executor only {wall_speedup:.2f}x faster than "
-            f"serial on a {cpu_count}-core host (need >= 1.5x)"
-        )
+    for backend, entry in backends.items():
+        if entry["speedup_asserted"]:
+            assert entry["speedup_vs_serial"] >= 1.5, (
+                f"{backend} executor only {entry['speedup_vs_serial']:.2f}x "
+                f"faster than serial on a {cpu_count}-core host (need >= 1.5x)"
+            )
     return result
 
 
@@ -164,6 +178,7 @@ def test_parallel_replicas_quick():
     out = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
     out.write_text(json.dumps(result, indent=2) + "\n")
     assert result["simulated_clock"]["speedup"] >= 1.5
+    assert set(result["wall_clock"]["backends"]) == set(WALL_BACKENDS)
 
 
 def main() -> int:

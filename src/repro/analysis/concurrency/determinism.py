@@ -412,6 +412,30 @@ def _probe_step_time_multi() -> ProbeResult:
     )
 
 
+def _probe_reduce_mean() -> ProbeResult:
+    import numpy as np
+
+    from repro.runtime.parallel.shm import GradientExchange, LeafSpec
+
+    spec = LeafSpec("array", "float32", (1,))
+
+    def run(order) -> float:
+        with GradientExchange(4, [spec]) as exchange:
+            for replica, value in enumerate(order):
+                exchange.write(replica, 0,
+                               np.array([value], dtype=np.float32))
+            exchange.reduce_mean()
+            return float(exchange.averaged()[0][0])
+
+    first = run(PROBE_VALUES)
+    again = run(PROBE_VALUES)
+    p = PROBE_VALUES
+    permuted = run((p[1], p[3], p[0], p[2]))
+    return ProbeResult(
+        deterministic=first == again, order_sensitive=first != permuted
+    )
+
+
 #: The replica merges of the real runtime and their expected verdicts.
 RUNTIME_MERGES: Tuple[MergeSpec, ...] = (
     MergeSpec(
@@ -428,5 +452,12 @@ RUNTIME_MERGES: Tuple[MergeSpec, ...] = (
         "repro.runtime.cluster:PodSimulator.step_time_multi",
         expect="order-insensitive",
         probe=_probe_step_time_multi,
+    ),
+    # The shared-memory mirror of _average_leaves: the process backend's
+    # in-place all-reduce must stay bit-compatible with the thread path.
+    MergeSpec(
+        "repro.runtime.parallel.shm:GradientExchange.reduce_mean",
+        expect="replica-ordered",
+        probe=_probe_reduce_mean,
     ),
 )

@@ -371,6 +371,8 @@ def build_inventory(target: AnalysisTarget) -> InventoryReport:
 RUNTIME_MODULES: Tuple[str, ...] = (
     "repro.runtime.parallel.executor",
     "repro.runtime.parallel.trainer",
+    "repro.runtime.parallel.process",
+    "repro.runtime.parallel.shm",
     "repro.runtime.memory",
     "repro.runtime.device",
     "repro.runtime.cluster",
@@ -407,6 +409,19 @@ RUNTIME_REGISTRY = GuardRegistry(
         # generate_certified concurrently.
         "repro.hlo.codegen._SOURCE_CACHE": "hlo.codegen.cache",
         "repro.hlo.codegen.STATS": "hlo.codegen.cache",
+        # Shared-memory segment bookkeeping: exchanges register created
+        # names from the driver while the atexit sweep / fork hooks clear,
+        # and the token counter is read-modify-write.
+        "repro.runtime.parallel.shm._SEGMENT_REGISTRY": "runtime.parallel.shm",
+        "repro.runtime.parallel.shm._TOKENS": "runtime.parallel.shm",
+        # Worker-pool lifecycle state: pipes and process handles are
+        # mutated by spawn/mark-dead/shutdown and read by every exchange.
+        "repro.runtime.parallel.process.ReplicaWorkerPool._conns": (
+            "runtime.parallel.pool"
+        ),
+        "repro.runtime.parallel.process.ReplicaWorkerPool._procs": (
+            "runtime.parallel.pool"
+        ),
     },
     guarded_classes={
         # Counter objects whose every field is read-modify-write shared.
@@ -453,6 +468,14 @@ RUNTIME_REGISTRY = GuardRegistry(
             "copy_counting() ContextVar scope, the process-wide counter is "
             "advisory (single-threaded benchmarks/CLI only)"
         ),
+        "repro.runtime.parallel.process.ReplicaWorkerPool._ctx": (
+            "fork start-method context handle; immutable after __init__"
+        ),
+        "repro.runtime.parallel.shm._LIVE_EXCHANGES": (
+            "WeakSet touched only by the driver thread (exchange "
+            "construction and the atexit sweep); worker processes get a "
+            "cleared copy at fork"
+        ),
     },
     exempt_classes={
         "repro.hlo.compiler.Executable": (
@@ -482,6 +505,25 @@ RUNTIME_REGISTRY = GuardRegistry(
         ),
         "repro.runtime.parallel.trainer.ParallelStepStats": (
             "per-step value object built and read on the driver thread"
+        ),
+        "repro.runtime.parallel.trainer._ProcessReplicaState": (
+            "confined to one forked worker process: built by the worker's "
+            "own factory, touched only by its single-threaded command loop"
+        ),
+        "repro.runtime.parallel.process.ProcessReplicaExecutor": (
+            "immutable after construction; each run() forks fresh children "
+            "and drains every result pipe before returning"
+        ),
+        "repro.runtime.parallel.shm.GradientExchange": (
+            "driver-owned: segments/views are created and reduced on the "
+            "driver thread; workers reach the memory only through their own "
+            "WorkerAttachment views, synchronized by the step's ordered "
+            "send/drain phases"
+        ),
+        "repro.runtime.parallel.shm.WorkerAttachment": (
+            "confined to one worker process; writes its own replica slots "
+            "and reads the averaged slots only between the step's ordered "
+            "command phases"
         ),
         # Simulated devices are thread-confined: one replica thread per
         # Device per phase, handed off at the executor barrier.
@@ -540,6 +582,7 @@ RUNTIME_REGISTRY = GuardRegistry(
             "repro.runtime.memory.TraceAttribution.__init__",
             "repro.hlo.compiler.CompilerStats.__init__",
             "repro.hlo.compiler.AsyncCompileStats.__init__",
+            "repro.runtime.parallel.process.ReplicaWorkerPool.__init__",
         }
     ),
     requires={

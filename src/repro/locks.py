@@ -30,7 +30,9 @@ This module imports nothing but the standard library so every layer
 
 from __future__ import annotations
 
+import os
 import threading
+import weakref
 from collections import Counter
 from typing import Dict, FrozenSet, List, Tuple
 
@@ -43,6 +45,9 @@ _HELD = threading.local()
 #: Guards the witness's edge map and the registry counter.  Deliberately a
 #: bare RLock: instrumenting it would recurse.
 _WITNESS_LOCK = threading.RLock()
+
+#: Every live instrumented lock, so a forked child can reinitialize them.
+_ALL_LOCKS: "weakref.WeakSet[InstrumentedRLock]" = weakref.WeakSet()
 
 
 class LockWitness:
@@ -103,13 +108,14 @@ class InstrumentedRLock:
     per-instance lock (``AsyncCompiler._lock``) be analyzed statically.
     """
 
-    __slots__ = ("name", "_lock")
+    __slots__ = ("name", "_lock", "__weakref__")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._lock = threading.RLock()
         with _WITNESS_LOCK:
             LOCK_REGISTRY[name] += 1
+        _ALL_LOCKS.add(self)
 
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
         acquired = self._lock.acquire(blocking, timeout)
@@ -164,3 +170,30 @@ def witness_edges() -> FrozenSet[Tuple[str, str]]:
 def reset_witness() -> None:
     """Clear recorded edges/acquisitions (test and sweep boundaries)."""
     WITNESS.reset()
+
+
+def reinitialize_after_fork() -> None:
+    """Make every instrumented lock usable in a freshly-forked child.
+
+    ``fork`` copies lock state: a lock another thread held at fork time
+    stays locked forever in the child (the owning thread does not exist
+    there).  The process-backed executor forks replica workers, so the
+    child must start from a clean slate: fresh underlying ``RLock``s for
+    every registered instrumented lock (and the witness's own bookkeeping
+    lock), an empty held stack for the surviving thread, and a cleared
+    witness — the child records its own edges from scratch.
+
+    Registered via :func:`os.register_at_fork` below; callable directly
+    from tests.
+    """
+    global _WITNESS_LOCK
+    _WITNESS_LOCK = threading.RLock()
+    for lock in list(_ALL_LOCKS):
+        lock._lock = threading.RLock()
+    _HELD.stack = []
+    WITNESS.reset()
+
+
+# Forked replica workers (repro.runtime.parallel.process) inherit this
+# module; reinitialize its locks before any child code can block on one.
+os.register_at_fork(after_in_child=reinitialize_after_fork)

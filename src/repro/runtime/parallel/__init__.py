@@ -1,20 +1,56 @@
 """Concurrent execution engine: real numerics for every pod replica.
 
-``MultiReplicaExecutor`` fans per-replica work out to a thread pool with
-deterministic (replica-id-ordered) merges; ``ParallelDataParallelTrainer``
-uses it to run synchronous data-parallel training where *all* replicas
-execute real NumPy numerics — the concurrent upgrade of the
-single-representative :class:`~repro.training.distributed.DataParallelTrainer`.
+``MultiReplicaExecutor`` fans per-replica work out over a selectable
+backend — ``"serial"`` (the oracle loop), ``"thread"`` (a pool; NumPy
+releases the GIL), or ``"process"`` (forked workers; true multi-core) —
+always with deterministic, replica-id-ordered merges.
+``ParallelDataParallelTrainer`` uses it to run synchronous data-parallel
+training where *all* replicas execute real NumPy numerics; under the
+process backend, gradients cross address spaces through the zero-copy
+shared-memory views of :mod:`repro.runtime.parallel.shm`.  The
+differential harness proves the three backends bit-identical.
 """
 
-from repro.runtime.parallel.executor import MultiReplicaExecutor
+from repro.runtime.parallel.executor import (
+    BACKENDS,
+    MultiReplicaExecutor,
+    resolve_backend,
+)
+from repro.runtime.parallel.process import (
+    ProcessReplicaExecutor,
+    ReplicaError,
+    ReplicaWorkerPool,
+    WorkerCrash,
+    current_worker_replica,
+    fork_supported,
+)
+from repro.runtime.parallel.shm import (
+    GradientExchange,
+    LeafSpec,
+    WorkerAttachment,
+    registered_segments,
+    segment_exists,
+)
 from repro.runtime.parallel.trainer import (
     ParallelDataParallelTrainer,
     ParallelStepStats,
 )
 
 __all__ = [
+    "BACKENDS",
+    "GradientExchange",
+    "LeafSpec",
     "MultiReplicaExecutor",
     "ParallelDataParallelTrainer",
     "ParallelStepStats",
+    "ProcessReplicaExecutor",
+    "ReplicaError",
+    "ReplicaWorkerPool",
+    "WorkerAttachment",
+    "WorkerCrash",
+    "current_worker_replica",
+    "fork_supported",
+    "registered_segments",
+    "resolve_backend",
+    "segment_exists",
 ]

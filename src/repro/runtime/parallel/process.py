@@ -1,0 +1,371 @@
+"""Process-backed replica execution: true multi-core, same contracts.
+
+The thread executor overlaps replicas only while NumPy holds the GIL
+released; pure-Python phases (tracing, SIL interpretation, the optimizer
+walk) serialize.  This module runs each replica in its own *process* so
+the whole step overlaps, while preserving the exact executor contracts
+the differential harness pins: replica-id-ordered results, drain-before-
+raise, and bit-identical numerics.
+
+Two building blocks:
+
+* :class:`ProcessReplicaExecutor` — the generic ``run(fn)`` face.  Each
+  ``run`` **forks** one short-lived child per replica, so ``fn`` may be
+  any closure (it is inherited through fork, never pickled); only the
+  *result* crosses the pipe.  Children are drained in replica-id order
+  and the first failure (in id order) is raised after every sibling has
+  been collected.
+
+* :class:`ReplicaWorkerPool` — persistent command-loop workers for the
+  process trainer.  Each worker owns replica state (device, model,
+  optimizer) built *in the worker* by a factory inherited through fork,
+  and answers ``(command, payload)`` requests over a duplex pipe.  A
+  worker death (``SIGKILL``, crash) surfaces as :class:`WorkerCrash`
+  after the siblings drain; the pool stays usable — dead replicas are
+  respawned on demand and restored from a survivor's snapshot.
+
+Pool lifecycle state (pipes, process handles, death marks) is guarded by
+the ``runtime.parallel.pool`` lock, registered with the concurrency
+inventory.  Fork safety: :mod:`repro.locks` reinitializes every
+instrumented lock in the child via ``os.register_at_fork``, and
+:mod:`repro.runtime.parallel.shm` clears the child's inherited segment
+registry so only the driver ever unlinks shared memory.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import traceback
+from typing import Callable, List, Optional, Tuple, TypeVar
+
+from repro.locks import named_rlock
+
+T = TypeVar("T")
+
+#: Set inside a worker process to its replica id (None on the driver).
+#: Fault-injection tests read this to target one replica from a shared
+#: loss closure.
+_WORKER_REPLICA = None
+
+
+def current_worker_replica() -> Optional[int]:
+    """The replica id when called inside a process worker, else None."""
+    return _WORKER_REPLICA
+
+
+def fork_supported() -> bool:
+    """True when the host can fork (the process backend's requirement)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _require_fork():
+    if not fork_supported():
+        raise RuntimeError(
+            "backend='process' needs the fork start method (replica "
+            "closures are inherited, not pickled); this platform offers "
+            f"{multiprocessing.get_all_start_methods()}"
+        )
+    return multiprocessing.get_context("fork")
+
+
+class ReplicaError(RuntimeError):
+    """A replica's work raised; re-raised on the driver after the drain."""
+
+    def __init__(self, replica: int, exc_type: str, message: str,
+                 tb: str = "") -> None:
+        super().__init__(
+            f"replica {replica} raised {exc_type}: {message}"
+            + (f"\n--- worker traceback ---\n{tb}" if tb else "")
+        )
+        self.replica = replica
+        self.exc_type = exc_type
+
+
+class WorkerCrash(RuntimeError):
+    """A replica worker died (killed or crashed) before replying."""
+
+    def __init__(self, replica: int) -> None:
+        super().__init__(
+            f"replica {replica} worker died mid-step (killed or crashed)"
+        )
+        self.replica = replica
+
+
+def _error_payload(exc: BaseException) -> Tuple[str, str, str]:
+    return (type(exc).__name__, str(exc), traceback.format_exc())
+
+
+# ---------------------------------------------------------------------------
+# Fork-per-run executor (generic closures, no persistent state)
+# ---------------------------------------------------------------------------
+
+
+def _run_replica_child(fn, replica: int, conn) -> None:
+    global _WORKER_REPLICA
+    _WORKER_REPLICA = replica
+    try:
+        result = fn(replica)
+    except BaseException as exc:  # noqa: BLE001 - shipped to the driver
+        conn.send(("error", _error_payload(exc)))
+    else:
+        conn.send(("ok", result))
+    finally:
+        conn.close()
+
+
+class ProcessReplicaExecutor:
+    """Run ``fn`` once per replica, each in a freshly-forked process.
+
+    Same contract as the thread executor: results in replica-id order,
+    every child drained before the first (id-ordered) failure is raised.
+    ``fn`` is inherited through fork so arbitrary closures work; the
+    returned values must be picklable (they ride the result pipe).
+    """
+
+    def __init__(self, n_replicas: int) -> None:
+        if n_replicas < 1:
+            raise ValueError("need at least one replica")
+        self.n_replicas = n_replicas
+        self._ctx = _require_fork()
+
+    def run(self, fn: Callable[[int], T]) -> List[T]:
+        conns, procs = [], []
+        for i in range(self.n_replicas):
+            # Sequential create-start-close keeps each pipe's write end
+            # confined to its own child, so a child death EOFs its pipe.
+            recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+            proc = self._ctx.Process(
+                target=_run_replica_child,
+                args=(fn, i, send_conn),
+                daemon=True,
+                name=f"replica-proc:{i}",
+            )
+            proc.start()
+            send_conn.close()
+            conns.append(recv_conn)
+            procs.append(proc)
+        outcomes: List[Tuple[Optional[T], Optional[BaseException]]] = []
+        for i in range(self.n_replicas):
+            try:
+                status, payload = conns[i].recv()
+            except EOFError:
+                outcomes.append((None, WorkerCrash(i)))
+            else:
+                if status == "ok":
+                    outcomes.append((payload, None))
+                else:
+                    outcomes.append((None, ReplicaError(i, *payload)))
+            finally:
+                conns[i].close()
+                procs[i].join()
+        for _, exc in outcomes:
+            if exc is not None:
+                raise exc
+        return [value for value, _ in outcomes]
+
+    def shutdown(self) -> None:
+        """Nothing persistent to tear down (children die per run)."""
+
+    def __enter__(self) -> "ProcessReplicaExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Persistent command-loop workers (the trainer's replicas)
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(replica: int, conn, worker_factory) -> None:
+    """The worker process body: build replica state, serve commands."""
+    global _WORKER_REPLICA
+    _WORKER_REPLICA = replica
+    try:
+        state = worker_factory(replica)
+    except BaseException as exc:  # noqa: BLE001 - surfaced on first request
+        conn.send(("error", _error_payload(exc)))
+        conn.close()
+        return
+    try:
+        while True:
+            try:
+                command, payload = conn.recv()
+            except EOFError:
+                break
+            if command == "shutdown":
+                try:
+                    state.close()
+                finally:
+                    conn.send(("ok", None))
+                break
+            try:
+                result = state.handle(command, payload)
+            except BaseException as exc:  # noqa: BLE001 - to the driver
+                conn.send(("error", _error_payload(exc)))
+            else:
+                conn.send(("ok", result))
+    finally:
+        # close() is idempotent; an EOF exit (driver died) must still
+        # release this worker's shared-memory attachments cleanly.
+        state.close()
+        conn.close()
+
+
+class ReplicaWorkerPool:
+    """``n_replicas`` persistent forked workers answering ordered commands.
+
+    ``worker_factory(replica_id)`` runs *inside* each worker and must
+    return an object with ``handle(command, payload)`` and ``close()``.
+    The factory and everything it closes over are inherited through
+    fork — only command payloads and replies are pickled, and the
+    trainer keeps gradient arrays out of both (they go through
+    :mod:`repro.runtime.parallel.shm`).
+    """
+
+    def __init__(self, n_replicas: int, worker_factory) -> None:
+        if n_replicas < 1:
+            raise ValueError("need at least one replica")
+        self.n_replicas = n_replicas
+        self._factory = worker_factory
+        self._ctx = _require_fork()
+        self._lifecycle = named_rlock("runtime.parallel.pool")
+        self._conns: List = [None for _ in range(n_replicas)]
+        self._procs: List = [None for _ in range(n_replicas)]
+        with self._lifecycle:
+            for i in range(n_replicas):
+                self._spawn(i)
+
+    # -- lifecycle (all mutations under the pool lock) ----------------------
+
+    def _spawn(self, replica: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(replica, child_conn, self._factory),
+            daemon=True,
+            name=f"replica-worker:{replica}",
+        )
+        proc.start()
+        child_conn.close()
+        self._conns[replica] = parent_conn
+        self._procs[replica] = proc
+
+    def _mark_dead(self, replica: int) -> None:
+        with self._lifecycle:
+            conn, proc = self._conns[replica], self._procs[replica]
+            self._conns[replica] = None
+            self._procs[replica] = None
+        if conn is not None:
+            conn.close()
+        if proc is not None:
+            proc.join(timeout=5)
+
+    def alive(self, replica: int) -> bool:
+        with self._lifecycle:
+            proc = self._procs[replica]
+            return proc is not None and proc.is_alive()
+
+    def dead_replicas(self) -> List[int]:
+        return [i for i in range(self.n_replicas) if not self.alive(i)]
+
+    def respawn(self, replica: int) -> None:
+        """Replace a dead worker with a fresh fork (initial replica state)."""
+        self._mark_dead(replica)
+        with self._lifecycle:
+            self._spawn(replica)
+
+    def shutdown(self) -> None:
+        with self._lifecycle:
+            conns = list(self._conns)
+            procs = list(self._procs)
+            self._conns = [None] * self.n_replicas
+            self._procs = [None] * self.n_replicas
+        for conn in conns:
+            if conn is None:
+                continue
+            try:
+                conn.send(("shutdown", None))
+                conn.recv()
+            except (OSError, EOFError, BrokenPipeError):
+                pass
+        for proc in procs:
+            if proc is None:
+                continue
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in conns:
+            if conn is not None:
+                conn.close()
+
+    # -- ordered request/drain ----------------------------------------------
+
+    def request(self, replica: int, command: str, payload=None):
+        """One command to one worker; its reply (or raises)."""
+        results = self._exchange(command, {replica: payload})
+        return results[replica]
+
+    def gather(self, command: str, payloads: List) -> List:
+        """The command to every worker; replica-id-ordered replies.
+
+        Sends to all, then drains *every* live worker before raising the
+        first failure in replica-id order — a dying replica never
+        abandons a sibling mid-command.
+        """
+        if len(payloads) != self.n_replicas:
+            raise ValueError(
+                f"got {len(payloads)} payloads for {self.n_replicas} replicas"
+            )
+        results = self._exchange(command, dict(enumerate(payloads)))
+        return [results[i] for i in range(self.n_replicas)]
+
+    def _exchange(self, command: str, payloads: dict):
+        with self._lifecycle:
+            conns = {i: self._conns[i] for i in payloads}
+        failures: dict = {}
+        pending: List[int] = []
+        for i in sorted(payloads):
+            conn = conns[i]
+            if conn is None:
+                failures[i] = WorkerCrash(i)
+                continue
+            try:
+                conn.send((command, payloads[i]))
+            except (OSError, BrokenPipeError):
+                failures[i] = WorkerCrash(i)
+            except (pickle.PicklingError, AttributeError, TypeError) as exc:
+                raise TypeError(
+                    "backend='process' ships command payloads by pickle; "
+                    f"payload for {command!r} is not picklable (define "
+                    "loss functions at module level): " + str(exc)
+                ) from exc
+            else:
+                pending.append(i)
+        results: dict = {}
+        for i in pending:  # replica-id order; drains every live worker
+            try:
+                status, payload = conns[i].recv()
+            except (EOFError, OSError):
+                failures[i] = WorkerCrash(i)
+            else:
+                if status == "ok":
+                    results[i] = payload
+                else:
+                    failures[i] = ReplicaError(i, *payload)
+        for i in failures:
+            if isinstance(failures[i], WorkerCrash):
+                self._mark_dead(i)
+        if failures:
+            raise failures[min(failures)]
+        return results
+
+    def __enter__(self) -> "ReplicaWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

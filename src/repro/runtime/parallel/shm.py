@@ -1,0 +1,425 @@
+"""Zero-copy shared-memory gradient exchange for process replicas.
+
+When replicas run in worker *processes*, gradients must cross an address
+space boundary.  Pickling every tangent leaf through a pipe would copy
+each array twice per step (serialize + deserialize); instead the driver
+creates one POSIX shared-memory segment per ``(replica, tangent leaf)``
+plus one averaged segment per leaf, and both sides map NumPy views
+directly onto the segments:
+
+* each worker writes its gradient leaves into its own replica slots (the
+  only copy the exchange performs — ``np.copyto`` from the worker's
+  array, which also linearizes non-contiguous sources);
+* the driver reduces **in place** over the mapped views — sum in
+  replica-id order, then scale, exactly mirroring the thread trainer's
+  ``_average_leaves`` so the merged bits are identical across backends;
+* each worker reads the averaged leaves back through its own view.
+
+No gradient byte is ever pickled.  Scalar (non-tensor) tangent leaves
+ride in 0-d float64 slots so the merge reproduces the thread path's
+Python-float (IEEE double) accumulation bit for bit.
+
+**Ownership and crash cleanup.**  Only the driver ever *creates* (and
+therefore unlinks) segments; workers attach by name and explicitly
+unregister from :mod:`multiprocessing.resource_tracker` so a worker
+death — even ``SIGKILL`` — can neither leak a segment nor let the
+tracker unlink one the driver still owns.  Every created name is
+recorded in the process-wide :data:`_SEGMENT_REGISTRY` (guarded by the
+``runtime.parallel.shm`` lock) and unlinked deterministically: by
+:meth:`GradientExchange.unlink`, or at interpreter exit by the
+``atexit`` sweep.  A forked child clears its inherited registry copy so
+it can never unlink the parent's segments.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import weakref
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.locks import named_rlock
+
+#: Guards the created-segment registry and the token counter.
+_SHM_LOCK = named_rlock("runtime.parallel.shm")
+
+#: Names of segments created (and still owned) by THIS process.
+_SEGMENT_REGISTRY: set = set()
+
+#: Monotonic exchange tokens (unique within the process; combined with
+#: the pid for cross-process uniqueness).
+_TOKENS = itertools.count()
+
+#: Live exchanges, so the atexit sweep can release their NumPy views
+#: (and thus close their mappings cleanly) before unlinking by name.
+_LIVE_EXCHANGES: "weakref.WeakSet[GradientExchange]" = weakref.WeakSet()
+
+
+def _next_token() -> str:
+    with _SHM_LOCK:
+        serial = next(_TOKENS)
+    return f"{os.getpid():x}-{serial:x}-{os.urandom(3).hex()}"
+
+
+def _register(name: str) -> None:
+    with _SHM_LOCK:
+        _SEGMENT_REGISTRY.add(name)
+
+
+def _deregister(name: str) -> None:
+    with _SHM_LOCK:
+        _SEGMENT_REGISTRY.discard(name)
+
+
+def registered_segments() -> Tuple[str, ...]:
+    """Names of segments this process has created and not yet unlinked."""
+    with _SHM_LOCK:
+        return tuple(sorted(_SEGMENT_REGISTRY))
+
+
+def _clear_registry_in_child() -> None:
+    # A forked child inherits the registry but not ownership: clearing it
+    # keeps the child's exit (or its atexit sweep) from unlinking the
+    # parent's live segments.  The child also gets its own private
+    # resource tracker: the module-level register/unregister are bound
+    # methods of the parent's tracker instance, and a child sharing that
+    # pipe would corrupt the parent's leak accounting (its attach-side
+    # unregisters would deregister names the parent still owns).
+    with _SHM_LOCK:
+        _SEGMENT_REGISTRY.clear()
+    try:  # pragma: no cover - tracker internals are advisory
+        from multiprocessing import resource_tracker
+
+        tracker = resource_tracker.ResourceTracker()
+        resource_tracker._resource_tracker = tracker
+        resource_tracker.ensure_running = tracker.ensure_running
+        resource_tracker.register = tracker.register
+        resource_tracker.unregister = tracker.unregister
+        resource_tracker.getfd = tracker.getfd
+    except Exception:
+        pass
+
+
+os.register_at_fork(after_in_child=_clear_registry_in_child)
+
+
+def _cleanup_registered_segments() -> None:
+    """Unlink every segment this process still owns (atexit safety net).
+
+    Deterministic cleanup is :meth:`GradientExchange.unlink`; this sweep
+    only catches a driver that exits without shutting its trainer down.
+    """
+    for exchange in list(_LIVE_EXCHANGES):
+        exchange.unlink()
+    with _SHM_LOCK:
+        names = list(_SEGMENT_REGISTRY)
+        _SEGMENT_REGISTRY.clear()
+    for name in names:
+        try:
+            segment = shared_memory.SharedMemory(name=name, create=False)
+        except FileNotFoundError:
+            continue
+        try:
+            # unlink() also deregisters the name from the resource
+            # tracker; if the file vanished underneath us, deregister
+            # explicitly so the tracker does not warn about a leak.
+            segment.unlink()
+        except FileNotFoundError:
+            _unregister_from_tracker(segment)
+        _close_quietly(segment)
+
+
+atexit.register(_cleanup_registered_segments)
+
+
+def _unregister_from_tracker(segment: shared_memory.SharedMemory) -> None:
+    """Detach ``segment`` from the resource tracker (attach-only use).
+
+    The tracker unlinks every segment still registered when its client
+    processes die (bpo-38119): an *attaching* process must unregister or
+    its death would tear down a segment the creating process still owns.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(
+            getattr(segment, "_name", segment.name), "shared_memory"
+        )
+    except Exception:  # pragma: no cover - tracker internals are advisory
+        pass
+
+
+def _close_quietly(segment: shared_memory.SharedMemory) -> None:
+    # close() raises BufferError while NumPy views still reference the
+    # mapping.  Abandon the handle instead: drop the fd now and orphan
+    # the mmap — the views' buffer chain keeps it alive, and it unmaps
+    # itself when the last view dies.  Clearing the attributes also
+    # keeps SharedMemory.__del__ from retrying the close and warning.
+    try:
+        segment.close()
+    except BufferError:
+        if getattr(segment, "_fd", -1) >= 0:
+            try:
+                os.close(segment._fd)
+            except OSError:  # pragma: no cover - fd already gone
+                pass
+            segment._fd = -1
+        segment._mmap = None
+
+
+def _untrack_attachment(segment: shared_memory.SharedMemory) -> None:
+    """Undo the tracker registration an *attach* performed.
+
+    Attaching registers the name just like creating does (bpo-38119), so
+    an attach-only handle must deregister — unless this process owns the
+    segment, in which case the attach's register was a set no-op and
+    deregistering would strip the owner's own entry.
+    """
+    with _SHM_LOCK:
+        owned = segment.name in _SEGMENT_REGISTRY
+    if not owned:
+        _unregister_from_tracker(segment)
+
+
+def segment_exists(name: str) -> bool:
+    """True iff ``name`` can still be attached (tests' orphan probe)."""
+    try:
+        segment = shared_memory.SharedMemory(name=name, create=False)
+    except FileNotFoundError:
+        return False
+    _untrack_attachment(segment)
+    _close_quietly(segment)
+    return True
+
+
+@dataclass(frozen=True)
+class LeafSpec:
+    """Shape/dtype contract for one tangent leaf's slot.
+
+    ``kind`` is ``"array"`` for tensor leaves (stored in their own dtype,
+    f32 on the trainer path) or ``"scalar"`` for Python-float leaves
+    (stored as 0-d float64 so the merge matches f64 float arithmetic).
+    """
+
+    kind: str
+    dtype: str
+    shape: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("array", "scalar"):
+            raise ValueError(f"unknown leaf kind {self.kind!r}")
+
+    @property
+    def count(self) -> int:
+        n = 1
+        for dim in self.shape:
+            n *= int(dim)
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * np.dtype(self.dtype).itemsize
+
+    @staticmethod
+    def for_value(value) -> "LeafSpec":
+        """The slot spec for one materialized tangent leaf."""
+        if isinstance(value, (int, float)):
+            return LeafSpec("scalar", "float64", ())
+        array = np.asarray(value)
+        return LeafSpec("array", str(array.dtype), tuple(array.shape))
+
+
+def _view(segment: shared_memory.SharedMemory, spec: LeafSpec) -> np.ndarray:
+    flat = np.frombuffer(segment.buf, dtype=np.dtype(spec.dtype),
+                         count=spec.count)
+    return flat.reshape(spec.shape)
+
+
+class GradientExchange:
+    """Driver-side owner of one trainer's gradient segments.
+
+    Creates ``n_replicas`` gradient slots plus one averaged slot per
+    tangent leaf, all uniquely named under one exchange token, and is
+    the only party that ever unlinks them.  Two live exchanges — even
+    with identical leaf layouts, even in concurrent processes — can
+    never alias: the token embeds the pid, a process-monotonic serial,
+    and fresh random bytes.
+    """
+
+    def __init__(self, n_replicas: int, specs: Sequence[LeafSpec]) -> None:
+        if n_replicas < 1:
+            raise ValueError("need at least one replica")
+        if not specs:
+            raise ValueError("need at least one tangent leaf")
+        self.n_replicas = n_replicas
+        self.specs = list(specs)
+        self.token = _next_token()
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._grad_names: List[List[str]] = []
+        self._avg_names: List[str] = []
+        self._grad_views: List[List[np.ndarray]] = []
+        self._avg_views: List[np.ndarray] = []
+        self._unlinked = False
+        try:
+            for replica in range(n_replicas):
+                names, views = [], []
+                for j, spec in enumerate(self.specs):
+                    name = f"repro-shm-{self.token}-g{replica}x{j}"
+                    views.append(self._create(name, spec))
+                    names.append(name)
+                self._grad_names.append(names)
+                self._grad_views.append(views)
+            for j, spec in enumerate(self.specs):
+                name = f"repro-shm-{self.token}-avg{j}"
+                self._avg_views.append(self._create(name, spec))
+                self._avg_names.append(name)
+        except BaseException:
+            self.unlink()
+            raise
+        _LIVE_EXCHANGES.add(self)
+
+    def _create(self, name: str, spec: LeafSpec) -> np.ndarray:
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=max(1, spec.nbytes)
+        )
+        _register(name)
+        self._segments.append(segment)
+        return _view(segment, spec)
+
+    # -- driver-side access --------------------------------------------------
+
+    def segment_names(self) -> List[str]:
+        return [n for names in self._grad_names for n in names] + list(
+            self._avg_names
+        )
+
+    def grad_view(self, replica: int, leaf: int) -> np.ndarray:
+        return self._grad_views[replica][leaf]
+
+    def avg_view(self, leaf: int) -> np.ndarray:
+        return self._avg_views[leaf]
+
+    def write(self, replica: int, leaf: int, value) -> None:
+        """Copy one leaf into its slot (the exchange's single copy)."""
+        view = self._grad_views[replica][leaf]
+        if self.specs[leaf].kind == "scalar":
+            view[...] = float(value)
+        else:
+            np.copyto(view, value)
+
+    def reduce_mean(self) -> None:
+        """Averaged slots <- replica-ordered sum-then-scale of the slots.
+
+        Bit-compatible with the thread trainer's ``_average_leaves``:
+        array leaves accumulate with ``np.add(..., out=)`` in replica-id
+        order and scale by ``dtype(1/n)`` (``np.float32`` on the trainer
+        path); scalar leaves accumulate and divide in float64, matching
+        Python-float arithmetic.
+        """
+        n = self.n_replicas
+        for j, spec in enumerate(self.specs):
+            acc = self._avg_views[j]
+            np.copyto(acc, self._grad_views[0][j])
+            for replica in range(1, n):
+                np.add(acc, self._grad_views[replica][j], out=acc)
+            if spec.kind == "scalar":
+                np.divide(acc, n, out=acc)
+            else:
+                np.multiply(acc, acc.dtype.type(1.0 / n), out=acc)
+
+    def averaged(self) -> List:
+        """Fresh copies of the averaged leaves (floats for scalar slots)."""
+        out: List = []
+        for j, spec in enumerate(self.specs):
+            if spec.kind == "scalar":
+                out.append(float(self._avg_views[j]))
+            else:
+                out.append(np.array(self._avg_views[j], copy=True))
+        return out
+
+    # -- worker handshake ----------------------------------------------------
+
+    def worker_payload(self, replica: int) -> Dict:
+        """Everything replica ``replica`` needs to attach its slots."""
+        return {
+            "specs": list(self.specs),
+            "grad_names": list(self._grad_names[replica]),
+            "avg_names": list(self._avg_names),
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def unlink(self) -> None:
+        """Unlink every created segment (idempotent, exception-safe)."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        self._grad_views = []
+        self._avg_views = []
+        for segment in self._segments:
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                # Already gone (atexit sweep, another cleanup path):
+                # deregister from the tracker ourselves, since unlink
+                # only does so on success.
+                _unregister_from_tracker(segment)
+            _deregister(segment.name)
+            _close_quietly(segment)
+        self._segments = []
+
+    def __enter__(self) -> "GradientExchange":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlink()
+
+
+class WorkerAttachment:
+    """Worker-side mapping of one replica's slots (attach-only, never unlinks)."""
+
+    def __init__(self, payload: Dict) -> None:
+        self.specs: List[LeafSpec] = list(payload["specs"])
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._grad_views: List[np.ndarray] = []
+        self._avg_views: List[np.ndarray] = []
+        for name, spec in zip(payload["grad_names"], self.specs, strict=True):
+            self._grad_views.append(self._attach(name, spec))
+        for name, spec in zip(payload["avg_names"], self.specs, strict=True):
+            self._avg_views.append(self._attach(name, spec))
+
+    def _attach(self, name: str, spec: LeafSpec) -> np.ndarray:
+        segment = shared_memory.SharedMemory(name=name, create=False)
+        _untrack_attachment(segment)
+        self._segments.append(segment)
+        return _view(segment, spec)
+
+    def write_leaves(self, values: Sequence) -> None:
+        """Publish this replica's gradient leaves into its slots."""
+        for j, (spec, value) in enumerate(zip(self.specs, values, strict=True)):
+            if spec.kind == "scalar":
+                self._grad_views[j][...] = float(value)
+            else:
+                np.copyto(self._grad_views[j], value)
+
+    def read_averaged(self) -> List:
+        """Fresh copies of the averaged leaves (safe past the next step)."""
+        out: List = []
+        for j, spec in enumerate(self.specs):
+            if spec.kind == "scalar":
+                out.append(float(self._avg_views[j]))
+            else:
+                out.append(np.array(self._avg_views[j], copy=True))
+        return out
+
+    def close(self) -> None:
+        self._grad_views = []
+        self._avg_views = []
+        for segment in self._segments:
+            _close_quietly(segment)
+        self._segments = []

@@ -51,7 +51,7 @@ def runtime_report():
 
 
 def test_runtime_merges_all_verified(runtime_report):
-    assert len(runtime_report.findings) == 3
+    assert len(runtime_report.findings) == 4
     assert all(f.ok for f in runtime_report.findings), [
         (f.qualname, f.verdict, f.expect) for f in runtime_report.findings
     ]
@@ -78,6 +78,8 @@ def test_gradient_average_is_pinned_to_replica_order(runtime_report):
     assert avg.verdict == "replica-ordered"
     pod = by_name["repro.runtime.cluster:PodSimulator.step_time_multi"]
     assert pod.verdict == "order-insensitive"
+    shm = by_name["repro.runtime.parallel.shm:GradientExchange.reduce_mean"]
+    assert shm.verdict == "replica-ordered"
 
 
 # ---------------------------------------------------------------------------

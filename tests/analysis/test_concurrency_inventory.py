@@ -111,7 +111,7 @@ def test_runtime_inventory_fully_accounted():
     assert len(report.fields) >= 40
 
 
-def test_runtime_lock_table_covers_the_five_lock_classes():
+def test_runtime_lock_table_covers_the_seven_lock_classes():
     report = build_inventory(RUNTIME_TARGET)
     names = {d.name for d in report.locks}
     assert names == {
@@ -120,6 +120,8 @@ def test_runtime_lock_table_covers_the_five_lock_classes():
         "hlo.async_compiler",
         "core.plan_cache",
         "hlo.codegen.cache",
+        "runtime.parallel.shm",
+        "runtime.parallel.pool",
     }
 
 

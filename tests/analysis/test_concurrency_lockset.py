@@ -137,6 +137,8 @@ def test_nested_acquisitions_become_static_edges(corpus):
 
 
 def test_runtime_static_graph_is_empty(runtime):
-    # The engine never nests its five lock classes statically — the
-    # strongest possible deadlock-freedom evidence.
+    # The engine never nests its seven lock classes statically — the
+    # strongest possible deadlock-freedom evidence.  In particular the
+    # two process-backend locks (runtime.parallel.shm, .pool) introduce
+    # no lock-order edges.
     assert runtime.edge_set() == frozenset()

@@ -37,7 +37,7 @@ def test_runtime_report_is_substantive(runtime):
     # Clean because it was checked, not because nothing was checked.
     assert len(runtime.inventory.fields) >= 40
     assert len([a for a in runtime.lockset.accesses if a.required]) >= 50
-    assert len(runtime.determinism.findings) == 3
+    assert len(runtime.determinism.findings) == 4
     text = runtime.render()
     assert "verdicts: clean (cross_check_ok=True)" in text
 

@@ -49,7 +49,7 @@ def test_self_check_passes_and_covers_all_layers():
     assert report.lock_edges_cross_checked >= 3
     assert report.concurrency_models_checked == 9
     assert report.concurrency_hazards_caught == 6
-    assert report.merges_verified == 4
+    assert report.merges_verified == 5
     # Memory sweep: the whole planning corpus certified, every seeded
     # hazard (over-budget, unsafe in-place, tuple aliasing) caught with
     # located diagnostics, every certified peak >= the dynamically

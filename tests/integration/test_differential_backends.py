@@ -9,7 +9,13 @@ A seeded generator emits random tensor programs; every program runs on:
 * the **async-lazy** device twice: the cold run falls back to op-by-op
   execution while the JIT runs in the background, the warm run executes
   the compiled executable;
-* two concurrent replicas on a thread pool sharing one async compiler.
+* two concurrent replicas on a thread pool sharing one async compiler;
+* two forked **process** replicas (``backend="process"``) re-running each
+  chunk's programs in their own address spaces;
+* the three trainer backends (``serial``/``thread``/``process``) training
+  the same model in lockstep: losses, averaged gradient leaves, and
+  post-step weights must be bit-identical, with the process backend's
+  gradients crossing a zero-copy shared-memory exchange.
 
 Values *and* gradients on every NumPy path must be bit-identical
 (``tobytes`` equality): the fallback interpreter, the compiled
@@ -30,7 +36,8 @@ import pytest
 
 from repro.core import differentiable
 from repro.hlo.compiler import AsyncCompiler
-from repro.runtime.parallel import MultiReplicaExecutor
+from repro.nn import softmax_cross_entropy
+from repro.runtime.parallel import MultiReplicaExecutor, fork_supported
 from repro.tensor import Device, Tensor
 
 N_PROGRAMS = 200
@@ -177,6 +184,115 @@ def test_differential_backends(program_module, chunk):
     for index in range(chunk * per_chunk, (chunk + 1) * per_chunk):
         name, _, n_inputs = sources[index]
         _check_program(module, name, index, n_inputs)
+
+
+needs_fork = pytest.mark.skipif(
+    not fork_supported(), reason="process backend needs the fork start method"
+)
+
+
+@needs_fork
+@pytest.mark.parametrize("chunk", range(20))
+def test_differential_process_backend(program_module, chunk):
+    """Each chunk's programs re-run inside two forked replicas.
+
+    The parent computes the lazy-device reference bits (which the main
+    differential test proves equal to eager/naive); each forked child
+    re-executes every program in its own address space with the plan
+    cache inherited warm through fork.  Values and gradients must come
+    back bit-identical across the process boundary.
+    """
+    module, sources = program_module
+    per_chunk = N_PROGRAMS // 20
+    indices = range(chunk * per_chunk, (chunk + 1) * per_chunk)
+    programs = {}
+    reference = {}
+    for index in indices:
+        name, _, n_inputs = sources[index]
+        df = differentiable(getattr(module, name))
+        arrays = _inputs_for(index, n_inputs)
+        programs[index] = (name, df, arrays)
+        reference[index] = _bits(*_run_on(df, Device("lazy"), arrays))
+
+    def replica_run(replica: int) -> dict:
+        return {
+            index: _bits(*_run_on(df, Device("lazy"), arrays))
+            for index, (_, df, arrays) in programs.items()
+        }
+
+    executor = MultiReplicaExecutor(2, backend="process")
+    try:
+        results = executor.run(replica_run)
+    finally:
+        executor.shutdown()
+    assert len(results) == 2
+    for replica, result in enumerate(results):
+        for index, (name, _, _) in programs.items():
+            assert result[index] == reference[index], (
+                f"{name}: process replica {replica} diverged"
+            )
+
+
+def _trainer_loss(model, x, y):
+    return softmax_cross_entropy(model(x), y)
+
+
+@needs_fork
+def test_trainer_backends_bit_identical():
+    """serial / thread / process trainers stay bitwise in lockstep.
+
+    Losses, averaged gradient leaves (the shared-memory all-reduce
+    output), and post-step weights must agree to the last bit after
+    multiple steps — the process backend's gradients make a round trip
+    through ``multiprocessing.shared_memory`` and may not move an ulp.
+    """
+    from repro.nn import MLP
+    from repro.optim import SGD
+    from repro.runtime.parallel import (
+        ParallelDataParallelTrainer,
+        registered_segments,
+    )
+
+    def make(backend):
+        return ParallelDataParallelTrainer(
+            lambda device: MLP.create(6, [8], 4, device=device, seed=0),
+            lambda: SGD(learning_rate=0.1),
+            3,
+            backend=backend,
+        )
+
+    rng = np.random.default_rng(11)
+    x = rng.standard_normal((6, 6)).astype(np.float32)
+    y = np.eye(4, dtype=np.float32)[rng.integers(0, 4, 6)]
+
+    trainers = {b: make(b) for b in ("serial", "thread", "process")}
+    try:
+        for _ in range(3):
+            stats = {
+                b: t.step(_trainer_loss, t.replicate_batch(x, y))
+                for b, t in trainers.items()
+            }
+            oracle = stats["serial"]
+            for backend in ("thread", "process"):
+                got = stats[backend]
+                assert got.losses == oracle.losses, backend
+                assert len(got.averaged_leaves) == len(oracle.averaged_leaves)
+                for mine, ref in zip(got.averaged_leaves, oracle.averaged_leaves):
+                    if isinstance(ref, float):
+                        assert mine == ref, backend
+                    else:
+                        assert mine.tobytes() == ref.tobytes(), backend
+                assert got.device_stats == oracle.device_stats, backend
+        oracle_weights = trainers["serial"].weights_bytes(0)
+        for backend, trainer in trainers.items():
+            for replica in range(3):
+                assert trainer.weights_bytes(replica) == oracle_weights, (
+                    f"{backend} replica {replica} weights diverged"
+                )
+    finally:
+        for trainer in trainers.values():
+            trainer.shutdown()
+    assert registered_segments() == ()
 
 
 def test_generator_is_deterministic():

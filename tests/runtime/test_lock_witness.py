@@ -10,6 +10,8 @@ import threading
 
 import pytest
 
+from repro.nn import softmax_cross_entropy
+
 from repro.locks import (
     InstrumentedRLock,
     LOCK_REGISTRY,
@@ -109,6 +111,10 @@ class TestInstrumentedRLock:
 # ---------------------------------------------------------------------------
 
 
+def _witness_loss(model, x, y):
+    return softmax_cross_entropy(model(x), y)
+
+
 class TestWitnessCrossCheck:
     def test_consistent_pair_stress_edges_covered_by_static(self):
         from repro.analysis.concurrency.lockorder import (
@@ -146,6 +152,55 @@ class TestWitnessCrossCheck:
         # Every witnessed edge was statically predicted: the hazard was
         # knowable before a thread ever blocked.
         assert order.cross_check_ok
+
+    def test_process_trainer_locks_introduce_no_order_edges(self):
+        """The process backend's two new lock classes stay edge-free.
+
+        A real process-trainer step acquires both ``runtime.parallel.shm``
+        (segment registry, exchange tokens) and ``runtime.parallel.pool``
+        (worker lifecycle) on the driver; the witness must observe the
+        acquisitions but record **no** lock-order edge touching either —
+        matching the static graph, which is empty.
+        """
+        import numpy as np
+
+        from repro.analysis.concurrency.inventory import RUNTIME_TARGET
+        from repro.analysis.concurrency.lockorder import (
+            check_static_covers_dynamic,
+        )
+        from repro.analysis.concurrency.lockset import analyze_locksets
+        from repro.locks import WITNESS
+        from repro.nn import MLP
+        from repro.optim import SGD
+        from repro.runtime.parallel import (
+            ParallelDataParallelTrainer,
+            fork_supported,
+        )
+
+        if not fork_supported():
+            pytest.skip("process backend needs the fork start method")
+        trainer = ParallelDataParallelTrainer(
+            lambda device: MLP.create(4, [4], 2, device=device, seed=0),
+            lambda: SGD(learning_rate=0.1),
+            2,
+            backend="process",
+        )
+        try:
+            rng = np.random.default_rng(0)
+            x = rng.standard_normal((4, 4)).astype(np.float32)
+            y = np.eye(2, dtype=np.float32)[rng.integers(0, 2, 4)]
+            for _ in range(2):
+                trainer.step(_witness_loss, trainer.replicate_batch(x, y))
+        finally:
+            trainer.shutdown()
+        acquisitions = dict(WITNESS.acquisitions)
+        edges = WITNESS.edge_set()
+        for name in ("runtime.parallel.shm", "runtime.parallel.pool"):
+            assert acquisitions.get(name, 0) > 0, name
+            assert not any(name in edge for edge in edges), (name, edges)
+        static = analyze_locksets(RUNTIME_TARGET).edge_set()
+        ok, missing = check_static_covers_dynamic(static, edges)
+        assert ok, f"unpredicted dynamic edges: {missing}"
 
     def test_runtime_workloads_never_nest_engine_locks(self):
         from repro.analysis.concurrency.inventory import RUNTIME_TARGET

@@ -8,6 +8,8 @@ single replica, and the serial and threaded executors produce the same
 bits.
 """
 
+import os
+import signal
 import threading
 import time
 
@@ -16,8 +18,17 @@ import pytest
 
 from repro.nn import softmax_cross_entropy
 from repro.runtime.parallel import (
+    BACKENDS,
     MultiReplicaExecutor,
     ParallelDataParallelTrainer,
+    ReplicaError,
+    WorkerCrash,
+    fork_supported,
+    resolve_backend,
+)
+
+needs_fork = pytest.mark.skipif(
+    not fork_supported(), reason="process backend needs the fork start method"
 )
 
 # ---------------------------------------------------------------------------
@@ -93,6 +104,92 @@ def test_executor_reusable_across_runs():
     with MultiReplicaExecutor(3) as executor:
         assert executor.run(lambda i: i) == [0, 1, 2]
         assert executor.run(lambda i: -i) == [0, -1, -2]
+
+
+# ---------------------------------------------------------------------------
+# The backend knob
+# ---------------------------------------------------------------------------
+
+
+def test_backend_resolution():
+    assert BACKENDS == ("serial", "thread", "process")
+    assert resolve_backend(4, None, False) == "thread"
+    assert resolve_backend(4, None, True) == "serial"
+    assert resolve_backend(4, "process", False) == "process"
+    # An explicit backend outranks the legacy serial flag.
+    assert resolve_backend(4, "thread", True) == "thread"
+    # One replica cannot overlap anything.
+    assert resolve_backend(1, "process", False) == "serial"
+    with pytest.raises(ValueError, match="unknown executor backend"):
+        resolve_backend(4, "gpu", False)
+    with pytest.raises(ValueError):
+        MultiReplicaExecutor(2, backend="gpu")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backends_share_the_run_contract(backend):
+    if backend == "process" and not fork_supported():
+        pytest.skip("needs fork")
+    with MultiReplicaExecutor(3, backend=backend) as executor:
+        assert executor.backend == backend
+        assert executor.run(lambda i: i * 10) == [0, 10, 20]
+        assert executor.run(lambda i: -i) == [0, -1, -2]  # reusable
+
+
+@needs_fork
+def test_process_results_in_replica_order_despite_reverse_completion():
+    with MultiReplicaExecutor(3, backend="process") as executor:
+        def staggered(i):
+            time.sleep(0.02 * (3 - i))  # replica 2's child finishes first
+            return (i, os.getpid())
+
+        results = executor.run(staggered)
+    assert [r[0] for r in results] == [0, 1, 2]
+    pids = {r[1] for r in results}
+    assert len(pids) == 3 and os.getpid() not in pids
+
+
+@needs_fork
+def test_process_first_error_in_id_order_after_draining(tmp_path):
+    with MultiReplicaExecutor(4, backend="process") as executor:
+        def work(i):
+            if i in (1, 3):
+                raise RuntimeError(f"replica {i} exploded")
+            (tmp_path / f"done-{i}").write_text("x")
+            return i
+
+        with pytest.raises(ReplicaError) as exc_info:
+            executor.run(work)
+    assert exc_info.value.replica == 1
+    assert exc_info.value.exc_type == "RuntimeError"
+    assert "replica 1 exploded" in str(exc_info.value)
+    # The healthy siblings drained to completion before the raise.
+    assert (tmp_path / "done-0").exists()
+    assert (tmp_path / "done-2").exists()
+
+
+@needs_fork
+def test_process_killed_child_surfaces_worker_crash():
+    with MultiReplicaExecutor(3, backend="process") as executor:
+        def die(i):
+            if i == 1:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return i
+
+        with pytest.raises(WorkerCrash) as exc_info:
+            executor.run(die)
+    assert exc_info.value.replica == 1
+
+
+@needs_fork
+def test_process_closures_cross_fork_without_pickling():
+    sentinel = {"value": 41}  # closures (even unpicklable ones) fork across
+
+    def unpicklable(i, _lock=threading.Lock()):
+        return sentinel["value"] + 1 + i
+
+    with MultiReplicaExecutor(2, backend="process") as executor:
+        assert executor.run(lambda i: unpicklable(i)) == [42, 43]
 
 
 # ---------------------------------------------------------------------------
@@ -217,6 +314,45 @@ def test_async_compile_trainer_matches_sync_bitwise():
     assert stats["compile_inflight"] == 0
     sync.shutdown()
     async_.shutdown()
+
+
+def test_trainer_backend_knob():
+    trainer = _make_trainer(2, backend="serial")
+    assert trainer.backend == "serial"
+    trainer.shutdown()
+    legacy = _make_trainer(2, serial=True)
+    assert legacy.backend == "serial"
+    legacy.shutdown()
+    with pytest.raises(ValueError, match="unknown"):
+        _make_trainer(2, backend="mpi")
+
+
+@needs_fork
+def test_process_trainer_rejects_async_compile():
+    with pytest.raises(ValueError, match="async_compile"):
+        _make_trainer(2, backend="process", async_compile=True)
+
+
+@needs_fork
+def test_process_trainer_matches_thread_trainer_bitwise():
+    proc = _make_trainer(4, backend="process")
+    thread = _make_trainer(4, backend="thread")
+    proc_stats = _train(proc)
+    thread_stats = _train(thread)
+    assert proc_stats.losses == thread_stats.losses
+    assert proc_stats.device_stats == thread_stats.device_stats
+    for replica in range(4):
+        assert proc.weights_bytes(replica) == thread.weights_bytes(replica)
+    proc.shutdown()
+    thread.shutdown()
+
+
+def test_worker_introspection_needs_process_backend():
+    trainer = _make_trainer(2, backend="thread")
+    with pytest.raises(ValueError, match="worker"):
+        trainer.worker_pid(0)
+    assert trainer.segment_names() == []
+    trainer.shutdown()
 
 
 def test_shard_count_is_checked():

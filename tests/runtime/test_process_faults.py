@@ -1,0 +1,250 @@
+"""Fault injection for the process backend: crashes, raises, bad payloads.
+
+The contracts under test (ISSUE: worker death must be survivable):
+
+* a worker SIGKILLed **mid-step** surfaces exactly one replica-id-ordered
+  :class:`WorkerCrash` after every sibling has drained;
+* a replica *raising* mid-step surfaces an ordered :class:`ReplicaError`,
+  also after the drain;
+* either way, **no shared-memory segment survives the failed step**
+  (proven by name: reattaching must fail), and the trainer is usable on
+  the very next step — dead workers respawn, restore a survivor's
+  snapshot, and the pod returns to bit-exact lockstep with the serial
+  oracle.
+
+Faults are injected by patching the module-global ``_materialize`` hook
+*before* the trainer forks its workers (children inherit the patch) and
+arming it through a flag file, so each fault fires deterministically
+inside a chosen replica at a chosen step.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, softmax_cross_entropy
+from repro.optim import SGD
+from repro.runtime.parallel import (
+    ParallelDataParallelTrainer,
+    ReplicaError,
+    WorkerCrash,
+    current_worker_replica,
+    fork_supported,
+    registered_segments,
+    segment_exists,
+)
+from repro.runtime.parallel import trainer as trainer_mod
+
+pytestmark = pytest.mark.skipif(
+    not fork_supported(), reason="process backend needs the fork start method"
+)
+
+N_REPLICAS = 3
+
+
+def _loss(model, x, y):
+    return softmax_cross_entropy(model(x), y)
+
+
+def _make(backend="process"):
+    return ParallelDataParallelTrainer(
+        lambda device: MLP.create(6, [8], 4, device=device, seed=0),
+        lambda: SGD(learning_rate=0.1),
+        N_REPLICAS,
+        backend=backend,
+    )
+
+
+def _batch():
+    rng = np.random.default_rng(5)
+    x = rng.standard_normal((6, 6)).astype(np.float32)
+    y = np.eye(4, dtype=np.float32)[rng.integers(0, 4, 6)]
+    return x, y
+
+
+def _install_fault(monkeypatch, tmp_path, replicas, action):
+    """Patch ``_materialize`` so chosen replicas fault while ``flag`` exists.
+
+    Must run before the trainer is constructed: workers fork at
+    construction (and at respawn) and inherit whatever is patched then.
+    Siblings record a witness file proving they really ran the faulting
+    step (the drain guarantee).
+    """
+    flag = tmp_path / "armed"
+    original = trainer_mod._materialize
+
+    def patched(device, tensors):
+        replica = current_worker_replica()
+        if replica is not None and flag.exists():
+            if replica in replicas:
+                if action == "kill":
+                    os.kill(os.getpid(), signal.SIGKILL)
+                raise RuntimeError(f"injected failure in replica {replica}")
+            (tmp_path / f"witness-{replica}").touch()
+        return original(device, tensors)
+
+    monkeypatch.setattr(trainer_mod, "_materialize", patched)
+    return flag
+
+
+def _assert_lockstep(proc, serial):
+    oracle = serial.weights_bytes(0)
+    for replica in range(N_REPLICAS):
+        assert proc.weights_bytes(replica) == oracle, (
+            f"replica {replica} fell out of lockstep"
+        )
+
+
+def test_sigkill_mid_step_surfaces_ordered_crash_and_cleans_up(
+    monkeypatch, tmp_path
+):
+    flag = _install_fault(monkeypatch, tmp_path, {1}, "kill")
+    proc, serial = _make("process"), _make("serial")
+    x, y = _batch()
+    try:
+        # A clean step first, so an exchange (and its segments) exists.
+        s0 = serial.step(_loss, serial.replicate_batch(x, y))
+        p0 = proc.step(_loss, proc.replicate_batch(x, y))
+        assert p0.losses == s0.losses
+        names = proc.segment_names()
+        assert names and all(segment_exists(n) for n in names)
+
+        flag.touch()
+        with pytest.raises(WorkerCrash) as exc_info:
+            proc.step(_loss, proc.replicate_batch(x, y))
+        assert exc_info.value.replica == 1
+
+        # Every sibling drained before the raise...
+        for replica in (0, 2):
+            assert (tmp_path / f"witness-{replica}").exists(), replica
+        # ...and no segment survived the failed step (reattach by name
+        # must fail), with the registry bookkeeping agreeing.
+        assert proc.segment_names() == []
+        assert not any(segment_exists(n) for n in names)
+        assert registered_segments() == ()
+
+        # Disarm; the next steps respawn replica 1, restore it from a
+        # survivor, and return the pod to bit-exact lockstep.
+        flag.unlink()
+        for _ in range(2):
+            s = serial.step(_loss, serial.replicate_batch(x, y))
+            p = proc.step(_loss, proc.replicate_batch(x, y))
+            assert p.losses == s.losses
+            for mine, ref in zip(p.averaged_leaves, s.averaged_leaves):
+                if isinstance(ref, float):
+                    assert mine == ref
+                else:
+                    assert mine.tobytes() == ref.tobytes()
+        _assert_lockstep(proc, serial)
+    finally:
+        proc.shutdown()
+        serial.shutdown()
+    assert registered_segments() == ()
+
+
+def test_multiple_deaths_raise_the_lowest_replica_first(monkeypatch, tmp_path):
+    flag = _install_fault(monkeypatch, tmp_path, {1, 2}, "kill")
+    proc = _make("process")
+    x, y = _batch()
+    try:
+        flag.touch()
+        with pytest.raises(WorkerCrash) as exc_info:
+            proc.step(_loss, proc.replicate_batch(x, y))
+        assert exc_info.value.replica == 1  # ordered: min of the dead
+        assert sorted(proc.pool.dead_replicas()) == [1, 2]
+        assert registered_segments() == ()
+
+        flag.unlink()
+        stats = proc.step(_loss, proc.replicate_batch(x, y))
+        assert len(stats.losses) == N_REPLICAS
+    finally:
+        proc.shutdown()
+    assert registered_segments() == ()
+
+
+def test_raising_replica_surfaces_ordered_replica_error(monkeypatch, tmp_path):
+    flag = _install_fault(monkeypatch, tmp_path, {2}, "raise")
+    proc, serial = _make("process"), _make("serial")
+    x, y = _batch()
+    try:
+        s0 = serial.step(_loss, serial.replicate_batch(x, y))
+        p0 = proc.step(_loss, proc.replicate_batch(x, y))
+        assert p0.losses == s0.losses
+        names = proc.segment_names()
+
+        flag.touch()
+        with pytest.raises(ReplicaError) as exc_info:
+            proc.step(_loss, proc.replicate_batch(x, y))
+        assert exc_info.value.replica == 2
+        assert exc_info.value.exc_type == "RuntimeError"
+        assert "injected failure in replica 2" in str(exc_info.value)
+
+        # Siblings drained; the raise did not kill anyone.
+        for replica in (0, 1):
+            assert (tmp_path / f"witness-{replica}").exists(), replica
+        assert proc.pool.dead_replicas() == []
+        # Exchange torn down all the same: segments never survive a
+        # failed step.
+        assert proc.segment_names() == []
+        assert not any(segment_exists(n) for n in names)
+        assert registered_segments() == ()
+
+        flag.unlink()
+        s = serial.step(_loss, serial.replicate_batch(x, y))
+        p = proc.step(_loss, proc.replicate_batch(x, y))
+        assert p.losses == s.losses
+        _assert_lockstep(proc, serial)
+    finally:
+        proc.shutdown()
+        serial.shutdown()
+    assert registered_segments() == ()
+
+
+def test_worker_death_between_steps_heals_transparently(monkeypatch, tmp_path):
+    proc, serial = _make("process"), _make("serial")
+    x, y = _batch()
+    try:
+        s0 = serial.step(_loss, serial.replicate_batch(x, y))
+        p0 = proc.step(_loss, proc.replicate_batch(x, y))
+        assert p0.losses == s0.losses
+
+        victim = proc.worker_pid(1)
+        os.kill(victim, signal.SIGKILL)
+        for _ in range(100):  # is_alive flips once the child is reaped
+            if not proc.pool.alive(1):
+                break
+            time.sleep(0.05)
+        assert not proc.pool.alive(1)
+
+        # No step was in flight, so the next step heals without raising.
+        s1 = serial.step(_loss, serial.replicate_batch(x, y))
+        p1 = proc.step(_loss, proc.replicate_batch(x, y))
+        assert p1.losses == s1.losses
+        assert proc.worker_pid(1) != victim
+        _assert_lockstep(proc, serial)
+    finally:
+        proc.shutdown()
+        serial.shutdown()
+    assert registered_segments() == ()
+
+
+def test_unpicklable_loss_raises_helpful_typeerror():
+    proc = _make("process")
+    x, y = _batch()
+    try:
+        with pytest.raises(TypeError, match="module level"):
+            proc.step(
+                lambda model, bx, by: softmax_cross_entropy(model(bx), by),
+                proc.replicate_batch(x, y),
+            )
+        # The pool survives a refused payload; a proper loss still works.
+        stats = proc.step(_loss, proc.replicate_batch(x, y))
+        assert len(stats.losses) == N_REPLICAS
+    finally:
+        proc.shutdown()
+    assert registered_segments() == ()

@@ -1,0 +1,230 @@
+"""Property tests for the shared-memory gradient exchange.
+
+The exchange is the process backend's numerics-critical core: gradient
+bits cross an address-space boundary through it, and the differential
+harness's bit-identity guarantee holds only if a write/read round trip
+never moves an ulp.  These tests pin that property across dtypes
+(including f16 and bf16-as-u16 payloads the trainer does not use yet),
+degenerate shapes (0-d, zero-length), and non-contiguous sources, and
+pin the isolation property: two live exchanges — same layout, same or
+different processes — can never alias a segment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.parallel import (
+    GradientExchange,
+    LeafSpec,
+    MultiReplicaExecutor,
+    WorkerAttachment,
+    fork_supported,
+    registered_segments,
+    segment_exists,
+)
+
+#: bf16 has no NumPy dtype; its 16-bit payloads ride as uint16 and the
+#: round trip must preserve them exactly (no float reinterpretation).
+DTYPES = ("float16", "uint16", "float32", "float64")
+SHAPES = ((), (0,), (5,), (3, 4), (2, 0, 3), (2, 3, 4))
+
+
+def _seeded(dtype: str, shape, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    if dtype == "uint16":
+        return rng.integers(0, 2**16, size=shape, dtype=np.uint16)
+    return rng.standard_normal(shape).astype(dtype)
+
+
+# ---------------------------------------------------------------------------
+# Bit-exact round trips
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+@pytest.mark.parametrize("shape", SHAPES, ids=str)
+def test_round_trip_is_bit_identical(dtype, shape):
+    spec = LeafSpec("array", dtype, shape)
+    with GradientExchange(2, [spec]) as exchange:
+        sources = [_seeded(dtype, shape, seed) for seed in (1, 2)]
+        for replica, source in enumerate(sources):
+            attachment = WorkerAttachment(exchange.worker_payload(replica))
+            try:
+                attachment.write_leaves([source])
+            finally:
+                attachment.close()
+        for replica, source in enumerate(sources):
+            got = exchange.grad_view(replica, 0)
+            assert got.dtype == source.dtype
+            assert got.shape == source.shape
+            assert got.tobytes() == source.tobytes()
+
+
+@pytest.mark.parametrize("dtype", ("float16", "float32", "float64"))
+def test_non_contiguous_sources_round_trip(dtype):
+    base = _seeded(dtype, (6, 8), 7)
+    sources = [
+        base.T,            # transposed view
+        base[::2],         # strided rows
+        base[:, ::-1],     # negative stride
+        base[1:4, 2:7:2],  # offset + strided window
+    ]
+    for source in sources:
+        assert not source.flags["C_CONTIGUOUS"]
+        spec = LeafSpec("array", dtype, tuple(source.shape))
+        with GradientExchange(1, [spec]) as exchange:
+            exchange.write(0, 0, source)
+            # tobytes() materializes the source in C order — exactly what
+            # the contiguous slot must now hold, bit for bit.
+            assert exchange.grad_view(0, 0).tobytes() == source.tobytes()
+
+
+def test_scalar_leaves_average_like_python_floats():
+    values = (0.30000000000000004, -1.1e-16, 2.5e8)
+    spec = LeafSpec("scalar", "float64", ())
+    with GradientExchange(3, [spec]) as exchange:
+        for replica, value in enumerate(values):
+            exchange.write(replica, 0, value)
+        exchange.reduce_mean()
+        (got,) = exchange.averaged()
+    expected = ((values[0] + values[1]) + values[2]) / 3
+    assert isinstance(got, float)
+    assert got == expected  # bitwise: same f64 sum order, same divide
+
+
+def test_reduce_mean_matches_thread_average_bits():
+    from repro.runtime.parallel.trainer import _average_leaves
+
+    leaves = [
+        [_seeded("float32", (4, 3), 10 * r + j) for j in range(2)]
+        + [float(_seeded("float64", (), 100 + r))]
+        for r in range(3)
+    ]
+    expected = _average_leaves(leaves)
+    specs = [LeafSpec.for_value(v) for v in leaves[0]]
+    with GradientExchange(3, specs) as exchange:
+        for replica, row in enumerate(leaves):
+            for j, value in enumerate(row):
+                exchange.write(replica, j, value)
+        exchange.reduce_mean()
+        got = exchange.averaged()
+    for mine, ref in zip(got, expected, strict=True):
+        if isinstance(ref, float):
+            assert mine == ref
+        else:
+            assert mine.tobytes() == np.asarray(ref).tobytes()
+
+
+def test_worker_reads_back_fresh_averaged_copies():
+    spec = LeafSpec("array", "float32", (3,))
+    with GradientExchange(2, [spec]) as exchange:
+        for replica in range(2):
+            exchange.write(replica, 0, _seeded("float32", (3,), replica))
+        exchange.reduce_mean()
+        attachment = WorkerAttachment(exchange.worker_payload(1))
+        try:
+            (got,) = attachment.read_averaged()
+            (want,) = exchange.averaged()
+            assert got.tobytes() == want.tobytes()
+            # A fresh copy: mutating the averaged slot afterwards must not
+            # reach into a value the worker already consumed.
+            exchange.avg_view(0)[...] = 0
+            assert got.tobytes() == want.tobytes()
+        finally:
+            attachment.close()
+
+
+# ---------------------------------------------------------------------------
+# Isolation: concurrent exchanges never alias
+# ---------------------------------------------------------------------------
+
+
+def test_two_live_exchanges_never_alias():
+    specs = [LeafSpec("array", "float32", (2, 2))]
+    with GradientExchange(2, specs) as a, GradientExchange(2, specs) as b:
+        assert not set(a.segment_names()) & set(b.segment_names())
+        ones = np.ones((2, 2), dtype=np.float32)
+        for replica in range(2):
+            a.write(replica, 0, ones * (replica + 1))
+            b.write(replica, 0, -ones * (replica + 1))
+        for replica in range(2):
+            assert (a.grad_view(replica, 0) == replica + 1).all()
+            assert (b.grad_view(replica, 0) == -(replica + 1)).all()
+
+
+@pytest.mark.skipif(not fork_supported(), reason="needs fork")
+def test_exchanges_in_concurrent_processes_never_alias():
+    specs = [LeafSpec("array", "float32", (4,))]
+    with GradientExchange(2, specs) as mine:
+        executor = MultiReplicaExecutor(2, backend="process")
+        try:
+            def child_names(replica: int):
+                with GradientExchange(2, specs) as theirs:
+                    return theirs.segment_names()
+
+            others = executor.run(child_names)
+        finally:
+            executor.shutdown()
+        name_sets = [set(mine.segment_names())] + [set(n) for n in others]
+        for i in range(len(name_sets)):
+            for j in range(i + 1, len(name_sets)):
+                assert not name_sets[i] & name_sets[j], (i, j)
+        # The children unlinked their own segments on exit...
+        for names in others:
+            assert not any(segment_exists(n) for n in names)
+        # ...and could not touch ours.
+        assert all(segment_exists(n) for n in mine.segment_names())
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle: registry bookkeeping and deterministic unlinking
+# ---------------------------------------------------------------------------
+
+
+def test_registry_tracks_created_segments():
+    spec = LeafSpec("array", "float32", (2,))
+    before = set(registered_segments())
+    exchange = GradientExchange(3, [spec])
+    try:
+        names = set(exchange.segment_names())
+        assert len(names) == 4  # 3 replica slots + 1 averaged slot
+        assert names <= set(registered_segments())
+        assert names.isdisjoint(before)
+    finally:
+        exchange.unlink()
+    assert names.isdisjoint(set(registered_segments()))
+
+
+def test_unlink_makes_reattach_fail():
+    spec = LeafSpec("array", "float64", (3, 3))
+    exchange = GradientExchange(2, [spec])
+    payload = exchange.worker_payload(0)
+    names = exchange.segment_names()
+    exchange.unlink()
+    assert not any(segment_exists(name) for name in names)
+    with pytest.raises(FileNotFoundError):
+        WorkerAttachment(payload)
+    exchange.unlink()  # idempotent
+
+
+def test_constructor_failure_leaks_nothing():
+    before = set(registered_segments())
+    with pytest.raises(ValueError):
+        GradientExchange(0, [LeafSpec("array", "float32", (1,))])
+    with pytest.raises(ValueError):
+        GradientExchange(2, [])
+    with pytest.raises(ValueError):
+        LeafSpec("matrix", "float32", (1,))
+    assert set(registered_segments()) == before
+
+
+def test_leaf_spec_for_value():
+    assert LeafSpec.for_value(1.5) == LeafSpec("scalar", "float64", ())
+    assert LeafSpec.for_value(3) == LeafSpec("scalar", "float64", ())
+    array = np.zeros((2, 5), dtype=np.float32)
+    assert LeafSpec.for_value(array) == LeafSpec("array", "float32", (2, 5))
+    assert LeafSpec.for_value(array).nbytes == 40
+    assert LeafSpec("array", "float64", ()).count == 1
+    assert LeafSpec("array", "float16", (0, 4)).nbytes == 0
